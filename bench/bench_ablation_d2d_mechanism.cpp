@@ -1,0 +1,58 @@
+/// \file bench_ablation_d2d_mechanism.cpp
+/// \brief Ablation: why is Comm|Scope's device-to-device latency so much
+/// higher than OSU's (paper §4: hipMemcpyAsync vs MPI remote memory
+/// access)? This bench measures both on every accelerator system and
+/// decomposes the Comm|Scope path into its cost terms.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const auto opt = benchtool::optionsFromArgs(argc, argv);
+
+  Table t({"System", "OSU D2D (us)", "Comm|Scope D2D (us)", "gap (x)",
+           "call ovhd", "DMA setup", "route", "sync wait"});
+  t.setTitle(
+      "Class-A device pair: MPI-RMA vs memcpyAsync latency decomposition "
+      "(us)");
+
+  for (const machines::Machine* m : machines::gpuMachines()) {
+    commscope::CommScope scope(*m);
+    commscope::Config ccfg;
+    ccfg.binaryRuns = opt.binaryRuns;
+    osu::LatencyConfig lcfg;
+    lcfg.binaryRuns = opt.binaryRuns;
+
+    const auto [a, b] = osu::devicePair(*m, topo::LinkClass::A);
+    const double mpi =
+        osu::LatencyBenchmark(*m, a, b, mpisim::BufferSpace::Kind::Device)
+            .measure(lcfg)
+            .latencyUs.mean;
+    const double copy = scope.d2dLatencyUs(topo::LinkClass::A, ccfg).mean;
+
+    const auto pair = m->topology.representativePair(topo::LinkClass::A);
+    const auto route =
+        m->topology.routeGpuToGpu(pair->first, pair->second);
+    const auto& d = *m->device;
+
+    const auto cell = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", v);
+      return std::string(buf);
+    };
+    t.addRow({m->info.name, cell(mpi), cell(copy), cell(copy / mpi),
+              cell(d.memcpyCallOverhead.us()), cell(d.d2dDmaSetup.us()),
+              cell(route.latency.us()), cell(d.syncWait.us())});
+  }
+  std::fputs(t.renderAscii().c_str(), stdout);
+  std::printf(
+      "\nThe memcpyAsync path pays driver call + DMA-engine setup + a "
+      "synchronize per copy; MPI's RMA path amortizes registration and "
+      "rides the fabric directly — a >20x gap on the MI250X machines, "
+      "exactly the contrast the paper observes between Tables 5 and 6. "
+      "Perlmutter vs Polaris isolates the system-software term: same "
+      "route, ~2.3x different DMA setup (CUDA driver difference).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared helpers for the table/figure bench harnesses: a
+/// paper-vs-measured comparison table builder and a --runs argument.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "commscope/commscope.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "machines/registry.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+#include "report/figures.hpp"
+#include "report/paper_reference.hpp"
+#include "report/tables.hpp"
+#include "topo/dot.hpp"
+
+namespace nodebench::benchtool {
+
+/// Parses an optional "--runs N" argument (default: the paper's 100).
+inline report::TableOptions optionsFromArgs(int argc, char** argv) {
+  report::TableOptions opt;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--runs") {
+      opt.binaryRuns = std::atoi(argv[i + 1]);
+    }
+  }
+  return opt;
+}
+
+/// Accumulates "cell | paper | measured | ratio" comparison rows.
+class Comparison {
+ public:
+  explicit Comparison(std::string title)
+      : table_({"Quantity", "Paper", "Measured", "Ratio"}),
+        title_(std::move(title)) {
+    table_.setTitle(title_);
+  }
+
+  void add(const std::string& label, const report::paper::Value& ref,
+           const Summary& measured, int precision = 2) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.3f", measured.mean / ref.mean);
+    char paperCell[64];
+    std::snprintf(paperCell, sizeof(paperCell), "%.*f ± %.*f", precision,
+                  ref.mean, precision, ref.sd);
+    table_.addRow({label, paperCell, measured.toString(precision), ratio});
+    worst_ = std::max(worst_, std::abs(measured.mean / ref.mean - 1.0));
+  }
+
+  void addSeparator() { table_.addSeparator(); }
+
+  /// Prints the table plus the worst relative deviation.
+  void print() const {
+    std::fputs(table_.renderAscii().c_str(), stdout);
+    std::printf("worst |measured/paper - 1|: %.2f%%\n\n", worst_ * 100.0);
+  }
+
+ private:
+  Table table_;
+  std::string title_;
+  double worst_ = 0.0;
+};
+
+/// Figure harness shared by bench_fig1/2/3: renders the node diagram, the
+/// link-class legend, the DOT export, and annotates each link class with
+/// the measured OSU (Table 5) and Comm|Scope (Table 6) latencies — the
+/// quantities the paper's figure arrows point at.
+inline void printFigure(const std::string& machineName,
+                        const report::TableOptions& opt) {
+  const machines::Machine& m = machines::byName(machineName);
+  std::fputs(report::nodeDiagram(m).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(report::linkClassLegend(m).c_str(), stdout);
+
+  commscope::CommScope scope(m);
+  commscope::Config ccfg;
+  ccfg.binaryRuns = opt.binaryRuns;
+  osu::LatencyConfig lcfg;
+  lcfg.binaryRuns = opt.binaryRuns;
+
+  Table t({"Link class", "OSU D2D MPI latency (us)",
+           "Comm|Scope D2D memcpy latency (us)"});
+  t.setTitle("Measured per-class latencies (arrows of the paper's figure)");
+  for (const topo::LinkClass c : m.topology.presentGpuLinkClasses()) {
+    const auto [a, b] = osu::devicePair(m, c);
+    const auto mpi =
+        osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Device)
+            .measure(lcfg)
+            .latencyUs;
+    const auto copy = scope.d2dLatencyUs(c, ccfg);
+    t.addRow({std::string(topo::linkClassName(c)), mpi.toString(),
+              copy.toString()});
+  }
+  std::printf("\n");
+  std::fputs(t.renderAscii().c_str(), stdout);
+
+  std::printf("\nGraphviz export:\n\n%s",
+              topo::toDot(m.topology, m.info.name).c_str());
+}
+
+}  // namespace nodebench::benchtool

@@ -1,0 +1,121 @@
+/// \file bench_ext_sensitivity.cpp
+/// \brief Extension: sensitivity of the reproduced table cells to the
+/// calibrated primitives. Each primitive of Frontier's model is perturbed
+/// by +-10% and the affected measurements recomputed — showing which
+/// paper quantities pin which parameters (and which are insensitive),
+/// i.e. how well-conditioned the calibration inversion is.
+
+#include <cstdio>
+#include <functional>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "bench_common.hpp"
+#include "commscope/commscope.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+double deviceBw(const machines::Machine& m) {
+  babelstream::SimDeviceBackend backend(m, 0);
+  babelstream::DriverConfig cfg;
+  cfg.arrayBytes = ByteCount::gib(1);
+  cfg.binaryRuns = 5;
+  return babelstream::run(backend, cfg).best().bandwidthGBps.mean;
+}
+
+double d2dMpiUs(const machines::Machine& m) {
+  const auto [a, b] = osu::devicePair(m, topo::LinkClass::A);
+  osu::LatencyConfig cfg;
+  cfg.binaryRuns = 5;
+  return osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Device)
+      .measure(cfg)
+      .latencyUs.mean;
+}
+
+double h2dLatUs(const machines::Machine& m) {
+  commscope::CommScope scope(m);
+  commscope::Config cfg;
+  cfg.binaryRuns = 5;
+  return scope.hostDeviceLatencyUs(cfg).mean;
+}
+
+double commscopeD2dUs(const machines::Machine& m) {
+  commscope::CommScope scope(m);
+  commscope::Config cfg;
+  cfg.binaryRuns = 5;
+  return scope.d2dLatencyUs(topo::LinkClass::A, cfg).mean;
+}
+
+}  // namespace
+
+int main() {
+  const machines::Machine& base = machines::byName("Frontier");
+
+  struct Perturbation {
+    const char* name;
+    std::function<void(machines::Machine&, double)> apply;
+  };
+  const std::vector<Perturbation> perturbations{
+      {"hbmBw", [](machines::Machine& m, double f) {
+         m.device->hbmBw = m.device->hbmBw * f;
+       }},
+      {"kernelLaunch", [](machines::Machine& m, double f) {
+         m.device->kernelLaunch = m.device->kernelLaunch * f;
+       }},
+      {"syncWait", [](machines::Machine& m, double f) {
+         m.device->syncWait = m.device->syncWait * f;
+       }},
+      {"d2dDmaSetup", [](machines::Machine& m, double f) {
+         m.device->d2dDmaSetup = m.device->d2dDmaSetup * f;
+       }},
+      {"deviceMpiBase", [](machines::Machine& m, double f) {
+         m.deviceMpi->baseOneWay = m.deviceMpi->baseOneWay * f;
+       }},
+  };
+
+  struct Observable {
+    const char* name;
+    double (*measure)(const machines::Machine&);
+  };
+  const std::vector<Observable> observables{
+      {"T5 device BW", deviceBw},
+      {"T5 D2D MPI (us)", d2dMpiUs},
+      {"T6 H<->D lat (us)", h2dLatUs},
+      {"T6 D2D copy (us)", commscopeD2dUs},
+  };
+
+  Table t({"Primitive +10%", "T5 device BW", "T5 D2D MPI (us)",
+           "T6 H<->D lat (us)", "T6 D2D copy (us)"});
+  t.setTitle(
+      "Frontier: relative change of reproduced cells per +10% primitive "
+      "perturbation");
+  std::vector<double> baseline;
+  for (const auto& obs : observables) {
+    baseline.push_back(obs.measure(base));
+  }
+  for (const auto& p : perturbations) {
+    machines::Machine perturbed = base;
+    p.apply(perturbed, 1.10);
+    std::vector<std::string> row{p.name};
+    for (std::size_t i = 0; i < observables.size(); ++i) {
+      const double v = observables[i].measure(perturbed);
+      const double rel = (v / baseline[i] - 1.0) * 100.0;
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%+.1f%%", rel);
+      row.push_back(cell);
+    }
+    t.addRow(row);
+  }
+  std::fputs(t.renderAscii().c_str(), stdout);
+  std::printf(
+      "\nEach observable responds to exactly the primitives its model "
+      "composes: device bandwidth to hbmBw only; OSU D2D to the MPI base "
+      "(not the copy engine); Comm|Scope D2D to the DMA setup. The "
+      "near-diagonal structure is what makes the calibration inversion "
+      "well-conditioned (DESIGN.md section 1).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file bench_ext_stencil.cpp
+/// \brief Extension: stencil-proxy scaling study — how the balance of
+/// compute vs halo exchange shifts with rank count and halo size on
+/// representative machines, composing the paper's measured quantities
+/// into application-level behaviour.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workload/stencil.hpp"
+
+int main() {
+  using namespace nodebench;
+
+  // Strong scaling: fixed global problem, growing rank count.
+  const std::uint64_t globalCells = 1ull << 24;
+  for (const char* name : {"Eagle", "Frontier"}) {
+    const machines::Machine& m = machines::byName(name);
+    Table t({"Ranks", "Total/iter (us)", "Compute (us)", "Halo (us)",
+             "Halo frac", "Speedup"});
+    t.setTitle(std::string(name) +
+               ": strong scaling of the stencil proxy (host ranks)");
+    double base = 0.0;
+    for (int ranks = 2; ranks <= 32; ranks *= 2) {
+      workload::StencilConfig cfg;
+      cfg.ranks = ranks;
+      cfg.cellsPerRank = globalCells / ranks;
+      cfg.iterations = 5;
+      const auto r = workload::runStencil(m, cfg);
+      if (base == 0.0) {
+        base = r.totalPerIteration.us() * 2.0;  // normalized to 1 rank
+      }
+      t.addRow({std::to_string(ranks),
+                formatFixed(r.totalPerIteration.us(), 1),
+                formatFixed(r.computePerIteration.us(), 1),
+                formatFixed(r.haloPerIteration.us(), 1),
+                formatFixed(r.haloFraction(), 3),
+                formatFixed(base / r.totalPerIteration.us(), 2)});
+    }
+    std::fputs(t.renderAscii().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  // Device comparison at fixed configuration.
+  Table d({"System", "Total/iter (us)", "Compute (us)", "Halo (us)",
+           "Mcells/s"});
+  d.setTitle("Device stencil (4 GPU ranks, 2M cells/rank)");
+  for (const char* name :
+       {"Frontier", "Summit", "Perlmutter", "Polaris", "Tioga"}) {
+    const machines::Machine& m = machines::byName(name);
+    workload::StencilConfig cfg;
+    cfg.ranks = 4;
+    cfg.useDevice = true;
+    cfg.iterations = 5;
+    const auto r = workload::runStencil(m, cfg);
+    d.addRow({name, formatFixed(r.totalPerIteration.us(), 1),
+              formatFixed(r.computePerIteration.us(), 1),
+              formatFixed(r.haloPerIteration.us(), 1),
+              formatFixed(r.cellsPerSecond / 1e6, 0)});
+  }
+  std::fputs(d.renderAscii().c_str(), stdout);
+  std::printf(
+      "\nStrong scaling flattens once the fixed halo cost dominates the "
+      "shrinking per-rank compute (Amdahl through the microbenchmark "
+      "lens). On devices, Summit's high launch+sync and 18 us staging "
+      "path cost it the lead its HBM deficit alone would not explain.\n");
+  return 0;
+}

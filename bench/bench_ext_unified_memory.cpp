@@ -1,0 +1,69 @@
+/// \file bench_ext_unified_memory.cpp
+/// \brief Extension: Comm|Scope's unified-memory test family — explicit
+/// prefetch vs demand paging of a 1 GiB managed buffer, plus a
+/// kernel-launch batching ("graph capture") ablation on the same
+/// machines. Neither is measured in the paper; both use representative
+/// (uncalibrated) UM parameters documented in machine.hpp.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/gpu_runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const auto opt = benchtool::optionsFromArgs(argc, argv);
+
+  Table t({"System", "Pinned copy (GB/s)", "UM prefetch (GB/s)",
+           "UM demand paging (GB/s)", "Demand penalty"});
+  t.setTitle("Unified memory: moving 1 GiB host -> device");
+  for (const machines::Machine* m : machines::gpuMachines()) {
+    commscope::CommScope scope(*m);
+    commscope::Config cfg;
+    cfg.binaryRuns = opt.binaryRuns;
+    const double pinned = scope.hostDeviceBandwidthGBps(cfg).mean;
+    const double prefetch = scope.umPrefetchBandwidthGBps(cfg).mean;
+    const double demand = scope.umDemandBandwidthGBps(cfg).mean;
+    t.addRow({m->info.name, formatFixed(pinned, 2),
+              formatFixed(prefetch, 2), formatFixed(demand, 2),
+              formatFixed(pinned / demand, 1) + "x"});
+  }
+  std::fputs(t.renderAscii().c_str(), stdout);
+
+  // Launch batching: N small kernels launched one by one vs one batched
+  // submission (graph capture), isolating the Table 6 launch overhead.
+  std::printf("\n");
+  Table g({"System", "100 kernels, individual (us)",
+           "100 kernels, batched (us)", "Speedup"});
+  g.setTitle("Kernel-launch batching ablation (10 us kernels)");
+  for (const char* name : {"Summit", "Perlmutter", "Frontier"}) {
+    const machines::Machine& m = machines::byName(name);
+    gpusim::GpuRuntime rt(m);
+    const auto stream = rt.defaultStream(0);
+    const Duration kernel = Duration::microseconds(10.0);
+
+    rt.reset();
+    for (int i = 0; i < 100; ++i) {
+      rt.launchKernel(stream, kernel);
+    }
+    rt.streamSynchronize(stream);
+    const double individual = rt.hostNow().us();
+
+    // Batched: one launch overhead submits the whole dependency graph.
+    rt.reset();
+    rt.launchKernel(stream, kernel * 100.0);
+    rt.streamSynchronize(stream);
+    const double batched = rt.hostNow().us();
+
+    g.addRow({name, formatFixed(individual, 1), formatFixed(batched, 1),
+              formatFixed(individual / batched, 2) + "x"});
+  }
+  std::fputs(g.renderAscii().c_str(), stdout);
+  std::printf(
+      "\nDemand paging pays the per-fault service latency on every 2 MiB "
+      "page, flooring UM bandwidth an order of magnitude under the pinned "
+      "copy path; prefetch recovers ~90%% of it. Launch batching matters "
+      "most where Table 6's launch column is worst (the V100 systems), "
+      "though for 10 us kernels overlap hides most of it.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+/// \file bench_fig1_frontier_topology.cpp
+/// \brief Figure 1 harness: the Frontier node diagram (EPYC + 4x MI250X
+/// exposing 8 GCDs over Infinity Fabric link classes A-D), annotated with
+/// the measured latencies its arrows refer to. RZVernal and Tioga share
+/// the topology; pass a machine name to render them instead.
+/// Usage: bench_fig1_frontier_topology [machine] [--runs N]
+
+#include <string>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  std::string machine = "Frontier";
+  if (argc > 1 && argv[1][0] != '-') {
+    machine = argv[1];
+  }
+  nodebench::benchtool::printFigure(
+      machine, nodebench::benchtool::optionsFromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,19 @@
+/// \file bench_fig2_summit_topology.cpp
+/// \brief Figure 2 harness: the Summit node diagram (2x Power9 + 6x V100,
+/// NVLink2 cliques bridged by X-Bus), annotated with measured per-class
+/// latencies. Sierra and Lassen share the topology shape with 4 GPUs;
+/// pass a machine name to render them. Usage: [machine] [--runs N]
+
+#include <string>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  std::string machine = "Summit";
+  if (argc > 1 && argv[1][0] != '-') {
+    machine = argv[1];
+  }
+  nodebench::benchtool::printFigure(
+      machine, nodebench::benchtool::optionsFromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,19 @@
+/// \file bench_fig3_perlmutter_topology.cpp
+/// \brief Figure 3 harness: the Perlmutter node diagram (EPYC 7763 + 4x
+/// A100 with all-to-all NVLink3), annotated with measured latencies.
+/// Polaris shares the topology; pass a machine name to render it.
+/// Usage: [machine] [--runs N]
+
+#include <string>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  std::string machine = "Perlmutter";
+  if (argc > 1 && argv[1][0] != '-') {
+    machine = argv[1];
+  }
+  nodebench::benchtool::printFigure(
+      machine, nodebench::benchtool::optionsFromArgs(argc, argv));
+  return 0;
+}

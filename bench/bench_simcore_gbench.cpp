@@ -1,0 +1,130 @@
+/// \file bench_simcore_gbench.cpp
+/// \brief google-benchmark microbenchmarks of the simulation substrate
+/// itself: how fast the event queue, virtual-time scheduler, simulated
+/// MPI ping-pong and GPU runtime execute on the build host. These guard
+/// the harness's own performance (the table benches run hundreds of
+/// simulated benchmarks).
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "gpusim/gpu_runtime.hpp"
+#include "machines/registry.hpp"
+#include "mpisim/world.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/vt_scheduler.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < events; ++i) {
+      q.scheduleAt(Duration::nanoseconds(static_cast<double>(i % 97)),
+                   [&sink] { ++sink; });
+    }
+    q.runAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_XoshiroNormal(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_XoshiroNormal);
+
+void BM_WelfordAdd(benchmark::State& state) {
+  Welford w;
+  double x = 0.0;
+  for (auto _ : state) {
+    w.add(x);
+    x += 0.5;
+  }
+  benchmark::DoNotOptimize(w.count());
+}
+BENCHMARK(BM_WelfordAdd);
+
+void BM_VtSchedulerSwitch(benchmark::State& state) {
+  // Two processes leapfrogging: measures the handoff cost that bounds
+  // simulated ping-pong throughput.
+  const int steps = 256;
+  for (auto _ : state) {
+    sim::VirtualTimeScheduler sched;
+    const auto proc = [](sim::VirtualProcess& p) {
+      for (int i = 0; i < steps; ++i) {
+        p.advance(Duration::nanoseconds(10.0));
+      }
+    };
+    sched.run({proc, proc});
+    benchmark::DoNotOptimize(sched.switchCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * steps);
+}
+BENCHMARK(BM_VtSchedulerSwitch);
+
+void BM_SimulatedPingPong(benchmark::State& state) {
+  const auto& m = machines::byName("Eagle");
+  const int iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpisim::MpiWorld world(
+        m, {mpisim::RankPlacement{topo::CoreId{0}, std::nullopt},
+            mpisim::RankPlacement{topo::CoreId{1}, std::nullopt}});
+    world.runEach({
+        [&](mpisim::Communicator& c) {
+          for (int i = 0; i < iters; ++i) {
+            c.send(1, 0, ByteCount::bytes(8));
+            c.recv(1, 0, ByteCount::bytes(8));
+          }
+        },
+        [&](mpisim::Communicator& c) {
+          for (int i = 0; i < iters; ++i) {
+            c.recv(0, 0, ByteCount::bytes(8));
+            c.send(0, 0, ByteCount::bytes(8));
+          }
+        },
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_SimulatedPingPong)->Arg(100)->Arg(1000);
+
+void BM_GpuRuntimeLaunchSync(benchmark::State& state) {
+  const auto& m = machines::byName("Frontier");
+  gpusim::GpuRuntime rt(m);
+  const auto stream = rt.defaultStream(0);
+  for (auto _ : state) {
+    rt.reset();
+    rt.launchKernel(stream, Duration::microseconds(1.0));
+    rt.streamSynchronize(stream);
+    benchmark::DoNotOptimize(rt.hostNow());
+  }
+}
+BENCHMARK(BM_GpuRuntimeLaunchSync);
+
+void BM_MachineRegistryLookup(benchmark::State& state) {
+  (void)machines::allMachines();  // build outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&machines::byName("Perlmutter"));
+  }
+}
+BENCHMARK(BM_MachineRegistryLookup);
+
+}  // namespace

@@ -1,0 +1,35 @@
+/// \file bench_table1_omp_sweep.cpp
+/// \brief Table 1 harness: prints the eight OpenMP environment
+/// combinations and, for each CPU system, the best BabelStream bandwidth
+/// each combination achieves — showing which row wins the "Single" and
+/// "All" columns of Table 4. Usage: [--runs N]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "machines/registry.hpp"
+#include "report/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const auto opt = benchtool::optionsFromArgs(argc, argv);
+
+  std::fputs(report::buildTable1().renderAscii().c_str(), stdout);
+  std::printf("\n");
+
+  for (const machines::Machine* m : machines::cpuMachines()) {
+    const auto sweep = report::ompSweep(*m, opt);
+    Table t({"Configuration", "Best op", "Bandwidth (GB/s)"});
+    t.setTitle(m->info.name + ": BabelStream across Table 1 combinations");
+    t.setAlign(1, Align::Left);
+    for (const auto& entry : sweep.entries) {
+      t.addRow({entry.config, entry.bestOpName,
+                entry.bestOpGBps.toString()});
+    }
+    std::fputs(t.renderAscii().c_str(), stdout);
+    std::printf("  -> reported Single = %s, All = %s\n\n",
+                sweep.bestSingle.toString().c_str(),
+                sweep.bestAll.toString().c_str());
+  }
+  return 0;
+}

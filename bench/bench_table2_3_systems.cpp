@@ -1,0 +1,14 @@
+/// \file bench_table2_3_systems.cpp
+/// \brief Regenerates the system inventories of Tables 2 and 3.
+
+#include <cstdio>
+
+#include "report/tables.hpp"
+
+int main() {
+  using namespace nodebench;
+  std::fputs(report::buildTable2().renderAscii().c_str(), stdout);
+  std::printf("\n");
+  std::fputs(report::buildTable3().renderAscii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// \file bench_table4_cpu.cpp
+/// \brief Regenerates Table 4 of the paper (CPU memory bandwidth + MPI
+/// latency on the five non-accelerator DOE systems) and prints a
+/// paper-vs-measured comparison. Usage: bench_table4_cpu [--runs N]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "report/paper_reference.hpp"
+#include "report/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const auto opt = benchtool::optionsFromArgs(argc, argv);
+  std::printf("Regenerating Table 4 (%d binary runs per cell)...\n\n",
+              opt.binaryRuns);
+
+  const auto rows = report::computeTable4(opt);
+  std::fputs(report::renderTable4(rows).renderAscii().c_str(), stdout);
+  std::printf("\n");
+
+  benchtool::Comparison cmp("Table 4: paper vs measured");
+  for (const auto& row : rows) {
+    const auto& ref = report::paper::table4Row(row.machine->info.name);
+    const std::string n = row.machine->info.name;
+    cmp.add(n + " single (GB/s)", ref.singleGBps, row.singleGBps);
+    cmp.add(n + " all (GB/s)", ref.allGBps, row.allGBps);
+    cmp.add(n + " on-socket (us)", ref.onSocketUs, row.onSocketUs);
+    cmp.add(n + " on-node (us)", ref.onNodeUs, row.onNodeUs);
+    cmp.addSeparator();
+  }
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// \file bench_table5_gpu.cpp
+/// \brief Regenerates Table 5 (GPU device bandwidth via BabelStream and
+/// host/device MPI latency via osu_latency on the eight accelerator DOE
+/// systems) and prints a paper-vs-measured comparison.
+/// Usage: bench_table5_gpu [--runs N]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "report/paper_reference.hpp"
+#include "report/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const auto opt = benchtool::optionsFromArgs(argc, argv);
+  std::printf("Regenerating Table 5 (%d binary runs per cell)...\n\n",
+              opt.binaryRuns);
+
+  const auto rows = report::computeTable5(opt);
+  std::fputs(report::renderTable5(rows).renderAscii().c_str(), stdout);
+  std::printf("\n");
+
+  benchtool::Comparison cmp("Table 5: paper vs measured");
+  for (const auto& row : rows) {
+    const auto& ref = report::paper::table5Row(row.machine->info.name);
+    const std::string n = row.machine->info.name;
+    cmp.add(n + " device BW (GB/s)", ref.deviceGBps, row.deviceGBps);
+    cmp.add(n + " host-host (us)", ref.hostToHostUs, row.hostToHostUs);
+    for (int c = 0; c < 4; ++c) {
+      if (ref.d2dUs[c] && row.deviceToDeviceUs[c]) {
+        cmp.add(n + " D2D " + std::string(1, static_cast<char>('A' + c)) +
+                    " (us)",
+                *ref.d2dUs[c], *row.deviceToDeviceUs[c]);
+      }
+    }
+    cmp.addSeparator();
+  }
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// \file bench_table6_commscope.cpp
+/// \brief Regenerates Table 6 (Comm|Scope kernel launch / empty-queue
+/// wait / transfer latency and bandwidth on the accelerator systems) and
+/// prints a paper-vs-measured comparison. Usage: [--runs N]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "report/paper_reference.hpp"
+#include "report/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const auto opt = benchtool::optionsFromArgs(argc, argv);
+  std::printf("Regenerating Table 6 (%d binary runs per cell)...\n\n",
+              opt.binaryRuns);
+
+  const auto rows = report::computeTable6(opt);
+  std::fputs(report::renderTable6(rows).renderAscii().c_str(), stdout);
+  std::printf("\n");
+
+  benchtool::Comparison cmp("Table 6: paper vs measured");
+  for (const auto& row : rows) {
+    const auto& ref = report::paper::table6Row(row.machine->info.name);
+    const std::string n = row.machine->info.name;
+    cmp.add(n + " launch (us)", ref.launchUs, row.launchUs);
+    cmp.add(n + " wait (us)", ref.waitUs, row.waitUs);
+    cmp.add(n + " H<->D lat (us)", ref.hostDeviceLatencyUs,
+            row.hostDeviceLatencyUs);
+    cmp.add(n + " H<->D BW (GB/s)", ref.hostDeviceBandwidthGBps,
+            row.hostDeviceBandwidthGBps);
+    for (int c = 0; c < 4; ++c) {
+      if (ref.d2dUs[c] && row.d2dLatencyUs[c]) {
+        cmp.add(n + " D2D " + std::string(1, static_cast<char>('A' + c)) +
+                    " (us)",
+                *ref.d2dUs[c], *row.d2dLatencyUs[c]);
+      }
+    }
+    cmp.addSeparator();
+  }
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// \file bench_table7_summary.cpp
+/// \brief Regenerates Table 7 (min-max ranges of every Table 5/6 mean per
+/// accelerator model) and prints the paper's published ranges alongside.
+/// Usage: [--runs N]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "report/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const auto opt = benchtool::optionsFromArgs(argc, argv);
+  std::printf("Regenerating Table 7 (%d binary runs per cell)...\n\n",
+              opt.binaryRuns);
+
+  const auto t5 = report::computeTable5(opt);
+  const auto t6 = report::computeTable6(opt);
+  std::fputs(report::buildTable7(t5, t6).renderAscii().c_str(), stdout);
+
+  std::printf(
+      "\nPaper's Table 7 for reference:\n"
+      "  V100   | 786.43-861.40   | 18.10-18.72 | 4.13-4.84 | 4.31-5.59 |"
+      " 7.27-7.82   | 44.88-63.40 | 23.91-24.97\n"
+      "  A100   | 1362.75-1363.74 | 10.42-13.50 | 1.77-1.83 | 0.98-1.32 |"
+      " 4.24-5.33   | 23.71-24.74 | 14.74-32.84\n"
+      "  MI250X | 1291.38-1336.81 | 0.44-0.50   | 1.51-2.16 | 0.12-0.14 |"
+      " 12.19-12.91 | 24.87-24.88 | 9.85-12.02\n");
+  return 0;
+}

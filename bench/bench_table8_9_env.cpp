@@ -1,0 +1,15 @@
+/// \file bench_table8_9_env.cpp
+/// \brief Regenerates the software-environment inventories of Tables 8
+/// and 9 (appendix A of the paper).
+
+#include <cstdio>
+
+#include "report/tables.hpp"
+
+int main() {
+  using namespace nodebench;
+  std::fputs(report::buildTable8().renderAscii().c_str(), stdout);
+  std::printf("\n");
+  std::fputs(report::buildTable9().renderAscii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// \file custom_machine.cpp
+/// \brief Builds a *hypothetical* system from scratch through the public
+/// API — the paper's future-work scenario of comparing against vendors
+/// the DOE doesn't field (an Arm CPU host with next-generation GPUs) —
+/// and runs the full benchmark suite against it.
+///
+/// This is the template to copy when modelling your own machine: describe
+/// the topology, state the primitive performance parameters, and every
+/// benchmark in the suite works unchanged.
+
+#include <cstdio>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "commscope/commscope.hpp"
+#include "machines/machine.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+#include "report/figures.hpp"
+
+namespace {
+
+using namespace nodebench;
+using namespace nodebench::literals;
+
+machines::Machine makeHypotheticalArmNode() {
+  machines::Machine m;
+  m.info = machines::SystemInfo{"ArmStar", 0, "hypothetical",
+                                "Arm Neoverse V2 (72c)", "HG100"};
+  m.env = machines::SoftwareEnv{"clang/18", "hgsdk/1.0", "openmpi/5.0"};
+  m.seed = 0xa23a57a2u;
+
+  // --- topology: one 72-core socket, 4 NUMA domains, 4 GPUs -------------
+  topo::NodeTopology& node = m.topology;
+  const auto socket = node.addSocket(m.info.cpuModel);
+  for (int d = 0; d < 4; ++d) {
+    const auto numa = node.addNumaDomain(socket);
+    node.addCores(numa, 18, /*smtThreads=*/1);
+  }
+  std::vector<topo::GpuId> gpus;
+  for (int g = 0; g < 4; ++g) {
+    gpus.push_back(node.addGpu("HG100", socket, ByteCount::gib(96)));
+    // Coherent CPU-GPU links: low latency, high bandwidth.
+    node.connectHostGpu(socket, gpus.back(), topo::LinkType::NVLink3,
+                        0.25_us, Bandwidth::gbps(150.0));
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      node.connectGpuPeer(gpus[i], gpus[j], topo::LinkType::NVLink3, 6,
+                          0.20_us, Bandwidth::gbps(150.0));
+    }
+  }
+  node.setGpuFlavor(topo::GpuInterconnectFlavor::NvlinkAllToAll);
+
+  // --- primitive performance parameters ---------------------------------
+  m.hostMemory.perCoreBw = Bandwidth::gbps(35.0);
+  m.hostMemory.perNumaSaturation = Bandwidth::gbps(110.0);
+  m.hostMemory.peak = Bandwidth::gbps(500.0);
+  m.hostMemory.peakNote = "500 (hypothetical)";
+
+  m.hostMpi.softwareOverhead = 0.22_us;
+  m.hostMpi.sameNumaHop = 0.04_us;
+  m.hostMpi.crossNumaHop = 0.08_us;
+  m.hostMpi.crossSocketHop = 0.15_us;
+
+  machines::DeviceParams d;
+  d.hbmBw = Bandwidth::gbps(3200.0);
+  d.hbmPeak = Bandwidth::gbps(4000.0);
+  d.hbmPeakNote = "4000 (hypothetical)";
+  d.kernelLaunch = 1.2_us;
+  d.syncWait = 0.3_us;
+  d.memcpyCallOverhead = 0.8_us;
+  d.h2dDmaSetup = 1.5_us;
+  d.d2dDmaSetup = 4.0_us;
+  m.device = d;
+  m.deviceMpi = machines::DeviceMpiParams{2.0_us, 0.01};
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const machines::Machine m = makeHypotheticalArmNode();
+  std::printf("== %s: a machine that does not exist yet ==\n\n",
+              m.info.name.c_str());
+  std::fputs(report::linkClassLegend(m).c_str(), stdout);
+
+  babelstream::SimDeviceBackend stream(m, 0);
+  babelstream::DriverConfig scfg;
+  scfg.arrayBytes = ByteCount::gib(1);
+  const auto bw = babelstream::run(stream, scfg).best();
+  std::printf("\nBabelStream %s: %s GB/s\n",
+              babelstream::streamOpName(bw.op).data(),
+              bw.bandwidthGBps.toString().c_str());
+
+  const auto [a, b] = osu::devicePair(m, topo::LinkClass::A);
+  osu::LatencyConfig lcfg;
+  const auto lat =
+      osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Device)
+          .measure(lcfg);
+  std::printf("osu_latency D2D: %s us\n", lat.latencyUs.toString().c_str());
+
+  commscope::CommScope scope(m);
+  const commscope::Config ccfg;
+  std::printf("Comm|Scope launch %s us, wait %s us, H<->D %s us / %s GB/s\n",
+              scope.kernelLaunchUs(ccfg).toString().c_str(),
+              scope.syncWaitUs(ccfg).toString().c_str(),
+              scope.hostDeviceLatencyUs(ccfg).toString().c_str(),
+              scope.hostDeviceBandwidthGBps(ccfg).toString().c_str());
+
+  std::printf(
+      "\nCompare with Table 7 of the paper: this hypothetical node would "
+      "sit above every studied system on bandwidth and below the A100s "
+      "on launch latency.\n");
+  return 0;
+}

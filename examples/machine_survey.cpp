@@ -1,0 +1,101 @@
+/// \file machine_survey.cpp
+/// \brief The paper's core use case: a developer of a portable
+/// application wants to compare machine characteristics *across*
+/// platforms, not study one machine in isolation (§1). This example
+/// surveys all thirteen systems and prints a compact cross-machine
+/// comparison ranked by each metric.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "babelstream/sim_omp_backend.hpp"
+#include "commscope/commscope.hpp"
+#include "core/table.hpp"
+#include "machines/registry.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+struct SurveyRow {
+  const machines::Machine* machine;
+  double memoryBw = 0.0;   // GB/s (device on GPU systems, host otherwise)
+  double mpiLatency = 0.0; // us (device pair on GPU systems)
+  double launch = -1.0;    // us, GPU systems only
+};
+
+SurveyRow survey(const machines::Machine& m) {
+  SurveyRow row{&m};
+  babelstream::DriverConfig scfg;
+  scfg.binaryRuns = 20;
+  osu::LatencyConfig lcfg;
+  lcfg.binaryRuns = 20;
+
+  if (m.accelerated()) {
+    babelstream::SimDeviceBackend stream(m, 0);
+    scfg.arrayBytes = ByteCount::gib(1);
+    row.memoryBw = babelstream::run(stream, scfg).best().bandwidthGBps.mean;
+    const auto [a, b] = osu::devicePair(m, topo::LinkClass::A);
+    row.mpiLatency =
+        osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Device)
+            .measure(lcfg)
+            .latencyUs.mean;
+    commscope::CommScope scope(m);
+    commscope::Config ccfg;
+    ccfg.binaryRuns = 20;
+    row.launch = scope.kernelLaunchUs(ccfg).mean;
+  } else {
+    babelstream::SimOmpBackend stream(
+        m, ompenv::OmpConfig{m.coreCount(), ompenv::ProcBind::Spread,
+                             ompenv::Places::Cores});
+    row.memoryBw = babelstream::run(stream, scfg).best().bandwidthGBps.mean;
+    const auto [a, b] = osu::onSocketPair(m);
+    row.mpiLatency =
+        osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Host)
+            .measure(lcfg)
+            .latencyUs.mean;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<SurveyRow> rows;
+  for (const machines::Machine& m : machines::allMachines()) {
+    std::printf("surveying %s...\n", m.info.name.c_str());
+    rows.push_back(survey(m));
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.memoryBw > b.memoryBw;
+  });
+
+  Table t({"System", "Type", "Stream BW (GB/s)", "MPI latency (us)",
+           "Kernel launch (us)"});
+  t.setTitle("Cross-machine survey, ranked by achievable memory bandwidth");
+  t.setAlign(1, Align::Left);
+  for (const SurveyRow& row : rows) {
+    t.addRow({row.machine->info.name,
+              row.machine->accelerated()
+                  ? row.machine->info.acceleratorModel
+                  : row.machine->info.cpuModel,
+              formatFixed(row.memoryBw, 1), formatFixed(row.mpiLatency, 2),
+              row.launch >= 0.0 ? formatFixed(row.launch, 2)
+                                : std::string("-")});
+  }
+  std::printf("\n%s", t.renderAscii().c_str());
+
+  std::printf(
+      "\nReading guide: GPU rows report device-resident benchmarks "
+      "(BabelStream on one GCD for MI250X systems), CPU rows the host "
+      "equivalents, so the table answers the paper's motivating "
+      "questions — realizable bandwidth and the latencies an application "
+      "actually sees — in one place.\n");
+  return 0;
+}

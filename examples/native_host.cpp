@@ -1,0 +1,63 @@
+/// \file native_host.cpp
+/// \brief Runs the benchmark instruments against *this* machine, not a
+/// simulated one: the same BabelStream driver over real threads and
+/// memory, and a real shared-memory ping-pong. This is how you would use
+/// nodebench to produce a Table-4-style row for your own hardware.
+///
+///   $ ./native_host [--threads N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "babelstream/driver.hpp"
+#include "core/table.hpp"
+#include "native/pingpong_native.hpp"
+#include "native/stream_native.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  int threads = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoi(argv[i + 1]);
+    }
+  }
+
+  // BabelStream, best over ops, single thread and full team — the
+  // "Single" and "All" columns of Table 4 for this host.
+  babelstream::DriverConfig cfg;
+  cfg.arrayBytes = ByteCount::mib(64);
+  cfg.binaryRuns = 5;  // real measurements: keep the demo quick
+
+  native::NativeStreamBackend single(1, /*pinToCores=*/true);
+  native::NativeStreamBackend team(threads, /*pinToCores=*/true);
+  const auto singleRun = babelstream::run(single, cfg);
+  const auto teamRun = babelstream::run(team, cfg);
+
+  Table t({"Backend", "Best op", "Bandwidth (GB/s)"});
+  t.setTitle("BabelStream on this host (real measurement)");
+  t.setAlign(1, Align::Left);
+  t.addRow({single.name(),
+            std::string(babelstream::streamOpName(singleRun.best().op)),
+            singleRun.best().bandwidthGBps.toString()});
+  t.addRow({team.name(),
+            std::string(babelstream::streamOpName(teamRun.best().op)),
+            teamRun.best().bandwidthGBps.toString()});
+  std::fputs(t.renderAscii().c_str(), stdout);
+
+  // Shared-memory ping-pong: the host "on-socket MPI latency" analogue.
+  native::NativePingPongConfig pcfg;
+  pcfg.iterations = 5000;
+  pcfg.warmupIterations = 500;
+  pcfg.cores = {{0, 1}};
+  std::printf("\nshared-memory ping-pong (8 B, cores 0-1): %.3f us one-way\n",
+              native::nativePingPongOneWay(pcfg).us());
+
+  native::NativePingPongConfig big = pcfg;
+  big.messageSize = ByteCount::kib(64);
+  big.iterations = 1000;
+  std::printf("shared-memory ping-pong (64 KiB):          %.3f us one-way\n",
+              native::nativePingPongOneWay(big).us());
+  return 0;
+}

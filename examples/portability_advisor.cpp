@@ -1,0 +1,137 @@
+/// \file portability_advisor.cpp
+/// \brief Domain scenario from the paper's introduction: a developer of a
+/// performance-portable application wants a "first stop" answer to how
+/// their code will behave across DOE systems.
+///
+/// Given a simple application profile — bytes streamed per step, kernels
+/// launched per step, MPI messages per step — this example composes the
+/// microbenchmark results into a per-machine time-per-step estimate and
+/// flags which resource dominates on each system. (A roofline-style
+/// estimate built *only* from quantities the paper measures.)
+///
+///   $ ./portability_advisor [--bytes-gb 2] [--kernels 500] [--messages 200]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "babelstream/sim_omp_backend.hpp"
+#include "commscope/commscope.hpp"
+#include "core/table.hpp"
+#include "machines/registry.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+struct AppProfile {
+  double bytesStreamedGB = 2.0;  ///< HBM/DRAM traffic per step
+  int kernelLaunches = 500;      ///< device kernels per step
+  int mpiMessages = 200;         ///< small point-to-point messages per step
+};
+
+struct Estimate {
+  const machines::Machine* machine;
+  double streamMs;
+  double launchMs;
+  double mpiMs;
+  [[nodiscard]] double totalMs() const {
+    return streamMs + launchMs + mpiMs;
+  }
+  [[nodiscard]] const char* dominant() const {
+    if (streamMs >= launchMs && streamMs >= mpiMs) {
+      return "memory bandwidth";
+    }
+    return launchMs >= mpiMs ? "kernel launch" : "MPI latency";
+  }
+};
+
+Estimate estimate(const machines::Machine& m, const AppProfile& app) {
+  Estimate e{&m, 0.0, 0.0, 0.0};
+  babelstream::DriverConfig scfg;
+  scfg.binaryRuns = 10;
+  osu::LatencyConfig lcfg;
+  lcfg.binaryRuns = 10;
+
+  double bwGBps = 0.0;
+  double mpiUs = 0.0;
+  double launchUs = 0.0;
+  if (m.accelerated()) {
+    babelstream::SimDeviceBackend stream(m, 0);
+    scfg.arrayBytes = ByteCount::gib(1);
+    bwGBps = babelstream::run(stream, scfg).best().bandwidthGBps.mean;
+    const auto [a, b] = osu::devicePair(m, topo::LinkClass::A);
+    mpiUs = osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Device)
+                .measure(lcfg)
+                .latencyUs.mean;
+    commscope::CommScope scope(m);
+    commscope::Config ccfg;
+    ccfg.binaryRuns = 10;
+    launchUs = scope.kernelLaunchUs(ccfg).mean;
+  } else {
+    babelstream::SimOmpBackend stream(
+        m, ompenv::OmpConfig{m.coreCount(), ompenv::ProcBind::Spread,
+                             ompenv::Places::Cores});
+    bwGBps = babelstream::run(stream, scfg).best().bandwidthGBps.mean;
+    const auto [a, b] = osu::onSocketPair(m);
+    mpiUs = osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Host)
+                .measure(lcfg)
+                .latencyUs.mean;
+  }
+  e.streamMs = app.bytesStreamedGB / bwGBps * 1000.0;
+  e.launchMs = launchUs * app.kernelLaunches / 1000.0;
+  e.mpiMs = mpiUs * app.mpiMessages / 1000.0;
+  return e;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AppProfile app;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--bytes-gb") == 0) {
+      app.bytesStreamedGB = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--kernels") == 0) {
+      app.kernelLaunches = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--messages") == 0) {
+      app.mpiMessages = std::atoi(argv[i + 1]);
+    }
+  }
+  std::printf(
+      "Application profile per step: %.2f GB streamed, %d kernel "
+      "launches, %d small MPI messages\n\n",
+      app.bytesStreamedGB, app.kernelLaunches, app.mpiMessages);
+
+  std::vector<Estimate> estimates;
+  for (const machines::Machine& m : machines::allMachines()) {
+    estimates.push_back(estimate(m, app));
+  }
+  std::sort(estimates.begin(), estimates.end(),
+            [](const auto& a, const auto& b) {
+              return a.totalMs() < b.totalMs();
+            });
+
+  Table t({"System", "Stream (ms)", "Launch (ms)", "MPI (ms)",
+           "Total (ms)", "Dominated by"});
+  t.setTitle("Estimated time per application step (best system first)");
+  t.setAlign(5, Align::Left);
+  for (const Estimate& e : estimates) {
+    t.addRow({e.machine->info.name, formatFixed(e.streamMs, 3),
+              formatFixed(e.launchMs, 3), formatFixed(e.mpiMs, 3),
+              formatFixed(e.totalMs(), 3), e.dominant()});
+  }
+  std::fputs(t.renderAscii().c_str(), stdout);
+  std::printf(
+      "\nLaunch-heavy profiles favour MI250X/A100 systems (1.5-2.2 us "
+      "launches vs 4-5 us on V100); message-heavy profiles punish the "
+      "V100 systems' ~18 us staging path; bandwidth-bound profiles track "
+      "Table 5's device bandwidth column. Try --kernels 5000 or "
+      "--messages 5000 to move the crossover.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the nodebench public API: pick a machine,
+/// look at its node, and run the three benchmark suites of the paper
+/// against it.
+///
+///   $ ./quickstart [machine]        (default: Frontier)
+
+#include <cstdio>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "commscope/commscope.hpp"
+#include "machines/registry.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+#include "report/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+
+  // 1. Pick a system from the June-2023 Top500 study.
+  const machines::Machine& m =
+      machines::byName(argc > 1 ? argv[1] : "Frontier");
+  std::printf("== %s (Top500 rank %d, %s) ==\n\n", m.info.name.c_str(),
+              m.info.top500Rank, m.info.location.c_str());
+
+  // 2. Look at the node.
+  std::fputs(report::nodeDiagram(m).c_str(), stdout);
+
+  // 3. BabelStream: achievable memory bandwidth.
+  if (m.accelerated()) {
+    babelstream::SimDeviceBackend stream(m, /*device=*/0);
+    babelstream::DriverConfig cfg;
+    cfg.arrayBytes = ByteCount::gib(1);
+    const auto result = babelstream::run(stream, cfg);
+    std::printf("\nBabelStream best op (%s): %s GB/s (peak %s)\n",
+                babelstream::streamOpName(result.best().op).data(),
+                result.best().bandwidthGBps.toString().c_str(),
+                m.device->hbmPeakNote.c_str());
+  }
+
+  // 4. osu_latency: host pair and, on GPU machines, the class-A pair.
+  osu::LatencyConfig lcfg;
+  const auto [hostA, hostB] = osu::onSocketPair(m);
+  const auto hostLat =
+      osu::LatencyBenchmark(m, hostA, hostB, mpisim::BufferSpace::Kind::Host)
+          .measure(lcfg);
+  std::printf("MPI latency host-to-host: %s us\n",
+              hostLat.latencyUs.toString().c_str());
+  if (m.accelerated()) {
+    const auto [devA, devB] = osu::devicePair(m, topo::LinkClass::A);
+    const auto devLat = osu::LatencyBenchmark(
+                            m, devA, devB, mpisim::BufferSpace::Kind::Device)
+                            .measure(lcfg);
+    std::printf("MPI latency device-to-device (class A): %s us\n",
+                devLat.latencyUs.toString().c_str());
+
+    // 5. Comm|Scope: runtime costs every kernel pays.
+    commscope::CommScope scope(m);
+    const commscope::Config ccfg;
+    std::printf("kernel launch: %s us, empty-queue wait: %s us\n",
+                scope.kernelLaunchUs(ccfg).toString().c_str(),
+                scope.syncWaitUs(ccfg).toString().c_str());
+    std::printf("pinned<->device: %s us latency, %s GB/s\n",
+                scope.hostDeviceLatencyUs(ccfg).toString().c_str(),
+                scope.hostDeviceBandwidthGBps(ccfg).toString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file stencil_proxy.cpp
+/// \brief Runs the halo-exchange stencil proxy across the studied
+/// machines — the mini-app view of the paper's microbenchmark data — and
+/// optionally writes a Chrome-trace timeline of one run.
+///
+///   $ ./stencil_proxy [--ranks N] [--cells N] [--halo N] [--trace out.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/table.hpp"
+#include "machines/registry.hpp"
+#include "workload/stencil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  workload::StencilConfig cfg;
+  std::string tracePath;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--ranks") == 0) {
+      cfg.ranks = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--cells") == 0) {
+      cfg.cellsPerRank = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--halo") == 0) {
+      cfg.haloCells = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      tracePath = argv[i + 1];
+    }
+  }
+
+  Table t({"System", "Mode", "Total/iter (us)", "Compute (us)",
+           "Halo (us)", "Reduce (us)", "Halo frac", "Mcells/s"});
+  t.setTitle("Halo-exchange stencil proxy across the studied systems");
+  t.setAlign(1, Align::Left);
+
+  const auto addRow = [&](const machines::Machine& m, bool device) {
+    workload::StencilConfig c = cfg;
+    c.useDevice = device;
+    if (device) {
+      c.ranks = std::min(c.ranks, m.topology.gpuCount());
+    }
+    const auto r = workload::runStencil(m, c);
+    t.addRow({m.info.name, device ? "device" : "host",
+              formatFixed(r.totalPerIteration.us(), 1),
+              formatFixed(r.computePerIteration.us(), 1),
+              formatFixed(r.haloPerIteration.us(), 1),
+              formatFixed(r.reducePerIteration.us(), 1),
+              formatFixed(r.haloFraction(), 3),
+              formatFixed(r.cellsPerSecond / 1e6, 0)});
+  };
+
+  for (const machines::Machine& m : machines::allMachines()) {
+    addRow(m, false);
+    if (m.accelerated()) {
+      addRow(m, true);
+    }
+  }
+  std::fputs(t.renderAscii().c_str(), stdout);
+
+  if (!tracePath.empty()) {
+    mpisim::Tracer tracer;
+    workload::StencilConfig c = cfg;
+    c.useDevice = true;
+    const machines::Machine& frontier = machines::byName("Frontier");
+    c.ranks = std::min(cfg.ranks, frontier.topology.gpuCount());
+    (void)workload::runStencil(frontier, c, &tracer);
+    std::ofstream out(tracePath);
+    out << tracer.toChromeJson();
+    std::printf("\nwrote Chrome trace of the Frontier device run to %s "
+                "(open in chrome://tracing or Perfetto)\n\n%s",
+                tracePath.c_str(),
+                tracer.summaryTable(c.ranks).c_str());
+  }
+
+  std::printf(
+      "\nThe host/device contrast and the halo fraction tie the paper's "
+      "Table 4-6 quantities to application-level behaviour: V100-era "
+      "nodes lose ground on compute bandwidth, MI250X nodes on halo "
+      "latency the moment messages leave the GPU-RMA path.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file topology_explorer.cpp
+/// \brief Walks a machine's node topology through the public API: the
+/// diagram, every GPU pair's link class, and the resolved route (hops,
+/// latency, bottleneck bandwidth) between any two devices.
+///
+///   $ ./topology_explorer [machine]   (default: Summit)
+
+#include <cstdio>
+
+#include "machines/registry.hpp"
+#include "report/figures.hpp"
+#include "topo/dot.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nodebench;
+  const machines::Machine& m =
+      machines::byName(argc > 1 ? argv[1] : "Summit");
+  const topo::NodeTopology& topology = m.topology;
+
+  std::fputs(report::nodeDiagram(m).c_str(), stdout);
+  std::printf("\nsockets=%d numa=%d cores=%d hwthreads=%d gpus=%d\n\n",
+              topology.socketCount(), topology.numaCount(),
+              topology.coreCount(), m.hardwareThreadCount(),
+              topology.gpuCount());
+
+  std::fputs(report::linkClassLegend(m).c_str(), stdout);
+
+  if (topology.gpuCount() >= 2) {
+    std::printf("\nResolved routes between all GPU pairs:\n");
+    for (int i = 0; i < topology.gpuCount(); ++i) {
+      for (int j = i + 1; j < topology.gpuCount(); ++j) {
+        const auto route =
+            topology.routeGpuToGpu(topo::GpuId{i}, topo::GpuId{j});
+        std::printf(
+            "  gpu%d -> gpu%d: class %s, %zu hop%s, %.2f us, %.0f GB/s "
+            "bottleneck\n",
+            i, j,
+            topo::linkClassName(
+                topology.gpuPairClass(topo::GpuId{i}, topo::GpuId{j}))
+                .data(),
+            route.hops.size(), route.hops.size() == 1 ? "" : "s",
+            route.latency.us(), route.bottleneck.inGBps());
+      }
+    }
+  }
+
+  std::printf("\nGraphviz (pipe into `dot -Tsvg`):\n\n%s",
+              topo::toDot(topology, m.info.name).c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+/// \file backend.hpp
+/// \brief Backend interface of the BabelStream driver, mirroring the real
+/// benchmark's pluggable programming-model backends (OpenMP / CUDA / HIP).
+
+#include <string>
+
+#include "babelstream/kernels.hpp"
+#include "core/units.hpp"
+
+namespace nodebench::babelstream {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  Backend() = default;
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// Human-readable backend name ("omp-sim", "device-sim", "native").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Time for one iteration of `op` on arrays of `arrayBytes` each (the
+  /// noiseless truth for simulated backends; a real measurement for the
+  /// native backend).
+  [[nodiscard]] virtual Duration iterationTime(StreamOp op,
+                                               ByteCount arrayBytes) = 0;
+
+  /// Run-to-run coefficient of variation of this backend's measurements
+  /// (simulated backends: from machine calibration; native: 0, real
+  /// jitter is already in iterationTime).
+  [[nodiscard]] virtual double noiseCv() const = 0;
+};
+
+}  // namespace nodebench::babelstream

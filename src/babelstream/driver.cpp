@@ -1,0 +1,62 @@
+#include "babelstream/driver.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace nodebench::babelstream {
+
+const OpResult& RunResult::best() const {
+  NB_EXPECTS(!ops.empty());
+  const auto it =
+      std::max_element(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+        return a.bandwidthGBps.mean < b.bandwidthGBps.mean;
+      });
+  return *it;
+}
+
+namespace {
+
+Summary measureOp(Backend& backend, StreamOp op, const DriverConfig& cfg) {
+  const NoiseModel noise(backend.noiseCv());
+  Welford acc;
+  for (int run = 0; run < cfg.binaryRuns; ++run) {
+    Xoshiro256 rng(cfg.seed + 0x9e3779b9u * static_cast<std::uint64_t>(run) +
+                   static_cast<std::uint64_t>(op));
+    const double factor = noise.sampleFactor(rng);
+    const Duration iter = backend.iterationTime(op, cfg.arrayBytes) * factor;
+    NB_ENSURES(iter > Duration::zero());
+    const double bw =
+        countedBytes(op, cfg.arrayBytes).asDouble() / iter.ns();  // GB/s
+    acc.add(bw);
+  }
+  return acc.summary();
+}
+
+}  // namespace
+
+RunResult run(Backend& backend, const DriverConfig& config) {
+  NB_EXPECTS(config.binaryRuns > 0);
+  NB_EXPECTS(config.arrayBytes.count() > 0);
+  RunResult result;
+  result.ops.reserve(kAllOps.size());
+  for (const StreamOp op : kAllOps) {
+    result.ops.push_back(
+        OpResult{op, config.arrayBytes, measureOp(backend, op, config)});
+  }
+  return result;
+}
+
+std::vector<OpResult> sizeSweep(Backend& backend, StreamOp op,
+                                const DriverConfig& config) {
+  std::vector<OpResult> out;
+  for (ByteCount size = ByteCount::kib(16); size <= config.arrayBytes;
+       size = size * 2ull) {
+    DriverConfig cfg = config;
+    cfg.arrayBytes = size;
+    out.push_back(OpResult{op, size, measureOp(backend, op, cfg)});
+  }
+  return out;
+}
+
+}  // namespace nodebench::babelstream

@@ -1,0 +1,37 @@
+#include "babelstream/sim_device_backend.hpp"
+
+namespace nodebench::babelstream {
+
+SimDeviceBackend::SimDeviceBackend(const machines::Machine& machine,
+                                   int device)
+    : runtime_(machine), device_(device) {
+  NB_EXPECTS(device >= 0 && device < runtime_.deviceCount());
+}
+
+std::string SimDeviceBackend::name() const {
+  return "device-sim(" + runtime_.machine().info.name + ":gpu" +
+         std::to_string(device_) + ")";
+}
+
+Duration SimDeviceBackend::iterationTime(StreamOp op, ByteCount arrayBytes) {
+  NB_EXPECTS(arrayBytes.count() > 0);
+  const machines::DeviceParams& d = *runtime_.machine().device;
+  // Device HBM does not pay CPU-style write-allocate under BabelStream's
+  // streaming access pattern: actual == counted.
+  const double traffic = countedFactor(op) * arrayBytes.asDouble();
+  const Duration kernel =
+      Duration::nanoseconds(traffic / d.hbmBw.bytesPerNanosecond());
+
+  runtime_.reset();
+  const gpusim::StreamId stream = runtime_.defaultStream(device_);
+  const Duration start = runtime_.hostNow();
+  runtime_.launchKernel(stream, kernel);
+  runtime_.streamSynchronize(stream);
+  return runtime_.hostNow() - start;
+}
+
+double SimDeviceBackend::noiseCv() const {
+  return runtime_.machine().device->cvBw;
+}
+
+}  // namespace nodebench::babelstream

@@ -1,0 +1,35 @@
+#pragma once
+/// \file sim_device_backend.hpp
+/// \brief BabelStream's CUDA/HIP backend over the simulated GPU runtime.
+///
+/// Each iteration launches one kernel on the device's default stream and
+/// synchronizes, exactly like the real backend's per-op timing loop; the
+/// kernel's execution time is the op's memory traffic over the device's
+/// achievable HBM bandwidth. On MI250X machines a "device" is one GCD,
+/// reproducing the paper's note that BabelStream only exercises half the
+/// package.
+
+#include "babelstream/backend.hpp"
+#include "gpusim/gpu_runtime.hpp"
+#include "machines/machine.hpp"
+
+namespace nodebench::babelstream {
+
+class SimDeviceBackend final : public Backend {
+ public:
+  /// The machine must outlive the backend.
+  SimDeviceBackend(const machines::Machine& machine, int device);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Duration iterationTime(StreamOp op,
+                                       ByteCount arrayBytes) override;
+  [[nodiscard]] double noiseCv() const override;
+
+  [[nodiscard]] gpusim::GpuRuntime& runtime() { return runtime_; }
+
+ private:
+  gpusim::GpuRuntime runtime_;
+  int device_;
+};
+
+}  // namespace nodebench::babelstream

@@ -1,0 +1,414 @@
+/// \file main.cpp
+/// \brief `nodebench` command-line tool.
+///
+/// Subcommands:
+///   list                          system inventory (Tables 2+3)
+///   topo <machine> [--dot]        node diagram / DOT export (Figures 1-3)
+///   table <n|all> [--runs N]      regenerate paper table n (1..9)
+///   stream <machine> [--device d] BabelStream on one machine
+///   latency <machine> [--pair P] [--size B]   osu_latency (P: on-socket,
+///                                 on-node, A, B, C, D)
+///   commscope <machine>           Comm|Scope suite on one machine
+///   native [--threads N]          real BabelStream + ping-pong on this host
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "babelstream/sim_omp_backend.hpp"
+#include "commscope/commscope.hpp"
+#include "core/error.hpp"
+#include "machines/machine_card.hpp"
+#include "machines/machine_json.hpp"
+#include "machines/registry.hpp"
+#include "native/pingpong_native.hpp"
+#include "native/stream_native.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+#include "report/balance.hpp"
+#include "report/export.hpp"
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+#include "topo/dot.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+int usage() {
+  std::cout <<
+      "usage: nodebench <command> [args]\n"
+      "  list                      system inventory (Tables 2+3)\n"
+      "  topo <machine> [--dot]    node diagram (Figures 1-3) / DOT export\n"
+      "  table <1..9|all> [--runs N]  regenerate a paper table\n"
+      "  stream <machine> [--device N]  BabelStream (simulated)\n"
+      "  latency <machine> [--pair on-socket|on-node|A|B|C|D] [--size B]\n"
+      "  commscope <machine>       Comm|Scope suite (simulated)\n"
+      "  card <machine> [--json]   calibrated parameter card\n"
+      "  diff <machine> <machine>  side-by-side comparison\n"
+      "  balance                   machine-balance (flops/byte) table\n"
+      "  export --dir D [--runs N] write all tables as CSV + Markdown\n"
+      "  native [--threads N]      real measurements on this host\n";
+  return 2;
+}
+
+std::optional<std::string> flagValue(std::vector<std::string>& args,
+                                     const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool flagPresent(std::vector<std::string>& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmdList() {
+  std::cout << report::buildTable2().renderAscii() << '\n'
+            << report::buildTable3().renderAscii();
+  return 0;
+}
+
+int cmdTopo(std::vector<std::string> args) {
+  if (args.empty()) {
+    return usage();
+  }
+  const bool dot = flagPresent(args, "--dot");
+  const machines::Machine& m = machines::byName(args[0]);
+  if (dot) {
+    std::cout << topo::toDot(m.topology, m.info.name);
+  } else {
+    std::cout << report::nodeDiagram(m) << '\n'
+              << report::linkClassLegend(m);
+  }
+  return 0;
+}
+
+int cmdTable(std::vector<std::string> args) {
+  if (args.empty()) {
+    return usage();
+  }
+  report::TableOptions opt;
+  if (const auto runs = flagValue(args, "--runs")) {
+    opt.binaryRuns = std::stoi(*runs);
+  }
+  const std::string which = args[0];
+  const auto emit = [&](int n) {
+    switch (n) {
+      case 1: std::cout << report::buildTable1().renderAscii(); break;
+      case 2: std::cout << report::buildTable2().renderAscii(); break;
+      case 3: std::cout << report::buildTable3().renderAscii(); break;
+      case 4:
+        std::cout << report::renderTable4(report::computeTable4(opt))
+                         .renderAscii();
+        break;
+      case 5:
+        std::cout << report::renderTable5(report::computeTable5(opt))
+                         .renderAscii();
+        break;
+      case 6:
+        std::cout << report::renderTable6(report::computeTable6(opt))
+                         .renderAscii();
+        break;
+      case 7:
+        std::cout << report::buildTable7(report::computeTable5(opt),
+                                         report::computeTable6(opt))
+                         .renderAscii();
+        break;
+      case 8: std::cout << report::buildTable8().renderAscii(); break;
+      case 9: std::cout << report::buildTable9().renderAscii(); break;
+      default: throw Error("table number must be 1..9");
+    }
+    std::cout << '\n';
+  };
+  if (which == "all") {
+    for (int n = 1; n <= 9; ++n) {
+      emit(n);
+    }
+  } else {
+    emit(std::stoi(which));
+  }
+  return 0;
+}
+
+void printStream(const babelstream::RunResult& result) {
+  for (const auto& op : result.ops) {
+    std::printf("  %-6s %10.2f +- %.2f GB/s\n",
+                std::string(babelstream::streamOpName(op.op)).c_str(),
+                op.bandwidthGBps.mean, op.bandwidthGBps.stddev);
+  }
+  std::printf("  best: %s (%s)\n",
+              std::string(babelstream::streamOpName(result.best().op)).c_str(),
+              result.best().bandwidthGBps.toString().c_str());
+}
+
+int cmdStream(std::vector<std::string> args) {
+  if (args.empty()) {
+    return usage();
+  }
+  const machines::Machine& m = machines::byName(args[0]);
+  babelstream::DriverConfig cfg;
+  if (m.accelerated()) {
+    int device = 0;
+    if (const auto d = flagValue(args, "--device")) {
+      device = std::stoi(*d);
+    }
+    cfg.arrayBytes = ByteCount::gib(1);
+    babelstream::SimDeviceBackend backend(m, device);
+    std::cout << "BabelStream (device backend) on " << m.info.name << ":\n";
+    printStream(babelstream::run(backend, cfg));
+  } else {
+    const ompenv::OmpConfig omp{m.coreCount(), ompenv::ProcBind::Spread,
+                                ompenv::Places::Cores};
+    babelstream::SimOmpBackend backend(m, omp);
+    std::cout << "BabelStream (OpenMP backend, " << omp.toString() << ") on "
+              << m.info.name << ":\n";
+    printStream(babelstream::run(backend, cfg));
+  }
+  return 0;
+}
+
+int cmdLatency(std::vector<std::string> args) {
+  if (args.empty()) {
+    return usage();
+  }
+  const machines::Machine& m = machines::byName(args[0]);
+  std::string pair = "on-socket";
+  if (const auto p = flagValue(args, "--pair")) {
+    pair = *p;
+  }
+  osu::LatencyConfig cfg;
+  if (const auto s = flagValue(args, "--size")) {
+    cfg.messageSize = ByteCount::bytes(std::stoull(*s));
+  }
+
+  std::optional<osu::PlacementPair> ranks;
+  auto kind = mpisim::BufferSpace::Kind::Host;
+  if (pair == "on-socket") {
+    ranks = osu::onSocketPair(m);
+  } else if (pair == "on-node") {
+    ranks = osu::onNodePair(m);
+  } else if (pair.size() == 1 && pair[0] >= 'A' && pair[0] <= 'D') {
+    ranks = osu::devicePair(m, static_cast<topo::LinkClass>(pair[0] - 'A'));
+    kind = mpisim::BufferSpace::Kind::Device;
+  } else {
+    throw Error("unknown --pair value: " + pair);
+  }
+
+  const osu::LatencyBenchmark bench(m, ranks->first, ranks->second, kind);
+  const auto result = bench.measure(cfg);
+  std::printf("osu_latency on %s (%s, %llu B): %s us\n", m.info.name.c_str(),
+              pair.c_str(),
+              static_cast<unsigned long long>(cfg.messageSize.count()),
+              result.latencyUs.toString().c_str());
+  return 0;
+}
+
+int cmdCommScope(std::vector<std::string> args) {
+  if (args.empty()) {
+    return usage();
+  }
+  const machines::Machine& m = machines::byName(args[0]);
+  commscope::CommScope scope(m);
+  const commscope::Config cfg;
+  const auto all = scope.measureAll(cfg);
+  std::printf("Comm|Scope on %s:\n", m.info.name.c_str());
+  std::printf("  kernel launch : %s us\n", all.launchUs.toString().c_str());
+  std::printf("  sync wait     : %s us\n", all.waitUs.toString().c_str());
+  std::printf("  H<->D latency : %s us\n",
+              all.hostDeviceLatencyUs.toString().c_str());
+  std::printf("  H<->D bw      : %s GB/s\n",
+              all.hostDeviceBandwidthGBps.toString().c_str());
+  for (int c = 0; c < 4; ++c) {
+    if (all.d2dLatencyUs[c]) {
+      std::printf("  D2D class %c   : %s us\n", static_cast<char>('A' + c),
+                  all.d2dLatencyUs[c]->toString().c_str());
+    }
+  }
+  return 0;
+}
+
+int cmdDiff(std::vector<std::string> args) {
+  if (args.size() < 2) {
+    return usage();
+  }
+  const machines::Machine& a = machines::byName(args[0]);
+  const machines::Machine& b = machines::byName(args[1]);
+
+  Table t({"Quantity", a.info.name, b.info.name, "ratio"});
+  t.setTitle("Side-by-side: " + a.info.name + " vs " + b.info.name);
+  const auto row = [&](const std::string& label, double va, double vb,
+                       int precision = 2) {
+    t.addRow({label, formatFixed(va, precision), formatFixed(vb, precision),
+              formatFixed(vb != 0.0 ? va / vb : 0.0, 2)});
+  };
+
+  const auto streamOf = [](const machines::Machine& m) {
+    babelstream::DriverConfig cfg;
+    cfg.binaryRuns = 20;
+    if (m.accelerated()) {
+      cfg.arrayBytes = ByteCount::gib(1);
+      babelstream::SimDeviceBackend backend(m, 0);
+      return babelstream::run(backend, cfg).best().bandwidthGBps.mean;
+    }
+    babelstream::SimOmpBackend backend(
+        m, ompenv::OmpConfig{m.coreCount(), ompenv::ProcBind::Spread,
+                             ompenv::Places::Cores});
+    return babelstream::run(backend, cfg).best().bandwidthGBps.mean;
+  };
+  const auto hostLatOf = [](const machines::Machine& m) {
+    const auto [x, y] = osu::onSocketPair(m);
+    osu::LatencyConfig cfg;
+    cfg.binaryRuns = 20;
+    return osu::LatencyBenchmark(m, x, y, mpisim::BufferSpace::Kind::Host)
+        .measure(cfg)
+        .latencyUs.mean;
+  };
+
+  row("stream bandwidth (GB/s)", streamOf(a), streamOf(b), 1);
+  row("host MPI latency (us)", hostLatOf(a), hostLatOf(b));
+  if (a.accelerated() && b.accelerated()) {
+    const auto devLatOf = [](const machines::Machine& m) {
+      const auto [x, y] = osu::devicePair(m, topo::LinkClass::A);
+      osu::LatencyConfig cfg;
+      cfg.binaryRuns = 20;
+      return osu::LatencyBenchmark(m, x, y,
+                                   mpisim::BufferSpace::Kind::Device)
+          .measure(cfg)
+          .latencyUs.mean;
+    };
+    row("device MPI latency A (us)", devLatOf(a), devLatOf(b));
+    commscope::Config cfg;
+    cfg.binaryRuns = 20;
+    commscope::CommScope sa(a);
+    commscope::CommScope sb(b);
+    row("kernel launch (us)", sa.kernelLaunchUs(cfg).mean,
+        sb.kernelLaunchUs(cfg).mean);
+    row("sync wait (us)", sa.syncWaitUs(cfg).mean,
+        sb.syncWaitUs(cfg).mean);
+    row("H<->D latency (us)", sa.hostDeviceLatencyUs(cfg).mean,
+        sb.hostDeviceLatencyUs(cfg).mean);
+    row("H<->D bandwidth (GB/s)", sa.hostDeviceBandwidthGBps(cfg).mean,
+        sb.hostDeviceBandwidthGBps(cfg).mean);
+  }
+  std::cout << t.renderAscii();
+  return 0;
+}
+
+int cmdCard(std::vector<std::string> args) {
+  const bool json = flagPresent(args, "--json");
+  if (args.empty()) {
+    return usage();
+  }
+  const machines::Machine& m = machines::byName(args[0]);
+  std::cout << (json ? machines::machineJson(m) : machines::machineCard(m));
+  return 0;
+}
+
+int cmdBalance() {
+  std::cout << report::renderBalance(report::computeBalance()).renderAscii();
+  return 0;
+}
+
+int cmdExport(std::vector<std::string> args) {
+  report::TableOptions opt;
+  if (const auto runs = flagValue(args, "--runs")) {
+    opt.binaryRuns = std::stoi(*runs);
+  }
+  std::string dir = "nodebench-export";
+  if (const auto d = flagValue(args, "--dir")) {
+    dir = *d;
+  }
+  const auto manifest = report::exportAllTables(dir, opt);
+  for (const auto& path : manifest.written) {
+    std::cout << "wrote " << path.string() << "\n";
+  }
+  return 0;
+}
+
+int cmdNative(std::vector<std::string> args) {
+  int threads = 0;
+  if (const auto t = flagValue(args, "--threads")) {
+    threads = std::stoi(*t);
+  }
+  native::NativeStreamBackend backend(threads);
+  babelstream::DriverConfig cfg;
+  cfg.arrayBytes = ByteCount::mib(64);
+  cfg.binaryRuns = 5;  // real runs are slow; this is a demo measurement
+  std::cout << "Native BabelStream on this host (" << backend.name()
+            << "):\n";
+  printStream(babelstream::run(backend, cfg));
+
+  native::NativePingPongConfig pcfg;
+  pcfg.cores = {{0, 1}};
+  const Duration lat = native::nativePingPongOneWay(pcfg);
+  std::printf("Native shared-memory ping-pong (cores 0,1, 8 B): %.3f us\n",
+              lat.us());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      return usage();
+    }
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "list") {
+      return cmdList();
+    }
+    if (cmd == "topo") {
+      return cmdTopo(std::move(args));
+    }
+    if (cmd == "table") {
+      return cmdTable(std::move(args));
+    }
+    if (cmd == "stream") {
+      return cmdStream(std::move(args));
+    }
+    if (cmd == "latency") {
+      return cmdLatency(std::move(args));
+    }
+    if (cmd == "commscope") {
+      return cmdCommScope(std::move(args));
+    }
+    if (cmd == "card") {
+      return cmdCard(std::move(args));
+    }
+    if (cmd == "diff") {
+      return cmdDiff(std::move(args));
+    }
+    if (cmd == "balance") {
+      return cmdBalance();
+    }
+    if (cmd == "export") {
+      return cmdExport(std::move(args));
+    }
+    if (cmd == "native") {
+      return cmdNative(std::move(args));
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "nodebench: error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,181 @@
+#include "commscope/commscope.hpp"
+
+namespace nodebench::commscope {
+
+using gpusim::Buffer;
+using gpusim::StreamId;
+using topo::GpuId;
+using topo::LinkClass;
+
+CommScope::CommScope(const machines::Machine& machine) : runtime_(machine) {
+  NB_EXPECTS(runtime_.deviceCount() >= 1);
+}
+
+Duration CommScope::truthKernelLaunch() {
+  runtime_.reset();
+  const StreamId stream = runtime_.defaultStream(0);
+  const Duration start = runtime_.hostNow();
+  runtime_.launchKernel(stream, Duration::zero());  // empty zero-arg kernel
+  return runtime_.hostNow() - start;  // launch only: no synchronize
+}
+
+Duration CommScope::truthSyncWait() {
+  runtime_.reset();
+  const Duration start = runtime_.hostNow();
+  runtime_.deviceSynchronize(0);  // empty work queue
+  return runtime_.hostNow() - start;
+}
+
+Duration CommScope::truthHostDeviceTime(ByteCount bytes) {
+  const Buffer host = runtime_.allocPinnedHost(bytes);
+  const Buffer dev = runtime_.allocDevice(0, bytes);
+  const StreamId stream = runtime_.defaultStream(0);
+
+  runtime_.reset();
+  Duration start = runtime_.hostNow();
+  runtime_.memcpyAsync(stream, dev, host, bytes);  // PinnedToGPU
+  runtime_.streamSynchronize(stream);
+  const Duration h2d = runtime_.hostNow() - start;
+
+  runtime_.reset();
+  start = runtime_.hostNow();
+  runtime_.memcpyAsync(stream, host, dev, bytes);  // GPUToPinned
+  runtime_.streamSynchronize(stream);
+  const Duration d2h = runtime_.hostNow() - start;
+
+  return (h2d + d2h) * 0.5;  // the paper averages the two directions
+}
+
+Duration CommScope::truthD2dTime(LinkClass linkClass, ByteCount bytes) {
+  const auto pair = runtime_.machine().topology.representativePair(linkClass);
+  NB_EXPECTS_MSG(pair.has_value(), "machine lacks the requested link class");
+  const Buffer src = runtime_.allocDevice(pair->first.value, bytes);
+  const Buffer dst = runtime_.allocDevice(pair->second.value, bytes);
+  const StreamId stream = runtime_.defaultStream(pair->first.value);
+
+  runtime_.reset();
+  const Duration start = runtime_.hostNow();
+  runtime_.memcpyAsync(stream, dst, src, bytes);
+  runtime_.streamSynchronize(stream);
+  return runtime_.hostNow() - start;
+}
+
+Summary CommScope::aggregate(double truthUs, double cv, const Config& config,
+                             std::uint64_t streamSalt) const {
+  NB_EXPECTS(config.binaryRuns > 0);
+  const NoiseModel noise(cv);
+  Welford acc;
+  for (int run = 0; run < config.binaryRuns; ++run) {
+    Xoshiro256 rng(config.seed + runtime_.machine().seed + streamSalt +
+                   0x9e3779b9u * static_cast<std::uint64_t>(run));
+    acc.add(truthUs * noise.sampleFactor(rng));
+  }
+  return acc.summary();
+}
+
+Summary CommScope::kernelLaunchUs(const Config& config) {
+  return aggregate(truthKernelLaunch().us(),
+                   runtime_.machine().device->cvLaunch, config, 0x11);
+}
+
+Summary CommScope::syncWaitUs(const Config& config) {
+  return aggregate(truthSyncWait().us(), runtime_.machine().device->cvWait,
+                   config, 0x22);
+}
+
+Summary CommScope::hostDeviceLatencyUs(const Config& config) {
+  return aggregate(truthHostDeviceTime(config.latencyProbe).us(),
+                   runtime_.machine().device->cvXferLat, config, 0x33);
+}
+
+Summary CommScope::hostDeviceBandwidthGBps(const Config& config) {
+  const Duration t = truthHostDeviceTime(config.bandwidthProbe);
+  const double gbps = config.bandwidthProbe.asDouble() / t.ns();
+  return aggregate(gbps, runtime_.machine().device->cvXferBw, config, 0x44);
+}
+
+Summary CommScope::d2dLatencyUs(LinkClass linkClass, const Config& config) {
+  return aggregate(truthD2dTime(linkClass, config.latencyProbe).us(),
+                   runtime_.machine().device->cvD2D, config,
+                   0x55 + static_cast<std::uint64_t>(linkClass));
+}
+
+Summary CommScope::d2dBandwidthGBps(LinkClass linkClass,
+                                    const Config& config) {
+  const Duration t = truthD2dTime(linkClass, config.bandwidthProbe);
+  const double gbps = config.bandwidthProbe.asDouble() / t.ns();
+  return aggregate(gbps, runtime_.machine().device->cvXferBw, config,
+                   0x66 + static_cast<std::uint64_t>(linkClass));
+}
+
+Duration CommScope::truthUmPrefetchTime(ByteCount bytes) {
+  runtime_.reset();
+  auto managed = runtime_.allocManaged(bytes);
+  const StreamId stream = runtime_.defaultStream(0);
+  const Duration start = runtime_.hostNow();
+  runtime_.prefetchAsync(stream, managed, /*device=*/0);
+  runtime_.streamSynchronize(stream);
+  return runtime_.hostNow() - start;
+}
+
+Duration CommScope::truthUmDemandTime(ByteCount bytes) {
+  runtime_.reset();
+  auto managed = runtime_.allocManaged(bytes);
+  const Duration start = runtime_.hostNow();
+  (void)runtime_.touchManaged(managed, /*device=*/0);
+  return runtime_.hostNow() - start;
+}
+
+Summary CommScope::umPrefetchBandwidthGBps(const Config& config) {
+  const Duration t = truthUmPrefetchTime(config.bandwidthProbe);
+  return aggregate(config.bandwidthProbe.asDouble() / t.ns(),
+                   runtime_.machine().device->cvXferBw, config, 0x88);
+}
+
+Summary CommScope::umDemandBandwidthGBps(const Config& config) {
+  const Duration t = truthUmDemandTime(config.bandwidthProbe);
+  return aggregate(config.bandwidthProbe.asDouble() / t.ns(),
+                   runtime_.machine().device->cvXferLat, config, 0x99);
+}
+
+Duration CommScope::truthD2dDuplexTime(LinkClass linkClass,
+                                       ByteCount bytesPerDirection) {
+  const auto pair = runtime_.machine().topology.representativePair(linkClass);
+  NB_EXPECTS_MSG(pair.has_value(), "machine lacks the requested link class");
+  const Buffer a = runtime_.allocDevice(pair->first.value, bytesPerDirection);
+  const Buffer b = runtime_.allocDevice(pair->second.value,
+                                        bytesPerDirection);
+  const StreamId sa = runtime_.defaultStream(pair->first.value);
+  const StreamId sb = runtime_.defaultStream(pair->second.value);
+
+  runtime_.reset();
+  const Duration start = runtime_.hostNow();
+  runtime_.memcpyAsync(sa, b, a, bytesPerDirection);  // a -> b
+  runtime_.memcpyAsync(sb, a, b, bytesPerDirection);  // b -> a, concurrent
+  runtime_.streamSynchronize(sa);
+  runtime_.streamSynchronize(sb);
+  return runtime_.hostNow() - start;
+}
+
+Summary CommScope::d2dDuplexBandwidthGBps(LinkClass linkClass,
+                                          const Config& config) {
+  const Duration t = truthD2dDuplexTime(linkClass, config.bandwidthProbe);
+  const double gbps = 2.0 * config.bandwidthProbe.asDouble() / t.ns();
+  return aggregate(gbps, runtime_.machine().device->cvXferBw, config,
+                   0x77 + static_cast<std::uint64_t>(linkClass));
+}
+
+MachineResults CommScope::measureAll(const Config& config) {
+  MachineResults out;
+  out.launchUs = kernelLaunchUs(config);
+  out.waitUs = syncWaitUs(config);
+  out.hostDeviceLatencyUs = hostDeviceLatencyUs(config);
+  out.hostDeviceBandwidthGBps = hostDeviceBandwidthGBps(config);
+  for (const LinkClass c :
+       runtime_.machine().topology.presentGpuLinkClasses()) {
+    out.d2dLatencyUs[static_cast<int>(c)] = d2dLatencyUs(c, config);
+  }
+  return out;
+}
+
+}  // namespace nodebench::commscope

@@ -1,0 +1,98 @@
+#pragma once
+/// \file commscope.hpp
+/// \brief Comm|Scope 0.12.0 re-implementation over the simulated GPU
+/// runtime (the five test families the paper runs, §B.2):
+///   Comm_cudart_kernel / Comm_hip_kernel        -> kernelLaunch
+///   Comm_cudaDeviceSynchronize / hip...         -> syncWait
+///   Comm_*MemcpyAsync_PinnedToGPU / GPUToPinned -> hostDevice{Latency,Bandwidth}
+///   Comm_*MemcpyAsync_GPUToGPU                  -> d2d{Latency,Bandwidth}
+///
+/// Measurement definitions follow the paper exactly: launch latency is
+/// the wall time to *launch* (not complete) an empty zero-argument
+/// kernel; wait latency is a device synchronize with an empty queue;
+/// copies are invoked and completed; H->D and D->H are averaged; latency
+/// uses 128 B transfers, bandwidth 1 GiB transfers; 100 binary runs feed
+/// the mean ± sigma.
+
+#include <optional>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "gpusim/gpu_runtime.hpp"
+#include "machines/machine.hpp"
+#include "topo/types.hpp"
+
+namespace nodebench::commscope {
+
+struct Config {
+  ByteCount latencyProbe = ByteCount::bytes(128);
+  ByteCount bandwidthProbe = ByteCount::gib(1);
+  int binaryRuns = 100;
+  std::uint64_t seed = 0xc035c09e01u;
+};
+
+/// All Table 6 quantities for one machine.
+struct MachineResults {
+  Summary launchUs;
+  Summary waitUs;
+  Summary hostDeviceLatencyUs;
+  Summary hostDeviceBandwidthGBps;
+  /// Indexed by link class A..D; nullopt for absent classes.
+  std::array<std::optional<Summary>, 4> d2dLatencyUs;
+};
+
+class CommScope {
+ public:
+  /// Precondition: accelerator machine. The machine must outlive this.
+  explicit CommScope(const machines::Machine& machine);
+
+  // -- noiseless single measurements (exposed for tests/ablations) --------
+  [[nodiscard]] Duration truthKernelLaunch();
+  [[nodiscard]] Duration truthSyncWait();
+  /// (H->D + D->H)/2 completion time for `bytes`.
+  [[nodiscard]] Duration truthHostDeviceTime(ByteCount bytes);
+  /// D2D completion time between the class's representative pair.
+  [[nodiscard]] Duration truthD2dTime(topo::LinkClass linkClass,
+                                      ByteCount bytes);
+
+  // -- aggregated benchmarks (100 binary runs, mean ± sigma) --------------
+  [[nodiscard]] Summary kernelLaunchUs(const Config& config);
+  [[nodiscard]] Summary syncWaitUs(const Config& config);
+  [[nodiscard]] Summary hostDeviceLatencyUs(const Config& config);
+  [[nodiscard]] Summary hostDeviceBandwidthGBps(const Config& config);
+  [[nodiscard]] Summary d2dLatencyUs(topo::LinkClass linkClass,
+                                     const Config& config);
+  [[nodiscard]] Summary d2dBandwidthGBps(topo::LinkClass linkClass,
+                                         const Config& config);
+
+  /// Unified-memory extension (Comm|Scope's Comm_UM_* family): explicit
+  /// prefetch bandwidth of a 1 GiB managed buffer host->device, and the
+  /// demand-paging "coherence" bandwidth when the device touches
+  /// host-resident pages (per-fault service latency dominates).
+  [[nodiscard]] Duration truthUmPrefetchTime(ByteCount bytes);
+  [[nodiscard]] Duration truthUmDemandTime(ByteCount bytes);
+  [[nodiscard]] Summary umPrefetchBandwidthGBps(const Config& config);
+  [[nodiscard]] Summary umDemandBandwidthGBps(const Config& config);
+
+  /// Duplex extension (Comm|Scope's *_Duplex tests): both directions of
+  /// the pair stream concurrently on their own devices' streams; reports
+  /// aggregate bandwidth. On full-duplex fabrics this approaches twice
+  /// the unidirectional figure.
+  [[nodiscard]] Duration truthD2dDuplexTime(topo::LinkClass linkClass,
+                                            ByteCount bytesPerDirection);
+  [[nodiscard]] Summary d2dDuplexBandwidthGBps(topo::LinkClass linkClass,
+                                               const Config& config);
+
+  /// Runs everything Table 6 needs for this machine.
+  [[nodiscard]] MachineResults measureAll(const Config& config);
+
+ private:
+  /// Aggregates `truthUs * noise` over binary runs.
+  [[nodiscard]] Summary aggregate(double truthUs, double cv,
+                                  const Config& config,
+                                  std::uint64_t streamSalt) const;
+
+  gpusim::GpuRuntime runtime_;
+};
+
+}  // namespace nodebench::commscope

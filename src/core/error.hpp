@@ -1,0 +1,95 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error handling primitives shared by all nodebench libraries.
+///
+/// Follows the C++ Core Guidelines (E.2, I.6): throw exceptions for errors
+/// that cannot be handled locally, use precondition checks at API
+/// boundaries. `NB_EXPECTS` / `NB_ENSURES` are always-on contract checks
+/// (microbenchmark control paths are never hot enough to justify disabling
+/// them).
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace nodebench {
+
+/// Base class of all exceptions thrown by nodebench libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a caller violates a documented API precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an internal invariant does not hold (a nodebench bug).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a lookup (machine name, GPU id, ...) fails.
+class NotFoundError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contractFailure(const char* kind, const char* expr,
+                                         const std::string& msg,
+                                         const std::source_location& loc) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " +
+                     loc.file_name() + ":" + std::to_string(loc.line());
+  if (!msg.empty()) {
+    full += " (" + msg + ")";
+  }
+  if (kind[0] == 'p' || kind[0] == 'P') {
+    throw PreconditionError(full);
+  }
+  throw InvariantError(full);
+}
+
+}  // namespace detail
+
+}  // namespace nodebench
+
+/// Precondition check: caller error if it fails.
+#define NB_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nodebench::detail::contractFailure("precondition", #cond, "",        \
+                                           std::source_location::current()); \
+    }                                                                        \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define NB_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nodebench::detail::contractFailure("precondition", #cond, (msg),     \
+                                           std::source_location::current()); \
+    }                                                                        \
+  } while (false)
+
+/// Invariant check with an explanatory message.
+#define NB_ENSURES_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nodebench::detail::contractFailure("invariant", #cond, (msg),        \
+                                           std::source_location::current()); \
+    }                                                                        \
+  } while (false)
+
+/// Postcondition / invariant check: nodebench bug if it fails.
+#define NB_ENSURES(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nodebench::detail::contractFailure("invariant", #cond, "",           \
+                                           std::source_location::current()); \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,81 @@
+#include "core/strings.hpp"
+
+#include <cctype>
+
+namespace nodebench {
+
+std::string toLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(std::span<const std::string> parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<unsigned> parseUnsigned(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  unsigned value = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') {
+      return std::nullopt;
+    }
+    const unsigned digit = static_cast<unsigned>(ch - '0');
+    if (value > (~0u - digit) / 10) {
+      return std::nullopt;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace nodebench

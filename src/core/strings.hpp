@@ -1,0 +1,33 @@
+#pragma once
+/// \file strings.hpp
+/// \brief Small string utilities shared across modules (env-var style
+/// parsing, case-insensitive comparison, joining).
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nodebench {
+
+/// ASCII lower-casing (env var values such as "TRUE"/"true").
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Strips leading/trailing spaces and tabs.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on a delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins with a separator.
+[[nodiscard]] std::string join(std::span<const std::string> parts,
+                               std::string_view sep);
+
+/// Parses a non-negative integer; nullopt on malformed input.
+[[nodiscard]] std::optional<unsigned> parseUnsigned(std::string_view s);
+
+}  // namespace nodebench

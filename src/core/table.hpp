@@ -1,0 +1,71 @@
+#pragma once
+/// \file table.hpp
+/// \brief Text table construction and rendering (ASCII box, Markdown, CSV).
+///
+/// Every table of the paper is reproduced through this builder so that the
+/// benchmark harnesses stay free of formatting code.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace nodebench {
+
+enum class Align { Left, Right };
+
+/// A rectangular text table with an optional title and one header row.
+class Table {
+ public:
+  /// Creates a table with the given column headers. Precondition: at least
+  /// one column.
+  explicit Table(std::vector<std::string> headers);
+
+  [[nodiscard]] std::size_t columnCount() const { return headers_.size(); }
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+  void setTitle(std::string title) { title_ = std::move(title); }
+  void setCaption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Sets the alignment of one column (default: Left for column 0, Right
+  /// otherwise — numeric tables dominate this project).
+  void setAlign(std::size_t column, Align align);
+
+  /// Appends a row. Precondition: cells.size() == columnCount().
+  void addRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator at the current position.
+  void addSeparator();
+
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders with unicode-free ASCII box drawing, suitable for terminals
+  /// and logs.
+  [[nodiscard]] std::string renderAscii() const;
+
+  /// Renders as GitHub-flavoured Markdown.
+  [[nodiscard]] std::string renderMarkdown() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string renderCsv() const;
+
+  /// Renders as JSON: {"title":..., "caption":..., "headers":[...],
+  /// "rows":[[...], ...]} with separators omitted. Strings are escaped
+  /// per RFC 8259.
+  [[nodiscard]] std::string renderJson() const;
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> columnWidths() const;
+
+  std::string title_;
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string formatFixed(double v, int precision);
+
+}  // namespace nodebench

@@ -1,0 +1,143 @@
+#pragma once
+/// \file units.hpp
+/// \brief Strong types for simulated time, byte counts and bandwidths.
+///
+/// All simulated time is kept in double-precision *nanoseconds*; all
+/// bandwidths in decimal gigabytes per second. The two were chosen so that
+/// `1 byte / 1 ns == 1 GB/s` holds exactly, which keeps transfer-time
+/// arithmetic free of conversion constants.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace nodebench {
+
+/// A span of (simulated or measured) time. Internally nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanoseconds(double v) { return Duration(v); }
+  [[nodiscard]] static constexpr Duration microseconds(double v) { return Duration(v * 1e3); }
+  [[nodiscard]] static constexpr Duration milliseconds(double v) { return Duration(v * 1e6); }
+  [[nodiscard]] static constexpr Duration seconds(double v) { return Duration(v * 1e9); }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0.0); }
+  /// Sentinel "no time yet / unbounded" value.
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr double ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return ns_ / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return ns_ / 1e6; }
+  [[nodiscard]] constexpr double s() const { return ns_ / 1e9; }
+
+  [[nodiscard]] constexpr bool isFinite() const { return std::isfinite(ns_); }
+
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration& operator*=(double k) { ns_ *= k; return *this; }
+  constexpr Duration& operator/=(double k) { ns_ /= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ns_ + b.ns_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ns_ - b.ns_); }
+  friend constexpr Duration operator*(Duration a, double k) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator*(double k, Duration a) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator/(Duration a, double k) { return Duration(a.ns_ / k); }
+  friend constexpr double operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(double ns) : ns_(ns) {}
+  double ns_ = 0.0;
+};
+
+namespace literals {
+constexpr Duration operator""_ns(long double v) { return Duration::nanoseconds(static_cast<double>(v)); }
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::nanoseconds(static_cast<double>(v)); }
+constexpr Duration operator""_us(long double v) { return Duration::microseconds(static_cast<double>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::microseconds(static_cast<double>(v)); }
+constexpr Duration operator""_ms(long double v) { return Duration::milliseconds(static_cast<double>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::milliseconds(static_cast<double>(v)); }
+constexpr Duration operator""_s(long double v) { return Duration::seconds(static_cast<double>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::seconds(static_cast<double>(v)); }
+}  // namespace literals
+
+/// A number of bytes. Distinguishes decimal (KB/MB/GB) from binary
+/// (KiB/MiB/GiB) multiples, as both conventions appear in the paper
+/// (vector sizes are binary, bandwidths decimal).
+class ByteCount {
+ public:
+  constexpr ByteCount() = default;
+  constexpr explicit ByteCount(std::uint64_t bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] static constexpr ByteCount bytes(std::uint64_t v) { return ByteCount(v); }
+  [[nodiscard]] static constexpr ByteCount kib(std::uint64_t v) { return ByteCount(v * 1024ull); }
+  [[nodiscard]] static constexpr ByteCount mib(std::uint64_t v) { return ByteCount(v * 1024ull * 1024ull); }
+  [[nodiscard]] static constexpr ByteCount gib(std::uint64_t v) { return ByteCount(v * 1024ull * 1024ull * 1024ull); }
+  [[nodiscard]] static constexpr ByteCount kb(std::uint64_t v) { return ByteCount(v * 1000ull); }
+  [[nodiscard]] static constexpr ByteCount mb(std::uint64_t v) { return ByteCount(v * 1000ull * 1000ull); }
+  [[nodiscard]] static constexpr ByteCount gb(std::uint64_t v) { return ByteCount(v * 1000ull * 1000ull * 1000ull); }
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return bytes_; }
+  [[nodiscard]] constexpr double asDouble() const { return static_cast<double>(bytes_); }
+  [[nodiscard]] constexpr double inGiB() const { return asDouble() / (1024.0 * 1024.0 * 1024.0); }
+  [[nodiscard]] constexpr double inGB() const { return asDouble() / 1e9; }
+  [[nodiscard]] constexpr double inMiB() const { return asDouble() / (1024.0 * 1024.0); }
+
+  friend constexpr ByteCount operator+(ByteCount a, ByteCount b) { return ByteCount(a.bytes_ + b.bytes_); }
+  friend constexpr ByteCount operator*(ByteCount a, std::uint64_t k) { return ByteCount(a.bytes_ * k); }
+  friend constexpr ByteCount operator*(std::uint64_t k, ByteCount a) { return ByteCount(a.bytes_ * k); }
+  friend constexpr auto operator<=>(ByteCount, ByteCount) = default;
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+/// A data transfer rate in decimal GB/s (the unit every table of the paper
+/// reports). Equal numerically to bytes-per-nanosecond.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth gbps(double v) { return Bandwidth(v); }
+  [[nodiscard]] static constexpr Bandwidth bytesPerNs(double v) { return Bandwidth(v); }
+  [[nodiscard]] static constexpr Bandwidth zero() { return Bandwidth(0.0); }
+
+  [[nodiscard]] constexpr double inGBps() const { return gbps_; }
+  [[nodiscard]] constexpr double bytesPerNanosecond() const { return gbps_; }
+
+  /// Time to move `size` bytes at this rate. Precondition: rate > 0.
+  [[nodiscard]] Duration transferTime(ByteCount size) const {
+    NB_EXPECTS(gbps_ > 0.0);
+    return Duration::nanoseconds(size.asDouble() / gbps_);
+  }
+
+  /// Rate realized by moving `size` bytes in `elapsed` time.
+  [[nodiscard]] static Bandwidth fromTransfer(ByteCount size, Duration elapsed) {
+    NB_EXPECTS(elapsed.ns() > 0.0);
+    return Bandwidth(size.asDouble() / elapsed.ns());
+  }
+
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) { return Bandwidth(a.gbps_ * k); }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return Bandwidth(a.gbps_ * k); }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) { return Bandwidth(a.gbps_ / k); }
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth(a.gbps_ + b.gbps_); }
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+ private:
+  constexpr explicit Bandwidth(double gbps) : gbps_(gbps) {}
+  double gbps_ = 0.0;
+};
+
+[[nodiscard]] constexpr Bandwidth min(Bandwidth a, Bandwidth b) { return a < b ? a : b; }
+[[nodiscard]] constexpr Duration max(Duration a, Duration b) { return a < b ? b : a; }
+[[nodiscard]] constexpr Duration min(Duration a, Duration b) { return a < b ? a : b; }
+
+}  // namespace nodebench

@@ -1,0 +1,33 @@
+#pragma once
+/// \file builders.hpp
+/// \brief Factory functions, one per studied system. Each builder
+/// documents how its calibration constants were derived from the paper's
+/// tables. Grouped by node architecture:
+///  - cpu_xeon.cpp:   Sawtooth, Eagle, Manzano (dual-socket Intel Xeon)
+///  - cpu_knl.cpp:    Trinity, Theta (Intel Xeon Phi / Knights Landing)
+///  - gpu_power9.cpp: Summit, Sierra, Lassen (IBM Power9 + NVIDIA V100)
+///  - gpu_a100.cpp:   Perlmutter, Polaris (AMD EPYC + NVIDIA A100)
+///  - gpu_mi250x.cpp: Frontier, RZVernal, Tioga (AMD EPYC + AMD MI250X)
+
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+// Table 2 systems (non-accelerator).
+[[nodiscard]] Machine makeTrinity();
+[[nodiscard]] Machine makeTheta();
+[[nodiscard]] Machine makeSawtooth();
+[[nodiscard]] Machine makeEagle();
+[[nodiscard]] Machine makeManzano();
+
+// Table 3 systems (accelerator).
+[[nodiscard]] Machine makeFrontier();
+[[nodiscard]] Machine makeSummit();
+[[nodiscard]] Machine makeSierra();
+[[nodiscard]] Machine makePerlmutter();
+[[nodiscard]] Machine makePolaris();
+[[nodiscard]] Machine makeLassen();
+[[nodiscard]] Machine makeRZVernal();
+[[nodiscard]] Machine makeTioga();
+
+}  // namespace nodebench::machines

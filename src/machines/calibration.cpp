@@ -1,0 +1,163 @@
+#include "machines/calibration.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace nodebench::machines {
+
+namespace {
+
+using topo::GpuId;
+using topo::LinkClass;
+using topo::SocketId;
+
+constexpr double kLatencyProbeBytes = 128.0;        // Comm|Scope latency size
+constexpr double kBandwidthProbeBytes = 1024.0 * 1024.0 * 1024.0;  // 1 GiB
+
+}  // namespace
+
+void applyHostMemoryCalibration(Machine& m, const HostMemoryTargets& t) {
+  NB_EXPECTS(t.singleGBps > 0.0 && t.allGBps > 0.0);
+  NB_EXPECTS(t.cacheModeOverhead >= 1.0);
+  const int domains = m.topology.numaCount();
+  NB_EXPECTS(domains > 0);
+
+  HostMemoryParams& p = m.hostMemory;
+  p.perCoreBw = Bandwidth::gbps(t.singleGBps * t.cacheModeOverhead);
+  p.perNumaSaturation = Bandwidth::gbps(t.allGBps * t.cacheModeOverhead /
+                                        static_cast<double>(domains));
+  p.peak = Bandwidth::gbps(t.peakGBps);
+  p.peakNote = t.peakNote;
+  p.cacheModeOverhead = t.cacheModeOverhead;
+  p.cvSingle = t.cvSingle;
+  p.cvAll = t.cvAll;
+}
+
+void applyCommScopeCalibration(Machine& m, const CommScopeTargets& t) {
+  NB_EXPECTS_MSG(m.device.has_value(), "device parameters must exist");
+  NB_EXPECTS(m.topology.gpuCount() > 0);
+  DeviceParams& d = *m.device;
+
+  using nodebench::literals::operator""_us;
+  d.kernelLaunch = Duration::microseconds(t.launchUs);
+  d.syncWait = Duration::microseconds(t.waitUs);
+  d.cvLaunch = t.cvLaunch;
+  d.cvWait = t.cvWait;
+  d.cvXferLat = t.cvXferLat;
+  d.cvXferBw = t.cvXferBw;
+  d.cvD2D = t.cvD2D;
+
+  // ---- Pinned-host <-> device path ---------------------------------------
+  // Measured transfer time model (see gpusim):
+  //   T(S) = callOverhead + dmaSetup + routeLatency + S/linkBw + syncWait
+  // Two targets (latency at 128 B, bandwidth at 1 GiB), two unknowns
+  // (overhead total, link bandwidth); solve by fixed point — the coupling
+  // through the 128 B term is tiny, so three iterations converge to
+  // machine precision.
+  const GpuId g0{0};
+  const SocketId s0 = m.topology.gpu(g0).socket;
+  const double routeLatNs = m.topology.hostGpuLink(s0, g0).latency.ns();
+  const double waitNs = d.syncWait.ns();
+  const double targetLatNs = t.h2dLatencyUs * 1000.0;
+  const double targetBwBpns = t.h2dBandwidthGBps;  // GB/s == bytes/ns
+
+  double linkBw = targetBwBpns;
+  double overheadNs = 0.0;
+  for (int iter = 0; iter < 3; ++iter) {
+    overheadNs = targetLatNs - routeLatNs - waitNs - kLatencyProbeBytes / linkBw;
+    linkBw = 1.0 / (1.0 / targetBwBpns -
+                    (overheadNs + routeLatNs + waitNs) / kBandwidthProbeBytes);
+  }
+  NB_ENSURES_MSG(overheadNs > 0.0, "H2D overhead" " must be positive after calibration");
+  NB_ENSURES_MSG(linkBw > 0.0, "H2D link bandwidth" " must be positive after calibration");
+
+  d.memcpyCallOverhead = Duration::nanoseconds(0.3 * overheadNs);
+  d.h2dDmaSetup = Duration::nanoseconds(0.7 * overheadNs);
+  // Homogeneous node: every host<->GPU link gets the solved bandwidth.
+  for (int g = 0; g < m.topology.gpuCount(); ++g) {
+    const GpuId gid{g};
+    m.topology.setHostGpuLinkBandwidth(m.topology.gpu(gid).socket, gid,
+                                       Bandwidth::bytesPerNs(linkBw));
+  }
+
+  // ---- Device <-> device path --------------------------------------------
+  //   T(S, class) = callOverhead + d2dDmaSetup + routeLatency(class)
+  //               + S/routeBw(class) + syncWait + residual(class)
+  // The first class with a target anchors d2dDmaSetup (residual 0 there);
+  // other classes store the residual relative to the topological route,
+  // capturing empirical quirks such as Frontier's class D matching class A.
+  int anchor = -1;
+  for (int c = 0; c < 4; ++c) {
+    if (t.d2dLatencyUs[c].has_value()) {
+      anchor = c;
+      break;
+    }
+  }
+  if (anchor < 0) {
+    return;  // CPU-attached single-GPU configuration: no D2D columns.
+  }
+
+  auto classRoute = [&](int c) {
+    const auto pair = m.topology.representativePair(static_cast<LinkClass>(c));
+    NB_EXPECTS_MSG(pair.has_value(),
+                   "calibration target given for a link class the topology "
+                   "does not contain");
+    return m.topology.routeGpuToGpu(pair->first, pair->second);
+  };
+
+  const auto anchorRoute = classRoute(anchor);
+  const double callNs = d.memcpyCallOverhead.ns();
+  const double anchorTargetNs = *t.d2dLatencyUs[anchor] * 1000.0;
+  const double d2dSetupNs =
+      anchorTargetNs - callNs - anchorRoute.latency.ns() - waitNs -
+      kLatencyProbeBytes / anchorRoute.bottleneck.bytesPerNanosecond();
+  NB_ENSURES_MSG(d2dSetupNs > 0.0, "D2D DMA setup" " must be positive after calibration");
+  d.d2dDmaSetup = Duration::nanoseconds(d2dSetupNs);
+
+  for (int c = 0; c < 4; ++c) {
+    if (!t.d2dLatencyUs[c].has_value()) {
+      d.d2dClassResidual[c] = Duration::zero();
+      continue;
+    }
+    const auto route = classRoute(c);
+    const double modelNs =
+        callNs + d2dSetupNs + route.latency.ns() + waitNs +
+        kLatencyProbeBytes / route.bottleneck.bytesPerNanosecond();
+    d.d2dClassResidual[c] =
+        Duration::nanoseconds(*t.d2dLatencyUs[c] * 1000.0 - modelNs);
+  }
+}
+
+void applyDeviceStreamCalibration(Machine& m, double reportedGBps,
+                                  double peakGBps, std::string peakNote,
+                                  double cvBw) {
+  NB_EXPECTS_MSG(m.device.has_value(), "device parameters must exist");
+  NB_EXPECTS(reportedGBps > 0.0);
+  DeviceParams& d = *m.device;
+  // Best BabelStream op on the device backend is Triad (largest counted
+  // traffic amortizes per-iteration launch + sync best). At a 1 GiB vector
+  // the counted and actual traffic are both 3 * S.
+  const double trafficBytes = 3.0 * kBandwidthProbeBytes;
+  const double perIterOverheadNs = d.kernelLaunch.ns() + d.syncWait.ns();
+  const double denomNs = trafficBytes / reportedGBps - perIterOverheadNs;
+  NB_ENSURES_MSG(denomNs > 0.0, "HBM time budget" " must be positive after calibration");
+  d.hbmBw = Bandwidth::bytesPerNs(trafficBytes / denomNs);
+  d.hbmPeak = Bandwidth::gbps(peakGBps);
+  d.hbmPeakNote = std::move(peakNote);
+  d.cvBw = cvBw;
+}
+
+void applyDeviceMpiCalibration(Machine& m, double classATargetUs, double cv) {
+  NB_EXPECTS(m.topology.gpuCount() >= 2);
+  const auto classes = m.topology.presentGpuLinkClasses();
+  NB_EXPECTS(!classes.empty());
+  const auto pair = m.topology.representativePair(classes.front());
+  NB_ENSURES(pair.has_value());
+  const auto route = m.topology.routeGpuToGpu(pair->first, pair->second);
+  const double baseNs = classATargetUs * 1000.0 - route.latency.ns();
+  NB_ENSURES_MSG(baseNs > 0.0, "device MPI base overhead" " must be positive after calibration");
+  m.deviceMpi = DeviceMpiParams{Duration::nanoseconds(baseNs), cv};
+}
+
+}  // namespace nodebench::machines

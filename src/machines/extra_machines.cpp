@@ -1,0 +1,113 @@
+/// \file extra_machines.cpp
+/// \brief Representative Arm and AMD CPU nodes (future-work #3).
+///
+/// Parameter sources (public literature, not the paper):
+///  - A64FX: HBM2 at 1024 GB/s peak; STREAM Triad ~830 GB/s published for
+///    Fugaku nodes; single-core ~55 GB/s; Tofu-D MPI ~0.9 us on-node.
+///  - EPYC 7763 (Milan, 2 sockets, NPS4): 8ch DDR4-3200/socket (409.6
+///    GB/s node peak), STREAM ~350 GB/s; sub-0.4 us on-socket MPI.
+///  - Ampere Altra Q80-30: 8ch DDR4-3200/socket, STREAM ~300 GB/s node;
+///    mesh interconnect with ~0.5 us on-socket MPI.
+
+#include "machines/extra_machines.hpp"
+
+#include "machines/calibration.hpp"
+#include "machines/node_shapes.hpp"
+
+namespace nodebench::machines {
+
+using namespace nodebench::literals;
+using topo::LinkType;
+using topo::NodeTopology;
+using topo::NumaId;
+using topo::SocketId;
+
+Machine makeA64fxNode() {
+  Machine m;
+  m.info = SystemInfo{"A64FX-node", 0, "reference", "Fujitsu A64FX", ""};
+  m.env = SoftwareEnv{"fujitsu/4.8", "", "fujitsu-mpi/4.8"};
+  m.seed = 0xa64f0001u;
+  // Four core-memory-groups (CMGs), 12 compute cores each, no SMT.
+  const SocketId socket = m.topology.addSocket(m.info.cpuModel);
+  for (int cmg = 0; cmg < 4; ++cmg) {
+    const NumaId numa = m.topology.addNumaDomain(socket);
+    m.topology.addCores(numa, 12, /*smtThreads=*/1);
+  }
+  applyHostMemoryCalibration(
+      m, HostMemoryTargets{55.0, 830.0, 1024.0, "1024 (HBM2)", 1.0,
+                           /*cvSingle=*/0.01, /*cvAll=*/0.015});
+  m.hostMpi.softwareOverhead = 0.70_us;
+  m.hostMpi.sameNumaHop = 0.08_us;
+  m.hostMpi.crossNumaHop = 0.20_us;  // cross-CMG ring bus
+  m.hostMpi.crossSocketHop = 0.20_us;
+  // 48c x 2.0 GHz x 32 DP flops/cycle (2x 512-bit SVE FMA).
+  m.hostPeakFp64Gflops = 3072.0;
+  return m;
+}
+
+Machine makeEpycMilanNode() {
+  Machine m;
+  m.info = SystemInfo{"EPYC-Milan-node", 0, "reference",
+                      "AMD EPYC 7763 (2S)", ""};
+  m.env = SoftwareEnv{"gcc/12.2", "", "openmpi/4.1.4"};
+  m.seed = 0xe9c70001u;
+  // Two sockets, NPS4: eight NUMA domains of 16 cores, 2-way SMT.
+  for (int s = 0; s < 2; ++s) {
+    const SocketId socket = m.topology.addSocket(m.info.cpuModel);
+    for (int d = 0; d < 4; ++d) {
+      const NumaId numa = m.topology.addNumaDomain(socket);
+      m.topology.addCores(numa, 16, /*smtThreads=*/2);
+    }
+  }
+  m.topology.connectSockets(SocketId{0}, SocketId{1}, LinkType::UPI,
+                            0.12_us, Bandwidth::gbps(50.0));
+  applyHostMemoryCalibration(
+      m, HostMemoryTargets{24.0, 350.0, 409.6, "409.6", 1.0,
+                           /*cvSingle=*/0.005, /*cvAll=*/0.01});
+  m.hostMemory.smtFactor = 0.98;
+  m.hostMpi.softwareOverhead = 0.30_us;
+  m.hostMpi.sameNumaHop = 0.05_us;
+  m.hostMpi.crossNumaHop = 0.12_us;
+  m.hostMpi.crossSocketHop = 0.35_us;
+  // 2 x 64c x 2.45 GHz x 16 DP flops/cycle.
+  m.hostPeakFp64Gflops = 5018.0;
+  return m;
+}
+
+Machine makeAmpereAltraNode() {
+  Machine m;
+  m.info = SystemInfo{"Altra-node", 0, "reference",
+                      "Ampere Altra Q80-30 (2S)", ""};
+  m.env = SoftwareEnv{"gcc/12.2", "", "openmpi/4.1.4"};
+  m.seed = 0xa17a0001u;
+  for (int s = 0; s < 2; ++s) {
+    const SocketId socket = m.topology.addSocket(m.info.cpuModel);
+    const NumaId numa = m.topology.addNumaDomain(socket);
+    m.topology.addCores(numa, 80, /*smtThreads=*/1);  // no SMT on N1
+  }
+  m.topology.connectSockets(SocketId{0}, SocketId{1}, LinkType::UPI,
+                            0.15_us, Bandwidth::gbps(40.0));
+  applyHostMemoryCalibration(
+      m, HostMemoryTargets{18.0, 300.0, 409.6, "409.6", 1.0,
+                           /*cvSingle=*/0.006, /*cvAll=*/0.012});
+  m.hostMpi.softwareOverhead = 0.42_us;
+  m.hostMpi.sameNumaHop = 0.08_us;
+  m.hostMpi.crossNumaHop = 0.08_us;
+  m.hostMpi.crossSocketHop = 0.45_us;
+  // 2 x 80c x 3.0 GHz x 4 DP flops/cycle (2x 128-bit NEON FMA).
+  m.hostPeakFp64Gflops = 1920.0;
+  return m;
+}
+
+const std::vector<Machine>& extraMachines() {
+  static const std::vector<Machine> machines = [] {
+    std::vector<Machine> all;
+    all.push_back(makeA64fxNode());
+    all.push_back(makeEpycMilanNode());
+    all.push_back(makeAmpereAltraNode());
+    return all;
+  }();
+  return machines;
+}
+
+}  // namespace nodebench::machines

@@ -1,0 +1,33 @@
+#pragma once
+/// \file extra_machines.hpp
+/// \brief Non-DOE reference machines — the paper's third future-work item
+/// ("we did not report results from any AMD or Arm CPU systems, because
+/// the US DOE does not have any within the Top 150. Comparing results
+/// between Intel, AMD and Arm CPU systems would be of interest").
+///
+/// These models are *representative*, built from public microbenchmark
+/// literature rather than the paper's tables, and are kept out of the
+/// main registry so every Table 1-9 artifact remains exactly the paper's
+/// fourteen-system scope.
+
+#include <vector>
+
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+/// Fugaku-class node: Fujitsu A64FX (Arm SVE), 48 compute cores in four
+/// CMGs with HBM2 — rank 2 of the June 2023 list.
+[[nodiscard]] Machine makeA64fxNode();
+
+/// Dual-socket AMD EPYC 7763 (Milan) node, the mainstream AMD CPU
+/// design point of the era.
+[[nodiscard]] Machine makeEpycMilanNode();
+
+/// Dual-socket Ampere Altra Q80-30 node, the commodity Arm design point.
+[[nodiscard]] Machine makeAmpereAltraNode();
+
+/// All extra machines (Arm + AMD comparators), not part of allMachines().
+[[nodiscard]] const std::vector<Machine>& extraMachines();
+
+}  // namespace nodebench::machines

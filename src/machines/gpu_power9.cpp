@@ -1,0 +1,128 @@
+/// \file gpu_power9.cpp
+/// \brief IBM Power9 + NVIDIA V100 systems of Table 3: Summit (ORNL,
+/// rank 5, 6 GPUs/node), Sierra (LLNL, rank 6, 4 GPUs/node) and Lassen
+/// (LLNL, rank 36, 4 GPUs/node). Figure 2 node shape.
+///
+/// Calibration sources:
+///  Table 5 (device BabelStream GB/s; MPI us):
+///   system  device bw       H2H   D2D A          D2D B
+///   Summit  786.43+-0.11    0.34  18.10+-0.22    19.30+-0.15
+///   Sierra  861.40+-0.65    0.38  18.72+-0.12    19.76+-0.37
+///   Lassen  861.03+-0.53    0.37  18.68+-0.20    19.72+-0.13
+///  Table 6 (Comm|Scope; us / GB/s):
+///   system  launch  wait  h2d lat  h2d bw  d2d A  d2d B
+///   Summit  4.84    4.31  7.82     44.88   24.97  27.44
+///   Sierra  4.13    5.59  7.27     63.40   23.91  27.70
+///   Lassen  4.56    5.52  7.76     63.34   24.56  27.69
+///
+/// The ~18 us device MPI latency is SpectrumMPI staging device buffers
+/// through the host: a large baseOneWay. The class B minus class A gap
+/// (1.20 us on Summit, 1.04 us on Sierra/Lassen) is topological — the
+/// cross-socket route costs two host NVLink hops (0.55 us each) plus the
+/// X-Bus hop, minus the 0.30 us direct NVLink hop. Solving gives an X-Bus
+/// latency of 0.40 us (Summit) and 0.24 us (Sierra/Lassen).
+///
+/// The H2D bandwidth contrast inside the V100 family is structural:
+/// Summit shares its per-socket NVLink bricks among three GPUs (2 bricks
+/// per link, ~45 GB/s measured) while Sierra/Lassen give each of their
+/// two GPUs three bricks (~63 GB/s measured).
+
+#include "machines/builders.hpp"
+#include "machines/calibration.hpp"
+#include "machines/node_shapes.hpp"
+
+namespace nodebench::machines {
+
+using namespace nodebench::literals;
+
+namespace {
+
+Machine power9Base(SystemInfo info, SoftwareEnv env, int gpusPerSocket,
+                   Duration xbusLatency, std::uint64_t seed) {
+  Machine m;
+  m.topology = power9Node("IBM Power9", gpusPerSocket, xbusLatency);
+  m.info = std::move(info);
+  m.env = std::move(env);
+  m.seed = seed;
+  m.device.emplace();
+  m.device->peakFp64Gflops = 7800.0;  // V100 FP64
+  // 2 x 22c x 3.07 GHz x 8 DP flops/cycle.
+  m.hostPeakFp64Gflops = 1080.0;
+  // Host memory is not reported for accelerator systems in the paper;
+  // representative Power9 values keep host-side examples meaningful.
+  applyHostMemoryCalibration(
+      m, HostMemoryTargets{12.0, 245.0, 340.0, "340 (repr.)", 1.0});
+  return m;
+}
+
+}  // namespace
+
+Machine makeSummit() {
+  Machine m = power9Base(
+      SystemInfo{"Summit", 5, "ORNL", "IBM Power9", "NVIDIA GV100"},
+      SoftwareEnv{"xl/16.1.1-10", "cuda/11.0.3",
+                  "spectrum-mpi/10.4.0.3-20210112"},
+      /*gpusPerSocket=*/3, /*xbusLatency=*/0.40_us, /*seed=*/0x50330001u);
+  // Host MPI: 0.34 us on-socket => 0.28 + 0.06. The paper's unusually
+  // large sigma (0.07 on a 0.34 mean) is kept as a 20% cv.
+  m.hostMpi.softwareOverhead = 0.28_us;
+  m.hostMpi.sameNumaHop = 0.06_us;
+  m.hostMpi.crossNumaHop = 0.06_us;
+  m.hostMpi.crossSocketHop = 0.30_us;
+  m.hostMpi.cv = 0.20;
+  applyCommScopeCalibration(
+      m, CommScopeTargets{4.84, 4.31, 7.82, 44.88,
+                          {24.97, 27.44, std::nullopt, std::nullopt},
+                          /*cvLaunch=*/0.002, /*cvWait=*/0.0023,
+                          /*cvXferLat=*/0.009, /*cvXferBw=*/0.0002,
+                          /*cvD2D=*/0.0064});
+  applyDeviceStreamCalibration(m, 786.43, 900.0, "900 [1]", /*cvBw=*/0.00014);
+  applyDeviceMpiCalibration(m, /*classATargetUs=*/18.10, /*cv=*/0.012);
+  return m;
+}
+
+Machine makeSierra() {
+  Machine m = power9Base(
+      SystemInfo{"Sierra", 6, "LLNL", "IBM Power9", "NVIDIA GV100"},
+      SoftwareEnv{"gcc/8.3.1", "cuda/10.1.243", "spectrum-mpi/rolling-release"},
+      /*gpusPerSocket=*/2, /*xbusLatency=*/0.24_us, /*seed=*/0x51e20001u);
+  // Host MPI: 0.38 us on-socket => 0.32 + 0.06.
+  m.hostMpi.softwareOverhead = 0.32_us;
+  m.hostMpi.sameNumaHop = 0.06_us;
+  m.hostMpi.crossNumaHop = 0.06_us;
+  m.hostMpi.crossSocketHop = 0.30_us;
+  m.hostMpi.cv = 0.026;
+  applyCommScopeCalibration(
+      m, CommScopeTargets{4.13, 5.59, 7.27, 63.40,
+                          {23.91, 27.70, std::nullopt, std::nullopt},
+                          /*cvLaunch=*/0.0024, /*cvWait=*/0.0036,
+                          /*cvXferLat=*/0.032, /*cvXferBw=*/0.0002,
+                          /*cvD2D=*/0.0067});
+  applyDeviceStreamCalibration(m, 861.40, 900.0, "900 [1]", /*cvBw=*/0.00075);
+  applyDeviceMpiCalibration(m, /*classATargetUs=*/18.72, /*cv=*/0.0064);
+  return m;
+}
+
+Machine makeLassen() {
+  Machine m = power9Base(
+      SystemInfo{"Lassen", 36, "LLNL", "IBM Power9", "NVIDIA V100"},
+      SoftwareEnv{"gcc/7.3.1", "cuda/10.1.243", "spectrum-mpi/rolling-release"},
+      /*gpusPerSocket=*/2, /*xbusLatency=*/0.24_us, /*seed=*/0x1a530001u);
+  // Host MPI: 0.37 us on-socket => 0.31 + 0.06.
+  m.hostMpi.softwareOverhead = 0.31_us;
+  m.hostMpi.sameNumaHop = 0.06_us;
+  m.hostMpi.crossNumaHop = 0.06_us;
+  m.hostMpi.crossSocketHop = 0.30_us;
+  m.hostMpi.cv = 0.008;
+  applyCommScopeCalibration(
+      m, CommScopeTargets{4.56, 5.52, 7.76, 63.34,
+                          {24.56, 27.69, std::nullopt, std::nullopt},
+                          /*cvLaunch=*/0.001, /*cvWait=*/0.0018,
+                          /*cvXferLat=*/0.041, /*cvXferBw=*/0.0003,
+                          /*cvD2D=*/0.0114});
+  applyDeviceStreamCalibration(m, 861.03, 900.0, "900 [1]", /*cvBw=*/0.00062);
+  applyDeviceMpiCalibration(m, /*classATargetUs=*/18.68, /*cv=*/0.0107);
+  return m;
+}
+
+}  // namespace nodebench::machines

@@ -1,0 +1,13 @@
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+int Machine::hardwareThreadCount() const {
+  int total = 0;
+  for (int i = 0; i < topology.coreCount(); ++i) {
+    total += topology.core(topo::CoreId{i}).smtThreads;
+  }
+  return total;
+}
+
+}  // namespace nodebench::machines

@@ -1,0 +1,98 @@
+#include "machines/machine_card.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nodebench::machines {
+
+namespace {
+
+void line(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string machineCard(const Machine& m) {
+  std::string out;
+  line(out, "=== %s ===", m.info.name.c_str());
+  line(out, "Top500 rank %d, %s", m.info.top500Rank,
+       m.info.location.c_str());
+  line(out, "CPU: %s%s%s", m.info.cpuModel.c_str(),
+       m.accelerated() ? ", accelerator: " : "",
+       m.info.acceleratorModel.c_str());
+  line(out, "Software: compiler %s, MPI %s%s%s", m.env.compiler.c_str(),
+       m.env.mpi.c_str(),
+       m.env.deviceLibrary.empty() ? "" : ", device lib ",
+       m.env.deviceLibrary.c_str());
+  line(out, "Topology: %d socket(s), %d NUMA domain(s), %d cores (%d hw "
+            "threads), %d GPU(s)",
+       m.topology.socketCount(), m.topology.numaCount(), m.coreCount(),
+       m.hardwareThreadCount(), m.topology.gpuCount());
+
+  const HostMemoryParams& hm = m.hostMemory;
+  line(out, "Host memory model:");
+  line(out, "  per-core bw        %8.2f GB/s", hm.perCoreBw.inGBps());
+  line(out, "  per-NUMA saturation%8.2f GB/s",
+       hm.perNumaSaturation.inGBps());
+  line(out, "  peak               %s", hm.peakNote.c_str());
+  line(out, "  cache-mode factor  %8.2f   smt factor %.2f  unbound %.2f",
+       hm.cacheModeOverhead, hm.smtFactor, hm.unboundFactor);
+  if (m.hostPeakFp64Gflops > 0.0) {
+    line(out, "  peak FP64          %8.0f GFLOP/s (balance %.1f flops/byte)",
+         m.hostPeakFp64Gflops,
+         m.hostPeakFp64Gflops /
+             (hm.perNumaSaturation.inGBps() *
+              static_cast<double>(m.topology.numaCount()) /
+              hm.cacheModeOverhead));
+  }
+
+  const HostMpiParams& mp = m.hostMpi;
+  line(out, "Host MPI model:");
+  line(out, "  software overhead  %8.3f us", mp.softwareOverhead.us());
+  if (m.topology.core(topo::CoreId{0}).mesh.has_value()) {
+    line(out, "  mesh base/per-hop  %8.3f / %.4f us", mp.meshBase.us(),
+         mp.meshPerHop.us());
+  } else {
+    line(out, "  hops same-NUMA/cross-NUMA/cross-socket  %.3f / %.3f / "
+              "%.3f us",
+         mp.sameNumaHop.us(), mp.crossNumaHop.us(), mp.crossSocketHop.us());
+  }
+  line(out, "  eager<=%llu B at %.1f GB/s, rendezvous at %.1f GB/s",
+       static_cast<unsigned long long>(mp.eagerThreshold.count()),
+       mp.eagerBandwidth.inGBps(), mp.rendezvousBandwidth.inGBps());
+
+  if (m.device) {
+    const DeviceParams& d = *m.device;
+    line(out, "Device model (per visible device):");
+    line(out, "  HBM achievable     %8.2f GB/s (peak %s)", d.hbmBw.inGBps(),
+         d.hbmPeakNote.c_str());
+    line(out, "  kernel launch      %8.3f us, sync wait %.3f us",
+         d.kernelLaunch.us(), d.syncWait.us());
+    line(out, "  memcpy call        %8.3f us, H2D DMA setup %.3f us, D2D "
+              "DMA setup %.3f us",
+         d.memcpyCallOverhead.us(), d.h2dDmaSetup.us(), d.d2dDmaSetup.us());
+    line(out, "  D2D class residuals A/B/C/D  %.3f / %.3f / %.3f / %.3f us",
+         d.d2dClassResidual[0].us(), d.d2dClassResidual[1].us(),
+         d.d2dClassResidual[2].us(), d.d2dClassResidual[3].us());
+    if (d.peakFp64Gflops > 0.0) {
+      line(out, "  peak FP64          %8.0f GFLOP/s (balance %.1f "
+                "flops/byte)",
+           d.peakFp64Gflops, d.peakFp64Gflops / d.hbmBw.inGBps());
+    }
+    line(out, "  device MPI base    %8.3f us one-way",
+         m.deviceMpi->baseOneWay.us());
+  }
+  return out;
+}
+
+}  // namespace nodebench::machines

@@ -1,0 +1,16 @@
+#pragma once
+/// \file machine_card.hpp
+/// \brief Human-readable "machine card": every identity field, topology
+/// figure and calibrated primitive of one machine in a single dump —
+/// the documentation companion to the calibration comments in the
+/// builders. Exposed on the CLI as `nodebench card <machine>`.
+
+#include <string>
+
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+[[nodiscard]] std::string machineCard(const Machine& m);
+
+}  // namespace nodebench::machines

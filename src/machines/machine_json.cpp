@@ -1,0 +1,83 @@
+#include "machines/machine_json.hpp"
+
+#include <cstdio>
+
+namespace nodebench::machines {
+
+namespace {
+
+std::string esc(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string machineJson(const Machine& m) {
+  std::string j = "{\n";
+  j += "  \"name\": " + esc(m.info.name) + ",\n";
+  j += "  \"top500Rank\": " + std::to_string(m.info.top500Rank) + ",\n";
+  j += "  \"location\": " + esc(m.info.location) + ",\n";
+  j += "  \"cpu\": " + esc(m.info.cpuModel) + ",\n";
+  j += "  \"accelerator\": " + esc(m.info.acceleratorModel) + ",\n";
+  j += "  \"software\": {\"compiler\": " + esc(m.env.compiler) +
+       ", \"deviceLibrary\": " + esc(m.env.deviceLibrary) +
+       ", \"mpi\": " + esc(m.env.mpi) + "},\n";
+  j += "  \"topology\": {\"sockets\": " +
+       std::to_string(m.topology.socketCount()) +
+       ", \"numaDomains\": " + std::to_string(m.topology.numaCount()) +
+       ", \"cores\": " + std::to_string(m.coreCount()) +
+       ", \"hardwareThreads\": " + std::to_string(m.hardwareThreadCount()) +
+       ", \"gpus\": " + std::to_string(m.topology.gpuCount()) + "},\n";
+  j += "  \"hostMemory\": {\"perCoreGBps\": " +
+       num(m.hostMemory.perCoreBw.inGBps()) +
+       ", \"perNumaSaturationGBps\": " +
+       num(m.hostMemory.perNumaSaturation.inGBps()) +
+       ", \"cacheModeOverhead\": " + num(m.hostMemory.cacheModeOverhead) +
+       ", \"smtFactor\": " + num(m.hostMemory.smtFactor) +
+       ", \"peakNote\": " + esc(m.hostMemory.peakNote) + "},\n";
+  j += "  \"hostMpi\": {\"softwareOverheadUs\": " +
+       num(m.hostMpi.softwareOverhead.us()) +
+       ", \"sameNumaHopUs\": " + num(m.hostMpi.sameNumaHop.us()) +
+       ", \"crossNumaHopUs\": " + num(m.hostMpi.crossNumaHop.us()) +
+       ", \"crossSocketHopUs\": " + num(m.hostMpi.crossSocketHop.us()) +
+       ", \"eagerThresholdBytes\": " +
+       std::to_string(m.hostMpi.eagerThreshold.count()) +
+       ", \"cv\": " + num(m.hostMpi.cv) + "},\n";
+  j += "  \"hostPeakFp64Gflops\": " + num(m.hostPeakFp64Gflops);
+  if (m.device) {
+    const DeviceParams& d = *m.device;
+    j += ",\n  \"device\": {\"hbmGBps\": " + num(d.hbmBw.inGBps()) +
+         ", \"hbmPeakNote\": " + esc(d.hbmPeakNote) +
+         ", \"kernelLaunchUs\": " + num(d.kernelLaunch.us()) +
+         ", \"syncWaitUs\": " + num(d.syncWait.us()) +
+         ", \"memcpyCallOverheadUs\": " + num(d.memcpyCallOverhead.us()) +
+         ", \"h2dDmaSetupUs\": " + num(d.h2dDmaSetup.us()) +
+         ", \"d2dDmaSetupUs\": " + num(d.d2dDmaSetup.us()) +
+         ", \"peakFp64Gflops\": " + num(d.peakFp64Gflops) +
+         ", \"d2dClassResidualUs\": [" + num(d.d2dClassResidual[0].us()) +
+         ", " + num(d.d2dClassResidual[1].us()) + ", " +
+         num(d.d2dClassResidual[2].us()) + ", " +
+         num(d.d2dClassResidual[3].us()) + "]}";
+    j += ",\n  \"deviceMpi\": {\"baseOneWayUs\": " +
+         num(m.deviceMpi->baseOneWay.us()) +
+         ", \"cv\": " + num(m.deviceMpi->cv) + "}";
+  }
+  j += "\n}\n";
+  return j;
+}
+
+}  // namespace nodebench::machines

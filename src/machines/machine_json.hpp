@@ -1,0 +1,17 @@
+#pragma once
+/// \file machine_json.hpp
+/// \brief JSON export of a machine description — the machine-readable
+/// companion to the human-oriented machine card, for downstream tooling
+/// (dashboards, parameter diffing, external model fitting).
+
+#include <string>
+
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+/// Serializes identity, topology counts, software environment and every
+/// calibrated primitive of the machine as a JSON object.
+[[nodiscard]] std::string machineJson(const Machine& m);
+
+}  // namespace nodebench::machines

@@ -1,0 +1,43 @@
+#include "machines/mpi_stacks.hpp"
+
+namespace nodebench::machines {
+
+std::vector<MpiStackVariant> alternativeStacks(const Machine& m) {
+  std::vector<MpiStackVariant> out;
+  out.push_back(MpiStackVariant{m.env.mpi + " (default)", 1.0, 1.0, 1.0});
+
+  const std::string& accel = m.info.acceleratorModel;
+  if (accel.find("V100") != std::string::npos ||
+      accel.find("GV100") != std::string::npos) {
+    // Khorassani et al.: MVAPICH2-GDR's GPU path is several times faster
+    // than SpectrumMPI's on OpenPOWER; OpenMPI+UCX sits between.
+    out.push_back(MpiStackVariant{"mvapich2-gdr-like", 0.95, 0.40, 2.0});
+    out.push_back(MpiStackVariant{"openmpi-ucx-like", 1.10, 0.70, 1.0});
+  } else if (!accel.empty()) {
+    // cray-mpich is already the tuned vendor stack on these systems; an
+    // untuned open-source build typically regresses the device path.
+    out.push_back(MpiStackVariant{"openmpi-untuned-like", 1.25, 1.60, 0.5});
+  } else {
+    out.push_back(MpiStackVariant{"vendor-tuned-like", 0.85, 1.0, 1.0});
+    out.push_back(MpiStackVariant{"openmpi-generic-like", 1.20, 1.0, 1.0});
+  }
+  return out;
+}
+
+Machine withMpiStack(const Machine& m, const MpiStackVariant& variant) {
+  NB_EXPECTS(variant.hostOverheadScale > 0.0);
+  NB_EXPECTS(variant.deviceBaseScale > 0.0);
+  NB_EXPECTS(variant.eagerThresholdScale > 0.0);
+  Machine out = m;
+  out.hostMpi.softwareOverhead =
+      m.hostMpi.softwareOverhead * variant.hostOverheadScale;
+  out.hostMpi.eagerThreshold = ByteCount::bytes(static_cast<std::uint64_t>(
+      m.hostMpi.eagerThreshold.asDouble() * variant.eagerThresholdScale));
+  if (out.deviceMpi) {
+    out.deviceMpi->baseOneWay =
+        m.deviceMpi->baseOneWay * variant.deviceBaseScale;
+  }
+  return out;
+}
+
+}  // namespace nodebench::machines

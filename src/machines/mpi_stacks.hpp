@@ -1,0 +1,44 @@
+#pragma once
+/// \file mpi_stacks.hpp
+/// \brief Alternative MPI implementation profiles — the paper's fourth
+/// future-work item ("prior work has identified substantial latency
+/// differences on the same systems between MPI implementations [26]; it
+/// may be worth measuring under a variety of configurations").
+///
+/// A variant scales the software-side primitives of the machine's MPI
+/// model: host per-message overhead, device-path base cost, and the
+/// eager threshold. Scales are drawn from the relative differences
+/// Khorassani et al. report between SpectrumMPI, OpenMPI+UCX and
+/// MVAPICH2-GDR on Summit/Sierra-class systems.
+
+#include <string>
+#include <vector>
+
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+struct MpiStackVariant {
+  std::string name;
+  double hostOverheadScale = 1.0;
+  double deviceBaseScale = 1.0;
+  double eagerThresholdScale = 1.0;
+
+  [[nodiscard]] bool isDefault() const {
+    return hostOverheadScale == 1.0 && deviceBaseScale == 1.0 &&
+           eagerThresholdScale == 1.0;
+  }
+};
+
+/// The stacks worth comparing on this machine, default first. Accelerator
+/// machines get GPU-aware alternatives; CPU machines get a generic
+/// vendor-vs-open-source pairing.
+[[nodiscard]] std::vector<MpiStackVariant> alternativeStacks(
+    const Machine& m);
+
+/// A copy of the machine with the variant's scales applied to its MPI
+/// parameters (topology and all other calibration untouched).
+[[nodiscard]] Machine withMpiStack(const Machine& m,
+                                   const MpiStackVariant& variant);
+
+}  // namespace nodebench::machines

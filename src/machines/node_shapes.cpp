@@ -1,0 +1,171 @@
+#include "machines/node_shapes.hpp"
+
+namespace nodebench::machines {
+
+using namespace nodebench::literals;
+using topo::GpuId;
+using topo::LinkType;
+using topo::MeshCoord;
+using topo::NodeTopology;
+using topo::NumaId;
+using topo::SocketId;
+
+topo::NodeTopology xeonDualSocketNode(std::string cpuModel,
+                                      int coresPerSocket) {
+  NB_EXPECTS(coresPerSocket > 0);
+  NodeTopology node;
+  for (int s = 0; s < 2; ++s) {
+    const SocketId socket = node.addSocket(cpuModel);
+    const NumaId numa = node.addNumaDomain(socket);
+    node.addCores(numa, coresPerSocket, /*smtThreads=*/2);
+  }
+  // UPI: latency is a generic inter-socket fabric figure; the MPI model's
+  // crossSocketHop parameter (calibrated per machine) is what actually
+  // determines on-node latency, so this value only affects routed GPU
+  // traffic, of which Xeon nodes have none.
+  node.connectSockets(SocketId{0}, SocketId{1}, LinkType::UPI, 0.10_us,
+                      Bandwidth::gbps(41.6));
+  return node;
+}
+
+topo::NodeTopology knlNode(std::string cpuModel, int cores, int meshCols) {
+  NB_EXPECTS(cores > 0 && cores % 2 == 0);
+  NB_EXPECTS(meshCols > 0);
+  NodeTopology node;
+  const SocketId socket = node.addSocket(std::move(cpuModel));
+  // Quad-cache mode: the whole chip is one NUMA domain (MCDRAM acts as a
+  // memory-side cache in front of DDR4).
+  const NumaId numa = node.addNumaDomain(socket);
+  const int tiles = cores / 2;
+  for (int t = 0; t < tiles; ++t) {
+    const MeshCoord coord{t / meshCols, t % meshCols};
+    node.addMeshCore(numa, coord, /*smtThreads=*/4);  // first core of tile
+    node.addMeshCore(numa, coord, /*smtThreads=*/4);  // second core of tile
+  }
+  return node;
+}
+
+topo::NodeTopology mi250xNode(std::string cpuModel) {
+  NodeTopology node;
+  const SocketId socket = node.addSocket(std::move(cpuModel));
+  // EPYC "Trento"/"Milan": 64 cores over four NUMA domains (NPS4).
+  for (int d = 0; d < 4; ++d) {
+    const NumaId numa = node.addNumaDomain(socket);
+    node.addCores(numa, 16, /*smtThreads=*/2);
+  }
+  const ByteCount gcdMemory = ByteCount::gib(64);
+  for (int g = 0; g < 8; ++g) {
+    node.addGpu("AMD MI250X GCD", socket, gcdMemory, /*packageIndex=*/g / 2);
+  }
+  // Physical link properties. Latency: one Infinity Fabric hop measures
+  // ~0.09 us between GCDs (the paper's Table 5 shows all-class D2D MPI at
+  // 0.44-0.50 us with a sub-0.1 us spread, consistent with a single-hop
+  // fabric). Bandwidth: 50 GB/s per xGMI link per direction (AMD CDNA2
+  // whitepaper), scaled by link count.
+  const Duration ifLat = 0.09_us;
+  const Bandwidth perLink = Bandwidth::gbps(50.0);
+  auto peer = [&](int a, int b, int links) {
+    node.connectGpuPeer(GpuId{a}, GpuId{b}, LinkType::InfinityFabric, links,
+                        ifLat, perLink * static_cast<double>(links));
+  };
+  // Class A: quad links inside each MI250X package.
+  peer(0, 1, 4);
+  peer(2, 3, 4);
+  peer(4, 5, 4);
+  peer(6, 7, 4);
+  // Class B: dual links between neighbouring packages.
+  peer(0, 2, 2);
+  peer(1, 3, 2);
+  peer(4, 6, 2);
+  peer(5, 7, 2);
+  // Class C: single links across the node.
+  peer(0, 4, 1);
+  peer(1, 5, 1);
+  peer(2, 6, 1);
+  peer(3, 7, 1);
+  // Remaining pairs (e.g. 0-3, 0-5, 1-2, ...) have no direct link: class D.
+
+  // CPU <-> GCD Infinity Fabric. Bandwidth is re-solved by the Comm|Scope
+  // calibration against the measured pinned-copy rate (~25 GB/s).
+  for (int g = 0; g < 8; ++g) {
+    node.connectHostGpu(socket, GpuId{g}, LinkType::InfinityFabric, 0.05_us,
+                        Bandwidth::gbps(36.0));
+  }
+  node.setGpuFlavor(topo::GpuInterconnectFlavor::InfinityFabric);
+  return node;
+}
+
+topo::NodeTopology power9Node(std::string cpuModel, int gpusPerSocket,
+                              Duration xbusLatency) {
+  NB_EXPECTS(gpusPerSocket >= 1 && gpusPerSocket <= 3);
+  NodeTopology node;
+  const ByteCount gpuMemory = ByteCount::gib(16);
+  SocketId sockets[2];
+  for (int s = 0; s < 2; ++s) {
+    sockets[s] = node.addSocket(cpuModel);
+    const NumaId numa = node.addNumaDomain(sockets[s]);
+    node.addCores(numa, 22, /*smtThreads=*/4);
+  }
+  std::vector<GpuId> gpus;
+  for (int s = 0; s < 2; ++s) {
+    for (int g = 0; g < gpusPerSocket; ++g) {
+      gpus.push_back(node.addGpu("NVIDIA V100", sockets[s], gpuMemory));
+    }
+  }
+  // NVLink2 between GPUs of the same socket. With 3 GPUs/socket (Summit)
+  // each pair shares 2 bricks (50 GB/s); with 2 GPUs/socket
+  // (Sierra/Lassen) each pair gets 3 bricks (75 GB/s).
+  const int bricks = gpusPerSocket == 3 ? 2 : 3;
+  const Bandwidth peerBw = Bandwidth::gbps(25.0 * bricks);
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < gpusPerSocket; ++i) {
+      for (int j = i + 1; j < gpusPerSocket; ++j) {
+        node.connectGpuPeer(gpus[s * gpusPerSocket + i],
+                            gpus[s * gpusPerSocket + j], LinkType::NVLink2,
+                            bricks, 0.30_us, peerBw);
+      }
+    }
+  }
+  // CPU <-> GPU NVLink2 (same brick counts as the peer links); bandwidth
+  // is re-solved by the Comm|Scope calibration.
+  for (std::size_t g = 0; g < gpus.size(); ++g) {
+    const SocketId s = node.gpu(gpus[g]).socket;
+    node.connectHostGpu(s, gpus[g], LinkType::NVLink2, 0.55_us,
+                        Bandwidth::gbps(25.0 * bricks));
+  }
+  node.connectSockets(sockets[0], sockets[1], LinkType::XBus, xbusLatency,
+                      Bandwidth::gbps(64.0));
+  node.setGpuFlavor(topo::GpuInterconnectFlavor::NvlinkPcieMix);
+  return node;
+}
+
+topo::NodeTopology a100Node(std::string cpuModel, int coresPerSocket) {
+  NB_EXPECTS(coresPerSocket > 0 && coresPerSocket % 4 == 0);
+  NodeTopology node;
+  const SocketId socket = node.addSocket(std::move(cpuModel));
+  for (int d = 0; d < 4; ++d) {
+    const NumaId numa = node.addNumaDomain(socket);
+    node.addCores(numa, coresPerSocket / 4, /*smtThreads=*/2);
+  }
+  const ByteCount gpuMemory = ByteCount::gib(40);
+  std::vector<GpuId> gpus;
+  for (int g = 0; g < 4; ++g) {
+    gpus.push_back(node.addGpu("NVIDIA A100 (40GB)", socket, gpuMemory));
+  }
+  // NVLink3 all-to-all: 4 links per pair, 25 GB/s per link per direction.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      node.connectGpuPeer(gpus[i], gpus[j], LinkType::NVLink3, 4, 0.25_us,
+                          Bandwidth::gbps(100.0));
+    }
+  }
+  // Host link is PCIe4 x16; bandwidth re-solved by Comm|Scope calibration.
+  for (const GpuId g : gpus) {
+    node.connectHostGpu(socket, g, LinkType::PCIe4, 0.40_us,
+                        Bandwidth::gbps(25.0));
+  }
+  node.setGpuFlavor(topo::GpuInterconnectFlavor::NvlinkAllToAll);
+  return node;
+}
+
+}  // namespace nodebench::machines

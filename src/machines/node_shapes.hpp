@@ -1,0 +1,46 @@
+#pragma once
+/// \file node_shapes.hpp
+/// \brief Topology constructors shared by machines with the same node
+/// architecture (the paper's Figures 1-3 plus the CPU-only shapes).
+
+#include <string>
+
+#include "core/units.hpp"
+#include "topo/topology.hpp"
+
+namespace nodebench::machines {
+
+/// Dual-socket Intel Xeon node (Sawtooth / Eagle / Manzano): one NUMA
+/// domain per socket, UPI between sockets, 2-way SMT.
+[[nodiscard]] topo::NodeTopology xeonDualSocketNode(std::string cpuModel,
+                                                    int coresPerSocket);
+
+/// Self-hosted Knights Landing node in quad-cache mode (Trinity / Theta):
+/// one socket, one NUMA domain, cores on a 2D mesh with `meshCols` tile
+/// columns and two cores per tile, 4-way SMT.
+[[nodiscard]] topo::NodeTopology knlNode(std::string cpuModel, int cores,
+                                         int meshCols);
+
+/// Figure 1 shape: single EPYC socket with four NUMA domains and four
+/// MI250X packages exposing eight GCDs. Infinity Fabric peer links:
+/// quad in-package (class A), dual (0,2)(1,3)(4,6)(5,7) (class B), single
+/// (0,4)(1,5)(2,6)(3,7) (class C); the remaining pairs have no direct
+/// link (class D). Each GCD also has a CPU Infinity Fabric link.
+[[nodiscard]] topo::NodeTopology mi250xNode(std::string cpuModel);
+
+/// Figure 2 shape: two Power9 sockets joined by X-Bus, `gpusPerSocket`
+/// V100s per socket. GPUs of the same socket are pairwise NVLink2
+/// connected (class A); cross-socket pairs route through the hosts
+/// (class B). CPU-GPU links are NVLink2.
+/// `xbusLatency` is exposed because it anchors the class B - class A
+/// latency separation measured on each system.
+[[nodiscard]] topo::NodeTopology power9Node(std::string cpuModel,
+                                            int gpusPerSocket,
+                                            Duration xbusLatency);
+
+/// Figure 3 shape: single EPYC socket (four NUMA domains) with four A100s
+/// connected all-to-all by NVLink3; host links are PCIe4.
+[[nodiscard]] topo::NodeTopology a100Node(std::string cpuModel,
+                                          int coresPerSocket);
+
+}  // namespace nodebench::machines

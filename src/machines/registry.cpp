@@ -1,0 +1,77 @@
+#include "machines/registry.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+#include "machines/builders.hpp"
+
+namespace nodebench::machines {
+
+const std::vector<Machine>& allMachines() {
+  static const std::vector<Machine> machines = [] {
+    std::vector<Machine> all;
+    all.reserve(13);
+    // Top500 rank order (Tables 2 and 3 merged).
+    all.push_back(makeFrontier());    // 1
+    all.push_back(makeSummit());      // 5
+    all.push_back(makeSierra());      // 6
+    all.push_back(makePerlmutter());  // 8
+    all.push_back(makePolaris());     // 19
+    all.push_back(makeTrinity());     // 29
+    all.push_back(makeLassen());      // 36
+    all.push_back(makeTheta());       // 94
+    all.push_back(makeSawtooth());    // 109
+    all.push_back(makeRZVernal());    // 116
+    all.push_back(makeEagle());       // 127
+    all.push_back(makeTioga());       // 132
+    all.push_back(makeManzano());     // 141
+    return all;
+  }();
+  return machines;
+}
+
+std::vector<const Machine*> cpuMachines() {
+  std::vector<const Machine*> out;
+  for (const Machine& m : allMachines()) {
+    if (!m.accelerated()) {
+      out.push_back(&m);
+    }
+  }
+  return out;
+}
+
+std::vector<const Machine*> gpuMachines() {
+  std::vector<const Machine*> out;
+  for (const Machine& m : allMachines()) {
+    if (m.accelerated()) {
+      out.push_back(&m);
+    }
+  }
+  return out;
+}
+
+const Machine& byName(std::string_view name) {
+  for (const Machine& m : allMachines()) {
+    if (iequals(m.info.name, name)) {
+      return m;
+    }
+  }
+  throw NotFoundError("unknown machine: " + std::string(name));
+}
+
+std::vector<AcceleratorGroup> acceleratorGroups() {
+  // Paper's Table 7 rows: V100 (Summit, Sierra, Lassen), A100
+  // (Perlmutter, Polaris), MI250X (Frontier, RZVernal, Tioga). The paper
+  // lists Summit/Sierra under "GV100" and Lassen under "V100" in Table 3
+  // but groups all three as V100 in Table 7.
+  std::vector<AcceleratorGroup> groups;
+  groups.push_back(AcceleratorGroup{
+      "V100", {&byName("Summit"), &byName("Sierra"), &byName("Lassen")}});
+  groups.push_back(
+      AcceleratorGroup{"A100", {&byName("Perlmutter"), &byName("Polaris")}});
+  groups.push_back(AcceleratorGroup{
+      "MI250X", {&byName("Frontier"), &byName("RZVernal"), &byName("Tioga")}});
+  return groups;
+}
+
+}  // namespace nodebench::machines

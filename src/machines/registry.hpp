@@ -1,0 +1,33 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Registry of the thirteen studied DOE systems.
+
+#include <string_view>
+#include <vector>
+
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+/// All systems of the study, ordered by Top500 rank (Tables 2+3 merged).
+[[nodiscard]] const std::vector<Machine>& allMachines();
+
+/// The five non-accelerator systems of Table 2, by rank.
+[[nodiscard]] std::vector<const Machine*> cpuMachines();
+
+/// The eight accelerator systems of Table 3, by rank.
+[[nodiscard]] std::vector<const Machine*> gpuMachines();
+
+/// Looks a machine up by (case-insensitive) name.
+/// Throws NotFoundError for unknown names.
+[[nodiscard]] const Machine& byName(std::string_view name);
+
+/// Accelerator model groups used by Table 7, in the paper's row order:
+/// V100, A100, MI250X. Each group lists pointers into allMachines().
+struct AcceleratorGroup {
+  std::string name;
+  std::vector<const Machine*> members;
+};
+[[nodiscard]] std::vector<AcceleratorGroup> acceleratorGroups();
+
+}  // namespace nodebench::machines

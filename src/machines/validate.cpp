@@ -1,0 +1,134 @@
+#include "machines/validate.hpp"
+
+namespace nodebench::machines {
+
+std::vector<ValidationIssue> validate(const Machine& m) {
+  std::vector<ValidationIssue> issues;
+  const auto error = [&](std::string msg) {
+    issues.push_back({ValidationIssue::Severity::Error, std::move(msg)});
+  };
+  const auto warning = [&](std::string msg) {
+    issues.push_back({ValidationIssue::Severity::Warning, std::move(msg)});
+  };
+
+  if (m.info.name.empty()) {
+    error("machine has no name");
+  }
+  if (m.topology.coreCount() == 0) {
+    error("topology has no cores");
+  }
+  if (m.topology.socketCount() == 0) {
+    error("topology has no sockets");
+  }
+
+  // Accelerator consistency.
+  const bool hasGpus = m.topology.gpuCount() > 0;
+  if (m.info.accelerated() != hasGpus) {
+    error("acceleratorModel and topology GPU count disagree");
+  }
+  if (hasGpus != m.device.has_value()) {
+    error("device parameters must exist iff the topology has GPUs");
+  }
+  if (hasGpus != m.deviceMpi.has_value()) {
+    error("device MPI parameters must exist iff the topology has GPUs");
+  }
+  if (hasGpus &&
+      m.topology.gpuFlavor() == topo::GpuInterconnectFlavor::None) {
+    error("GPU topology needs an interconnect flavour for link classes");
+  }
+  for (int g = 0; g < m.topology.gpuCount(); ++g) {
+    const topo::GpuId id{g};
+    try {
+      (void)m.topology.hostGpuLink(m.topology.gpu(id).socket, id);
+    } catch (const NotFoundError&) {
+      error("GPU " + std::to_string(g) + " has no link to its host socket");
+    }
+  }
+
+  // Multi-socket nodes need an inter-socket link for routed traffic.
+  if (m.topology.socketCount() >= 2) {
+    try {
+      (void)m.topology.socketLink(topo::SocketId{0}, topo::SocketId{1});
+    } catch (const NotFoundError&) {
+      warning("sockets 0 and 1 have no inter-socket link");
+    }
+  }
+
+  // Host parameters.
+  if (m.hostMemory.perCoreBw.inGBps() <= 0.0) {
+    error("perCoreBw must be positive");
+  }
+  if (m.hostMemory.perNumaSaturation.inGBps() <= 0.0) {
+    error("perNumaSaturation must be positive");
+  }
+  if (m.hostMemory.cacheModeOverhead < 1.0) {
+    error("cacheModeOverhead must be >= 1");
+  }
+  if (m.hostMpi.softwareOverhead <= Duration::zero()) {
+    error("MPI softwareOverhead must be positive");
+  }
+  if (m.hostMpi.eagerBandwidth.inGBps() <= 0.0 ||
+      m.hostMpi.rendezvousBandwidth.inGBps() <= 0.0) {
+    error("MPI copy bandwidths must be positive");
+  }
+  if (m.hostMpi.cv < 0.0 || m.hostMpi.cv >= 0.5) {
+    error("hostMpi.cv must be in [0, 0.5)");
+  }
+  if (m.hostMemory.peak.inGBps() <= 0.0) {
+    warning("host peak bandwidth unset (Table-4-style output incomplete)");
+  }
+  if (m.hostPeakFp64Gflops <= 0.0) {
+    warning("host peak FLOPS unset (machine-balance analysis unavailable)");
+  }
+
+  // Device parameters.
+  if (m.device) {
+    const DeviceParams& d = *m.device;
+    if (d.hbmBw.inGBps() <= 0.0) {
+      error("device hbmBw must be positive");
+    }
+    if (d.kernelLaunch <= Duration::zero() ||
+        d.syncWait <= Duration::zero()) {
+      error("kernelLaunch and syncWait must be positive");
+    }
+    if (d.memcpyCallOverhead <= Duration::zero() ||
+        d.h2dDmaSetup <= Duration::zero() ||
+        d.d2dDmaSetup <= Duration::zero()) {
+      error("memcpy overhead terms must be positive");
+    }
+    if (d.hbmPeak.inGBps() > 0.0 && d.hbmPeak < d.hbmBw) {
+      error("achievable HBM bandwidth exceeds its theoretical peak");
+    }
+    if (d.peakFp64Gflops <= 0.0) {
+      warning("device peak FLOPS unset (balance analysis unavailable)");
+    }
+  }
+  if (m.deviceMpi && m.deviceMpi->baseOneWay < Duration::zero()) {
+    error("deviceMpi.baseOneWay must be non-negative");
+  }
+  return issues;
+}
+
+bool isValid(const Machine& m) {
+  for (const ValidationIssue& issue : validate(m)) {
+    if (issue.severity == ValidationIssue::Severity::Error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ensureValid(const Machine& m) {
+  std::string errors;
+  for (const ValidationIssue& issue : validate(m)) {
+    if (issue.severity == ValidationIssue::Severity::Error) {
+      errors += (errors.empty() ? "" : "; ") + issue.message;
+    }
+  }
+  if (!errors.empty()) {
+    throw PreconditionError("invalid machine '" + m.info.name +
+                            "': " + errors);
+  }
+}
+
+}  // namespace nodebench::machines

@@ -1,0 +1,36 @@
+#pragma once
+/// \file validate.hpp
+/// \brief Consistency validation of a Machine description — primarily for
+/// user-built custom machines (see examples/custom_machine.cpp), where a
+/// forgotten link or flavour produces confusing downstream failures.
+
+#include <string>
+#include <vector>
+
+#include "machines/machine.hpp"
+
+namespace nodebench::machines {
+
+/// One validation finding.
+struct ValidationIssue {
+  enum class Severity { Error, Warning };
+  Severity severity = Severity::Error;
+  std::string message;
+};
+
+/// Checks structural and parameter consistency:
+///  errors — empty name, no cores, accelerated flags disagreeing with the
+///  topology/params, GPUs without host links, missing interconnect
+///  flavour, non-positive performance primitives, cv out of range;
+///  warnings — missing peak values, unconnected multi-socket nodes,
+///  zero-FLOPS machines (balance analysis unavailable).
+[[nodiscard]] std::vector<ValidationIssue> validate(const Machine& m);
+
+/// True when validate() reports no errors (warnings allowed).
+[[nodiscard]] bool isValid(const Machine& m);
+
+/// Throws PreconditionError listing every error if the machine is
+/// invalid. Intended at API boundaries that accept user machines.
+void ensureValid(const Machine& m);
+
+}  // namespace nodebench::machines

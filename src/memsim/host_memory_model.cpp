@@ -1,0 +1,55 @@
+#include "memsim/host_memory_model.hpp"
+
+#include <cmath>
+
+namespace nodebench::memsim {
+
+Bandwidth HostMemoryModel::achievableBandwidth(
+    const ompenv::ThreadPlacement& placement, ByteCount workingSet) const {
+  NB_EXPECTS(!placement.threads.empty());
+  const machines::HostMemoryParams& p = machine_->hostMemory;
+  const topo::NodeTopology& topo = machine_->topology;
+
+  const int cores = placement.coresUsed();
+  const int domains = placement.numaDomainsUsed(topo);
+  const int sockets = placement.socketsUsed(topo);
+  const int smtOccupancy = placement.maxSmtOccupancy();
+
+  const Bandwidth corePortion = p.perCoreBw * static_cast<double>(cores);
+  const Bandwidth saturation =
+      p.perNumaSaturation * static_cast<double>(domains);
+  double bw = min(corePortion, saturation).inGBps();
+
+  if (smtOccupancy > 1) {
+    bw *= p.smtFactor;
+  }
+  if (!placement.bound) {
+    bw *= placement.threadCount() == 1 ? p.unboundSingleFactor
+                                       : p.unboundFactor;
+  }
+
+  const double cacheMode =
+      cacheModeOverride_ >= 1.0 ? cacheModeOverride_ : p.cacheModeOverhead;
+  bw /= cacheMode;
+
+  // Smooth cache knee: full boost deep inside the LLC, none far outside.
+  const double llc =
+      p.llcPerSocket.asDouble() * static_cast<double>(sockets);
+  if (llc > 0.0 && workingSet.count() > 0) {
+    const double ratio = workingSet.asDouble() / llc;
+    const double boost =
+        1.0 + (p.cacheBandwidthBoost - 1.0) / (1.0 + std::pow(ratio, 6.0));
+    bw *= boost;
+  }
+  return Bandwidth::gbps(bw);
+}
+
+Duration HostMemoryModel::transferTime(
+    ByteCount actualTraffic, ByteCount workingSet,
+    const ompenv::ThreadPlacement& placement) const {
+  NB_EXPECTS(actualTraffic.count() > 0);
+  return achievableBandwidth(placement, workingSet)
+      .transferTime(actualTraffic);
+}
+
+}  // namespace nodebench::memsim

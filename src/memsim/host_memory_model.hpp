@@ -1,0 +1,62 @@
+#pragma once
+/// \file host_memory_model.hpp
+/// \brief Analytic model of a node's host memory system under an OpenMP
+/// thread placement.
+///
+/// The model composes four effects, each traceable to a paper observation:
+///  1. *Per-core limit*: one core sustains `perCoreBw`; small teams are
+///     core-limited (Table 4 "Single").
+///  2. *Saturation*: each NUMA domain saturates at `perNumaSaturation`;
+///     full teams are saturation-limited (Table 4 "All").
+///  3. *Binding*: unpinned teams lose a machine-specific factor to
+///     migration and imperfect NUMA spread (why Table 1 sweeps
+///     OMP_PROC_BIND / OMP_PLACES).
+///  4. *MCDRAM cache mode*: KNL systems pay a cache-management factor
+///     (the paper's explanation for Trinity's sub-peak "All" value).
+///
+/// Additionally a last-level-cache boost applies when the working set fits
+/// in cache, giving the BabelStream size sweep its characteristic knee.
+
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+#include "ompenv/placement.hpp"
+
+namespace nodebench::memsim {
+
+class HostMemoryModel {
+ public:
+  /// The machine must outlive the model.
+  explicit HostMemoryModel(const machines::Machine& machine)
+      : machine_(&machine) {}
+
+  /// Sustained bandwidth (actual-traffic basis) achievable by `placement`
+  /// for a kernel whose resident working set is `workingSet` bytes.
+  [[nodiscard]] Bandwidth achievableBandwidth(
+      const ompenv::ThreadPlacement& placement, ByteCount workingSet) const;
+
+  /// Wall time for the placement to move `actualTraffic` bytes (reads +
+  /// writes + write-allocate fills) with a `workingSet`-byte footprint.
+  [[nodiscard]] Duration transferTime(ByteCount actualTraffic,
+                                      ByteCount workingSet,
+                                      const ompenv::ThreadPlacement&) const;
+
+  /// Whether plain stores incur write-allocate traffic on this machine.
+  [[nodiscard]] bool writeAllocate() const {
+    return !machine_->hostMemory.nonTemporalStores;
+  }
+
+  [[nodiscard]] const machines::Machine& machine() const { return *machine_; }
+
+  /// Override the MCDRAM cache-mode overhead (flat-mode what-if used by
+  /// the KNL ablation bench). 1.0 disables the overhead entirely.
+  void setCacheModeOverride(double factor) {
+    NB_EXPECTS(factor >= 1.0);
+    cacheModeOverride_ = factor;
+  }
+
+ private:
+  const machines::Machine* machine_;
+  double cacheModeOverride_ = -1.0;  ///< <0 means "use machine value".
+};
+
+}  // namespace nodebench::memsim

@@ -1,0 +1,72 @@
+#include "mpisim/trace.hpp"
+
+#include <cstdio>
+
+#include "core/table.hpp"
+
+namespace nodebench::mpisim {
+
+std::string_view traceKindName(TraceRecord::Kind kind) {
+  switch (kind) {
+    case TraceRecord::Kind::Compute: return "compute";
+    case TraceRecord::Kind::Send: return "send";
+    case TraceRecord::Kind::Recv: return "recv";
+    case TraceRecord::Kind::SendPost: return "isend";
+    case TraceRecord::Kind::WaitRecv: return "wait-recv";
+    case TraceRecord::Kind::WaitSend: return "wait-send";
+  }
+  return "?";
+}
+
+Duration Tracer::totalFor(int rank, TraceRecord::Kind kind) const {
+  Duration total = Duration::zero();
+  for (const TraceRecord& r : records_) {
+    if (r.rank == rank && r.kind == kind) {
+      total += r.end - r.begin;
+    }
+  }
+  return total;
+}
+
+std::string Tracer::toChromeJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[256];
+  for (const TraceRecord& r : records_) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"peer\":%d,\"bytes\":%llu,"
+        "\"tag\":%d}}",
+        std::string(traceKindName(r.kind)).c_str(), r.rank, r.begin.us(),
+        (r.end - r.begin).us(), r.peer,
+        static_cast<unsigned long long>(r.bytes), r.tag);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::summaryTable(int ranks) const {
+  NB_EXPECTS(ranks > 0);
+  Table t({"Rank", "compute (us)", "send (us)", "recv (us)", "isend (us)",
+           "wait (us)"});
+  t.setTitle("Per-rank virtual time by operation kind");
+  for (int r = 0; r < ranks; ++r) {
+    const double wait = totalFor(r, TraceRecord::Kind::WaitRecv).us() +
+                        totalFor(r, TraceRecord::Kind::WaitSend).us();
+    t.addRow({std::to_string(r),
+              formatFixed(totalFor(r, TraceRecord::Kind::Compute).us(), 1),
+              formatFixed(totalFor(r, TraceRecord::Kind::Send).us(), 1),
+              formatFixed(totalFor(r, TraceRecord::Kind::Recv).us(), 1),
+              formatFixed(totalFor(r, TraceRecord::Kind::SendPost).us(), 1),
+              formatFixed(wait, 1)});
+  }
+  return t.renderAscii();
+}
+
+}  // namespace nodebench::mpisim

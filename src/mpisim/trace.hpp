@@ -1,0 +1,55 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Timeline tracing of simulated MPI executions.
+///
+/// When a Tracer is attached to an MpiWorld, every communicator operation
+/// records its [begin, end] interval in virtual time. The trace exports
+/// to the Chrome trace-event JSON format (chrome://tracing, Perfetto),
+/// giving the simulated runs the same timeline-debugging workflow real
+/// MPI tools provide.
+
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace nodebench::mpisim {
+
+struct TraceRecord {
+  enum class Kind { Compute, Send, Recv, SendPost, WaitRecv, WaitSend };
+  int rank = -1;
+  Kind kind = Kind::Compute;
+  Duration begin;
+  Duration end;
+  int peer = -1;           ///< -1 for compute phases.
+  std::uint64_t bytes = 0;
+  int tag = 0;
+};
+
+[[nodiscard]] std::string_view traceKindName(TraceRecord::Kind kind);
+
+class Tracer {
+ public:
+  void record(const TraceRecord& r) { records_.push_back(r); }
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+
+  /// Total time spent per kind on one rank (trace analytics).
+  [[nodiscard]] Duration totalFor(int rank, TraceRecord::Kind kind) const;
+
+  /// Chrome trace-event JSON: one complete ("X") event per record,
+  /// tid = rank, timestamps in microseconds of virtual time.
+  [[nodiscard]] std::string toChromeJson() const;
+
+  /// Per-rank time-per-kind summary rendered as an ASCII table
+  /// (microseconds). `ranks` is the number of rank rows to emit.
+  [[nodiscard]] std::string summaryTable(int ranks) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace nodebench::mpisim

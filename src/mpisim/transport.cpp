@@ -1,0 +1,136 @@
+#include "mpisim/transport.hpp"
+
+namespace nodebench::mpisim {
+
+using topo::CpuPath;
+using topo::GpuId;
+
+Duration PathTiming::eagerOneWay(ByteCount size) const {
+  Duration t = sendOverhead + latency + recvOverhead;
+  if (size.count() > 0) {
+    t += eagerBandwidth.transferTime(size);
+  }
+  return t;
+}
+
+namespace {
+
+/// Host wire latency between two cores.
+Duration hostHopLatency(const machines::Machine& machine, topo::CoreId a,
+                        topo::CoreId b) {
+  const machines::HostMpiParams& p = machine.hostMpi;
+  const CpuPath path = machine.topology.cpuPath(a, b);
+  const auto& coreA = machine.topology.core(a);
+  const auto& coreB = machine.topology.core(b);
+  if (coreA.mesh && coreB.mesh) {
+    // KNL: base cost plus per-tile-hop mesh traversal.
+    return p.meshBase +
+           p.meshPerHop * static_cast<double>(path.meshDistance);
+  }
+  if (!path.sameSocket) {
+    return p.crossSocketHop;
+  }
+  return path.sameNuma ? p.sameNumaHop : p.crossNumaHop;
+}
+
+PathTiming hostPath(const machines::Machine& machine, const RankPlacement& src,
+                    const RankPlacement& dst) {
+  const machines::HostMpiParams& p = machine.hostMpi;
+  PathTiming t;
+  t.sendOverhead = p.softwareOverhead * 0.5;
+  t.recvOverhead = p.softwareOverhead * 0.5;
+  t.latency = hostHopLatency(machine, src.core, dst.core);
+  t.eagerBandwidth = p.eagerBandwidth;
+  t.rendezvousBandwidth = p.rendezvousBandwidth;
+  t.eagerThreshold = p.eagerThreshold;
+  return t;
+}
+
+PathTiming devicePath(const machines::Machine& machine,
+                      const RankPlacement& src, const RankPlacement& dst,
+                      const BufferSpace& srcSpace,
+                      const BufferSpace& dstSpace) {
+  NB_EXPECTS_MSG(machine.deviceMpi.has_value(),
+                 "device buffers on a machine without device MPI support");
+  const machines::DeviceMpiParams& dp = *machine.deviceMpi;
+
+  topo::Route route;
+  const topo::NodeTopology& topo = machine.topology;
+  if (srcSpace.kind == BufferSpace::Kind::Device &&
+      dstSpace.kind == BufferSpace::Kind::Device) {
+    NB_EXPECTS_MSG(src.gpu && dst.gpu, "ranks must have bound GPUs");
+    NB_EXPECTS(srcSpace.device == *src.gpu && dstSpace.device == *dst.gpu);
+    NB_EXPECTS_MSG(srcSpace.device != dstSpace.device,
+                   "device-to-device MPI requires two distinct GPUs");
+    route = topo.routeGpuToGpu(GpuId{srcSpace.device}, GpuId{dstSpace.device});
+  } else if (srcSpace.kind == BufferSpace::Kind::Device) {
+    const GpuId g{srcSpace.device};
+    route = topo.routeHostToGpu(topo.core(dst.core).socket, g);
+  } else {
+    const GpuId g{dstSpace.device};
+    route = topo.routeHostToGpu(topo.core(src.core).socket, g);
+  }
+
+  PathTiming t;
+  t.sendOverhead = dp.baseOneWay * 0.5;
+  t.recvOverhead = dp.baseOneWay * 0.5;
+  t.latency = route.latency;
+  // Large-message device transfers stream over the physical route; the
+  // eager regime shares the same fabric (the paper's sizes are tiny).
+  t.eagerBandwidth = route.bottleneck;
+  t.rendezvousBandwidth = route.bottleneck;
+  t.eagerThreshold = machine.hostMpi.eagerThreshold;
+  return t;
+}
+
+}  // namespace
+
+PathTiming resolvePath(const machines::Machine& machine,
+                       const RankPlacement& src, const RankPlacement& dst,
+                       const BufferSpace& srcSpace,
+                       const BufferSpace& dstSpace) {
+  NB_EXPECTS_MSG(src.node == dst.node,
+                 "resolvePath is intra-node; use resolveInterNodePath");
+  const bool anyDevice = srcSpace.kind == BufferSpace::Kind::Device ||
+                         dstSpace.kind == BufferSpace::Kind::Device;
+  if (anyDevice) {
+    return devicePath(machine, src, dst, srcSpace, dstSpace);
+  }
+  return hostPath(machine, src, dst);
+}
+
+PathTiming resolveInterNodePath(const machines::Machine& machine,
+                                const InterNodeParams& network,
+                                const RankPlacement& src,
+                                const RankPlacement& dst,
+                                const BufferSpace& srcSpace,
+                                const BufferSpace& dstSpace) {
+  NB_EXPECTS(src.node != dst.node);
+  PathTiming t;
+  t.sendOverhead = machine.hostMpi.softwareOverhead * 0.5 +
+                   network.nicOverhead;
+  t.recvOverhead = machine.hostMpi.softwareOverhead * 0.5 +
+                   network.nicOverhead;
+  t.latency = network.perHopLatency *
+              static_cast<double>(network.hops(src.node, dst.node));
+  const Bandwidth wire =
+      min(network.injectionBandwidth, network.linkBandwidth);
+  t.eagerBandwidth = wire;
+  t.rendezvousBandwidth = wire;
+  t.eagerThreshold = network.eagerThreshold;
+
+  // Device buffers cross the GPU <-> NIC path on each device side.
+  const auto deviceSide = [&](const BufferSpace& space) {
+    if (space.kind != BufferSpace::Kind::Device) {
+      return Duration::zero();
+    }
+    NB_EXPECTS_MSG(machine.deviceMpi.has_value(),
+                   "device buffers on a machine without device MPI support");
+    return machine.deviceMpi->baseOneWay * 0.5;
+  };
+  t.sendOverhead += deviceSide(srcSpace);
+  t.recvOverhead += deviceSide(dstSpace);
+  return t;
+}
+
+}  // namespace nodebench::mpisim

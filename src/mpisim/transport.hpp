@@ -1,0 +1,103 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Timing model of one message path between two ranks.
+///
+/// A `PathTiming` is resolved once per (source rank, destination rank,
+/// buffer spaces) tuple and supplies the constants of the two intra-node
+/// protocols:
+///  - *eager* (size <= threshold): one-way time = overhead + latency +
+///    size/eagerBandwidth — this is the regime every latency table of the
+///    paper reports;
+///  - *rendezvous* (size > threshold): an RTS/CTS handshake (two extra
+///    path traversals) followed by a single-copy transfer at
+///    rendezvousBandwidth.
+///
+/// Host paths derive from HostMpiParams and the core-to-core relationship
+/// (same NUMA / cross NUMA / cross socket / KNL mesh distance). Device
+/// paths derive from DeviceMpiParams plus the topological GPU route —
+/// sub-microsecond GPU-RMA on the MI250X systems, tens of microseconds of
+/// host staging on the V100/A100 systems, exactly the contrast Table 5
+/// reports.
+
+#include <optional>
+
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+#include "topo/topology.hpp"
+
+namespace nodebench::mpisim {
+
+/// Where a rank's message buffer lives.
+struct BufferSpace {
+  enum class Kind { Host, Device };
+  Kind kind = Kind::Host;
+  int device = -1;  ///< Visible device index when kind == Device.
+
+  [[nodiscard]] static BufferSpace host() { return {Kind::Host, -1}; }
+  [[nodiscard]] static BufferSpace onDevice(int d) { return {Kind::Device, d}; }
+  friend constexpr bool operator==(const BufferSpace&,
+                                   const BufferSpace&) = default;
+};
+
+/// Placement of one rank on the cluster: node index (0 for single-node
+/// worlds, the paper's scope) plus the core / GPU within that node.
+/// Every node of a simulated cluster is an identical copy of the machine.
+struct RankPlacement {
+  topo::CoreId core;
+  std::optional<int> gpu;  ///< Bound accelerator (for device buffers).
+  int node = 0;            ///< Cluster node hosting the rank.
+};
+
+/// Inter-node interconnect parameters (the future-work extension of the
+/// paper: injection bandwidth, per-hop latency, topology radix). Used by
+/// MpiWorld when ranks sit on different nodes.
+struct InterNodeParams {
+  std::string name;              ///< e.g. "Slingshot-11".
+  Duration nicOverhead;          ///< Per-message software+NIC cost per side.
+  Duration perHopLatency;        ///< Per switch traversal.
+  Bandwidth injectionBandwidth;  ///< Per-node NIC limit (shared by ranks).
+  Bandwidth linkBandwidth;       ///< Per network link.
+  int switchRadix = 16;          ///< Nodes per leaf switch (2-level tree).
+  ByteCount eagerThreshold = ByteCount::kib(8);
+
+  /// Switch traversals between two nodes: 1 through the shared leaf
+  /// switch, 3 across the spine (leaf-spine-leaf).
+  [[nodiscard]] int hops(int nodeA, int nodeB) const {
+    NB_EXPECTS(switchRadix > 0);
+    return nodeA / switchRadix == nodeB / switchRadix ? 1 : 3;
+  }
+};
+
+/// Resolved timing constants of one direction of one path.
+struct PathTiming {
+  Duration sendOverhead;   ///< Software cost on the sending side.
+  Duration recvOverhead;   ///< Software cost on the receiving side.
+  Duration latency;        ///< One-way wire/fabric latency.
+  Bandwidth eagerBandwidth;
+  Bandwidth rendezvousBandwidth;
+  ByteCount eagerThreshold;
+
+  /// One-way eager message time (paper's "MPI latency" regime).
+  [[nodiscard]] Duration eagerOneWay(ByteCount size) const;
+};
+
+/// Resolves the path between two ranks for the given buffer spaces.
+/// Preconditions: distinct placements; device buffers require the machine
+/// to have device MPI parameters and the ranks to have bound GPUs
+/// matching the buffer spaces.
+[[nodiscard]] PathTiming resolvePath(const machines::Machine& machine,
+                                     const RankPlacement& src,
+                                     const RankPlacement& dst,
+                                     const BufferSpace& srcSpace,
+                                     const BufferSpace& dstSpace);
+
+/// Inter-node variant: when the ranks live on different nodes the path is
+/// the network, not the node fabric. Device buffers add the machine's
+/// device-MPI base cost (GPU <-> NIC staging / RMA setup).
+/// Precondition: src.node != dst.node.
+[[nodiscard]] PathTiming resolveInterNodePath(
+    const machines::Machine& machine, const InterNodeParams& network,
+    const RankPlacement& src, const RankPlacement& dst,
+    const BufferSpace& srcSpace, const BufferSpace& dstSpace);
+
+}  // namespace nodebench::mpisim

@@ -1,0 +1,444 @@
+#include "mpisim/world.hpp"
+
+#include <algorithm>
+
+namespace nodebench::mpisim {
+
+namespace {
+
+constexpr int kBarrierTag = -4711;
+constexpr int kBcastTag = -4712;
+constexpr int kReduceTag = -4713;
+constexpr int kAllreduceTag = -4714;
+constexpr int kAllgatherTag = -4715;
+constexpr int kAlltoallTag = -4716;
+
+/// Combine rate of reduction arithmetic (bytes per nanosecond): reduction
+/// collectives pay size/this per combine step in addition to transfers.
+constexpr double kCombineBytesPerNs = 10.0;
+
+/// The receiver's buffer space mirrors the sender's kind: host pairs with
+/// host, device pairs with the peer rank's bound device. This matches
+/// every benchmark in the paper (both OSU modes use symmetric buffers).
+BufferSpace mirroredSpace(const BufferSpace& srcSpace,
+                          const RankPlacement& peer) {
+  if (srcSpace.kind == BufferSpace::Kind::Host) {
+    return BufferSpace::host();
+  }
+  NB_EXPECTS_MSG(peer.gpu.has_value(),
+                 "device-space message to a rank without a bound GPU");
+  return BufferSpace::onDevice(*peer.gpu);
+}
+
+}  // namespace
+
+MpiWorld::MpiWorld(const machines::Machine& machine,
+                   std::vector<RankPlacement> placements,
+                   std::optional<InterNodeParams> network)
+    : machine_(&machine),
+      placements_(std::move(placements)),
+      network_(std::move(network)) {
+  NB_EXPECTS_MSG(placements_.size() >= 2, "an MPI world needs >= 2 ranks");
+  for (const RankPlacement& p : placements_) {
+    NB_EXPECTS(p.core.value >= 0 &&
+               p.core.value < machine.topology.coreCount());
+    if (p.gpu) {
+      NB_EXPECTS(*p.gpu >= 0 && *p.gpu < machine.topology.gpuCount());
+    }
+    NB_EXPECTS(p.node >= 0);
+    NB_EXPECTS_MSG(p.node == 0 || network_.has_value(),
+                   "multi-node placements require InterNodeParams");
+  }
+}
+
+PathTiming MpiWorld::pathBetween(int src, int dst,
+                                 const BufferSpace& srcSpace,
+                                 const BufferSpace& dstSpace) const {
+  const RankPlacement& a = placements_[src];
+  const RankPlacement& b = placements_[dst];
+  if (a.node != b.node) {
+    return resolveInterNodePath(*machine_, *network_, a, b, srcSpace,
+                                dstSpace);
+  }
+  return resolvePath(*machine_, a, b, srcSpace, dstSpace);
+}
+
+void MpiWorld::run(const RankFn& fn) {
+  NB_EXPECTS(fn != nullptr);
+  runEach(std::vector<RankFn>(placements_.size(), fn));
+}
+
+void MpiWorld::runEach(const std::vector<RankFn>& fns) {
+  NB_EXPECTS(fns.size() == placements_.size());
+  mailboxes_.assign(placements_.size(), Mailbox{});
+  channels_.assign(placements_.size() * placements_.size(),
+                   Duration::zero());
+  int maxNode = 0;
+  for (const RankPlacement& p : placements_) {
+    maxNode = std::max(maxNode, p.node);
+  }
+  nodeInjection_.assign(static_cast<std::size_t>(maxNode) + 1,
+                        Duration::zero());
+  nextRtsId_ = 1;
+  std::vector<sim::VirtualTimeScheduler::ProcessFn> procs;
+  procs.reserve(fns.size());
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    procs.push_back([this, i, &fns](sim::VirtualProcess& proc) {
+      Communicator comm(*this, proc, static_cast<int>(i));
+      fns[i](comm);
+    });
+  }
+  scheduler_.run(procs);
+}
+
+bool MpiWorld::tryMatch(int myRank, int source, int tag, MsgKind kind,
+                        Message& out) {
+  auto& box = mailboxes_[myRank].messages;
+  const auto it = std::find_if(box.begin(), box.end(), [&](const Message& m) {
+    return m.source == source && m.tag == tag && m.kind == kind;
+  });
+  if (it == box.end()) {
+    return false;
+  }
+  out = *it;
+  box.erase(it);
+  return true;
+}
+
+Duration& MpiWorld::channelFree(int src, int dst) {
+  if (interNode(src, dst)) {
+    // All inter-node traffic leaving one node shares its NIC.
+    return nodeInjection_[placements_[src].node];
+  }
+  return channels_[static_cast<std::size_t>(src) * placements_.size() + dst];
+}
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::trace(TraceRecord::Kind kind, Duration begin, int peer,
+                         std::uint64_t bytes, int tag) {
+  if (world_->tracer_ == nullptr) {
+    return;
+  }
+  world_->tracer_->record(TraceRecord{rank_, kind, begin, now(), peer,
+                                      bytes, tag});
+}
+
+void Communicator::send(int dest, int tag, ByteCount size,
+                        BufferSpace space) {
+  MpiWorld& w = *world_;
+  NB_EXPECTS(dest >= 0 && dest < w.size());
+  NB_EXPECTS_MSG(dest != rank_, "self-sends are not modelled");
+  const Duration traceBegin = now();
+  const RankPlacement& peer = w.placements_[dest];
+  const BufferSpace dstSpace = mirroredSpace(space, peer);
+  const PathTiming path = w.pathBetween(rank_, dest, space, dstSpace);
+
+  proc_->advance(path.sendOverhead);
+
+  if (size <= path.eagerThreshold) {
+    Duration& chan = w.channelFree(rank_, dest);
+    const Duration start = max(now(), chan);
+    Duration transfer = Duration::zero();
+    if (size.count() > 0) {
+      transfer = path.eagerBandwidth.transferTime(size);
+    }
+    chan = start + transfer;
+    w.mailboxes_[dest].messages.push_back(
+        MpiWorld::Message{rank_, tag, MpiWorld::MsgKind::Eager, size,
+                          start + transfer + path.latency, 0});
+    proc_->wake(dest);
+    trace(TraceRecord::Kind::Send, traceBegin, dest, size.count(), tag);
+    return;
+  }
+
+  // Rendezvous: RTS -> (wait for CTS) -> bulk data.
+  const std::uint64_t rtsId = w.nextRtsId_++;
+  w.mailboxes_[dest].messages.push_back(MpiWorld::Message{
+      rank_, tag, MpiWorld::MsgKind::Rts, size, now() + path.latency, rtsId});
+  proc_->wake(dest);
+
+  MpiWorld::Message cts;
+  proc_->blockUntil([&] {
+    return w.tryMatch(rank_, dest, tag, MpiWorld::MsgKind::Cts, cts);
+  });
+  NB_ENSURES_MSG(cts.rtsId == rtsId, "rendezvous handshake out of order");
+  proc_->advanceTo(cts.arrival);
+  proc_->advance(path.recvOverhead);  // processing the CTS costs software time
+
+  proc_->advanceTo(max(now(), w.channelFree(rank_, dest)));
+  proc_->advance(path.rendezvousBandwidth.transferTime(size));
+  w.channelFree(rank_, dest) = now();
+  w.mailboxes_[dest].messages.push_back(MpiWorld::Message{
+      rank_, tag, MpiWorld::MsgKind::Data, size, now() + path.latency, rtsId});
+  proc_->wake(dest);
+  trace(TraceRecord::Kind::Send, traceBegin, dest, size.count(), tag);
+}
+
+void Communicator::recv(int source, int tag, ByteCount size,
+                        BufferSpace space) {
+  MpiWorld& w = *world_;
+  NB_EXPECTS(source >= 0 && source < w.size());
+  NB_EXPECTS_MSG(source != rank_, "self-receives are not modelled");
+  const Duration traceBegin = now();
+  const RankPlacement& peer = w.placements_[source];
+  // Constants of the reverse control path (CTS) match the forward path by
+  // symmetry of the transport model.
+  const BufferSpace peerSpace = mirroredSpace(space, peer);
+  const PathTiming path = w.pathBetween(source, rank_, peerSpace, space);
+
+  // Either an eager payload or a rendezvous RTS can arrive first; match
+  // whichever the sender chose for this size.
+  MpiWorld::Message msg;
+  proc_->blockUntil([&] {
+    return w.tryMatch(rank_, source, tag, MpiWorld::MsgKind::Eager, msg) ||
+           w.tryMatch(rank_, source, tag, MpiWorld::MsgKind::Rts, msg);
+  });
+  NB_EXPECTS_MSG(msg.size <= size, "matched message exceeds receive buffer");
+
+  if (msg.kind == MpiWorld::MsgKind::Eager) {
+    proc_->advanceTo(msg.arrival);
+    proc_->advance(path.recvOverhead);
+    trace(TraceRecord::Kind::Recv, traceBegin, source, msg.size.count(), tag);
+    return;
+  }
+
+  // Rendezvous: processing the RTS and posting the CTS both cost software
+  // time — this handshake overhead is why real MPI latency curves step up
+  // at the eager threshold even though the rendezvous copy path is faster
+  // per byte.
+  proc_->advanceTo(msg.arrival);
+  proc_->advance(path.recvOverhead + path.sendOverhead);
+  w.mailboxes_[source].messages.push_back(
+      MpiWorld::Message{rank_, tag, MpiWorld::MsgKind::Cts, ByteCount{0},
+                        now() + path.latency, msg.rtsId});
+  proc_->wake(source);
+
+  MpiWorld::Message data;
+  proc_->blockUntil([&] {
+    return w.tryMatch(rank_, source, tag, MpiWorld::MsgKind::Data, data);
+  });
+  NB_ENSURES_MSG(data.rtsId == msg.rtsId, "rendezvous data out of order");
+  proc_->advanceTo(data.arrival);
+  proc_->advance(path.recvOverhead);
+  trace(TraceRecord::Kind::Recv, traceBegin, source, msg.size.count(), tag);
+}
+
+Request Communicator::isend(int dest, int tag, ByteCount size,
+                            BufferSpace space) {
+  MpiWorld& w = *world_;
+  NB_EXPECTS(dest >= 0 && dest < w.size());
+  NB_EXPECTS_MSG(dest != rank_, "self-sends are not modelled");
+  const Duration traceBegin = now();
+  const RankPlacement& peer = w.placements_[dest];
+  const BufferSpace dstSpace = mirroredSpace(space, peer);
+  const PathTiming path = w.pathBetween(rank_, dest, space, dstSpace);
+
+  proc_->advance(path.sendOverhead);  // post cost
+
+  Duration& chan = w.channelFree(rank_, dest);
+  const Duration start = max(now(), chan);
+  Duration ready;
+  Duration arrival;
+  if (size <= path.eagerThreshold) {
+    // Eager: buffered immediately; payload pipelines on the channel.
+    Duration transfer = Duration::zero();
+    if (size.count() > 0) {
+      transfer = path.eagerBandwidth.transferTime(size);
+    }
+    chan = start + transfer;
+    arrival = chan + path.latency;
+    ready = now();  // buffer reusable right away
+  } else {
+    // Simplified pipelined rendezvous: the handshake and the single-copy
+    // transfer are modelled analytically on the channel (a full
+    // message-level handshake would need a progress thread, which real
+    // non-blocking rendezvous implementations hide in the library).
+    const Duration handshake =
+        path.sendOverhead + path.recvOverhead + path.latency * 2.0;
+    const Duration transfer = path.rendezvousBandwidth.transferTime(size);
+    chan = start + handshake + transfer;
+    arrival = chan + path.latency;
+    ready = chan;  // sender buffer in use until the copy drains
+  }
+  w.mailboxes_[dest].messages.push_back(MpiWorld::Message{
+      rank_, tag, MpiWorld::MsgKind::Eager, size, arrival, 0});
+  proc_->wake(dest);
+
+  trace(TraceRecord::Kind::SendPost, traceBegin, dest, size.count(), tag);
+  Request r(Request::Kind::Send, dest, tag, size, ready);
+  r.space_ = space;
+  return r;
+}
+
+Request Communicator::irecv(int source, int tag, ByteCount size,
+                            BufferSpace space) {
+  MpiWorld& w = *world_;
+  NB_EXPECTS(source >= 0 && source < w.size());
+  NB_EXPECTS_MSG(source != rank_, "self-receives are not modelled");
+  Request r(Request::Kind::Recv, source, tag, size, Duration::zero());
+  r.space_ = space;
+  return r;
+}
+
+void Communicator::wait(Request& request) {
+  NB_EXPECTS_MSG(request.valid(), "wait on an invalid/completed request");
+  MpiWorld& w = *world_;
+  if (request.kind_ == Request::Kind::Send) {
+    const Duration traceBegin = now();
+    proc_->advanceTo(request.ready_);
+    trace(TraceRecord::Kind::WaitSend, traceBegin, request.peer_,
+          request.size_.count(), request.tag_);
+    request.id_ = -1;
+    return;
+  }
+  const Duration traceBegin = now();
+  // Receive: match like a blocking recv (isend always posts Eager-kind
+  // messages; a blocking rendezvous sender may post an RTS instead).
+  const RankPlacement& peer = w.placements_[request.peer_];
+  const BufferSpace peerSpace = mirroredSpace(request.space_, peer);
+  const PathTiming path =
+      w.pathBetween(request.peer_, rank_, peerSpace, request.space_);
+  MpiWorld::Message msg;
+  proc_->blockUntil([&] {
+    return w.tryMatch(rank_, request.peer_, request.tag_,
+                      MpiWorld::MsgKind::Eager, msg);
+  });
+  NB_EXPECTS_MSG(msg.size <= request.size_,
+                 "matched message exceeds receive buffer");
+  proc_->advanceTo(msg.arrival);
+  proc_->advance(path.recvOverhead);
+  trace(TraceRecord::Kind::WaitRecv, traceBegin, request.peer_,
+        msg.size.count(), request.tag_);
+  request.id_ = -1;
+}
+
+void Communicator::waitAll(std::vector<Request>& requests) {
+  for (Request& r : requests) {
+    wait(r);
+  }
+}
+
+void Communicator::sendrecv(int dest, int sendTag, ByteCount sendSize,
+                            int source, int recvTag, ByteCount recvSize,
+                            BufferSpace space) {
+  Request out = isend(dest, sendTag, sendSize, space);
+  recv(source, recvTag, recvSize, space);
+  wait(out);
+}
+
+void Communicator::barrier() {
+  const ByteCount none{0};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      recv(r, kBarrierTag, none);
+    }
+    for (int r = 1; r < size(); ++r) {
+      send(r, kBarrierTag, none);
+    }
+  } else {
+    send(0, kBarrierTag, none);
+    recv(0, kBarrierTag, none);
+  }
+}
+
+void Communicator::bcast(int root, ByteCount size, BufferSpace space) {
+  const int n = this->size();
+  NB_EXPECTS(root >= 0 && root < n);
+  const int vrank = (rank_ - root + n) % n;
+  const auto real = [&](int vr) { return (vr + root) % n; };
+
+  // Binomial tree: receive from the parent (the set bit), then forward to
+  // children below it.
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      recv(real(vrank ^ mask), kBcastTag, size, space);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      send(real(vrank + mask), kBcastTag, size, space);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::reduce(int root, ByteCount size, BufferSpace space) {
+  const int n = this->size();
+  NB_EXPECTS(root >= 0 && root < n);
+  const int vrank = (rank_ - root + n) % n;
+  const auto real = [&](int vr) { return (vr + root) % n; };
+  const Duration combine =
+      Duration::nanoseconds(size.asDouble() / kCombineBytesPerNs);
+
+  // Binomial tree, leaves inward (commutative reduction).
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) == 0) {
+      const int child = vrank | mask;
+      if (child < n) {
+        recv(real(child), kReduceTag, size, space);
+        compute(combine);
+      }
+    } else {
+      send(real(vrank & ~mask), kReduceTag, size, space);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Communicator::allreduce(ByteCount size, BufferSpace space) {
+  const int n = this->size();
+  const bool powerOfTwo = (n & (n - 1)) == 0;
+  if (!powerOfTwo) {
+    reduce(0, size, space);
+    bcast(0, size, space);
+    return;
+  }
+  const Duration combine =
+      Duration::nanoseconds(size.asDouble() / kCombineBytesPerNs);
+  // Recursive doubling: log2(n) pairwise exchanges with combines.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const int partner = rank_ ^ mask;
+    Request out = isend(partner, kAllreduceTag, size, space);
+    recv(partner, kAllreduceTag, size, space);
+    wait(out);
+    compute(combine);
+  }
+}
+
+void Communicator::allgather(ByteCount size, BufferSpace space) {
+  const int n = this->size();
+  const int next = (rank_ + 1) % n;
+  const int prev = (rank_ - 1 + n) % n;
+  // Ring: n-1 steps, each forwarding one block. Non-blocking sends keep
+  // the uniform ring direction deadlock-free for any message size.
+  for (int step = 0; step < n - 1; ++step) {
+    Request out = isend(next, kAllgatherTag, size, space);
+    recv(prev, kAllgatherTag, size, space);
+    wait(out);
+  }
+}
+
+void Communicator::alltoall(ByteCount sizePerRank, BufferSpace space) {
+  const int n = this->size();
+  // Pairwise exchange: at step i, swap blocks with rank^i (power-of-two
+  // worlds) or with the (rank +/- i) pair otherwise.
+  const bool powerOfTwo = (n & (n - 1)) == 0;
+  for (int step = 1; step < n; ++step) {
+    const int sendTo =
+        powerOfTwo ? (rank_ ^ step) : (rank_ + step) % n;
+    const int recvFrom =
+        powerOfTwo ? (rank_ ^ step) : (rank_ - step + n) % n;
+    Request out = isend(sendTo, kAlltoallTag, sizePerRank, space);
+    recv(recvFrom, kAlltoallTag, sizePerRank, space);
+    wait(out);
+  }
+}
+
+}  // namespace nodebench::mpisim

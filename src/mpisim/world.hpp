@@ -1,0 +1,222 @@
+#pragma once
+/// \file world.hpp
+/// \brief "minimpi": a blocking point-to-point message-passing runtime on
+/// the virtual-time scheduler.
+///
+/// Each rank runs as a virtual-time process; `send`/`recv` are blocking
+/// with MPI-like matching on (source, tag). Small messages use the eager
+/// protocol (the sender deposits the payload's arrival time and
+/// continues); large messages use rendezvous (RTS -> CTS -> data, sender
+/// blocks for the handshake). Timing constants come from the transport
+/// model, so a ping-pong over this runtime *is* the paper's OSU latency
+/// measurement on the simulated machine.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+#include "mpisim/trace.hpp"
+#include "mpisim/transport.hpp"
+#include "sim/vt_scheduler.hpp"
+
+namespace nodebench::mpisim {
+
+class MpiWorld;
+
+/// Handle of a pending non-blocking operation. Obtained from
+/// Communicator::isend / irecv; completed by wait / waitAll.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return id_ >= 0; }
+
+ private:
+  friend class Communicator;
+  enum class Kind { Send, Recv };
+  Request(Kind kind, int peer, int tag, ByteCount size, Duration ready)
+      : kind_(kind), peer_(peer), tag_(tag), size_(size), ready_(ready),
+        id_(0) {}
+
+  Kind kind_ = Kind::Send;
+  int peer_ = -1;
+  int tag_ = 0;
+  ByteCount size_;
+  /// Send: time the sender's buffer is reusable. Recv: unused (the
+  /// arrival is discovered at wait time by matching the mailbox).
+  Duration ready_;
+  BufferSpace space_;
+  int id_ = -1;
+};
+
+/// Per-rank handle, valid only inside the rank function.
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] Duration now() const { return proc_->now(); }
+
+  /// Models local computation.
+  void compute(Duration dt) {
+    const Duration begin = now();
+    proc_->advance(dt);
+    trace(TraceRecord::Kind::Compute, begin, -1, 0, 0);
+  }
+
+  /// Blocking standard-mode send of `size` bytes from `space` memory.
+  void send(int dest, int tag, ByteCount size,
+            BufferSpace space = BufferSpace::host());
+
+  /// Blocking receive matching (source, tag). `size` is the receive
+  /// buffer size; the matched message must not exceed it.
+  void recv(int source, int tag, ByteCount size,
+            BufferSpace space = BufferSpace::host());
+
+  // --- non-blocking point-to-point (osu_bw / osu_bibw style windows) ----
+
+  /// Posts a send and returns immediately after the software post cost.
+  /// Message transfers serialize on the per-destination channel (a
+  /// window of isends pipelines at the path bandwidth, the behaviour
+  /// osu_bw measures). Large messages use a simplified pipelined
+  /// rendezvous whose completion gates the sender at wait().
+  [[nodiscard]] Request isend(int dest, int tag, ByteCount size,
+                              BufferSpace space = BufferSpace::host());
+
+  /// Posts a receive; matching happens at wait().
+  [[nodiscard]] Request irecv(int source, int tag, ByteCount size,
+                              BufferSpace space = BufferSpace::host());
+
+  /// Completes one request (blocking).
+  void wait(Request& request);
+
+  /// Completes all requests in order.
+  void waitAll(std::vector<Request>& requests);
+
+  /// Combined exchange (MPI_Sendrecv): posts the send non-blocking,
+  /// performs the receive, then completes the send — deadlock-free for
+  /// symmetric exchange patterns of any message size.
+  void sendrecv(int dest, int sendTag, ByteCount sendSize, int source,
+                int recvTag, ByteCount recvSize,
+                BufferSpace space = BufferSpace::host());
+
+  // --- collectives (each documented with its algorithm) ------------------
+
+  /// Linear barrier through rank 0 (gather then release).
+  void barrier();
+
+  /// Binomial-tree broadcast of `size` bytes from `root`.
+  void bcast(int root, ByteCount size,
+             BufferSpace space = BufferSpace::host());
+
+  /// Binomial-tree reduction of `size` bytes to `root`; per-byte combine
+  /// cost models the arithmetic.
+  void reduce(int root, ByteCount size,
+              BufferSpace space = BufferSpace::host());
+
+  /// Allreduce: recursive doubling for power-of-two communicators,
+  /// reduce-to-0 + broadcast otherwise.
+  void allreduce(ByteCount size, BufferSpace space = BufferSpace::host());
+
+  /// Ring allgather: each rank contributes `size` bytes and receives the
+  /// contributions of all others in size-1 ring steps.
+  void allgather(ByteCount size, BufferSpace space = BufferSpace::host());
+
+  /// Pairwise-exchange alltoall: `sizePerRank` bytes to every peer.
+  void alltoall(ByteCount sizePerRank,
+                BufferSpace space = BufferSpace::host());
+
+ private:
+  friend class MpiWorld;
+  Communicator(MpiWorld& world, sim::VirtualProcess& proc, int rank)
+      : world_(&world), proc_(&proc), rank_(rank) {}
+
+  /// Records [begin, now()] to the world's tracer, when attached.
+  void trace(TraceRecord::Kind kind, Duration begin, int peer,
+             std::uint64_t bytes, int tag);
+
+  MpiWorld* world_;
+  sim::VirtualProcess* proc_;
+  int rank_;
+};
+
+/// Owns rank placements, mailboxes and the scheduler.
+class MpiWorld {
+ public:
+  using RankFn = std::function<void(Communicator&)>;
+
+  /// Precondition: at least two ranks; placements reference valid cores
+  /// (and GPUs, when set) of the machine's topology. Ranks on node > 0
+  /// require `network` (every node is an identical copy of the machine).
+  MpiWorld(const machines::Machine& machine,
+           std::vector<RankPlacement> placements,
+           std::optional<InterNodeParams> network = std::nullopt);
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(placements_.size());
+  }
+  [[nodiscard]] const machines::Machine& machine() const { return *machine_; }
+
+  /// Runs the same function on every rank (SPMD).
+  void run(const RankFn& fn);
+
+  /// Runs a distinct function per rank. Precondition: fns.size() == size().
+  void runEach(const std::vector<RankFn>& fns);
+
+  /// Attaches a timeline tracer (nullptr detaches). The tracer must
+  /// outlive every subsequent run; records accumulate across runs.
+  void setTracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  friend class Communicator;
+
+  enum class MsgKind { Eager, Rts, Cts, Data };
+
+  struct Message {
+    int source = -1;
+    int tag = 0;
+    MsgKind kind = MsgKind::Eager;
+    ByteCount size;
+    Duration arrival;       ///< Virtual time the payload is available.
+    std::uint64_t rtsId = 0;  ///< Pairs Rts/Cts/Data of one rendezvous.
+  };
+
+  struct Mailbox {
+    std::deque<Message> messages;
+  };
+
+  /// Pops the first message matching (source, tag, kind); nullopt-like
+  /// behaviour via bool return. Only called by the owning (running) rank.
+  bool tryMatch(int myRank, int source, int tag, MsgKind kind, Message& out);
+
+  /// Per directed rank pair: the time the transfer channel next becomes
+  /// free. Back-to-back (non-blocking) sends between a pair serialize on
+  /// this channel, which is what makes windowed bandwidth tests converge
+  /// to the path bandwidth instead of overlapping magically. Inter-node
+  /// messages serialize on the *source node's* injection channel instead,
+  /// so concurrent pairs on one node share the NIC (the congestion effect
+  /// the paper's future-work section wants to measure).
+  [[nodiscard]] Duration& channelFree(int src, int dst);
+
+  /// Resolves intra- vs inter-node timing for a directed rank pair.
+  [[nodiscard]] PathTiming pathBetween(int src, int dst,
+                                       const BufferSpace& srcSpace,
+                                       const BufferSpace& dstSpace) const;
+
+  [[nodiscard]] bool interNode(int src, int dst) const {
+    return placements_[src].node != placements_[dst].node;
+  }
+
+  const machines::Machine* machine_;
+  std::vector<RankPlacement> placements_;
+  std::optional<InterNodeParams> network_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<Duration> channels_;  ///< size() * size(), row-major by src.
+  std::vector<Duration> nodeInjection_;  ///< Per node, indexed by node id.
+  std::uint64_t nextRtsId_ = 1;
+  Tracer* tracer_ = nullptr;
+  sim::VirtualTimeScheduler scheduler_;
+};
+
+}  // namespace nodebench::mpisim

@@ -1,0 +1,104 @@
+#include "native/pingpong_native.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nodebench::native {
+
+namespace {
+
+void pinTo([[maybe_unused]] int cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+}
+
+/// One direction's channel: a sequence flag plus a payload buffer, padded
+/// to keep the flag and payload of the two directions off each other's
+/// cache lines.
+struct alignas(64) Channel {
+  std::atomic<std::uint64_t> seq{0};
+  char pad[56];
+};
+
+/// Bounded busy-wait, then yield. Pure spinning is fastest when both
+/// threads own a core, but on an oversubscribed (or single-core) host two
+/// spinners deadlock into scheduler timeslices; yielding caps the damage.
+void waitForSeq(const std::atomic<std::uint64_t>& seq, std::uint64_t value) {
+  for (int spins = 0; seq.load(std::memory_order_acquire) < value; ++spins) {
+    if (spins >= 4096) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+Duration nativePingPongOneWay(const NativePingPongConfig& cfg) {
+  NB_EXPECTS(cfg.iterations > 0);
+  NB_EXPECTS(cfg.warmupIterations >= 0);
+
+  const std::size_t payload = cfg.messageSize.count();
+  std::vector<char> bufAtoB(std::max<std::size_t>(payload, 1));
+  std::vector<char> bufBtoA(std::max<std::size_t>(payload, 1));
+  std::vector<char> scratchA(std::max<std::size_t>(payload, 1), 1);
+  std::vector<char> scratchB(std::max<std::size_t>(payload, 1), 2);
+
+  Channel toB;
+  Channel toA;
+  const int total = cfg.warmupIterations + cfg.iterations;
+  std::chrono::steady_clock::time_point t0;
+  std::chrono::steady_clock::time_point t1;
+
+  std::thread ponger([&] {
+    if (cfg.cores) {
+      pinTo(cfg.cores->second);
+    }
+    for (int i = 1; i <= total; ++i) {
+      waitForSeq(toB.seq, static_cast<std::uint64_t>(i));
+      if (payload > 0) {
+        std::memcpy(scratchB.data(), bufAtoB.data(), payload);
+        std::memcpy(bufBtoA.data(), scratchB.data(), payload);
+      }
+      toA.seq.store(static_cast<std::uint64_t>(i), std::memory_order_release);
+    }
+  });
+
+  if (cfg.cores) {
+    pinTo(cfg.cores->first);
+  }
+  for (int i = 1; i <= total; ++i) {
+    if (i == cfg.warmupIterations + 1) {
+      t0 = std::chrono::steady_clock::now();
+    }
+    if (payload > 0) {
+      std::memcpy(bufAtoB.data(), scratchA.data(), payload);
+    }
+    toB.seq.store(static_cast<std::uint64_t>(i), std::memory_order_release);
+    waitForSeq(toA.seq, static_cast<std::uint64_t>(i));
+    if (payload > 0) {
+      std::memcpy(scratchA.data(), bufBtoA.data(), payload);
+    }
+  }
+  t1 = std::chrono::steady_clock::now();
+  ponger.join();
+
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+  return Duration::nanoseconds(static_cast<double>(ns.count()) /
+                               (2.0 * cfg.iterations));
+}
+
+}  // namespace nodebench::native

@@ -1,0 +1,30 @@
+#pragma once
+/// \file pingpong_native.hpp
+/// \brief Real shared-memory ping-pong between two pinned threads: the
+/// native analogue of the OSU latency measurement.
+///
+/// Two threads alternate ownership of a cache line through a pair of
+/// atomics; `bytes` of payload are copied each direction through a shared
+/// buffer, so small sizes measure coherence latency and large sizes
+/// approach the copy bandwidth — the same curve shape osu_latency shows.
+
+#include <optional>
+#include <utility>
+
+#include "core/units.hpp"
+
+namespace nodebench::native {
+
+struct NativePingPongConfig {
+  ByteCount messageSize = ByteCount::bytes(8);
+  int iterations = 1000;
+  int warmupIterations = 100;
+  /// Logical CPUs to pin the two threads to (Linux only); unpinned when
+  /// unset.
+  std::optional<std::pair<int, int>> cores;
+};
+
+/// Average one-way latency (round trip / 2) over the iterations.
+[[nodiscard]] Duration nativePingPongOneWay(const NativePingPongConfig&);
+
+}  // namespace nodebench::native

@@ -1,0 +1,118 @@
+#include "native/stream_native.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace nodebench::native {
+
+using babelstream::StreamOp;
+
+namespace {
+
+constexpr double kScalar = 0.4;  // BabelStream's startScalar
+
+int resolveThreads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+NativeStreamBackend::NativeStreamBackend(int threads, bool pinToCores)
+    : team_(resolveThreads(threads), pinToCores) {
+  partials_.assign(static_cast<std::size_t>(team_.size()), 0.0);
+}
+
+std::string NativeStreamBackend::name() const {
+  return "native(" + std::to_string(team_.size()) + " threads)";
+}
+
+void NativeStreamBackend::ensureCapacity(std::size_t doubles) {
+  if (a_.size() == doubles) {
+    return;
+  }
+  a_.assign(doubles, 0.1);
+  b_.assign(doubles, 0.2);
+  c_.assign(doubles, 0.0);
+}
+
+Duration NativeStreamBackend::iterationTime(StreamOp op,
+                                            ByteCount arrayBytes) {
+  NB_EXPECTS(arrayBytes.count() >= sizeof(double));
+  const std::size_t n = arrayBytes.count() / sizeof(double);
+  ensureCapacity(n);
+
+  const int nthreads = team_.size();
+  double* a = a_.data();
+  double* b = b_.data();
+  double* c = c_.data();
+  double* partials = partials_.data();
+
+  const auto chunk = [n, nthreads](int tid) {
+    const std::size_t per = (n + static_cast<std::size_t>(nthreads) - 1) /
+                            static_cast<std::size_t>(nthreads);
+    const std::size_t lo = per * static_cast<std::size_t>(tid);
+    const std::size_t hi = std::min(n, lo + per);
+    return std::pair{lo, hi};
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  switch (op) {
+    case StreamOp::Copy:
+      team_.parallel([&](int tid) {
+        const auto [lo, hi] = chunk(tid);
+        for (std::size_t i = lo; i < hi; ++i) {
+          c[i] = a[i];
+        }
+      });
+      break;
+    case StreamOp::Mul:
+      team_.parallel([&](int tid) {
+        const auto [lo, hi] = chunk(tid);
+        for (std::size_t i = lo; i < hi; ++i) {
+          b[i] = kScalar * c[i];
+        }
+      });
+      break;
+    case StreamOp::Add:
+      team_.parallel([&](int tid) {
+        const auto [lo, hi] = chunk(tid);
+        for (std::size_t i = lo; i < hi; ++i) {
+          c[i] = a[i] + b[i];
+        }
+      });
+      break;
+    case StreamOp::Triad:
+      team_.parallel([&](int tid) {
+        const auto [lo, hi] = chunk(tid);
+        for (std::size_t i = lo; i < hi; ++i) {
+          a[i] = b[i] + kScalar * c[i];
+        }
+      });
+      break;
+    case StreamOp::Dot:
+      team_.parallel([&](int tid) {
+        const auto [lo, hi] = chunk(tid);
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          sum += a[i] * b[i];
+        }
+        partials[tid] = sum;
+      });
+      for (int t = 0; t < nthreads; ++t) {
+        sink_ += partials[t];
+      }
+      break;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  sink_ += c_[0] + a_[n / 2];
+
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start);
+  return Duration::nanoseconds(static_cast<double>(ns.count()));
+}
+
+}  // namespace nodebench::native

@@ -1,0 +1,42 @@
+#pragma once
+/// \file stream_native.hpp
+/// \brief BabelStream backend that really measures the build host: the
+/// same five kernels over real arrays on a persistent thread team.
+///
+/// This backend demonstrates that the benchmark instruments are genuine
+/// measurement code — the driver, op definitions and reporting rules used
+/// for the simulated DOE machines run unchanged against real memory.
+
+#include <memory>
+#include <vector>
+
+#include "babelstream/backend.hpp"
+#include "native/thread_team.hpp"
+
+namespace nodebench::native {
+
+class NativeStreamBackend final : public babelstream::Backend {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit NativeStreamBackend(int threads = 0, bool pinToCores = true);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Duration iterationTime(babelstream::StreamOp op,
+                                       ByteCount arrayBytes) override;
+  [[nodiscard]] double noiseCv() const override { return 0.0; }
+
+  /// Checksum consumed by tests (also defeats dead-code elimination).
+  [[nodiscard]] double sink() const { return sink_; }
+
+ private:
+  void ensureCapacity(std::size_t doubles);
+
+  ThreadTeam team_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+  std::vector<double> partials_;
+  double sink_ = 0.0;
+};
+
+}  // namespace nodebench::native

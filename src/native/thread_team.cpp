@@ -1,0 +1,88 @@
+#include "native/thread_team.hpp"
+
+#include <algorithm>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nodebench::native {
+
+namespace {
+
+void pinCurrentThread([[maybe_unused]] int cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) %
+              static_cast<unsigned>(
+                  std::max(1u, std::thread::hardware_concurrency())),
+          &set);
+  // Best-effort: pinning failure (e.g. restricted cpuset) is not fatal
+  // for a benchmark harness.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+}
+
+}  // namespace
+
+ThreadTeam::ThreadTeam(int size, bool pinToCores) {
+  NB_EXPECTS(size >= 1);
+  workers_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    workers_.emplace_back([this, i, pinToCores] {
+      if (pinToCores) {
+        pinCurrentThread(i);
+      }
+      workerLoop(i);
+    });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cvStart_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadTeam::parallel(const std::function<void(int)>& fn) {
+  NB_EXPECTS(fn != nullptr);
+  std::unique_lock lock(mu_);
+  task_ = &fn;
+  remaining_ = size();
+  ++generation_;
+  cvStart_.notify_all();
+  cvDone_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadTeam::workerLoop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cvStart_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard lock(mu_);
+      if (--remaining_ == 0) {
+        cvDone_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace nodebench::native

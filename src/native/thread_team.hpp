@@ -1,0 +1,47 @@
+#pragma once
+/// \file thread_team.hpp
+/// \brief A persistent OpenMP-style thread team: spawn once, run many
+/// parallel regions without per-region thread creation cost.
+///
+/// Used by the native STREAM backend so that per-iteration timing measures
+/// memory traffic, not std::thread startup.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace nodebench::native {
+
+class ThreadTeam {
+ public:
+  /// Spawns `size` worker threads. With `pinToCores`, worker i is pinned
+  /// to logical CPU i (Linux only; silently unpinned elsewhere).
+  explicit ThreadTeam(int size, bool pinToCores = false);
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+  ~ThreadTeam();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(threadIndex)` on every worker and returns when all finish.
+  void parallel(const std::function<void(int)>& fn);
+
+ private:
+  void workerLoop(int index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cvStart_;
+  std::condition_variable cvDone_;
+  const std::function<void(int)>* task_ = nullptr;  // guarded by mu_
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace nodebench::native

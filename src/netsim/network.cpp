@@ -1,0 +1,187 @@
+#include "netsim/network.hpp"
+
+#include "core/rng.hpp"
+#include "core/strings.hpp"
+
+namespace nodebench::netsim {
+
+using machines::Machine;
+using mpisim::BufferSpace;
+using mpisim::Communicator;
+using mpisim::InterNodeParams;
+using mpisim::MpiWorld;
+using mpisim::RankPlacement;
+using mpisim::Request;
+using namespace nodebench::literals;
+
+InterNodeParams networkFor(const Machine& m) {
+  // Representative parameter sets for the interconnect families of the
+  // studied systems (per-direction figures from public documentation):
+  //  - HPE Slingshot-11 (Frontier, Perlmutter, Polaris, RZVernal, Tioga):
+  //    200 Gb/s NICs (25 GB/s), ~2 us end-to-end small-message latency.
+  //  - Mellanox EDR InfiniBand dual-rail (Summit, Sierra, Lassen):
+  //    2 x 12.5 GB/s, ~1 us latency.
+  //  - Cray Aries (Trinity, Theta): ~10 GB/s injection, ~1.3 us.
+  //  - EDR InfiniBand single-rail (Sawtooth, Eagle) and Intel Omni-Path
+  //    (Manzano): ~12.5 GB/s, ~1.1 us.
+  const std::string& accel = m.info.acceleratorModel;
+  if (accel == "AMD MI250X" || accel == "NVIDIA A100") {
+    return InterNodeParams{"Slingshot-11", 0.80_us, 0.30_us,
+                           Bandwidth::gbps(25.0), Bandwidth::gbps(25.0), 16,
+                           ByteCount::kib(8)};
+  }
+  if (!accel.empty()) {  // the Power9 + V100 systems
+    return InterNodeParams{"EDR-IB dual-rail", 0.40_us, 0.15_us,
+                           Bandwidth::gbps(25.0), Bandwidth::gbps(12.5), 18,
+                           ByteCount::kib(8)};
+  }
+  if (m.info.cpuModel.find("Phi") != std::string::npos) {
+    return InterNodeParams{"Aries", 0.55_us, 0.10_us, Bandwidth::gbps(10.2),
+                           Bandwidth::gbps(5.25), 16, ByteCount::kib(8)};
+  }
+  if (m.info.name == "Manzano") {
+    return InterNodeParams{"Omni-Path", 0.45_us, 0.12_us,
+                           Bandwidth::gbps(12.3), Bandwidth::gbps(12.3), 24,
+                           ByteCount::kib(8)};
+  }
+  return InterNodeParams{"EDR-IB", 0.45_us, 0.15_us, Bandwidth::gbps(12.5),
+                         Bandwidth::gbps(12.5), 18, ByteCount::kib(8)};
+}
+
+namespace {
+
+/// Builds a two-node world with `pairs` communicating pairs: ranks
+/// 2i (node 0) <-> 2i+1 (node 1), each pair on its own core (and GPU on
+/// device mode).
+MpiWorld makeTwoNodeWorld(const Machine& m, int pairs, bool deviceBuffers) {
+  NB_EXPECTS(pairs >= 1);
+  NB_EXPECTS(pairs <= m.topology.coreCount());
+  if (deviceBuffers) {
+    NB_EXPECTS_MSG(m.accelerated() && pairs <= m.topology.gpuCount(),
+                   "not enough GPUs for the requested pair count");
+  }
+  std::vector<RankPlacement> placements;
+  placements.reserve(2 * pairs);
+  for (int p = 0; p < pairs; ++p) {
+    for (int node = 0; node < 2; ++node) {
+      RankPlacement rp;
+      rp.core = topo::CoreId{p};
+      rp.node = node;
+      if (deviceBuffers) {
+        rp.gpu = p;
+      }
+      placements.push_back(rp);
+    }
+  }
+  return MpiWorld(m, std::move(placements), networkFor(m));
+}
+
+}  // namespace
+
+InterNodeResult measureInterNode(const Machine& m,
+                                 const InterNodeConfig& cfg) {
+  NB_EXPECTS(cfg.iterations > 0 && cfg.binaryRuns > 0);
+  const int pairs = cfg.pairsPerNode;
+  MpiWorld world = makeTwoNodeWorld(m, pairs, cfg.deviceBuffers);
+
+  Duration latencyElapsed = Duration::zero();
+  std::vector<double> pairBandwidth(pairs, 0.0);
+  constexpr int kTag = 11;
+  constexpr int kWindow = 32;
+
+  world.run([&](Communicator& c) {
+    const int pair = c.rank() / 2;
+    const int peer = c.rank() ^ 1;
+    const bool pinger = c.rank() % 2 == 0;
+    const BufferSpace space = cfg.deviceBuffers
+                                  ? BufferSpace::onDevice(pair)
+                                  : BufferSpace::host();
+    c.barrier();
+
+    // Phase 1: latency ping-pong on pair 0, others idle (idle-network
+    // latency, matching how OSU latency is normally run).
+    if (pair == 0) {
+      if (pinger) {
+        const Duration start = c.now();
+        for (int i = 0; i < cfg.iterations; ++i) {
+          c.send(peer, kTag, cfg.messageSize, space);
+          c.recv(peer, kTag, cfg.messageSize, space);
+        }
+        latencyElapsed = c.now() - start;
+      } else {
+        for (int i = 0; i < cfg.iterations; ++i) {
+          c.recv(peer, kTag, cfg.messageSize, space);
+          c.send(peer, kTag, cfg.messageSize, space);
+        }
+      }
+    }
+    c.barrier();
+
+    // Phase 2: all pairs stream concurrently (windowed, osu_bw style);
+    // NIC sharing emerges from the node-injection channel.
+    const ByteCount streamSize = ByteCount::kib(64);
+    const Duration start = c.now();
+    for (int it = 0; it < cfg.iterations / 10 + 1; ++it) {
+      if (pinger) {
+        std::vector<Request> reqs;
+        reqs.reserve(kWindow);
+        for (int wi = 0; wi < kWindow; ++wi) {
+          reqs.push_back(c.isend(peer, kTag + 1, streamSize, space));
+        }
+        c.waitAll(reqs);
+        c.recv(peer, kTag + 2, ByteCount::bytes(4), space);
+      } else {
+        std::vector<Request> reqs;
+        reqs.reserve(kWindow);
+        for (int wi = 0; wi < kWindow; ++wi) {
+          reqs.push_back(c.irecv(peer, kTag + 1, streamSize, space));
+        }
+        c.waitAll(reqs);
+        c.send(peer, kTag + 2, ByteCount::bytes(4), space);
+      }
+    }
+    if (pinger) {
+      const double bytes = streamSize.asDouble() * kWindow *
+                           (cfg.iterations / 10 + 1);
+      pairBandwidth[pair] = bytes / (c.now() - start).ns();
+    }
+  });
+
+  const double latencyTruthUs =
+      latencyElapsed.us() / (2.0 * cfg.iterations);
+  double bwTruth = 0.0;
+  for (double bw : pairBandwidth) {
+    bwTruth += bw;
+  }
+  bwTruth /= static_cast<double>(pairs);  // per-pair average
+
+  const NoiseModel noise(m.hostMpi.cv);
+  Welford latAcc;
+  Welford bwAcc;
+  for (int run = 0; run < cfg.binaryRuns; ++run) {
+    Xoshiro256 rng(cfg.seed + m.seed +
+                   0x9e3779b9u * static_cast<std::uint64_t>(run) +
+                   static_cast<std::uint64_t>(pairs));
+    latAcc.add(latencyTruthUs * noise.sampleFactor(rng));
+    bwAcc.add(bwTruth * noise.sampleFactor(rng));
+  }
+  return InterNodeResult{cfg.messageSize, pairs, latAcc.summary(),
+                         bwAcc.summary()};
+}
+
+std::vector<InterNodeResult> congestionSweep(const Machine& m,
+                                             ByteCount messageSize,
+                                             int maxPairs,
+                                             const InterNodeConfig& cfg) {
+  NB_EXPECTS(maxPairs >= 1);
+  std::vector<InterNodeResult> out;
+  for (int pairs = 1; pairs <= maxPairs; pairs *= 2) {
+    InterNodeConfig c = cfg;
+    c.messageSize = messageSize;
+    c.pairsPerNode = pairs;
+    out.push_back(measureInterNode(m, c));
+  }
+  return out;
+}
+
+}  // namespace nodebench::netsim

@@ -1,0 +1,57 @@
+#pragma once
+/// \file network.hpp
+/// \brief Inter-node network substrate — the paper's first future-work
+/// item ("extend this work to include inter-node measurements ...
+/// network contention, node-vs-network capability (e.g. injection
+/// bandwidth), network topology").
+///
+/// Every studied system gets a representative interconnect parameter set
+/// (Slingshot-11, EDR InfiniBand, Aries, Omni-Path), and helper
+/// measurement functions mirror the OSU methodology across nodes:
+/// point-to-point latency/bandwidth plus a neighbour-congestion sweep
+/// where several node-local pairs share one NIC.
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "machines/machine.hpp"
+#include "mpisim/world.hpp"
+
+namespace nodebench::netsim {
+
+/// Representative interconnect of a machine, keyed off its real network
+/// (values from public system documentation; see network.cpp).
+[[nodiscard]] mpisim::InterNodeParams networkFor(const machines::Machine& m);
+
+struct InterNodeConfig {
+  ByteCount messageSize = ByteCount::bytes(8);
+  int iterations = 200;
+  int binaryRuns = 100;
+  /// Concurrent communicating pairs per node (congestion sweep knob).
+  int pairsPerNode = 1;
+  /// Device-resident buffers (GPU machines only).
+  bool deviceBuffers = false;
+  std::uint64_t seed = 0x4e7e0001u;
+};
+
+struct InterNodeResult {
+  ByteCount messageSize;
+  int pairsPerNode = 1;
+  Summary latencyUs;            ///< One-way ping-pong latency.
+  Summary perPairBandwidthGBps; ///< Windowed bandwidth per pair.
+};
+
+/// Ping-pong latency between rank 0 on node 0 and rank 1 on node 1, with
+/// `pairsPerNode - 1` additional pairs saturating the same NICs during a
+/// concurrent windowed stream (contention shows up in bandwidth, not in
+/// the idle-network latency probe when pairsPerNode == 1).
+[[nodiscard]] InterNodeResult measureInterNode(const machines::Machine& m,
+                                               const InterNodeConfig& cfg);
+
+/// Bandwidth-vs-pairs congestion sweep: per-pair and aggregate bandwidth
+/// as 1, 2, 4, ... pairs on the same two nodes share the NICs.
+[[nodiscard]] std::vector<InterNodeResult> congestionSweep(
+    const machines::Machine& m, ByteCount messageSize, int maxPairs,
+    const InterNodeConfig& cfg);
+
+}  // namespace nodebench::netsim

@@ -1,0 +1,88 @@
+#include "ompenv/omp_config.hpp"
+
+#include "core/strings.hpp"
+
+namespace nodebench::ompenv {
+
+std::string_view procBindName(ProcBind b) {
+  switch (b) {
+    case ProcBind::NotSet: return "not set";
+    case ProcBind::True: return "true";
+    case ProcBind::False: return "false";
+    case ProcBind::Close: return "close";
+    case ProcBind::Spread: return "spread";
+  }
+  return "?";
+}
+
+std::string_view placesName(Places p) {
+  switch (p) {
+    case Places::NotSet: return "not set";
+    case Places::Threads: return "threads";
+    case Places::Cores: return "cores";
+    case Places::Sockets: return "sockets";
+  }
+  return "?";
+}
+
+OmpConfig OmpConfig::parse(std::string_view numThreadsValue,
+                           std::string_view procBindValue,
+                           std::string_view placesValue) {
+  OmpConfig cfg;
+  if (auto n = parseUnsigned(numThreadsValue); n && *n > 0) {
+    cfg.numThreads = static_cast<int>(*n);
+  }
+  const std::string bind = toLower(trim(procBindValue));
+  if (bind == "true") {
+    cfg.procBind = ProcBind::True;
+  } else if (bind == "false") {
+    cfg.procBind = ProcBind::False;
+  } else if (bind == "close") {
+    cfg.procBind = ProcBind::Close;
+  } else if (bind == "spread") {
+    cfg.procBind = ProcBind::Spread;
+  }
+  const std::string places = toLower(trim(placesValue));
+  if (places == "threads") {
+    cfg.places = Places::Threads;
+  } else if (places == "cores") {
+    cfg.places = Places::Cores;
+  } else if (places == "sockets") {
+    cfg.places = Places::Sockets;
+  }
+  return cfg;
+}
+
+std::string OmpConfig::toString() const {
+  std::string out = "OMP_NUM_THREADS=";
+  out += numThreads ? std::to_string(*numThreads) : std::string("<unset>");
+  out += " OMP_PROC_BIND=";
+  out += procBind == ProcBind::NotSet ? "<unset>"
+                                      : std::string(procBindName(procBind));
+  out += " OMP_PLACES=";
+  out += places == Places::NotSet ? "<unset>" : std::string(placesName(places));
+  return out;
+}
+
+std::vector<OmpConfig> table1Combinations(int cores, int hwThreads) {
+  NB_EXPECTS(cores > 0);
+  NB_EXPECTS(hwThreads >= cores);
+  std::vector<OmpConfig> out;
+  out.reserve(8);
+  // Single-thread rows.
+  out.push_back(OmpConfig{1, ProcBind::NotSet, Places::NotSet});
+  out.push_back(OmpConfig{1, ProcBind::True, Places::NotSet});
+  // "#cores" rows.
+  out.push_back(OmpConfig{cores, ProcBind::NotSet, Places::NotSet});
+  out.push_back(OmpConfig{cores, ProcBind::True, Places::NotSet});
+  out.push_back(OmpConfig{cores, ProcBind::Spread, Places::Cores});
+  // "#threads" rows (all SMT hardware threads). On machines without SMT
+  // these duplicate the #cores rows, exactly as running the paper's recipe
+  // there would.
+  out.push_back(OmpConfig{hwThreads, ProcBind::NotSet, Places::NotSet});
+  out.push_back(OmpConfig{hwThreads, ProcBind::True, Places::NotSet});
+  out.push_back(OmpConfig{hwThreads, ProcBind::Close, Places::Threads});
+  return out;
+}
+
+}  // namespace nodebench::ompenv

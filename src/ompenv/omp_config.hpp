@@ -1,0 +1,57 @@
+#pragma once
+/// \file omp_config.hpp
+/// \brief Model of the OpenMP runtime environment variables the paper
+/// sweeps in Table 1: `OMP_NUM_THREADS`, `OMP_PROC_BIND`, `OMP_PLACES`.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace nodebench::ompenv {
+
+/// `OMP_PROC_BIND` values used by the paper (subset of OpenMP 5).
+enum class ProcBind { NotSet, True, False, Close, Spread };
+
+/// `OMP_PLACES` values used by the paper.
+enum class Places { NotSet, Threads, Cores, Sockets };
+
+[[nodiscard]] std::string_view procBindName(ProcBind b);
+[[nodiscard]] std::string_view placesName(Places p);
+
+/// One OpenMP environment combination.
+struct OmpConfig {
+  /// Unset means "not set": the runtime defaults to one thread per
+  /// hardware thread.
+  std::optional<int> numThreads;
+  ProcBind procBind = ProcBind::NotSet;
+  Places places = Places::NotSet;
+
+  /// Parses environment-variable strings ("" or unparsable -> NotSet; the
+  /// thread count must be a positive integer when present).
+  [[nodiscard]] static OmpConfig parse(std::string_view numThreadsValue,
+                                       std::string_view procBindValue,
+                                       std::string_view placesValue);
+
+  /// Whether threads are pinned (any bind policy other than NotSet/False).
+  [[nodiscard]] bool bound() const {
+    return procBind != ProcBind::NotSet && procBind != ProcBind::False;
+  }
+
+  /// "OMP_NUM_THREADS=16 OMP_PROC_BIND=spread OMP_PLACES=cores" style
+  /// rendering for logs and the Table 1 bench.
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const OmpConfig&, const OmpConfig&) = default;
+};
+
+/// The eight environment combinations of Table 1, instantiated for a
+/// machine with `cores` physical cores and `hwThreads` hardware threads
+/// (cores x SMT ways). Order matches the paper's table: the first two are
+/// the single-thread cases, the remaining six the "all threads" cases.
+[[nodiscard]] std::vector<OmpConfig> table1Combinations(int cores,
+                                                        int hwThreads);
+
+}  // namespace nodebench::ompenv

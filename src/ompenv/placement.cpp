@@ -1,0 +1,122 @@
+#include "ompenv/placement.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nodebench::ompenv {
+
+int ThreadPlacement::coresUsed() const {
+  std::set<int> cores;
+  for (const ThreadSlot& t : threads) {
+    cores.insert(t.core.value);
+  }
+  return static_cast<int>(cores.size());
+}
+
+int ThreadPlacement::numaDomainsUsed(const topo::NodeTopology& topo) const {
+  std::set<int> numas;
+  for (const ThreadSlot& t : threads) {
+    numas.insert(topo.core(t.core).numa.value);
+  }
+  return static_cast<int>(numas.size());
+}
+
+int ThreadPlacement::socketsUsed(const topo::NodeTopology& topo) const {
+  std::set<int> sockets;
+  for (const ThreadSlot& t : threads) {
+    sockets.insert(topo.core(t.core).socket.value);
+  }
+  return static_cast<int>(sockets.size());
+}
+
+int ThreadPlacement::maxSmtOccupancy() const {
+  int best = 0;
+  for (const ThreadSlot& t : threads) {
+    best = std::max(best, t.smtSlot + 1);
+  }
+  return best;
+}
+
+namespace {
+
+/// Cores in id order (close policy / OS default order).
+std::vector<topo::CoreId> coresInOrder(const topo::NodeTopology& topo) {
+  std::vector<topo::CoreId> out;
+  out.reserve(topo.coreCount());
+  for (int i = 0; i < topo.coreCount(); ++i) {
+    out.push_back(topo::CoreId{i});
+  }
+  return out;
+}
+
+/// Cores interleaved across sockets (spread policy): socket0.core0,
+/// socket1.core0, socket0.core1, ...
+std::vector<topo::CoreId> coresSpread(const topo::NodeTopology& topo) {
+  std::vector<std::vector<topo::CoreId>> bySocket(topo.socketCount());
+  for (int i = 0; i < topo.coreCount(); ++i) {
+    const topo::CoreId id{i};
+    bySocket[topo.core(id).socket.value].push_back(id);
+  }
+  std::vector<topo::CoreId> out;
+  out.reserve(topo.coreCount());
+  std::size_t index = 0;
+  for (bool any = true; any; ++index) {
+    any = false;
+    for (auto& socketCores : bySocket) {
+      if (index < socketCores.size()) {
+        out.push_back(socketCores[index]);
+        any = true;
+      }
+    }
+  }
+  return out;
+}
+
+int totalHardwareThreads(const topo::NodeTopology& topo) {
+  int total = 0;
+  for (int i = 0; i < topo.coreCount(); ++i) {
+    total += topo.core(topo::CoreId{i}).smtThreads;
+  }
+  return total;
+}
+
+}  // namespace
+
+ThreadPlacement place(const topo::NodeTopology& topo, const OmpConfig& cfg) {
+  NB_EXPECTS(topo.coreCount() > 0);
+  const int hwThreads = totalHardwareThreads(topo);
+  int n = cfg.numThreads.value_or(hwThreads);
+  NB_EXPECTS(n > 0);
+  n = std::min(n, hwThreads);
+
+  const bool spread = cfg.procBind == ProcBind::Spread;
+  const std::vector<topo::CoreId> order =
+      spread ? coresSpread(topo) : coresInOrder(topo);
+
+  ThreadPlacement placement;
+  placement.bound = cfg.bound();
+  placement.threads.reserve(static_cast<std::size_t>(n));
+
+  // One thread per core first; wrap into higher SMT slots only once every
+  // core in the visit order already carries a thread. This matches how
+  // both close and spread policies behave for the Table 1 team sizes
+  // (#cores fills slot 0 everywhere; #threads fills all SMT slots).
+  int assigned = 0;
+  for (int smtSlot = 0; assigned < n; ++smtSlot) {
+    bool progressed = false;
+    for (const topo::CoreId core : order) {
+      if (assigned >= n) {
+        break;
+      }
+      if (smtSlot < topo.core(core).smtThreads) {
+        placement.threads.push_back(ThreadSlot{core, smtSlot});
+        ++assigned;
+        progressed = true;
+      }
+    }
+    NB_ENSURES(progressed);  // guaranteed because n <= hwThreads
+  }
+  return placement;
+}
+
+}  // namespace nodebench::ompenv

@@ -1,0 +1,65 @@
+#pragma once
+/// \file placement.hpp
+/// \brief Maps an OpenMP environment configuration onto a concrete thread
+/// placement over a node topology.
+///
+/// The placement is what the host memory model consumes: which cores (and
+/// how many SMT slots per core) are occupied, how many sockets and NUMA
+/// domains participate, and whether the threads are pinned. Binding
+/// effects — the whole point of the paper's Table 1 sweep — then fall out
+/// of the memory model's per-NUMA saturation and unbound-migration terms.
+
+#include <vector>
+
+#include "ompenv/omp_config.hpp"
+#include "topo/topology.hpp"
+
+namespace nodebench::ompenv {
+
+/// One OpenMP thread's home.
+struct ThreadSlot {
+  topo::CoreId core;
+  int smtSlot = 0;  ///< 0 = first hardware thread of the core.
+};
+
+/// Resolved placement of an OpenMP team.
+struct ThreadPlacement {
+  std::vector<ThreadSlot> threads;
+  bool bound = false;  ///< Pinned (OMP_PROC_BIND set and not "false").
+
+  [[nodiscard]] int threadCount() const {
+    return static_cast<int>(threads.size());
+  }
+
+  /// Number of distinct cores occupied.
+  [[nodiscard]] int coresUsed() const;
+
+  /// Number of distinct NUMA domains occupied.
+  [[nodiscard]] int numaDomainsUsed(const topo::NodeTopology& topo) const;
+
+  /// Number of distinct sockets occupied.
+  [[nodiscard]] int socketsUsed(const topo::NodeTopology& topo) const;
+
+  /// Max threads stacked on any single core (SMT pressure).
+  [[nodiscard]] int maxSmtOccupancy() const;
+};
+
+/// Computes the placement of `cfg` on `topo`.
+///
+/// Policies:
+///  - close (or bind=true with default places): fill cores in id order,
+///    one thread per core first, wrapping into SMT slots when the team is
+///    larger than the core count;
+///  - spread: stride threads round-robin across sockets, then across cores
+///    within each socket;
+///  - unbound (OMP_PROC_BIND unset/false): the OS spreads threads over
+///    cores in id order but the placement is flagged `bound=false`, which
+///    the memory model penalizes (migration, imperfect NUMA locality).
+///
+/// Thread count defaults to the total hardware-thread count when
+/// `cfg.numThreads` is unset; it is clamped to the hardware-thread count
+/// (oversubscription is outside this model's scope).
+[[nodiscard]] ThreadPlacement place(const topo::NodeTopology& topo,
+                                    const OmpConfig& cfg);
+
+}  // namespace nodebench::ompenv

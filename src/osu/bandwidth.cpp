@@ -1,0 +1,114 @@
+#include "osu/bandwidth.hpp"
+
+namespace nodebench::osu {
+
+using mpisim::BufferSpace;
+using mpisim::Communicator;
+using mpisim::MpiWorld;
+using mpisim::RankPlacement;
+using mpisim::Request;
+
+BandwidthBenchmark::BandwidthBenchmark(const machines::Machine& machine,
+                                       RankPlacement rankA,
+                                       RankPlacement rankB,
+                                       BufferSpace::Kind bufferKind,
+                                       bool bidirectional)
+    : machine_(&machine),
+      rankA_(rankA),
+      rankB_(rankB),
+      bidirectional_(bidirectional) {
+  if (bufferKind == BufferSpace::Kind::Device) {
+    NB_EXPECTS_MSG(rankA.gpu.has_value() && rankB.gpu.has_value(),
+                   "device-buffer bandwidth needs GPU-bound ranks");
+    spaceA_ = BufferSpace::onDevice(*rankA.gpu);
+    spaceB_ = BufferSpace::onDevice(*rankB.gpu);
+  } else {
+    spaceA_ = BufferSpace::host();
+    spaceB_ = BufferSpace::host();
+  }
+}
+
+double BandwidthBenchmark::truthGBps(const BandwidthConfig& cfg) const {
+  NB_EXPECTS(cfg.windowSize > 0 && cfg.iterations > 0);
+  NB_EXPECTS(cfg.messageSize.count() > 0);
+  MpiWorld world(*machine_, {rankA_, rankB_});
+  constexpr int kTag = 2;
+  constexpr int kAckTag = 3;
+  Duration elapsed = Duration::zero();
+  double bytesMoved = 0.0;
+
+  // osu_bw: rank 0 posts a window of isends, rank 1 a window of irecvs;
+  // a tiny ack closes each iteration. osu_bibw runs the mirrored window
+  // simultaneously in both directions.
+  const auto sideA = [&](Communicator& c) {
+    const Duration start = c.now();
+    for (int it = 0; it < cfg.iterations; ++it) {
+      std::vector<Request> reqs;
+      reqs.reserve(cfg.windowSize * 2);
+      for (int wi = 0; wi < cfg.windowSize; ++wi) {
+        reqs.push_back(c.isend(1, kTag, cfg.messageSize, spaceA_));
+      }
+      if (bidirectional_) {
+        for (int wi = 0; wi < cfg.windowSize; ++wi) {
+          reqs.push_back(c.irecv(1, kTag, cfg.messageSize, spaceA_));
+        }
+      }
+      c.waitAll(reqs);
+      c.recv(1, kAckTag, ByteCount::bytes(4), spaceA_);
+    }
+    elapsed = c.now() - start;
+  };
+  const auto sideB = [&](Communicator& c) {
+    for (int it = 0; it < cfg.iterations; ++it) {
+      std::vector<Request> reqs;
+      reqs.reserve(cfg.windowSize * 2);
+      for (int wi = 0; wi < cfg.windowSize; ++wi) {
+        reqs.push_back(c.irecv(0, kTag, cfg.messageSize, spaceB_));
+      }
+      if (bidirectional_) {
+        for (int wi = 0; wi < cfg.windowSize; ++wi) {
+          reqs.push_back(c.isend(0, kTag, cfg.messageSize, spaceB_));
+        }
+      }
+      c.waitAll(reqs);
+      c.send(0, kAckTag, ByteCount::bytes(4), spaceB_);
+    }
+  };
+  world.runEach({sideA, sideB});
+
+  const double directions = bidirectional_ ? 2.0 : 1.0;
+  bytesMoved = directions * cfg.messageSize.asDouble() *
+               static_cast<double>(cfg.windowSize) *
+               static_cast<double>(cfg.iterations);
+  NB_ENSURES(elapsed > Duration::zero());
+  return bytesMoved / elapsed.ns();  // GB/s
+}
+
+BandwidthResult BandwidthBenchmark::measure(
+    const BandwidthConfig& cfg) const {
+  NB_EXPECTS(cfg.binaryRuns > 0);
+  const double truth = truthGBps(cfg);
+  const NoiseModel noise(machine_->hostMpi.cv);
+  Welford acc;
+  for (int run = 0; run < cfg.binaryRuns; ++run) {
+    Xoshiro256 rng(cfg.seed + machine_->seed +
+                   0x9e3779b9u * static_cast<std::uint64_t>(run) +
+                   cfg.messageSize.count());
+    acc.add(truth * noise.sampleFactor(rng));
+  }
+  return BandwidthResult{cfg.messageSize, acc.summary()};
+}
+
+std::vector<BandwidthResult> BandwidthBenchmark::sweep(
+    ByteCount maxSize, const BandwidthConfig& config) const {
+  std::vector<BandwidthResult> out;
+  BandwidthConfig cfg = config;
+  for (ByteCount size = ByteCount::bytes(1); size <= maxSize;
+       size = size * 2ull) {
+    cfg.messageSize = size;
+    out.push_back(measure(cfg));
+  }
+  return out;
+}
+
+}  // namespace nodebench::osu

@@ -1,0 +1,56 @@
+#pragma once
+/// \file bandwidth.hpp
+/// \brief OSU-style point-to-point bandwidth tests (`osu_bw`,
+/// `osu_bibw`): windows of non-blocking sends drained per iteration, with
+/// reported bandwidth = bytes / wall time. An extension beyond the
+/// paper's latency-only selection, using the same mpisim substrate.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "machines/machine.hpp"
+#include "mpisim/world.hpp"
+
+namespace nodebench::osu {
+
+struct BandwidthConfig {
+  ByteCount messageSize = ByteCount::kib(64);
+  int windowSize = 64;  ///< osu_bw default window
+  int iterations = 20;
+  int binaryRuns = 100;
+  std::uint64_t seed = 0x05011ab301u;
+};
+
+struct BandwidthResult {
+  ByteCount messageSize;
+  Summary bandwidthGBps;
+};
+
+class BandwidthBenchmark {
+ public:
+  /// Unidirectional (osu_bw) or bidirectional (osu_bibw) windowed
+  /// bandwidth between two ranks. The machine must outlive this.
+  BandwidthBenchmark(const machines::Machine& machine,
+                     mpisim::RankPlacement rankA, mpisim::RankPlacement rankB,
+                     mpisim::BufferSpace::Kind bufferKind,
+                     bool bidirectional = false);
+
+  [[nodiscard]] BandwidthResult measure(const BandwidthConfig& config) const;
+
+  [[nodiscard]] std::vector<BandwidthResult> sweep(
+      ByteCount maxSize, const BandwidthConfig& config) const;
+
+  /// Noiseless single-binary bandwidth in GB/s.
+  [[nodiscard]] double truthGBps(const BandwidthConfig& config) const;
+
+ private:
+  const machines::Machine* machine_;
+  mpisim::RankPlacement rankA_;
+  mpisim::RankPlacement rankB_;
+  mpisim::BufferSpace spaceA_;
+  mpisim::BufferSpace spaceB_;
+  bool bidirectional_;
+};
+
+}  // namespace nodebench::osu

@@ -1,0 +1,73 @@
+#include "osu/collectives.hpp"
+
+namespace nodebench::osu {
+
+using mpisim::Communicator;
+using mpisim::MpiWorld;
+using mpisim::RankPlacement;
+
+std::string_view collectiveName(Collective c) {
+  switch (c) {
+    case Collective::Barrier: return "barrier";
+    case Collective::Bcast: return "bcast";
+    case Collective::Reduce: return "reduce";
+    case Collective::Allreduce: return "allreduce";
+    case Collective::Allgather: return "allgather";
+    case Collective::Alltoall: return "alltoall";
+  }
+  return "?";
+}
+
+Duration collectiveTruth(const machines::Machine& machine,
+                         const CollectiveConfig& cfg) {
+  NB_EXPECTS(cfg.ranks >= 2);
+  NB_EXPECTS(cfg.iterations > 0);
+  NB_EXPECTS_MSG(cfg.ranks <= machine.topology.coreCount(),
+                 "more ranks than cores");
+  std::vector<RankPlacement> placements;
+  placements.reserve(cfg.ranks);
+  for (int r = 0; r < cfg.ranks; ++r) {
+    placements.push_back(RankPlacement{topo::CoreId{r}, std::nullopt});
+  }
+  MpiWorld world(machine, placements);
+
+  Duration elapsed = Duration::zero();
+  world.run([&](Communicator& c) {
+    c.barrier();
+    const Duration start = c.now();
+    for (int i = 0; i < cfg.iterations; ++i) {
+      switch (cfg.collective) {
+        case Collective::Barrier: c.barrier(); break;
+        case Collective::Bcast: c.bcast(0, cfg.messageSize); break;
+        case Collective::Reduce: c.reduce(0, cfg.messageSize); break;
+        case Collective::Allreduce: c.allreduce(cfg.messageSize); break;
+        case Collective::Allgather: c.allgather(cfg.messageSize); break;
+        case Collective::Alltoall: c.alltoall(cfg.messageSize); break;
+      }
+    }
+    if (c.rank() == 0) {
+      elapsed = c.now() - start;
+    }
+  });
+  NB_ENSURES(elapsed > Duration::zero());
+  return elapsed / static_cast<double>(cfg.iterations);
+}
+
+CollectiveResult measureCollective(const machines::Machine& machine,
+                                   const CollectiveConfig& cfg) {
+  NB_EXPECTS(cfg.binaryRuns > 0);
+  const Duration truth = collectiveTruth(machine, cfg);
+  const NoiseModel noise(machine.hostMpi.cv);
+  Welford acc;
+  for (int run = 0; run < cfg.binaryRuns; ++run) {
+    Xoshiro256 rng(cfg.seed + machine.seed +
+                   0x9e3779b9u * static_cast<std::uint64_t>(run) +
+                   static_cast<std::uint64_t>(cfg.collective) * 131u +
+                   cfg.messageSize.count());
+    acc.add(noise.apply(truth, rng).us());
+  }
+  return CollectiveResult{cfg.collective, cfg.messageSize, cfg.ranks,
+                          acc.summary()};
+}
+
+}  // namespace nodebench::osu

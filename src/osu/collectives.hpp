@@ -1,0 +1,46 @@
+#pragma once
+/// \file collectives.hpp
+/// \brief OSU-style collective latency benchmarks (osu_allreduce /
+/// osu_bcast / osu_alltoall flavours) over the mpisim collectives — the
+/// "collective communication" limb of the paper's future-work agenda.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "machines/machine.hpp"
+#include "mpisim/world.hpp"
+
+namespace nodebench::osu {
+
+enum class Collective { Barrier, Bcast, Reduce, Allreduce, Allgather,
+                        Alltoall };
+
+[[nodiscard]] std::string_view collectiveName(Collective c);
+
+struct CollectiveConfig {
+  Collective collective = Collective::Allreduce;
+  ByteCount messageSize = ByteCount::bytes(8);
+  int ranks = 8;           ///< Placed round-robin over the node's cores.
+  int iterations = 100;
+  int binaryRuns = 100;
+  std::uint64_t seed = 0x05011acc01u;
+};
+
+struct CollectiveResult {
+  Collective collective;
+  ByteCount messageSize;
+  int ranks = 0;
+  Summary latencyUs;  ///< Per-operation latency across binaries.
+};
+
+/// Average per-operation latency of the collective on `machine`.
+/// One rank per core in id order (the paper's rank-per-core convention).
+[[nodiscard]] CollectiveResult measureCollective(
+    const machines::Machine& machine, const CollectiveConfig& config);
+
+/// Noiseless single-binary per-operation latency.
+[[nodiscard]] Duration collectiveTruth(const machines::Machine& machine,
+                                       const CollectiveConfig& config);
+
+}  // namespace nodebench::osu

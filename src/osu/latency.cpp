@@ -1,0 +1,93 @@
+#include "osu/latency.hpp"
+
+namespace nodebench::osu {
+
+using mpisim::BufferSpace;
+using mpisim::Communicator;
+using mpisim::MpiWorld;
+using mpisim::RankPlacement;
+
+LatencyBenchmark::LatencyBenchmark(const machines::Machine& machine,
+                                   RankPlacement rankA, RankPlacement rankB,
+                                   BufferSpace::Kind bufferKind)
+    : machine_(&machine), rankA_(rankA), rankB_(rankB) {
+  if (bufferKind == BufferSpace::Kind::Device) {
+    NB_EXPECTS_MSG(rankA.gpu.has_value() && rankB.gpu.has_value(),
+                   "device-buffer latency needs GPU-bound ranks");
+    spaceA_ = BufferSpace::onDevice(*rankA.gpu);
+    spaceB_ = BufferSpace::onDevice(*rankB.gpu);
+  } else {
+    spaceA_ = BufferSpace::host();
+    spaceB_ = BufferSpace::host();
+  }
+}
+
+Duration LatencyBenchmark::truthOneWay(ByteCount messageSize,
+                                       int iterations) const {
+  NB_EXPECTS(iterations > 0);
+  MpiWorld world(*machine_, {rankA_, rankB_});
+  constexpr int kTag = 1;
+  Duration elapsed = Duration::zero();
+
+  const auto pingSide = [&](Communicator& comm) {
+    const Duration start = comm.now();
+    for (int i = 0; i < iterations; ++i) {
+      comm.send(1, kTag, messageSize, spaceA_);
+      comm.recv(1, kTag, messageSize, spaceA_);
+    }
+    elapsed = comm.now() - start;
+  };
+  const auto pongSide = [&](Communicator& comm) {
+    for (int i = 0; i < iterations; ++i) {
+      comm.recv(0, kTag, messageSize, spaceB_);
+      comm.send(0, kTag, messageSize, spaceB_);
+    }
+  };
+  world.runEach({pingSide, pongSide});
+
+  // Round-trip / 2, averaged over iterations — OSU's reporting rule.
+  return elapsed / (2.0 * static_cast<double>(iterations));
+}
+
+LatencyResult LatencyBenchmark::measure(const LatencyConfig& config) const {
+  NB_EXPECTS(config.binaryRuns > 0);
+  int iterations = config.iterations;
+  if (iterations <= 0) {
+    iterations = config.messageSize <= config.largeMessageThreshold ? 1000
+                                                                    : 100;
+  }
+  // Warmup affects wall time, not the deterministic average; the truth is
+  // a single full in-binary run.
+  const Duration truth = truthOneWay(config.messageSize, iterations);
+
+  const bool deviceMode = spaceA_.kind == BufferSpace::Kind::Device;
+  const double cv = deviceMode && machine_->deviceMpi
+                        ? machine_->deviceMpi->cv
+                        : machine_->hostMpi.cv;
+  const NoiseModel noise(cv);
+
+  Welford acc;
+  for (int run = 0; run < config.binaryRuns; ++run) {
+    Xoshiro256 rng(config.seed + machine_->seed +
+                   0x9e3779b9u * static_cast<std::uint64_t>(run) +
+                   config.messageSize.count());
+    acc.add(noise.apply(truth, rng).us());
+  }
+  return LatencyResult{config.messageSize, acc.summary()};
+}
+
+std::vector<LatencyResult> LatencyBenchmark::sweep(
+    ByteCount maxSize, const LatencyConfig& config) const {
+  std::vector<LatencyResult> out;
+  LatencyConfig cfg = config;
+  cfg.messageSize = ByteCount::bytes(0);
+  out.push_back(measure(cfg));
+  for (ByteCount size = ByteCount::bytes(1); size <= maxSize;
+       size = size * 2ull) {
+    cfg.messageSize = size;
+    out.push_back(measure(cfg));
+  }
+  return out;
+}
+
+}  // namespace nodebench::osu

@@ -1,0 +1,100 @@
+#include "osu/message_rate.hpp"
+
+namespace nodebench::osu {
+
+using mpisim::Communicator;
+using mpisim::MpiWorld;
+using mpisim::RankPlacement;
+using mpisim::Request;
+
+namespace {
+
+/// Sender ranks are even, receiver ranks odd; pair i = ranks (2i, 2i+1).
+std::vector<RankPlacement> placementsFor(const machines::Machine& m,
+                                         const MessageRateConfig& cfg) {
+  std::vector<RankPlacement> out;
+  out.reserve(2 * cfg.pairs);
+  const bool interNode = cfg.network.has_value();
+  NB_EXPECTS_MSG((interNode ? cfg.pairs : 2 * cfg.pairs) <=
+                     m.topology.coreCount(),
+                 "not enough cores for the requested pair count");
+  for (int p = 0; p < cfg.pairs; ++p) {
+    RankPlacement sender;
+    RankPlacement receiver;
+    if (interNode) {
+      sender.core = topo::CoreId{p};
+      sender.node = 0;
+      receiver.core = topo::CoreId{p};
+      receiver.node = 1;
+    } else {
+      sender.core = topo::CoreId{2 * p};
+      receiver.core = topo::CoreId{2 * p + 1};
+    }
+    out.push_back(sender);
+    out.push_back(receiver);
+  }
+  return out;
+}
+
+}  // namespace
+
+MessageRateResult measureMessageRate(const machines::Machine& m,
+                                     const MessageRateConfig& cfg) {
+  NB_EXPECTS(cfg.pairs >= 1);
+  NB_EXPECTS(cfg.windowSize > 0 && cfg.iterations > 0);
+  NB_EXPECTS(cfg.binaryRuns > 0);
+  NB_EXPECTS(cfg.messageSize.count() > 0);
+
+  MpiWorld world(m, placementsFor(m, cfg), cfg.network);
+  constexpr int kTag = 12;
+  constexpr int kAckTag = 13;
+  Duration elapsed = Duration::zero();
+
+  world.run([&](Communicator& c) {
+    const bool sender = c.rank() % 2 == 0;
+    const int peer = sender ? c.rank() + 1 : c.rank() - 1;
+    c.barrier();
+    const Duration start = c.now();
+    for (int it = 0; it < cfg.iterations; ++it) {
+      std::vector<Request> reqs;
+      reqs.reserve(cfg.windowSize);
+      for (int w = 0; w < cfg.windowSize; ++w) {
+        reqs.push_back(sender ? c.isend(peer, kTag, cfg.messageSize)
+                              : c.irecv(peer, kTag, cfg.messageSize));
+      }
+      c.waitAll(reqs);
+      if (sender) {
+        c.recv(peer, kAckTag, ByteCount::bytes(4));
+      } else {
+        c.send(peer, kAckTag, ByteCount::bytes(4));
+      }
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      elapsed = c.now() - start;
+    }
+  });
+  NB_ENSURES(elapsed > Duration::zero());
+
+  const double messages = static_cast<double>(cfg.pairs) * cfg.windowSize *
+                          cfg.iterations;
+  const double bytes = messages * cfg.messageSize.asDouble();
+  const double bwTruth = bytes / elapsed.ns();             // GB/s
+  const double rateTruth = messages / elapsed.ns() * 1e3;  // M msgs/s
+
+  const NoiseModel noise(m.hostMpi.cv);
+  Welford bwAcc;
+  Welford rateAcc;
+  for (int run = 0; run < cfg.binaryRuns; ++run) {
+    Xoshiro256 rng(cfg.seed + m.seed +
+                   0x9e3779b9u * static_cast<std::uint64_t>(run) +
+                   static_cast<std::uint64_t>(cfg.pairs));
+    const double f = noise.sampleFactor(rng);
+    bwAcc.add(bwTruth * f);
+    rateAcc.add(rateTruth * f);
+  }
+  return MessageRateResult{cfg.messageSize, cfg.pairs, bwAcc.summary(),
+                           rateAcc.summary()};
+}
+
+}  // namespace nodebench::osu

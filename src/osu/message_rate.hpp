@@ -1,0 +1,42 @@
+#pragma once
+/// \file message_rate.hpp
+/// \brief OSU multiple-bandwidth / message-rate test (`osu_mbw_mr`):
+/// N sender/receiver pairs stream windows concurrently; reports aggregate
+/// bandwidth and messages per second. Runs intra-node (pairs on distinct
+/// cores) or across two nodes (pairs share each node's NIC, exposing the
+/// injection-bandwidth ceiling).
+
+#include <optional>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "machines/machine.hpp"
+#include "mpisim/world.hpp"
+
+namespace nodebench::osu {
+
+struct MessageRateConfig {
+  int pairs = 4;
+  ByteCount messageSize = ByteCount::bytes(8);
+  int windowSize = 64;
+  int iterations = 10;
+  int binaryRuns = 100;
+  /// When set, senders sit on node 0 and receivers on node 1 over this
+  /// network; otherwise everything is intra-node.
+  std::optional<mpisim::InterNodeParams> network;
+  std::uint64_t seed = 0x05011a4a7eu;
+};
+
+struct MessageRateResult {
+  ByteCount messageSize;
+  int pairs = 0;
+  Summary aggregateBandwidthGBps;
+  Summary messagesPerSecondM;  ///< Millions of messages per second.
+};
+
+/// Runs osu_mbw_mr on the machine. Preconditions: pairs >= 1 and enough
+/// cores (2*pairs intra-node, pairs per node otherwise).
+[[nodiscard]] MessageRateResult measureMessageRate(
+    const machines::Machine& machine, const MessageRateConfig& config);
+
+}  // namespace nodebench::osu

@@ -1,0 +1,52 @@
+#include "osu/pairs.hpp"
+
+#include "core/error.hpp"
+
+namespace nodebench::osu {
+
+using machines::Machine;
+using mpisim::RankPlacement;
+using topo::CoreId;
+using topo::SocketId;
+
+PlacementPair onSocketPair(const Machine& m) {
+  NB_EXPECTS(m.topology.coreCount() >= 2);
+  return {RankPlacement{CoreId{0}, std::nullopt},
+          RankPlacement{CoreId{1}, std::nullopt}};
+}
+
+PlacementPair onNodePair(const Machine& m) {
+  const topo::NodeTopology& topo = m.topology;
+  NB_EXPECTS(topo.coreCount() >= 2);
+  if (topo.socketCount() >= 2) {
+    const auto second = topo.coresOfSocket(SocketId{1});
+    NB_EXPECTS_MSG(!second.empty(), "socket 1 has no cores");
+    return {RankPlacement{CoreId{0}, std::nullopt},
+            RankPlacement{second.front(), std::nullopt}};
+  }
+  // Single-socket (KNL) machines: first and last core (paper §3.1).
+  return {RankPlacement{CoreId{0}, std::nullopt},
+          RankPlacement{CoreId{topo.coreCount() - 1}, std::nullopt}};
+}
+
+PlacementPair devicePair(const Machine& m, topo::LinkClass linkClass) {
+  const topo::NodeTopology& topo = m.topology;
+  const auto gpus = topo.representativePair(linkClass);
+  NB_EXPECTS_MSG(gpus.has_value(),
+                 "machine has no GPU pair of the requested link class");
+  const SocketId sa = topo.gpu(gpus->first).socket;
+  const SocketId sb = topo.gpu(gpus->second).socket;
+  const auto coresA = topo.coresOfSocket(sa);
+  const auto coresB = topo.coresOfSocket(sb);
+  NB_EXPECTS(!coresA.empty() && !coresB.empty());
+  CoreId coreA = coresA.front();
+  CoreId coreB = coresB.front();
+  if (coreA == coreB) {
+    NB_EXPECTS(coresB.size() >= 2);
+    coreB = coresB[1];
+  }
+  return {RankPlacement{coreA, gpus->first.value},
+          RankPlacement{coreB, gpus->second.value}};
+}
+
+}  // namespace nodebench::osu

@@ -1,0 +1,32 @@
+#pragma once
+/// \file pairs.hpp
+/// \brief Rank-placement helpers implementing the paper's pairing
+/// methodology (§3.1, §4).
+
+#include <utility>
+
+#include "machines/machine.hpp"
+#include "mpisim/transport.hpp"
+#include "topo/types.hpp"
+
+namespace nodebench::osu {
+
+using PlacementPair = std::pair<mpisim::RankPlacement, mpisim::RankPlacement>;
+
+/// "On-socket": two processes on the same processor — cores 0 and 1.
+/// (On KNL those are the two cores of the first tile, the paper's "close"
+/// pair.)
+[[nodiscard]] PlacementPair onSocketPair(const machines::Machine& m);
+
+/// "On-node": processes on different processors — core 0 and the first
+/// core of the second socket. On single-socket KNL systems, the paper's
+/// "far" pair: cores 0 and N-1.
+[[nodiscard]] PlacementPair onNodePair(const machines::Machine& m);
+
+/// Device pair for a GPU link class: one rank per GPU of the class's
+/// representative pair, each pinned to a distinct core of its GPU's home
+/// socket. Precondition: the class exists on this machine.
+[[nodiscard]] PlacementPair devicePair(const machines::Machine& m,
+                                       topo::LinkClass linkClass);
+
+}  // namespace nodebench::osu

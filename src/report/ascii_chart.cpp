@@ -1,0 +1,131 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nodebench::report {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '@', '%', '&', '~'};
+
+double transform(double v, bool log) {
+  if (!log) {
+    return v;
+  }
+  NB_EXPECTS_MSG(v > 0.0, "log axis requires positive values");
+  return std::log2(v);
+}
+
+std::string tick(double v) {
+  char buf[32];
+  if (v != 0.0 && (std::abs(v) >= 10000.0 || std::abs(v) < 0.01)) {
+    std::snprintf(buf, sizeof(buf), "%.2g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string renderChart(const std::vector<double>& xs,
+                        const std::vector<Series>& series,
+                        const ChartOptions& opt) {
+  NB_EXPECTS(!series.empty());
+  NB_EXPECTS(xs.size() >= 2);
+  NB_EXPECTS(opt.width >= 16 && opt.height >= 4);
+  for (const Series& s : series) {
+    NB_EXPECTS_MSG(s.y.size() == xs.size(),
+                   "series length must match the x axis");
+  }
+
+  double xLo = transform(xs.front(), opt.logX);
+  double xHi = transform(xs.back(), opt.logX);
+  NB_EXPECTS_MSG(xHi > xLo, "x axis must be increasing");
+  double yLo = transform(series[0].y[0], opt.logY);
+  double yHi = yLo;
+  for (const Series& s : series) {
+    for (double v : s.y) {
+      const double t = transform(v, opt.logY);
+      yLo = std::min(yLo, t);
+      yHi = std::max(yHi, t);
+    }
+  }
+  if (yHi == yLo) {
+    yHi = yLo + 1.0;  // flat series still renders
+  }
+
+  // Grid of glyphs; row 0 is the top.
+  std::vector<std::string> grid(opt.height, std::string(opt.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double fx = (transform(xs[i], opt.logX) - xLo) / (xHi - xLo);
+      const double fy =
+          (transform(series[si].y[i], opt.logY) - yLo) / (yHi - yLo);
+      const int col = std::min(opt.width - 1,
+                               static_cast<int>(fx * (opt.width - 1) + 0.5));
+      const int row =
+          opt.height - 1 -
+          std::min(opt.height - 1,
+                   static_cast<int>(fy * (opt.height - 1) + 0.5));
+      grid[row][col] = glyph;
+    }
+  }
+
+  // Assemble with a y-axis gutter.
+  std::string out;
+  if (!opt.yLabel.empty()) {
+    out += "  " + opt.yLabel + "\n";
+  }
+  const auto yAt = [&](int row) {
+    const double f =
+        static_cast<double>(opt.height - 1 - row) / (opt.height - 1);
+    const double t = yLo + f * (yHi - yLo);
+    return opt.logY ? std::exp2(t) : t;
+  };
+  for (int row = 0; row < opt.height; ++row) {
+    char gutter[16];
+    if (row == 0 || row == opt.height / 2 || row == opt.height - 1) {
+      std::snprintf(gutter, sizeof(gutter), "%9s |", tick(yAt(row)).c_str());
+    } else {
+      std::snprintf(gutter, sizeof(gutter), "%9s |", "");
+    }
+    out += gutter;
+    out += grid[row];
+    out += '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(opt.width, '-') + '\n';
+  char xticks[160];
+  std::snprintf(xticks, sizeof(xticks), "%10s %-*s%s\n", " ",
+                opt.width - static_cast<int>(tick(xs.back()).size()),
+                tick(xs.front()).c_str(), tick(xs.back()).c_str());
+  out += xticks;
+  if (!opt.xLabel.empty()) {
+    out += std::string(10, ' ') + opt.xLabel + '\n';
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += "  ";
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += " = " + series[si].name + '\n';
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& ys) {
+  NB_EXPECTS(!ys.empty());
+  static constexpr char kLevels[] = " .:-=+*#";
+  const double lo = *std::min_element(ys.begin(), ys.end());
+  const double hi = *std::max_element(ys.begin(), ys.end());
+  std::string out;
+  out.reserve(ys.size());
+  for (double v : ys) {
+    const double f = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    out += kLevels[static_cast<int>(f * 7.0 + 0.5)];
+  }
+  return out;
+}
+
+}  // namespace nodebench::report

@@ -1,0 +1,42 @@
+#pragma once
+/// \file ascii_chart.hpp
+/// \brief Terminal line charts for benchmark series — the figure-grade
+/// companion to the tables (log-x latency/bandwidth curves render the
+/// way the microbenchmark literature plots them).
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace nodebench::report {
+
+/// One named series of (x, y) points. All series of a chart share the x
+/// values.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  int width = 64;    ///< Plot columns.
+  int height = 16;   ///< Plot rows.
+  bool logX = true;  ///< Size axes are log2 in this domain.
+  bool logY = false;
+  std::string xLabel;
+  std::string yLabel;
+};
+
+/// Renders an ASCII line chart: one glyph per series ('*', 'o', '+', 'x',
+/// ...), y-axis ticks on the left, x ticks underneath, legend at the
+/// bottom. Preconditions: at least one series, all series the same
+/// length as xs, at least two points, positive values on log axes.
+[[nodiscard]] std::string renderChart(const std::vector<double>& xs,
+                                      const std::vector<Series>& series,
+                                      const ChartOptions& options);
+
+/// Compact single-line sparkline of one series (8-level blocks rendered
+/// in ASCII as " .:-=+*#").
+[[nodiscard]] std::string sparkline(const std::vector<double>& ys);
+
+}  // namespace nodebench::report

@@ -1,0 +1,52 @@
+#include "report/balance.hpp"
+
+#include "machines/registry.hpp"
+
+namespace nodebench::report {
+
+using machines::Machine;
+
+std::vector<BalanceRow> computeBalance() {
+  std::vector<BalanceRow> rows;
+  for (const Machine& m : machines::allMachines()) {
+    if (m.hostPeakFp64Gflops > 0.0) {
+      BalanceRow host;
+      host.machine = &m;
+      host.deviceSide = false;
+      host.peakGflops = m.hostPeakFp64Gflops;
+      // Sustained host bandwidth: every NUMA domain saturated, divided by
+      // the cache-mode factor (the model's Table 4 "All" value).
+      host.streamGBps = m.hostMemory.perNumaSaturation.inGBps() *
+                        static_cast<double>(m.topology.numaCount()) /
+                        m.hostMemory.cacheModeOverhead;
+      rows.push_back(host);
+    }
+    if (m.device && m.device->peakFp64Gflops > 0.0) {
+      BalanceRow dev;
+      dev.machine = &m;
+      dev.deviceSide = true;
+      dev.peakGflops = m.device->peakFp64Gflops;
+      dev.streamGBps = m.device->hbmBw.inGBps();
+      rows.push_back(dev);
+    }
+  }
+  return rows;
+}
+
+Table renderBalance(const std::vector<BalanceRow>& rows) {
+  Table t({"System", "Side", "Peak FP64 (GFLOP/s)", "STREAM (GB/s)",
+           "Balance (flops/byte)"});
+  t.setTitle(
+      "Machine balance: arithmetic a kernel needs per byte of traffic to "
+      "be compute-bound");
+  t.setAlign(1, Align::Left);
+  for (const BalanceRow& row : rows) {
+    t.addRow({row.machine->info.name, row.deviceSide ? "device" : "host",
+              formatFixed(row.peakGflops, 0),
+              formatFixed(row.streamGBps, 1),
+              formatFixed(row.flopsPerByte(), 1)});
+  }
+  return t;
+}
+
+}  // namespace nodebench::report

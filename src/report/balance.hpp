@@ -1,0 +1,34 @@
+#pragma once
+/// \file balance.hpp
+/// \brief Machine-balance analysis: peak FLOP rate over sustained STREAM
+/// bandwidth, the quantity McCalpin's original STREAM papers tracked and
+/// the paper's related-work section recounts ("CPU performance was
+/// improving much faster than memory bandwidth"). Computed for both the
+/// host and device sides of every studied system.
+
+#include <vector>
+
+#include "core/table.hpp"
+#include "machines/machine.hpp"
+
+namespace nodebench::report {
+
+struct BalanceRow {
+  const machines::Machine* machine = nullptr;
+  bool deviceSide = false;
+  double peakGflops = 0.0;
+  double streamGBps = 0.0;  ///< Best sustainable STREAM bandwidth (model).
+  /// Flops a kernel must perform per byte of memory traffic to stay
+  /// compute-bound: peak / bandwidth.
+  [[nodiscard]] double flopsPerByte() const {
+    return peakGflops / streamGBps;
+  }
+};
+
+/// One row per host and one per accelerator of each system with known
+/// peak FLOPS, using the calibrated models' sustained bandwidths.
+[[nodiscard]] std::vector<BalanceRow> computeBalance();
+
+[[nodiscard]] Table renderBalance(const std::vector<BalanceRow>& rows);
+
+}  // namespace nodebench::report

@@ -1,0 +1,62 @@
+#include "report/export.hpp"
+
+#include <fstream>
+
+#include "core/error.hpp"
+#include "report/balance.hpp"
+
+namespace nodebench::report {
+
+namespace {
+
+void writeFile(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open " + path.string() + " for writing");
+  }
+  out << text;
+  if (!out) {
+    throw Error("failed writing " + path.string());
+  }
+}
+
+}  // namespace
+
+std::vector<std::filesystem::path> exportTable(
+    const Table& table, const std::filesystem::path& dir,
+    const std::string& stem) {
+  NB_EXPECTS(!stem.empty());
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path csv = dir / (stem + ".csv");
+  const std::filesystem::path md = dir / (stem + ".md");
+  const std::filesystem::path json = dir / (stem + ".json");
+  writeFile(csv, table.renderCsv());
+  writeFile(md, table.renderMarkdown());
+  writeFile(json, table.renderJson());
+  return {csv, md, json};
+}
+
+ExportManifest exportAllTables(const std::filesystem::path& dir,
+                               const TableOptions& options) {
+  ExportManifest manifest;
+  const auto add = [&](const Table& t, const std::string& stem) {
+    for (auto& path : exportTable(t, dir, stem)) {
+      manifest.written.push_back(std::move(path));
+    }
+  };
+  add(buildTable1(), "table1_omp_combinations");
+  add(buildTable2(), "table2_cpu_systems");
+  add(buildTable3(), "table3_gpu_systems");
+  add(renderTable4(computeTable4(options)), "table4_cpu_results");
+  const auto t5 = computeTable5(options);
+  const auto t6 = computeTable6(options);
+  add(renderTable5(t5), "table5_gpu_results");
+  add(renderTable6(t6), "table6_commscope_results");
+  add(buildTable7(t5, t6), "table7_accelerator_ranges");
+  add(buildTable8(), "table8_cpu_software");
+  add(buildTable9(), "table9_gpu_software");
+  add(renderBalance(computeBalance()), "machine_balance");
+  return manifest;
+}
+
+}  // namespace nodebench::report

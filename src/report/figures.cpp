@@ -1,0 +1,178 @@
+#include "report/figures.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "topo/topology.hpp"
+
+namespace nodebench::report {
+
+using machines::Machine;
+using topo::GpuId;
+using topo::GpuInterconnectFlavor;
+using topo::LinkClass;
+
+namespace {
+
+std::string mi250xDiagram(const Machine& m) {
+  std::string out;
+  out += "  " + m.info.name + " node (" + m.info.cpuModel +
+         " + 4x MI250X = 8 GCDs)\n";
+  out +=
+      "\n"
+      "                  +---------------------------+\n"
+      "                  |          " +
+      m.info.cpuModel +
+      "          |\n"
+      "                  |   (4 NUMA domains, 64c)   |\n"
+      "                  +---------------------------+\n"
+      "                   |   |   |   |   |   |   |   |  CPU-GCD Infinity "
+      "Fabric\n"
+      "   pkg0            pkg1            pkg2            pkg3\n"
+      " +------+====+------+  +------+====+------+\n"
+      " | GCD0 | x4 | GCD1 |  | GCD2 | x4 | GCD3 |   ==== : quad IF "
+      "(class A)\n"
+      " +------+====+------+  +------+====+------+\n"
+      "    ||      \\ /  ||       ||     \\ /   ||      ||   : dual IF "
+      "(class B)\n"
+      "    ||      / \\  ||       ||     / \\   ||      |    : single IF "
+      "(class C)\n"
+      " +------+====+------+  +------+====+------+\n"
+      " | GCD4 | x4 | GCD5 |  | GCD6 | x4 | GCD7 |   no direct link: "
+      "class D\n"
+      " +------+====+------+  +------+====+------+\n";
+  return out;
+}
+
+std::string power9Diagram(const Machine& m) {
+  const int perSocket = m.topology.gpuCount() / 2;
+  std::string out;
+  out += "  " + m.info.name + " node (2x IBM Power9 + " +
+         std::to_string(m.topology.gpuCount()) + "x V100)\n\n";
+  if (perSocket == 3) {
+    out +=
+        " +--------+  NVLink2  +------+=+------+=+------+\n"
+        " |        |===========| GPU0 | | GPU1 | | GPU2 |   = : NVLink2\n"
+        " | Power9 |           +------+=+------+=+------+       (class A "
+        "within socket)\n"
+        " | skt 0  |\n"
+        " +--------+\n"
+        "     ||  X-Bus (cross-socket GPU pairs: class B)\n"
+        " +--------+\n"
+        " | Power9 |           +------+=+------+=+------+\n"
+        " | skt 1  |===========| GPU3 | | GPU4 | | GPU5 |\n"
+        " +--------+  NVLink2  +------+=+------+=+------+\n";
+  } else {
+    out +=
+        " +--------+  NVLink2  +------+=====+------+\n"
+        " |        |===========| GPU0 |     | GPU1 |   ===== : NVLink2\n"
+        " | Power9 |           +------+=====+------+       (class A within "
+        "socket)\n"
+        " | skt 0  |\n"
+        " +--------+\n"
+        "     ||  X-Bus (cross-socket GPU pairs: class B)\n"
+        " +--------+\n"
+        " | Power9 |           +------+=====+------+\n"
+        " | skt 1  |===========| GPU2 |     | GPU3 |\n"
+        " +--------+  NVLink2  +------+=====+------+\n";
+  }
+  return out;
+}
+
+std::string a100Diagram(const Machine& m) {
+  std::string out;
+  out += "  " + m.info.name + " node (" + m.info.cpuModel + " + 4x A100)\n";
+  out +=
+      "\n"
+      "        +---------------------------+\n"
+      "        |        " +
+      m.info.cpuModel +
+      "        |\n"
+      "        |    (4 NUMA domains)       |\n"
+      "        +---------------------------+\n"
+      "          |       |       |       |     PCIe4 x16 per GPU\n"
+      "       +------+ +------+ +------+ +------+\n"
+      "       | GPU0 | | GPU1 | | GPU2 | | GPU3 |\n"
+      "       +------+ +------+ +------+ +------+\n"
+      "          \\______/|\\______/|\\______/\n"
+      "           \\_______|________|______/     NVLink3 all-to-all\n"
+      "            (every pair: 4 links, class A)\n";
+  return out;
+}
+
+std::string cpuDiagram(const Machine& m) {
+  std::string out;
+  out += "  " + m.info.name + " node (" + m.info.cpuModel + ")\n\n";
+  char buf[256];
+  if (m.topology.socketCount() == 2) {
+    const int perSocket = m.coreCount() / 2;
+    std::snprintf(buf, sizeof(buf),
+                  " +--------------+   inter-socket    +--------------+\n"
+                  " |  socket 0    |===================|  socket 1    |\n"
+                  " |  %3d cores   |                   |  %3d cores   |\n"
+                  " +--------------+                   +--------------+\n",
+                  perSocket, perSocket);
+    out += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  " +--------------------------------------+\n"
+                  " |  self-hosted Xeon Phi, %3d cores     |\n"
+                  " |  2D mesh of %2d tiles (2 cores/tile)  |\n"
+                  " |  MCDRAM in quad-cache mode           |\n"
+                  " +--------------------------------------+\n",
+                  m.coreCount(), m.coreCount() / 2);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string nodeDiagram(const Machine& m) {
+  switch (m.topology.gpuFlavor()) {
+    case GpuInterconnectFlavor::InfinityFabric:
+      return mi250xDiagram(m);
+    case GpuInterconnectFlavor::NvlinkPcieMix:
+      return power9Diagram(m);
+    case GpuInterconnectFlavor::NvlinkAllToAll:
+      return a100Diagram(m);
+    case GpuInterconnectFlavor::None:
+      return cpuDiagram(m);
+  }
+  throw InvariantError("unhandled flavour");
+}
+
+std::string linkClassLegend(const Machine& m) {
+  const topo::NodeTopology& topo = m.topology;
+  if (topo.gpuFlavor() == GpuInterconnectFlavor::None) {
+    return "  (no accelerators)\n";
+  }
+  std::string out = "  GPU pairs by link class:\n";
+  for (const LinkClass c : topo.presentGpuLinkClasses()) {
+    out += "    " + std::string(topo::linkClassName(c)) + ": ";
+    for (int i = 0; i < topo.gpuCount(); ++i) {
+      for (int j = i + 1; j < topo.gpuCount(); ++j) {
+        if (topo.gpuPairClass(GpuId{i}, GpuId{j}) == c) {
+          out += "(" + std::to_string(i) + "," + std::to_string(j) + ") ";
+        }
+      }
+    }
+    const auto rep = topo.representativePair(c);
+    if (rep) {
+      if (const topo::Link* link = topo.directGpuLink(rep->first, rep->second)) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), " -- %sx%d, %.2f us, %.0f GB/s",
+                      std::string(topo::linkTypeName(link->type)).c_str(),
+                      link->count, link->latency.us(),
+                      link->bandwidth.inGBps());
+        out += buf;
+      } else {
+        out += " -- routed via host";
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nodebench::report

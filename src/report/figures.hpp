@@ -1,0 +1,23 @@
+#pragma once
+/// \file figures.hpp
+/// \brief ASCII reproductions of the paper's node diagrams (Figures 1-3),
+/// generated from the machine topology (not hand-written text), plus DOT
+/// export via topo::toDot.
+
+#include <string>
+
+#include "machines/machine.hpp"
+
+namespace nodebench::report {
+
+/// Node diagram for any machine; dispatches on the GPU interconnect
+/// flavour (Figure 1 for MI250X machines, Figure 2 for Power9+V100,
+/// Figure 3 for the A100 machines, a socket/core sketch for CPU-only
+/// systems).
+[[nodiscard]] std::string nodeDiagram(const machines::Machine& m);
+
+/// Legend: every GPU pair grouped by link class with the physical link
+/// description (the arrows of Figures 1-3).
+[[nodiscard]] std::string linkClassLegend(const machines::Machine& m);
+
+}  // namespace nodebench::report

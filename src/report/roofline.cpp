@@ -1,0 +1,86 @@
+#include "report/roofline.hpp"
+
+#include <algorithm>
+
+namespace nodebench::report {
+
+using machines::Machine;
+
+namespace {
+
+struct Sides {
+  double peakGflops;
+  double bandwidthGBps;
+};
+
+Sides sidesOf(const Machine& m, bool deviceSide) {
+  if (deviceSide) {
+    NB_EXPECTS_MSG(m.accelerated(), "device roofline on a CPU-only system");
+    NB_EXPECTS_MSG(m.device->peakFp64Gflops > 0.0,
+                   "device peak FLOPS not set");
+    return {m.device->peakFp64Gflops, m.device->hbmBw.inGBps()};
+  }
+  NB_EXPECTS_MSG(m.hostPeakFp64Gflops > 0.0, "host peak FLOPS not set");
+  const double bw = m.hostMemory.perNumaSaturation.inGBps() *
+                    static_cast<double>(m.topology.numaCount()) /
+                    m.hostMemory.cacheModeOverhead;
+  return {m.hostPeakFp64Gflops, bw};
+}
+
+}  // namespace
+
+RooflinePoint rooflineAt(const Machine& m, bool deviceSide,
+                         double intensity) {
+  NB_EXPECTS(intensity > 0.0);
+  const Sides s = sidesOf(m, deviceSide);
+  RooflinePoint p;
+  p.intensityFlopsPerByte = intensity;
+  const double memoryRoof = intensity * s.bandwidthGBps;
+  p.gflops = std::min(s.peakGflops, memoryRoof);
+  p.memoryBound = memoryRoof < s.peakGflops;
+  return p;
+}
+
+std::vector<RooflinePoint> rooflineSweep(const Machine& m, bool deviceSide,
+                                         double minIntensity,
+                                         double maxIntensity) {
+  NB_EXPECTS(minIntensity > 0.0 && minIntensity <= maxIntensity);
+  std::vector<RooflinePoint> out;
+  for (double ai = minIntensity; ai <= maxIntensity * 1.0000001;
+       ai *= 2.0) {
+    out.push_back(rooflineAt(m, deviceSide, ai));
+  }
+  return out;
+}
+
+double ridgeIntensity(const Machine& m, bool deviceSide) {
+  const Sides s = sidesOf(m, deviceSide);
+  return s.peakGflops / s.bandwidthGBps;
+}
+
+Table renderRooflines(const std::vector<const Machine*>& machines,
+                      bool deviceSide,
+                      const std::vector<double>& intensities) {
+  NB_EXPECTS(!machines.empty());
+  NB_EXPECTS(!intensities.empty());
+  std::vector<std::string> headers{"Intensity (flops/B)"};
+  for (const Machine* m : machines) {
+    headers.push_back(m->info.name + " (GFLOP/s)");
+  }
+  Table t(std::move(headers));
+  t.setTitle(std::string("Attainable FP64 performance, ") +
+             (deviceSide ? "device" : "host") + " roofline");
+  for (const double ai : intensities) {
+    std::vector<std::string> row{formatFixed(ai, 3)};
+    for (const Machine* m : machines) {
+      const RooflinePoint p = rooflineAt(*m, deviceSide, ai);
+      row.push_back(formatFixed(p.gflops, 0) +
+                    (p.memoryBound ? "" : " *"));
+    }
+    t.addRow(row);
+  }
+  t.setCaption("* = compute-bound (past the ridge point)");
+  return t;
+}
+
+}  // namespace nodebench::report

@@ -1,0 +1,43 @@
+#pragma once
+/// \file roofline.hpp
+/// \brief Roofline evaluation over the calibrated machine models:
+/// attainable performance as a function of arithmetic intensity,
+/// `min(peak, intensity * bandwidth)` — the standard way to read the
+/// balance numbers of `balance.hpp` as kernel-level guidance.
+
+#include <vector>
+
+#include "core/table.hpp"
+#include "machines/machine.hpp"
+
+namespace nodebench::report {
+
+struct RooflinePoint {
+  double intensityFlopsPerByte = 0.0;
+  double gflops = 0.0;
+  bool memoryBound = true;
+};
+
+/// Attainable GFLOP/s at one arithmetic intensity on the host (all NUMA
+/// domains saturated) or on one device. Preconditions: intensity > 0 and
+/// the corresponding peak-FLOPS field is set; device side requires an
+/// accelerator machine.
+[[nodiscard]] RooflinePoint rooflineAt(const machines::Machine& m,
+                                       bool deviceSide, double intensity);
+
+/// Log2 sweep of intensities in [minIntensity, maxIntensity].
+[[nodiscard]] std::vector<RooflinePoint> rooflineSweep(
+    const machines::Machine& m, bool deviceSide, double minIntensity,
+    double maxIntensity);
+
+/// The ridge point (intensity where the kernel turns compute-bound):
+/// peak / bandwidth — identical to the balance metric.
+[[nodiscard]] double ridgeIntensity(const machines::Machine& m,
+                                    bool deviceSide);
+
+/// Side-by-side roofline table of several machines at common intensities.
+[[nodiscard]] Table renderRooflines(
+    const std::vector<const machines::Machine*>& machines, bool deviceSide,
+    const std::vector<double>& intensities);
+
+}  // namespace nodebench::report

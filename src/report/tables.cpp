@@ -1,0 +1,336 @@
+#include "report/tables.hpp"
+
+#include <algorithm>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "babelstream/sim_omp_backend.hpp"
+#include "commscope/commscope.hpp"
+#include "machines/registry.hpp"
+#include "ompenv/omp_config.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+
+namespace nodebench::report {
+
+using machines::Machine;
+using topo::LinkClass;
+
+Table buildTable1() {
+  Table t({"OMP_NUM_THREADS", "OMP_PROC_BIND", "OMP_PLACES"});
+  t.setTitle("Table 1: OpenMP environment combinations for host bandwidth");
+  t.setAlign(1, Align::Left);
+  t.setAlign(2, Align::Left);
+  // Rendered symbolically, exactly as the paper's table shows them.
+  const auto row = [&](const char* n, const char* b, const char* p) {
+    t.addRow({n, b, p});
+  };
+  row("1", "not set", "not set");
+  row("1", "\"true\"", "not set");
+  t.addSeparator();
+  row("#cores", "not set", "not set");
+  row("#cores", "\"true\"", "not set");
+  row("#cores", "\"spread\"", "\"cores\"");
+  row("#threads", "not set", "not set");
+  row("#threads", "\"true\"", "not set");
+  row("#threads", "\"close\"", "\"threads\"");
+  return t;
+}
+
+Table buildTable2() {
+  Table t({"Rank/Name", "Location", "CPU"});
+  t.setTitle("Table 2: US DOE non-accelerator supercomputers (top 150, June 2023)");
+  t.setAlign(1, Align::Left);
+  t.setAlign(2, Align::Left);
+  for (const Machine* m : machines::cpuMachines()) {
+    t.addRow({std::to_string(m->info.top500Rank) + ". " + m->info.name,
+              m->info.location, m->info.cpuModel});
+  }
+  return t;
+}
+
+Table buildTable3() {
+  Table t({"Rank/Name", "Location", "CPU", "Accelerator"});
+  t.setTitle("Table 3: US DOE accelerator supercomputers (top 150, June 2023)");
+  t.setAlign(1, Align::Left);
+  t.setAlign(2, Align::Left);
+  t.setAlign(3, Align::Left);
+  for (const Machine* m : machines::gpuMachines()) {
+    t.addRow({std::to_string(m->info.top500Rank) + ". " + m->info.name,
+              m->info.location, m->info.cpuModel, m->info.acceleratorModel});
+  }
+  return t;
+}
+
+OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt) {
+  OmpSweepResult out;
+  const auto configs =
+      ompenv::table1Combinations(m.coreCount(), m.hardwareThreadCount());
+  bool haveSingle = false;
+  bool haveAll = false;
+  for (const ompenv::OmpConfig& cfg : configs) {
+    babelstream::SimOmpBackend backend(m, cfg);
+    babelstream::DriverConfig dcfg;
+    dcfg.arrayBytes = opt.cpuArrayBytes;
+    dcfg.binaryRuns = opt.binaryRuns;
+    dcfg.seed ^= m.seed;
+    const auto result = babelstream::run(backend, dcfg);
+    const auto& best = result.best();
+    out.entries.push_back(OmpSweepEntry{
+        cfg.toString(), best.bandwidthGBps,
+        std::string(babelstream::streamOpName(best.op))});
+    const bool single = cfg.numThreads.value_or(2) == 1;
+    if (single) {
+      if (!haveSingle || best.bandwidthGBps.mean > out.bestSingle.mean) {
+        out.bestSingle = best.bandwidthGBps;
+        haveSingle = true;
+      }
+    } else {
+      if (!haveAll || best.bandwidthGBps.mean > out.bestAll.mean) {
+        out.bestAll = best.bandwidthGBps;
+        haveAll = true;
+      }
+    }
+  }
+  NB_ENSURES(haveSingle && haveAll);
+  return out;
+}
+
+std::vector<Cpu4Row> computeTable4(const TableOptions& opt) {
+  std::vector<Cpu4Row> rows;
+  for (const Machine* m : machines::cpuMachines()) {
+    Cpu4Row row;
+    row.machine = m;
+    const OmpSweepResult sweep = ompSweep(*m, opt);
+    row.singleGBps = sweep.bestSingle;
+    row.allGBps = sweep.bestAll;
+
+    osu::LatencyConfig lcfg;
+    lcfg.messageSize = opt.mpiMessageSize;
+    lcfg.binaryRuns = opt.binaryRuns;
+    const auto [sockA, sockB] = osu::onSocketPair(*m);
+    const auto [nodeA, nodeB] = osu::onNodePair(*m);
+    row.onSocketUs = osu::LatencyBenchmark(*m, sockA, sockB,
+                                           mpisim::BufferSpace::Kind::Host)
+                         .measure(lcfg)
+                         .latencyUs;
+    row.onNodeUs = osu::LatencyBenchmark(*m, nodeA, nodeB,
+                                         mpisim::BufferSpace::Kind::Host)
+                       .measure(lcfg)
+                       .latencyUs;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+namespace {
+
+std::string rankName(const Machine& m) {
+  return std::to_string(m.info.top500Rank) + ". " + m.info.name;
+}
+
+std::string cellOrEmpty(const std::optional<Summary>& s, int precision = 2) {
+  return s ? s->toString(precision) : std::string{};
+}
+
+}  // namespace
+
+Table renderTable4(const std::vector<Cpu4Row>& rows) {
+  Table t({"Rank/Name", "Single (GB/s)", "All (GB/s)", "Peak (GB/s)",
+           "On-Socket (us)", "On-Node (us)"});
+  t.setTitle("Table 4: CPU memory bandwidth and MPI latency (mean +- sigma, 100 runs)");
+  for (const Cpu4Row& row : rows) {
+    t.addRow({rankName(*row.machine), row.singleGBps.toString(),
+              row.allGBps.toString(), row.machine->hostMemory.peakNote,
+              row.onSocketUs.toString(), row.onNodeUs.toString()});
+  }
+  return t;
+}
+
+std::vector<Gpu5Row> computeTable5(const TableOptions& opt) {
+  std::vector<Gpu5Row> rows;
+  for (const Machine* m : machines::gpuMachines()) {
+    Gpu5Row row;
+    row.machine = m;
+
+    babelstream::SimDeviceBackend backend(*m, /*device=*/0);
+    babelstream::DriverConfig dcfg;
+    dcfg.arrayBytes = opt.gpuArrayBytes;
+    dcfg.binaryRuns = opt.binaryRuns;
+    dcfg.seed ^= m->seed;
+    row.deviceGBps = babelstream::run(backend, dcfg).best().bandwidthGBps;
+
+    osu::LatencyConfig lcfg;
+    lcfg.messageSize = opt.mpiMessageSize;
+    lcfg.binaryRuns = opt.binaryRuns;
+    const auto [hostA, hostB] = osu::onSocketPair(*m);
+    row.hostToHostUs = osu::LatencyBenchmark(*m, hostA, hostB,
+                                             mpisim::BufferSpace::Kind::Host)
+                           .measure(lcfg)
+                           .latencyUs;
+
+    for (const LinkClass c : m->topology.presentGpuLinkClasses()) {
+      const auto [devA, devB] = osu::devicePair(*m, c);
+      row.deviceToDeviceUs[static_cast<int>(c)] =
+          osu::LatencyBenchmark(*m, devA, devB,
+                                mpisim::BufferSpace::Kind::Device)
+              .measure(lcfg)
+              .latencyUs;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Table renderTable5(const std::vector<Gpu5Row>& rows) {
+  Table t({"Rank/Name", "Device BW (GB/s)", "Peak", "Host-to-Host (us)",
+           "D2D A (us)", "D2D B (us)", "D2D C (us)", "D2D D (us)"});
+  t.setTitle("Table 5: GPU memory bandwidth and MPI latency (mean +- sigma, 100 runs)");
+  for (const Gpu5Row& row : rows) {
+    t.addRow({rankName(*row.machine), row.deviceGBps.toString(),
+              row.machine->device->hbmPeakNote,
+              row.hostToHostUs.toString(),
+              cellOrEmpty(row.deviceToDeviceUs[0]),
+              cellOrEmpty(row.deviceToDeviceUs[1]),
+              cellOrEmpty(row.deviceToDeviceUs[2]),
+              cellOrEmpty(row.deviceToDeviceUs[3])});
+  }
+  return t;
+}
+
+std::vector<Gpu6Row> computeTable6(const TableOptions& opt) {
+  std::vector<Gpu6Row> rows;
+  for (const Machine* m : machines::gpuMachines()) {
+    commscope::CommScope scope(*m);
+    commscope::Config cfg;
+    cfg.binaryRuns = opt.binaryRuns;
+    const auto all = scope.measureAll(cfg);
+    Gpu6Row row;
+    row.machine = m;
+    row.launchUs = all.launchUs;
+    row.waitUs = all.waitUs;
+    row.hostDeviceLatencyUs = all.hostDeviceLatencyUs;
+    row.hostDeviceBandwidthGBps = all.hostDeviceBandwidthGBps;
+    row.d2dLatencyUs = all.d2dLatencyUs;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Table renderTable6(const std::vector<Gpu6Row>& rows) {
+  Table t({"Rank/Name", "Launch (us)", "Wait (us)", "H<->D Lat (us)",
+           "H<->D BW (GB/s)", "D2D A (us)", "D2D B (us)", "D2D C (us)",
+           "D2D D (us)"});
+  t.setTitle(
+      "Table 6: Comm|Scope kernel/wait latencies and transfer costs "
+      "(mean +- sigma, 100 runs)");
+  for (const Gpu6Row& row : rows) {
+    t.addRow({rankName(*row.machine), row.launchUs.toString(),
+              row.waitUs.toString(), row.hostDeviceLatencyUs.toString(),
+              row.hostDeviceBandwidthGBps.toString(),
+              cellOrEmpty(row.d2dLatencyUs[0]),
+              cellOrEmpty(row.d2dLatencyUs[1]),
+              cellOrEmpty(row.d2dLatencyUs[2]),
+              cellOrEmpty(row.d2dLatencyUs[3])});
+  }
+  return t;
+}
+
+namespace {
+
+/// Min-max of the mean values across a group of machines, rendered
+/// "lo-hi" as in Table 7.
+class Range {
+ public:
+  void add(const Summary& s) {
+    lo_ = empty_ ? s.mean : std::min(lo_, s.mean);
+    hi_ = empty_ ? s.mean : std::max(hi_, s.mean);
+    empty_ = false;
+  }
+  void addIf(const std::optional<Summary>& s) {
+    if (s) {
+      add(*s);
+    }
+  }
+  [[nodiscard]] std::string str(int precision = 2) const {
+    if (empty_) {
+      return {};
+    }
+    return formatFixed(lo_, precision) + "-" + formatFixed(hi_, precision);
+  }
+
+ private:
+  bool empty_ = true;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+}  // namespace
+
+Table buildTable7(const std::vector<Gpu5Row>& t5,
+                  const std::vector<Gpu6Row>& t6) {
+  Table t({"Accelerator", "Memory BW", "MPI Lat.", "Kernel Launch",
+           "Kernel Wait", "H2D/D2H Lat.", "H2D/D2H BW", "D2D Lat."});
+  t.setTitle(
+      "Table 7: min-max of mean values across machines, per accelerator");
+  for (const auto& group : machines::acceleratorGroups()) {
+    Range bw;
+    Range mpi;
+    Range launch;
+    Range wait;
+    Range hdLat;
+    Range hdBw;
+    Range d2d;
+    for (const Machine* m : group.members) {
+      for (const Gpu5Row& row : t5) {
+        if (row.machine != m) {
+          continue;
+        }
+        bw.add(row.deviceGBps);
+        // The paper's Table 7 ranges cover the class-A (direct-link) pair
+        // of each machine: e.g. its V100 MPI range is 18.10-18.72, which
+        // excludes the class-B 19.30-19.76 values.
+        mpi.addIf(row.deviceToDeviceUs[0]);
+      }
+      for (const Gpu6Row& row : t6) {
+        if (row.machine != m) {
+          continue;
+        }
+        launch.add(row.launchUs);
+        wait.add(row.waitUs);
+        hdLat.add(row.hostDeviceLatencyUs);
+        hdBw.add(row.hostDeviceBandwidthGBps);
+        d2d.addIf(row.d2dLatencyUs[0]);  // class A, as above
+      }
+    }
+    t.addRow({group.name, bw.str(), mpi.str(), launch.str(), wait.str(),
+              hdLat.str(), hdBw.str(), d2d.str()});
+  }
+  return t;
+}
+
+Table buildTable8() {
+  Table t({"Rank/Name", "Compiler", "MPI"});
+  t.setTitle("Table 8: software environment, non-accelerator machines");
+  t.setAlign(1, Align::Left);
+  t.setAlign(2, Align::Left);
+  for (const Machine* m : machines::cpuMachines()) {
+    t.addRow({rankName(*m), m->env.compiler, m->env.mpi});
+  }
+  return t;
+}
+
+Table buildTable9() {
+  Table t({"Rank/Name", "Compiler", "Device Library", "MPI"});
+  t.setTitle("Table 9: software environment, accelerator machines");
+  t.setAlign(1, Align::Left);
+  t.setAlign(2, Align::Left);
+  t.setAlign(3, Align::Left);
+  for (const Machine* m : machines::gpuMachines()) {
+    t.addRow(
+        {rankName(*m), m->env.compiler, m->env.deviceLibrary, m->env.mpi});
+  }
+  return t;
+}
+
+}  // namespace nodebench::report

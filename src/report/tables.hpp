@@ -1,0 +1,95 @@
+#pragma once
+/// \file tables.hpp
+/// \brief Regenerates every table of the paper from the simulated
+/// benchmark pipeline.
+///
+/// `compute*` functions run the benchmarks and return structured rows
+/// (consumed by the golden tests and Table 7); `render*` / `build*`
+/// functions format them in the paper's layout.
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+
+namespace nodebench::report {
+
+/// Shared knobs of the table harnesses. The defaults reproduce the
+/// paper's methodology (100 binary runs, >=128 MiB CPU vectors, 1 GiB GPU
+/// vectors); tests lower binaryRuns for speed.
+struct TableOptions {
+  int binaryRuns = 100;
+  ByteCount cpuArrayBytes = ByteCount::mib(128);
+  ByteCount gpuArrayBytes = ByteCount::gib(1);
+  ByteCount mpiMessageSize = ByteCount::bytes(8);
+};
+
+// --- Table 1: OpenMP environment combinations ------------------------------
+[[nodiscard]] Table buildTable1();
+
+// --- Tables 2 / 3: system inventories ---------------------------------------
+[[nodiscard]] Table buildTable2();
+[[nodiscard]] Table buildTable3();
+
+// --- Table 4: CPU systems ----------------------------------------------------
+struct Cpu4Row {
+  const machines::Machine* machine = nullptr;
+  Summary singleGBps;  ///< Best bound single-thread BabelStream.
+  Summary allGBps;     ///< Best full-team BabelStream over Table 1 rows.
+  Summary onSocketUs;
+  Summary onNodeUs;
+};
+[[nodiscard]] std::vector<Cpu4Row> computeTable4(const TableOptions& opt);
+[[nodiscard]] Table renderTable4(const std::vector<Cpu4Row>& rows);
+
+// --- Table 5: GPU systems (BabelStream + OSU) -------------------------------
+struct Gpu5Row {
+  const machines::Machine* machine = nullptr;
+  Summary deviceGBps;
+  Summary hostToHostUs;
+  std::array<std::optional<Summary>, 4> deviceToDeviceUs;  ///< classes A..D
+};
+[[nodiscard]] std::vector<Gpu5Row> computeTable5(const TableOptions& opt);
+[[nodiscard]] Table renderTable5(const std::vector<Gpu5Row>& rows);
+
+// --- Table 6: GPU systems (Comm|Scope) ---------------------------------------
+struct Gpu6Row {
+  const machines::Machine* machine = nullptr;
+  Summary launchUs;
+  Summary waitUs;
+  Summary hostDeviceLatencyUs;
+  Summary hostDeviceBandwidthGBps;
+  std::array<std::optional<Summary>, 4> d2dLatencyUs;  ///< classes A..D
+};
+[[nodiscard]] std::vector<Gpu6Row> computeTable6(const TableOptions& opt);
+[[nodiscard]] Table renderTable6(const std::vector<Gpu6Row>& rows);
+
+// --- Table 7: per-accelerator min-max summary --------------------------------
+[[nodiscard]] Table buildTable7(const std::vector<Gpu5Row>& t5,
+                                const std::vector<Gpu6Row>& t6);
+
+// --- Tables 8 / 9: software environments --------------------------------------
+[[nodiscard]] Table buildTable8();
+[[nodiscard]] Table buildTable9();
+
+/// Helper shared with the Table 1 sweep bench: best bound single-thread
+/// and best overall full-team bandwidth across the Table 1 environment
+/// combinations, plus the per-combination detail.
+struct OmpSweepEntry {
+  std::string config;
+  Summary bestOpGBps;
+  std::string bestOpName;
+};
+struct OmpSweepResult {
+  std::vector<OmpSweepEntry> entries;  ///< One per Table 1 row, in order.
+  Summary bestSingle;
+  Summary bestAll;
+};
+[[nodiscard]] OmpSweepResult ompSweep(const machines::Machine& m,
+                                      const TableOptions& opt);
+
+}  // namespace nodebench::report

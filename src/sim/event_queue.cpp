@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace nodebench::sim {
+
+void EventQueue::scheduleAt(Duration when, Action action) {
+  NB_EXPECTS_MSG(when >= now_, "cannot schedule an event in the past");
+  NB_EXPECTS(action != nullptr);
+  heap_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+void EventQueue::scheduleAfter(Duration delay, Action action) {
+  NB_EXPECTS(delay >= Duration::zero());
+  scheduleAt(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the action must be moved out before
+  // pop, so copy the metadata and move the closure via const_cast-free
+  // re-push-less approach: take a copy of the event.
+  Event ev = heap_.top();
+  heap_.pop();
+  NB_ENSURES(ev.when >= now_);
+  now_ = ev.when;
+  ev.action();
+  return true;
+}
+
+void EventQueue::runAll() {
+  while (step()) {
+  }
+}
+
+void EventQueue::runUntil(Duration deadline) {
+  NB_EXPECTS(deadline >= now_);
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    step();
+  }
+  now_ = deadline;
+}
+
+}  // namespace nodebench::sim

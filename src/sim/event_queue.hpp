@@ -1,0 +1,69 @@
+#pragma once
+/// \file event_queue.hpp
+/// \brief A minimal discrete-event simulation core.
+///
+/// Events are closures scheduled at absolute simulated times; execution
+/// order is (time, insertion sequence), which makes simultaneous events
+/// deterministic. The GPU runtime simulator (`gpusim`) and several tests
+/// are built on this engine.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace nodebench::sim {
+
+/// Discrete-event queue with a monotonically advancing simulated clock.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Starts at zero.
+  [[nodiscard]] Duration now() const { return now_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Schedules `action` at absolute time `when`.
+  /// Precondition: `when >= now()` (the simulator never travels backwards).
+  void scheduleAt(Duration when, Action action);
+
+  /// Schedules `action` `delay` after the current time.
+  void scheduleAfter(Duration delay, Action action);
+
+  /// Runs the earliest pending event, advancing the clock to its time.
+  /// Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty.
+  void runAll();
+
+  /// Runs events with time <= `deadline`, then advances the clock to
+  /// `deadline` (even if no event fired). Precondition: deadline >= now().
+  void runUntil(Duration deadline);
+
+ private:
+  struct Event {
+    Duration when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when.ns() != b.when.ns()) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Duration now_ = Duration::zero();
+  std::uint64_t nextSeq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace nodebench::sim

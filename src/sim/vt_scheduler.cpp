@@ -1,0 +1,174 @@
+#include "sim/vt_scheduler.hpp"
+
+#include <string>
+
+namespace nodebench::sim {
+
+Duration VirtualProcess::now() const {
+  std::unique_lock lock(sched_->mu_);
+  return sched_->slots_[rank_].clock;
+}
+
+void VirtualProcess::advance(Duration dt) {
+  NB_EXPECTS(dt >= Duration::zero());
+  auto& s = *sched_;
+  std::unique_lock lock(s.mu_);
+  s.slots_[rank_].clock += dt;
+  s.yieldIfEarlierLocked(lock, rank_);
+}
+
+void VirtualProcess::advanceTo(Duration t) {
+  auto& s = *sched_;
+  std::unique_lock lock(s.mu_);
+  auto& clock = s.slots_[rank_].clock;
+  clock = max(clock, t);
+  s.yieldIfEarlierLocked(lock, rank_);
+}
+
+void VirtualProcess::blockUntil(const std::function<bool()>& pred) {
+  NB_EXPECTS(pred != nullptr);
+  auto& s = *sched_;
+  std::unique_lock lock(s.mu_);
+  while (!pred()) {
+    s.slots_[rank_].state = VirtualTimeScheduler::State::Blocked;
+    const int next = s.pickNextLocked();
+    if (next < 0) {
+      if (!s.firstError_) {
+        s.firstError_ = std::make_exception_ptr(DeadlockError(
+            "virtual-time deadlock: every live process is blocked"));
+      }
+      s.abortAllLocked();
+      throw DeadlockError("virtual-time deadlock detected by rank " +
+                          std::to_string(rank_));
+    }
+    s.switchToLocked(next);
+    s.waitUntilRunningLocked(lock, rank_);
+  }
+}
+
+void VirtualProcess::wake(int otherRank) {
+  auto& s = *sched_;
+  NB_EXPECTS(otherRank >= 0 &&
+             static_cast<std::size_t>(otherRank) < s.slots_.size());
+  std::unique_lock lock(s.mu_);
+  if (s.slots_[otherRank].state == VirtualTimeScheduler::State::Blocked) {
+    s.slots_[otherRank].state = VirtualTimeScheduler::State::Ready;
+  }
+}
+
+int VirtualTimeScheduler::pickNextLocked() const {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+    if (slots_[i].state != State::Ready) {
+      continue;
+    }
+    if (best < 0 || slots_[i].clock < slots_[best].clock) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void VirtualTimeScheduler::switchToLocked(int next) {
+  NB_EXPECTS(next >= 0 && static_cast<std::size_t>(next) < slots_.size());
+  NB_ENSURES(slots_[next].state == State::Ready);
+  slots_[next].state = State::Running;
+  ++switches_;
+  cv_.notify_all();
+}
+
+void VirtualTimeScheduler::waitUntilRunningLocked(
+    std::unique_lock<std::mutex>& lock, int rank) {
+  cv_.wait(lock, [&] {
+    return aborted_ || slots_[rank].state == State::Running;
+  });
+  if (aborted_) {
+    throw Error("virtual-time system aborted (see primary error)");
+  }
+}
+
+void VirtualTimeScheduler::yieldIfEarlierLocked(
+    std::unique_lock<std::mutex>& lock, int rank) {
+  // Re-enter the ready pool; if we are still the earliest runnable process
+  // we simply keep running, otherwise hand over.
+  slots_[rank].state = State::Ready;
+  const int next = pickNextLocked();
+  NB_ENSURES(next >= 0);  // at least this process is Ready
+  if (next == rank) {
+    slots_[rank].state = State::Running;
+    return;
+  }
+  switchToLocked(next);
+  waitUntilRunningLocked(lock, rank);
+}
+
+void VirtualTimeScheduler::abortAllLocked() {
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+void VirtualTimeScheduler::processBody(int rank, const ProcessFn& fn) {
+  VirtualProcess self(*this, rank);
+  try {
+    {
+      std::unique_lock lock(mu_);
+      waitUntilRunningLocked(lock, rank);
+    }
+    fn(self);
+    std::unique_lock lock(mu_);
+    slots_[rank].state = State::Finished;
+    const int next = pickNextLocked();
+    if (next >= 0) {
+      switchToLocked(next);
+    } else {
+      // No runnable process remains. If someone is still blocked, the
+      // system can never finish: deadlock.
+      bool anyBlocked = false;
+      for (const auto& slot : slots_) {
+        anyBlocked = anyBlocked || slot.state == State::Blocked;
+      }
+      if (anyBlocked) {
+        if (!firstError_) {
+          firstError_ = std::make_exception_ptr(DeadlockError(
+              "virtual-time deadlock: last runnable process finished while "
+              "others are still blocked"));
+        }
+        abortAllLocked();
+      }
+    }
+  } catch (...) {
+    std::unique_lock lock(mu_);
+    if (!firstError_) {
+      firstError_ = std::current_exception();
+    }
+    slots_[rank].state = State::Finished;
+    abortAllLocked();
+  }
+}
+
+void VirtualTimeScheduler::run(const std::vector<ProcessFn>& fns) {
+  NB_EXPECTS(!fns.empty());
+  slots_.assign(fns.size(), Slot{});
+  aborted_ = false;
+  firstError_ = nullptr;
+  switches_ = 0;
+  // Rank 0 starts as the unique runner (all clocks are zero; ties break by
+  // rank, so this matches pickNextLocked()).
+  slots_[0].state = State::Running;
+
+  std::vector<std::thread> threads;
+  threads.reserve(fns.size());
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    threads.emplace_back([this, i, &fns] {
+      processBody(static_cast<int>(i), fns[i]);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (firstError_) {
+    std::rethrow_exception(firstError_);
+  }
+}
+
+}  // namespace nodebench::sim

@@ -1,0 +1,115 @@
+#pragma once
+/// \file vt_scheduler.hpp
+/// \brief Virtual-time scheduler: runs N "rank processes" (real threads)
+/// whose *simulated* clocks are coordinated so that only the runnable
+/// process with the smallest local virtual time executes at any moment.
+///
+/// This is the substrate of the message-passing runtime (`mpisim`). The
+/// design trades parallel host execution for determinism: exactly one
+/// process runs at a time, scheduling order is (virtual time, rank), so a
+/// given program produces bit-identical simulated timings on every run.
+///
+/// Blocking operations (e.g. a receive with no matching send) are expressed
+/// through `blockUntil(pred)`: the process leaves the runnable set until
+/// another process calls `wake()` on it, after which the predicate is
+/// re-evaluated while the process is the unique runner (so predicate state
+/// needs no further synchronization). If every live process is blocked the
+/// scheduler reports deadlock by throwing in all participants.
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace nodebench::sim {
+
+/// Thrown in every participating process when the virtual-time system
+/// deadlocks (all live processes blocked).
+class DeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
+class VirtualTimeScheduler;
+
+/// Handle through which a rank process interacts with virtual time.
+/// Only valid inside the process function it was passed to.
+class VirtualProcess {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Current local virtual time.
+  [[nodiscard]] Duration now() const;
+
+  /// Advances local time by `dt` and yields if another runnable process is
+  /// now earlier. Precondition: dt >= 0.
+  void advance(Duration dt);
+
+  /// Advances local time to `max(now, t)` and yields.
+  void advanceTo(Duration t);
+
+  /// Blocks until `pred()` is true. The predicate is evaluated only while
+  /// this process is the unique runner; it is re-checked each time some
+  /// other process calls `wake(rank())`.
+  void blockUntil(const std::function<bool()>& pred);
+
+  /// Marks another (possibly blocked) process as runnable so that its
+  /// `blockUntil` predicate is re-evaluated.
+  void wake(int otherRank);
+
+ private:
+  friend class VirtualTimeScheduler;
+  VirtualProcess(VirtualTimeScheduler& sched, int rank)
+      : sched_(&sched), rank_(rank) {}
+
+  VirtualTimeScheduler* sched_;
+  int rank_;
+};
+
+/// Runs a set of process functions to completion under virtual time.
+class VirtualTimeScheduler {
+ public:
+  using ProcessFn = std::function<void(VirtualProcess&)>;
+
+  /// Runs all processes; returns when every process function has returned.
+  /// Rethrows the first exception raised by any process (by rank order of
+  /// detection). Precondition: !fns.empty().
+  void run(const std::vector<ProcessFn>& fns);
+
+  /// Total number of process switches in the last `run` (determinism
+  /// diagnostics for tests).
+  [[nodiscard]] std::uint64_t switchCount() const { return switches_; }
+
+ private:
+  friend class VirtualProcess;
+
+  enum class State { Ready, Running, Blocked, Finished };
+
+  struct Slot {
+    Duration clock = Duration::zero();
+    State state = State::Ready;
+  };
+
+  // All of the below are guarded by mu_.
+  [[nodiscard]] int pickNextLocked() const;  // min-clock Ready; -1 if none
+  void switchToLocked(int next);
+  void waitUntilRunningLocked(std::unique_lock<std::mutex>& lock, int rank);
+  void yieldIfEarlierLocked(std::unique_lock<std::mutex>& lock, int rank);
+  void abortAllLocked();
+
+  void processBody(int rank, const ProcessFn& fn);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  bool aborted_ = false;
+  std::exception_ptr firstError_;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace nodebench::sim

@@ -1,0 +1,47 @@
+#include "topo/dot.hpp"
+
+#include <cstdio>
+
+namespace nodebench::topo {
+
+namespace {
+
+std::string endpointName(const Link::Endpoint& e) {
+  if (e.kind == Link::EndpointKind::Socket) {
+    return "socket" + std::to_string(e.id);
+  }
+  return "gpu" + std::to_string(e.id);
+}
+
+}  // namespace
+
+std::string toDot(const NodeTopology& topology, const std::string& graphName) {
+  std::string out = "graph \"" + graphName + "\" {\n";
+  out += "  graph [layout=neato, overlap=false];\n";
+  for (int s = 0; s < topology.socketCount(); ++s) {
+    out += "  socket" + std::to_string(s) + " [shape=box, label=\"" +
+           topology.socket(SocketId{s}).model + "\\nsocket " +
+           std::to_string(s) + "\"];\n";
+  }
+  for (int g = 0; g < topology.gpuCount(); ++g) {
+    const GpuInfo& info = topology.gpu(GpuId{g});
+    std::string label = info.model + "\\ngpu " + std::to_string(g);
+    if (info.packageIndex >= 0) {
+      label += " (pkg " + std::to_string(info.packageIndex) + ")";
+    }
+    out += "  gpu" + std::to_string(g) + " [shape=ellipse, label=\"" + label +
+           "\"];\n";
+  }
+  for (const Link& link : topology.links()) {
+    char props[128];
+    std::snprintf(props, sizeof(props), "%sx%d\\n%.2f us, %.0f GB/s",
+                  std::string(linkTypeName(link.type)).c_str(), link.count,
+                  link.latency.us(), link.bandwidth.inGBps());
+    out += "  " + endpointName(link.a) + " -- " + endpointName(link.b) +
+           " [label=\"" + props + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace nodebench::topo

@@ -1,0 +1,18 @@
+#pragma once
+/// \file dot.hpp
+/// \brief Graphviz DOT export of a node topology (machine-readable
+/// companion to the ASCII node diagrams of Figures 1-3).
+
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace nodebench::topo {
+
+/// Renders the topology as an undirected Graphviz graph. Sockets become
+/// box nodes, GPUs become ellipse nodes; edges carry the link type, count
+/// and physical properties as labels.
+[[nodiscard]] std::string toDot(const NodeTopology& topology,
+                                const std::string& graphName);
+
+}  // namespace nodebench::topo

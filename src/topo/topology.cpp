@@ -1,0 +1,331 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace nodebench::topo {
+
+std::string_view linkTypeName(LinkType t) {
+  switch (t) {
+    case LinkType::PCIe3: return "PCIe3";
+    case LinkType::PCIe4: return "PCIe4";
+    case LinkType::NVLink2: return "NVLink2";
+    case LinkType::NVLink3: return "NVLink3";
+    case LinkType::XBus: return "X-Bus";
+    case LinkType::UPI: return "UPI";
+    case LinkType::InfinityFabric: return "InfinityFabric";
+    case LinkType::KnlMesh: return "KNL-Mesh";
+    case LinkType::Smp: return "SMP";
+  }
+  return "?";
+}
+
+std::string_view linkClassName(LinkClass c) {
+  switch (c) {
+    case LinkClass::A: return "A";
+    case LinkClass::B: return "B";
+    case LinkClass::C: return "C";
+    case LinkClass::D: return "D";
+    case LinkClass::None: return "-";
+  }
+  return "?";
+}
+
+SocketId NodeTopology::addSocket(std::string model) {
+  sockets_.push_back(SocketInfo{std::move(model)});
+  return SocketId{static_cast<int>(sockets_.size()) - 1};
+}
+
+NumaId NodeTopology::addNumaDomain(SocketId socket) {
+  checkSocket(socket);
+  numas_.push_back(NumaInfo{socket});
+  return NumaId{static_cast<int>(numas_.size()) - 1};
+}
+
+CoreId NodeTopology::addCores(NumaId numa, int count, int smtThreads) {
+  checkNuma(numa);
+  NB_EXPECTS(count > 0);
+  NB_EXPECTS(smtThreads >= 1);
+  const CoreId first{static_cast<int>(cores_.size())};
+  const SocketId socket = numas_[numa.value].socket;
+  for (int i = 0; i < count; ++i) {
+    cores_.push_back(CoreInfo{numa, socket, smtThreads, std::nullopt});
+  }
+  return first;
+}
+
+CoreId NodeTopology::addMeshCore(NumaId numa, MeshCoord coord, int smtThreads) {
+  checkNuma(numa);
+  NB_EXPECTS(smtThreads >= 1);
+  const CoreId id{static_cast<int>(cores_.size())};
+  const SocketId socket = numas_[numa.value].socket;
+  cores_.push_back(CoreInfo{numa, socket, smtThreads, coord});
+  return id;
+}
+
+GpuId NodeTopology::addGpu(std::string model, SocketId socket,
+                           ByteCount memory, int packageIndex) {
+  checkSocket(socket);
+  gpus_.push_back(GpuInfo{std::move(model), socket, packageIndex, memory});
+  return GpuId{static_cast<int>(gpus_.size()) - 1};
+}
+
+void NodeTopology::connectSockets(SocketId a, SocketId b, LinkType type,
+                                  Duration latency, Bandwidth bandwidth) {
+  checkSocket(a);
+  checkSocket(b);
+  NB_EXPECTS(a != b);
+  links_.push_back(Link{{Link::EndpointKind::Socket, a.value},
+                        {Link::EndpointKind::Socket, b.value},
+                        type, 1, latency, bandwidth});
+}
+
+void NodeTopology::connectHostGpu(SocketId s, GpuId g, LinkType type,
+                                  Duration latency, Bandwidth bandwidth) {
+  checkSocket(s);
+  checkGpu(g);
+  links_.push_back(Link{{Link::EndpointKind::Socket, s.value},
+                        {Link::EndpointKind::Gpu, g.value},
+                        type, 1, latency, bandwidth});
+}
+
+void NodeTopology::connectGpuPeer(GpuId a, GpuId b, LinkType type, int count,
+                                  Duration latency, Bandwidth bandwidth) {
+  checkGpu(a);
+  checkGpu(b);
+  NB_EXPECTS(a != b);
+  NB_EXPECTS(count >= 1);
+  links_.push_back(Link{{Link::EndpointKind::Gpu, a.value},
+                        {Link::EndpointKind::Gpu, b.value},
+                        type, count, latency, bandwidth});
+}
+
+const SocketInfo& NodeTopology::socket(SocketId id) const {
+  checkSocket(id);
+  return sockets_[id.value];
+}
+
+const NumaInfo& NodeTopology::numa(NumaId id) const {
+  checkNuma(id);
+  return numas_[id.value];
+}
+
+const CoreInfo& NodeTopology::core(CoreId id) const {
+  checkCore(id);
+  return cores_[id.value];
+}
+
+const GpuInfo& NodeTopology::gpu(GpuId id) const {
+  checkGpu(id);
+  return gpus_[id.value];
+}
+
+std::vector<CoreId> NodeTopology::coresOfSocket(SocketId s) const {
+  checkSocket(s);
+  std::vector<CoreId> out;
+  for (int i = 0; i < coreCount(); ++i) {
+    if (cores_[i].socket == s) {
+      out.push_back(CoreId{i});
+    }
+  }
+  return out;
+}
+
+CpuPath NodeTopology::cpuPath(CoreId a, CoreId b) const {
+  checkCore(a);
+  checkCore(b);
+  CpuPath path;
+  path.sameCore = a == b;
+  const CoreInfo& ca = cores_[a.value];
+  const CoreInfo& cb = cores_[b.value];
+  path.sameNuma = ca.numa == cb.numa;
+  path.sameSocket = ca.socket == cb.socket;
+  if (ca.mesh && cb.mesh) {
+    path.meshDistance = std::abs(ca.mesh->row - cb.mesh->row) +
+                        std::abs(ca.mesh->col - cb.mesh->col);
+  }
+  return path;
+}
+
+const Link* NodeTopology::directGpuLink(GpuId a, GpuId b) const {
+  checkGpu(a);
+  checkGpu(b);
+  const Link::Endpoint ea{Link::EndpointKind::Gpu, a.value};
+  const Link::Endpoint eb{Link::EndpointKind::Gpu, b.value};
+  for (const Link& link : links_) {
+    if (link.connects(ea, eb)) {
+      return &link;
+    }
+  }
+  return nullptr;
+}
+
+const Link& NodeTopology::hostGpuLink(SocketId s, GpuId g) const {
+  checkSocket(s);
+  checkGpu(g);
+  const Link::Endpoint es{Link::EndpointKind::Socket, s.value};
+  const Link::Endpoint eg{Link::EndpointKind::Gpu, g.value};
+  for (const Link& link : links_) {
+    if (link.connects(es, eg)) {
+      return link;
+    }
+  }
+  throw NotFoundError("no host-GPU link between socket " +
+                      std::to_string(s.value) + " and GPU " +
+                      std::to_string(g.value));
+}
+
+const Link& NodeTopology::socketLink(SocketId a, SocketId b) const {
+  checkSocket(a);
+  checkSocket(b);
+  const Link::Endpoint ea{Link::EndpointKind::Socket, a.value};
+  const Link::Endpoint eb{Link::EndpointKind::Socket, b.value};
+  for (const Link& link : links_) {
+    if (link.connects(ea, eb)) {
+      return link;
+    }
+  }
+  throw NotFoundError("no socket-socket link between " +
+                      std::to_string(a.value) + " and " +
+                      std::to_string(b.value));
+}
+
+namespace {
+
+Route makeRoute(std::vector<const Link*> hops) {
+  Route r;
+  r.hops = std::move(hops);
+  NB_ENSURES(!r.hops.empty());
+  r.latency = Duration::zero();
+  r.bottleneck = r.hops.front()->bandwidth;
+  for (const Link* hop : r.hops) {
+    r.latency += hop->latency;
+    r.bottleneck = min(r.bottleneck, hop->bandwidth);
+  }
+  return r;
+}
+
+}  // namespace
+
+Route NodeTopology::routeHostToGpu(SocketId s, GpuId g) const {
+  checkSocket(s);
+  checkGpu(g);
+  const SocketId home = gpus_[g.value].socket;
+  if (home == s) {
+    return makeRoute({&hostGpuLink(s, g)});
+  }
+  // Traverse the inter-socket fabric first, then the device link.
+  return makeRoute({&socketLink(s, home), &hostGpuLink(home, g)});
+}
+
+Route NodeTopology::routeGpuToGpu(GpuId a, GpuId b) const {
+  NB_EXPECTS(a != b);
+  if (const Link* direct = directGpuLink(a, b)) {
+    return makeRoute({direct});
+  }
+  const SocketId sa = gpus_[a.value].socket;
+  const SocketId sb = gpus_[b.value].socket;
+  std::vector<const Link*> hops;
+  hops.push_back(&hostGpuLink(sa, a));
+  if (sa != sb) {
+    hops.push_back(&socketLink(sa, sb));
+  }
+  hops.push_back(&hostGpuLink(sb, b));
+  return makeRoute(std::move(hops));
+}
+
+LinkClass NodeTopology::gpuPairClass(GpuId a, GpuId b) const {
+  NB_EXPECTS(a != b);
+  NB_EXPECTS_MSG(flavor_ != GpuInterconnectFlavor::None,
+                 "link classes are defined only for accelerator machines");
+  const Link* direct = directGpuLink(a, b);
+  switch (flavor_) {
+    case GpuInterconnectFlavor::NvlinkAllToAll:
+      return LinkClass::A;
+    case GpuInterconnectFlavor::NvlinkPcieMix:
+      return (direct != nullptr &&
+              (direct->type == LinkType::NVLink2 ||
+               direct->type == LinkType::NVLink3))
+                 ? LinkClass::A
+                 : LinkClass::B;
+    case GpuInterconnectFlavor::InfinityFabric: {
+      if (direct == nullptr) {
+        return LinkClass::D;
+      }
+      switch (direct->count) {
+        case 4: return LinkClass::A;
+        case 2: return LinkClass::B;
+        case 1: return LinkClass::C;
+        default:
+          throw InvariantError("unexpected Infinity Fabric link count " +
+                               std::to_string(direct->count));
+      }
+    }
+    case GpuInterconnectFlavor::None:
+      break;
+  }
+  throw InvariantError("unhandled GPU interconnect flavour");
+}
+
+std::vector<LinkClass> NodeTopology::presentGpuLinkClasses() const {
+  bool present[4] = {false, false, false, false};
+  for (int i = 0; i < gpuCount(); ++i) {
+    for (int j = i + 1; j < gpuCount(); ++j) {
+      const LinkClass c = gpuPairClass(GpuId{i}, GpuId{j});
+      present[static_cast<int>(c)] = true;
+    }
+  }
+  std::vector<LinkClass> out;
+  for (int k = 0; k < 4; ++k) {
+    if (present[k]) {
+      out.push_back(static_cast<LinkClass>(k));
+    }
+  }
+  return out;
+}
+
+std::optional<std::pair<GpuId, GpuId>> NodeTopology::representativePair(
+    LinkClass c) const {
+  for (int i = 0; i < gpuCount(); ++i) {
+    for (int j = i + 1; j < gpuCount(); ++j) {
+      if (gpuPairClass(GpuId{i}, GpuId{j}) == c) {
+        return std::pair{GpuId{i}, GpuId{j}};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void NodeTopology::setHostGpuLinkBandwidth(SocketId s, GpuId g, Bandwidth bw) {
+  checkSocket(s);
+  checkGpu(g);
+  const Link::Endpoint es{Link::EndpointKind::Socket, s.value};
+  const Link::Endpoint eg{Link::EndpointKind::Gpu, g.value};
+  for (Link& link : links_) {
+    if (link.connects(es, eg)) {
+      link.bandwidth = bw;
+      return;
+    }
+  }
+  throw NotFoundError("setHostGpuLinkBandwidth: no such link");
+}
+
+void NodeTopology::checkSocket(SocketId id) const {
+  NB_EXPECTS_MSG(id.value >= 0 && id.value < socketCount(),
+                 "socket id out of range");
+}
+void NodeTopology::checkNuma(NumaId id) const {
+  NB_EXPECTS_MSG(id.value >= 0 && id.value < numaCount(),
+                 "numa id out of range");
+}
+void NodeTopology::checkCore(CoreId id) const {
+  NB_EXPECTS_MSG(id.value >= 0 && id.value < coreCount(),
+                 "core id out of range");
+}
+void NodeTopology::checkGpu(GpuId id) const {
+  NB_EXPECTS_MSG(id.value >= 0 && id.value < gpuCount(),
+                 "gpu id out of range");
+}
+
+}  // namespace nodebench::topo

@@ -1,0 +1,186 @@
+#pragma once
+/// \file topology.hpp
+/// \brief Node hardware topology: sockets, NUMA domains, cores, GPUs (or
+/// MI250X GCDs) and the links between them.
+///
+/// A `NodeTopology` is a *structural* description plus per-link physical
+/// properties (latency and bandwidth). Higher layers (the memory model,
+/// GPU runtime and MPI transports) resolve routes through it and convert
+/// them into simulated time using machine-specific calibration parameters.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "topo/types.hpp"
+
+namespace nodebench::topo {
+
+/// Index types. Plain ints wrapped in strong structs to keep socket ids,
+/// core ids and GPU ids from being interchanged silently.
+struct SocketId {
+  int value = -1;
+  friend constexpr auto operator<=>(SocketId, SocketId) = default;
+};
+struct NumaId {
+  int value = -1;
+  friend constexpr auto operator<=>(NumaId, NumaId) = default;
+};
+struct CoreId {
+  int value = -1;
+  friend constexpr auto operator<=>(CoreId, CoreId) = default;
+};
+/// Identifies one *visible device*: a whole GPU on NVIDIA systems, one GCD
+/// on MI250X systems (matching how the runtime exposes them).
+struct GpuId {
+  int value = -1;
+  friend constexpr auto operator<=>(GpuId, GpuId) = default;
+};
+
+struct SocketInfo {
+  std::string model;
+};
+
+struct NumaInfo {
+  SocketId socket;
+};
+
+struct CoreInfo {
+  NumaId numa;
+  SocketId socket;
+  int smtThreads = 1;
+  std::optional<MeshCoord> mesh;  ///< Set on KNL-style mesh CPUs.
+};
+
+struct GpuInfo {
+  std::string model;
+  SocketId socket;        ///< Socket hosting the device's PCIe/NVLink root.
+  int packageIndex = -1;  ///< MI250X package; two GCDs share one package.
+  ByteCount memory;       ///< Device HBM capacity.
+};
+
+/// One physical link between two endpoints. Endpoints are either a socket
+/// (host side) or a GPU.
+struct Link {
+  enum class EndpointKind { Socket, Gpu };
+  struct Endpoint {
+    EndpointKind kind;
+    int id;
+    friend constexpr bool operator==(Endpoint, Endpoint) = default;
+  };
+
+  Endpoint a;
+  Endpoint b;
+  LinkType type;
+  int count = 1;        ///< Parallel link count (e.g. 4 xGMI links).
+  Duration latency;     ///< One-way hardware latency of the hop.
+  Bandwidth bandwidth;  ///< Aggregate unidirectional bandwidth of the hop.
+
+  [[nodiscard]] bool connects(Endpoint x, Endpoint y) const {
+    return (a == x && b == y) || (a == y && b == x);
+  }
+};
+
+/// A resolved route between two endpoints.
+struct Route {
+  std::vector<const Link*> hops;
+  Duration latency = Duration::zero();           ///< Sum of hop latencies.
+  Bandwidth bottleneck = Bandwidth::zero();      ///< Min of hop bandwidths.
+
+  [[nodiscard]] bool direct() const { return hops.size() == 1; }
+};
+
+/// Structural model of one compute node.
+class NodeTopology {
+ public:
+  // --- construction -------------------------------------------------------
+  SocketId addSocket(std::string model);
+  NumaId addNumaDomain(SocketId socket);
+  /// Adds `count` cores to a NUMA domain; returns the id of the first.
+  CoreId addCores(NumaId numa, int count, int smtThreads = 1);
+  /// Adds one core with a mesh coordinate (KNL tiles).
+  CoreId addMeshCore(NumaId numa, MeshCoord coord, int smtThreads = 4);
+  GpuId addGpu(std::string model, SocketId socket, ByteCount memory,
+               int packageIndex = -1);
+
+  void connectSockets(SocketId a, SocketId b, LinkType type, Duration latency,
+                      Bandwidth bandwidth);
+  void connectHostGpu(SocketId s, GpuId g, LinkType type, Duration latency,
+                      Bandwidth bandwidth);
+  void connectGpuPeer(GpuId a, GpuId b, LinkType type, int count,
+                      Duration latency, Bandwidth bandwidth);
+
+  void setGpuFlavor(GpuInterconnectFlavor flavor) { flavor_ = flavor; }
+
+  /// Adjusts the bandwidth of the existing socket<->GPU link. Used by the
+  /// machine calibration pass, which solves link bandwidths so that the
+  /// full transfer model (overheads + latency + size/bw) reproduces the
+  /// paper's measured 1 GiB transfer rates.
+  void setHostGpuLinkBandwidth(SocketId s, GpuId g, Bandwidth bw);
+
+  // --- queries ------------------------------------------------------------
+  [[nodiscard]] int socketCount() const { return static_cast<int>(sockets_.size()); }
+  [[nodiscard]] int numaCount() const { return static_cast<int>(numas_.size()); }
+  [[nodiscard]] int coreCount() const { return static_cast<int>(cores_.size()); }
+  [[nodiscard]] int gpuCount() const { return static_cast<int>(gpus_.size()); }
+  [[nodiscard]] GpuInterconnectFlavor gpuFlavor() const { return flavor_; }
+
+  [[nodiscard]] const SocketInfo& socket(SocketId id) const;
+  [[nodiscard]] const NumaInfo& numa(NumaId id) const;
+  [[nodiscard]] const CoreInfo& core(CoreId id) const;
+  [[nodiscard]] const GpuInfo& gpu(GpuId id) const;
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Cores belonging to one socket, in id order.
+  [[nodiscard]] std::vector<CoreId> coresOfSocket(SocketId s) const;
+
+  /// Relationship between two cores (drives host MPI latency).
+  [[nodiscard]] CpuPath cpuPath(CoreId a, CoreId b) const;
+
+  /// Direct link between two GPUs, if one exists.
+  [[nodiscard]] const Link* directGpuLink(GpuId a, GpuId b) const;
+
+  /// Link between a socket and a GPU. Throws NotFoundError if the GPU is
+  /// not attached to this socket.
+  [[nodiscard]] const Link& hostGpuLink(SocketId s, GpuId g) const;
+
+  /// Link between two sockets. Throws NotFoundError if absent.
+  [[nodiscard]] const Link& socketLink(SocketId a, SocketId b) const;
+
+  /// Route from a socket's memory complex to a device.
+  [[nodiscard]] Route routeHostToGpu(SocketId s, GpuId g) const;
+
+  /// Route between two devices: the direct peer link when present,
+  /// otherwise through the host (gpu -> socket [-> socket] -> gpu).
+  /// Precondition: a != b.
+  [[nodiscard]] Route routeGpuToGpu(GpuId a, GpuId b) const;
+
+  /// Paper link-class of a GPU pair under this machine's flavour.
+  /// Precondition: a != b and flavour != None.
+  [[nodiscard]] LinkClass gpuPairClass(GpuId a, GpuId b) const;
+
+  /// All distinct link classes present among GPU pairs, in enum order.
+  [[nodiscard]] std::vector<LinkClass> presentGpuLinkClasses() const;
+
+  /// A representative GPU pair for each link class (first pair found in
+  /// (a,b) lexicographic order). Used by the benches to pick endpoints.
+  [[nodiscard]] std::optional<std::pair<GpuId, GpuId>>
+  representativePair(LinkClass c) const;
+
+ private:
+  void checkSocket(SocketId id) const;
+  void checkNuma(NumaId id) const;
+  void checkCore(CoreId id) const;
+  void checkGpu(GpuId id) const;
+
+  std::vector<SocketInfo> sockets_;
+  std::vector<NumaInfo> numas_;
+  std::vector<CoreInfo> cores_;
+  std::vector<GpuInfo> gpus_;
+  std::vector<Link> links_;
+  GpuInterconnectFlavor flavor_ = GpuInterconnectFlavor::None;
+};
+
+}  // namespace nodebench::topo

@@ -1,0 +1,58 @@
+#pragma once
+/// \file types.hpp
+/// \brief Basic vocabulary types of the node hardware topology model.
+
+#include <string>
+#include <string_view>
+
+namespace nodebench::topo {
+
+/// Physical interconnect technologies appearing in the studied systems
+/// (Figures 1-3 of the paper).
+enum class LinkType {
+  PCIe3,            ///< PCI Express gen3 (V100 systems host<->far GPUs path)
+  PCIe4,            ///< PCI Express gen4 (Perlmutter/Polaris/MI250X host links)
+  NVLink2,          ///< NVLink 2.0 (Summit/Sierra/Lassen CPU-GPU and GPU-GPU)
+  NVLink3,          ///< NVLink 3.0 (Perlmutter/Polaris GPU-GPU)
+  XBus,             ///< IBM X-Bus between Power9 sockets
+  UPI,              ///< Intel Ultra Path Interconnect between Xeon sockets
+  InfinityFabric,   ///< AMD xGMI/Infinity Fabric (GCD-GCD and CPU-GCD)
+  KnlMesh,          ///< Intel Knights Landing on-die 2D mesh
+  Smp,              ///< Generic intra-socket coherence fabric
+};
+
+[[nodiscard]] std::string_view linkTypeName(LinkType t);
+
+/// GPU-to-GPU interconnect flavour of a machine; drives the link-class
+/// (A/B/C/D) labelling used by Tables 5 and 6.
+enum class GpuInterconnectFlavor {
+  None,             ///< CPU-only system
+  NvlinkPcieMix,    ///< Summit/Sierra/Lassen: NVLink cliques + PCIe/X-Bus rest
+  NvlinkAllToAll,   ///< Perlmutter/Polaris: NVLink between every GPU pair
+  InfinityFabric,   ///< Frontier/RZVernal/Tioga: 4/2/1/0 IF links per pair
+};
+
+/// Link class labels exactly as the paper's tables use them.
+/// For NvlinkPcieMix: A = direct NVLink, B = otherwise.
+/// For InfinityFabric: A/B/C = quad/dual/single links, D = no direct link.
+/// For NvlinkAllToAll: every pair is A.
+enum class LinkClass { A, B, C, D, None };
+
+[[nodiscard]] std::string_view linkClassName(LinkClass c);
+
+/// 2D coordinate of a core tile on the KNL on-die mesh.
+struct MeshCoord {
+  int row = 0;
+  int col = 0;
+};
+
+/// Relationship between two host cores, as needed by the MPI host
+/// transport model.
+struct CpuPath {
+  bool sameCore = false;
+  bool sameNuma = false;
+  bool sameSocket = false;
+  int meshDistance = 0;  ///< Manhattan tile distance; 0 on non-mesh CPUs.
+};
+
+}  // namespace nodebench::topo

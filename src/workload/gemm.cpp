@@ -1,0 +1,53 @@
+#include "workload/gemm.hpp"
+
+#include <algorithm>
+
+namespace nodebench::workload {
+
+using machines::Machine;
+
+GemmResult runGemm(const Machine& m, const GemmConfig& cfg) {
+  NB_EXPECTS(cfg.blockSize >= 16);
+  NB_EXPECTS(cfg.n >= cfg.blockSize);
+  NB_EXPECTS(cfg.computeEfficiency > 0.0 && cfg.computeEfficiency <= 1.0);
+
+  const double n = static_cast<double>(cfg.n);
+  const double flops = 2.0 * n * n * n;
+  // Blocked GEMM traffic: each of the (n/b)^3 block multiplies streams
+  // three b*b tiles; with output-tile reuse the dominant term is
+  // 2 * n^3 / b doubles of A/B traffic.
+  const double traffic =
+      (2.0 * n * n * n / static_cast<double>(cfg.blockSize) + 3.0 * n * n) *
+      sizeof(double);
+
+  double peakGflops = 0.0;
+  double bandwidth = 0.0;  // bytes per ns
+  Duration overhead = Duration::zero();
+  if (cfg.useDevice) {
+    NB_EXPECTS_MSG(m.accelerated(), "device GEMM on a CPU-only machine");
+    NB_EXPECTS_MSG(m.device->peakFp64Gflops > 0.0, "device peak not set");
+    peakGflops = m.device->peakFp64Gflops;
+    bandwidth = m.device->hbmBw.bytesPerNanosecond();
+    overhead = m.device->kernelLaunch + m.device->syncWait;
+  } else {
+    NB_EXPECTS_MSG(m.hostPeakFp64Gflops > 0.0, "host peak not set");
+    peakGflops = m.hostPeakFp64Gflops;
+    bandwidth = m.hostMemory.perNumaSaturation.bytesPerNanosecond() *
+                static_cast<double>(m.topology.numaCount()) /
+                m.hostMemory.cacheModeOverhead;
+  }
+
+  GemmResult result;
+  result.intensityFlopsPerByte = flops / traffic;
+  result.computePortion = Duration::nanoseconds(
+      flops / (peakGflops * cfg.computeEfficiency));
+  result.memoryPortion = Duration::nanoseconds(traffic / bandwidth);
+  // Compute and memory overlap on modern hardware: the slower side rules.
+  result.total =
+      max(result.computePortion, result.memoryPortion) + overhead;
+  result.computeBound = result.computePortion >= result.memoryPortion;
+  result.achievedGflops = flops / result.total.ns();
+  return result;
+}
+
+}  // namespace nodebench::workload

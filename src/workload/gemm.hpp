@@ -1,0 +1,43 @@
+#pragma once
+/// \file gemm.hpp
+/// \brief Blocked DGEMM proxy: the compute-bound counterpart of the
+/// stencil proxy. Its time model composes the roofline quantities —
+/// arithmetic at the FP64 peak vs blocked memory traffic at the STREAM
+/// bandwidth — plus per-launch overheads on devices, showing which
+/// machines win once kernels stop being bandwidth-bound.
+
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+
+namespace nodebench::workload {
+
+struct GemmConfig {
+  std::uint64_t n = 4096;      ///< C(NxN) += A(NxN) * B(NxN), doubles.
+  /// Cache/shared-memory tile edge. Effective arithmetic intensity of
+  /// the blocked algorithm is ~b/8 flops/byte, so the default clears
+  /// every studied ridge point (max ~22 flops/byte on Theta).
+  std::uint64_t blockSize = 256;
+  bool useDevice = false;
+  /// Fraction of peak the implementation reaches on the compute side
+  /// (vendor BLAS typically lands at 80-95%).
+  double computeEfficiency = 0.9;
+};
+
+struct GemmResult {
+  Duration total;
+  Duration computePortion;  ///< Arithmetic at efficiency * peak.
+  Duration memoryPortion;   ///< Blocked traffic at stream bandwidth.
+  double achievedGflops = 0.0;
+  bool computeBound = true;
+
+  /// Effective arithmetic intensity of the blocked algorithm.
+  double intensityFlopsPerByte = 0.0;
+};
+
+/// Analytic execution estimate of one GEMM on the machine.
+/// Preconditions: n >= blockSize >= 16; device mode requires an
+/// accelerator with peak FLOPS set; host mode requires host peak FLOPS.
+[[nodiscard]] GemmResult runGemm(const machines::Machine& machine,
+                                 const GemmConfig& config);
+
+}  // namespace nodebench::workload

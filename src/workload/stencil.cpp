@@ -1,0 +1,154 @@
+#include "workload/stencil.hpp"
+
+#include <algorithm>
+
+#include "memsim/host_memory_model.hpp"
+#include "mpisim/world.hpp"
+#include "ompenv/placement.hpp"
+
+namespace nodebench::workload {
+
+using machines::Machine;
+using mpisim::BufferSpace;
+using mpisim::Communicator;
+using mpisim::MpiWorld;
+using mpisim::RankPlacement;
+using mpisim::Request;
+
+namespace {
+
+/// Per-iteration compute time of one rank.
+Duration computeTime(const Machine& m, const StencilConfig& cfg) {
+  const double traffic =
+      cfg.trafficBytesPerCell * static_cast<double>(cfg.cellsPerRank);
+  const double flops =
+      cfg.flopsPerCell * static_cast<double>(cfg.cellsPerRank);
+  if (cfg.useDevice) {
+    // Device: bandwidth-vs-compute roofline on the HBM / FP64 peak; the
+    // launch + sync overheads are paid through the communicator clock.
+    const machines::DeviceParams& d = *m.device;
+    const double memNs = traffic / d.hbmBw.bytesPerNanosecond();
+    const double flopNs =
+        d.peakFp64Gflops > 0.0 ? flops / d.peakFp64Gflops : 0.0;
+    return Duration::nanoseconds(std::max(memNs, flopNs)) + d.kernelLaunch +
+           d.syncWait;
+  }
+  // Host: each rank owns one core; its sustainable bandwidth is the
+  // single-core rate capped by its share of the NUMA saturation.
+  const machines::HostMemoryParams& hm = m.hostMemory;
+  const int ranksPerNuma = std::max(
+      1, cfg.ranks / std::max(1, m.topology.numaCount()));
+  const double perRankBw =
+      std::min(hm.perCoreBw.inGBps(),
+               hm.perNumaSaturation.inGBps() /
+                   static_cast<double>(ranksPerNuma)) /
+      hm.cacheModeOverhead;
+  const double memNs = traffic / perRankBw;
+  const double perCoreGflops =
+      m.hostPeakFp64Gflops > 0.0
+          ? m.hostPeakFp64Gflops / static_cast<double>(m.coreCount())
+          : 0.0;
+  const double flopNs = perCoreGflops > 0.0 ? flops / perCoreGflops : 0.0;
+  return Duration::nanoseconds(std::max(memNs, flopNs));
+}
+
+}  // namespace
+
+StencilResult runStencil(const Machine& machine, const StencilConfig& cfg,
+                         mpisim::Tracer* tracer) {
+  NB_EXPECTS(cfg.ranks >= 2);
+  NB_EXPECTS(cfg.iterations > 0);
+  NB_EXPECTS(cfg.cellsPerRank > 0);
+  NB_EXPECTS_MSG(cfg.ranks <= machine.topology.coreCount(),
+                 "more ranks than cores");
+  if (cfg.useDevice) {
+    NB_EXPECTS_MSG(machine.accelerated() &&
+                       cfg.ranks <= machine.topology.gpuCount(),
+                   "device stencil needs one GPU per rank");
+  }
+
+  std::vector<RankPlacement> placements;
+  placements.reserve(cfg.ranks);
+  for (int r = 0; r < cfg.ranks; ++r) {
+    RankPlacement p;
+    p.core = topo::CoreId{r};
+    if (cfg.useDevice) {
+      p.gpu = r;
+    }
+    placements.push_back(p);
+  }
+  MpiWorld world(machine, std::move(placements));
+  world.setTracer(tracer);
+
+  const Duration compute = computeTime(machine, cfg);
+  const ByteCount haloBytes =
+      ByteCount::bytes(cfg.haloCells * sizeof(double));
+  constexpr int kHaloTag = 21;
+
+  Duration computeTotal = Duration::zero();
+  Duration haloTotal = Duration::zero();
+  Duration reduceTotal = Duration::zero();
+  Duration wallTotal = Duration::zero();
+
+  world.run([&](Communicator& c) {
+    const int left = c.rank() - 1;
+    const int right = c.rank() + 1;
+    const BufferSpace space = cfg.useDevice
+                                  ? BufferSpace::onDevice(c.rank())
+                                  : BufferSpace::host();
+    c.barrier();
+    const Duration start = c.now();
+    Duration myCompute = Duration::zero();
+    Duration myHalo = Duration::zero();
+    Duration myReduce = Duration::zero();
+
+    for (int it = 0; it < cfg.iterations; ++it) {
+      Duration t0 = c.now();
+      c.compute(compute);
+      myCompute += c.now() - t0;
+
+      // Halo exchange: non-blocking sends both ways, then receives.
+      t0 = c.now();
+      std::vector<Request> sends;
+      if (left >= 0) {
+        sends.push_back(c.isend(left, kHaloTag, haloBytes, space));
+      }
+      if (right < c.size()) {
+        sends.push_back(c.isend(right, kHaloTag, haloBytes, space));
+      }
+      if (left >= 0) {
+        c.recv(left, kHaloTag, haloBytes, space);
+      }
+      if (right < c.size()) {
+        c.recv(right, kHaloTag, haloBytes, space);
+      }
+      c.waitAll(sends);
+      myHalo += c.now() - t0;
+
+      if (cfg.reduceEvery > 0 && (it + 1) % cfg.reduceEvery == 0) {
+        t0 = c.now();
+        c.allreduce(ByteCount::bytes(8), space);
+        myReduce += c.now() - t0;
+      }
+    }
+    if (c.rank() == 0) {
+      wallTotal = c.now() - start;
+      computeTotal = myCompute;
+      haloTotal = myHalo;
+      reduceTotal = myReduce;
+    }
+  });
+
+  const double iters = static_cast<double>(cfg.iterations);
+  StencilResult result;
+  result.totalPerIteration = wallTotal / iters;
+  result.computePerIteration = computeTotal / iters;
+  result.haloPerIteration = haloTotal / iters;
+  result.reducePerIteration = reduceTotal / iters;
+  result.cellsPerSecond =
+      static_cast<double>(cfg.cellsPerRank) * cfg.ranks /
+      result.totalPerIteration.s();
+  return result;
+}
+
+}  // namespace nodebench::workload

@@ -1,0 +1,60 @@
+#pragma once
+/// \file stencil.hpp
+/// \brief Halo-exchange stencil proxy application.
+///
+/// The paper motivates its microbenchmarks with developers of portable
+/// application codes; this module closes the loop with a Mantevo-style
+/// mini-app whose performance is *composed* from exactly the quantities
+/// the paper measures: sustained memory bandwidth (compute phases),
+/// point-to-point MPI latency/bandwidth (halo exchanges), kernel launch
+/// and synchronize overheads (device variants), and an allreduce
+/// (residual check) per iteration.
+///
+/// Decomposition: a 1D chain of ranks, each owning `cellsPerRank` cells
+/// of double-precision state, exchanging `haloCells` cells with both
+/// neighbours per iteration.
+
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+#include "mpisim/trace.hpp"
+
+namespace nodebench::workload {
+
+struct StencilConfig {
+  int ranks = 8;                        ///< One rank per core (or per GPU).
+  std::uint64_t cellsPerRank = 1 << 21; ///< Doubles of state per rank.
+  std::uint64_t haloCells = 2048;       ///< Cells exchanged per side.
+  int iterations = 10;
+  /// Arithmetic per cell per iteration (a 7-point stencil update is ~8).
+  double flopsPerCell = 8.0;
+  /// Memory traffic per cell per iteration (read state + neighbours from
+  /// cache-resident lines + write result): bytes = trafficPerCell.
+  double trafficBytesPerCell = 16.0;
+  /// Device variant: compute on GPUs (one rank per GPU, launch + sync per
+  /// iteration) with device-resident halo buffers.
+  bool useDevice = false;
+  /// Residual allreduce every `reduceEvery` iterations (0 disables).
+  int reduceEvery = 1;
+};
+
+struct StencilResult {
+  Duration totalPerIteration;
+  Duration computePerIteration;
+  Duration haloPerIteration;
+  Duration reducePerIteration;
+  double cellsPerSecond = 0.0;  ///< Aggregate update rate.
+
+  [[nodiscard]] double haloFraction() const {
+    return haloPerIteration / totalPerIteration;
+  }
+};
+
+/// Runs the proxy on a simulated machine and returns rank 0's per-phase
+/// breakdown. Optionally records a timeline into `tracer`.
+/// Preconditions: config.ranks >= 2, fits the machine's cores (and GPUs
+/// in device mode), iterations > 0.
+[[nodiscard]] StencilResult runStencil(const machines::Machine& machine,
+                                       const StencilConfig& config,
+                                       mpisim::Tracer* tracer = nullptr);
+
+}  // namespace nodebench::workload

@@ -1,0 +1,44 @@
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nodebench {
+namespace {
+
+TEST(ErrorTest, ExpectsThrowsPreconditionError) {
+  const auto f = [](int x) { NB_EXPECTS(x > 0); };
+  EXPECT_NO_THROW(f(1));
+  EXPECT_THROW(f(0), PreconditionError);
+}
+
+TEST(ErrorTest, ExpectsMsgIncludesMessageAndLocation) {
+  try {
+    NB_EXPECTS_MSG(false, "the reason");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the reason"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, EnsuresThrowsInvariantError) {
+  const auto f = [] { NB_ENSURES(1 == 2); };
+  EXPECT_THROW(f(), InvariantError);
+  const auto g = [] { NB_ENSURES_MSG(false, "broken"); };
+  EXPECT_THROW(g(), InvariantError);
+}
+
+TEST(ErrorTest, HierarchyRootsAtError) {
+  // All nodebench exceptions are catchable as nodebench::Error and as
+  // std::runtime_error (I.10: use standard hierarchies).
+  EXPECT_THROW(throw NotFoundError("x"), Error);
+  EXPECT_THROW(throw PreconditionError("x"), std::runtime_error);
+  EXPECT_THROW(throw InvariantError("x"), Error);
+}
+
+}  // namespace
+}  // namespace nodebench

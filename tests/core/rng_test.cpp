@@ -1,0 +1,148 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.hpp"
+
+namespace nodebench {
+namespace {
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, Uniform01Bounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanIsHalf) {
+  Xoshiro256 rng(11);
+  Welford w;
+  for (int i = 0; i < 100000; ++i) {
+    w.add(rng.uniform01());
+  }
+  EXPECT_NEAR(w.mean(), 0.5, 0.01);
+  EXPECT_NEAR(w.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+  EXPECT_THROW((void)rng.uniform(1.0, 1.0), PreconditionError);
+}
+
+TEST(Xoshiro, UniformIntBoundsAndCoverage) {
+  Xoshiro256 rng(17);
+  bool seen[7] = {};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.uniformInt(7);
+    ASSERT_LT(x, 7u);
+    seen[x] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+  EXPECT_THROW((void)rng.uniformInt(0), PreconditionError);
+}
+
+TEST(Xoshiro, NormalMomentsMatch) {
+  Xoshiro256 rng(19);
+  Welford w;
+  for (int i = 0; i < 200000; ++i) {
+    w.add(rng.normal(10.0, 2.5));
+  }
+  EXPECT_NEAR(w.mean(), 10.0, 0.05);
+  EXPECT_NEAR(w.stddev(), 2.5, 0.05);
+}
+
+TEST(Xoshiro, SplitProducesIndependentStream) {
+  Xoshiro256 parent(23);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += parent.next() == child.next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(NoiseModel, ZeroCvIsIdentity) {
+  Xoshiro256 rng(29);
+  const NoiseModel none = NoiseModel::none();
+  EXPECT_DOUBLE_EQ(none.sampleFactor(rng), 1.0);
+  EXPECT_EQ(none.apply(Duration::microseconds(3.0), rng),
+            Duration::microseconds(3.0));
+}
+
+TEST(NoiseModel, RejectsInvalidCv) {
+  EXPECT_THROW(NoiseModel(-0.1), PreconditionError);
+  EXPECT_THROW(NoiseModel(0.5), PreconditionError);
+}
+
+TEST(NoiseModel, FactorsHaveRequestedSpread) {
+  Xoshiro256 rng(31);
+  const NoiseModel noise(0.05);
+  Welford w;
+  for (int i = 0; i < 50000; ++i) {
+    w.add(noise.sampleFactor(rng));
+  }
+  EXPECT_NEAR(w.mean(), 1.0, 0.002);
+  EXPECT_NEAR(w.stddev(), 0.05, 0.003);
+}
+
+TEST(NoiseModel, FactorsAreTruncated) {
+  Xoshiro256 rng(37);
+  const NoiseModel noise(0.2);
+  for (int i = 0; i < 20000; ++i) {
+    const double f = noise.sampleFactor(rng);
+    EXPECT_GE(f, 1.0 - 4.0 * 0.2 - 1e-12);
+    EXPECT_LE(f, 1.0 + 4.0 * 0.2 + 1e-12);
+  }
+}
+
+TEST(NoiseModel, AppliedValuesStayPositive) {
+  Xoshiro256 rng(41);
+  const NoiseModel noise(0.2);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GT(noise.apply(Duration::nanoseconds(5.0), rng),
+              Duration::zero());
+    EXPECT_GT(noise.apply(Bandwidth::gbps(1.0), rng).inGBps(), 0.0);
+  }
+}
+
+TEST(SplitMix, KnownExpansionIsStable) {
+  // Guard the seeding path: same seed must yield the same first outputs
+  // forever (golden tests depend on stream stability).
+  SplitMix64 a(0);
+  const std::uint64_t first = a.next();
+  SplitMix64 b(0);
+  EXPECT_EQ(first, b.next());
+  EXPECT_NE(first, a.next());
+}
+
+}  // namespace
+}  // namespace nodebench

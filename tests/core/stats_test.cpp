@@ -1,0 +1,186 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace nodebench {
+namespace {
+
+TEST(Welford, EmptyStateThrows) {
+  Welford w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_THROW((void)w.mean(), PreconditionError);
+  EXPECT_THROW((void)w.min(), PreconditionError);
+  EXPECT_THROW((void)w.summary(), PreconditionError);
+}
+
+TEST(Welford, SingleValue) {
+  Welford w;
+  w.add(42.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(w.sampleVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 42.0);
+  EXPECT_DOUBLE_EQ(w.max(), 42.0);
+}
+
+TEST(Welford, KnownSmallSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population variance 4.
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    w.add(x);
+  }
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.populationVariance(), 4.0);
+  EXPECT_NEAR(w.sampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, MatchesNaiveFormulaOnRandomData) {
+  Xoshiro256 rng(12345);
+  std::vector<double> xs;
+  Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-50.0, 150.0);
+    xs.push_back(x);
+    w.add(x);
+  }
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - mean) * (x - mean);
+  }
+  EXPECT_NEAR(w.mean(), mean, 1e-9);
+  EXPECT_NEAR(w.sampleVariance(), ss / (static_cast<double>(xs.size()) - 1),
+              1e-9);
+}
+
+TEST(Welford, NumericallyStableAtLargeOffset) {
+  // Classic catastrophic-cancellation case for the naive formula.
+  Welford w;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) {
+    w.add(x);
+  }
+  EXPECT_NEAR(w.mean(), offset + 10.0, 1e-6);
+  EXPECT_NEAR(w.sampleVariance(), 30.0, 1e-6);
+}
+
+TEST(Welford, MergeMatchesSequential) {
+  Xoshiro256 rng(777);
+  Welford whole;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.sampleVariance(), whole.sampleVariance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford a;
+  Welford b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty <- full
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  Welford c;
+  a.merge(c);  // full <- empty
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(SummaryTest, ToStringMatchesPaperFormat) {
+  const Summary s{100, 12.36, 0.16, 12.0, 12.8};
+  EXPECT_EQ(s.toString(), "12.36 ± 0.16");
+  EXPECT_EQ(s.toString(1), "12.4 ± 0.2");
+}
+
+TEST(SummaryTest, CvHandlesZeroMean) {
+  const Summary s{10, 0.0, 1.0, -1.0, 1.0};
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+  const Summary t{10, 2.0, 1.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(t.cv(), 0.5);
+}
+
+TEST(Summarize, MatchesWelford) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)summarize(empty), PreconditionError);
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(median(one), 7.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, -1.0), PreconditionError);
+  EXPECT_THROW((void)percentile(xs, 101.0), PreconditionError);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), PreconditionError);
+}
+
+/// Property sweep: for any sample, stddev^2 * (n-1) equals the summed
+/// squared deviations, and min <= mean <= max.
+class StatsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsPropertyTest, SummaryInvariants) {
+  Xoshiro256 rng(GetParam());
+  Welford w;
+  const int n = 2 + static_cast<int>(rng.uniformInt(200));
+  for (int i = 0; i < n; ++i) {
+    w.add(rng.normal(rng.uniform(-100.0, 100.0), 5.0));
+  }
+  const Summary s = w.summary();
+  EXPECT_LE(s.min, s.mean);
+  EXPECT_GE(s.max, s.mean);
+  EXPECT_GE(s.stddev, 0.0);
+  EXPECT_EQ(s.count, static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace nodebench

@@ -1,0 +1,59 @@
+#include "core/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nodebench {
+namespace {
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(toLower("TRUE"), "true");
+  EXPECT_EQ(toLower("MiXeD123"), "mixed123");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Frontier", "frontier"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\tx\t"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, Join) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  const std::vector<std::string> one{"x"};
+  EXPECT_EQ(join(one, ","), "x");
+  const std::vector<std::string> none;
+  EXPECT_EQ(join(none, ","), "");
+}
+
+TEST(Strings, ParseUnsigned) {
+  EXPECT_EQ(parseUnsigned("42"), 42u);
+  EXPECT_EQ(parseUnsigned(" 7 "), 7u);
+  EXPECT_EQ(parseUnsigned("0"), 0u);
+  EXPECT_FALSE(parseUnsigned("").has_value());
+  EXPECT_FALSE(parseUnsigned("-1").has_value());
+  EXPECT_FALSE(parseUnsigned("4x").has_value());
+  EXPECT_FALSE(parseUnsigned("99999999999999999999").has_value());
+}
+
+}  // namespace
+}  // namespace nodebench

@@ -1,0 +1,113 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace nodebench {
+namespace {
+
+Table sample() {
+  Table t({"Name", "Value"});
+  t.addRow({"alpha", "1.0"});
+  t.addRow({"beta", "20.5"});
+  return t;
+}
+
+TEST(TableTest, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(TableTest, RowWidthMustMatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), PreconditionError);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(TableTest, CellAccess) {
+  Table t = sample();
+  EXPECT_EQ(t.cell(0, 0), "alpha");
+  EXPECT_EQ(t.cell(1, 1), "20.5");
+  EXPECT_THROW((void)t.cell(2, 0), PreconditionError);
+  EXPECT_THROW((void)t.cell(0, 2), PreconditionError);
+}
+
+TEST(TableTest, AsciiRenderContainsAlignedCells) {
+  Table t = sample();
+  t.setTitle("My Table");
+  const std::string out = t.renderAscii();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("| Name "), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric column is right-aligned: "  1.0" not "1.0  ".
+  EXPECT_NE(out.find(" 1.0 |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorRendersAsRule) {
+  Table t({"x"});
+  t.addRow({"1"});
+  t.addSeparator();
+  t.addRow({"2"});
+  const std::string out = t.renderAscii();
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TableTest, MarkdownRender) {
+  Table t = sample();
+  t.setCaption("caption here");
+  const std::string out = t.renderMarkdown();
+  EXPECT_NE(out.find("| Name | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| --- | ---: |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1.0 |"), std::string::npos);
+  EXPECT_NE(out.find("*caption here*"), std::string::npos);
+}
+
+TEST(TableTest, CsvRenderEscapes) {
+  Table t({"a", "b"});
+  t.addRow({"plain", "has,comma"});
+  t.addRow({"has\"quote", "x"});
+  const std::string out = t.renderCsv();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\",x\n"), std::string::npos);
+}
+
+TEST(TableTest, JsonRenderEscapesAndStructures) {
+  Table t({"name", "value"});
+  t.setTitle("ti\"tle");
+  t.addRow({"line\nbreak", "quote\"inside"});
+  t.addSeparator();
+  t.addRow({"plain", "2"});
+  const std::string json = t.renderJson();
+  EXPECT_NE(json.find("\"title\": \"ti\\\"tle\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\\nbreak\""), std::string::npos);
+  EXPECT_NE(json.find("\"quote\\\"inside\""), std::string::npos);
+  // Separator rows are dropped: exactly two row arrays.
+  std::size_t rows = 0;
+  for (auto p = json.find("    ["); p != std::string::npos;
+       p = json.find("    [", p + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(TableTest, SetAlignValidation) {
+  Table t({"a"});
+  EXPECT_NO_THROW(t.setAlign(0, Align::Left));
+  EXPECT_THROW(t.setAlign(1, Align::Left), PreconditionError);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(3.0, 0), "3");
+  EXPECT_EQ(formatFixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace nodebench

@@ -1,0 +1,106 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace nodebench {
+namespace {
+
+using namespace nodebench::literals;
+
+TEST(DurationTest, ConstructorsAndAccessors) {
+  EXPECT_DOUBLE_EQ(Duration::nanoseconds(1500.0).us(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::microseconds(2.5).ns(), 2500.0);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(3.0).us(), 3000.0);
+  EXPECT_DOUBLE_EQ(Duration::seconds(1.0).ms(), 1000.0);
+  EXPECT_DOUBLE_EQ(Duration::zero().ns(), 0.0);
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_DOUBLE_EQ((1.5_us).ns(), 1500.0);
+  EXPECT_DOUBLE_EQ((250_ns).ns(), 250.0);
+  EXPECT_DOUBLE_EQ((2_ms).us(), 2000.0);
+  EXPECT_DOUBLE_EQ((1_s).ms(), 1000.0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = 2_us;
+  const Duration b = 500_ns;
+  EXPECT_DOUBLE_EQ((a + b).ns(), 2500.0);
+  EXPECT_DOUBLE_EQ((a - b).ns(), 1500.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).ns(), 4000.0);
+  EXPECT_DOUBLE_EQ((3.0 * b).ns(), 1500.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).ns(), 500.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  Duration c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.ns(), 2500.0);
+  c -= a;
+  EXPECT_DOUBLE_EQ(c.ns(), 500.0);
+}
+
+TEST(DurationTest, ComparisonAndMinMax) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_EQ(1000_ns, 1_us);
+  EXPECT_EQ(max(1_us, 2_us), 2_us);
+  EXPECT_EQ(min(1_us, 2_us), 1_us);
+}
+
+TEST(DurationTest, Infinity) {
+  EXPECT_FALSE(Duration::infinity().isFinite());
+  EXPECT_TRUE((1_us).isFinite());
+  EXPECT_LT(1_s, Duration::infinity());
+}
+
+TEST(ByteCountTest, DecimalVsBinaryMultiples) {
+  EXPECT_EQ(ByteCount::kib(1).count(), 1024u);
+  EXPECT_EQ(ByteCount::kb(1).count(), 1000u);
+  EXPECT_EQ(ByteCount::mib(1).count(), 1048576u);
+  EXPECT_EQ(ByteCount::gib(1).count(), 1073741824u);
+  EXPECT_EQ(ByteCount::gb(1).count(), 1000000000u);
+  EXPECT_DOUBLE_EQ(ByteCount::gib(2).inGiB(), 2.0);
+  EXPECT_DOUBLE_EQ(ByteCount::gb(3).inGB(), 3.0);
+  EXPECT_DOUBLE_EQ(ByteCount::mib(512).inMiB(), 512.0);
+}
+
+TEST(ByteCountTest, ArithmeticAndComparison) {
+  EXPECT_EQ((ByteCount::kib(1) + ByteCount::bytes(24)).count(), 1048u);
+  EXPECT_EQ((ByteCount::kib(2) * 3ull).count(), 6144u);
+  EXPECT_LT(ByteCount::kb(1), ByteCount::kib(1));
+}
+
+TEST(BandwidthTest, GbpsEqualsBytesPerNanosecond) {
+  // The core unit identity the whole simulator relies on.
+  const Bandwidth bw = Bandwidth::gbps(25.0);
+  EXPECT_DOUBLE_EQ(bw.bytesPerNanosecond(), 25.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::bytesPerNs(100.0).inGBps(), 100.0);
+}
+
+TEST(BandwidthTest, TransferTimeRoundTrip) {
+  const Bandwidth bw = Bandwidth::gbps(50.0);
+  const ByteCount size = ByteCount::gb(1);
+  const Duration t = bw.transferTime(size);
+  EXPECT_DOUBLE_EQ(t.ms(), 20.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::fromTransfer(size, t).inGBps(), 50.0);
+}
+
+TEST(BandwidthTest, TransferTimePreconditions) {
+  EXPECT_THROW((void)Bandwidth::zero().transferTime(ByteCount::kb(1)),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)Bandwidth::fromTransfer(ByteCount::kb(1), Duration::zero()),
+      PreconditionError);
+}
+
+TEST(BandwidthTest, ArithmeticAndMin) {
+  EXPECT_DOUBLE_EQ((Bandwidth::gbps(10.0) * 2.0).inGBps(), 20.0);
+  EXPECT_DOUBLE_EQ((Bandwidth::gbps(10.0) / 2.0).inGBps(), 5.0);
+  EXPECT_DOUBLE_EQ((Bandwidth::gbps(10.0) + Bandwidth::gbps(5.0)).inGBps(),
+                   15.0);
+  EXPECT_EQ(min(Bandwidth::gbps(10.0), Bandwidth::gbps(5.0)),
+            Bandwidth::gbps(5.0));
+}
+
+}  // namespace
+}  // namespace nodebench

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu_runtime.hpp"
+#include "machines/registry.hpp"
+
+namespace nodebench::gpusim {
+namespace {
+
+using machines::byName;
+using namespace nodebench::literals;
+
+TEST(GpuEvents, EventOnIdleStreamCompletesNow) {
+  GpuRuntime rt(byName("Perlmutter"));
+  const StreamId s = rt.defaultStream(0);
+  rt.hostAdvance(5_us);
+  const EventId e = rt.recordEvent(s);
+  EXPECT_DOUBLE_EQ(rt.eventTime(e).us(), 5.0);
+}
+
+TEST(GpuEvents, EventWaitsForEnqueuedWork) {
+  const auto& m = byName("Perlmutter");
+  GpuRuntime rt(m);
+  const StreamId s = rt.defaultStream(0);
+  rt.launchKernel(s, 100_us);
+  const EventId e = rt.recordEvent(s);
+  EXPECT_DOUBLE_EQ(rt.eventTime(e).us(),
+                   m.device->kernelLaunch.us() + 100.0);
+}
+
+TEST(GpuEvents, ElapsedBracketsKernelDuration) {
+  // The cudaEvent timing idiom BabelStream's CUDA backend uses.
+  const auto& m = byName("Summit");
+  GpuRuntime rt(m);
+  const StreamId s = rt.defaultStream(0);
+  const EventId start = rt.recordEvent(s);
+  rt.launchKernel(s, 250_us);
+  const EventId stop = rt.recordEvent(s);
+  EXPECT_NEAR(rt.eventElapsed(start, stop).us(),
+              250.0 + m.device->kernelLaunch.us(), 1e-9);
+}
+
+TEST(GpuEvents, ElapsedRejectsReversedOrder) {
+  GpuRuntime rt(byName("Summit"));
+  const StreamId s = rt.defaultStream(0);
+  const EventId a = rt.recordEvent(s);
+  rt.launchKernel(s, 10_us);
+  const EventId b = rt.recordEvent(s);
+  EXPECT_THROW((void)rt.eventElapsed(b, a), PreconditionError);
+}
+
+TEST(GpuEvents, SynchronizeAdvancesHostPastEvent) {
+  const auto& m = byName("Frontier");
+  GpuRuntime rt(m);
+  const StreamId s = rt.defaultStream(0);
+  rt.launchKernel(s, 50_us);
+  const EventId e = rt.recordEvent(s);
+  rt.eventSynchronize(e);
+  EXPECT_NEAR(rt.hostNow().us(),
+              m.device->kernelLaunch.us() + 50.0 + m.device->syncWait.us(),
+              1e-9);
+}
+
+TEST(GpuEvents, InvalidEventRejected) {
+  GpuRuntime rt(byName("Frontier"));
+  EXPECT_THROW((void)rt.eventTime(EventId{3}), PreconditionError);
+  EXPECT_THROW((void)rt.eventTime(EventId{}), PreconditionError);
+}
+
+TEST(GpuEvents, ResetClearsEvents) {
+  GpuRuntime rt(byName("Frontier"));
+  const StreamId s = rt.defaultStream(0);
+  const EventId e = rt.recordEvent(s);
+  rt.reset();
+  EXPECT_THROW((void)rt.eventTime(e), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::gpusim

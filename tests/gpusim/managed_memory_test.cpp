@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "commscope/commscope.hpp"
+#include "gpusim/gpu_runtime.hpp"
+#include "machines/registry.hpp"
+
+namespace nodebench::gpusim {
+namespace {
+
+using machines::byName;
+
+TEST(ManagedMemory, StartsHostResident) {
+  GpuRuntime rt(byName("Perlmutter"));
+  const auto m = rt.allocManaged(ByteCount::mib(16));
+  EXPECT_EQ(rt.managedResidency(m), -1);
+}
+
+TEST(ManagedMemory, PrefetchMigratesAndCostsTransferTime) {
+  const auto& machine = byName("Perlmutter");
+  GpuRuntime rt(machine);
+  auto m = rt.allocManaged(ByteCount::gib(1));
+  const auto stream = rt.defaultStream(0);
+  rt.prefetchAsync(stream, m, 0);
+  rt.streamSynchronize(stream);
+  EXPECT_EQ(rt.managedResidency(m), 0);
+  // ~1 GiB at ~25 GB/s / 0.9 efficiency: tens of milliseconds.
+  EXPECT_GT(rt.hostNow().ms(), 30.0);
+  EXPECT_LT(rt.hostNow().ms(), 80.0);
+}
+
+TEST(ManagedMemory, PrefetchToCurrentResidencyIsCheap) {
+  GpuRuntime rt(byName("Perlmutter"));
+  auto m = rt.allocManaged(ByteCount::gib(1));
+  const auto stream = rt.defaultStream(0);
+  rt.prefetchAsync(stream, m, -1);  // already on the host
+  rt.streamSynchronize(stream);
+  EXPECT_LT(rt.hostNow().us(), 5.0);  // call overhead + sync only
+}
+
+TEST(ManagedMemory, DemandPagingPaysPerPageFaults) {
+  const auto& machine = byName("Perlmutter");
+  GpuRuntime rt(machine);
+  const ByteCount size = ByteCount::mib(64);
+  const double pages =
+      size.asDouble() / machine.device->umPageSize.asDouble();
+  auto m = rt.allocManaged(size);
+  const Duration storm = rt.touchManaged(m, 0);
+  EXPECT_EQ(rt.managedResidency(m), 0);
+  // At least pages * faultLatency.
+  EXPECT_GT(storm.us(), pages * machine.device->umFaultLatency.us() * 0.99);
+  // Touching again while resident is free.
+  EXPECT_EQ(rt.touchManaged(m, 0), Duration::zero());
+}
+
+TEST(ManagedMemory, DemandSlowerThanPrefetchPerByte) {
+  commscope::CommScope scope(byName("Frontier"));
+  const ByteCount size = ByteCount::gib(1);
+  const double prefetch = size.asDouble() / scope.truthUmPrefetchTime(size).ns();
+  const double demand = size.asDouble() / scope.truthUmDemandTime(size).ns();
+  EXPECT_GT(prefetch, 2.0 * demand);
+}
+
+TEST(ManagedMemory, PrefetchSlightlyUnderPinnedCopy) {
+  commscope::CommScope scope(byName("Polaris"));
+  commscope::Config cfg;
+  cfg.binaryRuns = 5;
+  const double pinned = scope.hostDeviceBandwidthGBps(cfg).mean;
+  const double prefetch = scope.umPrefetchBandwidthGBps(cfg).mean;
+  EXPECT_LT(prefetch, pinned);
+  EXPECT_GT(prefetch, 0.7 * pinned);
+}
+
+TEST(ManagedMemory, Validation) {
+  GpuRuntime rt(byName("Summit"));
+  EXPECT_THROW((void)rt.allocManaged(ByteCount{0}), PreconditionError);
+  auto m = rt.allocManaged(ByteCount::mib(1));
+  EXPECT_THROW((void)rt.touchManaged(m, 99), PreconditionError);
+  const auto stream = rt.defaultStream(0);
+  EXPECT_THROW(rt.prefetchAsync(stream, m, 99), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::gpusim

@@ -1,0 +1,95 @@
+#include "machines/extra_machines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_omp_backend.hpp"
+#include "machines/registry.hpp"
+#include "machines/validate.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+
+namespace nodebench::machines {
+namespace {
+
+TEST(ExtraMachines, ThreeReferenceNodesAllValid) {
+  const auto& extras = extraMachines();
+  ASSERT_EQ(extras.size(), 3u);
+  for (const Machine& m : extras) {
+    EXPECT_TRUE(isValid(m)) << m.info.name;
+    EXPECT_FALSE(m.accelerated()) << m.info.name;
+    EXPECT_GT(m.hostPeakFp64Gflops, 0.0) << m.info.name;
+  }
+}
+
+TEST(ExtraMachines, NotInTheMainRegistry) {
+  // The paper's fourteen-system scope stays intact.
+  EXPECT_EQ(allMachines().size(), 13u);
+  EXPECT_THROW((void)byName("A64FX-node"), NotFoundError);
+}
+
+TEST(ExtraMachines, A64fxOutBandwidthsEveryXeon) {
+  // The headline of the vendor comparison: HBM2 vs DDR4.
+  babelstream::DriverConfig cfg;
+  cfg.binaryRuns = 10;
+  const auto bwOf = [&](const Machine& m) {
+    babelstream::SimOmpBackend backend(
+        m, ompenv::OmpConfig{m.coreCount(), ompenv::ProcBind::Spread,
+                             ompenv::Places::Cores});
+    return babelstream::run(backend, cfg).best().bandwidthGBps.mean;
+  };
+  const double a64fx = bwOf(makeA64fxNode());
+  EXPECT_NEAR(a64fx, 830.0, 20.0);
+  for (const char* xeon : {"Sawtooth", "Eagle", "Manzano"}) {
+    EXPECT_GT(a64fx, 3.0 * bwOf(byName(xeon))) << xeon;
+  }
+}
+
+TEST(ExtraMachines, ShapesMatchTheirArchitectures) {
+  const Machine a64fx = makeA64fxNode();
+  EXPECT_EQ(a64fx.topology.socketCount(), 1);
+  EXPECT_EQ(a64fx.topology.numaCount(), 4);  // four CMGs
+  EXPECT_EQ(a64fx.coreCount(), 48);
+  EXPECT_EQ(a64fx.hardwareThreadCount(), 48);  // no SMT
+
+  const Machine milan = makeEpycMilanNode();
+  EXPECT_EQ(milan.topology.socketCount(), 2);
+  EXPECT_EQ(milan.topology.numaCount(), 8);  // NPS4 x 2
+  EXPECT_EQ(milan.coreCount(), 128);
+  EXPECT_EQ(milan.hardwareThreadCount(), 256);
+
+  const Machine altra = makeAmpereAltraNode();
+  EXPECT_EQ(altra.coreCount(), 160);
+  EXPECT_EQ(altra.hardwareThreadCount(), 160);
+}
+
+TEST(ExtraMachines, Table4MethodologyRunsEndToEnd) {
+  for (const Machine& m : extraMachines()) {
+    const auto [a, b] = osu::onSocketPair(m);
+    osu::LatencyConfig cfg;
+    cfg.binaryRuns = 5;
+    const auto lat =
+        osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Host)
+            .measure(cfg);
+    EXPECT_GT(lat.latencyUs.mean, 0.1) << m.info.name;
+    EXPECT_LT(lat.latencyUs.mean, 2.0) << m.info.name;
+  }
+}
+
+TEST(ExtraMachines, BalancePointsDiffer) {
+  // A64FX: ~3 TFLOP/s on ~830 GB/s -> balance ~3.7, far below the Xeons'
+  // ~19 — the design-point contrast the comparison is about.
+  const Machine a64fx = makeA64fxNode();
+  const double a64fxBalance =
+      a64fx.hostPeakFp64Gflops /
+      (a64fx.hostMemory.perNumaSaturation.inGBps() * 4.0);
+  EXPECT_LT(a64fxBalance, 5.0);
+  const Machine& sawtooth = byName("Sawtooth");
+  const double xeonBalance =
+      sawtooth.hostPeakFp64Gflops /
+      (sawtooth.hostMemory.perNumaSaturation.inGBps() * 2.0);
+  EXPECT_GT(xeonBalance, 3.0 * a64fxBalance);
+}
+
+}  // namespace
+}  // namespace nodebench::machines

@@ -1,0 +1,56 @@
+#include "machines/machine_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machines/registry.hpp"
+
+namespace nodebench::machines {
+namespace {
+
+TEST(MachineJson, GpuMachineHasAllSections) {
+  const std::string j = machineJson(byName("Frontier"));
+  for (const char* key :
+       {"\"name\": \"Frontier\"", "\"top500Rank\": 1", "\"software\"",
+        "\"topology\"", "\"gpus\": 8", "\"hostMemory\"", "\"hostMpi\"",
+        "\"device\"", "\"deviceMpi\"", "\"hbmGBps\"",
+        "\"d2dClassResidualUs\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(MachineJson, CpuMachineOmitsDeviceSections) {
+  const std::string j = machineJson(byName("Trinity"));
+  EXPECT_EQ(j.find("\"device\""), std::string::npos);
+  EXPECT_NE(j.find("\"cacheModeOverhead\": 1.15"), std::string::npos);
+}
+
+TEST(MachineJson, BracesBalanceForEveryMachine) {
+  for (const Machine& m : allMachines()) {
+    const std::string j = machineJson(m);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'))
+        << m.info.name;
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'))
+        << m.info.name;
+    // Even number of unescaped quotes (cheap well-formedness check).
+    std::size_t quotes = 0;
+    for (std::size_t i = 0; i < j.size(); ++i) {
+      if (j[i] == '"' && (i == 0 || j[i - 1] != '\\')) {
+        ++quotes;
+      }
+    }
+    EXPECT_EQ(quotes % 2, 0u) << m.info.name;
+  }
+}
+
+TEST(MachineJson, RoundTripsCalibratedNumbers) {
+  const std::string j = machineJson(byName("Polaris"));
+  EXPECT_NE(j.find("\"kernelLaunchUs\": 1.83"), std::string::npos);
+  EXPECT_NE(j.find("\"syncWaitUs\": 1.32"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nodebench::machines

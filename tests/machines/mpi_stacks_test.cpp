@@ -1,0 +1,77 @@
+#include "machines/mpi_stacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+
+namespace nodebench::machines {
+namespace {
+
+TEST(MpiStacks, EveryMachineGetsDefaultPlusAlternatives) {
+  for (const Machine& m : allMachines()) {
+    const auto variants = alternativeStacks(m);
+    ASSERT_GE(variants.size(), 2u) << m.info.name;
+    EXPECT_TRUE(variants.front().isDefault()) << m.info.name;
+    EXPECT_NE(variants.front().name.find(m.env.mpi), std::string::npos)
+        << m.info.name;
+  }
+}
+
+TEST(MpiStacks, DefaultVariantIsIdentity) {
+  const Machine& base = byName("Summit");
+  const Machine same = withMpiStack(base, alternativeStacks(base).front());
+  EXPECT_DOUBLE_EQ(same.hostMpi.softwareOverhead.ns(),
+                   base.hostMpi.softwareOverhead.ns());
+  EXPECT_DOUBLE_EQ(same.deviceMpi->baseOneWay.ns(),
+                   base.deviceMpi->baseOneWay.ns());
+}
+
+TEST(MpiStacks, GdrLikeStackCutsDevicePathOnV100) {
+  const Machine& base = byName("Summit");
+  const auto variants = alternativeStacks(base);
+  const auto gdr = std::find_if(variants.begin(), variants.end(), [](auto& v) {
+    return v.name.find("gdr") != std::string::npos;
+  });
+  ASSERT_NE(gdr, variants.end());
+  const Machine tuned = withMpiStack(base, *gdr);
+  EXPECT_LT(tuned.deviceMpi->baseOneWay.us(),
+            0.5 * base.deviceMpi->baseOneWay.us());
+
+  // End-to-end: class-A D2D latency drops by the same order.
+  const auto [a, b] = osu::devicePair(tuned, topo::LinkClass::A);
+  osu::LatencyConfig cfg;
+  cfg.binaryRuns = 5;
+  const double tunedUs =
+      osu::LatencyBenchmark(tuned, a, b, mpisim::BufferSpace::Kind::Device)
+          .measure(cfg)
+          .latencyUs.mean;
+  const double baseUs =
+      osu::LatencyBenchmark(base, a, b, mpisim::BufferSpace::Kind::Device)
+          .measure(cfg)
+          .latencyUs.mean;
+  EXPECT_LT(tunedUs, 0.6 * baseUs);
+  EXPECT_GT(tunedUs, 5.0);  // still far from the MI250X RMA regime
+}
+
+TEST(MpiStacks, ScalesApplyToHostOverheadAndThreshold) {
+  const Machine& base = byName("Eagle");
+  const MpiStackVariant v{"test", 2.0, 1.0, 0.5};
+  const Machine scaled = withMpiStack(base, v);
+  EXPECT_DOUBLE_EQ(scaled.hostMpi.softwareOverhead.ns(),
+                   2.0 * base.hostMpi.softwareOverhead.ns());
+  EXPECT_EQ(scaled.hostMpi.eagerThreshold.count(),
+            base.hostMpi.eagerThreshold.count() / 2);
+}
+
+TEST(MpiStacks, RejectsNonPositiveScales) {
+  const Machine& base = byName("Eagle");
+  EXPECT_THROW((void)withMpiStack(base, MpiStackVariant{"bad", 0.0, 1.0, 1.0}),
+               PreconditionError);
+  EXPECT_THROW((void)withMpiStack(base, MpiStackVariant{"bad", 1.0, -1.0, 1.0}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::machines

@@ -1,0 +1,190 @@
+#include "machines/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nodebench::machines {
+namespace {
+
+TEST(Registry, ThirteenSystemsInRankOrder) {
+  const auto& all = allMachines();
+  ASSERT_EQ(all.size(), 13u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].info.top500Rank, all[i].info.top500Rank);
+  }
+  EXPECT_EQ(all.front().info.name, "Frontier");
+  EXPECT_EQ(all.front().info.top500Rank, 1);
+  EXPECT_EQ(all.back().info.name, "Manzano");
+  EXPECT_EQ(all.back().info.top500Rank, 141);
+}
+
+TEST(Registry, FiveCpuAndEightGpuSystems) {
+  EXPECT_EQ(cpuMachines().size(), 5u);
+  EXPECT_EQ(gpuMachines().size(), 8u);
+}
+
+TEST(Registry, LookupIsCaseInsensitive) {
+  EXPECT_EQ(byName("frontier").info.top500Rank, 1);
+  EXPECT_EQ(byName("PERLMUTTER").info.name, "Perlmutter");
+  EXPECT_THROW((void)byName("Fugaku"), NotFoundError);
+}
+
+TEST(Registry, SeedsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (const Machine& m : allMachines()) {
+    EXPECT_TRUE(seeds.insert(m.seed).second)
+        << m.info.name << " shares a seed";
+  }
+}
+
+TEST(Registry, AcceleratorGroupsMatchPaperTable7) {
+  const auto groups = acceleratorGroups();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].name, "V100");
+  EXPECT_EQ(groups[0].members.size(), 3u);
+  EXPECT_EQ(groups[1].name, "A100");
+  EXPECT_EQ(groups[1].members.size(), 2u);
+  EXPECT_EQ(groups[2].name, "MI250X");
+  EXPECT_EQ(groups[2].members.size(), 3u);
+  // Every accelerator machine appears in exactly one group.
+  std::set<const Machine*> seen;
+  for (const auto& g : groups) {
+    for (const Machine* m : g.members) {
+      EXPECT_TRUE(m->accelerated());
+      EXPECT_TRUE(seen.insert(m).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), gpuMachines().size());
+}
+
+/// Per-machine structural invariants, parameterized over all 13 systems.
+class MachineInvariantTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const Machine& machine() const { return byName(GetParam()); }
+};
+
+TEST_P(MachineInvariantTest, TopologyIsPopulated) {
+  const Machine& m = machine();
+  EXPECT_GT(m.topology.socketCount(), 0);
+  EXPECT_GT(m.topology.numaCount(), 0);
+  EXPECT_GE(m.coreCount(), 32);
+  EXPECT_GE(m.hardwareThreadCount(), m.coreCount());
+}
+
+TEST_P(MachineInvariantTest, AcceleratedConsistency) {
+  const Machine& m = machine();
+  EXPECT_EQ(m.accelerated(), m.device.has_value());
+  EXPECT_EQ(m.accelerated(), m.deviceMpi.has_value());
+  EXPECT_EQ(m.accelerated(), m.topology.gpuCount() > 0);
+  EXPECT_EQ(m.accelerated(), !m.env.deviceLibrary.empty());
+  if (m.accelerated()) {
+    EXPECT_GE(m.topology.gpuCount(), 4);
+    EXPECT_NE(m.topology.gpuFlavor(), topo::GpuInterconnectFlavor::None);
+  }
+}
+
+TEST_P(MachineInvariantTest, HostParametersArePositive) {
+  const Machine& m = machine();
+  EXPECT_GT(m.hostMemory.perCoreBw.inGBps(), 0.0);
+  EXPECT_GT(m.hostMemory.perNumaSaturation.inGBps(), 0.0);
+  EXPECT_GE(m.hostMemory.cacheModeOverhead, 1.0);
+  EXPECT_GT(m.hostMpi.softwareOverhead, Duration::zero());
+  EXPECT_GT(m.hostMpi.eagerBandwidth.inGBps(), 0.0);
+  EXPECT_GT(m.hostMpi.eagerThreshold.count(), 0u);
+  EXPECT_LT(m.hostMpi.cv, 0.5);
+}
+
+TEST_P(MachineInvariantTest, DeviceParametersArePositive) {
+  const Machine& m = machine();
+  if (!m.accelerated()) {
+    GTEST_SKIP() << "CPU-only system";
+  }
+  const DeviceParams& d = *m.device;
+  EXPECT_GT(d.hbmBw.inGBps(), 500.0);
+  EXPECT_GE(d.hbmPeak.inGBps(), d.hbmBw.inGBps());
+  EXPECT_GT(d.kernelLaunch, Duration::zero());
+  EXPECT_GT(d.syncWait, Duration::zero());
+  EXPECT_GT(d.memcpyCallOverhead, Duration::zero());
+  EXPECT_GT(d.h2dDmaSetup, Duration::zero());
+  EXPECT_GT(d.d2dDmaSetup, Duration::zero());
+  EXPECT_GT(m.deviceMpi->baseOneWay, Duration::zero());
+}
+
+TEST_P(MachineInvariantTest, GpuMemoryMatchesModel) {
+  const Machine& m = machine();
+  if (!m.accelerated()) {
+    GTEST_SKIP();
+  }
+  for (int g = 0; g < m.topology.gpuCount(); ++g) {
+    const auto& gpu = m.topology.gpu(topo::GpuId{g});
+    EXPECT_GE(gpu.memory, ByteCount::gib(16));
+    EXPECT_EQ(gpu.socket.value >= 0, true);
+  }
+}
+
+TEST_P(MachineInvariantTest, EnvironmentStringsPresent) {
+  const Machine& m = machine();
+  EXPECT_FALSE(m.env.compiler.empty());
+  EXPECT_FALSE(m.env.mpi.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachineInvariantTest,
+                         ::testing::Values("Frontier", "Summit", "Sierra",
+                                           "Perlmutter", "Polaris", "Trinity",
+                                           "Lassen", "Theta", "Sawtooth",
+                                           "RZVernal", "Eagle", "Tioga",
+                                           "Manzano"));
+
+TEST(MachineShapes, LinkClassInventoryMatchesPaperColumns) {
+  // MI250X machines: classes A, B, C, D. V100 machines: A, B.
+  // A100 machines: A only.
+  for (const char* name : {"Frontier", "RZVernal", "Tioga"}) {
+    EXPECT_EQ(byName(name).topology.presentGpuLinkClasses().size(), 4u)
+        << name;
+  }
+  for (const char* name : {"Summit", "Sierra", "Lassen"}) {
+    const auto classes = byName(name).topology.presentGpuLinkClasses();
+    ASSERT_EQ(classes.size(), 2u) << name;
+    EXPECT_EQ(classes[0], topo::LinkClass::A);
+    EXPECT_EQ(classes[1], topo::LinkClass::B);
+  }
+  for (const char* name : {"Perlmutter", "Polaris"}) {
+    const auto classes = byName(name).topology.presentGpuLinkClasses();
+    ASSERT_EQ(classes.size(), 1u) << name;
+    EXPECT_EQ(classes[0], topo::LinkClass::A);
+  }
+}
+
+TEST(MachineShapes, GpuCountsMatchPaperFigures) {
+  EXPECT_EQ(byName("Frontier").topology.gpuCount(), 8);   // 8 GCDs
+  EXPECT_EQ(byName("Summit").topology.gpuCount(), 6);     // 6 V100
+  EXPECT_EQ(byName("Sierra").topology.gpuCount(), 4);     // 4 V100
+  EXPECT_EQ(byName("Lassen").topology.gpuCount(), 4);
+  EXPECT_EQ(byName("Perlmutter").topology.gpuCount(), 4);  // 4 A100
+  EXPECT_EQ(byName("Polaris").topology.gpuCount(), 4);
+}
+
+TEST(MachineShapes, KnlMachinesHaveMeshCores) {
+  for (const char* name : {"Trinity", "Theta"}) {
+    const Machine& m = byName(name);
+    EXPECT_EQ(m.topology.socketCount(), 1) << name;
+    EXPECT_TRUE(m.topology.core(topo::CoreId{0}).mesh.has_value()) << name;
+    EXPECT_EQ(m.topology.core(topo::CoreId{0}).smtThreads, 4) << name;
+  }
+  EXPECT_EQ(byName("Trinity").coreCount(), 68);
+  EXPECT_EQ(byName("Theta").coreCount(), 64);
+}
+
+TEST(MachineShapes, XeonMachinesAreDualSocket) {
+  for (const char* name : {"Sawtooth", "Eagle", "Manzano"}) {
+    const Machine& m = byName(name);
+    EXPECT_EQ(m.topology.socketCount(), 2) << name;
+    EXPECT_FALSE(m.topology.core(topo::CoreId{0}).mesh.has_value()) << name;
+  }
+  EXPECT_EQ(byName("Sawtooth").coreCount(), 48);
+  EXPECT_EQ(byName("Eagle").coreCount(), 36);
+}
+
+}  // namespace
+}  // namespace nodebench::machines

@@ -1,0 +1,88 @@
+#include "machines/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/machine_card.hpp"
+#include "machines/registry.hpp"
+
+namespace nodebench::machines {
+namespace {
+
+TEST(Validate, EveryRegistryMachinePasses) {
+  for (const Machine& m : allMachines()) {
+    EXPECT_TRUE(isValid(m)) << m.info.name;
+    EXPECT_NO_THROW(ensureValid(m)) << m.info.name;
+    // Registry machines should also be warning-free.
+    for (const auto& issue : validate(m)) {
+      EXPECT_NE(issue.severity, ValidationIssue::Severity::Warning)
+          << m.info.name << ": " << issue.message;
+    }
+  }
+}
+
+TEST(Validate, EmptyMachineFails) {
+  Machine empty;
+  EXPECT_FALSE(isValid(empty));
+  EXPECT_THROW(ensureValid(empty), PreconditionError);
+}
+
+TEST(Validate, DetectsAcceleratorInconsistencies) {
+  Machine m = byName("Frontier");  // copy
+  m.device.reset();                // GPUs without device params
+  bool found = false;
+  for (const auto& issue : validate(m)) {
+    found = found || issue.message.find("device parameters") !=
+                         std::string::npos;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(isValid(m));
+}
+
+TEST(Validate, DetectsBadHostParameters) {
+  Machine m = byName("Eagle");
+  m.hostMemory.perCoreBw = Bandwidth::zero();
+  EXPECT_FALSE(isValid(m));
+  Machine n = byName("Eagle");
+  n.hostMpi.cv = 0.9;
+  EXPECT_FALSE(isValid(n));
+}
+
+TEST(Validate, DetectsAchievableAbovePeak) {
+  Machine m = byName("Summit");
+  m.device->hbmPeak = Bandwidth::gbps(100.0);  // below achievable
+  EXPECT_FALSE(isValid(m));
+}
+
+TEST(Validate, MissingFlopsIsOnlyAWarning) {
+  Machine m = byName("Eagle");
+  m.hostPeakFp64Gflops = 0.0;
+  EXPECT_TRUE(isValid(m));
+  bool warned = false;
+  for (const auto& issue : validate(m)) {
+    warned = warned ||
+             (issue.severity == ValidationIssue::Severity::Warning &&
+              issue.message.find("FLOPS") != std::string::npos);
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(MachineCard, ContainsIdentityAndCalibration) {
+  const std::string card = machineCard(byName("Frontier"));
+  EXPECT_NE(card.find("=== Frontier ==="), std::string::npos);
+  EXPECT_NE(card.find("Top500 rank 1"), std::string::npos);
+  EXPECT_NE(card.find("cray-mpich/8.1.23"), std::string::npos);
+  EXPECT_NE(card.find("8 GPU(s)"), std::string::npos);
+  EXPECT_NE(card.find("HBM achievable"), std::string::npos);
+  EXPECT_NE(card.find("D2D class residuals"), std::string::npos);
+  EXPECT_NE(card.find("device MPI base"), std::string::npos);
+}
+
+TEST(MachineCard, CpuCardOmitsDeviceSection) {
+  const std::string card = machineCard(byName("Trinity"));
+  EXPECT_NE(card.find("mesh base/per-hop"), std::string::npos);
+  EXPECT_EQ(card.find("HBM achievable"), std::string::npos);
+  EXPECT_NE(card.find("peak FP64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nodebench::machines

@@ -1,0 +1,250 @@
+#include "mpisim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machines/registry.hpp"
+#include "mpisim/transport.hpp"
+
+namespace nodebench::mpisim {
+namespace {
+
+using machines::byName;
+using topo::CoreId;
+
+std::vector<RankPlacement> hostPair(const machines::Machine& m, int a = 0,
+                                    int b = 1) {
+  return {RankPlacement{CoreId{a}, std::nullopt},
+          RankPlacement{CoreId{b}, std::nullopt}};
+}
+
+TEST(Transport, EagerOneWayComposition) {
+  const auto& m = byName("Eagle");
+  const auto ranks = hostPair(m);
+  const PathTiming t = resolvePath(m, ranks[0], ranks[1],
+                                   BufferSpace::host(), BufferSpace::host());
+  // On-socket: softwareOverhead + sameNumaHop = 0.15 + 0.02 = 0.17 us.
+  EXPECT_NEAR(t.eagerOneWay(ByteCount{0}).us(), 0.17, 1e-9);
+  // Payload adds size/eagerBandwidth.
+  const double with1k = t.eagerOneWay(ByteCount::kib(1)).us();
+  EXPECT_NEAR(with1k - 0.17, 1024.0 / (8.0 * 1000.0), 1e-9);
+}
+
+TEST(Transport, CrossSocketUsesCrossHop) {
+  const auto& m = byName("Eagle");
+  const auto ranks = hostPair(m, 0, 18);  // second socket's first core
+  const PathTiming t = resolvePath(m, ranks[0], ranks[1],
+                                   BufferSpace::host(), BufferSpace::host());
+  EXPECT_NEAR(t.eagerOneWay(ByteCount{0}).us(), 0.38, 1e-9);
+}
+
+TEST(Transport, KnlMeshDistanceScalesLatency) {
+  const auto& m = byName("Trinity");
+  const auto near = hostPair(m, 0, 1);   // same tile
+  const auto far = hostPair(m, 0, 67);   // across the mesh
+  const PathTiming tn = resolvePath(m, near[0], near[1], BufferSpace::host(),
+                                    BufferSpace::host());
+  const PathTiming tf = resolvePath(m, far[0], far[1], BufferSpace::host(),
+                                    BufferSpace::host());
+  EXPECT_NEAR(tn.eagerOneWay(ByteCount{0}).us(), 0.67, 1e-9);
+  EXPECT_NEAR(tf.eagerOneWay(ByteCount{0}).us(), 0.99, 1e-9);
+}
+
+TEST(Transport, DevicePathMuchSlowerOnV100ThanMi250x) {
+  const auto& summit = byName("Summit");
+  const auto& frontier = byName("Frontier");
+  const RankPlacement a{CoreId{0}, 0};
+  const RankPlacement b{CoreId{1}, 1};
+  const PathTiming v100 =
+      resolvePath(summit, a, b, BufferSpace::onDevice(0),
+                  BufferSpace::onDevice(1));
+  const PathTiming mi = resolvePath(frontier, a, b, BufferSpace::onDevice(0),
+                                    BufferSpace::onDevice(1));
+  EXPECT_GT(v100.eagerOneWay(ByteCount::bytes(8)).us(), 15.0);
+  EXPECT_LT(mi.eagerOneWay(ByteCount::bytes(8)).us(), 1.0);
+}
+
+TEST(Transport, DeviceBuffersRequireBoundGpus) {
+  const auto& m = byName("Summit");
+  const RankPlacement noGpu{CoreId{0}, std::nullopt};
+  const RankPlacement withGpu{CoreId{1}, 1};
+  EXPECT_THROW((void)resolvePath(m, noGpu, withGpu, BufferSpace::onDevice(0),
+                                 BufferSpace::onDevice(1)),
+               PreconditionError);
+}
+
+TEST(Transport, DeviceBuffersOnCpuMachineRejected) {
+  const auto& m = byName("Eagle");
+  const RankPlacement a{CoreId{0}, std::nullopt};
+  const RankPlacement b{CoreId{1}, std::nullopt};
+  EXPECT_THROW((void)resolvePath(m, a, b, BufferSpace::onDevice(0),
+                                 BufferSpace::onDevice(1)),
+               PreconditionError);
+}
+
+TEST(MpiWorld, PingPongMatchesAnalyticEagerLatency) {
+  const auto& m = byName("Manzano");
+  const auto ranks = hostPair(m);
+  MpiWorld world(m, ranks);
+  const ByteCount size = ByteCount::bytes(8);
+  Duration elapsed = Duration::zero();
+  world.runEach({
+      [&](Communicator& c) {
+        const Duration start = c.now();
+        for (int i = 0; i < 10; ++i) {
+          c.send(1, 7, size);
+          c.recv(1, 7, size);
+        }
+        elapsed = c.now() - start;
+      },
+      [](Communicator& c) {
+        for (int i = 0; i < 10; ++i) {
+          c.recv(0, 7, ByteCount::bytes(8));
+          c.send(0, 7, ByteCount::bytes(8));
+        }
+      },
+  });
+  const PathTiming t = resolvePath(m, ranks[0], ranks[1],
+                                   BufferSpace::host(), BufferSpace::host());
+  EXPECT_NEAR(elapsed.us() / 20.0, t.eagerOneWay(size).us(), 1e-9);
+}
+
+TEST(MpiWorld, RendezvousCostsExceedRawCopy) {
+  const auto& m = byName("Manzano");
+  MpiWorld world(m, hostPair(m));
+  const ByteCount big = ByteCount::kib(64);  // above the 8 KiB threshold
+  Duration elapsed = Duration::zero();
+  world.runEach({
+      [&](Communicator& c) {
+        const Duration start = c.now();
+        c.send(1, 1, big);
+        c.recv(1, 1, big);
+        elapsed = c.now() - start;
+      },
+      [&](Communicator& c) {
+        c.recv(0, 1, big);
+        c.send(0, 1, big);
+      },
+  });
+  const PathTiming t = resolvePath(m, hostPair(m)[0], hostPair(m)[1],
+                                   BufferSpace::host(), BufferSpace::host());
+  const double oneWay = elapsed.us() / 2.0;
+  // Handshake plus copy: strictly more than the raw single-copy time, and
+  // more than the eager latency at the threshold (the protocol step).
+  EXPECT_GT(oneWay, t.rendezvousBandwidth.transferTime(big).us());
+  EXPECT_GT(oneWay, t.eagerOneWay(m.hostMpi.eagerThreshold).us());
+}
+
+TEST(MpiWorld, TagsMatchSelectively) {
+  const auto& m = byName("Manzano");
+  MpiWorld world(m, hostPair(m));
+  std::vector<int> recvOrder;
+  world.runEach({
+      [&](Communicator& c) {
+        c.send(1, /*tag=*/20, ByteCount::bytes(4));
+        c.send(1, /*tag=*/10, ByteCount::bytes(4));
+      },
+      [&](Communicator& c) {
+        // Receive in reverse tag order; matching must be by tag, not FIFO.
+        c.recv(0, 10, ByteCount::bytes(4));
+        recvOrder.push_back(10);
+        c.recv(0, 20, ByteCount::bytes(4));
+        recvOrder.push_back(20);
+      },
+  });
+  EXPECT_EQ(recvOrder, (std::vector<int>{10, 20}));
+}
+
+TEST(MpiWorld, ReceiveBufferTooSmallThrows) {
+  const auto& m = byName("Manzano");
+  MpiWorld world(m, hostPair(m));
+  EXPECT_THROW(
+      world.runEach({
+          [](Communicator& c) { c.send(1, 1, ByteCount::kib(1)); },
+          [](Communicator& c) { c.recv(0, 1, ByteCount::bytes(16)); },
+      }),
+      PreconditionError);
+}
+
+TEST(MpiWorld, UnmatchedRecvDeadlocks) {
+  const auto& m = byName("Manzano");
+  MpiWorld world(m, hostPair(m));
+  EXPECT_THROW(world.run([](Communicator& c) {
+                 if (c.rank() == 0) {
+                   c.recv(1, 99, ByteCount::bytes(8));  // never sent
+                 }
+               }),
+               sim::DeadlockError);
+}
+
+TEST(MpiWorld, BarrierSynchronizesClocks) {
+  const auto& m = byName("Sawtooth");
+  std::vector<RankPlacement> ranks;
+  for (int i = 0; i < 4; ++i) {
+    ranks.push_back(RankPlacement{CoreId{i}, std::nullopt});
+  }
+  MpiWorld world(m, ranks);
+  std::vector<double> afterBarrier(4, 0.0);
+  world.run([&](Communicator& c) {
+    // Stagger local work, then meet at the barrier.
+    c.compute(Duration::microseconds(1.0 + c.rank() * 3.0));
+    c.barrier();
+    afterBarrier[c.rank()] = c.now().us();
+  });
+  // Nobody leaves the barrier before the slowest rank arrived.
+  for (double t : afterBarrier) {
+    EXPECT_GE(t, 10.0);
+  }
+}
+
+TEST(MpiWorld, SelfSendRejected) {
+  const auto& m = byName("Manzano");
+  MpiWorld world(m, hostPair(m));
+  EXPECT_THROW(world.run([](Communicator& c) {
+                 if (c.rank() == 0) {
+                   c.send(0, 1, ByteCount::bytes(8));
+                 }
+               }),
+               PreconditionError);
+}
+
+TEST(MpiWorld, ValidatesPlacements) {
+  const auto& m = byName("Manzano");
+  EXPECT_THROW(MpiWorld(m, {RankPlacement{CoreId{0}, std::nullopt}}),
+               PreconditionError);  // < 2 ranks
+  EXPECT_THROW(MpiWorld(m, {RankPlacement{CoreId{0}, std::nullopt},
+                            RankPlacement{CoreId{9999}, std::nullopt}}),
+               PreconditionError);  // bad core
+  EXPECT_THROW(MpiWorld(m, {RankPlacement{CoreId{0}, 3},
+                            RankPlacement{CoreId{1}, std::nullopt}}),
+               PreconditionError);  // GPU on a CPU-only machine
+}
+
+TEST(MpiWorld, DeterministicTimings) {
+  const auto& m = byName("Theta");
+  const auto run = [&] {
+    MpiWorld world(m, hostPair(m, 0, 63));
+    Duration elapsed = Duration::zero();
+    world.runEach({
+        [&](Communicator& c) {
+          for (int i = 0; i < 50; ++i) {
+            c.send(1, 3, ByteCount::bytes(64));
+            c.recv(1, 3, ByteCount::bytes(64));
+          }
+          elapsed = c.now();
+        },
+        [](Communicator& c) {
+          for (int i = 0; i < 50; ++i) {
+            c.recv(0, 3, ByteCount::bytes(64));
+            c.send(0, 3, ByteCount::bytes(64));
+          }
+        },
+    });
+    return elapsed.ns();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace nodebench::mpisim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "babelstream/driver.hpp"
+#include "native/pingpong_native.hpp"
+#include "native/stream_native.hpp"
+#include "native/thread_team.hpp"
+
+namespace nodebench::native {
+namespace {
+
+TEST(ThreadTeam, RunsEveryIndexExactlyOnce) {
+  ThreadTeam team(4);
+  std::atomic<int> mask{0};
+  team.parallel([&](int tid) { mask.fetch_or(1 << tid); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(ThreadTeam, ReusableAcrossRegions) {
+  ThreadTeam team(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    team.parallel([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(ThreadTeam, SizeValidation) {
+  EXPECT_THROW(ThreadTeam team(0), PreconditionError);
+  ThreadTeam one(1);
+  EXPECT_EQ(one.size(), 1);
+  int ran = 0;
+  one.parallel([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadTeam, RejectsNullTask) {
+  ThreadTeam team(2);
+  EXPECT_THROW(team.parallel(nullptr), PreconditionError);
+}
+
+TEST(NativeStream, MeasuresPositiveTimes) {
+  NativeStreamBackend backend(1, /*pinToCores=*/false);
+  for (const auto op :
+       {babelstream::StreamOp::Copy, babelstream::StreamOp::Mul,
+        babelstream::StreamOp::Add, babelstream::StreamOp::Triad,
+        babelstream::StreamOp::Dot}) {
+    const Duration t = backend.iterationTime(op, ByteCount::mib(4));
+    EXPECT_GT(t, Duration::zero()) << babelstream::streamOpName(op);
+    EXPECT_LT(t.s(), 5.0);
+  }
+}
+
+TEST(NativeStream, DotAccumulatesIntoSink) {
+  NativeStreamBackend backend(2, false);
+  (void)backend.iterationTime(babelstream::StreamOp::Dot, ByteCount::mib(1));
+  // a = 0.1, b = 0.2 -> dot = n * 0.02 with n = 1 MiB / 8.
+  EXPECT_GT(backend.sink(), 0.0);
+}
+
+TEST(NativeStream, WorksThroughTheSharedDriver) {
+  // The same driver used for the simulated DOE machines runs against real
+  // memory: instrument realism, one of the repo's design goals.
+  NativeStreamBackend backend(2, false);
+  babelstream::DriverConfig cfg;
+  cfg.arrayBytes = ByteCount::mib(8);
+  cfg.binaryRuns = 3;
+  const auto result = babelstream::run(backend, cfg);
+  ASSERT_EQ(result.ops.size(), 5u);
+  for (const auto& op : result.ops) {
+    EXPECT_GT(op.bandwidthGBps.mean, 0.05)
+        << babelstream::streamOpName(op.op);
+    EXPECT_LT(op.bandwidthGBps.mean, 10000.0);
+  }
+}
+
+TEST(NativeStream, NameIncludesThreadCount) {
+  NativeStreamBackend backend(3, false);
+  EXPECT_EQ(backend.name(), "native(3 threads)");
+  EXPECT_DOUBLE_EQ(backend.noiseCv(), 0.0);
+}
+
+TEST(NativePingPong, SmallMessageLatencyIsPlausible) {
+  NativePingPongConfig cfg;
+  cfg.iterations = 2000;
+  cfg.warmupIterations = 200;
+  const Duration lat = nativePingPongOneWay(cfg);
+  EXPECT_GT(lat.ns(), 1.0);        // faster than a nanosecond is impossible
+  EXPECT_LT(lat.us(), 1000.0);     // slower than a millisecond means a bug
+}
+
+TEST(NativePingPong, PayloadIncreasesLatency) {
+  NativePingPongConfig small;
+  small.iterations = 500;
+  NativePingPongConfig big = small;
+  big.messageSize = ByteCount::kib(256);
+  const double s = nativePingPongOneWay(small).ns();
+  const double b = nativePingPongOneWay(big).ns();
+  EXPECT_GT(b, s);
+}
+
+TEST(NativePingPong, ZeroByteMessagesWork) {
+  NativePingPongConfig cfg;
+  cfg.messageSize = ByteCount{0};
+  cfg.iterations = 500;
+  EXPECT_GT(nativePingPongOneWay(cfg).ns(), 0.0);
+}
+
+TEST(NativePingPong, ConfigValidation) {
+  NativePingPongConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW((void)nativePingPongOneWay(cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::native

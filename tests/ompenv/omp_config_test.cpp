@@ -1,0 +1,84 @@
+#include "ompenv/omp_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nodebench::ompenv {
+namespace {
+
+TEST(OmpConfig, ParseThreads) {
+  EXPECT_EQ(OmpConfig::parse("16", "", "").numThreads, 16);
+  EXPECT_FALSE(OmpConfig::parse("", "", "").numThreads.has_value());
+  EXPECT_FALSE(OmpConfig::parse("abc", "", "").numThreads.has_value());
+  EXPECT_FALSE(OmpConfig::parse("0", "", "").numThreads.has_value());
+}
+
+TEST(OmpConfig, ParseProcBindCaseInsensitive) {
+  EXPECT_EQ(OmpConfig::parse("", "TRUE", "").procBind, ProcBind::True);
+  EXPECT_EQ(OmpConfig::parse("", "spread", "").procBind, ProcBind::Spread);
+  EXPECT_EQ(OmpConfig::parse("", "Close", "").procBind, ProcBind::Close);
+  EXPECT_EQ(OmpConfig::parse("", "false", "").procBind, ProcBind::False);
+  EXPECT_EQ(OmpConfig::parse("", "", "").procBind, ProcBind::NotSet);
+  EXPECT_EQ(OmpConfig::parse("", "garbage", "").procBind, ProcBind::NotSet);
+}
+
+TEST(OmpConfig, ParsePlaces) {
+  EXPECT_EQ(OmpConfig::parse("", "", "cores").places, Places::Cores);
+  EXPECT_EQ(OmpConfig::parse("", "", "THREADS").places, Places::Threads);
+  EXPECT_EQ(OmpConfig::parse("", "", "sockets").places, Places::Sockets);
+  EXPECT_EQ(OmpConfig::parse("", "", "").places, Places::NotSet);
+}
+
+TEST(OmpConfig, BoundSemantics) {
+  EXPECT_FALSE((OmpConfig{1, ProcBind::NotSet, Places::NotSet}).bound());
+  EXPECT_FALSE((OmpConfig{1, ProcBind::False, Places::NotSet}).bound());
+  EXPECT_TRUE((OmpConfig{1, ProcBind::True, Places::NotSet}).bound());
+  EXPECT_TRUE((OmpConfig{1, ProcBind::Spread, Places::Cores}).bound());
+  EXPECT_TRUE((OmpConfig{1, ProcBind::Close, Places::Threads}).bound());
+}
+
+TEST(OmpConfig, ToStringRendersAllFields) {
+  const OmpConfig cfg{8, ProcBind::Spread, Places::Cores};
+  const std::string s = cfg.toString();
+  EXPECT_NE(s.find("OMP_NUM_THREADS=8"), std::string::npos);
+  EXPECT_NE(s.find("OMP_PROC_BIND=spread"), std::string::npos);
+  EXPECT_NE(s.find("OMP_PLACES=cores"), std::string::npos);
+  const OmpConfig unset{};
+  EXPECT_NE(unset.toString().find("<unset>"), std::string::npos);
+}
+
+TEST(Table1Combinations, MatchesPaperStructure) {
+  const auto combos = table1Combinations(24, 48);
+  ASSERT_EQ(combos.size(), 8u);
+  // Rows 1-2: single thread.
+  EXPECT_EQ(combos[0].numThreads, 1);
+  EXPECT_EQ(combos[0].procBind, ProcBind::NotSet);
+  EXPECT_EQ(combos[1].numThreads, 1);
+  EXPECT_EQ(combos[1].procBind, ProcBind::True);
+  // Rows 3-5: #cores.
+  EXPECT_EQ(combos[2].numThreads, 24);
+  EXPECT_EQ(combos[3].procBind, ProcBind::True);
+  EXPECT_EQ(combos[4].procBind, ProcBind::Spread);
+  EXPECT_EQ(combos[4].places, Places::Cores);
+  // Rows 6-8: #threads.
+  EXPECT_EQ(combos[5].numThreads, 48);
+  EXPECT_EQ(combos[7].procBind, ProcBind::Close);
+  EXPECT_EQ(combos[7].places, Places::Threads);
+}
+
+TEST(Table1Combinations, Preconditions) {
+  EXPECT_THROW((void)table1Combinations(0, 4), PreconditionError);
+  EXPECT_THROW((void)table1Combinations(8, 4), PreconditionError);
+  // No-SMT machine: #threads rows duplicate #cores rows.
+  const auto combos = table1Combinations(16, 16);
+  EXPECT_EQ(combos[5].numThreads, 16);
+}
+
+TEST(Names, EnumToString) {
+  EXPECT_EQ(procBindName(ProcBind::Spread), "spread");
+  EXPECT_EQ(procBindName(ProcBind::NotSet), "not set");
+  EXPECT_EQ(placesName(Places::Threads), "threads");
+  EXPECT_EQ(placesName(Places::NotSet), "not set");
+}
+
+}  // namespace
+}  // namespace nodebench::ompenv

@@ -1,0 +1,97 @@
+#include "osu/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+#include "osu/pairs.hpp"
+
+namespace nodebench::osu {
+namespace {
+
+using machines::byName;
+using mpisim::BufferSpace;
+
+BandwidthBenchmark hostBench(const machines::Machine& m,
+                             bool bidirectional = false) {
+  const auto [a, b] = onSocketPair(m);
+  return BandwidthBenchmark(m, a, b, BufferSpace::Kind::Host, bidirectional);
+}
+
+TEST(OsuBw, LargeMessagesApproachEagerBandwidth) {
+  const auto& m = byName("Eagle");
+  BandwidthConfig cfg;
+  cfg.messageSize = ByteCount::kib(4);  // eager regime, overhead amortized
+  cfg.windowSize = 64;
+  cfg.iterations = 5;
+  const double gbps = hostBench(m).truthGBps(cfg);
+  // Must reach a solid fraction of the 8 GB/s eager path.
+  EXPECT_GT(gbps, 0.6 * m.hostMpi.eagerBandwidth.inGBps());
+  EXPECT_LE(gbps, m.hostMpi.eagerBandwidth.inGBps() * 1.01);
+}
+
+TEST(OsuBw, SmallMessagesAreOverheadBound) {
+  const auto& m = byName("Eagle");
+  BandwidthConfig cfg;
+  cfg.messageSize = ByteCount::bytes(8);
+  cfg.iterations = 5;
+  const double gbps = hostBench(m).truthGBps(cfg);
+  // 8 B per ~75 ns post => well under 1 GB/s.
+  EXPECT_LT(gbps, 1.0);
+}
+
+TEST(OsuBw, BandwidthIsMonotoneInMessageSize) {
+  const auto& m = byName("Sawtooth");
+  BandwidthConfig cfg;
+  cfg.binaryRuns = 3;
+  cfg.iterations = 3;
+  const auto sweep = hostBench(m).sweep(ByteCount::mib(1), cfg);
+  ASSERT_GT(sweep.size(), 10u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].bandwidthGBps.mean,
+              sweep[i - 1].bandwidthGBps.mean * 0.85)
+        << "size " << sweep[i].messageSize.count();
+  }
+}
+
+TEST(OsuBibw, DoublesUnidirectionalForSymmetricChannels) {
+  const auto& m = byName("Eagle");
+  BandwidthConfig cfg;
+  cfg.messageSize = ByteCount::kib(4);
+  cfg.iterations = 5;
+  const double uni = hostBench(m, false).truthGBps(cfg);
+  const double bi = hostBench(m, true).truthGBps(cfg);
+  // Each direction has its own channel in the model, so bibw approaches
+  // 2x bw (minus the shared software overheads).
+  EXPECT_GT(bi, 1.4 * uni);
+  EXPECT_LT(bi, 2.1 * uni);
+}
+
+TEST(OsuBw, DeviceBuffersRideTheFabric) {
+  const auto& m = byName("Frontier");
+  const auto [a, b] = devicePair(m, topo::LinkClass::A);
+  BandwidthBenchmark bench(m, a, b, BufferSpace::Kind::Device);
+  BandwidthConfig cfg;
+  cfg.messageSize = ByteCount::kib(4);
+  cfg.iterations = 5;
+  // Quad Infinity Fabric: far above the host shared-memory path.
+  EXPECT_GT(bench.truthGBps(cfg), 20.0);
+}
+
+TEST(OsuBw, MeasureAddsCalibratedNoise) {
+  const auto& m = byName("Eagle");
+  BandwidthConfig cfg;
+  cfg.binaryRuns = 50;
+  const auto result = hostBench(m).measure(cfg);
+  EXPECT_EQ(result.bandwidthGBps.count, 50u);
+  EXPECT_GT(result.bandwidthGBps.stddev, 0.0);
+}
+
+TEST(OsuBw, ConfigValidation) {
+  const auto& m = byName("Eagle");
+  BandwidthConfig cfg;
+  cfg.windowSize = 0;
+  EXPECT_THROW((void)hostBench(m).truthGBps(cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::osu

@@ -1,0 +1,91 @@
+#include "osu/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+
+namespace nodebench::osu {
+namespace {
+
+using machines::byName;
+
+TEST(OsuCollectives, Names) {
+  EXPECT_EQ(collectiveName(Collective::Allreduce), "allreduce");
+  EXPECT_EQ(collectiveName(Collective::Barrier), "barrier");
+  EXPECT_EQ(collectiveName(Collective::Alltoall), "alltoall");
+}
+
+TEST(OsuCollectives, AllCollectivesProducePositiveLatency) {
+  const auto& m = byName("Eagle");
+  for (const Collective coll :
+       {Collective::Barrier, Collective::Bcast, Collective::Reduce,
+        Collective::Allreduce, Collective::Allgather,
+        Collective::Alltoall}) {
+    CollectiveConfig cfg;
+    cfg.collective = coll;
+    cfg.ranks = 8;
+    cfg.iterations = 10;
+    cfg.binaryRuns = 5;
+    const auto result = measureCollective(m, cfg);
+    EXPECT_GT(result.latencyUs.mean, 0.0) << collectiveName(coll);
+    EXPECT_EQ(result.ranks, 8);
+  }
+}
+
+TEST(OsuCollectives, AllreduceAtLeastPointToPoint) {
+  const auto& m = byName("Eagle");
+  CollectiveConfig cfg;
+  cfg.collective = Collective::Allreduce;
+  cfg.ranks = 8;
+  cfg.iterations = 10;
+  // Recursive doubling over 8 ranks = 3 rounds; each round >= one-way
+  // on-socket latency (0.17 us).
+  EXPECT_GT(collectiveTruth(m, cfg).us(), 3.0 * 0.17);
+}
+
+TEST(OsuCollectives, LatencyGrowsWithMessageSize) {
+  const auto& m = byName("Manzano");
+  CollectiveConfig cfg;
+  cfg.collective = Collective::Bcast;
+  cfg.ranks = 8;
+  cfg.iterations = 5;
+  cfg.messageSize = ByteCount::bytes(8);
+  const double small = collectiveTruth(m, cfg).us();
+  cfg.messageSize = ByteCount::kib(64);
+  const double big = collectiveTruth(m, cfg).us();
+  EXPECT_GT(big, 2.0 * small);
+}
+
+TEST(OsuCollectives, BarrierScalesWithRanks) {
+  const auto& m = byName("Sawtooth");
+  CollectiveConfig cfg;
+  cfg.collective = Collective::Barrier;
+  cfg.iterations = 10;
+  cfg.ranks = 4;
+  const double small = collectiveTruth(m, cfg).us();
+  cfg.ranks = 32;
+  const double big = collectiveTruth(m, cfg).us();
+  EXPECT_GT(big, small);  // linear barrier through rank 0
+}
+
+TEST(OsuCollectives, ValidatesConfiguration) {
+  const auto& m = byName("Eagle");
+  CollectiveConfig cfg;
+  cfg.ranks = 1;
+  EXPECT_THROW((void)collectiveTruth(m, cfg), PreconditionError);
+  cfg.ranks = 10000;  // more ranks than cores
+  EXPECT_THROW((void)collectiveTruth(m, cfg), PreconditionError);
+}
+
+TEST(OsuCollectives, DeterministicTruth) {
+  const auto& m = byName("Eagle");
+  CollectiveConfig cfg;
+  cfg.collective = Collective::Alltoall;
+  cfg.ranks = 6;
+  cfg.iterations = 5;
+  EXPECT_DOUBLE_EQ(collectiveTruth(m, cfg).ns(),
+                   collectiveTruth(m, cfg).ns());
+}
+
+}  // namespace
+}  // namespace nodebench::osu

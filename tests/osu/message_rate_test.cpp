@@ -1,0 +1,75 @@
+#include "osu/message_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+#include "netsim/network.hpp"
+
+namespace nodebench::osu {
+namespace {
+
+using machines::byName;
+
+TEST(MessageRate, SinglePairMatchesWindowedBandwidthScale) {
+  const auto& m = byName("Eagle");
+  MessageRateConfig cfg;
+  cfg.pairs = 1;
+  cfg.binaryRuns = 5;
+  const auto r = measureMessageRate(m, cfg);
+  EXPECT_GT(r.messagesPerSecondM.mean, 1.0);   // > 1 M msgs/s at 75 ns post
+  EXPECT_LT(r.messagesPerSecondM.mean, 20.0);
+}
+
+TEST(MessageRate, IntraNodePairsScaleNearlyLinearly) {
+  const auto& m = byName("Sawtooth");
+  MessageRateConfig cfg;
+  cfg.binaryRuns = 5;
+  cfg.pairs = 1;
+  const double one = measureMessageRate(m, cfg).messagesPerSecondM.mean;
+  cfg.pairs = 8;
+  const double eight = measureMessageRate(m, cfg).messagesPerSecondM.mean;
+  EXPECT_GT(eight, 6.0 * one);
+  EXPECT_LT(eight, 9.0 * one);
+}
+
+TEST(MessageRate, InterNodeAggregateCapsAtInjectionBandwidth) {
+  const auto& m = byName("Frontier");
+  MessageRateConfig cfg;
+  cfg.binaryRuns = 5;
+  cfg.messageSize = ByteCount::kib(64);
+  cfg.network = netsim::networkFor(m);
+  cfg.pairs = 1;
+  const double one = measureMessageRate(m, cfg).aggregateBandwidthGBps.mean;
+  cfg.pairs = 8;
+  const double eight =
+      measureMessageRate(m, cfg).aggregateBandwidthGBps.mean;
+  // Aggregate barely grows once the shared NIC is saturated.
+  EXPECT_LT(eight, 1.5 * one);
+  EXPECT_LE(eight, cfg.network->injectionBandwidth.inGBps() * 1.05);
+}
+
+TEST(MessageRate, BandwidthGrowsWithMessageSize) {
+  const auto& m = byName("Eagle");
+  MessageRateConfig cfg;
+  cfg.binaryRuns = 3;
+  cfg.messageSize = ByteCount::bytes(8);
+  const double small =
+      measureMessageRate(m, cfg).aggregateBandwidthGBps.mean;
+  cfg.messageSize = ByteCount::kib(4);
+  const double large =
+      measureMessageRate(m, cfg).aggregateBandwidthGBps.mean;
+  EXPECT_GT(large, 20.0 * small);
+}
+
+TEST(MessageRate, Validation) {
+  const auto& m = byName("Eagle");
+  MessageRateConfig cfg;
+  cfg.pairs = 0;
+  EXPECT_THROW((void)measureMessageRate(m, cfg), PreconditionError);
+  cfg = MessageRateConfig{};
+  cfg.pairs = 10000;
+  EXPECT_THROW((void)measureMessageRate(m, cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::osu

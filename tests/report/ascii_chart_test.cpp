@@ -1,0 +1,109 @@
+#include "report/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nodebench::report {
+namespace {
+
+std::vector<double> xsOf(int n, double base = 1.0) {
+  std::vector<double> xs;
+  double v = base;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(v);
+    v *= 2.0;
+  }
+  return xs;
+}
+
+TEST(AsciiChart, RendersAxesLegendAndGlyphs) {
+  const auto xs = xsOf(8);
+  Series s{"latency", {1, 1, 1, 2, 4, 8, 16, 32}};
+  ChartOptions opt;
+  opt.xLabel = "size";
+  opt.yLabel = "us";
+  const std::string chart = renderChart(xs, {s}, opt);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("= latency"), std::string::npos);
+  EXPECT_NE(chart.find("size"), std::string::npos);
+  EXPECT_NE(chart.find("us"), std::string::npos);
+  EXPECT_NE(chart.find('|'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesGetDistinctGlyphs) {
+  const auto xs = xsOf(4);
+  Series a{"a", {1, 2, 3, 4}};
+  Series b{"b", {4, 3, 2, 1}};
+  const std::string chart = renderChart(xs, {a, b}, ChartOptions{});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, MonotoneSeriesRisesLeftToRight) {
+  const auto xs = xsOf(16);
+  std::vector<double> ys;
+  for (int i = 0; i < 16; ++i) {
+    ys.push_back(1.0 + i);
+  }
+  ChartOptions opt;
+  const std::string chart = renderChart(xs, {Series{"up", ys}}, opt);
+  // First plotted row (top) must contain a glyph to the right of the
+  // glyph on the last row: find column of '*' on top-most and bottom-most
+  // rows containing one.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t p = chart.find('\n'); p != std::string::npos;
+       p = chart.find('\n', start)) {
+    lines.push_back(chart.substr(start, p - start));
+    start = p + 1;
+  }
+  int topCol = -1;
+  int bottomCol = -1;
+  for (const auto& line : lines) {
+    const auto col = line.find('*');
+    if (col == std::string::npos) {
+      continue;
+    }
+    if (topCol < 0) {
+      topCol = static_cast<int>(col);
+    }
+    bottomCol = static_cast<int>(col);
+  }
+  ASSERT_GE(topCol, 0);
+  EXPECT_GT(topCol, bottomCol);
+}
+
+TEST(AsciiChart, FlatSeriesRenders) {
+  const auto xs = xsOf(4);
+  EXPECT_NO_THROW((void)renderChart(xs, {Series{"flat", {5, 5, 5, 5}}},
+                                    ChartOptions{}));
+}
+
+TEST(AsciiChart, Validation) {
+  const auto xs = xsOf(4);
+  EXPECT_THROW((void)renderChart(xs, {}, ChartOptions{}),
+               PreconditionError);
+  EXPECT_THROW((void)renderChart({1.0}, {Series{"x", {1.0}}},
+                                 ChartOptions{}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)renderChart(xs, {Series{"short", {1.0, 2.0}}}, ChartOptions{}),
+      PreconditionError);
+  ChartOptions logOpt;
+  logOpt.logY = true;
+  EXPECT_THROW((void)renderChart(xs, {Series{"neg", {1, -1, 1, 1}}},
+                                 logOpt),
+               PreconditionError);
+}
+
+TEST(Sparkline, EncodesShape) {
+  const std::string s = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '#');
+  EXPECT_EQ(sparkline({3.0}), "=");  // constant renders mid-level
+  EXPECT_THROW((void)sparkline({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::report

@@ -1,0 +1,78 @@
+#include "report/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+
+namespace nodebench::report {
+namespace {
+
+using machines::byName;
+
+TEST(Figures, FrontierDiagramShowsGcdsAndClasses) {
+  const std::string fig = nodeDiagram(byName("Frontier"));
+  EXPECT_NE(fig.find("Frontier"), std::string::npos);
+  EXPECT_NE(fig.find("GCD0"), std::string::npos);
+  EXPECT_NE(fig.find("GCD7"), std::string::npos);
+  EXPECT_NE(fig.find("class A"), std::string::npos);
+  EXPECT_NE(fig.find("class D"), std::string::npos);
+}
+
+TEST(Figures, SummitDiagramShowsSixGpusAndXbus) {
+  const std::string fig = nodeDiagram(byName("Summit"));
+  EXPECT_NE(fig.find("GPU5"), std::string::npos);
+  EXPECT_NE(fig.find("X-Bus"), std::string::npos);
+  EXPECT_NE(fig.find("NVLink2"), std::string::npos);
+}
+
+TEST(Figures, SierraDiagramShowsFourGpus) {
+  const std::string fig = nodeDiagram(byName("Sierra"));
+  EXPECT_NE(fig.find("GPU3"), std::string::npos);
+  EXPECT_EQ(fig.find("GPU5"), std::string::npos);
+}
+
+TEST(Figures, PerlmutterDiagramShowsAllToAllNvlink) {
+  const std::string fig = nodeDiagram(byName("Perlmutter"));
+  EXPECT_NE(fig.find("NVLink3 all-to-all"), std::string::npos);
+  EXPECT_NE(fig.find("PCIe4"), std::string::npos);
+  EXPECT_NE(fig.find("GPU3"), std::string::npos);
+}
+
+TEST(Figures, CpuDiagramsDescribeTheNode) {
+  const std::string xeon = nodeDiagram(byName("Sawtooth"));
+  EXPECT_NE(xeon.find("socket 1"), std::string::npos);
+  EXPECT_NE(xeon.find("24 cores"), std::string::npos);
+  const std::string knl = nodeDiagram(byName("Trinity"));
+  EXPECT_NE(knl.find("quad-cache"), std::string::npos);
+  EXPECT_NE(knl.find("68 cores"), std::string::npos);
+}
+
+TEST(Figures, LegendListsEveryClassWithPairs) {
+  const std::string legend = linkClassLegend(byName("Frontier"));
+  EXPECT_NE(legend.find("A: (0,1)"), std::string::npos);
+  EXPECT_NE(legend.find("InfinityFabricx4"), std::string::npos);
+  EXPECT_NE(legend.find("routed via host"), std::string::npos);  // class D
+  const std::string cpu = linkClassLegend(byName("Eagle"));
+  EXPECT_NE(cpu.find("no accelerators"), std::string::npos);
+}
+
+TEST(Figures, LegendPairCountsMatchTopology) {
+  // Summit: 6 GPUs, 3 per socket: class A pairs = 2 * C(3,2) = 6,
+  // class B pairs = 3*3 = 9.
+  const std::string legend = linkClassLegend(byName("Summit"));
+  const auto countPairs = [&](char cls) {
+    const auto pos = legend.find(std::string(1, cls) + std::string(": "));
+    const auto end = legend.find('\n', pos);
+    std::size_t n = 0;
+    for (auto p = legend.find('(', pos); p != std::string::npos && p < end;
+         p = legend.find('(', p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(countPairs('A'), 6u);
+  EXPECT_EQ(countPairs('B'), 9u);
+}
+
+}  // namespace
+}  // namespace nodebench::report

@@ -1,0 +1,131 @@
+/// Golden test of Table 7: the min-max ranges per accelerator model,
+/// derived programmatically from the paper's Table 5/6 reference values
+/// and compared against the measured ranges.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "report/paper_reference.hpp"
+#include "report/tables.hpp"
+
+namespace nodebench::report {
+namespace {
+
+struct Range {
+  double lo = 1e300;
+  double hi = -1e300;
+  void add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+};
+
+const std::vector<std::vector<const char*>> kGroups{
+    {"Summit", "Sierra", "Lassen"},
+    {"Perlmutter", "Polaris"},
+    {"Frontier", "RZVernal", "Tioga"}};
+
+class Table7RangeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TableOptions opt;
+    opt.binaryRuns = 20;
+    t5_ = new std::vector<Gpu5Row>(computeTable5(opt));
+    t6_ = new std::vector<Gpu6Row>(computeTable6(opt));
+  }
+  static void TearDownTestSuite() {
+    delete t5_;
+    delete t6_;
+    t5_ = nullptr;
+    t6_ = nullptr;
+  }
+  static std::vector<Gpu5Row>* t5_;
+  static std::vector<Gpu6Row>* t6_;
+};
+std::vector<Gpu5Row>* Table7RangeTest::t5_ = nullptr;
+std::vector<Gpu6Row>* Table7RangeTest::t6_ = nullptr;
+
+TEST_F(Table7RangeTest, DeviceBandwidthRangesMatchPaper) {
+  for (const auto& group : kGroups) {
+    Range paper;
+    Range measured;
+    for (const char* name : group) {
+      paper.add(paper::table5Row(name).deviceGBps.mean);
+      for (const Gpu5Row& row : *t5_) {
+        if (row.machine->info.name == name) {
+          measured.add(row.deviceGBps.mean);
+        }
+      }
+    }
+    EXPECT_NEAR(measured.lo / paper.lo, 1.0, 0.01) << group[0];
+    EXPECT_NEAR(measured.hi / paper.hi, 1.0, 0.01) << group[0];
+  }
+}
+
+TEST_F(Table7RangeTest, ClassAMpiLatencyRangesMatchPaper) {
+  for (const auto& group : kGroups) {
+    Range paper;
+    Range measured;
+    for (const char* name : group) {
+      paper.add(paper::table5Row(name).d2dUs[0]->mean);
+      for (const Gpu5Row& row : *t5_) {
+        if (row.machine->info.name == name) {
+          measured.add(row.deviceToDeviceUs[0]->mean);
+        }
+      }
+    }
+    EXPECT_NEAR(measured.lo, paper.lo, std::max(0.05, 0.03 * paper.lo))
+        << group[0];
+    EXPECT_NEAR(measured.hi, paper.hi, std::max(0.05, 0.03 * paper.hi))
+        << group[0];
+  }
+}
+
+TEST_F(Table7RangeTest, LaunchAndWaitRangesMatchPaper) {
+  for (const auto& group : kGroups) {
+    Range paperLaunch;
+    Range measuredLaunch;
+    Range paperWait;
+    Range measuredWait;
+    for (const char* name : group) {
+      paperLaunch.add(paper::table6Row(name).launchUs.mean);
+      paperWait.add(paper::table6Row(name).waitUs.mean);
+      for (const Gpu6Row& row : *t6_) {
+        if (row.machine->info.name == name) {
+          measuredLaunch.add(row.launchUs.mean);
+          measuredWait.add(row.waitUs.mean);
+        }
+      }
+    }
+    EXPECT_NEAR(measuredLaunch.lo, paperLaunch.lo, 0.05) << group[0];
+    EXPECT_NEAR(measuredLaunch.hi, paperLaunch.hi, 0.05) << group[0];
+    EXPECT_NEAR(measuredWait.lo, paperWait.lo, 0.05) << group[0];
+    EXPECT_NEAR(measuredWait.hi, paperWait.hi, 0.05) << group[0];
+  }
+}
+
+TEST_F(Table7RangeTest, GroupsAreDisjointInDeviceMpiLatency) {
+  // The paper's headline hierarchy as ranges: MI250X's max << A100's min,
+  // and A100's max << V100's min.
+  Range v100;
+  Range a100;
+  Range mi;
+  for (const Gpu5Row& row : *t5_) {
+    const std::string& accel = row.machine->info.acceleratorModel;
+    const double lat = row.deviceToDeviceUs[0]->mean;
+    if (accel.find("V100") != std::string::npos) {
+      v100.add(lat);
+    } else if (accel.find("A100") != std::string::npos) {
+      a100.add(lat);
+    } else {
+      mi.add(lat);
+    }
+  }
+  EXPECT_LT(mi.hi, a100.lo);
+  EXPECT_LT(a100.hi, v100.lo);
+}
+
+}  // namespace
+}  // namespace nodebench::report

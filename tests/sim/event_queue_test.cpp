@@ -1,0 +1,104 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nodebench::sim {
+namespace {
+
+using namespace nodebench::literals;
+
+TEST(EventQueue, StartsAtZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), Duration::zero());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleAt(3_us, [&] { order.push_back(3); });
+  q.scheduleAt(1_us, [&] { order.push_back(1); });
+  q.scheduleAt(2_us, [&] { order.push_back(2); });
+  q.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3_us);
+}
+
+TEST(EventQueue, SimultaneousEventsRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.scheduleAt(1_us, [&order, i] { order.push_back(i); });
+  }
+  q.runAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue q;
+  Duration seen = Duration::zero();
+  q.scheduleAt(7_us, [&] { seen = q.now(); });
+  q.runAll();
+  EXPECT_EQ(seen, 7_us);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.scheduleAt(5_us, [] {});
+  q.runAll();
+  EXPECT_THROW(q.scheduleAt(1_us, [] {}), PreconditionError);
+  EXPECT_THROW(q.scheduleAfter(Duration::nanoseconds(-1.0), [] {}),
+               PreconditionError);
+  EXPECT_THROW(q.scheduleAt(10_us, nullptr), PreconditionError);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  q.scheduleAt(2_us, [] {});
+  q.runAll();
+  Duration seen = Duration::zero();
+  q.scheduleAfter(3_us, [&] { seen = q.now(); });
+  q.runAll();
+  EXPECT_EQ(seen, 5_us);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.scheduleAt(1_us, [&] {
+    times.push_back(q.now().us());
+    q.scheduleAfter(1_us, [&] { times.push_back(q.now().us()); });
+  });
+  q.runAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.scheduleAt(1_us, [&] { ++fired; });
+  q.scheduleAt(5_us, [&] { ++fired; });
+  q.runUntil(3_us);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 3_us);
+  EXPECT_EQ(q.pending(), 1u);
+  q.runAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_THROW(q.runUntil(1_us), PreconditionError);
+}
+
+TEST(EventQueue, EventAtExactDeadlineRuns) {
+  EventQueue q;
+  int fired = 0;
+  q.scheduleAt(3_us, [&] { ++fired; });
+  q.runUntil(3_us);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace nodebench::sim

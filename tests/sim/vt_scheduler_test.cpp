@@ -1,0 +1,173 @@
+#include "sim/vt_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace nodebench::sim {
+namespace {
+
+using namespace nodebench::literals;
+
+TEST(VtScheduler, SingleProcessRunsToCompletion) {
+  VirtualTimeScheduler sched;
+  Duration finish = Duration::zero();
+  sched.run({[&](VirtualProcess& p) {
+    p.advance(5_us);
+    finish = p.now();
+  }});
+  EXPECT_EQ(finish, 5_us);
+}
+
+TEST(VtScheduler, SmallestClockRunsFirst) {
+  // Process 0 takes big steps, process 1 small ones; the interleaving
+  // must be by virtual time, not by thread scheduling.
+  VirtualTimeScheduler sched;
+  std::vector<std::pair<int, double>> trace;
+  const auto proc = [&trace](int id, Duration step, int steps) {
+    return [&trace, id, step, steps](VirtualProcess& p) {
+      for (int i = 0; i < steps; ++i) {
+        p.advance(step);
+        trace.emplace_back(id, p.now().us());
+      }
+    };
+  };
+  sched.run({proc(0, 10_us, 3), proc(1, 4_us, 7)});
+  // The trace must be sorted by virtual time (ties allowed).
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].second, trace[i].second)
+        << "entry " << i << " out of virtual-time order";
+  }
+  EXPECT_EQ(trace.size(), 10u);
+}
+
+TEST(VtScheduler, DeterministicAcrossRuns) {
+  const auto runOnce = [](std::vector<int>& order) {
+    VirtualTimeScheduler sched;
+    std::vector<VirtualTimeScheduler::ProcessFn> fns;
+    for (int id = 0; id < 4; ++id) {
+      fns.push_back([&order, id](VirtualProcess& p) {
+        for (int i = 0; i < 5; ++i) {
+          p.advance(Duration::microseconds(1.0 + id * 0.3));
+          order.push_back(id);
+        }
+      });
+    }
+    sched.run(fns);
+    return sched.switchCount();
+  };
+  std::vector<int> a;
+  std::vector<int> b;
+  const auto switchesA = runOnce(a);
+  const auto switchesB = runOnce(b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(switchesA, switchesB);
+}
+
+TEST(VtScheduler, BlockUntilWokenByPeer) {
+  VirtualTimeScheduler sched;
+  bool flag = false;
+  Duration consumerDone = Duration::zero();
+  sched.run({
+      [&](VirtualProcess& p) {  // consumer (rank 0)
+        p.blockUntil([&] { return flag; });
+        consumerDone = p.now();
+      },
+      [&](VirtualProcess& p) {  // producer (rank 1)
+        p.advance(3_us);
+        flag = true;
+        p.wake(0);
+      },
+  });
+  EXPECT_TRUE(flag);
+  // The consumer never advanced its own clock; blocking does not move
+  // virtual time by itself.
+  EXPECT_EQ(consumerDone, Duration::zero());
+}
+
+TEST(VtScheduler, AdvanceToIsMonotone) {
+  VirtualTimeScheduler sched;
+  sched.run({[](VirtualProcess& p) {
+    p.advanceTo(5_us);
+    EXPECT_EQ(p.now(), 5_us);
+    p.advanceTo(3_us);  // must not travel backwards
+    EXPECT_EQ(p.now(), 5_us);
+  }});
+}
+
+TEST(VtScheduler, DeadlockIsDetected) {
+  VirtualTimeScheduler sched;
+  const auto blocked = [](VirtualProcess& p) {
+    p.blockUntil([] { return false; });
+  };
+  EXPECT_THROW(sched.run({blocked, blocked}), DeadlockError);
+}
+
+TEST(VtScheduler, DeadlockAfterPeerFinishes) {
+  VirtualTimeScheduler sched;
+  EXPECT_THROW(sched.run({
+                   [](VirtualProcess& p) {
+                     p.blockUntil([] { return false; });  // waits forever
+                   },
+                   [](VirtualProcess& p) { p.advance(1_us); },  // exits
+               }),
+               DeadlockError);
+}
+
+TEST(VtScheduler, ExceptionInProcessPropagates) {
+  VirtualTimeScheduler sched;
+  EXPECT_THROW(sched.run({
+                   [](VirtualProcess&) { throw Error("boom"); },
+                   [](VirtualProcess& p) {
+                     // Would block forever; must be aborted, not hung.
+                     p.blockUntil([] { return false; });
+                   },
+               }),
+               Error);
+}
+
+TEST(VtScheduler, NegativeAdvanceRejected) {
+  VirtualTimeScheduler sched;
+  EXPECT_THROW(sched.run({[](VirtualProcess& p) {
+                 p.advance(Duration::nanoseconds(-1.0));
+               }}),
+               PreconditionError);
+}
+
+TEST(VtScheduler, RequiresAtLeastOneProcess) {
+  VirtualTimeScheduler sched;
+  EXPECT_THROW(sched.run({}), PreconditionError);
+}
+
+TEST(VtScheduler, ManyProcessesAllComplete) {
+  VirtualTimeScheduler sched;
+  constexpr int kProcs = 16;
+  std::atomic<int> completed{0};
+  std::vector<VirtualTimeScheduler::ProcessFn> fns;
+  for (int i = 0; i < kProcs; ++i) {
+    fns.push_back([&completed, i](VirtualProcess& p) {
+      for (int k = 0; k < 10; ++k) {
+        p.advance(Duration::nanoseconds(10.0 * (i + 1)));
+      }
+      completed.fetch_add(1);
+    });
+  }
+  sched.run(fns);
+  EXPECT_EQ(completed.load(), kProcs);
+}
+
+TEST(VtScheduler, ReusableAfterRun) {
+  VirtualTimeScheduler sched;
+  for (int round = 0; round < 3; ++round) {
+    Duration t = Duration::zero();
+    sched.run({[&](VirtualProcess& p) {
+      p.advance(1_us);
+      t = p.now();
+    }});
+    EXPECT_EQ(t, 1_us);  // clocks reset each run
+  }
+}
+
+}  // namespace
+}  // namespace nodebench::sim

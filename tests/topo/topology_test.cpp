@@ -1,0 +1,211 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/dot.hpp"
+
+namespace nodebench::topo {
+namespace {
+
+using namespace nodebench::literals;
+
+/// Small two-socket, two-GPU fixture.
+NodeTopology smallGpuNode() {
+  NodeTopology node;
+  const SocketId s0 = node.addSocket("TestCPU");
+  const SocketId s1 = node.addSocket("TestCPU");
+  const NumaId n0 = node.addNumaDomain(s0);
+  const NumaId n1 = node.addNumaDomain(s1);
+  node.addCores(n0, 4, 2);
+  node.addCores(n1, 4, 2);
+  node.connectSockets(s0, s1, LinkType::XBus, 0.4_us, Bandwidth::gbps(64.0));
+  const GpuId g0 = node.addGpu("TestGPU", s0, ByteCount::gib(16));
+  const GpuId g1 = node.addGpu("TestGPU", s1, ByteCount::gib(16));
+  node.connectHostGpu(s0, g0, LinkType::NVLink2, 0.55_us,
+                      Bandwidth::gbps(50.0));
+  node.connectHostGpu(s1, g1, LinkType::NVLink2, 0.55_us,
+                      Bandwidth::gbps(50.0));
+  node.setGpuFlavor(GpuInterconnectFlavor::NvlinkPcieMix);
+  return node;
+}
+
+TEST(Topology, CountsAndAccessors) {
+  const NodeTopology node = smallGpuNode();
+  EXPECT_EQ(node.socketCount(), 2);
+  EXPECT_EQ(node.numaCount(), 2);
+  EXPECT_EQ(node.coreCount(), 8);
+  EXPECT_EQ(node.gpuCount(), 2);
+  EXPECT_EQ(node.socket(SocketId{0}).model, "TestCPU");
+  EXPECT_EQ(node.core(CoreId{5}).socket, SocketId{1});
+  EXPECT_EQ(node.gpu(GpuId{1}).socket, SocketId{1});
+}
+
+TEST(Topology, InvalidIdsThrow) {
+  const NodeTopology node = smallGpuNode();
+  EXPECT_THROW((void)node.socket(SocketId{2}), PreconditionError);
+  EXPECT_THROW((void)node.core(CoreId{-1}), PreconditionError);
+  EXPECT_THROW((void)node.gpu(GpuId{9}), PreconditionError);
+}
+
+TEST(Topology, CpuPathClassification) {
+  const NodeTopology node = smallGpuNode();
+  const CpuPath same = node.cpuPath(CoreId{0}, CoreId{1});
+  EXPECT_TRUE(same.sameNuma);
+  EXPECT_TRUE(same.sameSocket);
+  EXPECT_FALSE(same.sameCore);
+  const CpuPath cross = node.cpuPath(CoreId{0}, CoreId{4});
+  EXPECT_FALSE(cross.sameNuma);
+  EXPECT_FALSE(cross.sameSocket);
+  const CpuPath self = node.cpuPath(CoreId{3}, CoreId{3});
+  EXPECT_TRUE(self.sameCore);
+}
+
+TEST(Topology, MeshDistance) {
+  NodeTopology node;
+  const SocketId s = node.addSocket("KNL");
+  const NumaId n = node.addNumaDomain(s);
+  node.addMeshCore(n, MeshCoord{0, 0});
+  node.addMeshCore(n, MeshCoord{0, 0});
+  node.addMeshCore(n, MeshCoord{2, 3});
+  EXPECT_EQ(node.cpuPath(CoreId{0}, CoreId{1}).meshDistance, 0);
+  EXPECT_EQ(node.cpuPath(CoreId{0}, CoreId{2}).meshDistance, 5);
+  EXPECT_EQ(node.cpuPath(CoreId{2}, CoreId{0}).meshDistance, 5);
+}
+
+TEST(Topology, CoresOfSocket) {
+  const NodeTopology node = smallGpuNode();
+  const auto cores = node.coresOfSocket(SocketId{1});
+  ASSERT_EQ(cores.size(), 4u);
+  EXPECT_EQ(cores.front(), (CoreId{4}));
+  EXPECT_EQ(cores.back(), (CoreId{7}));
+}
+
+TEST(Topology, DirectAndRoutedGpuRoutes) {
+  NodeTopology node = smallGpuNode();
+  // No direct link yet: route goes gpu0 -> socket0 -> socket1 -> gpu1.
+  EXPECT_EQ(node.directGpuLink(GpuId{0}, GpuId{1}), nullptr);
+  const Route routed = node.routeGpuToGpu(GpuId{0}, GpuId{1});
+  EXPECT_EQ(routed.hops.size(), 3u);
+  EXPECT_DOUBLE_EQ(routed.latency.us(), 0.55 + 0.4 + 0.55);
+  EXPECT_DOUBLE_EQ(routed.bottleneck.inGBps(), 50.0);
+
+  node.connectGpuPeer(GpuId{0}, GpuId{1}, LinkType::NVLink2, 2, 0.3_us,
+                      Bandwidth::gbps(50.0));
+  const Route direct = node.routeGpuToGpu(GpuId{0}, GpuId{1});
+  EXPECT_TRUE(direct.direct());
+  EXPECT_DOUBLE_EQ(direct.latency.us(), 0.3);
+}
+
+TEST(Topology, RouteHostToGpuCrossSocket) {
+  const NodeTopology node = smallGpuNode();
+  const Route near = node.routeHostToGpu(SocketId{0}, GpuId{0});
+  EXPECT_TRUE(near.direct());
+  const Route far = node.routeHostToGpu(SocketId{0}, GpuId{1});
+  EXPECT_EQ(far.hops.size(), 2u);
+  EXPECT_DOUBLE_EQ(far.latency.us(), 0.4 + 0.55);
+}
+
+TEST(Topology, NvlinkMixClassification) {
+  NodeTopology node = smallGpuNode();
+  EXPECT_EQ(node.gpuPairClass(GpuId{0}, GpuId{1}), LinkClass::B);
+  node.connectGpuPeer(GpuId{0}, GpuId{1}, LinkType::NVLink2, 2, 0.3_us,
+                      Bandwidth::gbps(50.0));
+  EXPECT_EQ(node.gpuPairClass(GpuId{0}, GpuId{1}), LinkClass::A);
+}
+
+TEST(Topology, InfinityFabricClassification) {
+  NodeTopology node;
+  const SocketId s = node.addSocket("EPYC");
+  const NumaId n = node.addNumaDomain(s);
+  node.addCores(n, 4);
+  std::vector<GpuId> gcds;
+  for (int i = 0; i < 4; ++i) {
+    gcds.push_back(node.addGpu("GCD", s, ByteCount::gib(64)));
+    node.connectHostGpu(s, gcds.back(), LinkType::InfinityFabric, 0.05_us,
+                        Bandwidth::gbps(36.0));
+  }
+  node.connectGpuPeer(gcds[0], gcds[1], LinkType::InfinityFabric, 4, 0.09_us,
+                      Bandwidth::gbps(200.0));
+  node.connectGpuPeer(gcds[0], gcds[2], LinkType::InfinityFabric, 2, 0.09_us,
+                      Bandwidth::gbps(100.0));
+  node.connectGpuPeer(gcds[0], gcds[3], LinkType::InfinityFabric, 1, 0.09_us,
+                      Bandwidth::gbps(50.0));
+  node.setGpuFlavor(GpuInterconnectFlavor::InfinityFabric);
+  EXPECT_EQ(node.gpuPairClass(gcds[0], gcds[1]), LinkClass::A);
+  EXPECT_EQ(node.gpuPairClass(gcds[0], gcds[2]), LinkClass::B);
+  EXPECT_EQ(node.gpuPairClass(gcds[0], gcds[3]), LinkClass::C);
+  EXPECT_EQ(node.gpuPairClass(gcds[1], gcds[2]), LinkClass::D);
+  const auto classes = node.presentGpuLinkClasses();
+  ASSERT_EQ(classes.size(), 4u);
+  EXPECT_EQ(classes[0], LinkClass::A);
+  EXPECT_EQ(classes[3], LinkClass::D);
+}
+
+TEST(Topology, AllToAllClassification) {
+  NodeTopology node;
+  const SocketId s = node.addSocket("EPYC");
+  const NumaId n = node.addNumaDomain(s);
+  node.addCores(n, 4);
+  const GpuId a = node.addGpu("A100", s, ByteCount::gib(40));
+  const GpuId b = node.addGpu("A100", s, ByteCount::gib(40));
+  node.connectHostGpu(s, a, LinkType::PCIe4, 0.4_us, Bandwidth::gbps(25.0));
+  node.connectHostGpu(s, b, LinkType::PCIe4, 0.4_us, Bandwidth::gbps(25.0));
+  node.setGpuFlavor(GpuInterconnectFlavor::NvlinkAllToAll);
+  EXPECT_EQ(node.gpuPairClass(a, b), LinkClass::A);
+  EXPECT_EQ(node.presentGpuLinkClasses().size(), 1u);
+}
+
+TEST(Topology, RepresentativePair) {
+  const NodeTopology node = smallGpuNode();
+  const auto pair = node.representativePair(LinkClass::B);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->first, (GpuId{0}));
+  EXPECT_EQ(pair->second, (GpuId{1}));
+  EXPECT_FALSE(node.representativePair(LinkClass::C).has_value());
+}
+
+TEST(Topology, LinkClassesEmptyOnCpuOnlyMachine) {
+  NodeTopology node;
+  const SocketId s = node.addSocket("Xeon");
+  const NumaId n = node.addNumaDomain(s);
+  node.addCores(n, 2);
+  EXPECT_TRUE(node.presentGpuLinkClasses().empty());
+}
+
+TEST(Topology, MissingLinksThrowNotFound) {
+  NodeTopology node = smallGpuNode();
+  EXPECT_THROW((void)node.hostGpuLink(SocketId{0}, GpuId{1}), NotFoundError);
+  NodeTopology single;
+  const SocketId s = single.addSocket("X");
+  (void)s;
+  EXPECT_THROW((void)node.setHostGpuLinkBandwidth(SocketId{0}, GpuId{1},
+                                                  Bandwidth::gbps(1.0)),
+               NotFoundError);
+}
+
+TEST(Topology, SetHostGpuLinkBandwidth) {
+  NodeTopology node = smallGpuNode();
+  node.setHostGpuLinkBandwidth(SocketId{0}, GpuId{0}, Bandwidth::gbps(99.0));
+  EXPECT_DOUBLE_EQ(node.hostGpuLink(SocketId{0}, GpuId{0}).bandwidth.inGBps(),
+                   99.0);
+}
+
+TEST(Topology, LinkTypeAndClassNames) {
+  EXPECT_EQ(linkTypeName(LinkType::NVLink2), "NVLink2");
+  EXPECT_EQ(linkTypeName(LinkType::InfinityFabric), "InfinityFabric");
+  EXPECT_EQ(linkClassName(LinkClass::A), "A");
+  EXPECT_EQ(linkClassName(LinkClass::None), "-");
+}
+
+TEST(DotExport, ContainsNodesAndEdges) {
+  const NodeTopology node = smallGpuNode();
+  const std::string dot = toDot(node, "test");
+  EXPECT_NE(dot.find("graph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("socket0"), std::string::npos);
+  EXPECT_NE(dot.find("gpu1"), std::string::npos);
+  EXPECT_NE(dot.find("socket0 -- socket1"), std::string::npos);
+  EXPECT_NE(dot.find("NVLink2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nodebench::topo

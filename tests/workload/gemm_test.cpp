@@ -1,0 +1,116 @@
+#include "workload/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+#include "report/roofline.hpp"
+
+namespace nodebench::workload {
+namespace {
+
+using machines::byName;
+
+TEST(Gemm, DenseKernelIsComputeBoundEverywhere) {
+  for (const machines::Machine& m : machines::allMachines()) {
+    GemmConfig cfg;
+    const auto host = runGemm(m, cfg);
+    EXPECT_TRUE(host.computeBound) << m.info.name;
+    if (m.accelerated()) {
+      cfg.useDevice = true;
+      EXPECT_TRUE(runGemm(m, cfg).computeBound) << m.info.name;
+    }
+  }
+}
+
+TEST(Gemm, TinyBlocksTurnMemoryBound) {
+  GemmConfig cfg;
+  cfg.blockSize = 16;  // intensity ~ 2 flops/byte, under every ridge
+  cfg.useDevice = true;
+  const auto r = runGemm(byName("Frontier"), cfg);
+  EXPECT_FALSE(r.computeBound);
+  EXPECT_LT(r.achievedGflops, 0.9 * 23950.0);
+}
+
+TEST(Gemm, AchievedBoundedByEfficiencyTimesPeak) {
+  GemmConfig cfg;
+  cfg.useDevice = true;
+  cfg.computeEfficiency = 0.9;
+  for (const char* name : {"Summit", "Perlmutter", "Frontier"}) {
+    const auto& m = byName(name);
+    const auto r = runGemm(m, cfg);
+    EXPECT_LE(r.achievedGflops,
+              0.9 * m.device->peakFp64Gflops + 1e-6)
+        << name;
+    EXPECT_GT(r.achievedGflops, 0.5 * m.device->peakFp64Gflops) << name;
+  }
+}
+
+TEST(Gemm, IntensityGrowsWithBlockSize) {
+  GemmConfig small;
+  small.blockSize = 32;
+  GemmConfig large;
+  large.blockSize = 256;
+  const auto& m = byName("Perlmutter");
+  EXPECT_GT(runGemm(m, large).intensityFlopsPerByte,
+            runGemm(m, small).intensityFlopsPerByte);
+}
+
+TEST(Gemm, ValidatesConfig) {
+  GemmConfig cfg;
+  cfg.blockSize = 8;
+  EXPECT_THROW((void)runGemm(byName("Eagle"), cfg), PreconditionError);
+  cfg = GemmConfig{};
+  cfg.n = 64;  // < blockSize
+  EXPECT_THROW((void)runGemm(byName("Eagle"), cfg), PreconditionError);
+  cfg = GemmConfig{};
+  cfg.useDevice = true;
+  EXPECT_THROW((void)runGemm(byName("Eagle"), cfg), PreconditionError);
+}
+
+TEST(Roofline, MatchesBalanceAtRidge) {
+  const auto& m = byName("Frontier");
+  const double ridge = report::ridgeIntensity(m, /*deviceSide=*/true);
+  EXPECT_NEAR(ridge, 23950.0 / m.device->hbmBw.inGBps(), 1e-9);
+  // Just below the ridge: memory-bound; just above: compute-bound.
+  EXPECT_TRUE(report::rooflineAt(m, true, ridge * 0.9).memoryBound);
+  EXPECT_FALSE(report::rooflineAt(m, true, ridge * 1.1).memoryBound);
+}
+
+TEST(Roofline, MemoryBoundRegionIsLinear) {
+  const auto& m = byName("Summit");
+  const auto p1 = report::rooflineAt(m, true, 0.25);
+  const auto p2 = report::rooflineAt(m, true, 0.5);
+  EXPECT_NEAR(p2.gflops / p1.gflops, 2.0, 1e-9);
+}
+
+TEST(Roofline, ComputeRegionIsFlatAtPeak) {
+  const auto& m = byName("Perlmutter");
+  const auto hi = report::rooflineAt(m, true, 1000.0);
+  EXPECT_DOUBLE_EQ(hi.gflops, m.device->peakFp64Gflops);
+}
+
+TEST(Roofline, SweepCoversRequestedRange) {
+  const auto sweep =
+      report::rooflineSweep(byName("Frontier"), true, 0.125, 128.0);
+  EXPECT_EQ(sweep.size(), 11u);  // 0.125 .. 128 by powers of two
+  EXPECT_DOUBLE_EQ(sweep.front().intensityFlopsPerByte, 0.125);
+}
+
+TEST(Roofline, RenderedTableMarksComputeBound) {
+  const std::vector<const machines::Machine*> ms{&byName("Frontier")};
+  const Table t = report::renderRooflines(ms, true, {0.125, 1000.0});
+  const std::string ascii = t.renderAscii();
+  EXPECT_NE(ascii.find("*"), std::string::npos);
+  EXPECT_NE(ascii.find("compute-bound"), std::string::npos);
+}
+
+TEST(Roofline, HostSideRequiresPeak) {
+  machines::Machine m = byName("Eagle");
+  m.hostPeakFp64Gflops = 0.0;
+  EXPECT_THROW((void)report::rooflineAt(m, false, 1.0), PreconditionError);
+  EXPECT_THROW((void)report::rooflineAt(byName("Eagle"), true, 1.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace nodebench::workload

@@ -1,0 +1,145 @@
+#include "workload/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+
+namespace nodebench::workload {
+namespace {
+
+using machines::byName;
+
+StencilConfig smallConfig() {
+  StencilConfig cfg;
+  cfg.ranks = 4;
+  cfg.cellsPerRank = 1 << 16;
+  cfg.haloCells = 512;
+  cfg.iterations = 3;
+  return cfg;
+}
+
+TEST(Stencil, BreakdownSumsToTotal) {
+  const auto r = runStencil(byName("Eagle"), smallConfig());
+  EXPECT_GT(r.totalPerIteration, Duration::zero());
+  const double parts = r.computePerIteration.us() +
+                       r.haloPerIteration.us() +
+                       r.reducePerIteration.us();
+  // Rank 0's phases cover its whole iteration (barrier excluded).
+  EXPECT_NEAR(parts / r.totalPerIteration.us(), 1.0, 0.05);
+}
+
+TEST(Stencil, DeterministicAcrossRuns) {
+  const auto a = runStencil(byName("Eagle"), smallConfig());
+  const auto b = runStencil(byName("Eagle"), smallConfig());
+  EXPECT_DOUBLE_EQ(a.totalPerIteration.ns(), b.totalPerIteration.ns());
+}
+
+TEST(Stencil, MoreCellsMeansMoreComputeTime) {
+  StencilConfig big = smallConfig();
+  big.cellsPerRank *= 8;
+  const auto small = runStencil(byName("Eagle"), smallConfig());
+  const auto large = runStencil(byName("Eagle"), big);
+  EXPECT_GT(large.computePerIteration.ns(),
+            4.0 * small.computePerIteration.ns());
+  EXPECT_LT(large.haloFraction(), small.haloFraction());
+}
+
+TEST(Stencil, DeviceModeUsesGpuRoofline) {
+  StencilConfig cfg = smallConfig();
+  cfg.cellsPerRank = 1 << 20;
+  const auto host = runStencil(byName("Frontier"), cfg);
+  cfg.useDevice = true;
+  const auto device = runStencil(byName("Frontier"), cfg);
+  // A GCD's 1.3 TB/s crushes a single EPYC core's ~14 GB/s on the
+  // bandwidth-bound compute phase.
+  EXPECT_LT(device.computePerIteration.ns(),
+            0.1 * host.computePerIteration.ns());
+}
+
+TEST(Stencil, DeviceModeRequiresEnoughGpus) {
+  StencilConfig cfg = smallConfig();
+  cfg.useDevice = true;
+  cfg.ranks = 16;  // > 8 GCDs
+  EXPECT_THROW((void)runStencil(byName("Frontier"), cfg),
+               PreconditionError);
+  EXPECT_THROW((void)runStencil(byName("Eagle"), cfg), PreconditionError);
+}
+
+TEST(Stencil, ReduceCanBeDisabled) {
+  StencilConfig cfg = smallConfig();
+  cfg.reduceEvery = 0;
+  const auto r = runStencil(byName("Eagle"), cfg);
+  EXPECT_DOUBLE_EQ(r.reducePerIteration.ns(), 0.0);
+}
+
+TEST(Stencil, StrongScalingReducesTotalTime) {
+  const std::uint64_t global = 1 << 20;
+  StencilConfig few = smallConfig();
+  few.ranks = 2;
+  few.cellsPerRank = global / 2;
+  StencilConfig many = smallConfig();
+  many.ranks = 16;
+  many.cellsPerRank = global / 16;
+  const auto slow = runStencil(byName("Sawtooth"), few);
+  const auto fast = runStencil(byName("Sawtooth"), many);
+  EXPECT_LT(fast.totalPerIteration.ns(), slow.totalPerIteration.ns());
+  // But not perfectly: halo cost is fixed per rank.
+  EXPECT_GT(fast.haloFraction(), slow.haloFraction());
+}
+
+TEST(Stencil, ValidatesConfig) {
+  StencilConfig cfg = smallConfig();
+  cfg.ranks = 1;
+  EXPECT_THROW((void)runStencil(byName("Eagle"), cfg), PreconditionError);
+  cfg = smallConfig();
+  cfg.iterations = 0;
+  EXPECT_THROW((void)runStencil(byName("Eagle"), cfg), PreconditionError);
+}
+
+TEST(StencilTrace, TimelineCoversAllRanksAndPhases) {
+  mpisim::Tracer tracer;
+  const auto cfg = smallConfig();
+  (void)runStencil(byName("Eagle"), cfg, &tracer);
+  ASSERT_FALSE(tracer.records().empty());
+  bool sawCompute = false;
+  bool sawRecv = false;
+  bool sawPost = false;
+  std::set<int> ranks;
+  for (const auto& r : tracer.records()) {
+    ranks.insert(r.rank);
+    sawCompute = sawCompute || r.kind == mpisim::TraceRecord::Kind::Compute;
+    sawRecv = sawRecv || r.kind == mpisim::TraceRecord::Kind::Recv;
+    sawPost = sawPost || r.kind == mpisim::TraceRecord::Kind::SendPost;
+    EXPECT_LE(r.begin, r.end);
+  }
+  EXPECT_EQ(ranks.size(), 4u);
+  EXPECT_TRUE(sawCompute);
+  EXPECT_TRUE(sawRecv);
+  EXPECT_TRUE(sawPost);
+}
+
+TEST(StencilTrace, ChromeJsonIsWellFormedish) {
+  mpisim::Tracer tracer;
+  (void)runStencil(byName("Eagle"), smallConfig(), &tracer);
+  const std::string json = tracer.toChromeJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+  // Balanced braces (cheap sanity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(StencilTrace, TotalsMatchResultBreakdown) {
+  mpisim::Tracer tracer;
+  const auto cfg = smallConfig();
+  const auto result = runStencil(byName("Eagle"), cfg, &tracer);
+  const Duration traced =
+      tracer.totalFor(0, mpisim::TraceRecord::Kind::Compute);
+  EXPECT_NEAR(traced.us(),
+              result.computePerIteration.us() * cfg.iterations, 0.01);
+}
+
+}  // namespace
+}  // namespace nodebench::workload

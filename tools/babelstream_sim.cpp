@@ -1,0 +1,156 @@
+/// \file babelstream_sim.cpp
+/// \brief BabelStream-style command-line tool over the nodebench
+/// backends, mirroring the real BabelStream 4.0 console and CSV output
+/// formats so downstream scripts can parse it unchanged.
+///
+///   babelstream_sim --machine Frontier [--device 0]
+///   babelstream_sim --machine Eagle [--threads N | table-1 defaults]
+///   babelstream_sim --native [--threads N]
+///   common: --arraysize <doubles> --numruns <binary runs> --csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_device_backend.hpp"
+#include "babelstream/sim_omp_backend.hpp"
+#include "core/error.hpp"
+#include "machines/registry.hpp"
+#include "native/stream_native.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+struct Options {
+  std::string machine;
+  bool native = false;
+  int device = 0;
+  int threads = 0;
+  std::uint64_t arrayDoubles = 1ull << 25;  // 2^25 doubles = 256 MiB
+  int numRuns = 100;
+  bool csv = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw Error("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--machine") {
+      opt.machine = value();
+    } else if (arg == "--native") {
+      opt.native = true;
+    } else if (arg == "--device") {
+      opt.device = std::atoi(value());
+    } else if (arg == "--threads") {
+      opt.threads = std::atoi(value());
+    } else if (arg == "--arraysize") {
+      opt.arrayDoubles = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--numruns") {
+      opt.numRuns = std::atoi(value());
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else {
+      throw Error("unknown option " + arg);
+    }
+  }
+  if (!opt.native && opt.machine.empty()) {
+    throw Error("need --machine <name> or --native");
+  }
+  return opt;
+}
+
+void printResults(const babelstream::RunResult& result, const Options& opt,
+                  ByteCount arrayBytes) {
+  if (opt.csv) {
+    std::printf(
+        "function,num_times,n_elements,sizeof,max_mbytes_per_sec,"
+        "min_runtime,max_runtime,avg_runtime\n");
+  } else {
+    std::printf("%-9s %-12s %-12s %-12s %-12s\n", "Function", "MBytes/sec",
+                "Min (sec)", "Max", "Average");
+  }
+  for (const auto& op : result.ops) {
+    const double counted =
+        babelstream::countedBytes(op.op, arrayBytes).asDouble();
+    // Convert bandwidth stats back to per-iteration runtimes.
+    const double minSec = counted / op.bandwidthGBps.max / 1e9;
+    const double maxSec = counted / op.bandwidthGBps.min / 1e9;
+    const double avgSec = counted / op.bandwidthGBps.mean / 1e9;
+    const double mbytesPerSec = op.bandwidthGBps.max * 1000.0;
+    if (opt.csv) {
+      std::printf("%s,%d,%llu,%zu,%.3f,%.8f,%.8f,%.8f\n",
+                  std::string(babelstream::streamOpName(op.op)).c_str(),
+                  opt.numRuns,
+                  static_cast<unsigned long long>(opt.arrayDoubles),
+                  sizeof(double), mbytesPerSec, minSec, maxSec, avgSec);
+    } else {
+      std::printf("%-9s %-12.3f %-12.5f %-12.5f %-12.5f\n",
+                  std::string(babelstream::streamOpName(op.op)).c_str(),
+                  mbytesPerSec, minSec, maxSec, avgSec);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    const ByteCount arrayBytes =
+        ByteCount::bytes(opt.arrayDoubles * sizeof(double));
+
+    babelstream::DriverConfig cfg;
+    cfg.arrayBytes = arrayBytes;
+    cfg.binaryRuns = opt.numRuns;
+
+    std::unique_ptr<babelstream::Backend> backend;
+    std::string implementation;
+    if (opt.native) {
+      backend = std::make_unique<native::NativeStreamBackend>(opt.threads);
+      implementation = "native";
+      cfg.binaryRuns = std::min(cfg.binaryRuns, 10);  // real runs are slow
+    } else {
+      const machines::Machine& m = machines::byName(opt.machine);
+      if (m.accelerated()) {
+        backend =
+            std::make_unique<babelstream::SimDeviceBackend>(m, opt.device);
+        implementation = m.info.acceleratorModel + "-sim";
+      } else {
+        const int threads = opt.threads > 0 ? opt.threads : m.coreCount();
+        backend = std::make_unique<babelstream::SimOmpBackend>(
+            m, ompenv::OmpConfig{threads, ompenv::ProcBind::Spread,
+                                 ompenv::Places::Cores});
+        implementation = "OpenMP-sim";
+      }
+    }
+
+    if (!opt.csv) {
+      std::printf("BabelStream\n");
+      std::printf("Version: 4.0 (nodebench reproduction)\n");
+      std::printf("Implementation: %s (%s)\n", implementation.c_str(),
+                  opt.native ? "this host" : opt.machine.c_str());
+      std::printf("Running kernels %d times\n", cfg.binaryRuns);
+      std::printf("Precision: double\n");
+      std::printf("Array size: %.1f MB (=%.1f GB)\n",
+                  arrayBytes.asDouble() / 1e6, arrayBytes.asDouble() / 1e9);
+      std::printf("Total size: %.1f MB (=%.1f GB)\n",
+                  3.0 * arrayBytes.asDouble() / 1e6,
+                  3.0 * arrayBytes.asDouble() / 1e9);
+    }
+    printResults(babelstream::run(*backend, cfg), opt, arrayBytes);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "babelstream_sim: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,92 @@
+/// \file comm_scope_sim.cpp
+/// \brief Comm|Scope-style command-line tool over the simulated GPU
+/// runtime, mirroring the google-benchmark console format the real tool
+/// (which builds on google/benchmark) prints.
+///
+///   comm_scope_sim --machine Frontier [--runs N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "commscope/commscope.hpp"
+#include "core/error.hpp"
+#include "machines/registry.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+void printRow(const std::string& name, const Summary& us,
+              const char* counterName = nullptr, double counter = 0.0) {
+  // google-benchmark-ish: name, Time, CPU, Iterations [+ counters].
+  char tail[64] = "";
+  if (counterName != nullptr) {
+    std::snprintf(tail, sizeof(tail), " %s=%.2fG/s", counterName, counter);
+  }
+  std::printf("%-44s %10.2f us %10.2f us %9zu%s\n", name.c_str(), us.mean,
+              us.mean, us.count, tail);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string machine;
+    int runs = 100;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--machine" && i + 1 < argc) {
+        machine = argv[++i];
+      } else if (arg == "--runs" && i + 1 < argc) {
+        runs = std::atoi(argv[++i]);
+      } else {
+        throw Error("unknown option " + arg);
+      }
+    }
+    if (machine.empty()) {
+      throw Error("need --machine <name>");
+    }
+    const machines::Machine& m = machines::byName(machine);
+    const bool amd = m.info.acceleratorModel.find("AMD") != std::string::npos;
+    const std::string api = amd ? "hip" : "cudart";
+    const std::string memcpyApi = amd ? "hipMemcpyAsync" : "cudaMemcpyAsync";
+
+    commscope::CommScope scope(m);
+    commscope::Config cfg;
+    cfg.binaryRuns = runs;
+
+    std::printf("Comm|Scope 0.12.0 (nodebench reproduction) on %s\n",
+                m.info.name.c_str());
+    std::printf("%-44s %13s %13s %9s\n", "Benchmark", "Time", "CPU",
+                "Iterations");
+    std::printf(
+        "--------------------------------------------------------------"
+        "--------------------\n");
+    printRow("Comm_" + api + "_kernel", scope.kernelLaunchUs(cfg));
+    printRow("Comm_" + (amd ? std::string("hip") : std::string("cuda")) +
+                 "DeviceSynchronize",
+             scope.syncWaitUs(cfg));
+    printRow("Comm_" + memcpyApi + "_PinnedToGPU/128B",
+             scope.hostDeviceLatencyUs(cfg));
+    const Summary bw = scope.hostDeviceBandwidthGBps(cfg);
+    // Bandwidth row: time for 1 GiB plus the rate counter.
+    const Summary bwTime{bw.count, 1073741824.0 / bw.mean / 1000.0,
+                         0.0, 0.0, 0.0};
+    printRow("Comm_" + memcpyApi + "_PinnedToGPU/1GiB", bwTime, "bytes_per_second",
+             bw.mean);
+    for (const topo::LinkClass c : m.topology.presentGpuLinkClasses()) {
+      const auto pair = m.topology.representativePair(c);
+      printRow("Comm_" + memcpyApi + "_GPUToGPU/" +
+                   std::to_string(pair->first.value) + "/" +
+                   std::to_string(pair->second.value) + "/128B(class " +
+                   std::string(topo::linkClassName(c)) + ")",
+               scope.d2dLatencyUs(c, cfg));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "comm_scope_sim: %s\n", e.what());
+    return 1;
+  }
+}

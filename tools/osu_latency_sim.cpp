@@ -1,0 +1,99 @@
+/// \file osu_latency_sim.cpp
+/// \brief osu_latency-style command-line tool over the simulated
+/// machines, mirroring the OSU Micro-Benchmarks console format.
+///
+///   osu_latency_sim --machine Frontier [--pair on-socket|on-node|A..D]
+///                   [-m <max bytes>] [--runs N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/error.hpp"
+#include "machines/registry.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+struct Options {
+  std::string machine;
+  std::string pair = "on-socket";
+  std::uint64_t maxBytes = 1 << 20;
+  int runs = 100;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw Error("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--machine") {
+      opt.machine = value();
+    } else if (arg == "--pair") {
+      opt.pair = value();
+    } else if (arg == "-m") {
+      opt.maxBytes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--runs") {
+      opt.runs = std::atoi(value());
+    } else {
+      throw Error("unknown option " + arg);
+    }
+  }
+  if (opt.machine.empty()) {
+    throw Error("need --machine <name>");
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    const machines::Machine& m = machines::byName(opt.machine);
+
+    osu::PlacementPair ranks;
+    auto kind = mpisim::BufferSpace::Kind::Host;
+    if (opt.pair == "on-socket") {
+      ranks = osu::onSocketPair(m);
+    } else if (opt.pair == "on-node") {
+      ranks = osu::onNodePair(m);
+    } else if (opt.pair.size() == 1 && opt.pair[0] >= 'A' &&
+               opt.pair[0] <= 'D') {
+      ranks = osu::devicePair(
+          m, static_cast<topo::LinkClass>(opt.pair[0] - 'A'));
+      kind = mpisim::BufferSpace::Kind::Device;
+    } else {
+      throw Error("unknown --pair value " + opt.pair);
+    }
+
+    std::printf("# OSU MPI%s Latency Test v7.1.1 (nodebench reproduction)\n",
+                kind == mpisim::BufferSpace::Kind::Device ? "-GPU" : "");
+    std::printf("# Machine: %s (%s pair), %d binary runs\n",
+                m.info.name.c_str(), opt.pair.c_str(), opt.runs);
+    std::printf("# Size          Latency (us)\n");
+
+    const osu::LatencyBenchmark bench(m, ranks.first, ranks.second, kind);
+    osu::LatencyConfig cfg;
+    cfg.binaryRuns = opt.runs;
+    for (const auto& point :
+         bench.sweep(ByteCount::bytes(opt.maxBytes), cfg)) {
+      std::printf("%-15llu %14.2f\n",
+                  static_cast<unsigned long long>(point.messageSize.count()),
+                  point.latencyUs.mean);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "osu_latency_sim: %s\n", e.what());
+    return 1;
+  }
+}
