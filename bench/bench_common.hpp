@@ -1,16 +1,20 @@
 #pragma once
 /// \file bench_common.hpp
 /// \brief Shared helpers for the table/figure bench harnesses: a
-/// paper-vs-measured comparison table builder and a --runs argument.
+/// paper-vs-measured comparison table builder and the --runs/--jobs
+/// argument parser.
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "commscope/commscope.hpp"
+#include "core/parallel.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "machines/registry.hpp"
@@ -23,13 +27,51 @@
 
 namespace nodebench::benchtool {
 
-/// Parses an optional "--runs N" argument (default: the paper's 100).
+/// Strict positive-integer parse; nullopt on garbage, trailing characters
+/// or out-of-range values (std::atoi would silently yield 0 and the
+/// harness would then run zero binaries per cell).
+inline std::optional<int> parsePositiveInt(const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || value < 1 ||
+      value > 1'000'000'000L) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+/// Parses the shared harness arguments: "--runs N" (default: the paper's
+/// 100) and "--jobs N" (default: hardware concurrency; 1 = sequential).
+/// Invalid or missing values fail fast with a usage message instead of
+/// silently running a nonsense configuration.
 inline report::TableOptions optionsFromArgs(int argc, char** argv) {
   report::TableOptions opt;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--runs") {
-      opt.binaryRuns = std::atoi(argv[i + 1]);
+  const auto usage = [&](const std::string& detail) {
+    std::fprintf(stderr, "%s: %s\nusage: %s [--runs N] [--jobs N]\n",
+                 argv[0], detail.c_str(), argv[0]);
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--runs" || arg == "--jobs") {
+      if (i + 1 >= argc) {
+        usage(arg + " requires a value");
+      }
+      const auto value = parsePositiveInt(argv[++i]);
+      if (!value) {
+        usage(arg + " expects a positive integer, got '" +
+              std::string(argv[i]) + "'");
+      }
+      (arg == "--runs" ? opt.binaryRuns : opt.jobs) = *value;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage("unknown argument '" + arg + "'");
     }
+    // Positional arguments (e.g. the figure benches' machine name) are
+    // the binary's own business.
   }
   return opt;
 }
@@ -79,7 +121,6 @@ inline void printFigure(const std::string& machineName,
   std::printf("\n");
   std::fputs(report::linkClassLegend(m).c_str(), stdout);
 
-  commscope::CommScope scope(m);
   commscope::Config ccfg;
   ccfg.binaryRuns = opt.binaryRuns;
   osu::LatencyConfig lcfg;
@@ -88,15 +129,29 @@ inline void printFigure(const std::string& machineName,
   Table t({"Link class", "OSU D2D MPI latency (us)",
            "Comm|Scope D2D memcpy latency (us)"});
   t.setTitle("Measured per-class latencies (arrows of the paper's figure)");
-  for (const topo::LinkClass c : m.topology.presentGpuLinkClasses()) {
-    const auto [a, b] = osu::devicePair(m, c);
-    const auto mpi =
-        osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Device)
-            .measure(lcfg)
-            .latencyUs;
-    const auto copy = scope.d2dLatencyUs(c, ccfg);
-    t.addRow({std::string(topo::linkClassName(c)), mpi.toString(),
-              copy.toString()});
+  // Measure the link classes in parallel (one OSU + one Comm|Scope cell
+  // each), then emit rows in class order.
+  struct ClassRow {
+    Summary mpi;
+    Summary copy;
+  };
+  const auto classes = m.topology.presentGpuLinkClasses();
+  const auto measured = par::parallelMap(
+      classes,
+      [&](const topo::LinkClass c) {
+        const auto [a, b] = osu::devicePair(m, c);
+        ClassRow row;
+        row.mpi =
+            osu::LatencyBenchmark(m, a, b, mpisim::BufferSpace::Kind::Device)
+                .measure(lcfg)
+                .latencyUs;
+        row.copy = commscope::CommScope(m).d2dLatencyUs(c, ccfg);
+        return row;
+      },
+      opt.jobs);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    t.addRow({std::string(topo::linkClassName(classes[i])),
+              measured[i].mpi.toString(), measured[i].copy.toString()});
   }
   std::printf("\n");
   std::fputs(t.renderAscii().c_str(), stdout);

@@ -24,24 +24,33 @@ int main(int argc, char** argv) {
              "32 ranks, 8 B (us)"});
     t.setTitle(std::string(name) + ": per-operation collective latency");
     t.setAlign(0, Align::Left);
-    for (const osu::Collective coll : collectives) {
-      osu::CollectiveConfig cfg;
-      cfg.collective = coll;
-      cfg.binaryRuns = opt.binaryRuns;
-      cfg.iterations = 20;
+    // One task per collective (its three configurations run inline);
+    // rows print in operation order.
+    const auto rows = par::parallelMap(
+        collectives,
+        [&](const osu::Collective& coll) {
+          osu::CollectiveConfig cfg;
+          cfg.collective = coll;
+          cfg.binaryRuns = opt.binaryRuns;
+          cfg.iterations = 20;
 
-      cfg.ranks = 8;
-      cfg.messageSize = ByteCount::bytes(8);
-      const auto small8 = osu::measureCollective(m, cfg);
-      cfg.messageSize = ByteCount::kib(64);
-      const auto big8 = osu::measureCollective(m, cfg);
-      cfg.ranks = 32;
-      cfg.messageSize = ByteCount::bytes(8);
-      const auto small32 = osu::measureCollective(m, cfg);
+          cfg.ranks = 8;
+          cfg.messageSize = ByteCount::bytes(8);
+          const auto small8 = osu::measureCollective(m, cfg);
+          cfg.messageSize = ByteCount::kib(64);
+          const auto big8 = osu::measureCollective(m, cfg);
+          cfg.ranks = 32;
+          cfg.messageSize = ByteCount::bytes(8);
+          const auto small32 = osu::measureCollective(m, cfg);
 
-      t.addRow({std::string(osu::collectiveName(coll)),
-                small8.latencyUs.toString(), big8.latencyUs.toString(),
-                small32.latencyUs.toString()});
+          return std::vector<std::string>{
+              std::string(osu::collectiveName(coll)),
+              small8.latencyUs.toString(), big8.latencyUs.toString(),
+              small32.latencyUs.toString()};
+        },
+        opt.jobs);
+    for (const auto& row : rows) {
+      t.addRow(row);
     }
     std::fputs(t.renderAscii().c_str(), stdout);
     std::printf("\n");

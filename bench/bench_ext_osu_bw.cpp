@@ -23,14 +23,17 @@ int main(int argc, char** argv) {
     Table t({"Size (B)", "Eagle", "Sawtooth", "Frontier", "Summit"});
     t.setTitle(std::string(bidirectional ? "osu_bibw" : "osu_bw") +
                ": on-socket host window bandwidth (GB/s)");
-    std::vector<std::vector<osu::BandwidthResult>> sweeps;
-    for (const char* name : systems) {
-      const auto& m = machines::byName(name);
-      const auto [a, b] = osu::onSocketPair(m);
-      const osu::BandwidthBenchmark bench(
-          m, a, b, mpisim::BufferSpace::Kind::Host, bidirectional);
-      sweeps.push_back(bench.sweep(ByteCount::mib(4), cfg));
-    }
+    // One sweep task per machine; rows assemble in fixed column order.
+    const auto sweeps = par::parallelMap(
+        systems,
+        [&](const char* const& name) {
+          const auto& m = machines::byName(name);
+          const auto [a, b] = osu::onSocketPair(m);
+          const osu::BandwidthBenchmark bench(
+              m, a, b, mpisim::BufferSpace::Kind::Host, bidirectional);
+          return bench.sweep(ByteCount::mib(4), cfg);
+        },
+        opt.jobs);
     for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
       std::vector<std::string> row{
           std::to_string(sweeps[0][i].messageSize.count())};

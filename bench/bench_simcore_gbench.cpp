@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "gpusim/gpu_runtime.hpp"
 #include "machines/registry.hpp"
 #include "mpisim/world.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/vt_scheduler.hpp"
 
@@ -126,5 +129,105 @@ void BM_MachineRegistryLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MachineRegistryLookup);
+
+// --- hot-path caching: route resolution ------------------------------------
+
+void BM_RouteGpuToGpuUncached(benchmark::State& state) {
+  // The per-message cost the transports paid before memoization: a full
+  // link-list walk plus a fresh hop vector.
+  const auto& topo = machines::byName("Summit").topology;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topo.routeGpuToGpuUncached(topo::GpuId{0}, topo::GpuId{1}));
+  }
+}
+BENCHMARK(BM_RouteGpuToGpuUncached);
+
+void BM_RouteGpuToGpuCached(benchmark::State& state) {
+  const auto& topo = machines::byName("Summit").topology;
+  (void)topo.routeGpuToGpu(topo::GpuId{0}, topo::GpuId{1});  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&topo.routeGpuToGpu(topo::GpuId{0},
+                                                 topo::GpuId{1}));
+  }
+}
+BENCHMARK(BM_RouteGpuToGpuCached);
+
+// --- hot-path caching: OSU truth reuse --------------------------------------
+
+void BM_OsuMeasureTruthPerCall(benchmark::State& state) {
+  // A fresh benchmark instance per measure: every call pays the
+  // thread-spawning virtual-time ping-pong.
+  const auto& m = machines::byName("Eagle");
+  const auto [a, b] = osu::onSocketPair(m);
+  osu::LatencyConfig cfg;
+  cfg.binaryRuns = 100;
+  for (auto _ : state) {
+    const osu::LatencyBenchmark bench(m, a, b,
+                                      mpisim::BufferSpace::Kind::Host);
+    benchmark::DoNotOptimize(bench.measure(cfg).latencyUs.mean);
+  }
+}
+BENCHMARK(BM_OsuMeasureTruthPerCall);
+
+void BM_OsuMeasureTruthReused(benchmark::State& state) {
+  // A shared instance: after the first call the memoized truth turns
+  // measure() into 100 noise draws.
+  const auto& m = machines::byName("Eagle");
+  const auto [a, b] = osu::onSocketPair(m);
+  const osu::LatencyBenchmark bench(m, a, b,
+                                    mpisim::BufferSpace::Kind::Host);
+  osu::LatencyConfig cfg;
+  cfg.binaryRuns = 100;
+  benchmark::DoNotOptimize(bench.measure(cfg).latencyUs.mean);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.measure(cfg).latencyUs.mean);
+  }
+}
+BENCHMARK(BM_OsuMeasureTruthReused);
+
+// --- parallel harness scaling ----------------------------------------------
+
+void BM_ParallelMapPingPong(benchmark::State& state) {
+  // 16 simulated ping-pong cells fanned out over N workers — the shape of
+  // the table harness fan-out. On a 1-core host all worker counts should
+  // be within noise of each other; on multi-core hosts this shows the
+  // scaling the --jobs flag buys.
+  const int jobs = static_cast<int>(state.range(0));
+  const auto& m = machines::byName("Eagle");
+  std::vector<int> cells(16);
+  for (auto _ : state) {
+    const auto out = par::parallelMap(
+        cells,
+        [&](const int&) {
+          mpisim::MpiWorld world(
+              m, {mpisim::RankPlacement{topo::CoreId{0}, std::nullopt},
+                  mpisim::RankPlacement{topo::CoreId{1}, std::nullopt}});
+          double sink = 0.0;
+          world.runEach({
+              [&](mpisim::Communicator& c) {
+                for (int i = 0; i < 100; ++i) {
+                  c.send(1, 0, ByteCount::bytes(8));
+                  c.recv(1, 0, ByteCount::bytes(8));
+                }
+                sink = c.now().us();
+              },
+              [&](mpisim::Communicator& c) {
+                for (int i = 0; i < 100; ++i) {
+                  c.recv(0, 0, ByteCount::bytes(8));
+                  c.send(0, 0, ByteCount::bytes(8));
+                }
+              },
+          });
+          return sink;
+        },
+        jobs);
+    benchmark::DoNotOptimize(out.front());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_ParallelMapPingPong)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -17,10 +17,17 @@ int main(int argc, char** argv) {
   std::fputs(report::buildTable1().renderAscii().c_str(), stdout);
   std::printf("\n");
 
-  for (const machines::Machine* m : machines::cpuMachines()) {
-    const auto sweep = report::ompSweep(*m, opt);
+  // Sweep the machines in parallel (each sweep's configs then run inline
+  // on their worker), print in registry order.
+  const auto ms = machines::cpuMachines();
+  const auto sweeps = par::parallelMap(
+      ms,
+      [&](const machines::Machine* m) { return report::ompSweep(*m, opt); },
+      opt.jobs);
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const auto& sweep = sweeps[i];
     Table t({"Configuration", "Best op", "Bandwidth (GB/s)"});
-    t.setTitle(m->info.name + ": BabelStream across Table 1 combinations");
+    t.setTitle(ms[i]->info.name + ": BabelStream across Table 1 combinations");
     t.setAlign(1, Align::Left);
     for (const auto& entry : sweep.entries) {
       t.addRow({entry.config, entry.bestOpName,

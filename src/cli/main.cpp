@@ -11,6 +11,7 @@
 ///   commscope <machine>           Comm|Scope suite on one machine
 ///   native [--threads N]          real BabelStream + ping-pong on this host
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -45,14 +46,14 @@ int usage() {
       "usage: nodebench <command> [args]\n"
       "  list                      system inventory (Tables 2+3)\n"
       "  topo <machine> [--dot]    node diagram (Figures 1-3) / DOT export\n"
-      "  table <1..9|all> [--runs N]  regenerate a paper table\n"
+      "  table <1..9|all> [--runs N] [--jobs N]  regenerate a paper table\n"
       "  stream <machine> [--device N]  BabelStream (simulated)\n"
       "  latency <machine> [--pair on-socket|on-node|A|B|C|D] [--size B]\n"
       "  commscope <machine>       Comm|Scope suite (simulated)\n"
       "  card <machine> [--json]   calibrated parameter card\n"
       "  diff <machine> <machine>  side-by-side comparison\n"
       "  balance                   machine-balance (flops/byte) table\n"
-      "  export --dir D [--runs N] write all tables as CSV + Markdown\n"
+      "  export --dir D [--runs N] [--jobs N]  write tables as CSV + Markdown\n"
       "  native [--threads N]      real measurements on this host\n";
   return 2;
 }
@@ -68,6 +69,34 @@ std::optional<std::string> flagValue(std::vector<std::string>& args,
     }
   }
   return std::nullopt;
+}
+
+/// Validated "--flag N" with N a positive integer; throws Error (caught
+/// by main's top-level handler, exit code 1) on anything else, rather
+/// than letting stoi's silent acceptance of "0" or "8x" configure a
+/// nonsense harness.
+std::optional<int> positiveFlagValue(std::vector<std::string>& args,
+                                     const std::string& flag) {
+  const auto raw = flagValue(args, flag);
+  if (!raw) {
+    // flagValue never matches a trailing flag (it needs a value after
+    // it); don't let a dangling "--runs" be silently ignored.
+    if (std::find(args.begin(), args.end(), flag) != args.end()) {
+      throw Error(flag + " expects a value");
+    }
+    return std::nullopt;
+  }
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(*raw, &used);
+  } catch (const std::exception&) {
+    throw Error(flag + " expects a positive integer, got '" + *raw + "'");
+  }
+  if (used != raw->size() || value < 1) {
+    throw Error(flag + " expects a positive integer, got '" + *raw + "'");
+  }
+  return value;
 }
 
 bool flagPresent(std::vector<std::string>& args, const std::string& flag) {
@@ -106,8 +135,11 @@ int cmdTable(std::vector<std::string> args) {
     return usage();
   }
   report::TableOptions opt;
-  if (const auto runs = flagValue(args, "--runs")) {
-    opt.binaryRuns = std::stoi(*runs);
+  if (const auto runs = positiveFlagValue(args, "--runs")) {
+    opt.binaryRuns = *runs;
+  }
+  if (const auto jobs = positiveFlagValue(args, "--jobs")) {
+    opt.jobs = *jobs;
   }
   const std::string which = args[0];
   const auto emit = [&](int n) {
@@ -329,8 +361,11 @@ int cmdBalance() {
 
 int cmdExport(std::vector<std::string> args) {
   report::TableOptions opt;
-  if (const auto runs = flagValue(args, "--runs")) {
-    opt.binaryRuns = std::stoi(*runs);
+  if (const auto runs = positiveFlagValue(args, "--runs")) {
+    opt.binaryRuns = *runs;
+  }
+  if (const auto jobs = positiveFlagValue(args, "--jobs")) {
+    opt.jobs = *jobs;
   }
   std::string dir = "nodebench-export";
   if (const auto d = flagValue(args, "--dir")) {

@@ -1,0 +1,119 @@
+#pragma once
+/// \file parallel.hpp
+/// \brief Deterministic parallel execution layer for the measurement
+/// harnesses: a fixed-size thread pool plus order-preserving
+/// `parallelMap` / `parallelForEach` primitives.
+///
+/// Determinism contract (see DESIGN.md "Parallel harness & determinism"):
+/// the *results* of a parallel run are a pure function of the task list,
+/// never of the worker count or the scheduling order. Three rules enforce
+/// this:
+///  1. every task writes only its own, pre-allocated result slot; results
+///     are consumed in task-index order;
+///  2. random streams are derived from the task's identity (`taskSeed`),
+///     never from a worker id, a thread id, or shared-counter draw order;
+///  3. nested parallel sections execute inline (sequentially, in index
+///     order) on the worker that reached them, so a task's internal
+///     behaviour cannot depend on pool occupancy.
+/// Under these rules `--jobs 1` and `--jobs N` are byte-identical, which
+/// the golden-value and determinism suites rely on.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/error.hpp"
+
+namespace nodebench::par {
+
+/// Number of hardware threads of the build host (always >= 1).
+[[nodiscard]] int hardwareJobs();
+
+/// Resolves a user-supplied `--jobs` value: values >= 1 are taken as-is,
+/// anything <= 0 selects the hardware concurrency.
+[[nodiscard]] int resolveJobs(int requested);
+
+/// True while running inside a ThreadPool worker (used to run nested
+/// parallel sections inline; exposed for tests).
+[[nodiscard]] bool insideWorker();
+
+/// Deterministic per-task seed derivation: a pure function of the harness
+/// base seed and the task index, independent of worker count and
+/// scheduling order. Tasks that need randomness must seed from this (or,
+/// like the benchmark cells, from their own cell identity) — never from a
+/// worker id or a shared RNG.
+[[nodiscard]] std::uint64_t taskSeed(std::uint64_t base, std::uint64_t task);
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Submission order is preserved by the queue, but tasks run concurrently,
+/// so tasks must be independent (the parallelMap primitives built on top
+/// guarantee result determinism by slot-isolation, not by ordering).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. Precondition: workers >= 1.
+  explicit ThreadPool(int workers);
+
+  /// Blocks until the queue drains, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workerCount() const {
+    return static_cast<int>(threads_.size());
+  }
+
+  /// Enqueues one task. Tasks must not throw out of `submit`'s wrapper —
+  /// wrap work that can throw (parallelForEach captures exceptions
+  /// per-task and rethrows deterministically).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void waitIdle();
+
+ private:
+  void workerBody();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable workCv_;   ///< Signals workers: work or stop.
+  std::condition_variable idleCv_;   ///< Signals waiters: pool drained.
+  std::size_t active_ = 0;           ///< Tasks currently executing.
+  bool stop_ = false;
+};
+
+/// Runs `fn(0) .. fn(count - 1)` on up to `jobs` workers (0 = hardware
+/// concurrency). Each index is claimed by exactly one worker; exceptions
+/// are captured per index and the lowest-index one is rethrown after all
+/// tasks finish, so error reporting is deterministic too.
+///
+/// With jobs == 1, count <= 1, or when called from inside a pool worker
+/// (nested parallelism), the loop runs inline in index order — exactly
+/// the pre-parallel sequential behaviour.
+void parallelForEach(std::size_t count,
+                     const std::function<void(std::size_t)>& fn,
+                     int jobs = 0);
+
+/// Order-preserving map: `out[i] = fn(items[i])` computed on up to `jobs`
+/// workers. The result type must be default-constructible (each slot is
+/// pre-allocated and written by exactly one task).
+template <typename Item, typename Fn>
+[[nodiscard]] auto parallelMap(const std::vector<Item>& items, Fn&& fn,
+                               int jobs = 0) {
+  using Result = std::decay_t<std::invoke_result_t<Fn&, const Item&>>;
+  std::vector<Result> out(items.size());
+  parallelForEach(
+      items.size(), [&](std::size_t i) { out[i] = fn(items[i]); }, jobs);
+  return out;
+}
+
+}  // namespace nodebench::par

@@ -100,7 +100,7 @@ Duration GpuRuntime::transferDuration(const Buffer& dst, const Buffer& src,
     }
     const GpuId a{src.device};
     const GpuId b{dst.device};
-    const auto route = topo.routeGpuToGpu(a, b);
+    const auto& route = topo.routeGpuToGpu(a, b);
     const auto linkClass = topo.gpuPairClass(a, b);
     return d.d2dDmaSetup + route.latency +
            route.bottleneck.transferTime(bytes) +

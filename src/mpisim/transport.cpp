@@ -54,7 +54,9 @@ PathTiming devicePath(const machines::Machine& machine,
                  "device buffers on a machine without device MPI support");
   const machines::DeviceMpiParams& dp = *machine.deviceMpi;
 
-  topo::Route route;
+  // The memoized routes live as long as the topology, so a pointer avoids
+  // copying the hop vector on every message.
+  const topo::Route* route = nullptr;
   const topo::NodeTopology& topo = machine.topology;
   if (srcSpace.kind == BufferSpace::Kind::Device &&
       dstSpace.kind == BufferSpace::Kind::Device) {
@@ -62,23 +64,24 @@ PathTiming devicePath(const machines::Machine& machine,
     NB_EXPECTS(srcSpace.device == *src.gpu && dstSpace.device == *dst.gpu);
     NB_EXPECTS_MSG(srcSpace.device != dstSpace.device,
                    "device-to-device MPI requires two distinct GPUs");
-    route = topo.routeGpuToGpu(GpuId{srcSpace.device}, GpuId{dstSpace.device});
+    route = &topo.routeGpuToGpu(GpuId{srcSpace.device},
+                                GpuId{dstSpace.device});
   } else if (srcSpace.kind == BufferSpace::Kind::Device) {
     const GpuId g{srcSpace.device};
-    route = topo.routeHostToGpu(topo.core(dst.core).socket, g);
+    route = &topo.routeHostToGpu(topo.core(dst.core).socket, g);
   } else {
     const GpuId g{dstSpace.device};
-    route = topo.routeHostToGpu(topo.core(src.core).socket, g);
+    route = &topo.routeHostToGpu(topo.core(src.core).socket, g);
   }
 
   PathTiming t;
   t.sendOverhead = dp.baseOneWay * 0.5;
   t.recvOverhead = dp.baseOneWay * 0.5;
-  t.latency = route.latency;
+  t.latency = route->latency;
   // Large-message device transfers stream over the physical route; the
   // eager regime shares the same fabric (the paper's sizes are tiny).
-  t.eagerBandwidth = route.bottleneck;
-  t.rendezvousBandwidth = route.bottleneck;
+  t.eagerBandwidth = route->bottleneck;
+  t.rendezvousBandwidth = route->bottleneck;
   t.eagerThreshold = machine.hostMpi.eagerThreshold;
   return t;
 }

@@ -49,6 +49,25 @@ Duration LatencyBenchmark::truthOneWay(ByteCount messageSize,
   return elapsed / (2.0 * static_cast<double>(iterations));
 }
 
+Duration LatencyBenchmark::truthCached(ByteCount messageSize,
+                                       int iterations) const {
+  const std::pair<std::uint64_t, int> key{messageSize.count(), iterations};
+  {
+    std::unique_lock lock(truthMu_);
+    const auto it = truthMemo_.find(key);
+    if (it != truthMemo_.end()) {
+      return it->second;
+    }
+  }
+  // Simulate outside the lock: the run spawns rank threads and dominates
+  // the cost. Concurrent first queries may both compute; the result is
+  // deterministic, so whichever insert lands is the same value.
+  const Duration truth = truthOneWay(messageSize, iterations);
+  std::unique_lock lock(truthMu_);
+  truthMemo_.emplace(key, truth);
+  return truth;
+}
+
 LatencyResult LatencyBenchmark::measure(const LatencyConfig& config) const {
   NB_EXPECTS(config.binaryRuns > 0);
   int iterations = config.iterations;
@@ -57,8 +76,8 @@ LatencyResult LatencyBenchmark::measure(const LatencyConfig& config) const {
                                                                     : 100;
   }
   // Warmup affects wall time, not the deterministic average; the truth is
-  // a single full in-binary run.
-  const Duration truth = truthOneWay(config.messageSize, iterations);
+  // a single full in-binary run, computed once per (size, iterations).
+  const Duration truth = truthCached(config.messageSize, iterations);
 
   const bool deviceMode = spaceA_.kind == BufferSpace::Kind::Device;
   const double cv = deviceMode && machine_->deviceMpi

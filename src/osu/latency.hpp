@@ -17,6 +17,9 @@
 /// calibrated cv — which is precisely the quantity the paper's sigma
 /// column estimates.
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -54,6 +57,12 @@ class LatencyBenchmark {
                    mpisim::BufferSpace::Kind bufferKind);
 
   /// One table cell: mean ± sigma one-way latency at `config.messageSize`.
+  ///
+  /// Split into a deterministic *truth* run (the thread-spawning simulated
+  /// ping-pong, memoized per (size, iterations)) and `binaryRuns` cheap
+  /// noise draws seeded from the cell identity alone. Repeated measures of
+  /// the same cell — e.g. the sweep's shared sizes, or a table rendered
+  /// twice — reuse the truth instead of re-simulating it.
   [[nodiscard]] LatencyResult measure(const LatencyConfig& config) const;
 
   /// OSU-style sweep: powers of two from 1 B (plus 0 B) to `maxSize`.
@@ -66,11 +75,20 @@ class LatencyBenchmark {
                                      int iterations) const;
 
  private:
+  /// truthOneWay with memoization; thread-safe (the parallel table
+  /// harness measures disjoint cells, but a benchmark instance may be
+  /// shared).
+  [[nodiscard]] Duration truthCached(ByteCount messageSize,
+                                     int iterations) const;
+
   const machines::Machine* machine_;
   mpisim::RankPlacement rankA_;
   mpisim::RankPlacement rankB_;
   mpisim::BufferSpace spaceA_;
   mpisim::BufferSpace spaceB_;
+
+  mutable std::map<std::pair<std::uint64_t, int>, Duration> truthMemo_;
+  mutable std::mutex truthMu_;
 };
 
 }  // namespace nodebench::osu

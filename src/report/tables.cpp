@@ -6,6 +6,7 @@
 #include "babelstream/sim_device_backend.hpp"
 #include "babelstream/sim_omp_backend.hpp"
 #include "commscope/commscope.hpp"
+#include "core/parallel.hpp"
 #include "machines/registry.hpp"
 #include "ompenv/omp_config.hpp"
 #include "osu/latency.hpp"
@@ -66,28 +67,36 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt) {
   OmpSweepResult out;
   const auto configs =
       ompenv::table1Combinations(m.coreCount(), m.hardwareThreadCount());
+  // Fan the independent environment combinations out over the harness
+  // workers, then reduce sequentially in Table 1 order so the
+  // strictly-greater / first-wins tie-break matches the sequential sweep.
+  out.entries = par::parallelMap(
+      configs,
+      [&](const ompenv::OmpConfig& cfg) {
+        babelstream::SimOmpBackend backend(m, cfg);
+        babelstream::DriverConfig dcfg;
+        dcfg.arrayBytes = opt.cpuArrayBytes;
+        dcfg.binaryRuns = opt.binaryRuns;
+        dcfg.seed ^= m.seed;
+        const auto result = babelstream::run(backend, dcfg);
+        const auto& best = result.best();
+        return OmpSweepEntry{cfg.toString(), best.bandwidthGBps,
+                             std::string(babelstream::streamOpName(best.op))};
+      },
+      opt.jobs);
   bool haveSingle = false;
   bool haveAll = false;
-  for (const ompenv::OmpConfig& cfg : configs) {
-    babelstream::SimOmpBackend backend(m, cfg);
-    babelstream::DriverConfig dcfg;
-    dcfg.arrayBytes = opt.cpuArrayBytes;
-    dcfg.binaryRuns = opt.binaryRuns;
-    dcfg.seed ^= m.seed;
-    const auto result = babelstream::run(backend, dcfg);
-    const auto& best = result.best();
-    out.entries.push_back(OmpSweepEntry{
-        cfg.toString(), best.bandwidthGBps,
-        std::string(babelstream::streamOpName(best.op))});
-    const bool single = cfg.numThreads.value_or(2) == 1;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Summary& gbps = out.entries[i].bestOpGBps;
+    const bool single = configs[i].numThreads.value_or(2) == 1;
     if (single) {
-      if (!haveSingle || best.bandwidthGBps.mean > out.bestSingle.mean) {
-        out.bestSingle = best.bandwidthGBps;
+      if (!haveSingle || gbps.mean > out.bestSingle.mean) {
+        out.bestSingle = gbps;
         haveSingle = true;
       }
     } else {
-      if (!haveAll || best.bandwidthGBps.mean > out.bestAll.mean) {
-        out.bestAll = best.bandwidthGBps;
+      if (!haveAll || gbps.mean > out.bestAll.mean) {
+        out.bestAll = gbps;
         haveAll = true;
       }
     }
@@ -97,29 +106,53 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt) {
 }
 
 std::vector<Cpu4Row> computeTable4(const TableOptions& opt) {
-  std::vector<Cpu4Row> rows;
-  for (const Machine* m : machines::cpuMachines()) {
-    Cpu4Row row;
-    row.machine = m;
-    const OmpSweepResult sweep = ompSweep(*m, opt);
-    row.singleGBps = sweep.bestSingle;
-    row.allGBps = sweep.bestAll;
-
-    osu::LatencyConfig lcfg;
-    lcfg.messageSize = opt.mpiMessageSize;
-    lcfg.binaryRuns = opt.binaryRuns;
-    const auto [sockA, sockB] = osu::onSocketPair(*m);
-    const auto [nodeA, nodeB] = osu::onNodePair(*m);
-    row.onSocketUs = osu::LatencyBenchmark(*m, sockA, sockB,
-                                           mpisim::BufferSpace::Kind::Host)
-                         .measure(lcfg)
-                         .latencyUs;
-    row.onNodeUs = osu::LatencyBenchmark(*m, nodeA, nodeB,
-                                         mpisim::BufferSpace::Kind::Host)
-                       .measure(lcfg)
-                       .latencyUs;
-    rows.push_back(row);
+  const auto ms = machines::cpuMachines();
+  std::vector<Cpu4Row> rows(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    rows[i].machine = ms[i];
   }
+  // Three independent cells per machine; each task writes distinct fields
+  // of its pre-allocated row. The sweep runs its configs inline here
+  // (nested sections stay sequential) — the machine fan-out already feeds
+  // every worker.
+  par::parallelForEach(
+      ms.size() * 3,
+      [&](std::size_t task) {
+        const Machine& m = *ms[task / 3];
+        Cpu4Row& row = rows[task / 3];
+        osu::LatencyConfig lcfg;
+        lcfg.messageSize = opt.mpiMessageSize;
+        lcfg.binaryRuns = opt.binaryRuns;
+        switch (task % 3) {
+          case 0: {
+            const OmpSweepResult sweep = ompSweep(m, opt);
+            row.singleGBps = sweep.bestSingle;
+            row.allGBps = sweep.bestAll;
+            break;
+          }
+          case 1: {
+            const auto [sockA, sockB] = osu::onSocketPair(m);
+            row.onSocketUs =
+                osu::LatencyBenchmark(m, sockA, sockB,
+                                      mpisim::BufferSpace::Kind::Host)
+                    .measure(lcfg)
+                    .latencyUs;
+            break;
+          }
+          case 2: {
+            const auto [nodeA, nodeB] = osu::onNodePair(m);
+            row.onNodeUs =
+                osu::LatencyBenchmark(m, nodeA, nodeB,
+                                      mpisim::BufferSpace::Kind::Host)
+                    .measure(lcfg)
+                    .latencyUs;
+            break;
+          }
+          default:
+            break;
+        }
+      },
+      opt.jobs);
   return rows;
 }
 
@@ -147,38 +180,79 @@ Table renderTable4(const std::vector<Cpu4Row>& rows) {
   return t;
 }
 
+namespace {
+
+/// One (machine, cell) work item of the GPU-table fan-outs. `linkClass`
+/// is meaningful only for the per-class D2D cells.
+struct GpuCellTask {
+  std::size_t machineIdx = 0;
+  int kind = 0;
+  LinkClass linkClass = LinkClass::None;
+};
+
+}  // namespace
+
 std::vector<Gpu5Row> computeTable5(const TableOptions& opt) {
-  std::vector<Gpu5Row> rows;
-  for (const Machine* m : machines::gpuMachines()) {
-    Gpu5Row row;
-    row.machine = m;
+  const auto ms = machines::gpuMachines();
+  std::vector<Gpu5Row> rows(ms.size());
 
-    babelstream::SimDeviceBackend backend(*m, /*device=*/0);
-    babelstream::DriverConfig dcfg;
-    dcfg.arrayBytes = opt.gpuArrayBytes;
-    dcfg.binaryRuns = opt.binaryRuns;
-    dcfg.seed ^= m->seed;
-    row.deviceGBps = babelstream::run(backend, dcfg).best().bandwidthGBps;
-
-    osu::LatencyConfig lcfg;
-    lcfg.messageSize = opt.mpiMessageSize;
-    lcfg.binaryRuns = opt.binaryRuns;
-    const auto [hostA, hostB] = osu::onSocketPair(*m);
-    row.hostToHostUs = osu::LatencyBenchmark(*m, hostA, hostB,
-                                             mpisim::BufferSpace::Kind::Host)
-                           .measure(lcfg)
-                           .latencyUs;
-
-    for (const LinkClass c : m->topology.presentGpuLinkClasses()) {
-      const auto [devA, devB] = osu::devicePair(*m, c);
-      row.deviceToDeviceUs[static_cast<int>(c)] =
-          osu::LatencyBenchmark(*m, devA, devB,
-                                mpisim::BufferSpace::Kind::Device)
-              .measure(lcfg)
-              .latencyUs;
+  // Enumerate the (machine x cell) grid up front; the present link
+  // classes differ per machine, so the task list is ragged. Enumeration
+  // also primes each topology's route cache before the fan-out.
+  enum { kBabelstream = 0, kHostLatency = 1, kDeviceLatency = 2 };
+  std::vector<GpuCellTask> tasks;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    rows[i].machine = ms[i];
+    tasks.push_back({i, kBabelstream, LinkClass::None});
+    tasks.push_back({i, kHostLatency, LinkClass::None});
+    for (const LinkClass c : ms[i]->topology.presentGpuLinkClasses()) {
+      tasks.push_back({i, kDeviceLatency, c});
     }
-    rows.push_back(row);
   }
+
+  par::parallelForEach(
+      tasks.size(),
+      [&](std::size_t t) {
+        const GpuCellTask& task = tasks[t];
+        const Machine& m = *ms[task.machineIdx];
+        Gpu5Row& row = rows[task.machineIdx];
+        osu::LatencyConfig lcfg;
+        lcfg.messageSize = opt.mpiMessageSize;
+        lcfg.binaryRuns = opt.binaryRuns;
+        switch (task.kind) {
+          case kBabelstream: {
+            babelstream::SimDeviceBackend backend(m, /*device=*/0);
+            babelstream::DriverConfig dcfg;
+            dcfg.arrayBytes = opt.gpuArrayBytes;
+            dcfg.binaryRuns = opt.binaryRuns;
+            dcfg.seed ^= m.seed;
+            row.deviceGBps =
+                babelstream::run(backend, dcfg).best().bandwidthGBps;
+            break;
+          }
+          case kHostLatency: {
+            const auto [hostA, hostB] = osu::onSocketPair(m);
+            row.hostToHostUs =
+                osu::LatencyBenchmark(m, hostA, hostB,
+                                      mpisim::BufferSpace::Kind::Host)
+                    .measure(lcfg)
+                    .latencyUs;
+            break;
+          }
+          case kDeviceLatency: {
+            const auto [devA, devB] = osu::devicePair(m, task.linkClass);
+            row.deviceToDeviceUs[static_cast<int>(task.linkClass)] =
+                osu::LatencyBenchmark(m, devA, devB,
+                                      mpisim::BufferSpace::Kind::Device)
+                    .measure(lcfg)
+                    .latencyUs;
+            break;
+          }
+          default:
+            break;
+        }
+      },
+      opt.jobs);
   return rows;
 }
 
@@ -199,21 +273,63 @@ Table renderTable5(const std::vector<Gpu5Row>& rows) {
 }
 
 std::vector<Gpu6Row> computeTable6(const TableOptions& opt) {
-  std::vector<Gpu6Row> rows;
-  for (const Machine* m : machines::gpuMachines()) {
-    commscope::CommScope scope(*m);
-    commscope::Config cfg;
-    cfg.binaryRuns = opt.binaryRuns;
-    const auto all = scope.measureAll(cfg);
-    Gpu6Row row;
-    row.machine = m;
-    row.launchUs = all.launchUs;
-    row.waitUs = all.waitUs;
-    row.hostDeviceLatencyUs = all.hostDeviceLatencyUs;
-    row.hostDeviceBandwidthGBps = all.hostDeviceBandwidthGBps;
-    row.d2dLatencyUs = all.d2dLatencyUs;
-    rows.push_back(row);
+  const auto ms = machines::gpuMachines();
+  std::vector<Gpu6Row> rows(ms.size());
+
+  // Each Comm|Scope quantity is measured by its own scope instance: the
+  // truth methods reset the simulated runtime before measuring and the
+  // aggregate noise streams are seeded from the cell identity alone, so a
+  // per-cell instance reports exactly what the shared-instance
+  // measureAll() sequence reported.
+  enum {
+    kLaunch = 0,
+    kWait = 1,
+    kHostDeviceLatency = 2,
+    kHostDeviceBandwidth = 3,
+    kD2dLatency = 4
+  };
+  std::vector<GpuCellTask> tasks;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    rows[i].machine = ms[i];
+    tasks.push_back({i, kLaunch, LinkClass::None});
+    tasks.push_back({i, kWait, LinkClass::None});
+    tasks.push_back({i, kHostDeviceLatency, LinkClass::None});
+    tasks.push_back({i, kHostDeviceBandwidth, LinkClass::None});
+    for (const LinkClass c : ms[i]->topology.presentGpuLinkClasses()) {
+      tasks.push_back({i, kD2dLatency, c});
+    }
   }
+
+  par::parallelForEach(
+      tasks.size(),
+      [&](std::size_t t) {
+        const GpuCellTask& task = tasks[t];
+        Gpu6Row& row = rows[task.machineIdx];
+        commscope::CommScope scope(*ms[task.machineIdx]);
+        commscope::Config cfg;
+        cfg.binaryRuns = opt.binaryRuns;
+        switch (task.kind) {
+          case kLaunch:
+            row.launchUs = scope.kernelLaunchUs(cfg);
+            break;
+          case kWait:
+            row.waitUs = scope.syncWaitUs(cfg);
+            break;
+          case kHostDeviceLatency:
+            row.hostDeviceLatencyUs = scope.hostDeviceLatencyUs(cfg);
+            break;
+          case kHostDeviceBandwidth:
+            row.hostDeviceBandwidthGBps = scope.hostDeviceBandwidthGBps(cfg);
+            break;
+          case kD2dLatency:
+            row.d2dLatencyUs[static_cast<int>(task.linkClass)] =
+                scope.d2dLatencyUs(task.linkClass, cfg);
+            break;
+          default:
+            break;
+        }
+      },
+      opt.jobs);
   return rows;
 }
 

@@ -26,6 +26,11 @@ struct TableOptions {
   ByteCount cpuArrayBytes = ByteCount::mib(128);
   ByteCount gpuArrayBytes = ByteCount::gib(1);
   ByteCount mpiMessageSize = ByteCount::bytes(8);
+  /// Worker count for the (machine x cell) fan-out; <= 0 selects the
+  /// hardware concurrency, 1 runs the cells sequentially. Output is
+  /// byte-identical for every value (see DESIGN.md "Parallel harness &
+  /// determinism").
+  int jobs = 0;
 };
 
 // --- Table 1: OpenMP environment combinations ------------------------------

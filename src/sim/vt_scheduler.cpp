@@ -151,7 +151,7 @@ void VirtualTimeScheduler::run(const std::vector<ProcessFn>& fns) {
   slots_.assign(fns.size(), Slot{});
   aborted_ = false;
   firstError_ = nullptr;
-  switches_ = 0;
+  switches_ = 0;  // per-run count: see switchCount()
   // Rank 0 starts as the unique runner (all clocks are zero; ties break by
   // rank, so this matches pickNextLocked()).
   slots_[0].state = State::Running;

@@ -81,8 +81,12 @@ class VirtualTimeScheduler {
   /// detection). Precondition: !fns.empty().
   void run(const std::vector<ProcessFn>& fns);
 
-  /// Total number of process switches in the last `run` (determinism
-  /// diagnostics for tests).
+  /// Total number of process switches in the last completed `run`
+  /// (determinism diagnostics for tests). Reset to zero at `run` entry,
+  /// so back-to-back runs on one scheduler report per-run counts rather
+  /// than a lifetime total. Only meaningful *between* runs: while `run`
+  /// is in flight the counter is mutated under the scheduler's internal
+  /// lock and a concurrent read would race.
   [[nodiscard]] std::uint64_t switchCount() const { return switches_; }
 
  private:

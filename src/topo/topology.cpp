@@ -32,8 +32,54 @@ std::string_view linkClassName(LinkClass c) {
   return "?";
 }
 
+NodeTopology::NodeTopology(const NodeTopology& other)
+    : sockets_(other.sockets_),
+      numas_(other.numas_),
+      cores_(other.cores_),
+      gpus_(other.gpus_),
+      links_(other.links_),
+      flavor_(other.flavor_) {}
+
+NodeTopology& NodeTopology::operator=(const NodeTopology& other) {
+  if (this != &other) {
+    sockets_ = other.sockets_;
+    numas_ = other.numas_;
+    cores_ = other.cores_;
+    gpus_ = other.gpus_;
+    links_ = other.links_;
+    flavor_ = other.flavor_;
+    invalidateRouteCache();
+  }
+  return *this;
+}
+
+NodeTopology::NodeTopology(NodeTopology&& other) noexcept
+    : sockets_(std::move(other.sockets_)),
+      numas_(std::move(other.numas_)),
+      cores_(std::move(other.cores_)),
+      gpus_(std::move(other.gpus_)),
+      links_(std::move(other.links_)),
+      flavor_(other.flavor_) {
+  other.invalidateRouteCache();
+}
+
+NodeTopology& NodeTopology::operator=(NodeTopology&& other) noexcept {
+  if (this != &other) {
+    sockets_ = std::move(other.sockets_);
+    numas_ = std::move(other.numas_);
+    cores_ = std::move(other.cores_);
+    gpus_ = std::move(other.gpus_);
+    links_ = std::move(other.links_);
+    flavor_ = other.flavor_;
+    invalidateRouteCache();
+    other.invalidateRouteCache();
+  }
+  return *this;
+}
+
 SocketId NodeTopology::addSocket(std::string model) {
   sockets_.push_back(SocketInfo{std::move(model)});
+  invalidateRouteCache();
   return SocketId{static_cast<int>(sockets_.size()) - 1};
 }
 
@@ -68,6 +114,7 @@ GpuId NodeTopology::addGpu(std::string model, SocketId socket,
                            ByteCount memory, int packageIndex) {
   checkSocket(socket);
   gpus_.push_back(GpuInfo{std::move(model), socket, packageIndex, memory});
+  invalidateRouteCache();
   return GpuId{static_cast<int>(gpus_.size()) - 1};
 }
 
@@ -79,6 +126,7 @@ void NodeTopology::connectSockets(SocketId a, SocketId b, LinkType type,
   links_.push_back(Link{{Link::EndpointKind::Socket, a.value},
                         {Link::EndpointKind::Socket, b.value},
                         type, 1, latency, bandwidth});
+  invalidateRouteCache();
 }
 
 void NodeTopology::connectHostGpu(SocketId s, GpuId g, LinkType type,
@@ -88,6 +136,7 @@ void NodeTopology::connectHostGpu(SocketId s, GpuId g, LinkType type,
   links_.push_back(Link{{Link::EndpointKind::Socket, s.value},
                         {Link::EndpointKind::Gpu, g.value},
                         type, 1, latency, bandwidth});
+  invalidateRouteCache();
 }
 
 void NodeTopology::connectGpuPeer(GpuId a, GpuId b, LinkType type, int count,
@@ -99,6 +148,7 @@ void NodeTopology::connectGpuPeer(GpuId a, GpuId b, LinkType type, int count,
   links_.push_back(Link{{Link::EndpointKind::Gpu, a.value},
                         {Link::EndpointKind::Gpu, b.value},
                         type, count, latency, bandwidth});
+  invalidateRouteCache();
 }
 
 const SocketInfo& NodeTopology::socket(SocketId id) const {
@@ -208,7 +258,7 @@ Route makeRoute(std::vector<const Link*> hops) {
 
 }  // namespace
 
-Route NodeTopology::routeHostToGpu(SocketId s, GpuId g) const {
+Route NodeTopology::routeHostToGpuUncached(SocketId s, GpuId g) const {
   checkSocket(s);
   checkGpu(g);
   const SocketId home = gpus_[g.value].socket;
@@ -219,7 +269,7 @@ Route NodeTopology::routeHostToGpu(SocketId s, GpuId g) const {
   return makeRoute({&socketLink(s, home), &hostGpuLink(home, g)});
 }
 
-Route NodeTopology::routeGpuToGpu(GpuId a, GpuId b) const {
+Route NodeTopology::routeGpuToGpuUncached(GpuId a, GpuId b) const {
   NB_EXPECTS(a != b);
   if (const Link* direct = directGpuLink(a, b)) {
     return makeRoute({direct});
@@ -235,7 +285,100 @@ Route NodeTopology::routeGpuToGpu(GpuId a, GpuId b) const {
   return makeRoute(std::move(hops));
 }
 
-LinkClass NodeTopology::gpuPairClass(GpuId a, GpuId b) const {
+const NodeTopology::RouteCache& NodeTopology::routeCache() const {
+  if (!cacheReady_.load(std::memory_order_acquire)) {
+    std::unique_lock lock(cacheMu_);
+    if (!cacheReady_.load(std::memory_order_relaxed)) {
+      RouteCache fresh;
+      const std::size_t nSockets = static_cast<std::size_t>(socketCount());
+      const std::size_t nGpus = static_cast<std::size_t>(gpuCount());
+      fresh.hostGpu.resize(nSockets * nGpus);
+      fresh.gpuGpu.resize(nGpus * nGpus);
+      // Combinations the structural model cannot route (e.g. a socket with
+      // no fabric link toward the device) stay empty; querying one falls
+      // back to the uncached path so the original NotFoundError surfaces.
+      for (int s = 0; s < socketCount(); ++s) {
+        for (int g = 0; g < gpuCount(); ++g) {
+          try {
+            fresh.hostGpu[static_cast<std::size_t>(s) * nGpus +
+                          static_cast<std::size_t>(g)] =
+                routeHostToGpuUncached(SocketId{s}, GpuId{g});
+          } catch (const NotFoundError&) {
+          }
+        }
+      }
+      for (int a = 0; a < gpuCount(); ++a) {
+        for (int b = 0; b < gpuCount(); ++b) {
+          if (a == b) {
+            continue;
+          }
+          try {
+            fresh.gpuGpu[pairIndex(a, b)] =
+                routeGpuToGpuUncached(GpuId{a}, GpuId{b});
+          } catch (const NotFoundError&) {
+          }
+        }
+      }
+      if (flavor_ != GpuInterconnectFlavor::None && gpuCount() >= 2) {
+        fresh.pairClass.assign(nGpus * nGpus, LinkClass::None);
+        bool present[4] = {false, false, false, false};
+        for (int a = 0; a < gpuCount(); ++a) {
+          for (int b = 0; b < gpuCount(); ++b) {
+            if (a == b) {
+              continue;
+            }
+            const LinkClass c = gpuPairClassUncached(GpuId{a}, GpuId{b});
+            fresh.pairClass[pairIndex(a, b)] = c;
+            if (a < b) {
+              present[static_cast<int>(c)] = true;
+              auto& rep = fresh.representatives[static_cast<int>(c)];
+              if (!rep) {
+                rep = std::pair{GpuId{a}, GpuId{b}};
+              }
+            }
+          }
+        }
+        for (int k = 0; k < 4; ++k) {
+          if (present[k]) {
+            fresh.presentClasses.push_back(static_cast<LinkClass>(k));
+          }
+        }
+        fresh.classesValid = true;
+      }
+      cache_ = std::move(fresh);
+      cacheReady_.store(true, std::memory_order_release);
+    }
+  }
+  return cache_;
+}
+
+const Route& NodeTopology::routeHostToGpu(SocketId s, GpuId g) const {
+  checkSocket(s);
+  checkGpu(g);
+  const auto& entry =
+      routeCache().hostGpu[static_cast<std::size_t>(s.value) *
+                               static_cast<std::size_t>(gpuCount()) +
+                           static_cast<std::size_t>(g.value)];
+  if (!entry) {
+    (void)routeHostToGpuUncached(s, g);  // raises the original error
+    throw InvariantError("route cache missed a resolvable host-GPU route");
+  }
+  return *entry;
+}
+
+const Route& NodeTopology::routeGpuToGpu(GpuId a, GpuId b) const {
+  NB_EXPECTS(a != b);
+  checkGpu(a);
+  checkGpu(b);
+  const auto& entry = routeCache().gpuGpu[pairIndex(a.value, b.value)];
+  if (!entry) {
+    (void)routeGpuToGpuUncached(a, b);  // raises the original error
+    throw InvariantError("route cache missed a resolvable GPU-GPU route");
+  }
+  return *entry;
+}
+
+LinkClass NodeTopology::gpuPairClassUncached(GpuId a, GpuId b) const {
   NB_EXPECTS(a != b);
   NB_EXPECTS_MSG(flavor_ != GpuInterconnectFlavor::None,
                  "link classes are defined only for accelerator machines");
@@ -268,11 +411,28 @@ LinkClass NodeTopology::gpuPairClass(GpuId a, GpuId b) const {
   throw InvariantError("unhandled GPU interconnect flavour");
 }
 
+LinkClass NodeTopology::gpuPairClass(GpuId a, GpuId b) const {
+  NB_EXPECTS(a != b);
+  checkGpu(a);
+  checkGpu(b);
+  const RouteCache& cache = routeCache();
+  if (!cache.classesValid) {
+    // Degenerate topologies (single GPU, or flavour queried before it is
+    // set) keep the uncached behaviour, including its precondition checks.
+    return gpuPairClassUncached(a, b);
+  }
+  return cache.pairClass[pairIndex(a.value, b.value)];
+}
+
 std::vector<LinkClass> NodeTopology::presentGpuLinkClasses() const {
+  const RouteCache& cache = routeCache();
+  if (cache.classesValid) {
+    return cache.presentClasses;
+  }
   bool present[4] = {false, false, false, false};
   for (int i = 0; i < gpuCount(); ++i) {
     for (int j = i + 1; j < gpuCount(); ++j) {
-      const LinkClass c = gpuPairClass(GpuId{i}, GpuId{j});
+      const LinkClass c = gpuPairClassUncached(GpuId{i}, GpuId{j});
       present[static_cast<int>(c)] = true;
     }
   }
@@ -287,9 +447,16 @@ std::vector<LinkClass> NodeTopology::presentGpuLinkClasses() const {
 
 std::optional<std::pair<GpuId, GpuId>> NodeTopology::representativePair(
     LinkClass c) const {
+  if (c == LinkClass::None) {
+    return std::nullopt;  // no pair ever classifies as None
+  }
+  const RouteCache& cache = routeCache();
+  if (cache.classesValid) {
+    return cache.representatives[static_cast<int>(c)];
+  }
   for (int i = 0; i < gpuCount(); ++i) {
     for (int j = i + 1; j < gpuCount(); ++j) {
-      if (gpuPairClass(GpuId{i}, GpuId{j}) == c) {
+      if (gpuPairClassUncached(GpuId{i}, GpuId{j}) == c) {
         return std::pair{GpuId{i}, GpuId{j}};
       }
     }
@@ -305,6 +472,7 @@ void NodeTopology::setHostGpuLinkBandwidth(SocketId s, GpuId g, Bandwidth bw) {
   for (Link& link : links_) {
     if (link.connects(es, eg)) {
       link.bandwidth = bw;
+      invalidateRouteCache();
       return;
     }
   }

@@ -8,8 +8,12 @@
 /// GPU runtime and MPI transports) resolve routes through it and convert
 /// them into simulated time using machine-specific calibration parameters.
 
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/error.hpp"
@@ -93,8 +97,24 @@ struct Route {
 };
 
 /// Structural model of one compute node.
+///
+/// Thread-safety: the construction/calibration API (`add*`, `connect*`,
+/// `set*`) must not run concurrently with anything. Once built, all
+/// queries are safe to call from multiple threads; route and link-class
+/// resolution is memoized in an internal cache built once under a mutex
+/// (the parallel table harnesses resolve routes from many workers, and a
+/// simulated message otherwise re-walks the link list on every transfer).
 class NodeTopology {
  public:
+  NodeTopology() = default;
+  // The route cache holds pointers into links_, so copies/moves must not
+  // carry it over; the destination rebuilds its own cache on first query.
+  NodeTopology(const NodeTopology& other);
+  NodeTopology& operator=(const NodeTopology& other);
+  NodeTopology(NodeTopology&& other) noexcept;
+  NodeTopology& operator=(NodeTopology&& other) noexcept;
+  ~NodeTopology() = default;
+
   // --- construction -------------------------------------------------------
   SocketId addSocket(std::string model);
   NumaId addNumaDomain(SocketId socket);
@@ -112,7 +132,10 @@ class NodeTopology {
   void connectGpuPeer(GpuId a, GpuId b, LinkType type, int count,
                       Duration latency, Bandwidth bandwidth);
 
-  void setGpuFlavor(GpuInterconnectFlavor flavor) { flavor_ = flavor; }
+  void setGpuFlavor(GpuInterconnectFlavor flavor) {
+    flavor_ = flavor;
+    invalidateRouteCache();
+  }
 
   /// Adjusts the bandwidth of the existing socket<->GPU link. Used by the
   /// machine calibration pass, which solves link bandwidths so that the
@@ -149,17 +172,25 @@ class NodeTopology {
   /// Link between two sockets. Throws NotFoundError if absent.
   [[nodiscard]] const Link& socketLink(SocketId a, SocketId b) const;
 
-  /// Route from a socket's memory complex to a device.
-  [[nodiscard]] Route routeHostToGpu(SocketId s, GpuId g) const;
+  /// Route from a socket's memory complex to a device. Memoized: the
+  /// returned reference stays valid until the topology is next mutated.
+  [[nodiscard]] const Route& routeHostToGpu(SocketId s, GpuId g) const;
 
   /// Route between two devices: the direct peer link when present,
   /// otherwise through the host (gpu -> socket [-> socket] -> gpu).
-  /// Precondition: a != b.
-  [[nodiscard]] Route routeGpuToGpu(GpuId a, GpuId b) const;
+  /// Precondition: a != b. Memoized like routeHostToGpu.
+  [[nodiscard]] const Route& routeGpuToGpu(GpuId a, GpuId b) const;
+
+  /// Uncached route resolution (full link-list walk). Exposed so tests
+  /// and the simcore microbenchmarks can compare against the cache.
+  [[nodiscard]] Route routeHostToGpuUncached(SocketId s, GpuId g) const;
+  [[nodiscard]] Route routeGpuToGpuUncached(GpuId a, GpuId b) const;
 
   /// Paper link-class of a GPU pair under this machine's flavour.
-  /// Precondition: a != b and flavour != None.
+  /// Precondition: a != b and flavour != None. Memoized; the uncached
+  /// variant recomputes from the link list.
   [[nodiscard]] LinkClass gpuPairClass(GpuId a, GpuId b) const;
+  [[nodiscard]] LinkClass gpuPairClassUncached(GpuId a, GpuId b) const;
 
   /// All distinct link classes present among GPU pairs, in enum order.
   [[nodiscard]] std::vector<LinkClass> presentGpuLinkClasses() const;
@@ -175,12 +206,38 @@ class NodeTopology {
   void checkCore(CoreId id) const;
   void checkGpu(GpuId id) const;
 
+  /// Memoized route/link-class resolution. Built once per topology state;
+  /// any mutation invalidates it (construction is single-threaded, so the
+  /// invalidate itself needs no synchronization with readers).
+  struct RouteCache {
+    std::vector<std::optional<Route>> hostGpu;  ///< socketCount x gpuCount.
+    std::vector<std::optional<Route>> gpuGpu;   ///< gpuCount x gpuCount.
+    /// Valid only when classesValid (flavour set, >= 2 GPUs).
+    std::vector<LinkClass> pairClass;           ///< gpuCount x gpuCount.
+    bool classesValid = false;
+    std::vector<LinkClass> presentClasses;
+    std::array<std::optional<std::pair<GpuId, GpuId>>, 4> representatives;
+  };
+  const RouteCache& routeCache() const;
+  void invalidateRouteCache() {
+    cacheReady_.store(false, std::memory_order_release);
+  }
+  [[nodiscard]] std::size_t pairIndex(int a, int b) const {
+    return static_cast<std::size_t>(a) *
+               static_cast<std::size_t>(gpuCount()) +
+           static_cast<std::size_t>(b);
+  }
+
   std::vector<SocketInfo> sockets_;
   std::vector<NumaInfo> numas_;
   std::vector<CoreInfo> cores_;
   std::vector<GpuInfo> gpus_;
   std::vector<Link> links_;
   GpuInterconnectFlavor flavor_ = GpuInterconnectFlavor::None;
+
+  mutable RouteCache cache_;
+  mutable std::atomic<bool> cacheReady_{false};
+  mutable std::mutex cacheMu_;
 };
 
 }  // namespace nodebench::topo

@@ -1,0 +1,144 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nodebench::par {
+namespace {
+
+TEST(Parallel, ResolveJobs) {
+  EXPECT_EQ(resolveJobs(1), 1);
+  EXPECT_EQ(resolveJobs(7), 7);
+  EXPECT_EQ(resolveJobs(0), hardwareJobs());
+  EXPECT_EQ(resolveJobs(-3), hardwareJobs());
+  EXPECT_GE(hardwareJobs(), 1);
+}
+
+TEST(Parallel, TaskSeedIsPureAndDistinct) {
+  EXPECT_EQ(taskSeed(42, 0), taskSeed(42, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t task = 0; task < 256; ++task) {
+    seen.insert(taskSeed(42, task));
+  }
+  EXPECT_EQ(seen.size(), 256u);  // no collisions among neighbours
+  EXPECT_NE(taskSeed(1, 0), taskSeed(2, 0));
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, WorkersReportInsideWorker) {
+  EXPECT_FALSE(insideWorker());
+  ThreadPool pool(2);
+  std::atomic<bool> sawInside{false};
+  pool.submit([&sawInside] { sawInside.store(insideWorker()); });
+  pool.waitIdle();
+  EXPECT_TRUE(sawInside.load());
+  EXPECT_FALSE(insideWorker());
+}
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 8}) {
+    std::vector<int> hits(257, 0);
+    parallelForEach(
+        hits.size(), [&](std::size_t i) { ++hits[i]; }, jobs);
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 257)
+        << "jobs=" << jobs;
+    for (const int h : hits) {
+      EXPECT_EQ(h, 1);
+    }
+  }
+}
+
+TEST(ParallelForEach, ZeroCountIsANoop) {
+  parallelForEach(0, [](std::size_t) { FAIL(); }, 8);
+}
+
+TEST(ParallelForEach, RethrowsLowestIndexException) {
+  for (const int jobs : {1, 8}) {
+    try {
+      parallelForEach(
+          64,
+          [](std::size_t i) {
+            if (i == 7 || i == 50) {
+              throw std::runtime_error("task " + std::to_string(i));
+            }
+          },
+          jobs);
+      FAIL() << "expected an exception, jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 7") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelForEach, NestedSectionsRunInline) {
+  // A nested parallelForEach must execute on the worker that reached it
+  // (no second pool), so deep nesting can never deadlock on pool slots.
+  std::atomic<int> inner{0};
+  parallelForEach(
+      4,
+      [&](std::size_t) {
+        EXPECT_TRUE(insideWorker());
+        parallelForEach(
+            8, [&](std::size_t) { inner.fetch_add(1); }, 8);
+      },
+      2);
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ParallelMap, PreservesItemOrder) {
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  for (const int jobs : {1, 3, 8}) {
+    const auto out = parallelMap(
+        items, [](const int& v) { return v * v; }, jobs);
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * i));
+    }
+  }
+}
+
+TEST(ParallelMap, ResultIndependentOfWorkerCount) {
+  std::vector<std::uint64_t> items(50);
+  std::iota(items.begin(), items.end(), 0u);
+  const auto compute = [](const std::uint64_t& task) {
+    // Simulated per-task RNG use: seeded from task identity only.
+    return taskSeed(0xabcdef, task) % 1000003;
+  };
+  const auto seq = parallelMap(items, compute, 1);
+  const auto par2 = parallelMap(items, compute, 2);
+  const auto par8 = parallelMap(items, compute, 8);
+  EXPECT_EQ(seq, par2);
+  EXPECT_EQ(seq, par8);
+}
+
+}  // namespace
+}  // namespace nodebench::par

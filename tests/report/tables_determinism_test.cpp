@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "machines/registry.hpp"
+#include "report/tables.hpp"
+
+namespace nodebench::report {
+namespace {
+
+/// Determinism contract of the parallel harness: --jobs N output is
+/// byte-identical to the sequential --jobs 1 output, for every table.
+/// The tables cover every registry machine, so this exercises the full
+/// (machine x cell) grid.
+
+TableOptions withJobs(int jobs) {
+  TableOptions opt;
+  opt.binaryRuns = 10;  // enough for non-trivial mean/sigma cells
+  opt.jobs = jobs;
+  return opt;
+}
+
+TEST(TablesDeterminism, Table4IdenticalAcrossWorkerCounts) {
+  const std::string seq = renderTable4(computeTable4(withJobs(1)))
+                              .renderAscii();
+  const std::string par = renderTable4(computeTable4(withJobs(8)))
+                              .renderAscii();
+  EXPECT_EQ(seq, par);
+  EXPECT_FALSE(seq.empty());
+}
+
+TEST(TablesDeterminism, Table5IdenticalAcrossWorkerCounts) {
+  const std::string seq = renderTable5(computeTable5(withJobs(1)))
+                              .renderAscii();
+  const std::string par = renderTable5(computeTable5(withJobs(8)))
+                              .renderAscii();
+  EXPECT_EQ(seq, par);
+  EXPECT_FALSE(seq.empty());
+}
+
+TEST(TablesDeterminism, Table6IdenticalAcrossWorkerCounts) {
+  const std::string seq = renderTable6(computeTable6(withJobs(1)))
+                              .renderAscii();
+  const std::string par = renderTable6(computeTable6(withJobs(8)))
+                              .renderAscii();
+  EXPECT_EQ(seq, par);
+  EXPECT_FALSE(seq.empty());
+}
+
+TEST(TablesDeterminism, TablesCoverAllRegistryMachines) {
+  const auto t4 = computeTable4(withJobs(8));
+  const auto t5 = computeTable5(withJobs(8));
+  EXPECT_EQ(t4.size(), machines::cpuMachines().size());
+  EXPECT_EQ(t5.size(), machines::gpuMachines().size());
+  EXPECT_EQ(t4.size() + t5.size(), machines::allMachines().size());
+}
+
+TEST(TablesDeterminism, OmpSweepIdenticalAcrossWorkerCounts) {
+  const machines::Machine& m = *machines::cpuMachines().front();
+  const OmpSweepResult seq = ompSweep(m, withJobs(1));
+  const OmpSweepResult par = ompSweep(m, withJobs(8));
+  ASSERT_EQ(seq.entries.size(), par.entries.size());
+  for (std::size_t i = 0; i < seq.entries.size(); ++i) {
+    EXPECT_EQ(seq.entries[i].config, par.entries[i].config);
+    EXPECT_EQ(seq.entries[i].bestOpName, par.entries[i].bestOpName);
+    EXPECT_EQ(seq.entries[i].bestOpGBps.mean, par.entries[i].bestOpGBps.mean);
+    EXPECT_EQ(seq.entries[i].bestOpGBps.stddev,
+              par.entries[i].bestOpGBps.stddev);
+  }
+  EXPECT_EQ(seq.bestSingle.mean, par.bestSingle.mean);
+  EXPECT_EQ(seq.bestAll.mean, par.bestAll.mean);
+}
+
+}  // namespace
+}  // namespace nodebench::report

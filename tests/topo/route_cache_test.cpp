@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "machines/registry.hpp"
+#include "topo/topology.hpp"
+
+namespace nodebench::topo {
+namespace {
+
+using machines::Machine;
+using namespace nodebench::literals;
+
+void expectSameRoute(const Route& cached, const Route& uncached) {
+  // Both resolutions walk the same links_ vector, so the hop pointers —
+  // not just the derived latency/bottleneck — must agree.
+  ASSERT_EQ(cached.hops.size(), uncached.hops.size());
+  for (std::size_t h = 0; h < cached.hops.size(); ++h) {
+    EXPECT_EQ(cached.hops[h], uncached.hops[h]);
+  }
+  EXPECT_EQ(cached.latency, uncached.latency);
+  EXPECT_EQ(cached.bottleneck.bytesPerNanosecond(),
+            uncached.bottleneck.bytesPerNanosecond());
+}
+
+TEST(RouteCache, MatchesUncachedResolutionOnEveryMachine) {
+  for (const Machine& m : machines::allMachines()) {
+    const NodeTopology& node = m.topology;
+    for (int a = 0; a < node.gpuCount(); ++a) {
+      for (int b = 0; b < node.gpuCount(); ++b) {
+        if (a == b) {
+          continue;
+        }
+        expectSameRoute(node.routeGpuToGpu(GpuId{a}, GpuId{b}),
+                        node.routeGpuToGpuUncached(GpuId{a}, GpuId{b}));
+      }
+    }
+    for (int s = 0; s < node.socketCount(); ++s) {
+      for (int g = 0; g < node.gpuCount(); ++g) {
+        expectSameRoute(node.routeHostToGpu(SocketId{s}, GpuId{g}),
+                        node.routeHostToGpuUncached(SocketId{s}, GpuId{g}));
+      }
+    }
+  }
+}
+
+TEST(RouteCache, LinkClassesMatchUncachedOnEveryMachine) {
+  for (const Machine* m : machines::gpuMachines()) {
+    const NodeTopology& node = m->topology;
+    for (int a = 0; a < node.gpuCount(); ++a) {
+      for (int b = 0; b < node.gpuCount(); ++b) {
+        if (a == b) {
+          continue;
+        }
+        EXPECT_EQ(node.gpuPairClass(GpuId{a}, GpuId{b}),
+                  node.gpuPairClassUncached(GpuId{a}, GpuId{b}))
+            << m->info.name << " pair (" << a << "," << b << ")";
+      }
+    }
+    for (const LinkClass c : node.presentGpuLinkClasses()) {
+      const auto rep = node.representativePair(c);
+      ASSERT_TRUE(rep.has_value());
+      EXPECT_EQ(node.gpuPairClass(rep->first, rep->second), c);
+    }
+    EXPECT_FALSE(node.representativePair(LinkClass::None).has_value());
+  }
+}
+
+TEST(RouteCache, RepeatedQueriesReturnTheSameObject) {
+  const NodeTopology& node = machines::byName("Summit").topology;
+  const Route& first = node.routeGpuToGpu(GpuId{0}, GpuId{1});
+  const Route& second = node.routeGpuToGpu(GpuId{0}, GpuId{1});
+  EXPECT_EQ(&first, &second);  // memoized, not recomputed
+}
+
+NodeTopology twoGpuNode() {
+  NodeTopology node;
+  const SocketId s0 = node.addSocket("CPU");
+  const NumaId n0 = node.addNumaDomain(s0);
+  node.addCores(n0, 2);
+  const GpuId g0 = node.addGpu("GPU", s0, ByteCount::gib(16));
+  const GpuId g1 = node.addGpu("GPU", s0, ByteCount::gib(16));
+  node.connectHostGpu(s0, g0, LinkType::PCIe4, 0.5_us,
+                      Bandwidth::gbps(25.0));
+  node.connectHostGpu(s0, g1, LinkType::PCIe4, 0.5_us,
+                      Bandwidth::gbps(25.0));
+  node.setGpuFlavor(GpuInterconnectFlavor::NvlinkPcieMix);
+  return node;
+}
+
+TEST(RouteCache, MutationInvalidatesCachedRoutes) {
+  NodeTopology node = twoGpuNode();
+  const Route before = node.routeGpuToGpu(GpuId{0}, GpuId{1});
+  EXPECT_EQ(before.hops.size(), 2u);  // through the host
+  EXPECT_EQ(node.gpuPairClass(GpuId{0}, GpuId{1}), LinkClass::B);
+
+  node.connectGpuPeer(GpuId{0}, GpuId{1}, LinkType::NVLink3, 1, 0.1_us,
+                      Bandwidth::gbps(100.0));
+  const Route& after = node.routeGpuToGpu(GpuId{0}, GpuId{1});
+  EXPECT_EQ(after.hops.size(), 1u);  // direct link wins now
+  EXPECT_EQ(node.gpuPairClass(GpuId{0}, GpuId{1}), LinkClass::A);
+}
+
+TEST(RouteCache, BandwidthUpdateInvalidates) {
+  NodeTopology node = twoGpuNode();
+  const double before =
+      node.routeHostToGpu(SocketId{0}, GpuId{0}).bottleneck
+          .bytesPerNanosecond();
+  node.setHostGpuLinkBandwidth(SocketId{0}, GpuId{0},
+                               Bandwidth::gbps(50.0));
+  const double after =
+      node.routeHostToGpu(SocketId{0}, GpuId{0}).bottleneck
+          .bytesPerNanosecond();
+  EXPECT_NE(before, after);
+}
+
+TEST(RouteCache, CopiesRebuildTheirOwnCache) {
+  const NodeTopology original = twoGpuNode();
+  const Route& origRoute = original.routeGpuToGpu(GpuId{0}, GpuId{1});
+
+  const NodeTopology copy = original;  // after the original built a cache
+  const Route& copyRoute = copy.routeGpuToGpu(GpuId{0}, GpuId{1});
+  expectSameRoute(copyRoute, copy.routeGpuToGpuUncached(GpuId{0}, GpuId{1}));
+
+  // The copy's hops must point into the copy's own link storage, never
+  // into the original's.
+  const Link* copyBegin = copy.links().data();
+  const Link* copyEnd = copyBegin + copy.links().size();
+  for (const Link* hop : copyRoute.hops) {
+    EXPECT_TRUE(hop >= copyBegin && hop < copyEnd);
+  }
+  for (const Link* hop : origRoute.hops) {
+    EXPECT_FALSE(hop >= copyBegin && hop < copyEnd);
+  }
+}
+
+TEST(RouteCache, ConcurrentFirstQueriesAgree) {
+  // Many threads race the lazy build; all must observe the same memoized
+  // routes (this is the case the tsan configuration scrutinises).
+  const NodeTopology node = machines::byName("Frontier").topology;
+  NodeTopology fresh = node;  // unprimed cache
+  const Route* results[8] = {};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&fresh, &results, t] {
+        results[t] = &fresh.routeGpuToGpu(GpuId{0}, GpuId{1});
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+}
+
+}  // namespace
+}  // namespace nodebench::topo
