@@ -24,11 +24,13 @@
 #include "babelstream/sim_omp_backend.hpp"
 #include "commscope/commscope.hpp"
 #include "core/error.hpp"
+#include "faults/fault_plan.hpp"
 #include "machines/machine_card.hpp"
 #include "machines/machine_json.hpp"
 #include "machines/registry.hpp"
 #include "native/pingpong_native.hpp"
 #include "native/stream_native.hpp"
+#include "netsim/network.hpp"
 #include "osu/latency.hpp"
 #include "osu/pairs.hpp"
 #include "report/balance.hpp"
@@ -46,14 +48,18 @@ int usage() {
       "usage: nodebench <command> [args]\n"
       "  list                      system inventory (Tables 2+3)\n"
       "  topo <machine> [--dot]    node diagram (Figures 1-3) / DOT export\n"
-      "  table <1..9|all> [--runs N] [--jobs N]  regenerate a paper table\n"
+      "  table <1..9|all> [--runs N] [--jobs N] [--faults F]  regenerate a"
+      " paper table\n"
       "  stream <machine> [--device N]  BabelStream (simulated)\n"
       "  latency <machine> [--pair on-socket|on-node|A|B|C|D] [--size B]\n"
       "  commscope <machine>       Comm|Scope suite (simulated)\n"
       "  card <machine> [--json]   calibrated parameter card\n"
       "  diff <machine> <machine>  side-by-side comparison\n"
       "  balance                   machine-balance (flops/byte) table\n"
-      "  export --dir D [--runs N] [--jobs N]  write tables as CSV + Markdown\n"
+      "  export --dir D [--runs N] [--jobs N] [--faults F]  write tables as"
+      " CSV + Markdown\n"
+      "  faults <plan.json> [--runs N] [--jobs N]  fault-injection demo:\n"
+      "                            tables + diagnostics under the plan\n"
       "  native [--threads N]      real measurements on this host\n";
   return 2;
 }
@@ -131,10 +137,15 @@ int cmdTopo(std::vector<std::string> args) {
 }
 
 int cmdTable(std::vector<std::string> args) {
+  report::TableOptions opt;
+  std::optional<faults::FaultPlan> plan;
+  if (const auto planPath = flagValue(args, "--faults")) {
+    plan = faults::FaultPlan::load(*planPath);
+    opt.faults = &*plan;
+  }
   if (args.empty()) {
     return usage();
   }
-  report::TableOptions opt;
   if (const auto runs = positiveFlagValue(args, "--runs")) {
     opt.binaryRuns = *runs;
   }
@@ -142,28 +153,33 @@ int cmdTable(std::vector<std::string> args) {
     opt.jobs = *jobs;
   }
   const std::string which = args[0];
+  std::vector<report::CellIncident> incidents;
   const auto emit = [&](int n) {
     switch (n) {
       case 1: std::cout << report::buildTable1().renderAscii(); break;
       case 2: std::cout << report::buildTable2().renderAscii(); break;
       case 3: std::cout << report::buildTable3().renderAscii(); break;
-      case 4:
-        std::cout << report::renderTable4(report::computeTable4(opt))
-                         .renderAscii();
+      case 4: {
+        const auto rows = report::computeTable4(opt, &incidents);
+        std::cout << report::renderTable4(rows, &incidents).renderAscii();
         break;
-      case 5:
-        std::cout << report::renderTable5(report::computeTable5(opt))
-                         .renderAscii();
+      }
+      case 5: {
+        const auto rows = report::computeTable5(opt, &incidents);
+        std::cout << report::renderTable5(rows, &incidents).renderAscii();
         break;
-      case 6:
-        std::cout << report::renderTable6(report::computeTable6(opt))
-                         .renderAscii();
+      }
+      case 6: {
+        const auto rows = report::computeTable6(opt, &incidents);
+        std::cout << report::renderTable6(rows, &incidents).renderAscii();
         break;
-      case 7:
-        std::cout << report::buildTable7(report::computeTable5(opt),
-                                         report::computeTable6(opt))
-                         .renderAscii();
+      }
+      case 7: {
+        const auto t5 = report::computeTable5(opt, &incidents);
+        const auto t6 = report::computeTable6(opt, &incidents);
+        std::cout << report::buildTable7(t5, t6, &incidents).renderAscii();
         break;
+      }
       case 8: std::cout << report::buildTable8().renderAscii(); break;
       case 9: std::cout << report::buildTable9().renderAscii(); break;
       default: throw Error("table number must be 1..9");
@@ -176,6 +192,12 @@ int cmdTable(std::vector<std::string> args) {
     }
   } else {
     emit(std::stoi(which));
+  }
+  // Fault-free runs collect no incidents, so stdout stays byte-identical
+  // to the pre-resilience harness.
+  const std::string diagnostics = report::renderDiagnostics(incidents);
+  if (!diagnostics.empty()) {
+    std::cout << diagnostics;
   }
   return 0;
 }
@@ -361,6 +383,11 @@ int cmdBalance() {
 
 int cmdExport(std::vector<std::string> args) {
   report::TableOptions opt;
+  std::optional<faults::FaultPlan> plan;
+  if (const auto planPath = flagValue(args, "--faults")) {
+    plan = faults::FaultPlan::load(*planPath);
+    opt.faults = &*plan;
+  }
   if (const auto runs = positiveFlagValue(args, "--runs")) {
     opt.binaryRuns = *runs;
   }
@@ -375,6 +402,70 @@ int cmdExport(std::vector<std::string> args) {
   for (const auto& path : manifest.written) {
     std::cout << "wrote " << path.string() << "\n";
   }
+  return 0;
+}
+
+/// `nodebench faults <plan.json>`: end-to-end fault-injection demo. Runs
+/// the measurement tables under the plan (affected cells degrade to
+/// "n/a", recovered ones report their retries in the diagnostics
+/// appendix), then an inter-node measurement whose packet-loss /
+/// brownout parameters come from the same plan, reporting the
+/// retransmit count the transport recovery performed.
+int cmdFaults(std::vector<std::string> args) {
+  if (args.empty()) {
+    return usage();
+  }
+  report::TableOptions opt;
+  opt.binaryRuns = 25;  // demo default; --runs restores full methodology
+  if (const auto runs = positiveFlagValue(args, "--runs")) {
+    opt.binaryRuns = *runs;
+  }
+  if (const auto jobs = positiveFlagValue(args, "--jobs")) {
+    opt.jobs = *jobs;
+  }
+  const faults::FaultPlan plan = faults::FaultPlan::load(args[0]);
+  opt.faults = &plan;
+  std::cout << plan.summary() << '\n';
+
+  std::vector<report::CellIncident> incidents;
+  const auto t4 = report::computeTable4(opt, &incidents);
+  const auto t5 = report::computeTable5(opt, &incidents);
+  const auto t6 = report::computeTable6(opt, &incidents);
+  std::cout << report::renderTable4(t4, &incidents).renderAscii() << '\n'
+            << report::renderTable5(t5, &incidents).renderAscii() << '\n'
+            << report::renderTable6(t6, &incidents).renderAscii() << '\n'
+            << report::buildTable7(t5, t6, &incidents).renderAscii() << '\n';
+  const std::string diagnostics = report::renderDiagnostics(incidents);
+  std::cout << (diagnostics.empty() ? "No incidents: every cell measured "
+                                      "on its first attempt.\n"
+                                    : diagnostics);
+
+  // Inter-node leg on the first machine the plan touches (any machine if
+  // the plan is global-only).
+  const machines::Machine* target = nullptr;
+  for (const machines::Machine& m : machines::allMachines()) {
+    if (plan.touches(m.info.name)) {
+      target = &m;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return 0;
+  }
+  netsim::InterNodeConfig ncfg;
+  ncfg.binaryRuns = opt.binaryRuns;
+  mpisim::InterNodeParams network = netsim::networkFor(*target);
+  plan.applyToNetwork(target->info.name, network);
+  ncfg.network = network;
+  // Generous virtual-time ceiling: a wedged simulated run aborts with a
+  // TimeoutError instead of hanging the demo.
+  ncfg.watchdog = Duration::seconds(10.0);
+  const auto inter = netsim::measureInterNode(*target, ncfg);
+  std::printf(
+      "\nInter-node ping-pong on %s under the plan (8 B): %s us, "
+      "%llu retransmit(s)\n",
+      target->info.name.c_str(), inter.latencyUs.toString().c_str(),
+      static_cast<unsigned long long>(inter.retransmits));
   return 0;
 }
 
@@ -437,6 +528,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "export") {
       return cmdExport(std::move(args));
+    }
+    if (cmd == "faults") {
+      return cmdFaults(std::move(args));
     }
     if (cmd == "native") {
       return cmdNative(std::move(args));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
+#include <utility>
 
 #include "core/rng.hpp"
 
@@ -12,7 +14,20 @@ namespace {
 
 thread_local bool tlInsideWorker = false;
 
+std::string aggregateMessage(
+    const std::vector<AggregateError::TaskFailure>& failures) {
+  std::string msg =
+      std::to_string(failures.size()) + " parallel tasks failed:";
+  for (const AggregateError::TaskFailure& f : failures) {
+    msg += "\n  task " + std::to_string(f.task) + ": " + f.message;
+  }
+  return msg;
+}
+
 }  // namespace
+
+AggregateError::AggregateError(std::vector<TaskFailure> failures)
+    : Error(aggregateMessage(failures)), failures_(std::move(failures)) {}
 
 int hardwareJobs() {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -92,6 +107,43 @@ void ThreadPool::workerBody() {
   }
 }
 
+namespace {
+
+/// Shared error-reporting policy of the sequential and pooled paths:
+/// every task ran, failures were captured per index. One failure keeps
+/// its concrete exception type; several become one AggregateError so no
+/// diagnosis is lost. Either way the result is a pure function of the
+/// task list — independent of worker count and scheduling order.
+void reportTaskErrors(const std::vector<std::exception_ptr>& errors) {
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i]) {
+      failed.push_back(i);
+    }
+  }
+  if (failed.empty()) {
+    return;
+  }
+  if (failed.size() == 1) {
+    std::rethrow_exception(errors[failed.front()]);
+  }
+  std::vector<AggregateError::TaskFailure> failures;
+  failures.reserve(failed.size());
+  for (const std::size_t i : failed) {
+    std::string message = "unknown exception";
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::exception& e) {
+      message = e.what();
+    } catch (...) {
+    }
+    failures.push_back(AggregateError::TaskFailure{i, std::move(message)});
+  }
+  throw AggregateError(std::move(failures));
+}
+
+}  // namespace
+
 void parallelForEach(std::size_t count,
                      const std::function<void(std::size_t)>& fn, int jobs) {
   NB_EXPECTS(fn != nullptr);
@@ -100,17 +152,22 @@ void parallelForEach(std::size_t count,
   }
   const int resolved = static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(resolveJobs(jobs)), count));
+  std::vector<std::exception_ptr> errors(count);
   if (resolved <= 1 || tlInsideWorker) {
-    // Sequential fallback: jobs=1 reproduces the pre-parallel harness
-    // exactly; nested sections run inline so behaviour never depends on
-    // pool occupancy.
+    // Sequential fallback: jobs=1 reproduces the pooled harness exactly,
+    // including its run-everything-then-report error policy; nested
+    // sections run inline so behaviour never depends on pool occupancy.
     for (std::size_t i = 0; i < count; ++i) {
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     }
+    reportTaskErrors(errors);
     return;
   }
 
-  std::vector<std::exception_ptr> errors(count);
   std::atomic<std::size_t> next{0};
   ThreadPool pool(resolved);
   for (int w = 0; w < resolved; ++w) {
@@ -129,11 +186,7 @@ void parallelForEach(std::size_t count,
     });
   }
   pool.waitIdle();
-  for (const std::exception_ptr& e : errors) {
-    if (e) {
-      std::rethrow_exception(e);  // lowest task index: deterministic
-    }
-  }
+  reportTaskErrors(errors);
 }
 
 }  // namespace nodebench::par

@@ -33,6 +33,27 @@
 
 namespace nodebench::par {
 
+/// Thrown by parallelForEach / parallelMap when more than one task fails:
+/// aggregates every per-task failure (in task-index order) so multi-cell
+/// failures are diagnosable from a single what() string. Single failures
+/// are rethrown unwrapped to preserve their concrete type.
+class AggregateError : public Error {
+ public:
+  struct TaskFailure {
+    std::size_t task = 0;     ///< Task index that failed.
+    std::string message;      ///< what() of the captured exception.
+  };
+
+  explicit AggregateError(std::vector<TaskFailure> failures);
+
+  [[nodiscard]] const std::vector<TaskFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  std::vector<TaskFailure> failures_;
+};
+
 /// Number of hardware threads of the build host (always >= 1).
 [[nodiscard]] int hardwareJobs();
 
@@ -93,8 +114,10 @@ class ThreadPool {
 
 /// Runs `fn(0) .. fn(count - 1)` on up to `jobs` workers (0 = hardware
 /// concurrency). Each index is claimed by exactly one worker; exceptions
-/// are captured per index and the lowest-index one is rethrown after all
-/// tasks finish, so error reporting is deterministic too.
+/// are captured per index and reported after all tasks finish, so error
+/// reporting is deterministic: exactly one failure rethrows the original
+/// exception unwrapped, several failures throw one AggregateError listing
+/// every failed task index and message in task-index order.
 ///
 /// With jobs == 1, count <= 1, or when called from inside a pool worker
 /// (nested parallelism), the loop runs inline in index order — exactly

@@ -109,6 +109,47 @@ double median(std::span<const double> xs) {
   return 0.5 * (lo + hi);
 }
 
+double mad(std::span<const double> xs) {
+  NB_EXPECTS(!xs.empty());
+  const double m = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    dev[i] = std::abs(xs[i] - m);
+  }
+  return median(dev);
+}
+
+std::string RobustSummary::toString(int precision) const {
+  char buf[160];
+  if (outliers == 0) {
+    std::snprintf(buf, sizeof(buf), "%.*f ~ %.*f", precision, median,
+                  precision, mad);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f ~ %.*f (%zu outliers)", precision,
+                  median, precision, mad, outliers);
+  }
+  return buf;
+}
+
+RobustSummary robustSummarize(std::span<const double> xs) {
+  NB_EXPECTS(!xs.empty());
+  RobustSummary r;
+  r.count = xs.size();
+  r.median = median(xs);
+  r.mad = mad(xs);
+  // Modified z-score cutoff: 3.5 on the 1.4826*MAD normal-consistent
+  // scale. A zero MAD (>= half the samples identical) degenerates to
+  // "anything off the median is an outlier".
+  const double scale = 3.5 * 1.4826 * r.mad;
+  for (const double x : xs) {
+    const double dev = std::abs(x - r.median);
+    if (dev > scale || (r.mad == 0.0 && dev > 0.0)) {
+      ++r.outliers;
+    }
+  }
+  return r;
+}
+
 double percentile(std::span<const double> xs, double p) {
   NB_EXPECTS(!xs.empty());
   NB_EXPECTS(p >= 0.0 && p <= 100.0);

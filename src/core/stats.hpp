@@ -76,4 +76,30 @@ class Welford {
 /// Precondition: !xs.empty(), 0 <= p <= 100.
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
 
+/// Median absolute deviation: median(|x - median(xs)|). A robust spread
+/// estimator that, unlike stddev, is not dragged by fault-injected
+/// outlier runs. Returns 0 for a single sample.
+/// Precondition: !xs.empty().
+[[nodiscard]] double mad(std::span<const double> xs);
+
+/// Robust counterpart of Summary for fault-tolerant reporting: location
+/// and spread that survive contaminated samples, plus an explicit count
+/// of samples flagged as outliers.
+struct RobustSummary {
+  std::size_t count = 0;
+  double median = 0.0;
+  double mad = 0.0;
+  std::size_t outliers = 0;  ///< Samples with |x - median| > 3.5 * scaled MAD.
+
+  /// Renders "12.36 ~ 0.16 (2 outliers)"; the outlier note is omitted
+  /// when no sample was flagged.
+  [[nodiscard]] std::string toString(int precision = 2) const;
+};
+
+/// One-shot robust summary. Outliers use the modified z-score rule
+/// (Iglewicz & Hoaglin): |x - median| > 3.5 * 1.4826 * MAD; when MAD is 0
+/// every sample different from the median counts as an outlier.
+/// Precondition: !xs.empty().
+[[nodiscard]] RobustSummary robustSummarize(std::span<const double> xs);
+
 }  // namespace nodebench

@@ -4,6 +4,7 @@
 
 #include "core/strings.hpp"
 #include "machines/builders.hpp"
+#include "machines/validate.hpp"
 
 namespace nodebench::machines {
 
@@ -25,6 +26,12 @@ const std::vector<Machine>& allMachines() {
     all.push_back(makeEagle());       // 127
     all.push_back(makeTioga());       // 132
     all.push_back(makeManzano());     // 141
+    // Fail fast with the full issue list at the registry boundary: a
+    // malformed builder (or a future JSON-loaded machine) should surface
+    // here, not as a confusing contract failure deep in a benchmark.
+    for (const Machine& m : all) {
+      ensureValid(m);
+    }
     return all;
   }();
   return machines;

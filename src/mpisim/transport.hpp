@@ -60,6 +60,18 @@ struct InterNodeParams {
   int switchRadix = 16;          ///< Nodes per leaf switch (2-level tree).
   ByteCount eagerThreshold = ByteCount::kib(8);
 
+  // --- fault injection (inert at the defaults) ---------------------------
+  /// Per-message Bernoulli loss probability of the fabric; each lost copy
+  /// is retransmitted after a capped exponential backoff, adding delay
+  /// instead of losing the message. Draws come from a counter-based stream
+  /// seeded by `faultSeed` and the (source, destination, sequence) message
+  /// identity, so they are deterministic and scheduling-independent.
+  double packetLossRate = 0.0;
+  Duration retransmitTimeout = Duration::microseconds(10.0);  ///< First backoff.
+  Duration retransmitCap = Duration::microseconds(160.0);     ///< Backoff ceiling.
+  int maxRetransmits = 16;       ///< Give up (throw) beyond this many.
+  std::uint64_t faultSeed = 0;   ///< Base seed of the loss-draw stream.
+
   /// Switch traversals between two nodes: 1 through the shared leaf
   /// switch, 3 across the spine (leaf-spine-leaf).
   [[nodiscard]] int hops(int nodeA, int nodeB) const {

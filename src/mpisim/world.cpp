@@ -1,6 +1,9 @@
 #include "mpisim/world.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "core/rng.hpp"
 
 namespace nodebench::mpisim {
 
@@ -79,6 +82,8 @@ void MpiWorld::runEach(const std::vector<RankFn>& fns) {
   }
   nodeInjection_.assign(static_cast<std::size_t>(maxNode) + 1,
                         Duration::zero());
+  pairSeq_.assign(placements_.size() * placements_.size(), 0);
+  retransmits_ = 0;
   nextRtsId_ = 1;
   std::vector<sim::VirtualTimeScheduler::ProcessFn> procs;
   procs.reserve(fns.size());
@@ -103,6 +108,46 @@ bool MpiWorld::tryMatch(int myRank, int source, int tag, MsgKind kind,
   out = *it;
   box.erase(it);
   return true;
+}
+
+Duration MpiWorld::lossDelay(int src, int dst) {
+  if (!network_ || network_->packetLossRate <= 0.0 || !interNode(src, dst)) {
+    return Duration::zero();
+  }
+  const InterNodeParams& net = *network_;
+  NB_EXPECTS(net.packetLossRate < 1.0);
+  NB_EXPECTS(net.maxRetransmits >= 1);
+  NB_EXPECTS(net.retransmitTimeout > Duration::zero());
+  const std::size_t pair =
+      static_cast<std::size_t>(src) * placements_.size() +
+      static_cast<std::size_t>(dst);
+  // One sequence number per original message; each transmission attempt
+  // draws from its own SplitMix64 stream, so the draw depends only on the
+  // message identity — never on scheduling or other pairs' traffic.
+  const std::uint64_t seq = pairSeq_[pair]++;
+  SplitMix64 draws(net.faultSeed ^
+                   (0x9e3779b97f4a7c15ull * (seq + 1) +
+                    0xd1b54a32d192ed03ull * static_cast<std::uint64_t>(src) +
+                    0x94d049bb133111ebull * static_cast<std::uint64_t>(dst)));
+  Duration delay = Duration::zero();
+  Duration backoff = net.retransmitTimeout;
+  for (int attempt = 0;; ++attempt) {
+    const double u =
+        static_cast<double>(draws.next() >> 11) * 0x1.0p-53;
+    if (u >= net.packetLossRate) {
+      return delay;  // this copy got through
+    }
+    if (attempt + 1 >= net.maxRetransmits) {
+      throw Error("inter-node message " + std::to_string(src) + "->" +
+                  std::to_string(dst) + " lost after " +
+                  std::to_string(net.maxRetransmits) +
+                  " transmission attempts (packet loss rate " +
+                  std::to_string(net.packetLossRate) + ")");
+    }
+    ++retransmits_;
+    delay += backoff;
+    backoff = min(backoff * 2.0, net.retransmitCap);
+  }
 }
 
 Duration& MpiWorld::channelFree(int src, int dst) {
@@ -143,6 +188,9 @@ void Communicator::send(int dest, int tag, ByteCount size,
     if (size.count() > 0) {
       transfer = path.eagerBandwidth.transferTime(size);
     }
+    // Lost copies keep the channel (the NIC, for inter-node pairs) busy
+    // through their backoff-and-resend cycles.
+    transfer += w.lossDelay(rank_, dest);
     chan = start + transfer;
     w.mailboxes_[dest].messages.push_back(
         MpiWorld::Message{rank_, tag, MpiWorld::MsgKind::Eager, size,
@@ -167,7 +215,10 @@ void Communicator::send(int dest, int tag, ByteCount size,
   proc_->advance(path.recvOverhead);  // processing the CTS costs software time
 
   proc_->advanceTo(max(now(), w.channelFree(rank_, dest)));
-  proc_->advance(path.rendezvousBandwidth.transferTime(size));
+  // A blocking sender sits through any retransmit backoffs of the bulk
+  // transfer (its buffer is pinned until the copy drains).
+  proc_->advance(path.rendezvousBandwidth.transferTime(size) +
+                 w.lossDelay(rank_, dest));
   w.channelFree(rank_, dest) = now();
   w.mailboxes_[dest].messages.push_back(MpiWorld::Message{
       rank_, tag, MpiWorld::MsgKind::Data, size, now() + path.latency, rtsId});
@@ -238,6 +289,9 @@ Request Communicator::isend(int dest, int tag, ByteCount size,
 
   Duration& chan = w.channelFree(rank_, dest);
   const Duration start = max(now(), chan);
+  // Retransmit cycles of a lost copy extend the channel occupancy either
+  // way (the NIC is re-sending instead of taking new work).
+  const Duration lossDelay = w.lossDelay(rank_, dest);
   Duration ready;
   Duration arrival;
   if (size <= path.eagerThreshold) {
@@ -246,7 +300,7 @@ Request Communicator::isend(int dest, int tag, ByteCount size,
     if (size.count() > 0) {
       transfer = path.eagerBandwidth.transferTime(size);
     }
-    chan = start + transfer;
+    chan = start + transfer + lossDelay;
     arrival = chan + path.latency;
     ready = now();  // buffer reusable right away
   } else {
@@ -257,7 +311,7 @@ Request Communicator::isend(int dest, int tag, ByteCount size,
     const Duration handshake =
         path.sendOverhead + path.recvOverhead + path.latency * 2.0;
     const Duration transfer = path.rendezvousBandwidth.transferTime(size);
-    chan = start + handshake + transfer;
+    chan = start + handshake + transfer + lossDelay;
     arrival = chan + path.latency;
     ready = chan;  // sender buffer in use until the copy drains
   }

@@ -168,6 +168,15 @@ class MpiWorld {
   /// outlive every subsequent run; records accumulate across runs.
   void setTracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arms the underlying scheduler's virtual-time watchdog: a run whose
+  /// virtual clock exceeds `deadline` aborts with sim::TimeoutError
+  /// instead of spinning (e.g. a fault-injected retransmit storm).
+  void setWatchdog(Duration deadline) { scheduler_.setWatchdog(deadline); }
+
+  /// Inter-node messages retransmitted in the last completed run (0 when
+  /// the network has no packet loss). Reset at each run.
+  [[nodiscard]] std::uint64_t retransmitCount() const { return retransmits_; }
+
  private:
   friend class Communicator;
 
@@ -208,12 +217,23 @@ class MpiWorld {
     return placements_[src].node != placements_[dst].node;
   }
 
+  /// Extra delivery delay of one data-bearing inter-node message under the
+  /// network's packet-loss model: draws deterministic Bernoulli losses per
+  /// transmission attempt (counter-based stream keyed by source,
+  /// destination and per-pair sequence number), sums capped-exponential
+  /// backoffs for each lost copy and counts them in retransmits_. Returns
+  /// zero for intra-node pairs or a loss-free network; throws Error when
+  /// `maxRetransmits` consecutive copies of one message are lost.
+  [[nodiscard]] Duration lossDelay(int src, int dst);
+
   const machines::Machine* machine_;
   std::vector<RankPlacement> placements_;
   std::optional<InterNodeParams> network_;
   std::vector<Mailbox> mailboxes_;
   std::vector<Duration> channels_;  ///< size() * size(), row-major by src.
   std::vector<Duration> nodeInjection_;  ///< Per node, indexed by node id.
+  std::vector<std::uint64_t> pairSeq_;  ///< Per directed pair message sequence.
+  std::uint64_t retransmits_ = 0;       ///< Lost copies resent in this run.
   std::uint64_t nextRtsId_ = 1;
   Tracer* tracer_ = nullptr;
   sim::VirtualTimeScheduler scheduler_;

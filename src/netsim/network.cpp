@@ -53,7 +53,8 @@ namespace {
 /// Builds a two-node world with `pairs` communicating pairs: ranks
 /// 2i (node 0) <-> 2i+1 (node 1), each pair on its own core (and GPU on
 /// device mode).
-MpiWorld makeTwoNodeWorld(const Machine& m, int pairs, bool deviceBuffers) {
+MpiWorld makeTwoNodeWorld(const Machine& m, int pairs, bool deviceBuffers,
+                          const InterNodeParams& network) {
   NB_EXPECTS(pairs >= 1);
   NB_EXPECTS(pairs <= m.topology.coreCount());
   if (deviceBuffers) {
@@ -73,7 +74,7 @@ MpiWorld makeTwoNodeWorld(const Machine& m, int pairs, bool deviceBuffers) {
       placements.push_back(rp);
     }
   }
-  return MpiWorld(m, std::move(placements), networkFor(m));
+  return MpiWorld(m, std::move(placements), network);
 }
 
 }  // namespace
@@ -82,7 +83,12 @@ InterNodeResult measureInterNode(const Machine& m,
                                  const InterNodeConfig& cfg) {
   NB_EXPECTS(cfg.iterations > 0 && cfg.binaryRuns > 0);
   const int pairs = cfg.pairsPerNode;
-  MpiWorld world = makeTwoNodeWorld(m, pairs, cfg.deviceBuffers);
+  const InterNodeParams network =
+      cfg.network ? *cfg.network : networkFor(m);
+  MpiWorld world = makeTwoNodeWorld(m, pairs, cfg.deviceBuffers, network);
+  if (cfg.watchdog) {
+    world.setWatchdog(*cfg.watchdog);
+  }
 
   Duration latencyElapsed = Duration::zero();
   std::vector<double> pairBandwidth(pairs, 0.0);
@@ -166,7 +172,7 @@ InterNodeResult measureInterNode(const Machine& m,
     bwAcc.add(bwTruth * noise.sampleFactor(rng));
   }
   return InterNodeResult{cfg.messageSize, pairs, latAcc.summary(),
-                         bwAcc.summary()};
+                         bwAcc.summary(), world.retransmitCount()};
 }
 
 std::vector<InterNodeResult> congestionSweep(const Machine& m,

@@ -11,6 +11,7 @@
 /// point-to-point latency/bandwidth plus a neighbour-congestion sweep
 /// where several node-local pairs share one NIC.
 
+#include <optional>
 #include <vector>
 
 #include "core/stats.hpp"
@@ -32,6 +33,12 @@ struct InterNodeConfig {
   /// Device-resident buffers (GPU machines only).
   bool deviceBuffers = false;
   std::uint64_t seed = 0x4e7e0001u;
+  /// Overrides `networkFor(m)` — the faults library supplies a perturbed
+  /// copy (packet loss, NIC brownout) through this.
+  std::optional<mpisim::InterNodeParams> network;
+  /// Virtual-time watchdog for the simulated run; unset leaves the
+  /// scheduler's default (disabled).
+  std::optional<Duration> watchdog;
 };
 
 struct InterNodeResult {
@@ -39,6 +46,7 @@ struct InterNodeResult {
   int pairsPerNode = 1;
   Summary latencyUs;            ///< One-way ping-pong latency.
   Summary perPairBandwidthGBps; ///< Windowed bandwidth per pair.
+  std::uint64_t retransmits = 0;  ///< Lost-and-resent inter-node messages.
 };
 
 /// Ping-pong latency between rank 0 on node 0 and rank 1 on node 1, with

@@ -44,18 +44,29 @@ ExportManifest exportAllTables(const std::filesystem::path& dir,
       manifest.written.push_back(std::move(path));
     }
   };
+  std::vector<CellIncident> incidents;
   add(buildTable1(), "table1_omp_combinations");
   add(buildTable2(), "table2_cpu_systems");
   add(buildTable3(), "table3_gpu_systems");
-  add(renderTable4(computeTable4(options)), "table4_cpu_results");
-  const auto t5 = computeTable5(options);
-  const auto t6 = computeTable6(options);
-  add(renderTable5(t5), "table5_gpu_results");
-  add(renderTable6(t6), "table6_commscope_results");
-  add(buildTable7(t5, t6), "table7_accelerator_ranges");
+  add(renderTable4(computeTable4(options, &incidents), &incidents),
+      "table4_cpu_results");
+  const auto t5 = computeTable5(options, &incidents);
+  const auto t6 = computeTable6(options, &incidents);
+  add(renderTable5(t5, &incidents), "table5_gpu_results");
+  add(renderTable6(t6, &incidents), "table6_commscope_results");
+  add(buildTable7(t5, t6, &incidents), "table7_accelerator_ranges");
   add(buildTable8(), "table8_cpu_software");
   add(buildTable9(), "table9_gpu_software");
   add(renderBalance(computeBalance()), "machine_balance");
+  // Resilience diagnostics ride along only when something actually
+  // retried or failed — a fault-free export stays byte-identical.
+  const std::string diagnostics = renderDiagnostics(incidents);
+  if (!diagnostics.empty()) {
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path = dir / "diagnostics.txt";
+    writeFile(path, diagnostics);
+    manifest.written.push_back(path);
+  }
   return manifest;
 }
 

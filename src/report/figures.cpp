@@ -148,12 +148,37 @@ std::string linkClassLegend(const Machine& m) {
     return "  (no accelerators)\n";
   }
   std::string out = "  GPU pairs by link class:\n";
+  // Fault-injected topologies annotate their downed links; fair-weather
+  // machines have none, so their legend text is unchanged.
+  for (std::size_t i = 0; i < topo.links().size(); ++i) {
+    const topo::Link& link = topo.links()[i];
+    if (!link.failed) {
+      continue;
+    }
+    const auto endpoint = [](const topo::Link::Endpoint& e) {
+      return std::string(
+                 e.kind == topo::Link::EndpointKind::Socket ? "socket"
+                                                            : "gpu") +
+             std::to_string(e.id);
+    };
+    out += "    [DOWN] ";
+    out += endpoint(link.a);
+    out += "<->";
+    out += endpoint(link.b);
+    out += " (";
+    out += topo::linkTypeName(link.type);
+    out += ")\n";
+  }
   for (const LinkClass c : topo.presentGpuLinkClasses()) {
     out += "    " + std::string(topo::linkClassName(c)) + ": ";
     for (int i = 0; i < topo.gpuCount(); ++i) {
       for (int j = i + 1; j < topo.gpuCount(); ++j) {
         if (topo.gpuPairClass(GpuId{i}, GpuId{j}) == c) {
-          out += "(" + std::to_string(i) + "," + std::to_string(j) + ") ";
+          out += "(";
+          out += std::to_string(i);
+          out += ",";
+          out += std::to_string(j);
+          out += ") ";
         }
       }
     }

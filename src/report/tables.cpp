@@ -1,12 +1,15 @@
 #include "report/tables.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <utility>
 
 #include "babelstream/driver.hpp"
 #include "babelstream/sim_device_backend.hpp"
 #include "babelstream/sim_omp_backend.hpp"
 #include "commscope/commscope.hpp"
 #include "core/parallel.hpp"
+#include "faults/fault_plan.hpp"
 #include "machines/registry.hpp"
 #include "ompenv/omp_config.hpp"
 #include "osu/latency.hpp"
@@ -16,6 +19,146 @@ namespace nodebench::report {
 
 using machines::Machine;
 using topo::LinkClass;
+
+namespace {
+
+// Canonical cell names: shared by the retry harness (incident records,
+// flaky-cell draws) and the renderers (n/a lookup). Changing one changes
+// the fault plans that can target it.
+constexpr const char* kCellHostBandwidth = "host bandwidth";
+constexpr const char* kCellOnSocket = "on-socket latency";
+constexpr const char* kCellOnNode = "on-node latency";
+constexpr const char* kCellDeviceBandwidth = "device bandwidth";
+constexpr const char* kCellHostToHost = "host-to-host latency";
+constexpr const char* kCellLaunch = "kernel launch";
+constexpr const char* kCellWait = "sync wait";
+constexpr const char* kCellHdLatency = "H<->D latency";
+constexpr const char* kCellHdBandwidth = "H<->D bandwidth";
+
+// The OSU (Table 5) and Comm|Scope (Table 6) D2D cells measure different
+// things, so they get distinct names — an incident in one must not mark
+// the other as failed.
+std::string d2dMpiCellName(LinkClass c) {
+  return std::string("D2D MPI latency class ") +
+         static_cast<char>('A' + static_cast<int>(c));
+}
+
+std::string d2dCopyCellName(LinkClass c) {
+  return std::string("D2D copy latency class ") +
+         static_cast<char>('A' + static_cast<int>(c));
+}
+
+/// Runs one cell measurement under the resilient retry policy. Attempt 0
+/// runs with salt 0 so fault-free output is byte-identical to the
+/// historical harness; each retry re-derives a deterministic salt the
+/// body folds into its noise seeds. On exhaustion the slot stays
+/// `failed`, the row keeps its zero-initialised value and the renderer
+/// degrades the cell to "n/a".
+template <typename Body>
+void runCell(const TableOptions& opt, const Machine& m, std::string cell,
+             CellIncident& slot, Body&& body) {
+  slot.machine = m.info.name;
+  slot.cell = std::move(cell);
+  const int maxAttempts = std::max(1, opt.cellRetries + 1);
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    ++slot.attempts;
+    try {
+      if (opt.faults != nullptr &&
+          opt.faults->shouldFailAttempt(slot.machine, slot.cell, attempt)) {
+        throw Error("injected flaky-cell failure (attempt " +
+                    std::to_string(attempt + 1) + ")");
+      }
+      const std::uint64_t salt =
+          attempt == 0 ? 0
+                       : par::taskSeed(0xfa157a7full,
+                                       static_cast<std::uint64_t>(attempt));
+      body(salt);
+      slot.failed = false;
+      return;
+    } catch (const std::exception& e) {
+      slot.failed = true;
+      slot.error = e.what();
+    }
+  }
+}
+
+/// Keeps only the interesting incident slots (retried or failed cells),
+/// in task order, appending them to `out` when requested.
+void collectIncidents(std::vector<CellIncident> slots,
+                      std::vector<CellIncident>* out) {
+  if (out == nullptr) {
+    return;
+  }
+  for (CellIncident& slot : slots) {
+    if (slot.attempts > 1 || slot.failed) {
+      out->push_back(std::move(slot));
+    }
+  }
+}
+
+/// The machines a table run measures: registry pointers verbatim without
+/// a fault plan (identity preserved for golden tests and Table 7), or
+/// per-machine perturbed copies under one.
+class MeasuredMachines {
+ public:
+  MeasuredMachines(const std::vector<const Machine*>& ms,
+                   const faults::FaultPlan* plan) {
+    if (plan == nullptr) {
+      return;
+    }
+    faulted_.reserve(ms.size());
+    for (const Machine* m : ms) {
+      faulted_.push_back(plan->applyToMachine(*m));
+    }
+  }
+
+  [[nodiscard]] const Machine& at(const std::vector<const Machine*>& ms,
+                                  std::size_t i) const {
+    return faulted_.empty() ? *ms[i] : faulted_[i];
+  }
+
+ private:
+  std::vector<Machine> faulted_;
+};
+
+bool cellFailed(const std::vector<CellIncident>* incidents,
+                const std::string& machine, const std::string& cell) {
+  if (incidents == nullptr) {
+    return false;
+  }
+  return std::any_of(incidents->begin(), incidents->end(),
+                     [&](const CellIncident& i) {
+                       return i.failed && i.machine == machine &&
+                              i.cell == cell;
+                     });
+}
+
+std::string naOr(bool failed, std::string value) {
+  return failed ? std::string("n/a") : std::move(value);
+}
+
+}  // namespace
+
+std::string renderDiagnostics(const std::vector<CellIncident>& incidents) {
+  if (incidents.empty()) {
+    return {};
+  }
+  std::ostringstream out;
+  out << "Diagnostics appendix (" << incidents.size()
+      << (incidents.size() == 1 ? " incident" : " incidents") << ")\n";
+  for (const CellIncident& i : incidents) {
+    out << "  " << i.machine << " / " << i.cell << ": ";
+    if (i.failed) {
+      out << "n/a after " << i.attempts
+          << (i.attempts == 1 ? " attempt" : " attempts") << ": " << i.error;
+    } else {
+      out << "recovered on attempt " << i.attempts << " (last error: "
+          << i.error << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
 
 Table buildTable1() {
   Table t({"OMP_NUM_THREADS", "OMP_PROC_BIND", "OMP_PLACES"});
@@ -63,7 +206,8 @@ Table buildTable3() {
   return t;
 }
 
-OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt) {
+OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt,
+                        std::uint64_t seedSalt) {
   OmpSweepResult out;
   const auto configs =
       ompenv::table1Combinations(m.coreCount(), m.hardwareThreadCount());
@@ -77,7 +221,7 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt) {
         babelstream::DriverConfig dcfg;
         dcfg.arrayBytes = opt.cpuArrayBytes;
         dcfg.binaryRuns = opt.binaryRuns;
-        dcfg.seed ^= m.seed;
+        dcfg.seed ^= m.seed ^ seedSalt;
         const auto result = babelstream::run(backend, dcfg);
         const auto& best = result.best();
         return OmpSweepEntry{cfg.toString(), best.bandwidthGBps,
@@ -105,54 +249,68 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt) {
   return out;
 }
 
-std::vector<Cpu4Row> computeTable4(const TableOptions& opt) {
+std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
+                                   std::vector<CellIncident>* incidents) {
   const auto ms = machines::cpuMachines();
+  const MeasuredMachines measured(ms, opt.faults);
   std::vector<Cpu4Row> rows(ms.size());
   for (std::size_t i = 0; i < ms.size(); ++i) {
     rows[i].machine = ms[i];
   }
   // Three independent cells per machine; each task writes distinct fields
-  // of its pre-allocated row. The sweep runs its configs inline here
-  // (nested sections stay sequential) — the machine fan-out already feeds
-  // every worker.
+  // of its pre-allocated row (and its own incident slot). The sweep runs
+  // its configs inline here (nested sections stay sequential) — the
+  // machine fan-out already feeds every worker.
+  std::vector<CellIncident> slots(ms.size() * 3);
   par::parallelForEach(
-      ms.size() * 3,
+      slots.size(),
       [&](std::size_t task) {
-        const Machine& m = *ms[task / 3];
+        const Machine& m = measured.at(ms, task / 3);
         Cpu4Row& row = rows[task / 3];
         osu::LatencyConfig lcfg;
         lcfg.messageSize = opt.mpiMessageSize;
         lcfg.binaryRuns = opt.binaryRuns;
         switch (task % 3) {
-          case 0: {
-            const OmpSweepResult sweep = ompSweep(m, opt);
-            row.singleGBps = sweep.bestSingle;
-            row.allGBps = sweep.bestAll;
+          case 0:
+            runCell(opt, m, kCellHostBandwidth, slots[task],
+                    [&](std::uint64_t salt) {
+                      const OmpSweepResult sweep = ompSweep(m, opt, salt);
+                      row.singleGBps = sweep.bestSingle;
+                      row.allGBps = sweep.bestAll;
+                    });
             break;
-          }
-          case 1: {
-            const auto [sockA, sockB] = osu::onSocketPair(m);
-            row.onSocketUs =
-                osu::LatencyBenchmark(m, sockA, sockB,
-                                      mpisim::BufferSpace::Kind::Host)
-                    .measure(lcfg)
-                    .latencyUs;
+          case 1:
+            runCell(opt, m, kCellOnSocket, slots[task],
+                    [&](std::uint64_t salt) {
+                      osu::LatencyConfig cfg = lcfg;
+                      cfg.seed ^= salt;
+                      const auto [sockA, sockB] = osu::onSocketPair(m);
+                      row.onSocketUs =
+                          osu::LatencyBenchmark(m, sockA, sockB,
+                                                mpisim::BufferSpace::Kind::Host)
+                              .measure(cfg)
+                              .latencyUs;
+                    });
             break;
-          }
-          case 2: {
-            const auto [nodeA, nodeB] = osu::onNodePair(m);
-            row.onNodeUs =
-                osu::LatencyBenchmark(m, nodeA, nodeB,
-                                      mpisim::BufferSpace::Kind::Host)
-                    .measure(lcfg)
-                    .latencyUs;
+          case 2:
+            runCell(opt, m, kCellOnNode, slots[task],
+                    [&](std::uint64_t salt) {
+                      osu::LatencyConfig cfg = lcfg;
+                      cfg.seed ^= salt;
+                      const auto [nodeA, nodeB] = osu::onNodePair(m);
+                      row.onNodeUs =
+                          osu::LatencyBenchmark(m, nodeA, nodeB,
+                                                mpisim::BufferSpace::Kind::Host)
+                              .measure(cfg)
+                              .latencyUs;
+                    });
             break;
-          }
           default:
             break;
         }
       },
       opt.jobs);
+  collectIncidents(std::move(slots), incidents);
   return rows;
 }
 
@@ -168,14 +326,22 @@ std::string cellOrEmpty(const std::optional<Summary>& s, int precision = 2) {
 
 }  // namespace
 
-Table renderTable4(const std::vector<Cpu4Row>& rows) {
+Table renderTable4(const std::vector<Cpu4Row>& rows,
+                   const std::vector<CellIncident>* incidents) {
   Table t({"Rank/Name", "Single (GB/s)", "All (GB/s)", "Peak (GB/s)",
            "On-Socket (us)", "On-Node (us)"});
   t.setTitle("Table 4: CPU memory bandwidth and MPI latency (mean +- sigma, 100 runs)");
   for (const Cpu4Row& row : rows) {
-    t.addRow({rankName(*row.machine), row.singleGBps.toString(),
-              row.allGBps.toString(), row.machine->hostMemory.peakNote,
-              row.onSocketUs.toString(), row.onNodeUs.toString()});
+    const std::string& name = row.machine->info.name;
+    const bool bwFailed = cellFailed(incidents, name, kCellHostBandwidth);
+    t.addRow({rankName(*row.machine),
+              naOr(bwFailed, row.singleGBps.toString()),
+              naOr(bwFailed, row.allGBps.toString()),
+              row.machine->hostMemory.peakNote,
+              naOr(cellFailed(incidents, name, kCellOnSocket),
+                   row.onSocketUs.toString()),
+              naOr(cellFailed(incidents, name, kCellOnNode),
+                   row.onNodeUs.toString())});
   }
   return t;
 }
@@ -192,13 +358,17 @@ struct GpuCellTask {
 
 }  // namespace
 
-std::vector<Gpu5Row> computeTable5(const TableOptions& opt) {
+std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
+                                   std::vector<CellIncident>* incidents) {
   const auto ms = machines::gpuMachines();
+  const MeasuredMachines measured(ms, opt.faults);
   std::vector<Gpu5Row> rows(ms.size());
 
   // Enumerate the (machine x cell) grid up front; the present link
-  // classes differ per machine, so the task list is ragged. Enumeration
-  // also primes each topology's route cache before the fan-out.
+  // classes differ per machine, so the task list is ragged. The grid is
+  // always the *registry* machine's — a fault plan never changes the
+  // table's shape, only which cells degrade to "n/a". Enumeration also
+  // primes each topology's route cache before the fan-out.
   enum { kBabelstream = 0, kHostLatency = 1, kDeviceLatency = 2 };
   std::vector<GpuCellTask> tasks;
   for (std::size_t i = 0; i < ms.size(); ++i) {
@@ -210,70 +380,95 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt) {
     }
   }
 
+  std::vector<CellIncident> slots(tasks.size());
   par::parallelForEach(
       tasks.size(),
       [&](std::size_t t) {
         const GpuCellTask& task = tasks[t];
-        const Machine& m = *ms[task.machineIdx];
+        const Machine& m = measured.at(ms, task.machineIdx);
         Gpu5Row& row = rows[task.machineIdx];
         osu::LatencyConfig lcfg;
         lcfg.messageSize = opt.mpiMessageSize;
         lcfg.binaryRuns = opt.binaryRuns;
         switch (task.kind) {
-          case kBabelstream: {
-            babelstream::SimDeviceBackend backend(m, /*device=*/0);
-            babelstream::DriverConfig dcfg;
-            dcfg.arrayBytes = opt.gpuArrayBytes;
-            dcfg.binaryRuns = opt.binaryRuns;
-            dcfg.seed ^= m.seed;
-            row.deviceGBps =
-                babelstream::run(backend, dcfg).best().bandwidthGBps;
+          case kBabelstream:
+            runCell(opt, m, kCellDeviceBandwidth, slots[t],
+                    [&](std::uint64_t salt) {
+                      babelstream::SimDeviceBackend backend(m, /*device=*/0);
+                      babelstream::DriverConfig dcfg;
+                      dcfg.arrayBytes = opt.gpuArrayBytes;
+                      dcfg.binaryRuns = opt.binaryRuns;
+                      dcfg.seed ^= m.seed ^ salt;
+                      row.deviceGBps =
+                          babelstream::run(backend, dcfg).best().bandwidthGBps;
+                    });
             break;
-          }
-          case kHostLatency: {
-            const auto [hostA, hostB] = osu::onSocketPair(m);
-            row.hostToHostUs =
-                osu::LatencyBenchmark(m, hostA, hostB,
-                                      mpisim::BufferSpace::Kind::Host)
-                    .measure(lcfg)
-                    .latencyUs;
+          case kHostLatency:
+            runCell(opt, m, kCellHostToHost, slots[t],
+                    [&](std::uint64_t salt) {
+                      osu::LatencyConfig cfg = lcfg;
+                      cfg.seed ^= salt;
+                      const auto [hostA, hostB] = osu::onSocketPair(m);
+                      row.hostToHostUs =
+                          osu::LatencyBenchmark(m, hostA, hostB,
+                                                mpisim::BufferSpace::Kind::Host)
+                              .measure(cfg)
+                              .latencyUs;
+                    });
             break;
-          }
-          case kDeviceLatency: {
-            const auto [devA, devB] = osu::devicePair(m, task.linkClass);
-            row.deviceToDeviceUs[static_cast<int>(task.linkClass)] =
-                osu::LatencyBenchmark(m, devA, devB,
-                                      mpisim::BufferSpace::Kind::Device)
-                    .measure(lcfg)
-                    .latencyUs;
+          case kDeviceLatency:
+            runCell(opt, m, d2dMpiCellName(task.linkClass), slots[t],
+                    [&](std::uint64_t salt) {
+                      osu::LatencyConfig cfg = lcfg;
+                      cfg.seed ^= salt;
+                      const auto [devA, devB] =
+                          osu::devicePair(m, task.linkClass);
+                      row.deviceToDeviceUs[static_cast<int>(task.linkClass)] =
+                          osu::LatencyBenchmark(
+                              m, devA, devB,
+                              mpisim::BufferSpace::Kind::Device)
+                              .measure(cfg)
+                              .latencyUs;
+                    });
             break;
-          }
           default:
             break;
         }
       },
       opt.jobs);
+  collectIncidents(std::move(slots), incidents);
   return rows;
 }
 
-Table renderTable5(const std::vector<Gpu5Row>& rows) {
+Table renderTable5(const std::vector<Gpu5Row>& rows,
+                   const std::vector<CellIncident>* incidents) {
   Table t({"Rank/Name", "Device BW (GB/s)", "Peak", "Host-to-Host (us)",
            "D2D A (us)", "D2D B (us)", "D2D C (us)", "D2D D (us)"});
   t.setTitle("Table 5: GPU memory bandwidth and MPI latency (mean +- sigma, 100 runs)");
   for (const Gpu5Row& row : rows) {
-    t.addRow({rankName(*row.machine), row.deviceGBps.toString(),
+    const std::string& name = row.machine->info.name;
+    // A class absent from the machine stays blank; a class whose
+    // measurement failed renders "n/a".
+    const auto d2d = [&](int c) {
+      return naOr(cellFailed(incidents, name,
+                             d2dMpiCellName(static_cast<LinkClass>(c))),
+                  cellOrEmpty(row.deviceToDeviceUs[c]));
+    };
+    t.addRow({rankName(*row.machine),
+              naOr(cellFailed(incidents, name, kCellDeviceBandwidth),
+                   row.deviceGBps.toString()),
               row.machine->device->hbmPeakNote,
-              row.hostToHostUs.toString(),
-              cellOrEmpty(row.deviceToDeviceUs[0]),
-              cellOrEmpty(row.deviceToDeviceUs[1]),
-              cellOrEmpty(row.deviceToDeviceUs[2]),
-              cellOrEmpty(row.deviceToDeviceUs[3])});
+              naOr(cellFailed(incidents, name, kCellHostToHost),
+                   row.hostToHostUs.toString()),
+              d2d(0), d2d(1), d2d(2), d2d(3)});
   }
   return t;
 }
 
-std::vector<Gpu6Row> computeTable6(const TableOptions& opt) {
+std::vector<Gpu6Row> computeTable6(const TableOptions& opt,
+                                   std::vector<CellIncident>* incidents) {
   const auto ms = machines::gpuMachines();
+  const MeasuredMachines measured(ms, opt.faults);
   std::vector<Gpu6Row> rows(ms.size());
 
   // Each Comm|Scope quantity is measured by its own scope instance: the
@@ -300,40 +495,56 @@ std::vector<Gpu6Row> computeTable6(const TableOptions& opt) {
     }
   }
 
+  std::vector<CellIncident> slots(tasks.size());
   par::parallelForEach(
       tasks.size(),
       [&](std::size_t t) {
         const GpuCellTask& task = tasks[t];
+        const Machine& m = measured.at(ms, task.machineIdx);
         Gpu6Row& row = rows[task.machineIdx];
-        commscope::CommScope scope(*ms[task.machineIdx]);
-        commscope::Config cfg;
-        cfg.binaryRuns = opt.binaryRuns;
-        switch (task.kind) {
-          case kLaunch:
-            row.launchUs = scope.kernelLaunchUs(cfg);
-            break;
-          case kWait:
-            row.waitUs = scope.syncWaitUs(cfg);
-            break;
-          case kHostDeviceLatency:
-            row.hostDeviceLatencyUs = scope.hostDeviceLatencyUs(cfg);
-            break;
-          case kHostDeviceBandwidth:
-            row.hostDeviceBandwidthGBps = scope.hostDeviceBandwidthGBps(cfg);
-            break;
-          case kD2dLatency:
-            row.d2dLatencyUs[static_cast<int>(task.linkClass)] =
-                scope.d2dLatencyUs(task.linkClass, cfg);
-            break;
-          default:
-            break;
-        }
+        const auto cellName = [&] {
+          switch (task.kind) {
+            case kLaunch: return std::string(kCellLaunch);
+            case kWait: return std::string(kCellWait);
+            case kHostDeviceLatency: return std::string(kCellHdLatency);
+            case kHostDeviceBandwidth: return std::string(kCellHdBandwidth);
+            default: return d2dCopyCellName(task.linkClass);
+          }
+        };
+        runCell(opt, m, cellName(), slots[t], [&](std::uint64_t salt) {
+          commscope::CommScope scope(m);
+          commscope::Config cfg;
+          cfg.binaryRuns = opt.binaryRuns;
+          cfg.seed ^= salt;
+          switch (task.kind) {
+            case kLaunch:
+              row.launchUs = scope.kernelLaunchUs(cfg);
+              break;
+            case kWait:
+              row.waitUs = scope.syncWaitUs(cfg);
+              break;
+            case kHostDeviceLatency:
+              row.hostDeviceLatencyUs = scope.hostDeviceLatencyUs(cfg);
+              break;
+            case kHostDeviceBandwidth:
+              row.hostDeviceBandwidthGBps = scope.hostDeviceBandwidthGBps(cfg);
+              break;
+            case kD2dLatency:
+              row.d2dLatencyUs[static_cast<int>(task.linkClass)] =
+                  scope.d2dLatencyUs(task.linkClass, cfg);
+              break;
+            default:
+              break;
+          }
+        });
       },
       opt.jobs);
+  collectIncidents(std::move(slots), incidents);
   return rows;
 }
 
-Table renderTable6(const std::vector<Gpu6Row>& rows) {
+Table renderTable6(const std::vector<Gpu6Row>& rows,
+                   const std::vector<CellIncident>* incidents) {
   Table t({"Rank/Name", "Launch (us)", "Wait (us)", "H<->D Lat (us)",
            "H<->D BW (GB/s)", "D2D A (us)", "D2D B (us)", "D2D C (us)",
            "D2D D (us)"});
@@ -341,13 +552,22 @@ Table renderTable6(const std::vector<Gpu6Row>& rows) {
       "Table 6: Comm|Scope kernel/wait latencies and transfer costs "
       "(mean +- sigma, 100 runs)");
   for (const Gpu6Row& row : rows) {
-    t.addRow({rankName(*row.machine), row.launchUs.toString(),
-              row.waitUs.toString(), row.hostDeviceLatencyUs.toString(),
-              row.hostDeviceBandwidthGBps.toString(),
-              cellOrEmpty(row.d2dLatencyUs[0]),
-              cellOrEmpty(row.d2dLatencyUs[1]),
-              cellOrEmpty(row.d2dLatencyUs[2]),
-              cellOrEmpty(row.d2dLatencyUs[3])});
+    const std::string& name = row.machine->info.name;
+    const auto d2d = [&](int c) {
+      return naOr(cellFailed(incidents, name,
+                             d2dCopyCellName(static_cast<LinkClass>(c))),
+                  cellOrEmpty(row.d2dLatencyUs[c]));
+    };
+    t.addRow({rankName(*row.machine),
+              naOr(cellFailed(incidents, name, kCellLaunch),
+                   row.launchUs.toString()),
+              naOr(cellFailed(incidents, name, kCellWait),
+                   row.waitUs.toString()),
+              naOr(cellFailed(incidents, name, kCellHdLatency),
+                   row.hostDeviceLatencyUs.toString()),
+              naOr(cellFailed(incidents, name, kCellHdBandwidth),
+                   row.hostDeviceBandwidthGBps.toString()),
+              d2d(0), d2d(1), d2d(2), d2d(3)});
   }
   return t;
 }
@@ -384,7 +604,8 @@ class Range {
 }  // namespace
 
 Table buildTable7(const std::vector<Gpu5Row>& t5,
-                  const std::vector<Gpu6Row>& t6) {
+                  const std::vector<Gpu6Row>& t6,
+                  const std::vector<CellIncident>* incidents) {
   Table t({"Accelerator", "Memory BW", "MPI Lat.", "Kernel Launch",
            "Kernel Wait", "H2D/D2H Lat.", "H2D/D2H BW", "D2D Lat."});
   t.setTitle(
@@ -398,25 +619,46 @@ Table buildTable7(const std::vector<Gpu5Row>& t5,
     Range hdBw;
     Range d2d;
     for (const Machine* m : group.members) {
+      // Failed cells hold zero-initialised placeholders; keep them out of
+      // the min-max ranges.
+      const auto ok = [&](const char* cell) {
+        return !cellFailed(incidents, m->info.name, cell);
+      };
+      const std::string mpiClassA = d2dMpiCellName(LinkClass::A);
+      const std::string copyClassA = d2dCopyCellName(LinkClass::A);
       for (const Gpu5Row& row : t5) {
         if (row.machine != m) {
           continue;
         }
-        bw.add(row.deviceGBps);
+        if (ok(kCellDeviceBandwidth)) {
+          bw.add(row.deviceGBps);
+        }
         // The paper's Table 7 ranges cover the class-A (direct-link) pair
         // of each machine: e.g. its V100 MPI range is 18.10-18.72, which
         // excludes the class-B 19.30-19.76 values.
-        mpi.addIf(row.deviceToDeviceUs[0]);
+        if (ok(mpiClassA.c_str())) {
+          mpi.addIf(row.deviceToDeviceUs[0]);
+        }
       }
       for (const Gpu6Row& row : t6) {
         if (row.machine != m) {
           continue;
         }
-        launch.add(row.launchUs);
-        wait.add(row.waitUs);
-        hdLat.add(row.hostDeviceLatencyUs);
-        hdBw.add(row.hostDeviceBandwidthGBps);
-        d2d.addIf(row.d2dLatencyUs[0]);  // class A, as above
+        if (ok(kCellLaunch)) {
+          launch.add(row.launchUs);
+        }
+        if (ok(kCellWait)) {
+          wait.add(row.waitUs);
+        }
+        if (ok(kCellHdLatency)) {
+          hdLat.add(row.hostDeviceLatencyUs);
+        }
+        if (ok(kCellHdBandwidth)) {
+          hdBw.add(row.hostDeviceBandwidthGBps);
+        }
+        if (ok(copyClassA.c_str())) {
+          d2d.addIf(row.d2dLatencyUs[0]);  // class A, as above
+        }
       }
     }
     t.addRow({group.name, bw.str(), mpi.str(), launch.str(), wait.str(),

@@ -8,13 +8,19 @@
 /// functions format them in the paper's layout.
 
 #include <array>
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
 #include "machines/machine.hpp"
+
+namespace nodebench::faults {
+class FaultPlan;
+}  // namespace nodebench::faults
 
 namespace nodebench::report {
 
@@ -31,7 +37,34 @@ struct TableOptions {
   /// byte-identical for every value (see DESIGN.md "Parallel harness &
   /// determinism").
   int jobs = 0;
+  /// Optional fault plan applied to every measurement (see
+  /// faults/fault_plan.hpp). nullptr runs the fair-weather harness with
+  /// output byte-identical to a build without the faults library. The
+  /// plan must outlive the compute call.
+  const faults::FaultPlan* faults = nullptr;
+  /// Extra measurement attempts after a failed one before a cell degrades
+  /// to "n/a". Retries re-derive their noise seeds deterministically, so
+  /// recovered cells are still byte-identical across --jobs values.
+  int cellRetries = 2;
 };
+
+/// Outcome of one measured (machine x cell) task under the resilient
+/// harness. The compute functions report an incident only for cells that
+/// needed more than one attempt or failed outright; failed cells render
+/// as "n/a" and every incident feeds the diagnostics appendix.
+struct CellIncident {
+  std::string machine;
+  std::string cell;
+  int attempts = 0;
+  bool failed = false;
+  std::string error;  ///< Error text of the last failing attempt.
+};
+
+/// Human-readable diagnostics appendix for the incidents a table run
+/// collected. Returns "" when `incidents` is empty, so fault-free runs
+/// emit nothing.
+[[nodiscard]] std::string renderDiagnostics(
+    const std::vector<CellIncident>& incidents);
 
 // --- Table 1: OpenMP environment combinations ------------------------------
 [[nodiscard]] Table buildTable1();
@@ -48,8 +81,11 @@ struct Cpu4Row {
   Summary onSocketUs;
   Summary onNodeUs;
 };
-[[nodiscard]] std::vector<Cpu4Row> computeTable4(const TableOptions& opt);
-[[nodiscard]] Table renderTable4(const std::vector<Cpu4Row>& rows);
+[[nodiscard]] std::vector<Cpu4Row> computeTable4(
+    const TableOptions& opt, std::vector<CellIncident>* incidents = nullptr);
+[[nodiscard]] Table renderTable4(
+    const std::vector<Cpu4Row>& rows,
+    const std::vector<CellIncident>* incidents = nullptr);
 
 // --- Table 5: GPU systems (BabelStream + OSU) -------------------------------
 struct Gpu5Row {
@@ -58,8 +94,11 @@ struct Gpu5Row {
   Summary hostToHostUs;
   std::array<std::optional<Summary>, 4> deviceToDeviceUs;  ///< classes A..D
 };
-[[nodiscard]] std::vector<Gpu5Row> computeTable5(const TableOptions& opt);
-[[nodiscard]] Table renderTable5(const std::vector<Gpu5Row>& rows);
+[[nodiscard]] std::vector<Gpu5Row> computeTable5(
+    const TableOptions& opt, std::vector<CellIncident>* incidents = nullptr);
+[[nodiscard]] Table renderTable5(
+    const std::vector<Gpu5Row>& rows,
+    const std::vector<CellIncident>* incidents = nullptr);
 
 // --- Table 6: GPU systems (Comm|Scope) ---------------------------------------
 struct Gpu6Row {
@@ -70,12 +109,19 @@ struct Gpu6Row {
   Summary hostDeviceBandwidthGBps;
   std::array<std::optional<Summary>, 4> d2dLatencyUs;  ///< classes A..D
 };
-[[nodiscard]] std::vector<Gpu6Row> computeTable6(const TableOptions& opt);
-[[nodiscard]] Table renderTable6(const std::vector<Gpu6Row>& rows);
+[[nodiscard]] std::vector<Gpu6Row> computeTable6(
+    const TableOptions& opt, std::vector<CellIncident>* incidents = nullptr);
+[[nodiscard]] Table renderTable6(
+    const std::vector<Gpu6Row>& rows,
+    const std::vector<CellIncident>* incidents = nullptr);
 
 // --- Table 7: per-accelerator min-max summary --------------------------------
-[[nodiscard]] Table buildTable7(const std::vector<Gpu5Row>& t5,
-                                const std::vector<Gpu6Row>& t6);
+/// When `incidents` is given, cells that failed in the Table 5/6 runs are
+/// excluded from the min-max ranges instead of polluting them with their
+/// zero-initialised placeholders.
+[[nodiscard]] Table buildTable7(
+    const std::vector<Gpu5Row>& t5, const std::vector<Gpu6Row>& t6,
+    const std::vector<CellIncident>* incidents = nullptr);
 
 // --- Tables 8 / 9: software environments --------------------------------------
 [[nodiscard]] Table buildTable8();
@@ -94,7 +140,11 @@ struct OmpSweepResult {
   Summary bestSingle;
   Summary bestAll;
 };
+/// `seedSalt` perturbs the per-binary noise streams (0 reproduces the
+/// historical sweep bit-for-bit); the harness passes a deterministic
+/// per-attempt salt on retries.
 [[nodiscard]] OmpSweepResult ompSweep(const machines::Machine& m,
-                                      const TableOptions& opt);
+                                      const TableOptions& opt,
+                                      std::uint64_t seedSalt = 0);
 
 }  // namespace nodebench::report

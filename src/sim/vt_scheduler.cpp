@@ -1,8 +1,30 @@
 #include "sim/vt_scheduler.hpp"
 
+#include <cstdio>
 #include <string>
+#include <utility>
 
 namespace nodebench::sim {
+
+namespace {
+
+std::string deadlockMessage(const std::string& reason,
+                            const std::vector<RankStateSnapshot>& ranks) {
+  std::string msg = reason;
+  for (const RankStateSnapshot& r : ranks) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\n  rank %d: %s at t=%.3f us", r.rank,
+                  r.state.c_str(), r.clock.us());
+    msg += buf;
+  }
+  return msg;
+}
+
+}  // namespace
+
+DeadlockError::DeadlockError(const std::string& reason,
+                             std::vector<RankStateSnapshot> ranks)
+    : Error(deadlockMessage(reason, ranks)), ranks_(std::move(ranks)) {}
 
 Duration VirtualProcess::now() const {
   std::unique_lock lock(sched_->mu_);
@@ -33,13 +55,15 @@ void VirtualProcess::blockUntil(const std::function<bool()>& pred) {
     s.slots_[rank_].state = VirtualTimeScheduler::State::Blocked;
     const int next = s.pickNextLocked();
     if (next < 0) {
+      auto ranks = s.snapshotLocked();
       if (!s.firstError_) {
         s.firstError_ = std::make_exception_ptr(DeadlockError(
-            "virtual-time deadlock: every live process is blocked"));
+            "virtual-time deadlock: every live process is blocked", ranks));
       }
       s.abortAllLocked();
       throw DeadlockError("virtual-time deadlock detected by rank " +
-                          std::to_string(rank_));
+                              std::to_string(rank_),
+                          std::move(ranks));
     }
     s.switchToLocked(next);
     s.waitUntilRunningLocked(lock, rank_);
@@ -87,8 +111,28 @@ void VirtualTimeScheduler::waitUntilRunningLocked(
   }
 }
 
+void VirtualTimeScheduler::checkWatchdogLocked(int rank) {
+  if (slots_[rank].clock <= watchdog_) {
+    return;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "virtual-time watchdog expired: rank %d reached t=%.3f us "
+                "(deadline %.3f us)",
+                rank, slots_[rank].clock.us(), watchdog_.us());
+  if (!firstError_) {
+    firstError_ = std::make_exception_ptr(
+        TimeoutError(deadlockMessage(buf, snapshotLocked())));
+  }
+  abortAllLocked();
+  throw TimeoutError(buf);
+}
+
 void VirtualTimeScheduler::yieldIfEarlierLocked(
     std::unique_lock<std::mutex>& lock, int rank) {
+  // Every virtual-time advance funnels through here, so this is the one
+  // place the watchdog needs to observe runaway clocks.
+  checkWatchdogLocked(rank);
   // Re-enter the ready pool; if we are still the earliest runnable process
   // we simply keep running, otherwise hand over.
   slots_[rank].state = State::Ready;
@@ -105,6 +149,27 @@ void VirtualTimeScheduler::yieldIfEarlierLocked(
 void VirtualTimeScheduler::abortAllLocked() {
   aborted_ = true;
   cv_.notify_all();
+}
+
+std::vector<RankStateSnapshot> VirtualTimeScheduler::snapshotLocked() const {
+  std::vector<RankStateSnapshot> out;
+  out.reserve(slots_.size());
+  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+    const char* name = "?";
+    switch (slots_[i].state) {
+      case State::Ready: name = "ready"; break;
+      case State::Running: name = "running"; break;
+      case State::Blocked: name = "blocked"; break;
+      case State::Finished: name = "finished"; break;
+    }
+    out.push_back(RankStateSnapshot{i, name, slots_[i].clock});
+  }
+  return out;
+}
+
+void VirtualTimeScheduler::setWatchdog(Duration deadline) {
+  NB_EXPECTS(deadline > Duration::zero());
+  watchdog_ = deadline;
 }
 
 void VirtualTimeScheduler::processBody(int rank, const ProcessFn& fn) {
@@ -131,7 +196,8 @@ void VirtualTimeScheduler::processBody(int rank, const ProcessFn& fn) {
         if (!firstError_) {
           firstError_ = std::make_exception_ptr(DeadlockError(
               "virtual-time deadlock: last runnable process finished while "
-              "others are still blocked"));
+              "others are still blocked",
+              snapshotLocked()));
         }
         abortAllLocked();
       }

@@ -20,6 +20,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -28,9 +29,39 @@
 
 namespace nodebench::sim {
 
+/// Snapshot of one rank process at the moment a scheduling failure was
+/// detected. Carried by DeadlockError / TimeoutError so injected-fault
+/// hangs and genuine runtime bugs are distinguishable from the error
+/// alone: which ranks were blocked, and at what virtual time.
+struct RankStateSnapshot {
+  int rank = -1;
+  std::string state;             ///< "ready" / "running" / "blocked" / "finished".
+  Duration clock = Duration::zero();  ///< Local virtual time at detection.
+};
+
 /// Thrown in every participating process when the virtual-time system
-/// deadlocks (all live processes blocked).
+/// deadlocks (all live processes blocked). The message lists the per-rank
+/// state table; `ranks()` exposes it structurally.
 class DeadlockError : public Error {
+ public:
+  using Error::Error;
+  DeadlockError(const std::string& reason,
+                std::vector<RankStateSnapshot> ranks);
+
+  [[nodiscard]] const std::vector<RankStateSnapshot>& ranks() const {
+    return ranks_;
+  }
+
+ private:
+  std::vector<RankStateSnapshot> ranks_;
+};
+
+/// Thrown in every participating process when a process's virtual clock
+/// exceeds the scheduler's watchdog deadline — the virtual-time analogue
+/// of a wall-clock timeout. Distinguishes "the system is livelocked /
+/// runaway" (e.g. an injected fault causing endless retransmits) from a
+/// true deadlock, instead of hanging or mis-reporting.
+class TimeoutError : public Error {
  public:
   using Error::Error;
 };
@@ -81,6 +112,15 @@ class VirtualTimeScheduler {
   /// detection). Precondition: !fns.empty().
   void run(const std::vector<ProcessFn>& fns);
 
+  /// Arms a virtual-time watchdog: if any process's local clock exceeds
+  /// `deadline`, the run aborts with TimeoutError in every participant.
+  /// The deadline persists across runs (scheduler configuration, not
+  /// per-run state); `Duration::infinity()` (the default) disables it.
+  /// Precondition: deadline > 0.
+  void setWatchdog(Duration deadline);
+
+  [[nodiscard]] Duration watchdog() const { return watchdog_; }
+
   /// Total number of process switches in the last completed `run`
   /// (determinism diagnostics for tests). Reset to zero at `run` entry,
   /// so back-to-back runs on one scheduler report per-run counts rather
@@ -104,7 +144,9 @@ class VirtualTimeScheduler {
   void switchToLocked(int next);
   void waitUntilRunningLocked(std::unique_lock<std::mutex>& lock, int rank);
   void yieldIfEarlierLocked(std::unique_lock<std::mutex>& lock, int rank);
+  void checkWatchdogLocked(int rank);
   void abortAllLocked();
+  [[nodiscard]] std::vector<RankStateSnapshot> snapshotLocked() const;
 
   void processBody(int rank, const ProcessFn& fn);
 
@@ -114,6 +156,7 @@ class VirtualTimeScheduler {
   bool aborted_ = false;
   std::exception_ptr firstError_;
   std::uint64_t switches_ = 0;
+  Duration watchdog_ = Duration::infinity();
 };
 
 }  // namespace nodebench::sim

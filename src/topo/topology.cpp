@@ -204,7 +204,7 @@ const Link* NodeTopology::directGpuLink(GpuId a, GpuId b) const {
   const Link::Endpoint ea{Link::EndpointKind::Gpu, a.value};
   const Link::Endpoint eb{Link::EndpointKind::Gpu, b.value};
   for (const Link& link : links_) {
-    if (link.connects(ea, eb)) {
+    if (!link.failed && link.connects(ea, eb)) {
       return &link;
     }
   }
@@ -217,7 +217,7 @@ const Link& NodeTopology::hostGpuLink(SocketId s, GpuId g) const {
   const Link::Endpoint es{Link::EndpointKind::Socket, s.value};
   const Link::Endpoint eg{Link::EndpointKind::Gpu, g.value};
   for (const Link& link : links_) {
-    if (link.connects(es, eg)) {
+    if (!link.failed && link.connects(es, eg)) {
       return link;
     }
   }
@@ -232,7 +232,7 @@ const Link& NodeTopology::socketLink(SocketId a, SocketId b) const {
   const Link::Endpoint ea{Link::EndpointKind::Socket, a.value};
   const Link::Endpoint eb{Link::EndpointKind::Socket, b.value};
   for (const Link& link : links_) {
-    if (link.connects(ea, eb)) {
+    if (!link.failed && link.connects(ea, eb)) {
       return link;
     }
   }
@@ -477,6 +477,22 @@ void NodeTopology::setHostGpuLinkBandwidth(SocketId s, GpuId g, Bandwidth bw) {
     }
   }
   throw NotFoundError("setHostGpuLinkBandwidth: no such link");
+}
+
+void NodeTopology::setLinkFailed(std::size_t linkIndex, bool failed) {
+  NB_EXPECTS_MSG(linkIndex < links_.size(), "link index out of range");
+  links_[linkIndex].failed = failed;
+  invalidateRouteCache();
+}
+
+void NodeTopology::degradeLink(std::size_t linkIndex, double bandwidthFactor,
+                               Duration addedLatency) {
+  NB_EXPECTS_MSG(linkIndex < links_.size(), "link index out of range");
+  NB_EXPECTS(bandwidthFactor > 0.0);
+  Link& link = links_[linkIndex];
+  link.bandwidth = link.bandwidth * bandwidthFactor;
+  link.latency += addedLatency;
+  invalidateRouteCache();
 }
 
 void NodeTopology::checkSocket(SocketId id) const {

@@ -81,6 +81,7 @@ struct Link {
   int count = 1;        ///< Parallel link count (e.g. 4 xGMI links).
   Duration latency;     ///< One-way hardware latency of the hop.
   Bandwidth bandwidth;  ///< Aggregate unidirectional bandwidth of the hop.
+  bool failed = false;  ///< Fault-injected: link is down; lookups skip it.
 
   [[nodiscard]] bool connects(Endpoint x, Endpoint y) const {
     return (a == x && b == y) || (a == y && b == x);
@@ -142,6 +143,22 @@ class NodeTopology {
   /// full transfer model (overheads + latency + size/bw) reproduces the
   /// paper's measured 1 GiB transfer rates.
   void setHostGpuLinkBandwidth(SocketId s, GpuId g, Bandwidth bw);
+
+  // --- fault injection ----------------------------------------------------
+  // Mutators used by the faults library. Like the construction API they
+  // must not run concurrently with queries; each invalidates the route
+  // cache. `linkIndex` addresses links() in insertion order.
+
+  /// Marks one link as down. Every lookup (`directGpuLink`, `hostGpuLink`,
+  /// `socketLink`) then skips it, so routes that depended on it resolve to
+  /// an alternative path or raise the usual NotFoundError.
+  void setLinkFailed(std::size_t linkIndex, bool failed = true);
+
+  /// Degrades one link in place: bandwidth is scaled by `bandwidthFactor`
+  /// (in (0, 1] for a brownout) and `addedLatency` is added to the hop
+  /// latency. Precondition: bandwidthFactor > 0.
+  void degradeLink(std::size_t linkIndex, double bandwidthFactor,
+                   Duration addedLatency);
 
   // --- queries ------------------------------------------------------------
   [[nodiscard]] int socketCount() const { return static_cast<int>(sockets_.size()); }

@@ -80,7 +80,9 @@ TEST(ParallelForEach, ZeroCountIsANoop) {
   parallelForEach(0, [](std::size_t) { FAIL(); }, 8);
 }
 
-TEST(ParallelForEach, RethrowsLowestIndexException) {
+TEST(ParallelForEach, LowestIndexFailureComesFirst) {
+  // Multiple failures aggregate (see MultipleFailuresAggregateInTaskOrder);
+  // the lowest-index one still leads, independent of worker count.
   for (const int jobs : {1, 8}) {
     try {
       parallelForEach(
@@ -92,8 +94,10 @@ TEST(ParallelForEach, RethrowsLowestIndexException) {
           },
           jobs);
       FAIL() << "expected an exception, jobs=" << jobs;
-    } catch (const std::runtime_error& e) {
-      EXPECT_STREQ(e.what(), "task 7") << "jobs=" << jobs;
+    } catch (const AggregateError& e) {
+      ASSERT_EQ(e.failures().size(), 2u) << "jobs=" << jobs;
+      EXPECT_EQ(e.failures()[0].task, 7u) << "jobs=" << jobs;
+      EXPECT_EQ(e.failures()[0].message, "task 7") << "jobs=" << jobs;
     }
   }
 }
@@ -138,6 +142,67 @@ TEST(ParallelMap, ResultIndependentOfWorkerCount) {
   const auto par8 = parallelMap(items, compute, 8);
   EXPECT_EQ(seq, par2);
   EXPECT_EQ(seq, par8);
+}
+
+TEST(ParallelForEach, SingleFailureRethrowsOriginalType) {
+  for (const int jobs : {1, 4}) {
+    EXPECT_THROW(parallelForEach(
+                     8,
+                     [](std::size_t task) {
+                       if (task == 5) {
+                         throw NotFoundError("only failure");
+                       }
+                     },
+                     jobs),
+                 NotFoundError)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelForEach, MultipleFailuresAggregateInTaskOrder) {
+  for (const int jobs : {1, 2, 8}) {
+    try {
+      parallelForEach(
+          10,
+          [](std::size_t task) {
+            if (task % 3 == 1) {  // tasks 1, 4, 7
+              throw Error("boom " + std::to_string(task));
+            }
+          },
+          jobs);
+      FAIL() << "expected AggregateError (jobs=" << jobs << ")";
+    } catch (const AggregateError& e) {
+      ASSERT_EQ(e.failures().size(), 3u) << "jobs=" << jobs;
+      EXPECT_EQ(e.failures()[0].task, 1u);
+      EXPECT_EQ(e.failures()[1].task, 4u);
+      EXPECT_EQ(e.failures()[2].task, 7u);
+      EXPECT_EQ(e.failures()[1].message, "boom 4");
+      const std::string what = e.what();
+      EXPECT_NE(what.find("task 7"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ParallelForEach, AllTasksRunDespiteEarlyFailure) {
+  // Error policy must be jobs-independent: every task still executes,
+  // even sequentially after task 0 has already failed.
+  for (const int jobs : {1, 4}) {
+    std::atomic<int> ran{0};
+    try {
+      parallelForEach(
+          6,
+          [&](std::size_t task) {
+            ran.fetch_add(1);
+            if (task == 0) {
+              throw Error("first");
+            }
+          },
+          jobs);
+      FAIL();
+    } catch (const Error&) {
+    }
+    EXPECT_EQ(ran.load(), 6) << "jobs=" << jobs;
+  }
 }
 
 }  // namespace

@@ -182,5 +182,75 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
                                            55u, 89u));
 
+TEST(Median, OddCountPicksMiddleElement) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Median, EvenCountAveragesMiddlePair) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Median, SingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(median(xs), 42.0);
+}
+
+TEST(Median, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)median(xs), PreconditionError);
+}
+
+TEST(Mad, OddCount) {
+  // median 5; |x-5| = {4, 0, 4} -> mad 4.
+  const std::vector<double> xs{1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(mad(xs), 4.0);
+}
+
+TEST(Mad, EvenCount) {
+  // median 2.5; deviations {1.5, 0.5, 0.5, 1.5} -> mad 1.0.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mad(xs), 1.0);
+}
+
+TEST(Mad, SingleElementIsZero) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(mad(xs), 0.0);
+}
+
+TEST(RobustSummarize, FlagsGrossOutlierMeanDoesNot) {
+  // 19 well-behaved samples plus one 100x outlier: the modified z-score
+  // flags exactly one sample.
+  std::vector<double> xs(19, 10.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] += 0.01 * static_cast<double>(i % 5);
+  }
+  xs.push_back(1000.0);
+  const RobustSummary r = robustSummarize(xs);
+  EXPECT_NEAR(r.median, 10.02, 0.02);
+  EXPECT_EQ(r.outliers, 1u);
+  EXPECT_EQ(r.count, 20u);
+}
+
+TEST(RobustSummarize, ZeroMadDegeneratesToAnyDeviation) {
+  // All-identical samples except one: MAD is 0, so any deviation counts.
+  std::vector<double> xs(10, 3.0);
+  xs.push_back(3.5);
+  const RobustSummary r = robustSummarize(xs);
+  EXPECT_DOUBLE_EQ(r.mad, 0.0);
+  EXPECT_EQ(r.outliers, 1u);
+}
+
+TEST(RobustSummarize, ToStringMentionsOutliers) {
+  std::vector<double> xs(10, 2.0);
+  xs.push_back(500.0);
+  const RobustSummary r = robustSummarize(xs);
+  const std::string s = r.toString();
+  EXPECT_NE(s.find("outlier"), std::string::npos) << s;
+  const RobustSummary clean = robustSummarize(std::vector<double>(5, 2.0));
+  EXPECT_EQ(clean.toString().find("outlier"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nodebench

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <set>
 
 #include "babelstream/driver.hpp"
@@ -89,9 +91,14 @@ TEST(NativePingPong, SmallMessageLatencyIsPlausible) {
   NativePingPongConfig cfg;
   cfg.iterations = 2000;
   cfg.warmupIterations = 200;
-  const Duration lat = nativePingPongOneWay(cfg);
-  EXPECT_GT(lat.ns(), 1.0);        // faster than a nanosecond is impossible
-  EXPECT_LT(lat.us(), 1000.0);     // slower than a millisecond means a bug
+  // Best of five: any single run can be inflated by scheduler preemption
+  // when the whole suite runs in parallel.
+  double ns = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 5; ++trial) {
+    ns = std::min(ns, nativePingPongOneWay(cfg).ns());
+  }
+  EXPECT_GT(ns, 1.0);           // faster than a nanosecond is impossible
+  EXPECT_LT(ns, 1000.0 * 1e3);  // slower than a millisecond means a bug
 }
 
 TEST(NativePingPong, PayloadIncreasesLatency) {
@@ -99,8 +106,16 @@ TEST(NativePingPong, PayloadIncreasesLatency) {
   small.iterations = 500;
   NativePingPongConfig big = small;
   big.messageSize = ByteCount::kib(256);
-  const double s = nativePingPongOneWay(small).ns();
-  const double b = nativePingPongOneWay(big).ns();
+  // Real wall-clock measurements: a descheduled spin-wait can inflate any
+  // single run by milliseconds when the test suite saturates the machine,
+  // so compare best-of-N (the usual latency discipline) instead of one
+  // sample of each.
+  double s = std::numeric_limits<double>::infinity();
+  double b = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 5; ++trial) {
+    s = std::min(s, nativePingPongOneWay(small).ns());
+    b = std::min(b, nativePingPongOneWay(big).ns());
+  }
   EXPECT_GT(b, s);
 }
 

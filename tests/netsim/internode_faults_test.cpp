@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "machines/registry.hpp"
+#include "mpisim/world.hpp"
+#include "netsim/network.hpp"
+#include "sim/vt_scheduler.hpp"
+
+namespace nodebench::netsim {
+namespace {
+
+using machines::byName;
+
+InterNodeConfig quickConfig() {
+  InterNodeConfig cfg;
+  cfg.binaryRuns = 10;
+  cfg.iterations = 50;
+  return cfg;
+}
+
+TEST(InterNodeFaults, LosslessOverrideMatchesDefaultNetwork) {
+  const auto& m = byName("Frontier");
+  const InterNodeConfig cfg = quickConfig();
+  InterNodeConfig withOverride = cfg;
+  withOverride.network = networkFor(m);  // identical parameters, rate 0
+  const auto base = measureInterNode(m, cfg);
+  const auto same = measureInterNode(m, withOverride);
+  EXPECT_EQ(base.retransmits, 0u);
+  EXPECT_EQ(same.retransmits, 0u);
+  EXPECT_DOUBLE_EQ(base.latencyUs.mean, same.latencyUs.mean);
+  EXPECT_DOUBLE_EQ(base.latencyUs.stddev, same.latencyUs.stddev);
+}
+
+TEST(InterNodeFaults, RetransmitsAreDeterministicUnderLoss) {
+  const auto& m = byName("Frontier");
+  InterNodeConfig cfg = quickConfig();
+  mpisim::InterNodeParams net = networkFor(m);
+  net.packetLossRate = 0.05;
+  net.faultSeed = 123;
+  cfg.network = net;
+  const auto a = measureInterNode(m, cfg);
+  const auto b = measureInterNode(m, cfg);
+  EXPECT_GT(a.retransmits, 0u);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_DOUBLE_EQ(a.latencyUs.mean, b.latencyUs.mean);
+  EXPECT_DOUBLE_EQ(a.latencyUs.stddev, b.latencyUs.stddev);
+  EXPECT_DOUBLE_EQ(a.perPairBandwidthGBps.mean, b.perPairBandwidthGBps.mean);
+}
+
+TEST(InterNodeFaults, HigherLossMeansMoreRetransmitsAndLatency) {
+  const auto& m = byName("Frontier");
+  InterNodeConfig cfg = quickConfig();
+  mpisim::InterNodeParams net = networkFor(m);
+  net.faultSeed = 7;
+  net.packetLossRate = 0.02;
+  cfg.network = net;
+  const auto mild = measureInterNode(m, cfg);
+  net.packetLossRate = 0.3;
+  cfg.network = net;
+  const auto harsh = measureInterNode(m, cfg);
+  EXPECT_GT(harsh.retransmits, mild.retransmits);
+  EXPECT_GT(harsh.latencyUs.mean, mild.latencyUs.mean);
+}
+
+TEST(InterNodeFaults, BackoffDelaysLossyMessages) {
+  // A single lossy ping-pong pair: retransmitted copies must show up both
+  // in the counter and as added virtual time.
+  const auto& m = byName("Eagle");
+  const std::vector<mpisim::RankPlacement> ranks{
+      mpisim::RankPlacement{topo::CoreId{0}, std::nullopt, 0},
+      mpisim::RankPlacement{topo::CoreId{0}, std::nullopt, 1}};
+  mpisim::InterNodeParams net = networkFor(m);
+  const auto pingPong = [](mpisim::MpiWorld& world) {
+    Duration elapsed = Duration::zero();
+    world.runEach({
+        [&](mpisim::Communicator& c) {
+          for (int i = 0; i < 100; ++i) {
+            c.send(1, i, ByteCount::bytes(8));
+            c.recv(1, i, ByteCount::bytes(8));
+          }
+          elapsed = c.now();
+        },
+        [](mpisim::Communicator& c) {
+          for (int i = 0; i < 100; ++i) {
+            c.recv(0, i, ByteCount::bytes(8));
+            c.send(0, i, ByteCount::bytes(8));
+          }
+        },
+    });
+    return elapsed;
+  };
+
+  mpisim::MpiWorld clean(m, ranks, net);
+  const Duration cleanTime = pingPong(clean);
+  EXPECT_EQ(clean.retransmitCount(), 0u);
+
+  net.packetLossRate = 0.2;
+  net.faultSeed = 99;
+  mpisim::MpiWorld lossy(m, ranks, net);
+  const Duration lossyTime = pingPong(lossy);
+  EXPECT_GT(lossy.retransmitCount(), 0u);
+  // Every retransmit costs at least the first backoff of 10 us.
+  EXPECT_GE((lossyTime - cleanTime).us(),
+            10.0 * static_cast<double>(lossy.retransmitCount()));
+
+  // Same seed, fresh world: byte-identical behaviour.
+  mpisim::MpiWorld again(m, ranks, net);
+  EXPECT_EQ(pingPong(again), lossyTime);
+  EXPECT_EQ(again.retransmitCount(), lossy.retransmitCount());
+}
+
+TEST(InterNodeFaults, WatchdogAbortsRetransmitStorm) {
+  const auto& m = byName("Eagle");
+  mpisim::InterNodeParams net = networkFor(m);
+  net.packetLossRate = 0.9;
+  net.faultSeed = 5;
+  mpisim::MpiWorld world(
+      m,
+      {mpisim::RankPlacement{topo::CoreId{0}, std::nullopt, 0},
+       mpisim::RankPlacement{topo::CoreId{0}, std::nullopt, 1}},
+      net);
+  world.setWatchdog(Duration::microseconds(50.0));
+  EXPECT_THROW(world.runEach({
+                   [](mpisim::Communicator& c) {
+                     for (int i = 0; i < 1000; ++i) {
+                       c.send(1, i, ByteCount::bytes(8));
+                       c.recv(1, i, ByteCount::bytes(8));
+                     }
+                   },
+                   [](mpisim::Communicator& c) {
+                     for (int i = 0; i < 1000; ++i) {
+                       c.recv(0, i, ByteCount::bytes(8));
+                       c.send(0, i, ByteCount::bytes(8));
+                     }
+                   },
+               }),
+               sim::TimeoutError);
+}
+
+TEST(InterNodeFaults, GivingUpAfterMaxRetransmitsThrows) {
+  const auto& m = byName("Eagle");
+  mpisim::InterNodeParams net = networkFor(m);
+  net.packetLossRate = 0.9;
+  net.maxRetransmits = 1;  // one shot per message: losses become failures
+  net.faultSeed = 11;
+  mpisim::MpiWorld world(
+      m,
+      {mpisim::RankPlacement{topo::CoreId{0}, std::nullopt, 0},
+       mpisim::RankPlacement{topo::CoreId{0}, std::nullopt, 1}},
+      net);
+  EXPECT_THROW(world.runEach({
+                   [](mpisim::Communicator& c) {
+                     for (int i = 0; i < 50; ++i) {
+                       c.send(1, i, ByteCount::bytes(8));
+                       c.recv(1, i, ByteCount::bytes(8));
+                     }
+                   },
+                   [](mpisim::Communicator& c) {
+                     for (int i = 0; i < 50; ++i) {
+                       c.recv(0, i, ByteCount::bytes(8));
+                       c.send(0, i, ByteCount::bytes(8));
+                     }
+                   },
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace nodebench::netsim

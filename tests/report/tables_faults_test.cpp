@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "faults/fault_plan.hpp"
+#include "report/tables.hpp"
+
+namespace nodebench::report {
+namespace {
+
+TableOptions quickOptions(int jobs = 1) {
+  TableOptions opt;
+  opt.binaryRuns = 5;
+  opt.jobs = jobs;
+  return opt;
+}
+
+bool hasIncident(const std::vector<CellIncident>& incidents,
+                 const std::string& machine, const std::string& cell) {
+  return std::any_of(incidents.begin(), incidents.end(),
+                     [&](const CellIncident& i) {
+                       return i.machine == machine && i.cell == cell;
+                     });
+}
+
+TEST(TablesFaults, NoPlanMeansNoIncidentsAndNoAppendix) {
+  const TableOptions opt = quickOptions();
+  std::vector<CellIncident> incidents;
+  (void)computeTable6(opt, &incidents);
+  EXPECT_TRUE(incidents.empty());
+  EXPECT_EQ(renderDiagnostics(incidents), "");
+}
+
+TEST(TablesFaults, KilledHostGpuLinkDegradesExactlyTheHdCells) {
+  const faults::FaultPlan plan = faults::FaultPlan::fromJson(
+      R"({"faults": [{"type": "link-kill", "machine": "Perlmutter",
+                      "link": "host-gpu0"}]})");
+  TableOptions opt = quickOptions();
+  opt.faults = &plan;
+  std::vector<CellIncident> incidents;
+  const auto rows = computeTable6(opt, &incidents);
+
+  // Exactly the two cells that cross the killed link fail; D2D NVLink
+  // traffic and the kernel-launch/sync probes never touch it.
+  std::vector<CellIncident> failed;
+  for (const CellIncident& i : incidents) {
+    if (i.failed) {
+      failed.push_back(i);
+    }
+  }
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_TRUE(hasIncident(failed, "Perlmutter", "H<->D latency"));
+  EXPECT_TRUE(hasIncident(failed, "Perlmutter", "H<->D bandwidth"));
+  for (const CellIncident& i : failed) {
+    EXPECT_EQ(i.attempts, opt.cellRetries + 1) << i.cell;
+    EXPECT_FALSE(i.error.empty()) << i.cell;
+  }
+
+  // Golden rendering: "n/a" appears in the affected row and only there.
+  const Table table = renderTable6(rows, &incidents);
+  const std::string text = table.renderAscii();
+  EXPECT_NE(text.find("n/a"), std::string::npos) << text;
+  std::size_t naLines = 0;
+  std::size_t pos = 0;
+  for (std::string::size_type eol; pos < text.size(); pos = eol + 1) {
+    eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.find("n/a") != std::string::npos) {
+      ++naLines;
+      EXPECT_NE(line.find("Perlmutter"), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(naLines, 1u);
+
+  const std::string appendix = renderDiagnostics(incidents);
+  EXPECT_NE(appendix.find("n/a after 3 attempts"), std::string::npos)
+      << appendix;
+}
+
+TEST(TablesFaults, FaultedComputeIsIdenticalAcrossJobCounts) {
+  const faults::FaultPlan plan = faults::FaultPlan::fromJson(
+      R"({"seed": 42, "faults": [
+            {"type": "link-kill", "machine": "Perlmutter",
+             "link": "host-gpu0"},
+            {"type": "os-noise", "machine": "Frontier", "cv_factor": 2.0},
+            {"type": "flaky-cell", "rate": 0.2}]})");
+  const auto runAt = [&](int jobs) {
+    TableOptions opt = quickOptions(jobs);
+    opt.faults = &plan;
+    std::vector<CellIncident> incidents;
+    const auto rows = computeTable6(opt, &incidents);
+    std::string out = renderTable6(rows, &incidents).renderAscii();
+    out += renderDiagnostics(incidents);
+    return out;
+  };
+  const std::string seq = runAt(1);
+  const std::string par = runAt(8);
+  EXPECT_EQ(seq, par);
+}
+
+TEST(TablesFaults, FlakyCellsRecoverWithRetries) {
+  // A plan that only injects harness-level flakiness: with enough
+  // retries every cell eventually lands, so no value degrades to n/a but
+  // the recovered attempts show up in the appendix.
+  const faults::FaultPlan plan = faults::FaultPlan::fromJson(
+      R"({"seed": 7, "faults": [{"type": "flaky-cell", "rate": 0.3}]})");
+  TableOptions opt = quickOptions();
+  opt.faults = &plan;
+  opt.cellRetries = 8;  // (1 - 0.3^9): retries always win eventually
+  std::vector<CellIncident> incidents;
+  const auto rows = computeTable4(opt, &incidents);
+  EXPECT_FALSE(rows.empty());
+  for (const CellIncident& i : incidents) {
+    EXPECT_FALSE(i.failed) << i.machine << " / " << i.cell;
+    EXPECT_GT(i.attempts, 1);
+  }
+  if (!incidents.empty()) {
+    const std::string appendix = renderDiagnostics(incidents);
+    EXPECT_NE(appendix.find("recovered"), std::string::npos) << appendix;
+  }
+}
+
+TEST(TablesFaults, Table7ExcludesFailedCellsFromRanges) {
+  const faults::FaultPlan plan = faults::FaultPlan::fromJson(
+      R"({"faults": [{"type": "link-kill", "machine": "Perlmutter",
+                      "link": "host-gpu0"}]})");
+  TableOptions opt = quickOptions();
+  opt.faults = &plan;
+  std::vector<CellIncident> incidents;
+  const auto t5 = computeTable5(opt, &incidents);
+  const auto t6 = computeTable6(opt, &incidents);
+  const std::string faulted = buildTable7(t5, t6, &incidents).renderAscii();
+  // The A100 H2D range must not include Perlmutter's zero-initialised
+  // placeholder: excluding the failed cell keeps the minimum positive.
+  EXPECT_EQ(faulted.find("0.00"), std::string::npos) << faulted;
+}
+
+}  // namespace
+}  // namespace nodebench::report

@@ -169,5 +169,102 @@ TEST(VtScheduler, ReusableAfterRun) {
   }
 }
 
+TEST(VtScheduler, WatchdogFiresWhenVirtualTimeExceedsDeadline) {
+  VirtualTimeScheduler sched;
+  sched.setWatchdog(10_us);
+  EXPECT_THROW(sched.run({[](VirtualProcess& p) {
+                 for (int i = 0; i < 100; ++i) {
+                   p.advance(1_us);  // crosses 10 us on the 11th step
+                 }
+               }}),
+               TimeoutError);
+}
+
+TEST(VtScheduler, WatchdogDoesNotFireUnderDeadline) {
+  VirtualTimeScheduler sched;
+  sched.setWatchdog(10_us);
+  Duration finish = Duration::zero();
+  sched.run({[&](VirtualProcess& p) {
+    p.advance(9_us);
+    finish = p.now();
+  }});
+  EXPECT_EQ(finish, 9_us);
+}
+
+TEST(VtScheduler, WatchdogAbortsBlockedPeersToo) {
+  // Rank 0 blocks on a condition only rank 1 can set; rank 1 runs past
+  // the deadline first. The watchdog must abort the whole run (including
+  // the blocked rank) instead of hanging.
+  VirtualTimeScheduler sched;
+  sched.setWatchdog(5_us);
+  bool flag = false;
+  EXPECT_THROW(sched.run({
+                   [&](VirtualProcess& p) {
+                     p.blockUntil([&] { return flag; });
+                   },
+                   [](VirtualProcess& p) {
+                     for (int i = 0; i < 100; ++i) {
+                       p.advance(1_us);
+                     }
+                   },
+               }),
+               TimeoutError);
+}
+
+TEST(VtScheduler, WatchdogMessageNamesRankAndDeadline) {
+  VirtualTimeScheduler sched;
+  sched.setWatchdog(2_us);
+  try {
+    sched.run({[](VirtualProcess& p) { p.advance(50_us); }});
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  }
+}
+
+TEST(VtScheduler, WatchdogPersistsAcrossRuns) {
+  VirtualTimeScheduler sched;
+  sched.setWatchdog(3_us);
+  EXPECT_EQ(sched.watchdog(), 3_us);
+  EXPECT_THROW(sched.run({[](VirtualProcess& p) { p.advance(4_us); }}),
+               TimeoutError);
+  // Still armed in the next run; within budget it stays silent.
+  Duration finish = Duration::zero();
+  sched.run({[&](VirtualProcess& p) {
+    p.advance(2_us);
+    finish = p.now();
+  }});
+  EXPECT_EQ(finish, 2_us);
+}
+
+TEST(VtScheduler, WatchdogRejectsNonPositiveDeadline) {
+  VirtualTimeScheduler sched;
+  EXPECT_THROW(sched.setWatchdog(Duration::zero()), PreconditionError);
+}
+
+TEST(VtScheduler, DeadlockErrorCarriesPerRankState) {
+  VirtualTimeScheduler sched;
+  try {
+    sched.run({
+        [](VirtualProcess& p) {
+          p.advance(2_us);
+          p.blockUntil([] { return false; });
+        },
+        [](VirtualProcess& p) { p.advance(1_us); },
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    ASSERT_EQ(e.ranks().size(), 2u);
+    EXPECT_EQ(e.ranks()[0].rank, 0);
+    EXPECT_EQ(e.ranks()[0].state, "blocked");
+    EXPECT_EQ(e.ranks()[0].clock, 2_us);
+    EXPECT_EQ(e.ranks()[1].state, "finished");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace nodebench::sim
