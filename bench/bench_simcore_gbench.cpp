@@ -17,6 +17,7 @@
 #include "osu/pairs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/vt_scheduler.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -185,6 +186,50 @@ void BM_OsuMeasureTruthReused(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OsuMeasureTruthReused);
+
+// --- tracing overhead --------------------------------------------------------
+
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  // No session active: Scope construction is one relaxed atomic load and
+  // every instrumented call site is a null-pointer check. This pins the
+  // "zero overhead when disabled" contract of DESIGN.md §9.
+  for (auto _ : state) {
+    trace::Scope scope("bench/disabled");
+    benchmark::DoNotOptimize(scope.buffer());
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+void BM_SimulatedPingPongTraced(benchmark::State& state) {
+  // The workload of BM_SimulatedPingPong/100 with recording enabled;
+  // the delta over the untraced run (which carries the compiled-in
+  // instrumentation on its disabled path) is the full cost of tracing.
+  const auto& m = machines::byName("Eagle");
+  const int iters = 100;
+  for (auto _ : state) {
+    trace::Session session;
+    trace::Scope scope("bench/pingpong");
+    mpisim::MpiWorld world(
+        m, {mpisim::RankPlacement{topo::CoreId{0}, std::nullopt},
+            mpisim::RankPlacement{topo::CoreId{1}, std::nullopt}});
+    world.runEach({
+        [&](mpisim::Communicator& c) {
+          for (int i = 0; i < iters; ++i) {
+            c.send(1, 0, ByteCount::bytes(8));
+            c.recv(1, 0, ByteCount::bytes(8));
+          }
+        },
+        [&](mpisim::Communicator& c) {
+          for (int i = 0; i < iters; ++i) {
+            c.recv(0, 0, ByteCount::bytes(8));
+            c.send(0, 0, ByteCount::bytes(8));
+          }
+        },
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_SimulatedPingPongTraced);
 
 // --- parallel harness scaling ----------------------------------------------
 

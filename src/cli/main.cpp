@@ -9,12 +9,19 @@
 ///   latency <machine> [--pair P] [--size B]   osu_latency (P: on-socket,
 ///                                 on-node, A, B, C, D)
 ///   commscope <machine>           Comm|Scope suite on one machine
+///   trace [machine] [--out F]     tracing demo (Chrome trace + metrics)
 ///   native [--threads N]          real BabelStream + ping-pong on this host
+///
+/// `table`, `export` and the single-machine bench subcommands also accept
+/// `--trace FILE` (Chrome trace_event JSON, loadable in Perfetto) and
+/// `--metrics` (aggregated counters/histograms appendix on stdout).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +32,7 @@
 #include "commscope/commscope.hpp"
 #include "core/error.hpp"
 #include "faults/fault_plan.hpp"
+#include "gpusim/gpu_runtime.hpp"
 #include "machines/machine_card.hpp"
 #include "machines/machine_json.hpp"
 #include "machines/registry.hpp"
@@ -38,6 +46,8 @@
 #include "report/figures.hpp"
 #include "report/tables.hpp"
 #include "topo/dot.hpp"
+#include "trace/sink.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -53,6 +63,8 @@ int usage() {
       "  stream <machine> [--device N]  BabelStream (simulated)\n"
       "  latency <machine> [--pair on-socket|on-node|A|B|C|D] [--size B]\n"
       "  commscope <machine>       Comm|Scope suite (simulated)\n"
+      "  trace [machine] [--out F]  tracing demo: ping-pong + GPU +\n"
+      "                            lossy inter-node legs -> Chrome JSON\n"
       "  card <machine> [--json]   calibrated parameter card\n"
       "  diff <machine> <machine>  side-by-side comparison\n"
       "  balance                   machine-balance (flops/byte) table\n"
@@ -60,7 +72,9 @@ int usage() {
       " CSV + Markdown\n"
       "  faults <plan.json> [--runs N] [--jobs N]  fault-injection demo:\n"
       "                            tables + diagnostics under the plan\n"
-      "  native [--threads N]      real measurements on this host\n";
+      "  native [--threads N]      real measurements on this host\n"
+      "  table/stream/latency/commscope/export/faults also accept\n"
+      "  --trace FILE (Chrome trace JSON) and --metrics (summary)\n";
   return 2;
 }
 
@@ -115,6 +129,51 @@ bool flagPresent(std::vector<std::string>& args, const std::string& flag) {
   return false;
 }
 
+/// Parsed `--trace FILE` / `--metrics` flags plus the live trace session
+/// they open. The session is heap-held (Session is pinned: it registers
+/// itself in a process-wide slot) and null when neither flag is given, so
+/// untraced runs stay byte-identical to the pre-trace harness.
+struct TraceRequest {
+  std::string outPath;  ///< Chrome JSON destination; empty = none.
+  bool metrics = false;
+  std::unique_ptr<trace::Session> session;
+};
+
+TraceRequest traceRequest(std::vector<std::string>& args) {
+  TraceRequest req;
+  if (const auto out = flagValue(args, "--trace")) {
+    req.outPath = *out;
+  }
+  req.metrics = flagPresent(args, "--metrics");
+  if (!req.outPath.empty() || req.metrics) {
+    req.session = std::make_unique<trace::Session>();
+  }
+  return req;
+}
+
+/// Exports the session once every recording scope has closed: writes the
+/// Chrome trace file (if requested) and prints the metrics appendix (if
+/// requested). No-op without a session.
+void finishTrace(const TraceRequest& req) {
+  if (!req.session) {
+    return;
+  }
+  if (!req.outPath.empty()) {
+    std::ofstream out(req.outPath, std::ios::binary);
+    if (!out) {
+      throw Error("cannot open trace output file: " + req.outPath);
+    }
+    out << trace::chromeJson(*req.session);
+    if (!out) {
+      throw Error("failed writing trace output file: " + req.outPath);
+    }
+    std::cout << "wrote " << req.outPath << "\n";
+  }
+  if (req.metrics) {
+    std::cout << trace::metricsSummary(*req.session);
+  }
+}
+
 int cmdList() {
   std::cout << report::buildTable2().renderAscii() << '\n'
             << report::buildTable3().renderAscii();
@@ -137,6 +196,7 @@ int cmdTopo(std::vector<std::string> args) {
 }
 
 int cmdTable(std::vector<std::string> args) {
+  const TraceRequest tr = traceRequest(args);
   report::TableOptions opt;
   std::optional<faults::FaultPlan> plan;
   if (const auto planPath = flagValue(args, "--faults")) {
@@ -199,6 +259,7 @@ int cmdTable(std::vector<std::string> args) {
   if (!diagnostics.empty()) {
     std::cout << diagnostics;
   }
+  finishTrace(tr);
   return 0;
 }
 
@@ -214,32 +275,38 @@ void printStream(const babelstream::RunResult& result) {
 }
 
 int cmdStream(std::vector<std::string> args) {
+  const TraceRequest tr = traceRequest(args);
   if (args.empty()) {
     return usage();
   }
   const machines::Machine& m = machines::byName(args[0]);
   babelstream::DriverConfig cfg;
-  if (m.accelerated()) {
-    int device = 0;
-    if (const auto d = flagValue(args, "--device")) {
-      device = std::stoi(*d);
+  {
+    const trace::Scope traceScope(m.info.name + "/babelstream");
+    if (m.accelerated()) {
+      int device = 0;
+      if (const auto d = flagValue(args, "--device")) {
+        device = std::stoi(*d);
+      }
+      cfg.arrayBytes = ByteCount::gib(1);
+      babelstream::SimDeviceBackend backend(m, device);
+      std::cout << "BabelStream (device backend) on " << m.info.name << ":\n";
+      printStream(babelstream::run(backend, cfg));
+    } else {
+      const ompenv::OmpConfig omp{m.coreCount(), ompenv::ProcBind::Spread,
+                                  ompenv::Places::Cores};
+      babelstream::SimOmpBackend backend(m, omp);
+      std::cout << "BabelStream (OpenMP backend, " << omp.toString()
+                << ") on " << m.info.name << ":\n";
+      printStream(babelstream::run(backend, cfg));
     }
-    cfg.arrayBytes = ByteCount::gib(1);
-    babelstream::SimDeviceBackend backend(m, device);
-    std::cout << "BabelStream (device backend) on " << m.info.name << ":\n";
-    printStream(babelstream::run(backend, cfg));
-  } else {
-    const ompenv::OmpConfig omp{m.coreCount(), ompenv::ProcBind::Spread,
-                                ompenv::Places::Cores};
-    babelstream::SimOmpBackend backend(m, omp);
-    std::cout << "BabelStream (OpenMP backend, " << omp.toString() << ") on "
-              << m.info.name << ":\n";
-    printStream(babelstream::run(backend, cfg));
   }
+  finishTrace(tr);
   return 0;
 }
 
 int cmdLatency(std::vector<std::string> args) {
+  const TraceRequest tr = traceRequest(args);
   if (args.empty()) {
     return usage();
   }
@@ -266,36 +333,45 @@ int cmdLatency(std::vector<std::string> args) {
     throw Error("unknown --pair value: " + pair);
   }
 
-  const osu::LatencyBenchmark bench(m, ranks->first, ranks->second, kind);
-  const auto result = bench.measure(cfg);
-  std::printf("osu_latency on %s (%s, %llu B): %s us\n", m.info.name.c_str(),
-              pair.c_str(),
-              static_cast<unsigned long long>(cfg.messageSize.count()),
-              result.latencyUs.toString().c_str());
+  {
+    const trace::Scope traceScope(m.info.name + "/osu_latency");
+    const osu::LatencyBenchmark bench(m, ranks->first, ranks->second, kind);
+    const auto result = bench.measure(cfg);
+    std::printf("osu_latency on %s (%s, %llu B): %s us\n",
+                m.info.name.c_str(), pair.c_str(),
+                static_cast<unsigned long long>(cfg.messageSize.count()),
+                result.latencyUs.toString().c_str());
+  }
+  finishTrace(tr);
   return 0;
 }
 
 int cmdCommScope(std::vector<std::string> args) {
+  const TraceRequest tr = traceRequest(args);
   if (args.empty()) {
     return usage();
   }
   const machines::Machine& m = machines::byName(args[0]);
-  commscope::CommScope scope(m);
-  const commscope::Config cfg;
-  const auto all = scope.measureAll(cfg);
-  std::printf("Comm|Scope on %s:\n", m.info.name.c_str());
-  std::printf("  kernel launch : %s us\n", all.launchUs.toString().c_str());
-  std::printf("  sync wait     : %s us\n", all.waitUs.toString().c_str());
-  std::printf("  H<->D latency : %s us\n",
-              all.hostDeviceLatencyUs.toString().c_str());
-  std::printf("  H<->D bw      : %s GB/s\n",
-              all.hostDeviceBandwidthGBps.toString().c_str());
-  for (int c = 0; c < 4; ++c) {
-    if (all.d2dLatencyUs[c]) {
-      std::printf("  D2D class %c   : %s us\n", static_cast<char>('A' + c),
-                  all.d2dLatencyUs[c]->toString().c_str());
+  {
+    const trace::Scope traceScope(m.info.name + "/commscope");
+    commscope::CommScope scope(m);
+    const commscope::Config cfg;
+    const auto all = scope.measureAll(cfg);
+    std::printf("Comm|Scope on %s:\n", m.info.name.c_str());
+    std::printf("  kernel launch : %s us\n", all.launchUs.toString().c_str());
+    std::printf("  sync wait     : %s us\n", all.waitUs.toString().c_str());
+    std::printf("  H<->D latency : %s us\n",
+                all.hostDeviceLatencyUs.toString().c_str());
+    std::printf("  H<->D bw      : %s GB/s\n",
+                all.hostDeviceBandwidthGBps.toString().c_str());
+    for (int c = 0; c < 4; ++c) {
+      if (all.d2dLatencyUs[c]) {
+        std::printf("  D2D class %c   : %s us\n", static_cast<char>('A' + c),
+                    all.d2dLatencyUs[c]->toString().c_str());
+      }
     }
   }
+  finishTrace(tr);
   return 0;
 }
 
@@ -382,6 +458,7 @@ int cmdBalance() {
 }
 
 int cmdExport(std::vector<std::string> args) {
+  const TraceRequest tr = traceRequest(args);
   report::TableOptions opt;
   std::optional<faults::FaultPlan> plan;
   if (const auto planPath = flagValue(args, "--faults")) {
@@ -402,6 +479,7 @@ int cmdExport(std::vector<std::string> args) {
   for (const auto& path : manifest.written) {
     std::cout << "wrote " << path.string() << "\n";
   }
+  finishTrace(tr);
   return 0;
 }
 
@@ -412,6 +490,7 @@ int cmdExport(std::vector<std::string> args) {
 /// brownout parameters come from the same plan, reporting the
 /// retransmit count the transport recovery performed.
 int cmdFaults(std::vector<std::string> args) {
+  const TraceRequest tr = traceRequest(args);
   if (args.empty()) {
     return usage();
   }
@@ -449,23 +528,95 @@ int cmdFaults(std::vector<std::string> args) {
       break;
     }
   }
-  if (target == nullptr) {
-    return 0;
+  if (target != nullptr) {
+    const trace::Scope traceScope(target->info.name + "/internode");
+    netsim::InterNodeConfig ncfg;
+    ncfg.binaryRuns = opt.binaryRuns;
+    mpisim::InterNodeParams network = netsim::networkFor(*target);
+    plan.applyToNetwork(target->info.name, network);
+    ncfg.network = network;
+    // Generous virtual-time ceiling: a wedged simulated run aborts with a
+    // TimeoutError instead of hanging the demo.
+    ncfg.watchdog = Duration::seconds(10.0);
+    const auto inter = netsim::measureInterNode(*target, ncfg);
+    std::printf(
+        "\nInter-node ping-pong on %s under the plan (8 B): %s us, "
+        "%llu retransmit(s)\n",
+        target->info.name.c_str(), inter.latencyUs.toString().c_str(),
+        static_cast<unsigned long long>(inter.retransmits));
   }
-  netsim::InterNodeConfig ncfg;
-  ncfg.binaryRuns = opt.binaryRuns;
-  mpisim::InterNodeParams network = netsim::networkFor(*target);
-  plan.applyToNetwork(target->info.name, network);
-  ncfg.network = network;
-  // Generous virtual-time ceiling: a wedged simulated run aborts with a
-  // TimeoutError instead of hanging the demo.
-  ncfg.watchdog = Duration::seconds(10.0);
-  const auto inter = netsim::measureInterNode(*target, ncfg);
-  std::printf(
-      "\nInter-node ping-pong on %s under the plan (8 B): %s us, "
-      "%llu retransmit(s)\n",
-      target->info.name.c_str(), inter.latencyUs.toString().c_str(),
-      static_cast<unsigned long long>(inter.retransmits));
+  finishTrace(tr);
+  return 0;
+}
+
+/// `nodebench trace [machine]`: tracing demo. Runs three instrumented
+/// legs on one machine — an intra-node osu_latency ping-pong, a GPU
+/// launch/copy/sync sequence (accelerated systems), and an inter-node
+/// ping-pong with forced 2% packet loss so the trace shows loss/
+/// retransmit recovery — then writes the Chrome trace JSON (open in
+/// Perfetto: https://ui.perfetto.dev) and prints the metrics summary.
+int cmdTrace(std::vector<std::string> args) {
+  std::string outPath = "nodebench-trace.json";
+  if (const auto out = flagValue(args, "--out")) {
+    outPath = *out;
+  }
+  const machines::Machine& m =
+      machines::byName(args.empty() ? "Frontier" : args[0]);
+  trace::Session session;
+
+  {
+    const trace::Scope traceScope(m.info.name + "/pingpong");
+    const auto [a, b] = osu::onSocketPair(m);
+    osu::LatencyConfig cfg;
+    cfg.binaryRuns = 25;
+    const osu::LatencyBenchmark bench(m, a, b,
+                                      mpisim::BufferSpace::Kind::Host);
+    const auto result = bench.measure(cfg);
+    std::printf("osu_latency on %s (on-socket, 8 B): %s us\n",
+                m.info.name.c_str(), result.latencyUs.toString().c_str());
+  }
+
+  if (m.accelerated()) {
+    const trace::Scope traceScope(m.info.name + "/gpu");
+    gpusim::GpuRuntime rt(m);
+    const auto stream = rt.defaultStream(0);
+    const auto host = rt.allocPinnedHost(ByteCount::mib(64));
+    const auto dev = rt.allocDevice(0, ByteCount::mib(64));
+    rt.memcpyAsync(stream, dev, host, ByteCount::mib(64));
+    rt.launchKernel(stream, Duration::microseconds(25.0));
+    rt.memcpyAsync(stream, host, dev, ByteCount::mib(64));
+    rt.streamSynchronize(stream);
+    std::printf("GPU H2D + kernel + D2H on %s: %.3f us\n",
+                m.info.name.c_str(), rt.hostNow().us());
+  }
+
+  {
+    const trace::Scope traceScope(m.info.name + "/internode");
+    netsim::InterNodeConfig ncfg;
+    ncfg.binaryRuns = 25;
+    mpisim::InterNodeParams network = netsim::networkFor(m);
+    network.packetLossRate = 0.02;  // force visible loss/retransmit events
+    ncfg.network = network;
+    ncfg.watchdog = Duration::seconds(10.0);
+    const auto inter = netsim::measureInterNode(m, ncfg);
+    std::printf(
+        "Inter-node ping-pong on %s (8 B, 2%% forced loss): %s us, "
+        "%llu retransmit(s)\n",
+        m.info.name.c_str(), inter.latencyUs.toString().c_str(),
+        static_cast<unsigned long long>(inter.retransmits));
+  }
+
+  std::ofstream out(outPath, std::ios::binary);
+  if (!out) {
+    throw Error("cannot open trace output file: " + outPath);
+  }
+  out << trace::chromeJson(session);
+  if (!out) {
+    throw Error("failed writing trace output file: " + outPath);
+  }
+  std::cout << "wrote " << outPath
+            << " (open in Perfetto: https://ui.perfetto.dev)\n";
+  std::cout << trace::metricsSummary(session);
   return 0;
 }
 
@@ -531,6 +682,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "faults") {
       return cmdFaults(std::move(args));
+    }
+    if (cmd == "trace") {
+      return cmdTrace(std::move(args));
     }
     if (cmd == "native") {
       return cmdNative(std::move(args));

@@ -16,8 +16,8 @@ thread_local bool tlInsideWorker = false;
 
 std::string aggregateMessage(
     const std::vector<AggregateError::TaskFailure>& failures) {
-  std::string msg =
-      std::to_string(failures.size()) + " parallel tasks failed:";
+  std::string msg = std::to_string(failures.size()) + " parallel task" +
+                    (failures.size() == 1 ? "" : "s") + " failed:";
   for (const AggregateError::TaskFailure& f : failures) {
     msg += "\n  task " + std::to_string(f.task) + ": " + f.message;
   }
@@ -110,10 +110,11 @@ void ThreadPool::workerBody() {
 namespace {
 
 /// Shared error-reporting policy of the sequential and pooled paths:
-/// every task ran, failures were captured per index. One failure keeps
-/// its concrete exception type; several become one AggregateError so no
-/// diagnosis is lost. Either way the result is a pure function of the
-/// task list — independent of worker count and scheduling order.
+/// every task ran, failures were captured per index, and any failure —
+/// including a single one — surfaces as one AggregateError naming the
+/// failing task indices, so callers always see *which* task died. The
+/// result is a pure function of the task list — independent of worker
+/// count and scheduling order.
 void reportTaskErrors(const std::vector<std::exception_ptr>& errors) {
   std::vector<std::size_t> failed;
   for (std::size_t i = 0; i < errors.size(); ++i) {
@@ -123,9 +124,6 @@ void reportTaskErrors(const std::vector<std::exception_ptr>& errors) {
   }
   if (failed.empty()) {
     return;
-  }
-  if (failed.size() == 1) {
-    std::rethrow_exception(errors[failed.front()]);
   }
   std::vector<AggregateError::TaskFailure> failures;
   failures.reserve(failed.size());

@@ -33,10 +33,10 @@
 
 namespace nodebench::par {
 
-/// Thrown by parallelForEach / parallelMap when more than one task fails:
-/// aggregates every per-task failure (in task-index order) so multi-cell
-/// failures are diagnosable from a single what() string. Single failures
-/// are rethrown unwrapped to preserve their concrete type.
+/// Thrown by parallelForEach / parallelMap when any task fails:
+/// aggregates every per-task failure (in task-index order) so failures
+/// are diagnosable from a single what() string. Single failures wrap
+/// too — the message always names the failing task index.
 class AggregateError : public Error {
  public:
   struct TaskFailure {
@@ -115,9 +115,9 @@ class ThreadPool {
 /// Runs `fn(0) .. fn(count - 1)` on up to `jobs` workers (0 = hardware
 /// concurrency). Each index is claimed by exactly one worker; exceptions
 /// are captured per index and reported after all tasks finish, so error
-/// reporting is deterministic: exactly one failure rethrows the original
-/// exception unwrapped, several failures throw one AggregateError listing
-/// every failed task index and message in task-index order.
+/// reporting is deterministic: any failure — one or several — throws one
+/// AggregateError listing every failed task index and message in
+/// task-index order.
 ///
 /// With jobs == 1, count <= 1, or when called from inside a pool worker
 /// (nested parallelism), the loop runs inline in index order — exactly

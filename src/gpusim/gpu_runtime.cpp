@@ -7,7 +7,7 @@ namespace nodebench::gpusim {
 using topo::GpuId;
 
 GpuRuntime::GpuRuntime(const machines::Machine& machine)
-    : machine_(&machine) {
+    : machine_(&machine), traceSink_(trace::current()) {
   NB_EXPECTS_MSG(machine.accelerated() && machine.device.has_value(),
                  "GpuRuntime requires an accelerator machine");
   defaultStreams_.assign(static_cast<std::size_t>(deviceCount()), -1);
@@ -67,10 +67,24 @@ const GpuRuntime::Stream& GpuRuntime::at(StreamId id) const {
   return streams_[id.value];
 }
 
-void GpuRuntime::enqueue(StreamId id, Duration opDuration) {
+Duration GpuRuntime::enqueue(StreamId id, Duration opDuration) {
   Stream& s = at(id);
   const Duration start = max(s.tail, hostClock_);
   s.tail = start + opDuration;
+  return start;
+}
+
+void GpuRuntime::emitDeviceEvent(trace::Category category, StreamId stream,
+                                 Duration begin, Duration duration,
+                                 std::uint64_t bytes) {
+  if (traceSink_ == nullptr) {
+    return;
+  }
+  // peer carries the stream id so concurrent streams of one device stay
+  // distinguishable in the exported trace.
+  traceSink_->event(trace::Event{category, trace::ActorKind::Device,
+                                 at(stream).device, stream.value, begin,
+                                 duration, bytes});
 }
 
 void GpuRuntime::launchKernel(StreamId stream, Duration kernelDuration) {
@@ -78,7 +92,9 @@ void GpuRuntime::launchKernel(StreamId stream, Duration kernelDuration) {
   // The launch overhead is host-side work; the kernel begins only after
   // the API call returns (or after prior stream work, whichever is later).
   hostClock_ += machine_->device->kernelLaunch;
-  enqueue(stream, kernelDuration);
+  const Duration start = enqueue(stream, kernelDuration);
+  emitDeviceEvent(trace::Category::KernelLaunch, stream, start,
+                  kernelDuration, 0);
 }
 
 Duration GpuRuntime::transferDuration(const Buffer& dst, const Buffer& src,
@@ -125,15 +141,22 @@ void GpuRuntime::memcpyAsync(StreamId stream, const Buffer& dst,
           (dst.space == Buffer::Space::Device && dst.device == streamDevice),
       "stream must belong to a participating device");
   hostClock_ += machine_->device->memcpyCallOverhead;
-  enqueue(stream, transferDuration(dst, src, bytes));
+  const Duration occupancy = transferDuration(dst, src, bytes);
+  const Duration start = enqueue(stream, occupancy);
+  emitDeviceEvent(trace::Category::Memcpy, stream, start, occupancy,
+                  bytes.count());
 }
 
 void GpuRuntime::streamSynchronize(StreamId stream) {
+  const Duration begin = hostClock_;
   hostClock_ = max(hostClock_, at(stream).tail) + machine_->device->syncWait;
+  emitDeviceEvent(trace::Category::KernelSync, stream, begin,
+                  hostClock_ - begin, 0);
 }
 
 void GpuRuntime::deviceSynchronize(int device) {
   NB_EXPECTS(device >= 0 && device < deviceCount());
+  const Duration begin = hostClock_;
   Duration drain = hostClock_;
   for (const Stream& s : streams_) {
     if (s.device == device) {
@@ -141,6 +164,11 @@ void GpuRuntime::deviceSynchronize(int device) {
     }
   }
   hostClock_ = drain + machine_->device->syncWait;
+  if (traceSink_ != nullptr) {
+    traceSink_->event(trace::Event{trace::Category::KernelSync,
+                                   trace::ActorKind::Device, device, -1,
+                                   begin, hostClock_ - begin, 0});
+  }
 }
 
 const topo::Link& GpuRuntime::hostLinkOf(int device) const {

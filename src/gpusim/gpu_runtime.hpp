@@ -24,6 +24,7 @@
 #include "core/units.hpp"
 #include "machines/machine.hpp"
 #include "topo/topology.hpp"
+#include "trace/trace.hpp"
 
 namespace nodebench::gpusim {
 
@@ -153,7 +154,14 @@ class GpuRuntime {
 
   [[nodiscard]] Stream& at(StreamId id);
   [[nodiscard]] const Stream& at(StreamId id) const;
-  void enqueue(StreamId id, Duration opDuration);
+  /// Appends an op to the stream; returns the virtual time it starts
+  /// (after prior stream work and the host clock) for trace events.
+  Duration enqueue(StreamId id, Duration opDuration);
+
+  /// Records a device-lane trace event (no-op when tracing is off).
+  void emitDeviceEvent(trace::Category category, StreamId stream,
+                       Duration begin, Duration duration,
+                       std::uint64_t bytes);
 
   /// Transfer occupancy of a copy between the two buffers.
   [[nodiscard]] Duration transferDuration(const Buffer& dst,
@@ -170,6 +178,10 @@ class GpuRuntime {
   std::vector<Duration> events_;     ///< Completion time per recorded event.
   std::vector<int> managedResidency_;  ///< Per managed buffer; -1 = host.
   Duration hostClock_ = Duration::zero();
+  /// Trace buffer captured at construction (constructed on the tracing
+  /// scope's thread); null when tracing is disabled. The device timeline
+  /// restarts at zero after reset(), like the host clock.
+  trace::TraceBuffer* traceSink_ = nullptr;
 };
 
 }  // namespace nodebench::gpusim

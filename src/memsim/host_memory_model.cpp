@@ -40,6 +40,16 @@ Bandwidth HostMemoryModel::achievableBandwidth(
     const double boost =
         1.0 + (p.cacheBandwidthBoost - 1.0) / (1.0 + std::pow(ratio, 6.0));
     bw *= boost;
+    if (traceSink_ != nullptr) {
+      // Instant events (no memory clock exists): whether this working
+      // set fits the LLC — the knee the BabelStream size sweep shows.
+      const bool hit = ratio < 1.0;
+      traceSink_->event(trace::Event{
+          hit ? trace::Category::CacheHit : trace::Category::CacheMiss,
+          trace::ActorKind::Node, 0, -1, Duration::zero(), Duration::zero(),
+          workingSet.count()});
+      traceSink_->count(hit ? "memsim.llc_hits" : "memsim.llc_misses");
+    }
   }
   return Bandwidth::gbps(bw);
 }

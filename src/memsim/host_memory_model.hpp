@@ -20,14 +20,17 @@
 #include "core/units.hpp"
 #include "machines/machine.hpp"
 #include "ompenv/placement.hpp"
+#include "trace/trace.hpp"
 
 namespace nodebench::memsim {
 
 class HostMemoryModel {
  public:
-  /// The machine must outlive the model.
+  /// The machine must outlive the model. Captures the current trace
+  /// buffer, so cache hit/miss classifications of a traced measurement
+  /// land in the scope that constructed the model.
   explicit HostMemoryModel(const machines::Machine& machine)
-      : machine_(&machine) {}
+      : machine_(&machine), traceSink_(trace::current()) {}
 
   /// Sustained bandwidth (actual-traffic basis) achievable by `placement`
   /// for a kernel whose resident working set is `workingSet` bytes.
@@ -56,6 +59,7 @@ class HostMemoryModel {
 
  private:
   const machines::Machine* machine_;
+  trace::TraceBuffer* traceSink_ = nullptr;  ///< Null = tracing disabled.
   double cacheModeOverride_ = -1.0;  ///< <0 means "use machine value".
 };
 

@@ -40,7 +40,8 @@ MpiWorld::MpiWorld(const machines::Machine& machine,
                    std::optional<InterNodeParams> network)
     : machine_(&machine),
       placements_(std::move(placements)),
-      network_(std::move(network)) {
+      network_(std::move(network)),
+      traceSink_(trace::current()) {
   NB_EXPECTS_MSG(placements_.size() >= 2, "an MPI world needs >= 2 ranks");
   for (const RankPlacement& p : placements_) {
     NB_EXPECTS(p.core.value >= 0 &&
@@ -110,7 +111,7 @@ bool MpiWorld::tryMatch(int myRank, int source, int tag, MsgKind kind,
   return true;
 }
 
-Duration MpiWorld::lossDelay(int src, int dst) {
+Duration MpiWorld::lossDelay(int src, int dst, Duration base) {
   if (!network_ || network_->packetLossRate <= 0.0 || !interNode(src, dst)) {
     return Duration::zero();
   }
@@ -145,9 +146,39 @@ Duration MpiWorld::lossDelay(int src, int dst) {
                   std::to_string(net.packetLossRate) + ")");
     }
     ++retransmits_;
+    if (traceSink_ != nullptr) {
+      // The lost copy went out at base+delay and its backoff runs until
+      // the resend — the instant Retransmit event each Loss pairs with.
+      const int srcNode = placements_[src].node;
+      const int dstNode = placements_[dst].node;
+      traceSink_->event(trace::Event{trace::Category::Loss,
+                                     trace::ActorKind::Node, srcNode,
+                                     dstNode, base + delay, backoff, 0});
+      traceSink_->event(trace::Event{
+          trace::Category::Retransmit, trace::ActorKind::Node, srcNode,
+          dstNode, base + delay + backoff, Duration::zero(), 0});
+      traceSink_->count("mpisim.retransmits");
+    }
     delay += backoff;
     backoff = min(backoff * 2.0, net.retransmitCap);
   }
+}
+
+void MpiWorld::emitLinkEvent(int src, int dst, Duration start,
+                             Duration end) {
+  if (traceSink_ == nullptr || end <= start) {
+    return;
+  }
+  if (interNode(src, dst)) {
+    traceSink_->event(trace::Event{
+        trace::Category::LinkOccupancy, trace::ActorKind::Node,
+        placements_[src].node, placements_[dst].node, start, end - start,
+        0});
+    return;
+  }
+  traceSink_->event(trace::Event{trace::Category::LinkOccupancy,
+                                 trace::ActorKind::Link, src * size() + dst,
+                                 dst, start, end - start, 0});
 }
 
 Duration& MpiWorld::channelFree(int src, int dst) {
@@ -167,6 +198,19 @@ void Communicator::trace(TraceRecord::Kind kind, Duration begin, int peer,
   }
   world_->tracer_->record(TraceRecord{rank_, kind, begin, now(), peer,
                                       bytes, tag});
+}
+
+void Communicator::emitRankEvent(trace::Category category, Duration begin,
+                                 int peer, std::uint64_t bytes) {
+  trace::TraceBuffer* tb = world_->traceSink_;
+  if (tb == nullptr) {
+    return;
+  }
+  // Per rank, ops are recorded in execution order with begin = the op's
+  // entry time, so rank-lane events are monotone in virtual time (an
+  // invariant the trace property suite asserts).
+  tb->event(trace::Event{category, trace::ActorKind::Rank, rank_, peer,
+                         begin, now() - begin, bytes});
 }
 
 void Communicator::send(int dest, int tag, ByteCount size,
@@ -190,13 +234,15 @@ void Communicator::send(int dest, int tag, ByteCount size,
     }
     // Lost copies keep the channel (the NIC, for inter-node pairs) busy
     // through their backoff-and-resend cycles.
-    transfer += w.lossDelay(rank_, dest);
+    transfer += w.lossDelay(rank_, dest, start);
     chan = start + transfer;
+    w.emitLinkEvent(rank_, dest, start, chan);
     w.mailboxes_[dest].messages.push_back(
         MpiWorld::Message{rank_, tag, MpiWorld::MsgKind::Eager, size,
                           start + transfer + path.latency, 0});
     proc_->wake(dest);
     trace(TraceRecord::Kind::Send, traceBegin, dest, size.count(), tag);
+    emitRankEvent(trace::Category::Send, traceBegin, dest, size.count());
     return;
   }
 
@@ -215,15 +261,18 @@ void Communicator::send(int dest, int tag, ByteCount size,
   proc_->advance(path.recvOverhead);  // processing the CTS costs software time
 
   proc_->advanceTo(max(now(), w.channelFree(rank_, dest)));
+  const Duration bulkStart = now();
   // A blocking sender sits through any retransmit backoffs of the bulk
   // transfer (its buffer is pinned until the copy drains).
   proc_->advance(path.rendezvousBandwidth.transferTime(size) +
-                 w.lossDelay(rank_, dest));
+                 w.lossDelay(rank_, dest, bulkStart));
   w.channelFree(rank_, dest) = now();
+  w.emitLinkEvent(rank_, dest, bulkStart, now());
   w.mailboxes_[dest].messages.push_back(MpiWorld::Message{
       rank_, tag, MpiWorld::MsgKind::Data, size, now() + path.latency, rtsId});
   proc_->wake(dest);
   trace(TraceRecord::Kind::Send, traceBegin, dest, size.count(), tag);
+  emitRankEvent(trace::Category::Send, traceBegin, dest, size.count());
 }
 
 void Communicator::recv(int source, int tag, ByteCount size,
@@ -251,6 +300,8 @@ void Communicator::recv(int source, int tag, ByteCount size,
     proc_->advanceTo(msg.arrival);
     proc_->advance(path.recvOverhead);
     trace(TraceRecord::Kind::Recv, traceBegin, source, msg.size.count(), tag);
+    emitRankEvent(trace::Category::Recv, traceBegin, source,
+                  msg.size.count());
     return;
   }
 
@@ -273,6 +324,7 @@ void Communicator::recv(int source, int tag, ByteCount size,
   proc_->advanceTo(data.arrival);
   proc_->advance(path.recvOverhead);
   trace(TraceRecord::Kind::Recv, traceBegin, source, msg.size.count(), tag);
+  emitRankEvent(trace::Category::Recv, traceBegin, source, msg.size.count());
 }
 
 Request Communicator::isend(int dest, int tag, ByteCount size,
@@ -291,7 +343,7 @@ Request Communicator::isend(int dest, int tag, ByteCount size,
   const Duration start = max(now(), chan);
   // Retransmit cycles of a lost copy extend the channel occupancy either
   // way (the NIC is re-sending instead of taking new work).
-  const Duration lossDelay = w.lossDelay(rank_, dest);
+  const Duration lossDelay = w.lossDelay(rank_, dest, start);
   Duration ready;
   Duration arrival;
   if (size <= path.eagerThreshold) {
@@ -315,11 +367,13 @@ Request Communicator::isend(int dest, int tag, ByteCount size,
     arrival = chan + path.latency;
     ready = chan;  // sender buffer in use until the copy drains
   }
+  w.emitLinkEvent(rank_, dest, start, chan);
   w.mailboxes_[dest].messages.push_back(MpiWorld::Message{
       rank_, tag, MpiWorld::MsgKind::Eager, size, arrival, 0});
   proc_->wake(dest);
 
   trace(TraceRecord::Kind::SendPost, traceBegin, dest, size.count(), tag);
+  emitRankEvent(trace::Category::Send, traceBegin, dest, size.count());
   Request r(Request::Kind::Send, dest, tag, size, ready);
   r.space_ = space;
   return r;
@@ -364,6 +418,8 @@ void Communicator::wait(Request& request) {
   proc_->advance(path.recvOverhead);
   trace(TraceRecord::Kind::WaitRecv, traceBegin, request.peer_,
         msg.size.count(), request.tag_);
+  emitRankEvent(trace::Category::Recv, traceBegin, request.peer_,
+                msg.size.count());
   request.id_ = -1;
 }
 

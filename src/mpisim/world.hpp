@@ -21,6 +21,7 @@
 #include "mpisim/trace.hpp"
 #include "mpisim/transport.hpp"
 #include "sim/vt_scheduler.hpp"
+#include "trace/trace.hpp"
 
 namespace nodebench::mpisim {
 
@@ -63,6 +64,7 @@ class Communicator {
     const Duration begin = now();
     proc_->advance(dt);
     trace(TraceRecord::Kind::Compute, begin, -1, 0, 0);
+    emitRankEvent(trace::Category::Compute, begin, -1, 0);
   }
 
   /// Blocking standard-mode send of `size` bytes from `space` memory.
@@ -135,6 +137,11 @@ class Communicator {
   /// Records [begin, now()] to the world's tracer, when attached.
   void trace(TraceRecord::Kind kind, Duration begin, int peer,
              std::uint64_t bytes, int tag);
+
+  /// Records [begin, now()] as a rank-lane event into the trace buffer
+  /// the world captured at construction (no-op when tracing is off).
+  void emitRankEvent(trace::Category category, Duration begin, int peer,
+                     std::uint64_t bytes);
 
   MpiWorld* world_;
   sim::VirtualProcess* proc_;
@@ -224,7 +231,16 @@ class MpiWorld {
   /// backoffs for each lost copy and counts them in retransmits_. Returns
   /// zero for intra-node pairs or a loss-free network; throws Error when
   /// `maxRetransmits` consecutive copies of one message are lost.
-  [[nodiscard]] Duration lossDelay(int src, int dst);
+  /// `base` is the virtual time transmission attempts begin (the channel
+  /// grant), anchoring the paired Loss/Retransmit trace events.
+  [[nodiscard]] Duration lossDelay(int src, int dst, Duration base);
+
+  /// Records a busy interval [start, end) of the directed channel
+  /// (intra-node pair link, or the source node's NIC injection channel
+  /// for inter-node pairs). Intervals per channel are disjoint by
+  /// construction — each transfer starts at or after the previous
+  /// channel-free time — which the trace invariant suite checks.
+  void emitLinkEvent(int src, int dst, Duration start, Duration end);
 
   const machines::Machine* machine_;
   std::vector<RankPlacement> placements_;
@@ -236,6 +252,10 @@ class MpiWorld {
   std::uint64_t retransmits_ = 0;       ///< Lost copies resent in this run.
   std::uint64_t nextRtsId_ = 1;
   Tracer* tracer_ = nullptr;
+  /// Trace buffer captured at construction (the constructing thread is
+  /// the tracing scope's thread; rank threads are not). Null when
+  /// tracing is disabled — every emit site is then one pointer check.
+  trace::TraceBuffer* traceSink_ = nullptr;
   sim::VirtualTimeScheduler scheduler_;
 };
 

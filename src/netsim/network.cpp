@@ -2,6 +2,7 @@
 
 #include "core/rng.hpp"
 #include "core/strings.hpp"
+#include "trace/trace.hpp"
 
 namespace nodebench::netsim {
 
@@ -170,6 +171,10 @@ InterNodeResult measureInterNode(const Machine& m,
                    static_cast<std::uint64_t>(pairs));
     latAcc.add(latencyTruthUs * noise.sampleFactor(rng));
     bwAcc.add(bwTruth * noise.sampleFactor(rng));
+  }
+  if (trace::TraceBuffer* tb = trace::current()) {
+    tb->count("netsim.internode_runs");
+    tb->count("netsim.retransmits", world.retransmitCount());
   }
   return InterNodeResult{cfg.messageSize, pairs, latAcc.summary(),
                          bwAcc.summary(), world.retransmitCount()};

@@ -1,5 +1,7 @@
 #include "osu/latency.hpp"
 
+#include "trace/trace.hpp"
+
 namespace nodebench::osu {
 
 using mpisim::BufferSpace;
@@ -85,12 +87,19 @@ LatencyResult LatencyBenchmark::measure(const LatencyConfig& config) const {
                         : machine_->hostMpi.cv;
   const NoiseModel noise(cv);
 
+  trace::TraceBuffer* tb = trace::current();
   Welford acc;
   for (int run = 0; run < config.binaryRuns; ++run) {
     Xoshiro256 rng(config.seed + machine_->seed +
                    0x9e3779b9u * static_cast<std::uint64_t>(run) +
                    config.messageSize.count());
-    acc.add(noise.apply(truth, rng).us());
+    const double us = noise.apply(truth, rng).us();
+    acc.add(us);
+    if (tb != nullptr) {
+      // Per-binary-run latency distribution: the histogram the metrics
+      // appendix summarises per benchmark cell.
+      tb->sample("osu.latency_us", us);
+    }
   }
   return LatencyResult{config.messageSize, acc.summary()};
 }

@@ -14,6 +14,7 @@
 #include "ompenv/omp_config.hpp"
 #include "osu/latency.hpp"
 #include "osu/pairs.hpp"
+#include "trace/trace.hpp"
 
 namespace nodebench::report {
 
@@ -59,6 +60,12 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
              CellIncident& slot, Body&& body) {
   slot.machine = m.info.name;
   slot.cell = std::move(cell);
+  // One trace scope per cell (covering retries): model objects the body
+  // constructs capture this buffer, so a traced table run yields one
+  // "<machine>/<cell>" process per measurement in the exported trace.
+  // Labels are unique within a table's parallel fan-out, which keeps the
+  // export deterministic at any --jobs (no-op without --trace/--metrics).
+  trace::Scope traceScope(slot.machine + "/" + slot.cell);
   const int maxAttempts = std::max(1, opt.cellRetries + 1);
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
     ++slot.attempts;

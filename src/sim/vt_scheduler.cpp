@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace nodebench::sim {
 
 namespace {
@@ -231,6 +233,13 @@ void VirtualTimeScheduler::run(const std::vector<ProcessFn>& fns) {
   }
   for (auto& t : threads) {
     t.join();
+  }
+  // run() is called on the tracing scope's own thread, and the joins
+  // above make this the unique post-run point — safe to read switches_
+  // without the lock and to record into the thread-local buffer.
+  if (trace::TraceBuffer* tb = trace::current()) {
+    tb->count("vt.runs");
+    tb->count("vt.switches", switches_);
   }
   if (firstError_) {
     std::rethrow_exception(firstError_);

@@ -1,0 +1,216 @@
+/// \file paper_values_test.cpp
+/// \brief Paper-fidelity conformance suite (ctest label: `conformance`).
+///
+/// Encodes the headline numbers of Tables 1-7 of Siefert et al., "Latency
+/// and Bandwidth Microbenchmarks of US DOE Systems in the June 2023
+/// Top500 List" (SC-W 2023) *inline*, each with its own relative
+/// tolerance, and checks the regenerated tables against them. Unlike the
+/// golden suite (which drives every cell through `paper_reference`), this
+/// suite is a self-contained transcription of what the paper's text and
+/// tables headline — so a regression in either the simulation or the
+/// reference data trips it.
+///
+/// Tolerances: per-cell relative, with a 0.03 absolute floor for cells
+/// the paper prints as +-0.00.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "machines/registry.hpp"
+#include "report/tables.hpp"
+
+namespace nodebench::report {
+namespace {
+
+void expectCell(double measured, double paperMean, double relTol,
+                const std::string& what) {
+  const double tol = std::max(relTol * paperMean, 0.03);
+  EXPECT_NEAR(measured, paperMean, tol) << what;
+}
+
+/// All measured tables, computed once per test binary (the expensive
+/// part: a full simulated benchmark campaign).
+struct Measured {
+  std::vector<Cpu4Row> t4;
+  std::vector<Gpu5Row> t5;
+  std::vector<Gpu6Row> t6;
+
+  static const Measured& get() {
+    static const Measured m = [] {
+      const TableOptions opt;
+      return Measured{computeTable4(opt), computeTable5(opt),
+                      computeTable6(opt)};
+    }();
+    return m;
+  }
+
+  [[nodiscard]] const Cpu4Row& cpu(std::string_view name) const {
+    for (const Cpu4Row& r : t4) {
+      if (r.machine->info.name == name) {
+        return r;
+      }
+    }
+    throw Error("no Table 4 row for " + std::string(name));
+  }
+  [[nodiscard]] const Gpu5Row& gpu5(std::string_view name) const {
+    for (const Gpu5Row& r : t5) {
+      if (r.machine->info.name == name) {
+        return r;
+      }
+    }
+    throw Error("no Table 5 row for " + std::string(name));
+  }
+  [[nodiscard]] const Gpu6Row& gpu6(std::string_view name) const {
+    for (const Gpu6Row& r : t6) {
+      if (r.machine->info.name == name) {
+        return r;
+      }
+    }
+    throw Error("no Table 6 row for " + std::string(name));
+  }
+};
+
+TEST(PaperConformance, Table1OmpConfigurationGrid) {
+  // Table 1: the 8 (threads, proc_bind, places) combinations of the
+  // BabelStream sweep.
+  const std::string t1 = buildTable1().renderAscii();
+  for (const char* needle :
+       {"#cores", "#threads", "\"spread\"", "\"close\"", "\"threads\"",
+        "\"cores\"", "\"true\""}) {
+    EXPECT_NE(t1.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(PaperConformance, Table2CpuSystemInventory) {
+  // Table 2: the five non-accelerated systems with their Top500 ranks.
+  EXPECT_EQ(machines::cpuMachines().size(), 5u);
+  const std::string t2 = buildTable2().renderAscii();
+  for (const char* needle :
+       {"29. Trinity", "94. Theta", "109. Sawtooth", "127. Eagle",
+        "141. Manzano"}) {
+    EXPECT_NE(t2.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(PaperConformance, Table3GpuSystemInventory) {
+  // Table 3: the eight accelerated systems; Frontier is #1.
+  EXPECT_EQ(machines::gpuMachines().size(), 8u);
+  const std::string t3 = buildTable3().renderAscii();
+  for (const char* needle :
+       {"1. Frontier", "5. Summit", "6. Sierra", "8. Perlmutter",
+        "19. Polaris", "AMD MI250X", "NVIDIA GV100", "NVIDIA A100"}) {
+    EXPECT_NE(t3.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(PaperConformance, Table4CpuHeadlines) {
+  const Measured& m = Measured::get();
+  // Single-core vs all-core BabelStream (GB/s) and MPI latency (us).
+  expectCell(m.cpu("Trinity").singleGBps.mean, 12.36, 0.05,
+             "Trinity single-core stream");
+  expectCell(m.cpu("Trinity").allGBps.mean, 347.28, 0.05,
+             "Trinity all-core stream (HBM)");
+  expectCell(m.cpu("Theta").onSocketUs.mean, 5.95, 0.05,
+             "Theta on-socket latency (KNL outlier)");
+  expectCell(m.cpu("Sawtooth").allGBps.mean, 238.70, 0.11,
+             "Sawtooth all-core stream");
+  expectCell(m.cpu("Eagle").allGBps.mean, 208.24, 0.05,
+             "Eagle all-core stream");
+  expectCell(m.cpu("Eagle").onSocketUs.mean, 0.17, 0.20,
+             "Eagle on-socket latency");
+  expectCell(m.cpu("Manzano").singleGBps.mean, 15.27, 0.05,
+             "Manzano single-core stream");
+  expectCell(m.cpu("Manzano").onNodeUs.mean, 0.56, 0.10,
+             "Manzano cross-socket latency");
+}
+
+TEST(PaperConformance, Table5GpuHeadlines) {
+  const Measured& m = Measured::get();
+  // Device BabelStream (GB/s), host-to-host and device-to-device MPI
+  // latency (us).
+  expectCell(m.gpu5("Frontier").deviceGBps.mean, 1336.35, 0.05,
+             "Frontier HBM2e stream");
+  expectCell(m.gpu5("Perlmutter").deviceGBps.mean, 1363.74, 0.05,
+             "Perlmutter A100 stream");
+  expectCell(m.gpu5("Summit").deviceGBps.mean, 786.43, 0.05,
+             "Summit V100 stream");
+  expectCell(m.gpu5("Frontier").deviceToDeviceUs[0]->mean, 0.44, 0.15,
+             "Frontier GPU-RMA class A (sub-microsecond)");
+  expectCell(m.gpu5("Summit").deviceToDeviceUs[0]->mean, 18.10, 0.05,
+             "Summit D2D class A (host staging)");
+  expectCell(m.gpu5("Summit").deviceToDeviceUs[1]->mean, 19.30, 0.05,
+             "Summit D2D class B");
+  expectCell(m.gpu5("Polaris").deviceToDeviceUs[0]->mean, 10.42, 0.05,
+             "Polaris D2D class A");
+  expectCell(m.gpu5("Tioga").hostToHostUs.mean, 0.49, 0.15,
+             "Tioga host-to-host latency");
+}
+
+TEST(PaperConformance, Table6CommScopeHeadlines) {
+  const Measured& m = Measured::get();
+  // Kernel launch / sync wait / host<->device latency and bandwidth.
+  expectCell(m.gpu6("Frontier").launchUs.mean, 1.51, 0.05,
+             "Frontier kernel launch");
+  expectCell(m.gpu6("Summit").launchUs.mean, 4.84, 0.05,
+             "Summit kernel launch (V100 slow path)");
+  expectCell(m.gpu6("Frontier").waitUs.mean, 0.14, 0.25,
+             "Frontier sync wait (MI250X fast path)");
+  expectCell(m.gpu6("Summit").waitUs.mean, 4.31, 0.05,
+             "Summit sync wait");
+  expectCell(m.gpu6("Perlmutter").hostDeviceLatencyUs.mean, 4.24, 0.05,
+             "Perlmutter H<->D latency (A100 fastest)");
+  expectCell(m.gpu6("Frontier").hostDeviceLatencyUs.mean, 12.91, 0.05,
+             "Frontier H<->D latency (MI250X slowest)");
+  expectCell(m.gpu6("Sierra").hostDeviceBandwidthGBps.mean, 63.40, 0.05,
+             "Sierra H<->D bandwidth (NVLink host)");
+  expectCell(m.gpu6("Polaris").hostDeviceBandwidthGBps.mean, 23.71, 0.05,
+             "Polaris H<->D bandwidth (PCIe host)");
+  expectCell(m.gpu6("Polaris").d2dLatencyUs[0]->mean, 32.84, 0.05,
+             "Polaris D2D launch+copy (software gap)");
+  expectCell(m.gpu6("Perlmutter").d2dLatencyUs[0]->mean, 14.74, 0.09,
+             "Perlmutter D2D launch+copy");
+}
+
+TEST(PaperConformance, Table7SummaryRanges) {
+  const Measured& m = Measured::get();
+  const Table t7 = buildTable7(m.t5, m.t6);
+  ASSERT_EQ(t7.rowCount(), 3u);
+  EXPECT_EQ(t7.cell(0, 0), "V100");
+  EXPECT_EQ(t7.cell(1, 0), "A100");
+  EXPECT_EQ(t7.cell(2, 0), "MI250X");
+  const std::string ascii = t7.renderAscii();
+  // Headline group contrasts of the paper's summary table: V100 stream
+  // ~786-861 GB/s, A100/MI250X ~1.3 TB/s, sub-microsecond MI250X MPI.
+  EXPECT_NE(ascii.find("786"), std::string::npos) << ascii;
+  EXPECT_NE(ascii.find("133"), std::string::npos)
+      << "MI250X stream range should reach ~1336 GB/s:\n" << ascii;
+  EXPECT_EQ(t7.cell(2, 2).find("0."), 0u)
+      << "MI250X MPI latency range must start sub-microsecond: "
+      << t7.cell(2, 2);
+}
+
+TEST(PaperConformance, HeadlineCrossMachineContrasts) {
+  // The paper's three headline observations, independent of exact values:
+  const Measured& m = Measured::get();
+  // 1. KNL HBM makes Trinity's all-core stream the CPU leader...
+  for (const char* other : {"Theta", "Sawtooth", "Eagle", "Manzano"}) {
+    EXPECT_GT(m.cpu("Trinity").allGBps.mean, m.cpu(other).allGBps.mean)
+        << other;
+  }
+  // ...while its MI250X/A100 successors triple the V100's HBM2 rate.
+  EXPECT_GT(m.gpu5("Frontier").deviceGBps.mean,
+            1.5 * m.gpu5("Summit").deviceGBps.mean);
+  // 2. GPU-aware MPI on MI250X is ~40x faster than V100 host staging.
+  EXPECT_GT(m.gpu5("Summit").deviceToDeviceUs[0]->mean,
+            20.0 * m.gpu5("Frontier").deviceToDeviceUs[0]->mean);
+  // 3. Kernel-launch cost halves from the V100 to the newer systems.
+  EXPECT_GT(m.gpu6("Summit").launchUs.mean,
+            2.0 * m.gpu6("Frontier").launchUs.mean);
+}
+
+}  // namespace
+}  // namespace nodebench::report

@@ -144,18 +144,31 @@ TEST(ParallelMap, ResultIndependentOfWorkerCount) {
   EXPECT_EQ(seq, par8);
 }
 
-TEST(ParallelForEach, SingleFailureRethrowsOriginalType) {
+TEST(ParallelForEach, SingleFailureAggregatesWithTaskIndex) {
+  // Regression: a lone failure used to be rethrown unwrapped, so its
+  // message never said *which* task died. It must aggregate like any
+  // other failure, with the index in the what() string and singular
+  // grammar in the header line.
   for (const int jobs : {1, 4}) {
-    EXPECT_THROW(parallelForEach(
-                     8,
-                     [](std::size_t task) {
-                       if (task == 5) {
-                         throw NotFoundError("only failure");
-                       }
-                     },
-                     jobs),
-                 NotFoundError)
-        << "jobs=" << jobs;
+    try {
+      parallelForEach(
+          8,
+          [](std::size_t task) {
+            if (task == 5) {
+              throw NotFoundError("only failure");
+            }
+          },
+          jobs);
+      FAIL() << "expected AggregateError, jobs=" << jobs;
+    } catch (const AggregateError& e) {
+      ASSERT_EQ(e.failures().size(), 1u) << "jobs=" << jobs;
+      EXPECT_EQ(e.failures()[0].task, 5u) << "jobs=" << jobs;
+      const std::string what = e.what();
+      EXPECT_NE(what.find("1 parallel task failed:"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find("task 5: "), std::string::npos) << what;
+      EXPECT_NE(what.find("only failure"), std::string::npos) << what;
+    }
   }
 }
 

@@ -1,0 +1,203 @@
+/// \file trace_invariants_test.cpp
+/// \brief Property-based invariants of recorded traces, checked across a
+/// grid of machines, fault plans and seeds (deterministic draws — the
+/// "random" inputs are seeded streams):
+///  1. per rank lane, event begins are monotone non-decreasing in
+///     emission order (each op is stamped at its entry time);
+///  2. loss/retransmit pairing: every Retransmit immediately follows its
+///     Loss, starts exactly at the loss's backoff end, and the totals
+///     match the transport's retransmit counter;
+///  3. summed link-occupancy per channel never exceeds the wall virtual
+///     time of the run (per-channel intervals are disjoint).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "faults/fault_plan.hpp"
+#include "machines/registry.hpp"
+#include "mpisim/transport.hpp"
+#include "netsim/network.hpp"
+#include "osu/latency.hpp"
+#include "osu/pairs.hpp"
+#include "trace/trace.hpp"
+
+namespace nodebench {
+namespace {
+
+using trace::ActorKind;
+using trace::Category;
+using trace::Event;
+using trace::TraceBuffer;
+
+void checkRankMonotonicity(const TraceBuffer& buf) {
+  std::map<int, Duration> lastBegin;
+  for (const Event& e : buf.events()) {
+    if (e.actorKind != ActorKind::Rank) {
+      continue;
+    }
+    const auto it = lastBegin.find(e.actor);
+    if (it != lastBegin.end()) {
+      EXPECT_GE(e.begin.ns(), it->second.ns())
+          << "rank " << e.actor << " event " << trace::categoryName(e.category)
+          << " goes backwards in scope " << buf.label();
+    }
+    lastBegin[e.actor] = e.begin;
+  }
+}
+
+void checkLossRetransmitPairing(const TraceBuffer& buf) {
+  std::size_t losses = 0;
+  std::size_t retransmits = 0;
+  const std::vector<Event>& events = buf.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.category == Category::Loss) {
+      ++losses;
+    } else if (e.category == Category::Retransmit) {
+      ++retransmits;
+      // The resend is recorded right after its loss, on the same node
+      // pair, exactly at the end of the loss's backoff window.
+      ASSERT_GT(i, 0u);
+      const Event& loss = events[i - 1];
+      ASSERT_EQ(loss.category, Category::Loss) << "in scope " << buf.label();
+      EXPECT_EQ(loss.actor, e.actor);
+      EXPECT_EQ(loss.peer, e.peer);
+      EXPECT_DOUBLE_EQ((loss.begin + loss.duration).ns(), e.begin.ns());
+      EXPECT_EQ(e.duration.ns(), 0.0);  // the resend itself is an instant
+    }
+    // Prefix property: a resend can never precede its loss.
+    EXPECT_LE(retransmits, losses);
+  }
+  EXPECT_EQ(losses, retransmits);
+  const auto& counters = buf.counters();
+  const auto it = counters.find("mpisim.retransmits");
+  const std::uint64_t counted = it == counters.end() ? 0 : it->second;
+  EXPECT_EQ(counted, retransmits)
+      << "counter and event stream disagree in scope " << buf.label();
+}
+
+void checkLinkOccupancyBound(const TraceBuffer& buf) {
+  Duration wall = Duration::zero();
+  for (const Event& e : buf.events()) {
+    wall = max(wall, e.begin + e.duration);
+  }
+  std::map<std::pair<ActorKind, int>, Duration> busy;
+  for (const Event& e : buf.events()) {
+    if (e.category == Category::LinkOccupancy) {
+      auto& total = busy[{e.actorKind, e.actor}];
+      total = total + e.duration;
+    }
+  }
+  for (const auto& [channel, total] : busy) {
+    // Disjoint per-channel intervals can never sum past the wall clock
+    // (tiny epsilon for double accumulation).
+    EXPECT_LE(total.ns(), wall.ns() * (1.0 + 1e-9) + 1.0)
+        << "channel (" << trace::actorKindName(channel.first) << " "
+        << channel.second << ") in scope " << buf.label();
+  }
+}
+
+void checkAll(const TraceBuffer& buf) {
+  checkRankMonotonicity(buf);
+  checkLossRetransmitPairing(buf);
+  checkLinkOccupancyBound(buf);
+}
+
+std::string lossPlanJson(double rate, std::uint64_t seed) {
+  return "{\"seed\": " + std::to_string(seed) +
+         ", \"faults\": [{\"type\": \"packet-loss\", \"rate\": " +
+         std::to_string(rate) + "}]}";
+}
+
+TEST(TraceInvariants, InterNodeUnderFaultPlans) {
+  for (const std::string machine : {"Eagle", "Frontier", "Summit"}) {
+    const machines::Machine& m = machines::byName(machine);
+    for (const double rate : {0.0, 0.01, 0.05}) {
+      for (const std::uint64_t seed : {1ull, 7ull}) {
+        trace::Session session;
+        const trace::Scope scope(machine + "/internode");
+        netsim::InterNodeConfig cfg;
+        cfg.iterations = 60;
+        cfg.binaryRuns = 5;
+        cfg.watchdog = Duration::seconds(10.0);
+        mpisim::InterNodeParams network = netsim::networkFor(m);
+        if (rate > 0.0) {
+          const faults::FaultPlan plan =
+              faults::FaultPlan::fromJson(lossPlanJson(rate, seed));
+          plan.applyToNetwork(machine, network);
+        }
+        cfg.network = network;
+        const auto result = netsim::measureInterNode(m, cfg);
+        ASSERT_NE(scope.buffer(), nullptr);
+        checkAll(*scope.buffer());
+        if (rate > 0.0) {
+          // Loss recovery must actually be visible in the trace for the
+          // invariants above to mean anything.
+          EXPECT_EQ(scope.buffer()->counters().at("mpisim.retransmits"),
+                    result.retransmits);
+        } else {
+          EXPECT_EQ(result.retransmits, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(TraceInvariants, IntraNodePingPong) {
+  // Intra-node traffic exercises the Link-kind channel lanes (per
+  // directed rank pair) instead of the shared NIC lanes.
+  for (const std::string machine : {"Eagle", "Perlmutter"}) {
+    const machines::Machine& m = machines::byName(machine);
+    trace::Session session;
+    const trace::Scope scope(machine + "/pingpong");
+    const auto [a, b] = osu::onSocketPair(m);
+    osu::LatencyConfig cfg;
+    cfg.binaryRuns = 10;
+    const osu::LatencyBenchmark bench(m, a, b,
+                                      mpisim::BufferSpace::Kind::Host);
+    (void)bench.measure(cfg);
+    ASSERT_NE(scope.buffer(), nullptr);
+    const TraceBuffer& buf = *scope.buffer();
+    checkAll(buf);
+    bool sawRank = false;
+    bool sawLink = false;
+    for (const Event& e : buf.events()) {
+      sawRank = sawRank || e.actorKind == ActorKind::Rank;
+      sawLink = sawLink ||
+                (e.actorKind == ActorKind::Link &&
+                 e.category == Category::LinkOccupancy);
+    }
+    EXPECT_TRUE(sawRank);
+    EXPECT_TRUE(sawLink);
+    // Latency samples land in the per-iteration histogram.
+    EXPECT_EQ(buf.histograms().at("osu.latency_us").count(), 10u);
+  }
+}
+
+TEST(TraceInvariants, GpuAndCollectiveLanes) {
+  // A device-buffer inter-node run covers the device-MPI path and the
+  // same invariants must hold with GPU-resident ranks.
+  const machines::Machine& m = machines::byName("Frontier");
+  trace::Session session;
+  const trace::Scope scope("Frontier/internode-device");
+  netsim::InterNodeConfig cfg;
+  cfg.iterations = 40;
+  cfg.binaryRuns = 3;
+  cfg.deviceBuffers = true;
+  cfg.watchdog = Duration::seconds(10.0);
+  mpisim::InterNodeParams network = netsim::networkFor(m);
+  const faults::FaultPlan plan =
+      faults::FaultPlan::fromJson(lossPlanJson(0.03, 11));
+  plan.applyToNetwork("Frontier", network);
+  cfg.network = network;
+  (void)netsim::measureInterNode(m, cfg);
+  ASSERT_NE(scope.buffer(), nullptr);
+  checkAll(*scope.buffer());
+}
+
+}  // namespace
+}  // namespace nodebench

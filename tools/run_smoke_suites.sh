@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Fast "did I break the paper?" signal: run the two labelled ctest
+# groups reviewers care about most, against an already-built tree.
+#
+#   tools/run_smoke_suites.sh [build-dir]   (default: build)
+#
+#  - conformance: Tables 1-7 headline numbers transcribed inline with
+#    per-cell tolerances (tests/conformance/paper_values_test.cpp).
+#  - faults: fault-plan parsing/application, retransmit + watchdog
+#    behaviour, n/a-cell degradation, and the CLI fault demos.
+#
+# Exits non-zero if either suite fails. See CONTRIBUTING.md.
+set -euo pipefail
+
+build_dir="${1:-build}"
+
+if [[ ! -f "${build_dir}/CTestTestfile.cmake" ]]; then
+  echo "error: '${build_dir}' is not a configured build tree" >&2
+  echo "hint: cmake -B ${build_dir} -G Ninja && cmake --build ${build_dir} -j" >&2
+  exit 2
+fi
+
+echo "== conformance suite (paper headline numbers) =="
+ctest --test-dir "${build_dir}" -L conformance --output-on-failure
+
+echo
+echo "== faults suite (resilience harness) =="
+ctest --test-dir "${build_dir}" -L faults --output-on-failure
