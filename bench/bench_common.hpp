@@ -9,10 +9,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/journal.hpp"
 #include "commscope/commscope.hpp"
 #include "core/parallel.hpp"
 #include "core/stats.hpp"
@@ -44,36 +46,100 @@ inline std::optional<int> parsePositiveInt(const char* text) {
   return static_cast<int>(value);
 }
 
+/// Parsed form of the shared bench arguments; `options.journal` is wired
+/// up by `optionsFromArgs`, not here, because opening the journal needs
+/// the final option values (the header fingerprints them).
+struct BenchArgs {
+  report::TableOptions options;
+  std::optional<std::string> journalPath;
+  bool resume = false;
+  std::vector<std::string> positional;
+};
+
+/// Throwing core of the bench argument parser (testable without the
+/// std::exit wrapper): "--runs N", "--jobs N", "--journal FILE" and
+/// "--resume". A flag given twice is an error — last-wins parsing
+/// silently discards half of what the user asked for, which is exactly
+/// the kind of input-boundary leniency a measurement campaign cannot
+/// afford.
+inline BenchArgs parseBenchArgs(const std::vector<std::string>& args) {
+  BenchArgs out;
+  std::vector<std::string> seen;
+  const auto onceOnly = [&](const std::string& flag) {
+    if (std::find(seen.begin(), seen.end(), flag) != seen.end()) {
+      throw Error("duplicate flag " + flag +
+                  " (each option may be given once)");
+    }
+    seen.push_back(flag);
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--runs" || arg == "--jobs") {
+      onceOnly(arg);
+      if (i + 1 >= args.size()) {
+        throw Error(arg + " requires a value");
+      }
+      const auto value = parsePositiveInt(args[++i].c_str());
+      if (!value) {
+        throw Error(arg + " expects a positive integer, got '" + args[i] +
+                    "'");
+      }
+      (arg == "--runs" ? out.options.binaryRuns : out.options.jobs) = *value;
+    } else if (arg == "--journal") {
+      onceOnly(arg);
+      if (i + 1 >= args.size()) {
+        throw Error(arg + " requires a value");
+      }
+      out.journalPath = args[++i];
+    } else if (arg == "--resume") {
+      onceOnly(arg);
+      out.resume = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw Error("unknown argument '" + arg + "'");
+    } else {
+      // Positional arguments (e.g. the figure benches' machine name) are
+      // the binary's own business.
+      out.positional.push_back(arg);
+    }
+  }
+  if (out.resume && !out.journalPath) {
+    throw Error("--resume requires --journal FILE");
+  }
+  return out;
+}
+
 /// Parses the shared harness arguments: "--runs N" (default: the paper's
-/// 100) and "--jobs N" (default: hardware concurrency; 1 = sequential).
-/// Invalid or missing values fail fast with a usage message instead of
+/// 100), "--jobs N" (default: hardware concurrency; 1 = sequential) and
+/// "--journal FILE [--resume]" (crash-safe figure campaigns). Invalid,
+/// missing or duplicate values fail fast with a usage message instead of
 /// silently running a nonsense configuration.
 inline report::TableOptions optionsFromArgs(int argc, char** argv) {
-  report::TableOptions opt;
-  const auto usage = [&](const std::string& detail) {
-    std::fprintf(stderr, "%s: %s\nusage: %s [--runs N] [--jobs N]\n",
-                 argv[0], detail.c_str(), argv[0]);
-    std::exit(2);
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg(argv[i]);
-    if (arg == "--runs" || arg == "--jobs") {
-      if (i + 1 >= argc) {
-        usage(arg + " requires a value");
+  // The opened journal must outlive the returned options (they hold a
+  // raw pointer to it); bench tools are one-shot processes, so a
+  // process-lifetime holder is the simplest correct owner.
+  static std::unique_ptr<campaign::Journal> journalHolder;
+  try {
+    BenchArgs parsed =
+        parseBenchArgs(std::vector<std::string>(argv + 1, argv + argc));
+    if (parsed.journalPath) {
+      const campaign::CampaignConfig cfg =
+          report::campaignConfig(parsed.options);
+      journalHolder = parsed.resume
+                          ? campaign::Journal::resume(*parsed.journalPath, cfg)
+                          : campaign::Journal::create(*parsed.journalPath, cfg);
+      for (const std::string& warning : journalHolder->warnings()) {
+        std::fprintf(stderr, "%s: warning: %s\n", argv[0], warning.c_str());
       }
-      const auto value = parsePositiveInt(argv[++i]);
-      if (!value) {
-        usage(arg + " expects a positive integer, got '" +
-              std::string(argv[i]) + "'");
-      }
-      (arg == "--runs" ? opt.binaryRuns : opt.jobs) = *value;
-    } else if (arg.rfind("--", 0) == 0) {
-      usage("unknown argument '" + arg + "'");
+      parsed.options.journal = journalHolder.get();
     }
-    // Positional arguments (e.g. the figure benches' machine name) are
-    // the binary's own business.
+    return parsed.options;
+  } catch (const Error& e) {
+    std::fprintf(stderr,
+                 "%s: %s\nusage: %s [--runs N] [--jobs N] "
+                 "[--journal FILE [--resume]]\n",
+                 argv[0], e.what(), argv[0]);
+    std::exit(2);
   }
-  return opt;
 }
 
 /// Accumulates "cell | paper | measured | ratio" comparison rows.
@@ -139,6 +205,21 @@ inline void printFigure(const std::string& machineName,
   const auto measured = par::parallelMap(
       classes,
       [&](const topo::LinkClass c) {
+        // Under --journal, each class row is one campaign cell: replay it
+        // bit-exactly when already journalled, persist it otherwise.
+        const std::string cell =
+            std::string("figure D2D class ") +
+            static_cast<char>('A' + static_cast<int>(c));
+        if (opt.journal != nullptr) {
+          if (const campaign::CellRecord* rec =
+                  opt.journal->find(m.info.name, cell)) {
+            campaign::PayloadReader r(rec->payload);
+            ClassRow row;
+            row.mpi = campaign::readSummary(r);
+            row.copy = campaign::readSummary(r);
+            return row;
+          }
+        }
         const auto [a, b] = osu::devicePair(m, c);
         ClassRow row;
         row.mpi =
@@ -146,6 +227,17 @@ inline void printFigure(const std::string& machineName,
                 .measure(lcfg)
                 .latencyUs;
         row.copy = commscope::CommScope(m).d2dLatencyUs(c, ccfg);
+        if (opt.journal != nullptr) {
+          campaign::CellRecord rec;
+          rec.machine = m.info.name;
+          rec.cell = cell;
+          rec.attempts = 1;
+          campaign::PayloadWriter w;
+          campaign::putSummary(w, row.mpi);
+          campaign::putSummary(w, row.copy);
+          rec.payload = w.bytes();
+          opt.journal->append(std::move(rec));
+        }
         return row;
       },
       opt.jobs);

@@ -1,0 +1,40 @@
+#include "campaign/fingerprint.hpp"
+
+#include "core/checksum.hpp"
+#include "faults/fault_plan.hpp"
+#include "machines/registry.hpp"
+
+namespace nodebench::campaign {
+
+std::uint64_t registryHash() {
+  std::uint64_t h = Fnv1a::init();
+  for (const machines::Machine& m : machines::allMachines()) {
+    h = Fnv1a::mix(h, m.info.name);
+    h = Fnv1a::mix(h, static_cast<std::uint64_t>(m.info.top500Rank));
+    h = Fnv1a::mix(h, m.seed);
+    h = Fnv1a::mix(h, static_cast<std::uint64_t>(m.coreCount()));
+    h = Fnv1a::mix(h, static_cast<std::uint64_t>(m.topology.gpuCount()));
+  }
+  return h;
+}
+
+std::uint64_t faultPlanHash(const faults::FaultPlan* plan) {
+  if (plan == nullptr) {
+    return 0;
+  }
+  std::uint64_t h = Fnv1a::init();
+  h = Fnv1a::mix(h, plan->seed);
+  for (const faults::FaultSpec& spec : plan->faults) {
+    h = Fnv1a::mix(h, static_cast<std::uint64_t>(spec.type));
+    h = Fnv1a::mix(h, spec.machine);
+    h = Fnv1a::mix(h, spec.link);
+    h = Fnv1a::mix(h, spec.bandwidthFactor);
+    h = Fnv1a::mix(h, spec.addedLatency.us());
+    h = Fnv1a::mix(h, spec.cvFactor);
+    h = Fnv1a::mix(h, spec.slowdown);
+    h = Fnv1a::mix(h, spec.rate);
+  }
+  return h;
+}
+
+}  // namespace nodebench::campaign

@@ -1,0 +1,30 @@
+#pragma once
+/// \file fingerprint.hpp
+/// \brief Configuration fingerprints for resume-compatibility checks.
+///
+/// A journal records what the campaign *was measuring* (the machine
+/// registry) and *under which perturbations* (the fault plan). Resuming
+/// against a different registry or plan would splice records from two
+/// different experiments into one table — the fingerprints make that a
+/// fail-fast diagnostic instead of a silent reproducibility bug.
+
+#include <cstdint>
+
+namespace nodebench::faults {
+class FaultPlan;
+}
+
+namespace nodebench::campaign {
+
+/// Stable FNV-1a fingerprint of the built-in machine registry: every
+/// machine's identity (name, rank, seed) and node shape (core/GPU
+/// counts) in registry order. Changes whenever a machine is added,
+/// removed, reordered or re-calibrated at the identity level.
+[[nodiscard]] std::uint64_t registryHash();
+
+/// Fingerprint of a fault plan: seed plus every spec field in plan
+/// order. `nullptr` (no --faults) hashes to 0 so fault-free journals are
+/// mutually compatible.
+[[nodiscard]] std::uint64_t faultPlanHash(const faults::FaultPlan* plan);
+
+}  // namespace nodebench::campaign

@@ -29,6 +29,7 @@
 #include "babelstream/driver.hpp"
 #include "babelstream/sim_device_backend.hpp"
 #include "babelstream/sim_omp_backend.hpp"
+#include "campaign/journal.hpp"
 #include "commscope/commscope.hpp"
 #include "core/error.hpp"
 #include "faults/fault_plan.hpp"
@@ -74,7 +75,9 @@ int usage() {
       "                            tables + diagnostics under the plan\n"
       "  native [--threads N]      real measurements on this host\n"
       "  table/stream/latency/commscope/export/faults also accept\n"
-      "  --trace FILE (Chrome trace JSON) and --metrics (summary)\n";
+      "  --trace FILE (Chrome trace JSON) and --metrics (summary)\n"
+      "  table/export also accept --journal FILE [--resume]: crash-safe\n"
+      "  campaigns (journal completed cells; resume replays them)\n";
   return 2;
 }
 
@@ -127,6 +130,60 @@ bool flagPresent(std::vector<std::string>& args, const std::string& flag) {
     }
   }
   return false;
+}
+
+/// Called after all flag parsing: anything left that looks like a flag is
+/// either unknown or a duplicate (each flag parser erases the occurrence
+/// it consumed, so a second "--runs 9" survives to here). Silently
+/// ignoring it would run a configuration the user did not ask for.
+void rejectLeftoverFlags(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      throw Error("unknown or duplicate flag: " + arg);
+    }
+  }
+}
+
+/// Parses `--journal FILE` / `--resume` / `--crash-after-cell N` (the
+/// last a hidden crash-injection test hook) and opens the campaign
+/// journal. Must run after every other option lands in `opt`, because
+/// the journal header fingerprints the final configuration. All journal
+/// chatter goes to stderr so stdout stays byte-identical to a
+/// journal-less run.
+std::unique_ptr<campaign::Journal> openJournal(std::vector<std::string>& args,
+                                               report::TableOptions& opt) {
+  const auto path = flagValue(args, "--journal");
+  const bool resume = flagPresent(args, "--resume");
+  const auto crashAfter = positiveFlagValue(args, "--crash-after-cell");
+  if (!path) {
+    if (std::find(args.begin(), args.end(), "--journal") != args.end()) {
+      throw Error("--journal expects a value");
+    }
+    if (resume) {
+      throw Error("--resume requires --journal FILE");
+    }
+    if (crashAfter) {
+      throw Error("--crash-after-cell requires --journal FILE");
+    }
+    return nullptr;
+  }
+  const campaign::CampaignConfig cfg = report::campaignConfig(opt);
+  std::unique_ptr<campaign::Journal> journal;
+  if (resume) {
+    journal = campaign::Journal::resume(*path, cfg);
+    for (const std::string& warning : journal->warnings()) {
+      std::cerr << "nodebench: warning: " << warning << "\n";
+    }
+    std::cerr << "nodebench: resuming campaign from " << *path << " ("
+              << journal->recordCount() << " cell(s) already measured)\n";
+  } else {
+    journal = campaign::Journal::create(*path, cfg);
+  }
+  if (crashAfter) {
+    journal->setCrashAfterAppends(*crashAfter);
+  }
+  opt.journal = journal.get();
+  return journal;
 }
 
 /// Parsed `--trace FILE` / `--metrics` flags plus the live trace session
@@ -212,6 +269,8 @@ int cmdTable(std::vector<std::string> args) {
   if (const auto jobs = positiveFlagValue(args, "--jobs")) {
     opt.jobs = *jobs;
   }
+  const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
+  rejectLeftoverFlags(args);
   const std::string which = args[0];
   std::vector<report::CellIncident> incidents;
   const auto emit = [&](int n) {
@@ -475,6 +534,8 @@ int cmdExport(std::vector<std::string> args) {
   if (const auto d = flagValue(args, "--dir")) {
     dir = *d;
   }
+  const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
+  rejectLeftoverFlags(args);
   const auto manifest = report::exportAllTables(dir, opt);
   for (const auto& path : manifest.written) {
     std::cout << "wrote " << path.string() << "\n";

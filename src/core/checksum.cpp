@@ -1,0 +1,69 @@
+#include "core/checksum.hpp"
+
+#include <array>
+#include <bit>
+
+namespace nodebench {
+
+namespace {
+
+/// Table for the reflected IEEE polynomial, computed once at startup.
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32Update(std::uint32_t crc,
+                          std::span<const std::uint8_t> bytes) {
+  const auto& table = crcTable();
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (const std::uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  return crc32Update(0, bytes);
+}
+
+std::uint64_t Fnv1a::mix(std::uint64_t h, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a::mix(std::uint64_t h, std::string_view s) {
+  h = mix(h, std::span<const std::uint8_t>(
+                 reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  // Length terminator: distinguishes ("ab","c") from ("a","bc").
+  return mix(h, static_cast<std::uint64_t>(s.size()));
+}
+
+std::uint64_t Fnv1a::mix(std::uint64_t h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a::mix(std::uint64_t h, double value) {
+  return mix(h, std::bit_cast<std::uint64_t>(value));
+}
+
+}  // namespace nodebench

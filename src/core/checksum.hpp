@@ -1,0 +1,46 @@
+#pragma once
+/// \file checksum.hpp
+/// \brief Integrity and identity hashes shared by persistence layers.
+///
+/// CRC32 (the IEEE 802.3 reflected polynomial) guards on-disk records
+/// against torn writes and bit rot: the measurement journal stores one
+/// checksum per record so a reader can tell a valid prefix from a
+/// corrupted tail. FNV-1a provides cheap stable 64-bit identity hashes
+/// for configuration fingerprints (machine registry, fault plans) — not
+/// collision-resistant against an adversary, but stable across builds
+/// and platforms, which is what resume compatibility checks need.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nodebench {
+
+/// CRC-32 (polynomial 0xEDB88320, init/final XOR 0xFFFFFFFF) of a byte
+/// span. Matches zlib's crc32() so journals are checkable with standard
+/// tooling.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Incremental form: feed `crc` the previous return value (or 0 for the
+/// first chunk) to checksum discontiguous buffers.
+[[nodiscard]] std::uint32_t crc32Update(std::uint32_t crc,
+                                        std::span<const std::uint8_t> bytes);
+
+/// 64-bit FNV-1a accumulator for identity fingerprints. Start from
+/// `init()`, then mix fields in a fixed order; any field change yields a
+/// different fingerprint with overwhelming probability.
+class Fnv1a {
+ public:
+  [[nodiscard]] static constexpr std::uint64_t init() {
+    return 0xcbf29ce484222325ull;
+  }
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t h,
+                                         std::span<const std::uint8_t> bytes);
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t h, std::string_view s);
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t h, std::uint64_t value);
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t h, double value);
+};
+
+}  // namespace nodebench

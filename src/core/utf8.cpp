@@ -1,0 +1,49 @@
+#include "core/utf8.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nodebench {
+
+bool validUtf8(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto b0 = static_cast<unsigned char>(s[i]);
+    std::size_t len = 0;
+    std::uint32_t cp = 0;
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    } else if ((b0 & 0xe0) == 0xc0) {
+      len = 2;
+      cp = b0 & 0x1fu;
+    } else if ((b0 & 0xf0) == 0xe0) {
+      len = 3;
+      cp = b0 & 0x0fu;
+    } else if ((b0 & 0xf8) == 0xf0) {
+      len = 4;
+      cp = b0 & 0x07u;
+    } else {
+      return false;
+    }
+    if (i + len > s.size()) {
+      return false;
+    }
+    for (std::size_t k = 1; k < len; ++k) {
+      const auto b = static_cast<unsigned char>(s[i + k]);
+      if ((b & 0xc0) != 0x80) {
+        return false;
+      }
+      cp = (cp << 6) | (b & 0x3fu);
+    }
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || cp > 0x10ffff ||
+        (cp >= 0xd800 && cp <= 0xdfff)) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
+}  // namespace nodebench

@@ -1,0 +1,19 @@
+#pragma once
+/// \file utf8.hpp
+/// \brief Strict UTF-8 validation shared by the input-boundary decoders
+/// (campaign journal, fault-plan JSON). Both treat their byte streams as
+/// untrusted, so validation lives in core rather than being re-implemented
+/// per format.
+
+#include <string_view>
+
+namespace nodebench {
+
+/// True when `s` is well-formed UTF-8 per RFC 3629: no overlong
+/// encodings, no surrogate code points, nothing above U+10FFFF, no
+/// truncated sequences. Embedded NULs and control characters are valid
+/// UTF-8 and are NOT rejected here — callers with stricter needs layer
+/// their own checks on top.
+[[nodiscard]] bool validUtf8(std::string_view s);
+
+}  // namespace nodebench

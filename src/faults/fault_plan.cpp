@@ -284,13 +284,22 @@ FaultPlan FaultPlan::fromJson(std::string_view text) {
 }
 
 FaultPlan FaultPlan::load(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw Error("cannot open fault plan file: " + path);
   }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return fromJson(text.str());
+  // Read at most the parser's document cap plus one byte: pointing the
+  // loader at a huge (or unbounded, e.g. /dev/zero) file must fail fast
+  // instead of buffering it all before the parser can object.
+  constexpr std::size_t kMaxPlanBytes = 1u << 20;
+  std::string text(kMaxPlanBytes + 1, '\0');
+  in.read(text.data(), static_cast<std::streamsize>(text.size()));
+  text.resize(static_cast<std::size_t>(in.gcount()));
+  if (text.size() > kMaxPlanBytes) {
+    throw Error("fault plan file " + path + " exceeds the " +
+                std::to_string(kMaxPlanBytes) + "-byte limit");
+  }
+  return fromJson(text);
 }
 
 }  // namespace nodebench::faults

@@ -3,9 +3,20 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "core/utf8.hpp"
+
 namespace nodebench::faults {
 
 namespace {
+
+/// Input-boundary limits. Fault plans are supplied by users (and, in the
+/// fuzz harness, by an adversary): a pathological document must fail with
+/// a diagnostic, not exhaust the stack (deep nesting) or memory (huge
+/// inputs). The document cap here is a generous backstop — this reader
+/// also validates multi-megabyte trace exports in tests; the tight 1 MiB
+/// fault-plan cap is enforced where plan *files* enter (FaultPlan::load).
+constexpr std::size_t kMaxJsonBytes = 64u << 20;  // 64 MiB document cap
+constexpr std::size_t kMaxJsonDepth = 64;         // nested containers
 
 [[noreturn]] void parseError(std::size_t pos, const std::string& what) {
   throw Error("JSON parse error at offset " + std::to_string(pos) + ": " +
@@ -121,7 +132,27 @@ class JsonParser {
     }
   }
 
+  /// RAII nesting guard: each open container bumps the depth; anything
+  /// past kMaxJsonDepth is rejected before it can recurse further (the
+  /// parser is recursive-descent, so unchecked depth is unchecked stack).
+  class DepthGuard {
+   public:
+    DepthGuard(JsonParser& p, std::size_t pos) : parser_(p) {
+      if (++parser_.depth_ > kMaxJsonDepth) {
+        parseError(pos, "nesting deeper than " +
+                            std::to_string(kMaxJsonDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    JsonParser& parser_;
+  };
+
   JsonValue parseObject() {
+    const DepthGuard guard(*this, pos_);
     expect('{');
     JsonValue out;
     out.kind_ = JsonValue::Kind::Object;
@@ -144,6 +175,7 @@ class JsonParser {
   }
 
   JsonValue parseArray() {
+    const DepthGuard guard(*this, pos_);
     expect('[');
     JsonValue out;
     out.kind_ = JsonValue::Kind::Array;
@@ -164,11 +196,17 @@ class JsonParser {
   }
 
   JsonValue parseString() {
+    const std::size_t start = pos_;
     expect('"');
     JsonValue out;
     out.kind_ = JsonValue::Kind::String;
     while (pos_ < text_.size() && text_[pos_] != '"') {
       char c = text_[pos_++];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259: control characters must be escaped; a raw one usually
+        // means a truncated or binary-corrupted plan file.
+        parseError(pos_ - 1, "raw control character in string");
+      }
       if (c == '\\') {
         if (pos_ >= text_.size()) {
           parseError(pos_, "unterminated escape");
@@ -191,6 +229,9 @@ class JsonParser {
       parseError(pos_, "unterminated string");
     }
     ++pos_;  // closing quote
+    if (!validUtf8(out.string_)) {
+      parseError(start, "string is not valid UTF-8");
+    }
     return out;
   }
 
@@ -240,9 +281,14 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 JsonValue JsonValue::parse(std::string_view text) {
+  if (text.size() > kMaxJsonBytes) {
+    throw Error("JSON document is " + std::to_string(text.size()) +
+                " bytes; the limit is " + std::to_string(kMaxJsonBytes));
+  }
   return JsonParser(text).parseDocument();
 }
 

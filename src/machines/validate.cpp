@@ -4,44 +4,51 @@ namespace nodebench::machines {
 
 std::vector<ValidationIssue> validate(const Machine& m) {
   std::vector<ValidationIssue> issues;
-  const auto error = [&](std::string msg) {
-    issues.push_back({ValidationIssue::Severity::Error, std::move(msg)});
+  const auto error = [&](std::string field, std::string msg) {
+    issues.push_back({ValidationIssue::Severity::Error, std::move(field),
+                      std::move(msg)});
   };
-  const auto warning = [&](std::string msg) {
-    issues.push_back({ValidationIssue::Severity::Warning, std::move(msg)});
+  const auto warning = [&](std::string field, std::string msg) {
+    issues.push_back({ValidationIssue::Severity::Warning, std::move(field),
+                      std::move(msg)});
   };
 
   if (m.info.name.empty()) {
-    error("machine has no name");
+    error("info.name", "machine has no name");
   }
   if (m.topology.coreCount() == 0) {
-    error("topology has no cores");
+    error("topology.cores", "topology has no cores");
   }
   if (m.topology.socketCount() == 0) {
-    error("topology has no sockets");
+    error("topology.sockets", "topology has no sockets");
   }
 
   // Accelerator consistency.
   const bool hasGpus = m.topology.gpuCount() > 0;
   if (m.info.accelerated() != hasGpus) {
-    error("acceleratorModel and topology GPU count disagree");
+    error("info.acceleratorModel",
+          "acceleratorModel and topology GPU count disagree");
   }
   if (hasGpus != m.device.has_value()) {
-    error("device parameters must exist iff the topology has GPUs");
+    error("device",
+          "device parameters must exist iff the topology has GPUs");
   }
   if (hasGpus != m.deviceMpi.has_value()) {
-    error("device MPI parameters must exist iff the topology has GPUs");
+    error("deviceMpi",
+          "device MPI parameters must exist iff the topology has GPUs");
   }
   if (hasGpus &&
       m.topology.gpuFlavor() == topo::GpuInterconnectFlavor::None) {
-    error("GPU topology needs an interconnect flavour for link classes");
+    error("topology.gpuFlavor",
+          "GPU topology needs an interconnect flavour for link classes");
   }
   for (int g = 0; g < m.topology.gpuCount(); ++g) {
     const topo::GpuId id{g};
     try {
       (void)m.topology.hostGpuLink(m.topology.gpu(id).socket, id);
     } catch (const NotFoundError&) {
-      error("GPU " + std::to_string(g) + " has no link to its host socket");
+      error("topology.hostGpuLinks",
+            "GPU " + std::to_string(g) + " has no link to its host socket");
     }
   }
 
@@ -50,61 +57,70 @@ std::vector<ValidationIssue> validate(const Machine& m) {
     try {
       (void)m.topology.socketLink(topo::SocketId{0}, topo::SocketId{1});
     } catch (const NotFoundError&) {
-      warning("sockets 0 and 1 have no inter-socket link");
+      warning("topology.socketLinks",
+              "sockets 0 and 1 have no inter-socket link");
     }
   }
 
   // Host parameters.
   if (m.hostMemory.perCoreBw.inGBps() <= 0.0) {
-    error("perCoreBw must be positive");
+    error("hostMemory.perCoreBw", "perCoreBw must be positive");
   }
   if (m.hostMemory.perNumaSaturation.inGBps() <= 0.0) {
-    error("perNumaSaturation must be positive");
+    error("hostMemory.perNumaSaturation",
+          "perNumaSaturation must be positive");
   }
   if (m.hostMemory.cacheModeOverhead < 1.0) {
-    error("cacheModeOverhead must be >= 1");
+    error("hostMemory.cacheModeOverhead", "cacheModeOverhead must be >= 1");
   }
   if (m.hostMpi.softwareOverhead <= Duration::zero()) {
-    error("MPI softwareOverhead must be positive");
+    error("hostMpi.softwareOverhead", "MPI softwareOverhead must be positive");
   }
   if (m.hostMpi.eagerBandwidth.inGBps() <= 0.0 ||
       m.hostMpi.rendezvousBandwidth.inGBps() <= 0.0) {
-    error("MPI copy bandwidths must be positive");
+    error("hostMpi.eagerBandwidth/rendezvousBandwidth",
+          "MPI copy bandwidths must be positive");
   }
   if (m.hostMpi.cv < 0.0 || m.hostMpi.cv >= 0.5) {
-    error("hostMpi.cv must be in [0, 0.5)");
+    error("hostMpi.cv", "hostMpi.cv must be in [0, 0.5)");
   }
   if (m.hostMemory.peak.inGBps() <= 0.0) {
-    warning("host peak bandwidth unset (Table-4-style output incomplete)");
+    warning("hostMemory.peak",
+            "host peak bandwidth unset (Table-4-style output incomplete)");
   }
   if (m.hostPeakFp64Gflops <= 0.0) {
-    warning("host peak FLOPS unset (machine-balance analysis unavailable)");
+    warning("hostPeakFp64Gflops",
+            "host peak FLOPS unset (machine-balance analysis unavailable)");
   }
 
   // Device parameters.
   if (m.device) {
     const DeviceParams& d = *m.device;
     if (d.hbmBw.inGBps() <= 0.0) {
-      error("device hbmBw must be positive");
+      error("device.hbmBw", "device hbmBw must be positive");
     }
     if (d.kernelLaunch <= Duration::zero() ||
         d.syncWait <= Duration::zero()) {
-      error("kernelLaunch and syncWait must be positive");
+      error("device.kernelLaunch/syncWait",
+            "kernelLaunch and syncWait must be positive");
     }
     if (d.memcpyCallOverhead <= Duration::zero() ||
         d.h2dDmaSetup <= Duration::zero() ||
         d.d2dDmaSetup <= Duration::zero()) {
-      error("memcpy overhead terms must be positive");
+      error("device.memcpyCallOverhead/h2dDmaSetup/d2dDmaSetup",
+            "memcpy overhead terms must be positive");
     }
     if (d.hbmPeak.inGBps() > 0.0 && d.hbmPeak < d.hbmBw) {
-      error("achievable HBM bandwidth exceeds its theoretical peak");
+      error("device.hbmPeak",
+            "achievable HBM bandwidth exceeds its theoretical peak");
     }
     if (d.peakFp64Gflops <= 0.0) {
-      warning("device peak FLOPS unset (balance analysis unavailable)");
+      warning("device.peakFp64Gflops",
+              "device peak FLOPS unset (balance analysis unavailable)");
     }
   }
   if (m.deviceMpi && m.deviceMpi->baseOneWay < Duration::zero()) {
-    error("deviceMpi.baseOneWay must be non-negative");
+    error("deviceMpi.baseOneWay", "deviceMpi.baseOneWay must be non-negative");
   }
   return issues;
 }
@@ -122,7 +138,8 @@ void ensureValid(const Machine& m) {
   std::string errors;
   for (const ValidationIssue& issue : validate(m)) {
     if (issue.severity == ValidationIssue::Severity::Error) {
-      errors += (errors.empty() ? "" : "; ") + issue.message;
+      errors += (errors.empty() ? "" : "; ") + issue.field + ": " +
+                issue.message;
     }
   }
   if (!errors.empty()) {

@@ -11,10 +11,13 @@
 
 namespace nodebench::machines {
 
-/// One validation finding.
+/// One validation finding. `field` names the offending Machine member
+/// (e.g. "hostMpi.cv") so a failed ensureValid() pinpoints what to fix
+/// rather than making the user re-derive it from prose.
 struct ValidationIssue {
   enum class Severity { Error, Warning };
   Severity severity = Severity::Error;
+  std::string field;
   std::string message;
 };
 

@@ -7,6 +7,7 @@
 #include "babelstream/driver.hpp"
 #include "babelstream/sim_device_backend.hpp"
 #include "babelstream/sim_omp_backend.hpp"
+#include "campaign/fingerprint.hpp"
 #include "commscope/commscope.hpp"
 #include "core/parallel.hpp"
 #include "faults/fault_plan.hpp"
@@ -55,9 +56,18 @@ std::string d2dCopyCellName(LinkClass c) {
 /// body folds into its noise seeds. On exhaustion the slot stays
 /// `failed`, the row keeps its zero-initialised value and the renderer
 /// degrades the cell to "n/a".
-template <typename Body>
+///
+/// Under a campaign journal (opt.journal), an already-journalled cell is
+/// *replayed* instead of re-measured: `load` restores the row fields from
+/// the record's bit-exact payload and the incident slot is restored so
+/// the diagnostics appendix matches too. A freshly measured cell is
+/// persisted via `save` before the harness moves on — cells are
+/// independent (identity-derived seeds), so skipping measured ones cannot
+/// shift any other cell's noise streams, which is what makes a resumed
+/// campaign byte-identical to an uninterrupted one.
+template <typename Body, typename Save, typename Load>
 void runCell(const TableOptions& opt, const Machine& m, std::string cell,
-             CellIncident& slot, Body&& body) {
+             CellIncident& slot, Body&& body, Save&& save, Load&& load) {
   slot.machine = m.info.name;
   slot.cell = std::move(cell);
   // One trace scope per cell (covering retries): model objects the body
@@ -66,6 +76,19 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
   // Labels are unique within a table's parallel fan-out, which keeps the
   // export deterministic at any --jobs (no-op without --trace/--metrics).
   trace::Scope traceScope(slot.machine + "/" + slot.cell);
+  if (opt.journal != nullptr) {
+    if (const campaign::CellRecord* rec =
+            opt.journal->find(slot.machine, slot.cell)) {
+      slot.attempts = static_cast<int>(rec->attempts);
+      slot.failed = rec->failed;
+      slot.error = rec->error;
+      if (!rec->failed) {
+        campaign::PayloadReader r(rec->payload);
+        load(r);
+      }
+      return;
+    }
+  }
   const int maxAttempts = std::max(1, opt.cellRetries + 1);
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
     ++slot.attempts;
@@ -81,12 +104,40 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
                                        static_cast<std::uint64_t>(attempt));
       body(salt);
       slot.failed = false;
-      return;
+      break;
     } catch (const std::exception& e) {
       slot.failed = true;
       slot.error = e.what();
     }
   }
+  if (opt.journal != nullptr) {
+    campaign::CellRecord rec;
+    rec.machine = slot.machine;
+    rec.cell = slot.cell;
+    rec.attempts = static_cast<std::uint32_t>(slot.attempts);
+    rec.failed = slot.failed;
+    rec.error = slot.error;
+    if (!slot.failed) {
+      campaign::PayloadWriter w;
+      save(w);
+      rec.payload = w.bytes();
+    }
+    opt.journal->append(std::move(rec));
+  }
+}
+
+/// Save/load lambda builders for the common one-Summary cell payloads.
+auto saveSummary(const Summary& s) {
+  return [&s](campaign::PayloadWriter& w) { campaign::putSummary(w, s); };
+}
+auto loadSummary(Summary& s) {
+  return [&s](campaign::PayloadReader& r) { s = campaign::readSummary(r); };
+}
+auto saveOptSummary(const std::optional<Summary>& s) {
+  return [&s](campaign::PayloadWriter& w) { campaign::putSummary(w, *s); };
+}
+auto loadOptSummary(std::optional<Summary>& s) {
+  return [&s](campaign::PayloadReader& r) { s = campaign::readSummary(r); };
 }
 
 /// Keeps only the interesting incident slots (retried or failed cells),
@@ -145,6 +196,20 @@ std::string naOr(bool failed, std::string value) {
 }
 
 }  // namespace
+
+campaign::CampaignConfig campaignConfig(const TableOptions& opt) {
+  campaign::CampaignConfig cfg;
+  cfg.registryHash = campaign::registryHash();
+  cfg.faultPlanHash = campaign::faultPlanHash(opt.faults);
+  cfg.seed = opt.faults != nullptr ? opt.faults->seed : 0;
+  cfg.runs = static_cast<std::uint32_t>(opt.binaryRuns);
+  cfg.jobs = static_cast<std::uint32_t>(std::max(0, opt.jobs));
+  cfg.cellRetries = static_cast<std::uint32_t>(std::max(0, opt.cellRetries));
+  cfg.cpuArrayBytes = opt.cpuArrayBytes.count();
+  cfg.gpuArrayBytes = opt.gpuArrayBytes.count();
+  cfg.mpiMessageSize = opt.mpiMessageSize.count();
+  return cfg;
+}
 
 std::string renderDiagnostics(const std::vector<CellIncident>& incidents) {
   if (incidents.empty()) {
@@ -284,6 +349,14 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
                       const OmpSweepResult sweep = ompSweep(m, opt, salt);
                       row.singleGBps = sweep.bestSingle;
                       row.allGBps = sweep.bestAll;
+                    },
+                    [&](campaign::PayloadWriter& w) {
+                      campaign::putSummary(w, row.singleGBps);
+                      campaign::putSummary(w, row.allGBps);
+                    },
+                    [&](campaign::PayloadReader& r) {
+                      row.singleGBps = campaign::readSummary(r);
+                      row.allGBps = campaign::readSummary(r);
                     });
             break;
           case 1:
@@ -297,7 +370,8 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
                                                 mpisim::BufferSpace::Kind::Host)
                               .measure(cfg)
                               .latencyUs;
-                    });
+                    },
+                    saveSummary(row.onSocketUs), loadSummary(row.onSocketUs));
             break;
           case 2:
             runCell(opt, m, kCellOnNode, slots[task],
@@ -310,7 +384,8 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
                                                 mpisim::BufferSpace::Kind::Host)
                               .measure(cfg)
                               .latencyUs;
-                    });
+                    },
+                    saveSummary(row.onNodeUs), loadSummary(row.onNodeUs));
             break;
           default:
             break;
@@ -408,7 +483,8 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
                       dcfg.seed ^= m.seed ^ salt;
                       row.deviceGBps =
                           babelstream::run(backend, dcfg).best().bandwidthGBps;
-                    });
+                    },
+                    saveSummary(row.deviceGBps), loadSummary(row.deviceGBps));
             break;
           case kHostLatency:
             runCell(opt, m, kCellHostToHost, slots[t],
@@ -421,23 +497,29 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
                                                 mpisim::BufferSpace::Kind::Host)
                               .measure(cfg)
                               .latencyUs;
-                    });
+                    },
+                    saveSummary(row.hostToHostUs),
+                    loadSummary(row.hostToHostUs));
             break;
-          case kDeviceLatency:
+          case kDeviceLatency: {
+            auto& d2dSlot =
+                row.deviceToDeviceUs[static_cast<int>(task.linkClass)];
             runCell(opt, m, d2dMpiCellName(task.linkClass), slots[t],
                     [&](std::uint64_t salt) {
                       osu::LatencyConfig cfg = lcfg;
                       cfg.seed ^= salt;
                       const auto [devA, devB] =
                           osu::devicePair(m, task.linkClass);
-                      row.deviceToDeviceUs[static_cast<int>(task.linkClass)] =
+                      d2dSlot =
                           osu::LatencyBenchmark(
                               m, devA, devB,
                               mpisim::BufferSpace::Kind::Device)
                               .measure(cfg)
                               .latencyUs;
-                    });
+                    },
+                    saveOptSummary(d2dSlot), loadOptSummary(d2dSlot));
             break;
+          }
           default:
             break;
         }
@@ -518,32 +600,79 @@ std::vector<Gpu6Row> computeTable6(const TableOptions& opt,
             default: return d2dCopyCellName(task.linkClass);
           }
         };
-        runCell(opt, m, cellName(), slots[t], [&](std::uint64_t salt) {
-          commscope::CommScope scope(m);
-          commscope::Config cfg;
-          cfg.binaryRuns = opt.binaryRuns;
-          cfg.seed ^= salt;
-          switch (task.kind) {
-            case kLaunch:
-              row.launchUs = scope.kernelLaunchUs(cfg);
-              break;
-            case kWait:
-              row.waitUs = scope.syncWaitUs(cfg);
-              break;
-            case kHostDeviceLatency:
-              row.hostDeviceLatencyUs = scope.hostDeviceLatencyUs(cfg);
-              break;
-            case kHostDeviceBandwidth:
-              row.hostDeviceBandwidthGBps = scope.hostDeviceBandwidthGBps(cfg);
-              break;
-            case kD2dLatency:
-              row.d2dLatencyUs[static_cast<int>(task.linkClass)] =
-                  scope.d2dLatencyUs(task.linkClass, cfg);
-              break;
-            default:
-              break;
-          }
-        });
+        runCell(opt, m, cellName(), slots[t],
+                [&](std::uint64_t salt) {
+                  commscope::CommScope scope(m);
+                  commscope::Config cfg;
+                  cfg.binaryRuns = opt.binaryRuns;
+                  cfg.seed ^= salt;
+                  switch (task.kind) {
+                    case kLaunch:
+                      row.launchUs = scope.kernelLaunchUs(cfg);
+                      break;
+                    case kWait:
+                      row.waitUs = scope.syncWaitUs(cfg);
+                      break;
+                    case kHostDeviceLatency:
+                      row.hostDeviceLatencyUs = scope.hostDeviceLatencyUs(cfg);
+                      break;
+                    case kHostDeviceBandwidth:
+                      row.hostDeviceBandwidthGBps =
+                          scope.hostDeviceBandwidthGBps(cfg);
+                      break;
+                    case kD2dLatency:
+                      row.d2dLatencyUs[static_cast<int>(task.linkClass)] =
+                          scope.d2dLatencyUs(task.linkClass, cfg);
+                      break;
+                    default:
+                      break;
+                  }
+                },
+                [&](campaign::PayloadWriter& w) {
+                  switch (task.kind) {
+                    case kLaunch:
+                      campaign::putSummary(w, row.launchUs);
+                      break;
+                    case kWait:
+                      campaign::putSummary(w, row.waitUs);
+                      break;
+                    case kHostDeviceLatency:
+                      campaign::putSummary(w, row.hostDeviceLatencyUs);
+                      break;
+                    case kHostDeviceBandwidth:
+                      campaign::putSummary(w, row.hostDeviceBandwidthGBps);
+                      break;
+                    case kD2dLatency:
+                      campaign::putSummary(
+                          w,
+                          *row.d2dLatencyUs[static_cast<int>(task.linkClass)]);
+                      break;
+                    default:
+                      break;
+                  }
+                },
+                [&](campaign::PayloadReader& r) {
+                  switch (task.kind) {
+                    case kLaunch:
+                      row.launchUs = campaign::readSummary(r);
+                      break;
+                    case kWait:
+                      row.waitUs = campaign::readSummary(r);
+                      break;
+                    case kHostDeviceLatency:
+                      row.hostDeviceLatencyUs = campaign::readSummary(r);
+                      break;
+                    case kHostDeviceBandwidth:
+                      row.hostDeviceBandwidthGBps = campaign::readSummary(r);
+                      break;
+                    case kD2dLatency:
+                      row.d2dLatencyUs[static_cast<int>(task.linkClass)] =
+                          campaign::readSummary(r);
+                      break;
+                    default:
+                      break;
+                  }
+                });
       },
       opt.jobs);
   collectIncidents(std::move(slots), incidents);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/journal.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
@@ -46,7 +47,19 @@ struct TableOptions {
   /// to "n/a". Retries re-derive their noise seeds deterministically, so
   /// recovered cells are still byte-identical across --jobs values.
   int cellRetries = 2;
+  /// Optional crash-safe measurement journal (see campaign/journal.hpp).
+  /// When set, every completed cell is persisted before the harness moves
+  /// on, and already-journalled cells are replayed bit-exactly instead of
+  /// re-measured — so a resumed campaign's tables are byte-identical to
+  /// an uninterrupted run. The journal must outlive the compute call.
+  campaign::Journal* journal = nullptr;
 };
+
+/// The campaign-configuration fingerprint of a set of table options: what
+/// a journal header records and what `--resume` checks compatibility
+/// against. Lives in report (not campaign) because campaign sits below
+/// report in the dependency order.
+[[nodiscard]] campaign::CampaignConfig campaignConfig(const TableOptions& opt);
 
 /// Outcome of one measured (machine x cell) task under the resilient
 /// harness. The compute functions report an incident only for cells that

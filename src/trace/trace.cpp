@@ -26,6 +26,8 @@ std::string_view categoryName(Category c) {
     case Category::LinkOccupancy: return "link busy";
     case Category::CacheHit: return "cache hit";
     case Category::CacheMiss: return "cache miss";
+    case Category::JournalAppend: return "journal append";
+    case Category::JournalReplay: return "journal replay";
   }
   return "?";
 }
@@ -36,6 +38,7 @@ std::string_view actorKindName(ActorKind k) {
     case ActorKind::Device: return "device";
     case ActorKind::Link: return "link";
     case ActorKind::Node: return "node";
+    case ActorKind::Campaign: return "campaign";
   }
   return "?";
 }

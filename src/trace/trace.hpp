@@ -57,6 +57,8 @@ enum class Category : std::uint8_t {
   LinkOccupancy,  ///< Transfer channel / NIC busy interval.
   CacheHit,       ///< Working set fits in the last-level cache (instant).
   CacheMiss,      ///< Working set spills the last-level cache (instant).
+  JournalAppend,  ///< Campaign journal: one record persisted (instant).
+  JournalReplay,  ///< Campaign journal: one record replayed on resume.
 };
 
 /// Stable lowercase name used in exports ("send", "link busy", ...).
@@ -66,8 +68,9 @@ enum class Category : std::uint8_t {
 enum class ActorKind : std::uint8_t {
   Rank,    ///< MPI rank index.
   Device,  ///< GPU device index.
-  Link,    ///< Directed intra-node channel (src * worldSize + dst).
-  Node,    ///< Node index (NIC injection channel, transport recovery).
+  Link,      ///< Directed intra-node channel (src * worldSize + dst).
+  Node,      ///< Node index (NIC injection channel, transport recovery).
+  Campaign,  ///< The campaign journal lane (actor is always 0).
 };
 
 [[nodiscard]] std::string_view actorKindName(ActorKind k);

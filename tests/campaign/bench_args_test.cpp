@@ -1,0 +1,77 @@
+/// \file bench_args_test.cpp
+/// \brief Unit tests for the shared bench-harness argument parser:
+/// duplicate-flag rejection (no silent last-wins), journal/resume flag
+/// plumbing, and strict value validation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace nodebench::benchtool {
+namespace {
+
+using Args = std::vector<std::string>;
+
+TEST(BenchArgs, DefaultsMatchThePaperMethodology) {
+  const BenchArgs parsed = parseBenchArgs({});
+  EXPECT_EQ(parsed.options.binaryRuns, 100);
+  EXPECT_EQ(parsed.options.jobs, 0);
+  EXPECT_FALSE(parsed.journalPath.has_value());
+  EXPECT_FALSE(parsed.resume);
+  EXPECT_TRUE(parsed.positional.empty());
+}
+
+TEST(BenchArgs, ParsesRunsJobsJournalResumeAndPositionals) {
+  const BenchArgs parsed = parseBenchArgs(
+      Args{"--runs", "7", "Frontier", "--jobs", "3", "--journal",
+           "campaign.bin", "--resume"});
+  EXPECT_EQ(parsed.options.binaryRuns, 7);
+  EXPECT_EQ(parsed.options.jobs, 3);
+  ASSERT_TRUE(parsed.journalPath.has_value());
+  EXPECT_EQ(*parsed.journalPath, "campaign.bin");
+  EXPECT_TRUE(parsed.resume);
+  ASSERT_EQ(parsed.positional.size(), 1u);
+  EXPECT_EQ(parsed.positional[0], "Frontier");
+}
+
+TEST(BenchArgs, DuplicateFlagsAreErrorsNotLastWins) {
+  for (const Args& args :
+       {Args{"--runs", "5", "--runs", "6"}, Args{"--jobs", "1", "--jobs", "2"},
+        Args{"--journal", "a.bin", "--journal", "b.bin"},
+        Args{"--resume", "--journal", "a.bin", "--resume"}}) {
+    try {
+      (void)parseBenchArgs(args);
+      FAIL() << "expected a duplicate-flag error for " << args[0];
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate flag"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(BenchArgs, RejectsMissingOrInvalidValues) {
+  EXPECT_THROW((void)parseBenchArgs(Args{"--runs"}), Error);
+  EXPECT_THROW((void)parseBenchArgs(Args{"--runs", "0"}), Error);
+  EXPECT_THROW((void)parseBenchArgs(Args{"--runs", "5x"}), Error);
+  EXPECT_THROW((void)parseBenchArgs(Args{"--jobs", "-1"}), Error);
+  EXPECT_THROW((void)parseBenchArgs(Args{"--journal"}), Error);
+  EXPECT_THROW((void)parseBenchArgs(Args{"--frobnicate"}), Error);
+}
+
+TEST(BenchArgs, ResumeRequiresAJournal) {
+  try {
+    (void)parseBenchArgs(Args{"--resume"});
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--resume requires --journal"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace nodebench::benchtool

@@ -1,0 +1,143 @@
+/// \file resume_integration_test.cpp
+/// \brief End-to-end resume property: a campaign interrupted after any
+/// number of completed cells and resumed at any `--jobs` renders tables
+/// byte-identical to an uninterrupted run.
+///
+/// This file is also compiled into the tsan-labelled concurrency binary:
+/// journal appends and replays happen concurrently from harness worker
+/// threads, so the whole resume path runs under ThreadSanitizer in the
+/// `-DNODEBENCH_SANITIZE=thread` configuration.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "report/tables.hpp"
+
+namespace nodebench::report {
+namespace {
+
+std::string tempJournalPath(const std::string& tag) {
+  // This file is compiled into two test binaries (campaign + tsan) that
+  // ctest may run concurrently; the pid keeps their journals apart.
+  return (std::filesystem::temp_directory_path() /
+          ("nodebench_resume_" + tag + "_" + std::to_string(::getpid()) +
+           ".bin"))
+      .string();
+}
+
+void writeBytes(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string renderedTable4(const TableOptions& opt) {
+  std::vector<CellIncident> incidents;
+  const auto rows = computeTable4(opt, &incidents);
+  return renderTable4(rows, &incidents).renderAscii();
+}
+
+TEST(CampaignResume, Table4ByteIdenticalAfterInterruptionAtEveryCell) {
+  TableOptions opt;
+  opt.binaryRuns = 3;
+  opt.jobs = 1;
+  const std::string plain = renderedTable4(opt);
+
+  const std::string path = tempJournalPath("t4");
+  std::filesystem::remove(path);
+  const campaign::CampaignConfig cfg = campaignConfig(opt);
+
+  // Full journalled run: output unchanged, journal populated.
+  {
+    auto journal = campaign::Journal::create(path, cfg);
+    TableOptions jopt = opt;
+    jopt.journal = journal.get();
+    EXPECT_EQ(renderedTable4(jopt), plain);
+    EXPECT_GT(journal->recordCount(), 0u);
+  }
+  const campaign::Journal::Decoded full = [&] {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    return campaign::Journal::decode(bytes);
+  }();
+  ASSERT_FALSE(full.records.empty());
+
+  // Interrupt after k cells for a spread of k, then resume at a
+  // different --jobs: replay k records, measure the rest, and the
+  // rendered table must not move by a byte.
+  const std::size_t n = full.records.size();
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, n / 2, n - 1}) {
+    std::vector<std::uint8_t> partial =
+        campaign::Journal::encodeHeader(full.config);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto frame = campaign::Journal::encodeRecord(full.records[i]);
+      partial.insert(partial.end(), frame.begin(), frame.end());
+    }
+    writeBytes(path, partial);
+    auto resumed = campaign::Journal::resume(path, cfg);
+    EXPECT_EQ(resumed->recordCount(), k);
+    TableOptions ropt = opt;
+    ropt.jobs = 8;
+    ropt.journal = resumed.get();
+    EXPECT_EQ(renderedTable4(ropt), plain) << "resumed after " << k
+                                           << " of " << n << " cells";
+    EXPECT_EQ(resumed->recordCount(), n);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CampaignResume, Table5And6ReplayIsByteIdenticalAcrossJobs) {
+  TableOptions opt;
+  opt.binaryRuns = 2;
+  opt.jobs = 2;
+
+  const std::string path = tempJournalPath("t56");
+  std::filesystem::remove(path);
+  const campaign::CampaignConfig cfg = campaignConfig(opt);
+
+  std::string first5;
+  std::string first6;
+  {
+    auto journal = campaign::Journal::create(path, cfg);
+    TableOptions jopt = opt;
+    jopt.journal = journal.get();
+    std::vector<CellIncident> incidents;
+    first5 = renderTable5(computeTable5(jopt, &incidents), &incidents)
+                 .renderAscii();
+    incidents.clear();
+    first6 = renderTable6(computeTable6(jopt, &incidents), &incidents)
+                 .renderAscii();
+  }
+  // Pure replay at another worker count: every cell comes from the
+  // journal, nothing is re-measured, output is byte-identical.
+  {
+    auto resumed = campaign::Journal::resume(path, cfg);
+    const std::size_t replayed = resumed->recordCount();
+    TableOptions ropt = opt;
+    ropt.jobs = 5;
+    ropt.journal = resumed.get();
+    std::vector<CellIncident> incidents;
+    EXPECT_EQ(renderTable5(computeTable5(ropt, &incidents), &incidents)
+                  .renderAscii(),
+              first5);
+    incidents.clear();
+    EXPECT_EQ(renderTable6(computeTable6(ropt, &incidents), &incidents)
+                  .renderAscii(),
+              first6);
+    EXPECT_EQ(resumed->recordCount(), replayed);
+    EXPECT_EQ(resumed->appendedThisProcess(), 0u);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace nodebench::report

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/error.hpp"
@@ -189,6 +191,69 @@ TEST(FaultPlan, SummaryListsEveryFault) {
 
 TEST(FaultPlan, LoadMissingFileThrows) {
   EXPECT_THROW((void)FaultPlan::load("/nonexistent/plan.json"), Error);
+}
+
+// --- Input-boundary hardening (the fuzz contract, tested branch by
+// branch; see tests/fuzz/ for the corpus + mutation sweeps) --------------
+
+TEST(JsonHardening, NestingDepthIsBounded) {
+  // 64 levels parse; 65 are refused with a diagnostic, not a stack
+  // overflow.
+  const std::string ok(64, '[');
+  EXPECT_NO_THROW((void)JsonValue::parse(ok + std::string(64, ']')));
+  const std::string deep(65, '[');
+  try {
+    (void)JsonValue::parse(deep + std::string(65, ']'));
+    FAIL() << "expected a depth error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonHardening, RawControlCharactersInStringsAreRejected) {
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": \"x\ny\"}"), Error);
+  EXPECT_THROW((void)JsonValue::parse(std::string("[\"\x01\"]")), Error);
+  // The escaped forms stay legal.
+  EXPECT_NO_THROW((void)JsonValue::parse(R"({"a": "x\ny"})"));
+}
+
+TEST(JsonHardening, InvalidUtf8InStringsIsRejected) {
+  EXPECT_THROW((void)JsonValue::parse("[\"\xff\xfe\"]"), Error);
+  EXPECT_THROW((void)JsonValue::parse("[\"\xc0\xaf\"]"), Error);  // overlong
+  EXPECT_THROW((void)JsonValue::parse("[\"\xed\xa0\x80\"]"), Error);  // surrogate
+  EXPECT_NO_THROW((void)JsonValue::parse("[\"caf\xc3\xa9\"]"));
+}
+
+TEST(JsonHardening, OversizedDocumentIsRejected) {
+  // Build a >64 MiB document cheaply: one long string literal.
+  std::string doc = "[\"";
+  doc.append((64u << 20) + 16, 'a');
+  doc += "\"]";
+  EXPECT_THROW((void)JsonValue::parse(doc), Error);
+}
+
+TEST(FaultPlanHardening, LoadRejectsOversizedPlanFile) {
+  const std::string path =
+      ::testing::TempDir() + "nodebench_oversized_plan.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"seed\": 1, \"comment\": \"";
+    const std::string filler(1u << 16, 'x');
+    for (int i = 0; i < 20; ++i) {  // ~1.3 MiB > the 1 MiB plan cap
+      out << filler;
+    }
+    out << "\"}";
+  }
+  try {
+    (void)FaultPlan::load(path);
+    FAIL() << "expected a size-cap error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte limit"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,32 @@
+/// \file fuzz_journal.cpp
+/// \brief Fuzz target for the campaign-journal decoder.
+///
+/// Journal::decode is the pure in-memory core of `--resume`: everything
+/// it reads is untrusted bytes off disk. The decoder must either return
+/// a Decoded (possibly with a torn-tail warning) or throw
+/// JournalCorruptError — never crash, hang, or over-allocate.
+
+#include "fuzz_targets.hpp"
+
+#include "campaign/journal.hpp"
+#include "core/error.hpp"
+
+namespace nodebench::fuzz {
+
+int runJournalOneInput(const std::uint8_t* data, std::size_t size) {
+  try {
+    (void)campaign::Journal::decode({data, size});
+  } catch (const Error&) {
+    // JournalCorruptError (or Error) is the structured rejection path.
+  }
+  return 0;
+}
+
+}  // namespace nodebench::fuzz
+
+#ifdef NODEBENCH_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return nodebench::fuzz::runJournalOneInput(data, size);
+}
+#endif

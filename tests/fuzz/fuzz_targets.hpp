@@ -1,0 +1,24 @@
+#pragma once
+/// \file fuzz_targets.hpp
+/// \brief The fuzz entry points, callable by name.
+///
+/// Each target lives in its own .cpp which also defines the canonical
+/// `LLVMFuzzerTestOneInput` symbol when built as a libFuzzer driver
+/// (NODEBENCH_FUZZ_DRIVER). The deterministic smoke test links *both*
+/// targets into one gtest binary, which is only possible through these
+/// named wrappers — two definitions of the C entry point cannot coexist.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nodebench::fuzz {
+
+/// Feeds `data` to the fault-plan JSON parser (raw JsonValue::parse and
+/// the semantic FaultPlan::fromJson layer). Returns 0; any escape other
+/// than the repository's Error hierarchy is a fuzz finding.
+int runJsonOneInput(const std::uint8_t* data, std::size_t size);
+
+/// Feeds `data` to the campaign-journal decoder (Journal::decode).
+int runJournalOneInput(const std::uint8_t* data, std::size_t size);
+
+}  // namespace nodebench::fuzz

@@ -66,6 +66,169 @@ TEST(Validate, MissingFlopsIsOnlyAWarning) {
   EXPECT_TRUE(warned);
 }
 
+// --- Per-branch regression tests: every validation branch reports its
+// offending field, and ensureValid() surfaces machine name + field. ----------
+
+/// True when validate(m) reports an issue tagged with `field` at `sev`.
+bool hasIssue(const Machine& m, const std::string& field,
+              ValidationIssue::Severity sev = ValidationIssue::Severity::Error) {
+  for (const auto& issue : validate(m)) {
+    if (issue.severity == sev && issue.field == field) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ValidateBranches, EmptyName) {
+  Machine m = byName("Eagle");
+  m.info.name.clear();
+  EXPECT_TRUE(hasIssue(m, "info.name"));
+}
+
+TEST(ValidateBranches, NoCoresAndNoSockets) {
+  Machine m;
+  m.info.name = "bare";
+  EXPECT_TRUE(hasIssue(m, "topology.cores"));
+  EXPECT_TRUE(hasIssue(m, "topology.sockets"));
+}
+
+TEST(ValidateBranches, AcceleratorFlagDisagreesWithTopology) {
+  Machine m = byName("Frontier");
+  m.info.acceleratorModel.clear();
+  EXPECT_TRUE(hasIssue(m, "info.acceleratorModel"));
+}
+
+TEST(ValidateBranches, DeviceParamsMissing) {
+  Machine m = byName("Frontier");
+  m.device.reset();
+  EXPECT_TRUE(hasIssue(m, "device"));
+}
+
+TEST(ValidateBranches, DeviceMpiParamsMissing) {
+  Machine m = byName("Frontier");
+  m.deviceMpi.reset();
+  EXPECT_TRUE(hasIssue(m, "deviceMpi"));
+}
+
+TEST(ValidateBranches, GpuFlavorMissing) {
+  Machine m = byName("Frontier");
+  m.topology.setGpuFlavor(topo::GpuInterconnectFlavor::None);
+  EXPECT_TRUE(hasIssue(m, "topology.gpuFlavor"));
+}
+
+TEST(ValidateBranches, GpuWithoutHostLink) {
+  Machine m = byName("Perlmutter");
+  // Kill GPU 0's host link: the validator's hostGpuLink lookup then
+  // raises NotFoundError, exercising the no-host-link branch.
+  const auto& links = m.topology.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const bool hostGpu =
+        (links[i].a.kind == topo::Link::EndpointKind::Socket &&
+         links[i].b.kind == topo::Link::EndpointKind::Gpu &&
+         links[i].b.id == 0) ||
+        (links[i].b.kind == topo::Link::EndpointKind::Socket &&
+         links[i].a.kind == topo::Link::EndpointKind::Gpu &&
+         links[i].a.id == 0);
+    if (hostGpu) {
+      m.topology.setLinkFailed(i);
+    }
+  }
+  EXPECT_TRUE(hasIssue(m, "topology.hostGpuLinks"));
+}
+
+TEST(ValidateBranches, HostParameterBranches) {
+  Machine m = byName("Eagle");
+  m.hostMemory.perCoreBw = Bandwidth::zero();
+  EXPECT_TRUE(hasIssue(m, "hostMemory.perCoreBw"));
+
+  m = byName("Eagle");
+  m.hostMemory.perNumaSaturation = Bandwidth::zero();
+  EXPECT_TRUE(hasIssue(m, "hostMemory.perNumaSaturation"));
+
+  m = byName("Eagle");
+  m.hostMemory.cacheModeOverhead = 0.5;
+  EXPECT_TRUE(hasIssue(m, "hostMemory.cacheModeOverhead"));
+
+  m = byName("Eagle");
+  m.hostMpi.softwareOverhead = Duration::zero();
+  EXPECT_TRUE(hasIssue(m, "hostMpi.softwareOverhead"));
+
+  m = byName("Eagle");
+  m.hostMpi.eagerBandwidth = Bandwidth::zero();
+  EXPECT_TRUE(hasIssue(m, "hostMpi.eagerBandwidth/rendezvousBandwidth"));
+
+  m = byName("Eagle");
+  m.hostMpi.cv = 0.9;
+  EXPECT_TRUE(hasIssue(m, "hostMpi.cv"));
+}
+
+TEST(ValidateBranches, MissingInterSocketLinkWarns) {
+  Machine m = byName("Eagle");
+  const auto& links = m.topology.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (links[i].a.kind == topo::Link::EndpointKind::Socket &&
+        links[i].b.kind == topo::Link::EndpointKind::Socket) {
+      m.topology.setLinkFailed(i);
+    }
+  }
+  EXPECT_TRUE(
+      hasIssue(m, "topology.socketLinks", ValidationIssue::Severity::Warning));
+}
+
+TEST(ValidateBranches, HostWarningBranches) {
+  Machine m = byName("Eagle");
+  m.hostMemory.peak = Bandwidth::zero();
+  EXPECT_TRUE(
+      hasIssue(m, "hostMemory.peak", ValidationIssue::Severity::Warning));
+
+  m = byName("Eagle");
+  m.hostPeakFp64Gflops = 0.0;
+  EXPECT_TRUE(
+      hasIssue(m, "hostPeakFp64Gflops", ValidationIssue::Severity::Warning));
+}
+
+TEST(ValidateBranches, DeviceParameterBranches) {
+  Machine m = byName("Summit");
+  m.device->hbmBw = Bandwidth::zero();
+  EXPECT_TRUE(hasIssue(m, "device.hbmBw"));
+
+  m = byName("Summit");
+  m.device->kernelLaunch = Duration::zero();
+  EXPECT_TRUE(hasIssue(m, "device.kernelLaunch/syncWait"));
+
+  m = byName("Summit");
+  m.device->h2dDmaSetup = Duration::zero();
+  EXPECT_TRUE(
+      hasIssue(m, "device.memcpyCallOverhead/h2dDmaSetup/d2dDmaSetup"));
+
+  m = byName("Summit");
+  m.device->hbmPeak = Bandwidth::gbps(100.0);  // below achievable
+  EXPECT_TRUE(hasIssue(m, "device.hbmPeak"));
+
+  m = byName("Summit");
+  m.device->peakFp64Gflops = 0.0;
+  EXPECT_TRUE(
+      hasIssue(m, "device.peakFp64Gflops", ValidationIssue::Severity::Warning));
+
+  m = byName("Summit");
+  m.deviceMpi->baseOneWay = Duration::microseconds(-1.0);
+  EXPECT_TRUE(hasIssue(m, "deviceMpi.baseOneWay"));
+}
+
+TEST(ValidateBranches, EnsureValidNamesMachineAndField) {
+  Machine m = byName("Eagle");
+  m.hostMpi.cv = 0.9;
+  try {
+    ensureValid(m);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Eagle"), std::string::npos) << what;
+    EXPECT_NE(what.find("hostMpi.cv"), std::string::npos) << what;
+  }
+}
+
 TEST(MachineCard, ContainsIdentityAndCalibration) {
   const std::string card = machineCard(byName("Frontier"));
   EXPECT_NE(card.find("=== Frontier ==="), std::string::npos);

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Crash-injection integration suite for the campaign journal: repeatedly
+# kill the real nodebench binary mid-campaign and resume it, then assert
+# the final table output is byte-identical to an uninterrupted run.
+#
+#   tools/run_crash_suite.sh [build-dir] [table] [runs]
+#     build-dir  configured build tree containing the nodebench binary
+#                (default: build)
+#     table      table selector passed to `nodebench table` (default: all,
+#                which covers every registry machine)
+#     runs       --runs per cell (default: 2; kept small — the property
+#                under test is durability, not statistics)
+#
+# Two kill mechanisms are exercised at --jobs 1 and --jobs 8:
+#  - the deterministic --crash-after-cell hook (fsync, then _Exit(42)),
+#    which lands exactly on an append boundary;
+#  - one SIGKILL at a random point, which may tear a record mid-write and
+#    must be recovered by torn-tail truncation on resume.
+set -euo pipefail
+
+build_dir="${1:-build}"
+table="${2:-all}"
+runs="${3:-2}"
+
+nodebench="${build_dir}/src/cli/nodebench"
+if [[ ! -x "${nodebench}" ]]; then
+  echo "error: '${nodebench}' not found; build the tree first" >&2
+  echo "hint: cmake -B ${build_dir} && cmake --build ${build_dir} -j" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/nodebench_crash_suite.XXXXXX")"
+trap 'rm -rf "${workdir}"' EXIT
+
+echo "== baseline: uninterrupted 'table ${table}' run =="
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+  > "${workdir}/baseline.txt"
+
+for jobs in 1 8; do
+  echo
+  echo "== kill-and-resume at --jobs ${jobs} =="
+  journal="${workdir}/campaign_j${jobs}.bin"
+  rm -f "${journal}"
+
+  # Phase 1: deterministic crashes every few appended cells until the
+  # campaign completes. Exit 42 is the crash hook; 0 means done.
+  iteration=0
+  max_iterations=200
+  resume_flag=()
+  while :; do
+    iteration=$((iteration + 1))
+    if (( iteration > max_iterations )); then
+      echo "error: campaign did not converge in ${max_iterations} crashes" >&2
+      exit 1
+    fi
+    rc=0
+    "${nodebench}" table "${table}" --runs "${runs}" --jobs "${jobs}" \
+      --journal "${journal}" "${resume_flag[@]}" --crash-after-cell 5 \
+      > "${workdir}/crashed.txt" 2>> "${workdir}/stderr_j${jobs}.log" || rc=$?
+    resume_flag=(--resume)
+    if (( rc == 0 )); then
+      break
+    elif (( rc != 42 )); then
+      echo "error: unexpected exit code ${rc} (wanted 0 or 42)" >&2
+      tail -5 "${workdir}/stderr_j${jobs}.log" >&2
+      exit 1
+    fi
+  done
+  echo "   campaign converged after ${iteration} process runs"
+
+  if ! cmp -s "${workdir}/crashed.txt" "${workdir}/baseline.txt"; then
+    echo "error: resumed output differs from the uninterrupted run" >&2
+    diff "${workdir}/baseline.txt" "${workdir}/crashed.txt" | head -20 >&2
+    exit 1
+  fi
+  echo "   resumed output is byte-identical to the baseline"
+done
+
+echo
+echo "== SIGKILL mid-campaign, then resume =="
+journal="${workdir}/campaign_kill.bin"
+rm -f "${journal}"
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+  --journal "${journal}" > /dev/null 2>&1 &
+victim=$!
+sleep 0.05
+kill -9 "${victim}" 2>/dev/null || true
+wait "${victim}" 2>/dev/null || true
+if [[ ! -f "${journal}" ]]; then
+  # The kill landed before journal creation; nothing to resume.
+  "${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+    --journal "${journal}" > "${workdir}/killed.txt"
+else
+  "${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+    --journal "${journal}" --resume > "${workdir}/killed.txt" \
+    2>> "${workdir}/stderr_kill.log"
+fi
+if ! cmp -s "${workdir}/killed.txt" "${workdir}/baseline.txt"; then
+  echo "error: post-SIGKILL resume differs from the uninterrupted run" >&2
+  diff "${workdir}/baseline.txt" "${workdir}/killed.txt" | head -20 >&2
+  exit 1
+fi
+echo "   post-SIGKILL resume is byte-identical to the baseline"
+
+echo
+echo "crash suite passed"

@@ -8,8 +8,13 @@
 #    per-cell tolerances (tests/conformance/paper_values_test.cpp).
 #  - faults: fault-plan parsing/application, retransmit + watchdog
 #    behaviour, n/a-cell degradation, and the CLI fault demos.
+#  - campaign: crash-safe journal format, torn-write recovery,
+#    kill-and-resume byte-identity (incl. the crash-injection run against
+#    the real binary, tools/run_crash_suite.sh).
+#  - fuzz: deterministic corpus + seeded-mutation replay of the
+#    fault-plan JSON and journal decoders (tests/fuzz/).
 #
-# Exits non-zero if either suite fails. See CONTRIBUTING.md.
+# Exits non-zero if any suite fails. See CONTRIBUTING.md.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -26,3 +31,11 @@ ctest --test-dir "${build_dir}" -L conformance --output-on-failure
 echo
 echo "== faults suite (resilience harness) =="
 ctest --test-dir "${build_dir}" -L faults --output-on-failure
+
+echo
+echo "== campaign suite (crash-safe journal + resume) =="
+ctest --test-dir "${build_dir}" -L campaign --output-on-failure
+
+echo
+echo "== fuzz smoke suite (input-boundary decoders) =="
+ctest --test-dir "${build_dir}" -L fuzz --output-on-failure
