@@ -17,6 +17,7 @@
 #include "campaign/journal.hpp"
 #include "commscope/commscope.hpp"
 #include "core/parallel.hpp"
+#include "core/samples.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "machines/registry.hpp"
@@ -25,6 +26,7 @@
 #include "report/figures.hpp"
 #include "report/paper_reference.hpp"
 #include "report/tables.hpp"
+#include "stats/store.hpp"
 #include "topo/dot.hpp"
 
 namespace nodebench::benchtool {
@@ -52,13 +54,14 @@ inline std::optional<int> parsePositiveInt(const char* text) {
 struct BenchArgs {
   report::TableOptions options;
   std::optional<std::string> journalPath;
+  std::optional<std::string> storePath;
   bool resume = false;
   std::vector<std::string> positional;
 };
 
 /// Throwing core of the bench argument parser (testable without the
-/// std::exit wrapper): "--runs N", "--jobs N", "--journal FILE" and
-/// "--resume". A flag given twice is an error — last-wins parsing
+/// std::exit wrapper): "--runs N", "--jobs N", "--journal FILE",
+/// "--store FILE" and "--resume". A flag given twice is an error — last-wins parsing
 /// silently discards half of what the user asked for, which is exactly
 /// the kind of input-boundary leniency a measurement campaign cannot
 /// afford.
@@ -91,6 +94,12 @@ inline BenchArgs parseBenchArgs(const std::vector<std::string>& args) {
         throw Error(arg + " requires a value");
       }
       out.journalPath = args[++i];
+    } else if (arg == "--store") {
+      onceOnly(arg);
+      if (i + 1 >= args.size()) {
+        throw Error(arg + " requires a value");
+      }
+      out.storePath = args[++i];
     } else if (arg == "--resume") {
       onceOnly(arg);
       out.resume = true;
@@ -109,21 +118,29 @@ inline BenchArgs parseBenchArgs(const std::vector<std::string>& args) {
 }
 
 /// Parses the shared harness arguments: "--runs N" (default: the paper's
-/// 100), "--jobs N" (default: hardware concurrency; 1 = sequential) and
-/// "--journal FILE [--resume]" (crash-safe figure campaigns). Invalid,
+/// 100), "--jobs N" (default: hardware concurrency; 1 = sequential),
+/// "--journal FILE [--resume]" (crash-safe figure campaigns) and
+/// "--store FILE" (raw-sample results store for compare/gate). Invalid,
 /// missing or duplicate values fail fast with a usage message instead of
 /// silently running a nonsense configuration.
+///
+/// Both the journal resume and the store reattach validate their header
+/// fingerprints against the *same* current configuration — so a --resume
+/// whose journal and store disagree (e.g. the store was recorded at a
+/// different --runs) is rejected with the mismatched parameter named,
+/// whichever of the two files carries the stale fingerprint.
 inline report::TableOptions optionsFromArgs(int argc, char** argv) {
-  // The opened journal must outlive the returned options (they hold a
-  // raw pointer to it); bench tools are one-shot processes, so a
-  // process-lifetime holder is the simplest correct owner.
+  // The opened journal/store must outlive the returned options (they
+  // hold raw pointers); bench tools are one-shot processes, so
+  // process-lifetime holders are the simplest correct owners.
   static std::unique_ptr<campaign::Journal> journalHolder;
+  static std::unique_ptr<stats::ResultStore> storeHolder;
   try {
     BenchArgs parsed =
         parseBenchArgs(std::vector<std::string>(argv + 1, argv + argc));
+    const campaign::CampaignConfig cfg =
+        report::campaignConfig(parsed.options);
     if (parsed.journalPath) {
-      const campaign::CampaignConfig cfg =
-          report::campaignConfig(parsed.options);
       journalHolder = parsed.resume
                           ? campaign::Journal::resume(*parsed.journalPath, cfg)
                           : campaign::Journal::create(*parsed.journalPath, cfg);
@@ -132,11 +149,16 @@ inline report::TableOptions optionsFromArgs(int argc, char** argv) {
       }
       parsed.options.journal = journalHolder.get();
     }
+    if (parsed.storePath) {
+      storeHolder =
+          stats::ResultStore::attach(*parsed.storePath, cfg, parsed.resume);
+      parsed.options.store = storeHolder.get();
+    }
     return parsed.options;
   } catch (const Error& e) {
     std::fprintf(stderr,
                  "%s: %s\nusage: %s [--runs N] [--jobs N] "
-                 "[--journal FILE [--resume]]\n",
+                 "[--journal FILE [--resume]] [--store FILE]\n",
                  argv[0], e.what(), argv[0]);
     std::exit(2);
   }
@@ -206,11 +228,16 @@ inline void printFigure(const std::string& machineName,
       classes,
       [&](const topo::LinkClass c) {
         // Under --journal, each class row is one campaign cell: replay it
-        // bit-exactly when already journalled, persist it otherwise.
+        // bit-exactly when already journalled, persist it otherwise. A
+        // cell the store lacks is re-measured even when the journal could
+        // replay it (replayed payloads carry no raw samples);
+        // re-measurement is bit-identical and the append is idempotent.
         const std::string cell =
             std::string("figure D2D class ") +
             static_cast<char>('A' + static_cast<int>(c));
-        if (opt.journal != nullptr) {
+        const bool wantStore =
+            opt.store != nullptr && !opt.store->containsCell(m.info.name, cell);
+        if (opt.journal != nullptr && !wantStore) {
           if (const campaign::CellRecord* rec =
                   opt.journal->find(m.info.name, cell)) {
             campaign::PayloadReader r(rec->payload);
@@ -220,6 +247,10 @@ inline void printFigure(const std::string& machineName,
             return row;
           }
         }
+        std::optional<SampleCapture> capture;
+        if (wantStore) {
+          capture.emplace();
+        }
         const auto [a, b] = osu::devicePair(m, c);
         ClassRow row;
         row.mpi =
@@ -227,6 +258,21 @@ inline void printFigure(const std::string& machineName,
                 .measure(lcfg)
                 .latencyUs;
         row.copy = commscope::CommScope(m).d2dLatencyUs(c, ccfg);
+        if (wantStore) {
+          stats::SampleRecord rec;
+          rec.machine = m.info.name;
+          rec.cell = cell;
+          rec.unit = "us";
+          rec.better = stats::Better::Lower;
+          rec.quantity = "OSU D2D MPI latency";
+          rec.summary = row.mpi;
+          rec.samples = capture->take(osu::kLatencySampleChannel);
+          opt.store->append(rec);
+          rec.quantity = "Comm|Scope D2D memcpy latency";
+          rec.summary = row.copy;
+          rec.samples = capture->take(commscope::kD2dLatencySampleChannel);
+          opt.store->append(std::move(rec));
+        }
         if (opt.journal != nullptr) {
           campaign::CellRecord rec;
           rec.machine = m.info.name;

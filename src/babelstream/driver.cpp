@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/samples.hpp"
 
 namespace nodebench::babelstream {
 
@@ -29,6 +30,9 @@ Summary measureOp(Backend& backend, StreamOp op, const DriverConfig& cfg) {
     const double bw =
         countedBytes(op, cfg.arrayBytes).asDouble() / iter.ns();  // GB/s
     acc.add(bw);
+    // Channel per STREAM op so the sweep can attribute samples to the
+    // winning kernel ("Dot", "Triad", ...).
+    recordSample(streamOpName(op), bw);
   }
   return acc.summary();
 }

@@ -17,6 +17,7 @@
 /// `--metrics` (aggregated counters/histograms appendix on stdout).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,6 +47,8 @@
 #include "report/export.hpp"
 #include "report/figures.hpp"
 #include "report/tables.hpp"
+#include "stats/compare.hpp"
+#include "stats/store.hpp"
 #include "topo/dot.hpp"
 #include "trace/sink.hpp"
 #include "trace/trace.hpp"
@@ -77,7 +80,17 @@ int usage() {
       "  table/stream/latency/commscope/export/faults also accept\n"
       "  --trace FILE (Chrome trace JSON) and --metrics (summary)\n"
       "  table/export also accept --journal FILE [--resume]: crash-safe\n"
-      "  campaigns (journal completed cells; resume replays them)\n";
+      "  campaigns (journal completed cells; resume replays them)\n"
+      "  table/export also accept --store FILE: record every cell's raw\n"
+      "  per-repetition samples for compare/gate (with --resume, the\n"
+      "  store is reattached and already-stored cells are skipped)\n"
+      "  compare <baseline.store> <candidate.store> [--jobs N]\n"
+      "          [--alpha A] [--threshold PCT]  per-cell statistical\n"
+      "          regression/improvement report (bootstrap CIs, Welch t,\n"
+      "          Mann-Whitney U, effect sizes)\n"
+      "  gate <baseline.store> <candidate.store> [--jobs N] [--alpha A]\n"
+      "          [--threshold PCT]  CI gate: exit 3 when any cell shows a\n"
+      "          statistically significant, material regression\n";
   return 2;
 }
 
@@ -118,6 +131,30 @@ std::optional<int> positiveFlagValue(std::vector<std::string>& args,
   }
   if (used != raw->size() || value < 1) {
     throw Error(flag + " expects a positive integer, got '" + *raw + "'");
+  }
+  return value;
+}
+
+/// Validated "--flag X" with X a positive finite number ("2.5", "0.01");
+/// same error discipline as positiveFlagValue.
+std::optional<double> positiveDoubleFlagValue(std::vector<std::string>& args,
+                                              const std::string& flag) {
+  const auto raw = flagValue(args, flag);
+  if (!raw) {
+    if (std::find(args.begin(), args.end(), flag) != args.end()) {
+      throw Error(flag + " expects a value");
+    }
+    return std::nullopt;
+  }
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(*raw, &used);
+  } catch (const std::exception&) {
+    throw Error(flag + " expects a positive number, got '" + *raw + "'");
+  }
+  if (used != raw->size() || !(value > 0.0) || !std::isfinite(value)) {
+    throw Error(flag + " expects a positive number, got '" + *raw + "'");
   }
   return value;
 }
@@ -184,6 +221,33 @@ std::unique_ptr<campaign::Journal> openJournal(std::vector<std::string>& args,
   }
   opt.journal = journal.get();
   return journal;
+}
+
+/// Parses `--store FILE` and opens the statistical results store. Like
+/// openJournal, must run after every other option lands in `opt` (the
+/// store header fingerprints the final configuration). `resume` is the
+/// journal's --resume (peeked before openJournal consumes it): a resumed
+/// campaign reattaches its store — after validating the fingerprint —
+/// instead of refusing to overwrite it. Store chatter goes to stderr so
+/// stdout stays byte-identical to a store-less run.
+std::unique_ptr<stats::ResultStore> openStore(std::vector<std::string>& args,
+                                              report::TableOptions& opt,
+                                              bool resume) {
+  const auto path = flagValue(args, "--store");
+  if (!path) {
+    if (std::find(args.begin(), args.end(), "--store") != args.end()) {
+      throw Error("--store expects a value");
+    }
+    return nullptr;
+  }
+  auto store =
+      stats::ResultStore::attach(*path, report::campaignConfig(opt), resume);
+  if (resume && store->recordCount() > 0) {
+    std::cerr << "nodebench: reattaching results store " << *path << " ("
+              << store->recordCount() << " record(s) already stored)\n";
+  }
+  opt.store = store.get();
+  return store;
 }
 
 /// Parsed `--trace FILE` / `--metrics` flags plus the live trace session
@@ -269,7 +333,13 @@ int cmdTable(std::vector<std::string> args) {
   if (const auto jobs = positiveFlagValue(args, "--jobs")) {
     opt.jobs = *jobs;
   }
+  // Peek --resume before openJournal consumes it: the store reattach
+  // decision follows the journal's.
+  const bool resume =
+      std::find(args.begin(), args.end(), "--resume") != args.end();
   const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
+  const std::unique_ptr<stats::ResultStore> store =
+      openStore(args, opt, resume);
   rejectLeftoverFlags(args);
   const std::string which = args[0];
   std::vector<report::CellIncident> incidents;
@@ -534,7 +604,11 @@ int cmdExport(std::vector<std::string> args) {
   if (const auto d = flagValue(args, "--dir")) {
     dir = *d;
   }
+  const bool resume =
+      std::find(args.begin(), args.end(), "--resume") != args.end();
   const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
+  const std::unique_ptr<stats::ResultStore> store =
+      openStore(args, opt, resume);
   rejectLeftoverFlags(args);
   const auto manifest = report::exportAllTables(dir, opt);
   for (const auto& path : manifest.written) {
@@ -681,6 +755,41 @@ int cmdTrace(std::vector<std::string> args) {
   return 0;
 }
 
+/// `nodebench compare` / `nodebench gate`: statistical regression
+/// detection between two results stores (see stats/compare.hpp). The
+/// gate variant prints a terse line per regression and exits with
+/// stats::kGateRegressionExitCode when any cell shows a statistically
+/// significant, material regression — CI-pipeline-friendly.
+int cmdCompare(std::vector<std::string> args, bool gate) {
+  stats::CompareOptions copt;
+  if (const auto jobs = positiveFlagValue(args, "--jobs")) {
+    copt.jobs = *jobs;
+  }
+  if (const auto threshold = positiveDoubleFlagValue(args, "--threshold")) {
+    copt.thresholdPct = *threshold;
+  }
+  if (const auto alpha = positiveDoubleFlagValue(args, "--alpha")) {
+    if (*alpha >= 1.0) {
+      throw Error("--alpha expects a significance level in (0, 1)");
+    }
+    copt.alpha = *alpha;
+  }
+  rejectLeftoverFlags(args);
+  if (args.size() != 2) {
+    return usage();
+  }
+  const stats::StoreContents baseline = stats::ResultStore::load(args[0]);
+  const stats::StoreContents candidate = stats::ResultStore::load(args[1]);
+  const stats::CompareReport report =
+      stats::compareStores(baseline, candidate, copt);
+  if (gate) {
+    std::cout << stats::renderGate(report);
+    return stats::gateExit(report);
+  }
+  std::cout << stats::renderCompare(report);
+  return 0;
+}
+
 int cmdNative(std::vector<std::string> args) {
   int threads = 0;
   if (const auto t = flagValue(args, "--threads")) {
@@ -749,6 +858,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "native") {
       return cmdNative(std::move(args));
+    }
+    if (cmd == "compare") {
+      return cmdCompare(std::move(args), /*gate=*/false);
+    }
+    if (cmd == "gate") {
+      return cmdCompare(std::move(args), /*gate=*/true);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -1,5 +1,7 @@
 #include "commscope/commscope.hpp"
 
+#include "core/samples.hpp"
+
 namespace nodebench::commscope {
 
 using gpusim::Buffer;
@@ -61,43 +63,50 @@ Duration CommScope::truthD2dTime(LinkClass linkClass, ByteCount bytes) {
 }
 
 Summary CommScope::aggregate(double truthUs, double cv, const Config& config,
-                             std::uint64_t streamSalt) const {
+                             std::uint64_t streamSalt,
+                             const char* channel) const {
   NB_EXPECTS(config.binaryRuns > 0);
   const NoiseModel noise(cv);
   Welford acc;
   for (int run = 0; run < config.binaryRuns; ++run) {
     Xoshiro256 rng(config.seed + runtime_.machine().seed + streamSalt +
                    0x9e3779b9u * static_cast<std::uint64_t>(run));
-    acc.add(truthUs * noise.sampleFactor(rng));
+    const double value = truthUs * noise.sampleFactor(rng);
+    acc.add(value);
+    recordSample(channel, value);
   }
   return acc.summary();
 }
 
 Summary CommScope::kernelLaunchUs(const Config& config) {
   return aggregate(truthKernelLaunch().us(),
-                   runtime_.machine().device->cvLaunch, config, 0x11);
+                   runtime_.machine().device->cvLaunch, config, 0x11,
+                   kLaunchSampleChannel);
 }
 
 Summary CommScope::syncWaitUs(const Config& config) {
   return aggregate(truthSyncWait().us(), runtime_.machine().device->cvWait,
-                   config, 0x22);
+                   config, 0x22, kWaitSampleChannel);
 }
 
 Summary CommScope::hostDeviceLatencyUs(const Config& config) {
   return aggregate(truthHostDeviceTime(config.latencyProbe).us(),
-                   runtime_.machine().device->cvXferLat, config, 0x33);
+                   runtime_.machine().device->cvXferLat, config, 0x33,
+                   kHdLatencySampleChannel);
 }
 
 Summary CommScope::hostDeviceBandwidthGBps(const Config& config) {
   const Duration t = truthHostDeviceTime(config.bandwidthProbe);
   const double gbps = config.bandwidthProbe.asDouble() / t.ns();
-  return aggregate(gbps, runtime_.machine().device->cvXferBw, config, 0x44);
+  return aggregate(gbps, runtime_.machine().device->cvXferBw, config, 0x44,
+                   kHdBandwidthSampleChannel);
 }
 
 Summary CommScope::d2dLatencyUs(LinkClass linkClass, const Config& config) {
   return aggregate(truthD2dTime(linkClass, config.latencyProbe).us(),
                    runtime_.machine().device->cvD2D, config,
-                   0x55 + static_cast<std::uint64_t>(linkClass));
+                   0x55 + static_cast<std::uint64_t>(linkClass),
+                   kD2dLatencySampleChannel);
 }
 
 Summary CommScope::d2dBandwidthGBps(LinkClass linkClass,
@@ -105,7 +114,8 @@ Summary CommScope::d2dBandwidthGBps(LinkClass linkClass,
   const Duration t = truthD2dTime(linkClass, config.bandwidthProbe);
   const double gbps = config.bandwidthProbe.asDouble() / t.ns();
   return aggregate(gbps, runtime_.machine().device->cvXferBw, config,
-                   0x66 + static_cast<std::uint64_t>(linkClass));
+                   0x66 + static_cast<std::uint64_t>(linkClass),
+                   kD2dBandwidthSampleChannel);
 }
 
 Duration CommScope::truthUmPrefetchTime(ByteCount bytes) {
@@ -129,13 +139,15 @@ Duration CommScope::truthUmDemandTime(ByteCount bytes) {
 Summary CommScope::umPrefetchBandwidthGBps(const Config& config) {
   const Duration t = truthUmPrefetchTime(config.bandwidthProbe);
   return aggregate(config.bandwidthProbe.asDouble() / t.ns(),
-                   runtime_.machine().device->cvXferBw, config, 0x88);
+                   runtime_.machine().device->cvXferBw, config, 0x88,
+                   kUmPrefetchSampleChannel);
 }
 
 Summary CommScope::umDemandBandwidthGBps(const Config& config) {
   const Duration t = truthUmDemandTime(config.bandwidthProbe);
   return aggregate(config.bandwidthProbe.asDouble() / t.ns(),
-                   runtime_.machine().device->cvXferLat, config, 0x99);
+                   runtime_.machine().device->cvXferLat, config, 0x99,
+                   kUmDemandSampleChannel);
 }
 
 Duration CommScope::truthD2dDuplexTime(LinkClass linkClass,
@@ -162,7 +174,8 @@ Summary CommScope::d2dDuplexBandwidthGBps(LinkClass linkClass,
   const Duration t = truthD2dDuplexTime(linkClass, config.bandwidthProbe);
   const double gbps = 2.0 * config.bandwidthProbe.asDouble() / t.ns();
   return aggregate(gbps, runtime_.machine().device->cvXferBw, config,
-                   0x77 + static_cast<std::uint64_t>(linkClass));
+                   0x77 + static_cast<std::uint64_t>(linkClass),
+                   kD2dDuplexSampleChannel);
 }
 
 MachineResults CommScope::measureAll(const Config& config) {

@@ -24,6 +24,26 @@
 
 namespace nodebench::commscope {
 
+/// Raw-sample channels (core/samples.hpp): one value per binary run,
+/// named per quantity so a single capture around measureAll() can still
+/// attribute samples to the individual Table 6 cells.
+inline constexpr const char* kLaunchSampleChannel = "commscope.launch_us";
+inline constexpr const char* kWaitSampleChannel = "commscope.wait_us";
+inline constexpr const char* kHdLatencySampleChannel =
+    "commscope.hd_latency_us";
+inline constexpr const char* kHdBandwidthSampleChannel =
+    "commscope.hd_bandwidth_gbps";
+inline constexpr const char* kD2dLatencySampleChannel =
+    "commscope.d2d_latency_us";
+inline constexpr const char* kD2dBandwidthSampleChannel =
+    "commscope.d2d_bandwidth_gbps";
+inline constexpr const char* kD2dDuplexSampleChannel =
+    "commscope.d2d_duplex_gbps";
+inline constexpr const char* kUmPrefetchSampleChannel =
+    "commscope.um_prefetch_gbps";
+inline constexpr const char* kUmDemandSampleChannel =
+    "commscope.um_demand_gbps";
+
 struct Config {
   ByteCount latencyProbe = ByteCount::bytes(128);
   ByteCount bandwidthProbe = ByteCount::gib(1);
@@ -87,10 +107,12 @@ class CommScope {
   [[nodiscard]] MachineResults measureAll(const Config& config);
 
  private:
-  /// Aggregates `truthUs * noise` over binary runs.
+  /// Aggregates `truthUs * noise` over binary runs, recording each draw
+  /// on the quantity's raw-sample channel.
   [[nodiscard]] Summary aggregate(double truthUs, double cv,
                                   const Config& config,
-                                  std::uint64_t streamSalt) const;
+                                  std::uint64_t streamSalt,
+                                  const char* channel) const;
 
   gpusim::GpuRuntime runtime_;
 };

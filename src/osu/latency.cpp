@@ -1,5 +1,6 @@
 #include "osu/latency.hpp"
 
+#include "core/samples.hpp"
 #include "trace/trace.hpp"
 
 namespace nodebench::osu {
@@ -95,10 +96,11 @@ LatencyResult LatencyBenchmark::measure(const LatencyConfig& config) const {
                    config.messageSize.count());
     const double us = noise.apply(truth, rng).us();
     acc.add(us);
+    recordSample(kLatencySampleChannel, us);
     if (tb != nullptr) {
       // Per-binary-run latency distribution: the histogram the metrics
       // appendix summarises per benchmark cell.
-      tb->sample("osu.latency_us", us);
+      tb->sample(kLatencySampleChannel, us);
     }
   }
   return LatencyResult{config.messageSize, acc.summary()};

@@ -30,6 +30,10 @@
 
 namespace nodebench::osu {
 
+/// Raw-sample channel (core/samples.hpp): one value per binary run of a
+/// latency cell, in microseconds. Matches the trace histogram channel.
+inline constexpr const char* kLatencySampleChannel = "osu.latency_us";
+
 struct LatencyConfig {
   ByteCount messageSize = ByteCount::bytes(8);
   int warmupIterations = 10;

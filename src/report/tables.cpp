@@ -10,11 +10,13 @@
 #include "campaign/fingerprint.hpp"
 #include "commscope/commscope.hpp"
 #include "core/parallel.hpp"
+#include "core/samples.hpp"
 #include "faults/fault_plan.hpp"
 #include "machines/registry.hpp"
 #include "ompenv/omp_config.hpp"
 #include "osu/latency.hpp"
 #include "osu/pairs.hpp"
+#include "stats/store.hpp"
 #include "trace/trace.hpp"
 
 namespace nodebench::report {
@@ -65,9 +67,19 @@ std::string d2dCopyCellName(LinkClass c) {
 /// independent (identity-derived seeds), so skipping measured ones cannot
 /// shift any other cell's noise streams, which is what makes a resumed
 /// campaign byte-identical to an uninterrupted one.
-template <typename Body, typename Save, typename Load>
+///
+/// Under a results store (opt.store), the cell additionally persists its
+/// raw per-repetition samples: a SampleCapture is installed around each
+/// attempt and `storeSave` turns the captured channels into store
+/// records. A cell the store already holds skips that; a cell the store
+/// *lacks* is re-measured even when the journal could replay it, because
+/// journal payloads carry only summaries — re-measurement reproduces the
+/// identical values (identity-derived seeds) and the journal append
+/// below stays an idempotent no-op.
+template <typename Body, typename Save, typename Load, typename StoreSave>
 void runCell(const TableOptions& opt, const Machine& m, std::string cell,
-             CellIncident& slot, Body&& body, Save&& save, Load&& load) {
+             CellIncident& slot, Body&& body, Save&& save, Load&& load,
+             StoreSave&& storeSave) {
   slot.machine = m.info.name;
   slot.cell = std::move(cell);
   // One trace scope per cell (covering retries): model objects the body
@@ -76,7 +88,9 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
   // Labels are unique within a table's parallel fan-out, which keeps the
   // export deterministic at any --jobs (no-op without --trace/--metrics).
   trace::Scope traceScope(slot.machine + "/" + slot.cell);
-  if (opt.journal != nullptr) {
+  const bool wantStore =
+      opt.store != nullptr && !opt.store->containsCell(slot.machine, slot.cell);
+  if (opt.journal != nullptr && !wantStore) {
     if (const campaign::CellRecord* rec =
             opt.journal->find(slot.machine, slot.cell)) {
       slot.attempts = static_cast<int>(rec->attempts);
@@ -89,10 +103,14 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
       return;
     }
   }
+  std::optional<SampleCapture> capture;
   const int maxAttempts = std::max(1, opt.cellRetries + 1);
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
     ++slot.attempts;
     try {
+      if (wantStore) {
+        capture.emplace();  // fresh per attempt: no stale samples on retry
+      }
       if (opt.faults != nullptr &&
           opt.faults->shouldFailAttempt(slot.machine, slot.cell, attempt)) {
         throw Error("injected flaky-cell failure (attempt " +
@@ -109,6 +127,9 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
       slot.failed = true;
       slot.error = e.what();
     }
+  }
+  if (wantStore && !slot.failed) {
+    storeSave(*capture);
   }
   if (opt.journal != nullptr) {
     campaign::CellRecord rec;
@@ -138,6 +159,24 @@ auto saveOptSummary(const std::optional<Summary>& s) {
 }
 auto loadOptSummary(std::optional<Summary>& s) {
   return [&s](campaign::PayloadReader& r) { s = campaign::readSummary(r); };
+}
+
+/// Builds one store record from a measured cell. The store encoder
+/// enforces samples.size() == summary.count — every channel records
+/// exactly one value per binary run, so a full capture always matches.
+stats::SampleRecord sampleRecord(const CellIncident& slot,
+                                 std::string quantity, std::string unit,
+                                 stats::Better better, const Summary& summary,
+                                 std::vector<double> samples) {
+  stats::SampleRecord rec;
+  rec.machine = slot.machine;
+  rec.cell = slot.cell;
+  rec.quantity = std::move(quantity);
+  rec.unit = std::move(unit);
+  rec.better = better;
+  rec.summary = summary;
+  rec.samples = std::move(samples);
+  return rec;
 }
 
 /// Keeps only the interesting incident slots (retried or failed cells),
@@ -286,9 +325,19 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt,
   // Fan the independent environment combinations out over the harness
   // workers, then reduce sequentially in Table 1 order so the
   // strictly-greater / first-wins tie-break matches the sequential sweep.
+  // When the caller has a sample capture active (a --store run), each
+  // configuration installs its own nested capture so the winning op's
+  // raw draws can be attributed per entry. The nested capture shadows the
+  // cell-level one for its lifetime; without an active capture the sweep
+  // skips the bookkeeping entirely.
+  const bool capturing = activeSampleCapture() != nullptr;
   out.entries = par::parallelMap(
       configs,
       [&](const ompenv::OmpConfig& cfg) {
+        std::optional<SampleCapture> cap;
+        if (capturing) {
+          cap.emplace();
+        }
         babelstream::SimOmpBackend backend(m, cfg);
         babelstream::DriverConfig dcfg;
         dcfg.arrayBytes = opt.cpuArrayBytes;
@@ -296,8 +345,12 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt,
         dcfg.seed ^= m.seed ^ seedSalt;
         const auto result = babelstream::run(backend, dcfg);
         const auto& best = result.best();
-        return OmpSweepEntry{cfg.toString(), best.bandwidthGBps,
-                             std::string(babelstream::streamOpName(best.op))};
+        std::string bestOp(babelstream::streamOpName(best.op));
+        OmpSweepEntry entry{cfg.toString(), best.bandwidthGBps, bestOp, {}};
+        if (cap) {
+          entry.samples = cap->take(bestOp);
+        }
+        return entry;
       },
       opt.jobs);
   bool haveSingle = false;
@@ -308,11 +361,13 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt,
     if (single) {
       if (!haveSingle || gbps.mean > out.bestSingle.mean) {
         out.bestSingle = gbps;
+        out.bestSingleSamples = out.entries[i].samples;
         haveSingle = true;
       }
     } else {
       if (!haveAll || gbps.mean > out.bestAll.mean) {
         out.bestAll = gbps;
+        out.bestAllSamples = out.entries[i].samples;
         haveAll = true;
       }
     }
@@ -343,12 +398,19 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
         lcfg.messageSize = opt.mpiMessageSize;
         lcfg.binaryRuns = opt.binaryRuns;
         switch (task % 3) {
-          case 0:
+          case 0: {
+            // The sweep's winning sample vectors, stashed by the body for
+            // the storeSave below (the host bandwidth cell is the one cell
+            // that yields two store records).
+            std::vector<double> singleSamples;
+            std::vector<double> allSamples;
             runCell(opt, m, kCellHostBandwidth, slots[task],
                     [&](std::uint64_t salt) {
-                      const OmpSweepResult sweep = ompSweep(m, opt, salt);
+                      OmpSweepResult sweep = ompSweep(m, opt, salt);
                       row.singleGBps = sweep.bestSingle;
                       row.allGBps = sweep.bestAll;
+                      singleSamples = std::move(sweep.bestSingleSamples);
+                      allSamples = std::move(sweep.bestAllSamples);
                     },
                     [&](campaign::PayloadWriter& w) {
                       campaign::putSummary(w, row.singleGBps);
@@ -357,8 +419,19 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
                     [&](campaign::PayloadReader& r) {
                       row.singleGBps = campaign::readSummary(r);
                       row.allGBps = campaign::readSummary(r);
+                    },
+                    [&](SampleCapture&) {
+                      opt.store->append(sampleRecord(
+                          slots[task], "single-thread bandwidth", "GB/s",
+                          stats::Better::Higher, row.singleGBps,
+                          std::move(singleSamples)));
+                      opt.store->append(sampleRecord(
+                          slots[task], "full-team bandwidth", "GB/s",
+                          stats::Better::Higher, row.allGBps,
+                          std::move(allSamples)));
                     });
             break;
+          }
           case 1:
             runCell(opt, m, kCellOnSocket, slots[task],
                     [&](std::uint64_t salt) {
@@ -371,7 +444,13 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
                               .measure(cfg)
                               .latencyUs;
                     },
-                    saveSummary(row.onSocketUs), loadSummary(row.onSocketUs));
+                    saveSummary(row.onSocketUs), loadSummary(row.onSocketUs),
+                    [&](SampleCapture& cap) {
+                      opt.store->append(sampleRecord(
+                          slots[task], "latency", "us", stats::Better::Lower,
+                          row.onSocketUs,
+                          cap.take(osu::kLatencySampleChannel)));
+                    });
             break;
           case 2:
             runCell(opt, m, kCellOnNode, slots[task],
@@ -385,7 +464,13 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
                               .measure(cfg)
                               .latencyUs;
                     },
-                    saveSummary(row.onNodeUs), loadSummary(row.onNodeUs));
+                    saveSummary(row.onNodeUs), loadSummary(row.onNodeUs),
+                    [&](SampleCapture& cap) {
+                      opt.store->append(sampleRecord(
+                          slots[task], "latency", "us", stats::Better::Lower,
+                          row.onNodeUs,
+                          cap.take(osu::kLatencySampleChannel)));
+                    });
             break;
           default:
             break;
@@ -473,7 +558,10 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
         lcfg.messageSize = opt.mpiMessageSize;
         lcfg.binaryRuns = opt.binaryRuns;
         switch (task.kind) {
-          case kBabelstream:
+          case kBabelstream: {
+            // Winning STREAM op, stashed by the body so storeSave can pull
+            // that op's raw-sample channel.
+            std::string bestOp;
             runCell(opt, m, kCellDeviceBandwidth, slots[t],
                     [&](std::uint64_t salt) {
                       babelstream::SimDeviceBackend backend(m, /*device=*/0);
@@ -481,11 +569,20 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
                       dcfg.arrayBytes = opt.gpuArrayBytes;
                       dcfg.binaryRuns = opt.binaryRuns;
                       dcfg.seed ^= m.seed ^ salt;
-                      row.deviceGBps =
-                          babelstream::run(backend, dcfg).best().bandwidthGBps;
+                      const babelstream::RunResult result =
+                          babelstream::run(backend, dcfg);
+                      const auto& best = result.best();
+                      row.deviceGBps = best.bandwidthGBps;
+                      bestOp = std::string(babelstream::streamOpName(best.op));
                     },
-                    saveSummary(row.deviceGBps), loadSummary(row.deviceGBps));
+                    saveSummary(row.deviceGBps), loadSummary(row.deviceGBps),
+                    [&](SampleCapture& cap) {
+                      opt.store->append(sampleRecord(
+                          slots[t], "bandwidth", "GB/s", stats::Better::Higher,
+                          row.deviceGBps, cap.take(bestOp)));
+                    });
             break;
+          }
           case kHostLatency:
             runCell(opt, m, kCellHostToHost, slots[t],
                     [&](std::uint64_t salt) {
@@ -499,7 +596,13 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
                               .latencyUs;
                     },
                     saveSummary(row.hostToHostUs),
-                    loadSummary(row.hostToHostUs));
+                    loadSummary(row.hostToHostUs),
+                    [&](SampleCapture& cap) {
+                      opt.store->append(sampleRecord(
+                          slots[t], "latency", "us", stats::Better::Lower,
+                          row.hostToHostUs,
+                          cap.take(osu::kLatencySampleChannel)));
+                    });
             break;
           case kDeviceLatency: {
             auto& d2dSlot =
@@ -517,7 +620,12 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
                               .measure(cfg)
                               .latencyUs;
                     },
-                    saveOptSummary(d2dSlot), loadOptSummary(d2dSlot));
+                    saveOptSummary(d2dSlot), loadOptSummary(d2dSlot),
+                    [&](SampleCapture& cap) {
+                      opt.store->append(sampleRecord(
+                          slots[t], "latency", "us", stats::Better::Lower,
+                          *d2dSlot, cap.take(osu::kLatencySampleChannel)));
+                    });
             break;
           }
           default:
@@ -668,6 +776,42 @@ std::vector<Gpu6Row> computeTable6(const TableOptions& opt,
                     case kD2dLatency:
                       row.d2dLatencyUs[static_cast<int>(task.linkClass)] =
                           campaign::readSummary(r);
+                      break;
+                    default:
+                      break;
+                  }
+                },
+                [&](SampleCapture& cap) {
+                  switch (task.kind) {
+                    case kLaunch:
+                      opt.store->append(sampleRecord(
+                          slots[t], "latency", "us", stats::Better::Lower,
+                          row.launchUs,
+                          cap.take(commscope::kLaunchSampleChannel)));
+                      break;
+                    case kWait:
+                      opt.store->append(sampleRecord(
+                          slots[t], "latency", "us", stats::Better::Lower,
+                          row.waitUs,
+                          cap.take(commscope::kWaitSampleChannel)));
+                      break;
+                    case kHostDeviceLatency:
+                      opt.store->append(sampleRecord(
+                          slots[t], "latency", "us", stats::Better::Lower,
+                          row.hostDeviceLatencyUs,
+                          cap.take(commscope::kHdLatencySampleChannel)));
+                      break;
+                    case kHostDeviceBandwidth:
+                      opt.store->append(sampleRecord(
+                          slots[t], "bandwidth", "GB/s", stats::Better::Higher,
+                          row.hostDeviceBandwidthGBps,
+                          cap.take(commscope::kHdBandwidthSampleChannel)));
+                      break;
+                    case kD2dLatency:
+                      opt.store->append(sampleRecord(
+                          slots[t], "latency", "us", stats::Better::Lower,
+                          *row.d2dLatencyUs[static_cast<int>(task.linkClass)],
+                          cap.take(commscope::kD2dLatencySampleChannel)));
                       break;
                     default:
                       break;

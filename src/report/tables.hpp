@@ -23,6 +23,10 @@ namespace nodebench::faults {
 class FaultPlan;
 }  // namespace nodebench::faults
 
+namespace nodebench::stats {
+class ResultStore;
+}  // namespace nodebench::stats
+
 namespace nodebench::report {
 
 /// Shared knobs of the table harnesses. The defaults reproduce the
@@ -53,6 +57,15 @@ struct TableOptions {
   /// re-measured — so a resumed campaign's tables are byte-identical to
   /// an uninterrupted run. The journal must outlive the compute call.
   campaign::Journal* journal = nullptr;
+  /// Optional statistical results store (see stats/store.hpp). When set,
+  /// every successful cell's full per-repetition sample vector is
+  /// persisted for later `nodebench compare`/`gate` runs. A cell already
+  /// present in the store is not re-recorded; a cell the store lacks is
+  /// re-*measured* even when the journal could replay its summary —
+  /// replayed payloads carry no raw samples, and re-measurement is
+  /// bit-identical by the determinism contract. The store must outlive
+  /// the compute call.
+  stats::ResultStore* store = nullptr;
 };
 
 /// The campaign-configuration fingerprint of a set of table options: what
@@ -147,11 +160,16 @@ struct OmpSweepEntry {
   std::string config;
   Summary bestOpGBps;
   std::string bestOpName;
+  /// Raw per-binary-run draws of the best op; populated only when a
+  /// sample capture (core/samples.hpp) was active around the sweep.
+  std::vector<double> samples;
 };
 struct OmpSweepResult {
   std::vector<OmpSweepEntry> entries;  ///< One per Table 1 row, in order.
   Summary bestSingle;
   Summary bestAll;
+  std::vector<double> bestSingleSamples;  ///< Raw draws behind bestSingle.
+  std::vector<double> bestAllSamples;     ///< Raw draws behind bestAll.
 };
 /// `seedSalt` perturbs the per-binary noise streams (0 reproduces the
 /// historical sweep bit-for-bit); the harness passes a deterministic

@@ -1,0 +1,465 @@
+#include "stats/store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "core/checksum.hpp"
+#include "core/utf8.hpp"
+
+namespace nodebench::stats {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'B', 'R', 'S'};
+constexpr std::uint32_t kSchemaVersion = 1;
+
+/// Defensive decode limits. A record carries a full sample vector (8
+/// bytes per repetition), so the per-record cap is far above the
+/// journal's: 64 MiB covers ~8.4M samples, three orders of magnitude
+/// beyond the paper's 100-run methodology. Anything larger is treated
+/// as corruption, not an allocation request.
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+constexpr std::uint32_t kMaxSampleCount = 1u << 22;
+constexpr std::uintmax_t kMaxStoreBytes = 512ull << 20;
+
+std::string errnoText() { return std::strerror(errno); }
+
+void writeAll(int fd, std::span<const std::uint8_t> bytes,
+              const std::string& path) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error("store write failed: " + path + ": " + errnoText());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fsyncOrThrow(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    throw Error("store fsync failed: " + path + ": " + errnoText());
+  }
+}
+
+/// Best-effort directory sync after a rename — required for the rename
+/// itself to be durable on POSIX filesystems.
+void syncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Atomically replaces `path` with `content` (temp + fsync + rename).
+void atomicWrite(const std::string& path,
+                 std::span<const std::uint8_t> content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error("cannot create store temp file: " + tmp + ": " + errnoText());
+  }
+  try {
+    writeAll(fd, content, tmp);
+    fsyncOrThrow(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errnoText();
+    ::unlink(tmp.c_str());
+    throw Error("cannot rename store temp file into place: " + path + ": " +
+                why);
+  }
+  syncParentDir(path);
+}
+
+std::vector<std::uint8_t> readFileCapped(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw Error("cannot open store file: " + path);
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    throw Error("cannot stat store file: " + path);
+  }
+  if (static_cast<std::uintmax_t>(size) > kMaxStoreBytes) {
+    throw StoreCorruptError("store file " + path + " is implausibly large (" +
+                            std::to_string(size) + " bytes)");
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw Error("failed reading store file: " + path);
+  }
+  return bytes;
+}
+
+std::string utf8Checked(std::string value, const char* what) {
+  if (!validUtf8(value)) {
+    throw StoreCorruptError(
+        std::string("store record carries invalid UTF-8 in its ") + what +
+        " field");
+  }
+  return value;
+}
+
+std::string recordKey(std::string_view machine, std::string_view cell,
+                      std::string_view quantity) {
+  std::string key;
+  key.reserve(machine.size() + cell.size() + quantity.size() + 2);
+  key.append(machine);
+  key.push_back('\x1f');  // unit separator: cannot appear in valid UTF-8 names
+  key.append(cell);
+  key.push_back('\x1f');
+  key.append(quantity);
+  return key;
+}
+
+std::string cellKey(std::string_view machine, std::string_view cell) {
+  std::string key;
+  key.reserve(machine.size() + 1 + cell.size());
+  key.append(machine);
+  key.push_back('\x1f');
+  key.append(cell);
+  return key;
+}
+
+/// One length-prefixed CRC-framed chunk: [u32 len][u32 crc][payload].
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xffu));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xffu));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::uint32_t readU32At(std::span<const std::uint8_t> bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+// --- configuration compatibility --------------------------------------------
+
+std::string describeStoreMismatch(const campaign::CampaignConfig& recorded,
+                                  const campaign::CampaignConfig& current) {
+  const auto diff = [](const std::string& param, const std::string& was,
+                       const std::string& now) {
+    return "store configuration mismatch: " + param + " was " + was +
+           " when the store was recorded but is " + now +
+           " in this run; samples measured under different configurations "
+           "are not comparable — rerun with the original parameters or "
+           "write a fresh store";
+  };
+  if (recorded.registryHash != current.registryHash) {
+    return diff("the machine registry", hex(recorded.registryHash),
+                hex(current.registryHash));
+  }
+  if (recorded.faultPlanHash != current.faultPlanHash) {
+    return diff("the fault plan (--faults)", hex(recorded.faultPlanHash),
+                hex(current.faultPlanHash));
+  }
+  if (recorded.seed != current.seed) {
+    return diff("the fault-plan seed", std::to_string(recorded.seed),
+                std::to_string(current.seed));
+  }
+  if (recorded.runs != current.runs) {
+    return diff("--runs", std::to_string(recorded.runs),
+                std::to_string(current.runs));
+  }
+  if (recorded.cellRetries != current.cellRetries) {
+    return diff("the cell retry budget", std::to_string(recorded.cellRetries),
+                std::to_string(current.cellRetries));
+  }
+  if (recorded.cpuArrayBytes != current.cpuArrayBytes) {
+    return diff("the CPU array size (bytes)",
+                std::to_string(recorded.cpuArrayBytes),
+                std::to_string(current.cpuArrayBytes));
+  }
+  if (recorded.gpuArrayBytes != current.gpuArrayBytes) {
+    return diff("the GPU array size (bytes)",
+                std::to_string(recorded.gpuArrayBytes),
+                std::to_string(current.gpuArrayBytes));
+  }
+  if (recorded.mpiMessageSize != current.mpiMessageSize) {
+    return diff("the MPI message size (bytes)",
+                std::to_string(recorded.mpiMessageSize),
+                std::to_string(current.mpiMessageSize));
+  }
+  // `jobs` is deliberately not compared — harness output is byte-identical
+  // at any worker count (DESIGN.md §7), so appending at a different --jobs
+  // is safe.
+  return {};
+}
+
+// --- encode / decode ---------------------------------------------------------
+
+std::vector<std::uint8_t> ResultStore::encodeHeader(
+    const campaign::CampaignConfig& config) {
+  campaign::PayloadWriter w;
+  w.putU64(config.registryHash);
+  w.putU64(config.faultPlanHash);
+  w.putU64(config.seed);
+  w.putU32(config.runs);
+  w.putU32(config.jobs);
+  w.putU32(config.cellRetries);
+  w.putU64(config.cpuArrayBytes);
+  w.putU64(config.gpuArrayBytes);
+  w.putU64(config.mpiMessageSize);
+
+  std::vector<std::uint8_t> out(kMagic, kMagic + 4);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(
+        static_cast<std::uint8_t>((kSchemaVersion >> (8 * i)) & 0xffu));
+  }
+  const auto framed = frame(w.bytes());
+  out.insert(out.end(), framed.begin(), framed.end());
+  return out;
+}
+
+std::vector<std::uint8_t> ResultStore::encodeRecord(
+    const SampleRecord& record) {
+  NB_EXPECTS(record.samples.size() == record.summary.count);
+  NB_EXPECTS(record.samples.size() <= kMaxSampleCount);
+  campaign::PayloadWriter w;
+  w.putString(record.machine);
+  w.putString(record.cell);
+  w.putString(record.quantity);
+  w.putString(record.unit);
+  w.putU32(static_cast<std::uint32_t>(record.better));
+  campaign::putSummary(w, record.summary);
+  w.putU32(static_cast<std::uint32_t>(record.samples.size()));
+  for (const double x : record.samples) {
+    w.putF64(x);
+  }
+  return frame(w.bytes());
+}
+
+StoreContents ResultStore::decode(std::span<const std::uint8_t> bytes) {
+  StoreContents out;
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    throw StoreCorruptError("not a nodebench results store (bad magic bytes)");
+  }
+  const std::uint32_t version = readU32At(bytes, 4);
+  if (version != kSchemaVersion) {
+    throw StoreCorruptError("unsupported store schema version " +
+                            std::to_string(version) + " (this build reads " +
+                            std::to_string(kSchemaVersion) + ")");
+  }
+  std::size_t pos = 8;
+
+  // Unlike the journal, every frame here is mandatory-valid: a store is a
+  // finished results artifact, and comparing against a silently truncated
+  // baseline would be worse than refusing.
+  const auto readFrame = [&](const char* what) {
+    if (bytes.size() - pos < 8) {
+      throw StoreCorruptError(std::string("store ") + what + " truncated");
+    }
+    const std::uint32_t len = readU32At(bytes, pos);
+    const std::uint32_t crc = readU32At(bytes, pos + 4);
+    if (len > kMaxRecordBytes) {
+      throw StoreCorruptError(std::string("store ") + what + " length " +
+                              std::to_string(len) + " exceeds the " +
+                              std::to_string(kMaxRecordBytes) + "-byte limit");
+    }
+    if (bytes.size() - pos - 8 < len) {
+      throw StoreCorruptError(std::string("store ") + what +
+                              " extends past end of file");
+    }
+    const auto payload = bytes.subspan(pos + 8, len);
+    if (crc32(payload) != crc) {
+      throw StoreCorruptError(std::string("store ") + what +
+                              " checksum mismatch");
+    }
+    pos += 8 + len;
+    return payload;
+  };
+
+  try {
+    {
+      campaign::PayloadReader r(readFrame("header"));
+      out.config.registryHash = r.u64();
+      out.config.faultPlanHash = r.u64();
+      out.config.seed = r.u64();
+      out.config.runs = r.u32();
+      out.config.jobs = r.u32();
+      out.config.cellRetries = r.u32();
+      out.config.cpuArrayBytes = r.u64();
+      out.config.gpuArrayBytes = r.u64();
+      out.config.mpiMessageSize = r.u64();
+      if (!r.atEnd()) {
+        throw StoreCorruptError("store header carries unexpected bytes");
+      }
+    }
+    while (pos < bytes.size()) {
+      campaign::PayloadReader r(readFrame("record"));
+      SampleRecord record;
+      record.machine = utf8Checked(r.string(), "machine");
+      record.cell = utf8Checked(r.string(), "cell");
+      record.quantity = utf8Checked(r.string(), "quantity");
+      record.unit = utf8Checked(r.string(), "unit");
+      const std::uint32_t better = r.u32();
+      if (better > 1) {
+        throw StoreCorruptError("store record 'better' flag out of range");
+      }
+      record.better = static_cast<Better>(better);
+      record.summary = campaign::readSummary(r);
+      const std::uint32_t nSamples = r.u32();
+      if (nSamples > kMaxSampleCount) {
+        throw StoreCorruptError("store record sample count " +
+                                std::to_string(nSamples) + " exceeds the " +
+                                std::to_string(kMaxSampleCount) + " limit");
+      }
+      if (nSamples != record.summary.count) {
+        throw StoreCorruptError(
+            "store record sample count " + std::to_string(nSamples) +
+            " disagrees with its summary count " +
+            std::to_string(record.summary.count));
+      }
+      record.samples.reserve(nSamples);
+      for (std::uint32_t i = 0; i < nSamples; ++i) {
+        record.samples.push_back(r.f64());
+      }
+      if (!r.atEnd()) {
+        throw StoreCorruptError("store record carries trailing bytes");
+      }
+      out.records.push_back(std::move(record));
+    }
+  } catch (const campaign::JournalCorruptError& e) {
+    // PayloadReader reports overruns in journal vocabulary; rethrow in
+    // store vocabulary so callers see a single corruption type.
+    throw StoreCorruptError(std::string("store payload corrupt: ") + e.what());
+  }
+  return out;
+}
+
+// --- ResultStore lifecycle ---------------------------------------------------
+
+std::unique_ptr<ResultStore> ResultStore::create(
+    const std::string& path, const campaign::CampaignConfig& config) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) == 0) {
+    throw Error("store file already exists: " + path +
+                " (pass --resume to continue the recorded campaign, or "
+                "remove the file to start fresh)");
+  }
+  atomicWrite(path, encodeHeader(config));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    throw Error("cannot reopen store for appending: " + path + ": " +
+                errnoText());
+  }
+  auto store = std::unique_ptr<ResultStore>(new ResultStore());
+  store->path_ = path;
+  store->fd_ = fd;
+  store->config_ = config;
+  return store;
+}
+
+std::unique_ptr<ResultStore> ResultStore::attach(
+    const std::string& path, const campaign::CampaignConfig& current,
+    bool resume) {
+  if (!resume) {
+    return create(path, current);
+  }
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    // Resuming a campaign whose first run predates --store (or crashed
+    // before the header landed): start the store fresh.
+    return create(path, current);
+  }
+  const std::vector<std::uint8_t> bytes = readFileCapped(path);
+  StoreContents contents = decode(bytes);
+  const std::string mismatch = describeStoreMismatch(contents.config, current);
+  if (!mismatch.empty()) {
+    throw StoreConfigMismatchError("cannot resume " + path + ": " + mismatch);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    throw Error("cannot reopen store for appending: " + path + ": " +
+                errnoText());
+  }
+  auto store = std::unique_ptr<ResultStore>(new ResultStore());
+  store->path_ = path;
+  store->fd_ = fd;
+  store->config_ = contents.config;
+  for (const SampleRecord& record : contents.records) {
+    store->recordKeys_.insert(
+        recordKey(record.machine, record.cell, record.quantity));
+    store->cellKeys_.insert(cellKey(record.machine, record.cell));
+  }
+  return store;
+}
+
+StoreContents ResultStore::load(const std::string& path) {
+  return decode(readFileCapped(path));
+}
+
+ResultStore::~ResultStore() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void ResultStore::append(SampleRecord record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string key = recordKey(record.machine, record.cell, record.quantity);
+  if (recordKeys_.find(key) != recordKeys_.end()) {
+    return;  // idempotent: `table all` recomputes Tables 5/6 for Table 7
+  }
+  const std::vector<std::uint8_t> framed = encodeRecord(record);
+  writeAll(fd_, framed, path_);
+  fsyncOrThrow(fd_, path_);
+  cellKeys_.insert(cellKey(record.machine, record.cell));
+  recordKeys_.insert(std::move(key));
+}
+
+bool ResultStore::containsCell(std::string_view machine,
+                               std::string_view cell) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cellKeys_.find(cellKey(machine, cell)) != cellKeys_.end();
+}
+
+std::size_t ResultStore::recordCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recordKeys_.size();
+}
+
+}  // namespace nodebench::stats

@@ -20,6 +20,7 @@ TEST(BenchArgs, DefaultsMatchThePaperMethodology) {
   EXPECT_EQ(parsed.options.binaryRuns, 100);
   EXPECT_EQ(parsed.options.jobs, 0);
   EXPECT_FALSE(parsed.journalPath.has_value());
+  EXPECT_FALSE(parsed.storePath.has_value());
   EXPECT_FALSE(parsed.resume);
   EXPECT_TRUE(parsed.positional.empty());
 }
@@ -41,6 +42,7 @@ TEST(BenchArgs, DuplicateFlagsAreErrorsNotLastWins) {
   for (const Args& args :
        {Args{"--runs", "5", "--runs", "6"}, Args{"--jobs", "1", "--jobs", "2"},
         Args{"--journal", "a.bin", "--journal", "b.bin"},
+        Args{"--store", "a.bin", "--store", "b.bin"},
         Args{"--resume", "--journal", "a.bin", "--resume"}}) {
     try {
       (void)parseBenchArgs(args);
@@ -59,7 +61,23 @@ TEST(BenchArgs, RejectsMissingOrInvalidValues) {
   EXPECT_THROW((void)parseBenchArgs(Args{"--runs", "5x"}), Error);
   EXPECT_THROW((void)parseBenchArgs(Args{"--jobs", "-1"}), Error);
   EXPECT_THROW((void)parseBenchArgs(Args{"--journal"}), Error);
+  EXPECT_THROW((void)parseBenchArgs(Args{"--store"}), Error);
   EXPECT_THROW((void)parseBenchArgs(Args{"--frobnicate"}), Error);
+}
+
+TEST(BenchArgs, ParsesStoreAloneAndWithJournal) {
+  const BenchArgs alone = parseBenchArgs(Args{"--store", "results.bin"});
+  ASSERT_TRUE(alone.storePath.has_value());
+  EXPECT_EQ(*alone.storePath, "results.bin");
+  EXPECT_FALSE(alone.resume);
+
+  // --store composes with a resumed journal campaign: the store is
+  // reattached under the same (validated) configuration fingerprint.
+  const BenchArgs both = parseBenchArgs(
+      Args{"--journal", "campaign.bin", "--resume", "--store", "results.bin"});
+  ASSERT_TRUE(both.journalPath.has_value());
+  ASSERT_TRUE(both.storePath.has_value());
+  EXPECT_TRUE(both.resume);
 }
 
 TEST(BenchArgs, ResumeRequiresAJournal) {

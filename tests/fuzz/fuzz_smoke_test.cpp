@@ -23,6 +23,7 @@
 #include "campaign/journal.hpp"
 #include "core/rng.hpp"
 #include "fuzz_targets.hpp"
+#include "stats/store.hpp"
 
 #ifndef NODEBENCH_FUZZ_CORPUS_DIR
 #error "build system must define NODEBENCH_FUZZ_CORPUS_DIR"
@@ -84,6 +85,43 @@ Bytes validJournalSeed() {
   failed.failed = true;
   failed.error = "injected: link flap";
   const Bytes r2 = campaign::Journal::encodeRecord(failed);
+  bytes.insert(bytes.end(), r2.begin(), r2.end());
+  return bytes;
+}
+
+/// A well-formed two-record results store: header fingerprint plus one
+/// bandwidth and one latency record with real sample vectors, so
+/// mutations exercise the string/UTF-8 checks, the Summary read, and the
+/// sample-count cross-check rather than dying at the magic.
+Bytes validStoreSeed() {
+  campaign::CampaignConfig cfg;
+  cfg.registryHash = 0x1122334455667788ull;
+  cfg.faultPlanHash = 0x99aabbccddeeff00ull;
+  cfg.seed = 42;
+  cfg.runs = 4;
+  cfg.jobs = 8;
+  Bytes bytes = stats::ResultStore::encodeHeader(cfg);
+
+  stats::SampleRecord bw;
+  bw.machine = "Frontier";
+  bw.cell = "device bandwidth";
+  bw.quantity = "bandwidth";
+  bw.unit = "GB/s";
+  bw.better = stats::Better::Higher;
+  bw.samples = {1336.2, 1337.5, 1335.9, 1336.8};
+  bw.summary = summarize(bw.samples);
+  const Bytes r1 = stats::ResultStore::encodeRecord(bw);
+  bytes.insert(bytes.end(), r1.begin(), r1.end());
+
+  stats::SampleRecord lat;
+  lat.machine = "Perlmutter";
+  lat.cell = "cell \xc3\xa9\xe2\x82\xac";  // multi-byte UTF-8 is legal
+  lat.quantity = "latency";
+  lat.unit = "us";
+  lat.better = stats::Better::Lower;
+  lat.samples = {0.45, 0.46};
+  lat.summary = summarize(lat.samples);
+  const Bytes r2 = stats::ResultStore::encodeRecord(lat);
   bytes.insert(bytes.end(), r2.begin(), r2.end());
   return bytes;
 }
@@ -163,13 +201,26 @@ TEST(FuzzSmoke, JournalCorpusAndTenThousandMutations) {
   drive(&runJournalOneInput, seeds, 0x6e62636a5f667a31ull, 10'000);
 }
 
-/// Cross-pollination: journal bytes into the JSON parser and vice versa.
-/// Cheap, and catches "assumed the other format's framing" bugs.
+TEST(FuzzSmoke, StoreCorpusAndTenThousandMutations) {
+  std::vector<Bytes> seeds = readCorpus("store");
+  seeds.push_back(validStoreSeed());
+  drive(&runStoreOneInput, seeds, 0x6e62727335f67a31ull, 10'000);
+}
+
+/// Cross-pollination: each format's bytes into the other decoders.
+/// Cheap, and catches "assumed the other format's framing" bugs —
+/// journal and store share their CRC framing but not their magic or
+/// payload schema, so each must cleanly reject the other.
 TEST(FuzzSmoke, CrossFormatInputsAreRejectedGracefully) {
   const Bytes journal = validJournalSeed();
+  const Bytes store = validStoreSeed();
   EXPECT_EQ(runJsonOneInput(journal.data(), journal.size()), 0);
+  EXPECT_EQ(runStoreOneInput(journal.data(), journal.size()), 0);
+  EXPECT_EQ(runJournalOneInput(store.data(), store.size()), 0);
+  EXPECT_EQ(runJsonOneInput(store.data(), store.size()), 0);
   for (const Bytes& doc : readCorpus("json")) {
     EXPECT_EQ(runJournalOneInput(doc.data(), doc.size()), 0);
+    EXPECT_EQ(runStoreOneInput(doc.data(), doc.size()), 0);
   }
 }
 

@@ -1,0 +1,34 @@
+/// \file fuzz_store.cpp
+/// \brief Fuzz target for the results-store decoder.
+///
+/// ResultStore::decode is the pure in-memory core of `nodebench
+/// compare`/`gate` and of `--store --resume`: everything it reads is
+/// untrusted bytes off disk. Its policy is stricter than the journal's
+/// (no torn-tail recovery), so the contract is simply: return a
+/// StoreContents or throw StoreCorruptError — never crash, hang, or
+/// over-allocate on a hostile length field.
+
+#include "fuzz_targets.hpp"
+
+#include "core/error.hpp"
+#include "stats/store.hpp"
+
+namespace nodebench::fuzz {
+
+int runStoreOneInput(const std::uint8_t* data, std::size_t size) {
+  try {
+    (void)stats::ResultStore::decode({data, size});
+  } catch (const Error&) {
+    // StoreCorruptError (or Error) is the structured rejection path.
+  }
+  return 0;
+}
+
+}  // namespace nodebench::fuzz
+
+#ifdef NODEBENCH_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return nodebench::fuzz::runStoreOneInput(data, size);
+}
+#endif

@@ -21,4 +21,7 @@ int runJsonOneInput(const std::uint8_t* data, std::size_t size);
 /// Feeds `data` to the campaign-journal decoder (Journal::decode).
 int runJournalOneInput(const std::uint8_t* data, std::size_t size);
 
+/// Feeds `data` to the results-store decoder (stats::ResultStore::decode).
+int runStoreOneInput(const std::uint8_t* data, std::size_t size);
+
 }  // namespace nodebench::fuzz

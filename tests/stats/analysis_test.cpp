@@ -1,0 +1,157 @@
+/// \file analysis_test.cpp
+/// \brief Unit tests of the statistical engine: fingerprint determinism,
+/// CDF accuracy against textbook values, bootstrap reproducibility, and
+/// the behavior of both significance tests and both effect sizes on
+/// separated, identical and degenerate samples.
+
+#include "stats/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace nodebench::stats {
+namespace {
+
+/// Deterministic pseudo-measurements around `center` (no <random>: the
+/// tests must be as reproducible as the engine they test).
+std::vector<double> jittered(double center, double spread, int n,
+                             std::uint64_t salt = 0) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  std::uint64_t state = 0x9e3779b97f4a7c15ull ^ salt;
+  for (int i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double unit =
+        static_cast<double>(state >> 11) / 9007199254740992.0;  // [0, 1)
+    xs.push_back(center + (unit - 0.5) * 2.0 * spread);
+  }
+  return xs;
+}
+
+TEST(SampleFingerprint, DependsOnValuesOrderAndLength) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 3.0, 2.0};
+  const std::vector<double> c{1.0, 2.0};
+  EXPECT_EQ(sampleFingerprint(a), sampleFingerprint(a));
+  EXPECT_NE(sampleFingerprint(a), sampleFingerprint(b));
+  EXPECT_NE(sampleFingerprint(a), sampleFingerprint(c));
+}
+
+TEST(SampleFingerprint, DistinguishesZeroSigns) {
+  const std::vector<double> pos{0.0};
+  const std::vector<double> neg{-0.0};
+  // Bit-pattern hashing: +0.0 and -0.0 are different data.
+  EXPECT_NE(sampleFingerprint(pos), sampleFingerprint(neg));
+}
+
+TEST(NormalCdf, TextbookValues) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normalCdf(1.959964), 0.975, 1e-4);
+  EXPECT_NEAR(normalCdf(-1.959964), 0.025, 1e-4);
+  EXPECT_NEAR(normalCdf(3.0) + normalCdf(-3.0), 1.0, 1e-12);
+}
+
+TEST(StudentTCdf, MatchesCauchyAtOneDegree) {
+  // df = 1 is the Cauchy distribution: F(1) = 3/4, F(0) = 1/2.
+  EXPECT_NEAR(studentTCdf(0.0, 1.0), 0.5, 1e-10);
+  EXPECT_NEAR(studentTCdf(1.0, 1.0), 0.75, 1e-8);
+  EXPECT_NEAR(studentTCdf(-1.0, 1.0), 0.25, 1e-8);
+}
+
+TEST(StudentTCdf, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(studentTCdf(1.959964, 1e6), normalCdf(1.959964), 1e-5);
+}
+
+TEST(BootstrapMeanCi, DeterministicAndOrdered) {
+  const std::vector<double> xs = jittered(10.0, 0.5, 50);
+  const BootstrapCi a = bootstrapMeanCi(xs, 0.95, 500);
+  const BootstrapCi b = bootstrapMeanCi(xs, 0.95, 500);
+  EXPECT_EQ(a.lo, b.lo);  // bit-identical, not just close
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_LE(a.lo, a.hi);
+  EXPECT_EQ(a.resamples, 500);
+  // The interval must cover the point it estimates.
+  EXPECT_LT(a.lo, 10.5);
+  EXPECT_GT(a.hi, 9.5);
+}
+
+TEST(BootstrapMeanCi, CollapsesForConstantSample) {
+  const std::vector<double> xs(20, 3.25);
+  const BootstrapCi ci = bootstrapMeanCi(xs);
+  EXPECT_EQ(ci.lo, 3.25);
+  EXPECT_EQ(ci.hi, 3.25);
+}
+
+TEST(BootstrapMeanCi, RejectsEmptyInput) {
+  EXPECT_THROW((void)bootstrapMeanCi(std::vector<double>{}),
+               PreconditionError);
+}
+
+TEST(WelchTTest, SeparatedSamplesAreSignificant) {
+  const std::vector<double> a = jittered(10.0, 0.2, 30, 1);
+  const std::vector<double> b = jittered(12.0, 0.2, 30, 2);
+  const WelchResult r = welchTTest(a, b);
+  EXPECT_GT(r.t, 0.0);  // positive when mean(b) > mean(a)
+  EXPECT_LT(r.p, 1e-6);
+  const WelchResult reversed = welchTTest(b, a);
+  EXPECT_NEAR(reversed.t, -r.t, 1e-12);
+  EXPECT_NEAR(reversed.p, r.p, 1e-12);
+}
+
+TEST(WelchTTest, IdenticalConstantSamplesDegenerate) {
+  const std::vector<double> a(10, 5.0);
+  EXPECT_EQ(welchTTest(a, a).p, 1.0);
+  const std::vector<double> b(10, 6.0);
+  EXPECT_EQ(welchTTest(a, b).p, 0.0);  // zero variance, different means
+}
+
+TEST(MannWhitneyU, DisjointAndTiedSamples) {
+  const std::vector<double> lo{1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7};
+  const std::vector<double> hi{2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6, 2.7};
+  const MannWhitneyResult r = mannWhitneyU(lo, hi);
+  EXPECT_LT(r.p, 0.01);
+  const std::vector<double> tied(10, 4.0);
+  EXPECT_EQ(mannWhitneyU(tied, tied).p, 1.0);
+}
+
+TEST(MannWhitneyU, RobustToOneExtremeOutlier) {
+  // A single wild outlier moves the mean but barely moves the ranks:
+  // the rank test must stay insignificant where a mean test might not.
+  std::vector<double> a = jittered(10.0, 0.1, 20, 3);
+  std::vector<double> b = jittered(10.0, 0.1, 20, 4);
+  b.back() = 1e6;
+  const MannWhitneyResult r = mannWhitneyU(a, b);
+  EXPECT_GT(r.p, 0.05);
+}
+
+TEST(CohensD, KnownSeparation) {
+  // Two constant-ish samples one unit apart with unit-ish spread: d ~ 1.
+  const std::vector<double> a = jittered(0.0, 1.0, 200, 5);
+  const std::vector<double> b = jittered(1.0, 1.0, 200, 6);
+  const double d = cohensD(a, b);
+  EXPECT_GT(d, 0.5);
+  EXPECT_LT(d, 3.0);
+  EXPECT_NEAR(cohensD(b, a), -d, 1e-12);
+  const std::vector<double> c(10, 2.0);
+  EXPECT_EQ(cohensD(c, c), 0.0);  // zero pooled stddev
+}
+
+TEST(CliffsDelta, BoundsAndSymmetry) {
+  const std::vector<double> lo{1.0, 2.0, 3.0};
+  const std::vector<double> hi{10.0, 11.0, 12.0};
+  EXPECT_EQ(cliffsDelta(lo, hi), 1.0);   // every b above every a
+  EXPECT_EQ(cliffsDelta(hi, lo), -1.0);  // every b below every a
+  EXPECT_EQ(cliffsDelta(lo, lo), 0.0);   // identical -> no dominance
+  // Interleaved: strictly inside the bounds.
+  const std::vector<double> mixed{1.5, 2.5, 11.5};
+  const double d = cliffsDelta(lo, mixed);
+  EXPECT_GT(d, -1.0);
+  EXPECT_LT(d, 1.0);
+}
+
+}  // namespace
+}  // namespace nodebench::stats

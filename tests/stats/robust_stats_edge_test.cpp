@@ -1,0 +1,73 @@
+/// \file robust_stats_edge_test.cpp
+/// \brief Documents and pins the edge-case behavior of the robust
+/// statistics helpers (core/stats.hpp): empty input is a precondition
+/// violation (PreconditionError, never a silent 0), a single sample has
+/// zero spread by definition, and an all-identical sample is the
+/// MAD-degenerate case where the modified z-score rule flags every
+/// value different from the median.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace nodebench {
+namespace {
+
+TEST(RobustStatsEdge, EmptyInputViolatesPrecondition) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)median(empty), PreconditionError);
+  EXPECT_THROW((void)mad(empty), PreconditionError);
+  EXPECT_THROW((void)robustSummarize(empty), PreconditionError);
+}
+
+TEST(RobustStatsEdge, SingleSample) {
+  const std::vector<double> one{42.5};
+  EXPECT_EQ(median(one), 42.5);
+  EXPECT_EQ(mad(one), 0.0);  // a lone sample deviates from nothing
+  const RobustSummary s = robustSummarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.median, 42.5);
+  EXPECT_EQ(s.mad, 0.0);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(RobustStatsEdge, AllIdenticalSamples) {
+  const std::vector<double> same(17, 3.0);
+  EXPECT_EQ(median(same), 3.0);
+  EXPECT_EQ(mad(same), 0.0);
+  const RobustSummary s = robustSummarize(same);
+  EXPECT_EQ(s.count, 17u);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.mad, 0.0);
+  // Zero spread, zero deviation: nothing to flag.
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(RobustStatsEdge, ZeroMadFlagsAnyDeviatingSample) {
+  // When MAD is 0 the modified z-score is undefined; the documented rule
+  // is that *every* sample different from the median counts as an
+  // outlier — the distribution claims zero spread, so any deviation is
+  // inconsistent with it.
+  std::vector<double> xs(10, 5.0);
+  xs.push_back(5.0001);
+  const RobustSummary s = robustSummarize(xs);
+  EXPECT_EQ(s.median, 5.0);
+  EXPECT_EQ(s.mad, 0.0);
+  EXPECT_EQ(s.outliers, 1u);
+}
+
+TEST(RobustStatsEdge, MedianAndMadSurviveAGrossOutlier) {
+  // The reason these helpers exist: one wild fault-injected run must not
+  // drag the location/spread the way it drags mean/stddev.
+  std::vector<double> xs{10.0, 10.1, 9.9, 10.2, 9.8, 10.0, 1e9};
+  EXPECT_NEAR(median(xs), 10.0, 0.2);
+  EXPECT_LT(mad(xs), 1.0);
+  const RobustSummary s = robustSummarize(xs);
+  EXPECT_EQ(s.outliers, 1u);
+}
+
+}  // namespace
+}  // namespace nodebench

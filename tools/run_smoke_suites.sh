@@ -12,7 +12,10 @@
 #    kill-and-resume byte-identity (incl. the crash-injection run against
 #    the real binary, tools/run_crash_suite.sh).
 #  - fuzz: deterministic corpus + seeded-mutation replay of the
-#    fault-plan JSON and journal decoders (tests/fuzz/).
+#    fault-plan JSON, journal, and results-store decoders (tests/fuzz/).
+#  - stats: the statistics engine + results store + regression gate
+#    (unit suites, the CLI gate chain, and the two-store compare demo
+#    against the real binary, tools/run_compare_demo.sh).
 #
 # Exits non-zero if any suite fails. See CONTRIBUTING.md.
 set -euo pipefail
@@ -39,3 +42,7 @@ ctest --test-dir "${build_dir}" -L campaign --output-on-failure
 echo
 echo "== fuzz smoke suite (input-boundary decoders) =="
 ctest --test-dir "${build_dir}" -L fuzz --output-on-failure
+
+echo
+echo "== stats suite (results store + regression gate) =="
+ctest --test-dir "${build_dir}" -L stats --output-on-failure
