@@ -7,21 +7,63 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "gpusim/gpu_runtime.hpp"
 #include "machines/registry.hpp"
+#include "mpisim/analytic.hpp"
 #include "mpisim/world.hpp"
+#include "netsim/network.hpp"
 #include "osu/latency.hpp"
 #include "osu/pairs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/vt_scheduler.hpp"
 #include "trace/trace.hpp"
 
+/// Process-wide allocation counter (one relaxed increment per operator
+/// new) so BM_EventQueueSteadyState can *prove* the hot loop is
+/// allocation-free instead of asserting it in a comment.
+std::atomic<std::uint64_t> g_allocCount{0};
+
+void* countedAlloc(std::size_t n) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n) { return countedAlloc(n); }
+void* operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace nodebench;
+
+/// Pins the analytic fast path for one benchmark body and restores it.
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool on)
+      : prev_(mpisim::analytic::fastPathEnabled()) {
+    mpisim::analytic::setFastPathEnabled(on);
+  }
+  ~FastPathGuard() { mpisim::analytic::setFastPathEnabled(prev_); }
+  FastPathGuard(const FastPathGuard&) = delete;
+  FastPathGuard& operator=(const FastPathGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
@@ -38,6 +80,49 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  // A self-rescheduling event chain: after the pool warms up, every
+  // schedule reuses the slot the running event just vacated (DESIGN.md
+  // §12 owned-slot pop). The allocs_per_event counter — measured with
+  // the binary's counting operator new — must stay at 0.
+  // The chain closure captures a single pointer so the std::function fits
+  // its small-object buffer — any allocation counted below is the
+  // queue's own.
+  struct Chain {
+    sim::EventQueue q;
+    int remaining = 0;
+    void schedule() {
+      Chain* self = this;
+      q.scheduleAfter(Duration::nanoseconds(10.0), [self] {
+        if (--self->remaining > 0) {
+          self->schedule();
+        }
+      });
+    }
+  };
+  constexpr int kEvents = 4096;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Chain chain;
+    chain.remaining = kEvents;
+    chain.schedule();
+    chain.q.step();  // warm the pool: the first schedule grew the slot vector
+    const std::uint64_t before =
+        g_allocCount.load(std::memory_order_relaxed);
+    state.ResumeTiming();
+    chain.q.runAll();
+    state.PauseTiming();
+    allocs += g_allocCount.load(std::memory_order_relaxed) - before;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_EventQueueSteadyState);
 
 void BM_Xoshiro(benchmark::State& state) {
   Xoshiro256 rng(42);
@@ -83,6 +168,34 @@ void BM_VtSchedulerSwitch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * steps);
 }
 BENCHMARK(BM_VtSchedulerSwitch);
+
+void BM_VtSchedulerSwitchMode(benchmark::State& state) {
+  // The same leapfrog pinned to one execution mode (0 = Threads,
+  // 1 = Cooperative): the ratio is the kernel-handoff cost the fiber
+  // mode removes (DESIGN.md §12).
+  using Mode = sim::VirtualTimeScheduler::Mode;
+  const Mode mode = state.range(0) == 0 ? Mode::Threads : Mode::Cooperative;
+  if (mode == Mode::Cooperative &&
+      !sim::VirtualTimeScheduler::cooperativeSupported()) {
+    state.SkipWithError("cooperative mode not supported in this build");
+    return;
+  }
+  const int steps = 256;
+  for (auto _ : state) {
+    sim::VirtualTimeScheduler sched;
+    sched.setMode(mode);
+    const auto proc = [](sim::VirtualProcess& p) {
+      for (int i = 0; i < steps; ++i) {
+        p.advance(Duration::nanoseconds(10.0));
+      }
+    };
+    sched.run({proc, proc});
+    benchmark::DoNotOptimize(sched.switchCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * steps);
+  state.SetLabel(mode == Mode::Threads ? "threads" : "cooperative");
+}
+BENCHMARK(BM_VtSchedulerSwitchMode)->Arg(0)->Arg(1);
 
 void BM_SimulatedPingPong(benchmark::State& state) {
   const auto& m = machines::byName("Eagle");
@@ -273,6 +386,68 @@ void BM_ParallelMapPingPong(benchmark::State& state) {
                           static_cast<std::int64_t>(cells.size()));
 }
 BENCHMARK(BM_ParallelMapPingPong)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --- closed-form fast path vs event-by-event simulation ---------------------
+// The same truth computations with the analytic composer pinned on (1) or
+// off (0); the simcore test suite proves the results are bit-identical, so
+// the ratio here is pure overhead removed.
+
+void BM_LatencyTruth(benchmark::State& state) {
+  const auto& m = machines::byName("Eagle");
+  const auto [a, b] = osu::onSocketPair(m);
+  const osu::LatencyBenchmark bench(m, a, b, mpisim::BufferSpace::Kind::Host);
+  const FastPathGuard guard(state.range(0) == 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench.truthOneWay(ByteCount::bytes(8), 1000).ns());
+  }
+  state.SetLabel(state.range(0) == 1 ? "analytic" : "event");
+}
+BENCHMARK(BM_LatencyTruth)->Arg(0)->Arg(1);
+
+void BM_LatencyTruthDevice(benchmark::State& state) {
+  // GPU-machine variant: Frontier MI250X device buffers (Table 5's
+  // fastest cell class). Device paths resolve through the GPU route but
+  // compose identically.
+  const auto& m = machines::byName("Frontier");
+  const auto [a, b] = osu::devicePair(m, topo::LinkClass::A);
+  const osu::LatencyBenchmark bench(m, a, b,
+                                    mpisim::BufferSpace::Kind::Device);
+  const FastPathGuard guard(state.range(0) == 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench.truthOneWay(ByteCount::bytes(8), 1000).ns());
+  }
+  state.SetLabel(state.range(0) == 1 ? "analytic" : "event");
+}
+BENCHMARK(BM_LatencyTruthDevice)->Arg(0)->Arg(1);
+
+void BM_InterNodeMeasure(benchmark::State& state) {
+  // Summit device-buffer inter-node pair through netsim. Arg: 0 = event
+  // path pinned, 1 = fast path, 2 = a 5% packet-loss plan (the fast path
+  // must decline, so this benchmarks the fallback boundary itself).
+  const auto& m = machines::byName("Summit");
+  netsim::InterNodeConfig cfg;
+  cfg.messageSize = ByteCount::bytes(8);
+  cfg.iterations = 100;
+  cfg.binaryRuns = 10;
+  cfg.deviceBuffers = true;
+  if (state.range(0) == 2) {
+    mpisim::InterNodeParams net = netsim::networkFor(m);
+    net.packetLossRate = 0.05;
+    net.faultSeed = 7;
+    cfg.network = net;
+  }
+  const FastPathGuard guard(state.range(0) >= 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::measureInterNode(m, cfg).latencyUs.mean);
+  }
+  state.SetLabel(state.range(0) == 0   ? "event"
+                 : state.range(0) == 1 ? "analytic"
+                                       : "faulted-fallback");
+}
+BENCHMARK(BM_InterNodeMeasure)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -30,6 +30,14 @@ class Backend {
   /// (simulated backends: from machine calibration; native: 0, real
   /// jitter is already in iterationTime).
   [[nodiscard]] virtual double noiseCv() const = 0;
+
+  /// True when `iterationTime` returns the same value on every call with
+  /// the same arguments (simulated backends). The driver then evaluates
+  /// the model once per op instead of once per binary run — unless a
+  /// tracing session is active, because each evaluation's cache/kernel
+  /// events are part of the observable trace. Native measurement backends
+  /// keep the default: every call is a fresh (jittered) measurement.
+  [[nodiscard]] virtual bool deterministicTruth() const { return false; }
 };
 
 }  // namespace nodebench::babelstream

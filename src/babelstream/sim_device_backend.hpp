@@ -24,6 +24,7 @@ class SimDeviceBackend final : public Backend {
   [[nodiscard]] Duration iterationTime(StreamOp op,
                                        ByteCount arrayBytes) override;
   [[nodiscard]] double noiseCv() const override;
+  [[nodiscard]] bool deterministicTruth() const override { return true; }
 
   [[nodiscard]] gpusim::GpuRuntime& runtime() { return runtime_; }
 

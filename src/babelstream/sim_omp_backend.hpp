@@ -21,6 +21,7 @@ class SimOmpBackend final : public Backend {
   [[nodiscard]] Duration iterationTime(StreamOp op,
                                        ByteCount arrayBytes) override;
   [[nodiscard]] double noiseCv() const override;
+  [[nodiscard]] bool deterministicTruth() const override { return true; }
 
   [[nodiscard]] const ompenv::ThreadPlacement& placement() const {
     return placement_;

@@ -184,6 +184,19 @@ class MpiWorld {
   /// the network has no packet loss). Reset at each run.
   [[nodiscard]] std::uint64_t retransmitCount() const { return retransmits_; }
 
+  /// Pins the scheduler execution mode for subsequent runs (simulated
+  /// results are mode-independent; the simcore cross-check suite runs
+  /// both modes and compares). Default: VirtualTimeScheduler's default.
+  void setSchedulerMode(sim::VirtualTimeScheduler::Mode m) {
+    scheduler_.setMode(m);
+  }
+
+  /// Process-switch count of the last completed run (determinism
+  /// diagnostics; identical across scheduler modes).
+  [[nodiscard]] std::uint64_t schedulerSwitchCount() const {
+    return scheduler_.switchCount();
+  }
+
  private:
   friend class Communicator;
 

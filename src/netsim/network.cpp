@@ -2,6 +2,7 @@
 
 #include "core/rng.hpp"
 #include "core/strings.hpp"
+#include "mpisim/analytic.hpp"
 #include "trace/trace.hpp"
 
 namespace nodebench::netsim {
@@ -96,63 +97,79 @@ InterNodeResult measureInterNode(const Machine& m,
   constexpr int kTag = 11;
   constexpr int kWindow = 32;
 
-  world.run([&](Communicator& c) {
-    const int pair = c.rank() / 2;
-    const int peer = c.rank() ^ 1;
-    const bool pinger = c.rank() % 2 == 0;
-    const BufferSpace space = cfg.deviceBuffers
-                                  ? BufferSpace::onDevice(pair)
-                                  : BufferSpace::host();
-    c.barrier();
+  // A single pair with no loss plan, watchdog, or tracing has no channel
+  // contention or fault interleaving to simulate: compose both phases in
+  // closed form (bit-identical; see mpisim/analytic.hpp). More pairs share
+  // NICs, and a watchdog needs the scheduler to raise TimeoutError.
+  const bool fastPath = pairs == 1 && !cfg.watchdog &&
+                        network.packetLossRate <= 0.0 &&
+                        mpisim::analytic::fastPathEligible();
+  if (fastPath) {
+    const auto composed = mpisim::analytic::interNodePairElapsed(
+        m, network, cfg.deviceBuffers, cfg.messageSize, cfg.iterations);
+    latencyElapsed = composed.latencyElapsed;
+    const double bytes = ByteCount::kib(64).asDouble() * kWindow *
+                         (cfg.iterations / 10 + 1);
+    pairBandwidth[0] = bytes / composed.streamElapsed.ns();
+  } else {
+    world.run([&](Communicator& c) {
+      const int pair = c.rank() / 2;
+      const int peer = c.rank() ^ 1;
+      const bool pinger = c.rank() % 2 == 0;
+      const BufferSpace space = cfg.deviceBuffers
+                                    ? BufferSpace::onDevice(pair)
+                                    : BufferSpace::host();
+      c.barrier();
 
-    // Phase 1: latency ping-pong on pair 0, others idle (idle-network
-    // latency, matching how OSU latency is normally run).
-    if (pair == 0) {
-      if (pinger) {
-        const Duration start = c.now();
-        for (int i = 0; i < cfg.iterations; ++i) {
-          c.send(peer, kTag, cfg.messageSize, space);
-          c.recv(peer, kTag, cfg.messageSize, space);
-        }
-        latencyElapsed = c.now() - start;
-      } else {
-        for (int i = 0; i < cfg.iterations; ++i) {
-          c.recv(peer, kTag, cfg.messageSize, space);
-          c.send(peer, kTag, cfg.messageSize, space);
+      // Phase 1: latency ping-pong on pair 0, others idle (idle-network
+      // latency, matching how OSU latency is normally run).
+      if (pair == 0) {
+        if (pinger) {
+          const Duration start = c.now();
+          for (int i = 0; i < cfg.iterations; ++i) {
+            c.send(peer, kTag, cfg.messageSize, space);
+            c.recv(peer, kTag, cfg.messageSize, space);
+          }
+          latencyElapsed = c.now() - start;
+        } else {
+          for (int i = 0; i < cfg.iterations; ++i) {
+            c.recv(peer, kTag, cfg.messageSize, space);
+            c.send(peer, kTag, cfg.messageSize, space);
+          }
         }
       }
-    }
-    c.barrier();
+      c.barrier();
 
-    // Phase 2: all pairs stream concurrently (windowed, osu_bw style);
-    // NIC sharing emerges from the node-injection channel.
-    const ByteCount streamSize = ByteCount::kib(64);
-    const Duration start = c.now();
-    for (int it = 0; it < cfg.iterations / 10 + 1; ++it) {
-      if (pinger) {
-        std::vector<Request> reqs;
-        reqs.reserve(kWindow);
-        for (int wi = 0; wi < kWindow; ++wi) {
-          reqs.push_back(c.isend(peer, kTag + 1, streamSize, space));
+      // Phase 2: all pairs stream concurrently (windowed, osu_bw style);
+      // NIC sharing emerges from the node-injection channel.
+      const ByteCount streamSize = ByteCount::kib(64);
+      const Duration start = c.now();
+      for (int it = 0; it < cfg.iterations / 10 + 1; ++it) {
+        if (pinger) {
+          std::vector<Request> reqs;
+          reqs.reserve(kWindow);
+          for (int wi = 0; wi < kWindow; ++wi) {
+            reqs.push_back(c.isend(peer, kTag + 1, streamSize, space));
+          }
+          c.waitAll(reqs);
+          c.recv(peer, kTag + 2, ByteCount::bytes(4), space);
+        } else {
+          std::vector<Request> reqs;
+          reqs.reserve(kWindow);
+          for (int wi = 0; wi < kWindow; ++wi) {
+            reqs.push_back(c.irecv(peer, kTag + 1, streamSize, space));
+          }
+          c.waitAll(reqs);
+          c.send(peer, kTag + 2, ByteCount::bytes(4), space);
         }
-        c.waitAll(reqs);
-        c.recv(peer, kTag + 2, ByteCount::bytes(4), space);
-      } else {
-        std::vector<Request> reqs;
-        reqs.reserve(kWindow);
-        for (int wi = 0; wi < kWindow; ++wi) {
-          reqs.push_back(c.irecv(peer, kTag + 1, streamSize, space));
-        }
-        c.waitAll(reqs);
-        c.send(peer, kTag + 2, ByteCount::bytes(4), space);
       }
-    }
-    if (pinger) {
-      const double bytes = streamSize.asDouble() * kWindow *
-                           (cfg.iterations / 10 + 1);
-      pairBandwidth[pair] = bytes / (c.now() - start).ns();
-    }
-  });
+      if (pinger) {
+        const double bytes = streamSize.asDouble() * kWindow *
+                             (cfg.iterations / 10 + 1);
+        pairBandwidth[pair] = bytes / (c.now() - start).ns();
+      }
+    });
+  }
 
   const double latencyTruthUs =
       latencyElapsed.us() / (2.0 * cfg.iterations);

@@ -1,5 +1,7 @@
 #include "osu/bandwidth.hpp"
 
+#include "mpisim/analytic.hpp"
+
 namespace nodebench::osu {
 
 using mpisim::BufferSpace;
@@ -36,6 +38,20 @@ double BandwidthBenchmark::truthGBps(const BandwidthConfig& cfg) const {
   constexpr int kAckTag = 3;
   Duration elapsed = Duration::zero();
   double bytesMoved = 0.0;
+
+  if (mpisim::analytic::fastPathEligible()) {
+    // Two symmetric ranks, no faults or tracing: compose the windowed
+    // stream arithmetically (bit-identical; see mpisim/analytic.hpp).
+    elapsed = mpisim::analytic::windowedStreamElapsed(
+        *machine_, rankA_, rankB_, spaceA_, spaceB_, cfg.messageSize,
+        cfg.windowSize, cfg.iterations, bidirectional_);
+    const double directions = bidirectional_ ? 2.0 : 1.0;
+    bytesMoved = directions * cfg.messageSize.asDouble() *
+                 static_cast<double>(cfg.windowSize) *
+                 static_cast<double>(cfg.iterations);
+    NB_ENSURES(elapsed > Duration::zero());
+    return bytesMoved / elapsed.ns();  // GB/s
+  }
 
   // osu_bw: rank 0 posts a window of isends, rank 1 a window of irecvs;
   // a tiny ack closes each iteration. osu_bibw runs the mirrored window

@@ -18,6 +18,7 @@
 /// column estimates.
 
 #include <cstdint>
+#include <future>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -81,7 +82,8 @@ class LatencyBenchmark {
  private:
   /// truthOneWay with memoization; thread-safe (the parallel table
   /// harness measures disjoint cells, but a benchmark instance may be
-  /// shared).
+  /// shared). Concurrent first queries of one key compute the truth
+  /// exactly once: late arrivals block on the owner's future.
   [[nodiscard]] Duration truthCached(ByteCount messageSize,
                                      int iterations) const;
 
@@ -91,7 +93,9 @@ class LatencyBenchmark {
   mpisim::BufferSpace spaceA_;
   mpisim::BufferSpace spaceB_;
 
-  mutable std::map<std::pair<std::uint64_t, int>, Duration> truthMemo_;
+  mutable std::map<std::pair<std::uint64_t, int>,
+                   std::shared_future<Duration>>
+      truthMemo_;
   mutable std::mutex truthMu_;
 };
 

@@ -1,13 +1,68 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace nodebench::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+void EventQueue::siftUp(std::size_t i) {
+  const std::uint32_t idx = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!runsBefore(idx, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = idx;
+}
+
+void EventQueue::siftDown(std::size_t i) {
+  const std::uint32_t idx = heap_[i];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= size) {
+      break;
+    }
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kArity, size);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (runsBefore(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!runsBefore(heap_[best], idx)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = idx;
+}
+
 void EventQueue::scheduleAt(Duration when, Action action) {
   NB_EXPECTS_MSG(when >= now_, "cannot schedule an event in the past");
   NB_EXPECTS(action != nullptr);
-  heap_.push(Event{when, nextSeq_++, std::move(action)});
+  std::uint32_t idx;
+  if (!freeSlots_.empty()) {
+    idx = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[idx];
+  slot.when = when;
+  slot.seq = nextSeq_++;
+  slot.action = std::move(action);
+  heap_.push_back(idx);
+  siftUp(heap_.size() - 1);
 }
 
 void EventQueue::scheduleAfter(Duration delay, Action action) {
@@ -19,14 +74,23 @@ bool EventQueue::step() {
   if (heap_.empty()) {
     return false;
   }
-  // priority_queue::top returns const&; the action must be moved out before
-  // pop, so copy the metadata and move the closure via const_cast-free
-  // re-push-less approach: take a copy of the event.
-  Event ev = heap_.top();
-  heap_.pop();
-  NB_ENSURES(ev.when >= now_);
-  now_ = ev.when;
-  ev.action();
+  const std::uint32_t idx = heap_.front();
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    siftDown(0);
+  }
+  Slot& slot = slots_[idx];
+  NB_ENSURES(slot.when >= now_);
+  now_ = slot.when;
+  // Owned-slot pop: move the closure out, then recycle the slot *before*
+  // running it, so an action that reschedules reuses this very slot and
+  // the hot loop stays allocation-free.
+  Action action = std::move(slot.action);
+  slot.action = nullptr;
+  freeSlots_.push_back(idx);
+  action();
   return true;
 }
 
@@ -37,7 +101,7 @@ void EventQueue::runAll() {
 
 void EventQueue::runUntil(Duration deadline) {
   NB_EXPECTS(deadline >= now_);
-  while (!heap_.empty() && heap_.top().when <= deadline) {
+  while (!heap_.empty() && slots_[heap_.front()].when <= deadline) {
     step();
   }
   now_ = deadline;

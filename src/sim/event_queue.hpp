@@ -6,10 +6,17 @@
 /// order is (time, insertion sequence), which makes simultaneous events
 /// deterministic. The GPU runtime simulator (`gpusim`) and several tests
 /// are built on this engine.
+///
+/// Storage (DESIGN.md §12): events live in a slot pool indexed by a flat
+/// 4-ary min-heap of slot indices. A 4-ary heap halves the tree depth of a
+/// binary heap and keeps each node's children in one cache line of
+/// indices; the pool recycles slots through a free list, so a steady-state
+/// schedule/pop loop performs no allocation (the gbench suite counts).
+/// Popping moves the action out of the owned slot — no copy out of a
+/// `priority_queue::top()` const reference.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "core/error.hpp"
@@ -47,23 +54,32 @@ class EventQueue {
   void runUntil(Duration deadline);
 
  private:
-  struct Event {
-    Duration when;
-    std::uint64_t seq;
+  /// Pooled event storage; `action` is empty while the slot sits on the
+  /// free list.
+  struct Slot {
+    Duration when = Duration::zero();
+    std::uint64_t seq = 0;
     Action action;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when.ns() != b.when.ns()) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+
+  /// True when slot `a` runs strictly before slot `b`.
+  [[nodiscard]] bool runsBefore(std::uint32_t a, std::uint32_t b) const {
+    const Slot& x = slots_[a];
+    const Slot& y = slots_[b];
+    if (x.when.ns() != y.when.ns()) {
+      return x.when < y.when;
     }
-  };
+    return x.seq < y.seq;
+  }
+
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
 
   Duration now_ = Duration::zero();
   std::uint64_t nextSeq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<std::uint32_t> heap_;  ///< 4-ary min-heap of slot indices.
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
 };
 
 }  // namespace nodebench::sim

@@ -1,10 +1,44 @@
 #include "sim/vt_scheduler.hpp"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 
 #include "trace/trace.hpp"
+
+// Cooperative mode uses POSIX ucontext fibers. Fiber stack switches are
+// invisible to the sanitizers' shadow-stack bookkeeping (tsan would need
+// __tsan_switch_to_fiber annotations, asan fake-stack equivalents), and
+// the whole point of the sanitized builds is to check the thread-mode
+// handoffs — so cooperative support is compiled out under any sanitizer
+// and those builds always run Mode::Threads.
+#if defined(__linux__)
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_MEMORY__)
+#define NODEBENCH_VT_COOP 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define NODEBENCH_VT_COOP 0
+#else
+#define NODEBENCH_VT_COOP 1
+#endif
+#else
+#define NODEBENCH_VT_COOP 1
+#endif
+#else
+#define NODEBENCH_VT_COOP 0
+#endif
+
+#if NODEBENCH_VT_COOP
+#include <ucontext.h>
+
+#include <memory>
+#include <vector>
+#endif
 
 namespace nodebench::sim {
 
@@ -22,37 +56,188 @@ std::string deadlockMessage(const std::string& reason,
   return msg;
 }
 
+/// Scoped lock that is a no-op in cooperative mode: there, every process
+/// runs on the calling thread and the scheduler state needs no mutex.
+struct ModeLock {
+  std::unique_lock<std::mutex> lock;
+  ModeLock(std::mutex& mu, bool cooperative) {
+    if (!cooperative) {
+      lock = std::unique_lock(mu);
+    }
+  }
+  [[nodiscard]] std::unique_lock<std::mutex>* ptr() {
+    return lock.owns_lock() ? &lock : nullptr;
+  }
+};
+
 }  // namespace
+
+#if NODEBENCH_VT_COOP
+
+/// Fiber contexts of one cooperative run. The scheduler loop in
+/// runCooperative owns `main`; each rank's continuation lives in its
+/// fiber's `ctx` (the initial makecontext before first resume, the
+/// suspension point inside waitUntilRunning afterwards).
+struct VirtualTimeScheduler::CoopRuntime {
+  struct Fiber {
+    ucontext_t ctx;
+    std::unique_ptr<char[]> stack;
+  };
+  /// 512 KiB per rank: rank functions reach resolvePath/topology code with
+  /// modest frames, so this is generous headroom; Linux commits pages
+  /// lazily, so untouched stack costs address space only.
+  static constexpr std::size_t kStackBytes = 512u * 1024u;
+
+  ucontext_t main;
+  std::vector<Fiber> fibers;
+  const std::vector<ProcessFn>* fns = nullptr;
+};
+
+/// makecontext passes ints only; the scheduler pointer travels as two
+/// 32-bit halves (the portable ucontext idiom). processBody catches
+/// everything a process function can throw, so no exception ever unwinds
+/// past the fiber's root frame; returning resumes uc_link == the
+/// scheduler loop's context.
+void VirtualTimeScheduler::coopTrampoline(unsigned int hi, unsigned int lo,
+                                          int rank) {
+  auto* self = reinterpret_cast<VirtualTimeScheduler*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  self->processBody(rank,
+                    (*self->coop_->fns)[static_cast<std::size_t>(rank)]);
+}
+
+void VirtualTimeScheduler::coopYieldToMain(int rank) {
+  CoopRuntime::Fiber& f = coop_->fibers[static_cast<std::size_t>(rank)];
+  NB_ENSURES(swapcontext(&f.ctx, &coop_->main) == 0);
+}
+
+void VirtualTimeScheduler::runCooperative(const std::vector<ProcessFn>& fns) {
+  coop_ = std::make_unique<CoopRuntime>();
+  coop_->fns = &fns;
+  coop_->fibers.resize(fns.size());
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    CoopRuntime::Fiber& f = coop_->fibers[i];
+    f.stack = std::make_unique<char[]>(CoopRuntime::kStackBytes);
+    NB_ENSURES(getcontext(&f.ctx) == 0);
+    f.ctx.uc_stack.ss_sp = f.stack.get();
+    f.ctx.uc_stack.ss_size = CoopRuntime::kStackBytes;
+    f.ctx.uc_link = &coop_->main;
+    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&coopTrampoline), 3,
+                static_cast<unsigned int>(self >> 32),
+                static_cast<unsigned int>(self & 0xffffffffu),
+                static_cast<int>(i));
+  }
+  coopActive_ = true;
+  // Resume whichever fiber the shared scheduling logic marked Running;
+  // every handoff funnels back through here (fiber yields to main, main
+  // resumes the next runner), so this loop is the whole execution engine.
+  while (true) {
+    int next = -1;
+    for (int i = 0; i < static_cast<int>(slots_.size()); ++i) {
+      if (slots_[i].state == State::Running) {
+        next = i;
+        break;
+      }
+    }
+    if (next < 0) {
+      break;
+    }
+    NB_ENSURES(swapcontext(&coop_->main,
+                           &coop_->fibers[static_cast<std::size_t>(next)]
+                                .ctx) == 0);
+  }
+  if (aborted_) {
+    // Mirror of thread mode's "every thread wakes and unwinds": resume the
+    // remaining fibers in rank order; each observes aborted_, throws, and
+    // finishes through processBody's catch.
+    for (std::size_t i = 0; i < coop_->fibers.size(); ++i) {
+      while (slots_[i].state != State::Finished) {
+        NB_ENSURES(swapcontext(&coop_->main, &coop_->fibers[i].ctx) == 0);
+      }
+    }
+  }
+  coopActive_ = false;
+  coop_.reset();
+}
+
+bool VirtualTimeScheduler::cooperativeSupported() { return true; }
+
+#else  // !NODEBENCH_VT_COOP
+
+struct VirtualTimeScheduler::CoopRuntime {};
+
+void VirtualTimeScheduler::coopYieldToMain(int) {
+  throw Error("cooperative scheduling not compiled in");
+}
+
+void VirtualTimeScheduler::runCooperative(const std::vector<ProcessFn>&) {
+  throw Error("cooperative scheduling not compiled in");
+}
+
+bool VirtualTimeScheduler::cooperativeSupported() { return false; }
+
+#endif  // NODEBENCH_VT_COOP
+
+VirtualTimeScheduler::VirtualTimeScheduler() : mode_(defaultMode()) {}
+
+VirtualTimeScheduler::~VirtualTimeScheduler() = default;
+
+VirtualTimeScheduler::Mode VirtualTimeScheduler::defaultMode() {
+  static const Mode mode = [] {
+    if (!cooperativeSupported()) {
+      return Mode::Threads;
+    }
+    if (const char* env = std::getenv("NODEBENCH_VT_MODE")) {
+      if (std::strcmp(env, "threads") == 0) {
+        return Mode::Threads;
+      }
+      if (std::strcmp(env, "cooperative") == 0) {
+        return Mode::Cooperative;
+      }
+    }
+    return Mode::Cooperative;
+  }();
+  return mode;
+}
+
+void VirtualTimeScheduler::setMode(Mode m) {
+  NB_EXPECTS_MSG(!coopActive_, "cannot change mode during a run");
+  mode_ = (m == Mode::Cooperative && !cooperativeSupported()) ? Mode::Threads
+                                                              : m;
+}
 
 DeadlockError::DeadlockError(const std::string& reason,
                              std::vector<RankStateSnapshot> ranks)
     : Error(deadlockMessage(reason, ranks)), ranks_(std::move(ranks)) {}
 
 Duration VirtualProcess::now() const {
-  std::unique_lock lock(sched_->mu_);
-  return sched_->slots_[rank_].clock;
+  auto& s = *sched_;
+  ModeLock lock(s.mu_, s.coopActive_);
+  return s.slots_[rank_].clock;
 }
 
 void VirtualProcess::advance(Duration dt) {
   NB_EXPECTS(dt >= Duration::zero());
   auto& s = *sched_;
-  std::unique_lock lock(s.mu_);
+  ModeLock lock(s.mu_, s.coopActive_);
   s.slots_[rank_].clock += dt;
-  s.yieldIfEarlierLocked(lock, rank_);
+  s.yieldIfEarlier(lock.ptr(), rank_);
 }
 
 void VirtualProcess::advanceTo(Duration t) {
   auto& s = *sched_;
-  std::unique_lock lock(s.mu_);
+  ModeLock lock(s.mu_, s.coopActive_);
   auto& clock = s.slots_[rank_].clock;
   clock = max(clock, t);
-  s.yieldIfEarlierLocked(lock, rank_);
+  s.yieldIfEarlier(lock.ptr(), rank_);
 }
 
 void VirtualProcess::blockUntil(const std::function<bool()>& pred) {
   NB_EXPECTS(pred != nullptr);
   auto& s = *sched_;
-  std::unique_lock lock(s.mu_);
+  ModeLock lock(s.mu_, s.coopActive_);
   while (!pred()) {
     s.slots_[rank_].state = VirtualTimeScheduler::State::Blocked;
     const int next = s.pickNextLocked();
@@ -68,7 +253,7 @@ void VirtualProcess::blockUntil(const std::function<bool()>& pred) {
                           std::move(ranks));
     }
     s.switchToLocked(next);
-    s.waitUntilRunningLocked(lock, rank_);
+    s.waitUntilRunning(lock.ptr(), rank_);
   }
 }
 
@@ -76,7 +261,7 @@ void VirtualProcess::wake(int otherRank) {
   auto& s = *sched_;
   NB_EXPECTS(otherRank >= 0 &&
              static_cast<std::size_t>(otherRank) < s.slots_.size());
-  std::unique_lock lock(s.mu_);
+  ModeLock lock(s.mu_, s.coopActive_);
   if (s.slots_[otherRank].state == VirtualTimeScheduler::State::Blocked) {
     s.slots_[otherRank].state = VirtualTimeScheduler::State::Ready;
   }
@@ -100,14 +285,22 @@ void VirtualTimeScheduler::switchToLocked(int next) {
   NB_ENSURES(slots_[next].state == State::Ready);
   slots_[next].state = State::Running;
   ++switches_;
-  cv_.notify_all();
+  if (!coopActive_) {
+    cv_.notify_all();
+  }
 }
 
-void VirtualTimeScheduler::waitUntilRunningLocked(
-    std::unique_lock<std::mutex>& lock, int rank) {
-  cv_.wait(lock, [&] {
-    return aborted_ || slots_[rank].state == State::Running;
-  });
+void VirtualTimeScheduler::waitUntilRunning(
+    std::unique_lock<std::mutex>* lock, int rank) {
+  if (lock != nullptr) {
+    cv_.wait(*lock, [&] {
+      return aborted_ || slots_[rank].state == State::Running;
+    });
+  } else {
+    while (!aborted_ && slots_[rank].state != State::Running) {
+      coopYieldToMain(rank);
+    }
+  }
   if (aborted_) {
     throw Error("virtual-time system aborted (see primary error)");
   }
@@ -130,8 +323,8 @@ void VirtualTimeScheduler::checkWatchdogLocked(int rank) {
   throw TimeoutError(buf);
 }
 
-void VirtualTimeScheduler::yieldIfEarlierLocked(
-    std::unique_lock<std::mutex>& lock, int rank) {
+void VirtualTimeScheduler::yieldIfEarlier(
+    std::unique_lock<std::mutex>* lock, int rank) {
   // Every virtual-time advance funnels through here, so this is the one
   // place the watchdog needs to observe runaway clocks.
   checkWatchdogLocked(rank);
@@ -145,12 +338,14 @@ void VirtualTimeScheduler::yieldIfEarlierLocked(
     return;
   }
   switchToLocked(next);
-  waitUntilRunningLocked(lock, rank);
+  waitUntilRunning(lock, rank);
 }
 
 void VirtualTimeScheduler::abortAllLocked() {
   aborted_ = true;
-  cv_.notify_all();
+  if (!coopActive_) {
+    cv_.notify_all();
+  }
 }
 
 std::vector<RankStateSnapshot> VirtualTimeScheduler::snapshotLocked() const {
@@ -178,11 +373,11 @@ void VirtualTimeScheduler::processBody(int rank, const ProcessFn& fn) {
   VirtualProcess self(*this, rank);
   try {
     {
-      std::unique_lock lock(mu_);
-      waitUntilRunningLocked(lock, rank);
+      ModeLock lock(mu_, coopActive_);
+      waitUntilRunning(lock.ptr(), rank);
     }
     fn(self);
-    std::unique_lock lock(mu_);
+    ModeLock lock(mu_, coopActive_);
     slots_[rank].state = State::Finished;
     const int next = pickNextLocked();
     if (next >= 0) {
@@ -205,12 +400,25 @@ void VirtualTimeScheduler::processBody(int rank, const ProcessFn& fn) {
       }
     }
   } catch (...) {
-    std::unique_lock lock(mu_);
+    ModeLock lock(mu_, coopActive_);
     if (!firstError_) {
       firstError_ = std::current_exception();
     }
     slots_[rank].state = State::Finished;
     abortAllLocked();
+  }
+}
+
+void VirtualTimeScheduler::runThreads(const std::vector<ProcessFn>& fns) {
+  std::vector<std::thread> threads;
+  threads.reserve(fns.size());
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    threads.emplace_back([this, i, &fns] {
+      processBody(static_cast<int>(i), fns[i]);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
   }
 }
 
@@ -224,19 +432,14 @@ void VirtualTimeScheduler::run(const std::vector<ProcessFn>& fns) {
   // rank, so this matches pickNextLocked()).
   slots_[0].state = State::Running;
 
-  std::vector<std::thread> threads;
-  threads.reserve(fns.size());
-  for (std::size_t i = 0; i < fns.size(); ++i) {
-    threads.emplace_back([this, i, &fns] {
-      processBody(static_cast<int>(i), fns[i]);
-    });
+  if (mode_ == Mode::Cooperative && cooperativeSupported()) {
+    runCooperative(fns);
+  } else {
+    runThreads(fns);
   }
-  for (auto& t : threads) {
-    t.join();
-  }
-  // run() is called on the tracing scope's own thread, and the joins
-  // above make this the unique post-run point — safe to read switches_
-  // without the lock and to record into the thread-local buffer.
+  // run() is called on the tracing scope's own thread, and both modes are
+  // fully drained by now — safe to read switches_ without the lock and to
+  // record into the thread-local buffer.
   if (trace::TraceBuffer* tb = trace::current()) {
     tb->count("vt.runs");
     tb->count("vt.switches", switches_);

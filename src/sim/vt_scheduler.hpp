@@ -1,13 +1,29 @@
 #pragma once
 /// \file vt_scheduler.hpp
-/// \brief Virtual-time scheduler: runs N "rank processes" (real threads)
-/// whose *simulated* clocks are coordinated so that only the runnable
-/// process with the smallest local virtual time executes at any moment.
+/// \brief Virtual-time scheduler: runs N "rank processes" whose *simulated*
+/// clocks are coordinated so that only the runnable process with the
+/// smallest local virtual time executes at any moment.
 ///
 /// This is the substrate of the message-passing runtime (`mpisim`). The
 /// design trades parallel host execution for determinism: exactly one
 /// process runs at a time, scheduling order is (virtual time, rank), so a
 /// given program produces bit-identical simulated timings on every run.
+///
+/// Two execution modes realize the same scheduling contract (DESIGN.md §12):
+///  - `Mode::Threads` — one OS thread per rank, handoffs via mutex +
+///    condition variable. The reference implementation; the only mode the
+///    thread sanitizer can check, and the only mode available when the
+///    build is sanitized.
+///  - `Mode::Cooperative` — all ranks run as user-level continuations
+///    (ucontext fibers) on the calling thread; a handoff is a context swap
+///    instead of a kernel-level wake+sleep, which removes the dominant
+///    wall-clock cost of simulated benchmarks on small machines. Scheduling
+///    decisions flow through the *same* pick/switch code as thread mode, so
+///    clock sequences, `switchCount()` and error behavior are identical —
+///    the `simcore` cross-check suite locks this in.
+/// The default mode is Cooperative where supported (overridable via the
+/// `NODEBENCH_VT_MODE=threads|cooperative` environment knob and
+/// `setMode`); sanitized builds always run Threads.
 ///
 /// Blocking operations (e.g. a receive with no matching send) are expressed
 /// through `blockUntil(pred)`: the process leaves the runnable set until
@@ -17,8 +33,10 @@
 /// scheduler reports deadlock by throwing in all participants.
 
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -107,6 +125,35 @@ class VirtualTimeScheduler {
  public:
   using ProcessFn = std::function<void(VirtualProcess&)>;
 
+  /// How rank processes execute. Scheduling decisions (and therefore all
+  /// simulated results) are identical in both modes.
+  enum class Mode {
+    Threads,      ///< One OS thread per rank (tsan-checkable reference).
+    Cooperative,  ///< ucontext fibers on the calling thread (fast path).
+  };
+
+  /// Whether Cooperative mode is compiled in: requires ucontext and a
+  /// non-sanitized build (fiber stack switches confuse tsan/asan shadow
+  /// state, and Threads mode is the sanitizers' whole point anyway).
+  [[nodiscard]] static bool cooperativeSupported();
+
+  /// Process-wide default: Cooperative where supported, overridable by the
+  /// NODEBENCH_VT_MODE environment variable ("threads" / "cooperative",
+  /// read once). Unsupported requests fall back to Threads.
+  [[nodiscard]] static Mode defaultMode();
+
+  // Out-of-line: CoopRuntime is cpp-private, so members needing its
+  // destructor cannot be instantiated from the header.
+  VirtualTimeScheduler();
+  ~VirtualTimeScheduler();
+
+  /// Selects the execution mode for subsequent runs. A Cooperative request
+  /// on a build without support degrades to Threads (so callers can set
+  /// unconditionally). Must not be called while a run is in flight.
+  void setMode(Mode m);
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+
   /// Runs all processes; returns when every process function has returned.
   /// Rethrows the first exception raised by any process (by rank order of
   /// detection). Precondition: !fns.empty().
@@ -126,7 +173,8 @@ class VirtualTimeScheduler {
   /// so back-to-back runs on one scheduler report per-run counts rather
   /// than a lifetime total. Only meaningful *between* runs: while `run`
   /// is in flight the counter is mutated under the scheduler's internal
-  /// lock and a concurrent read would race.
+  /// lock and a concurrent read would race. Identical in both modes for
+  /// the same program (the cross-check suite's invariant).
   [[nodiscard]] std::uint64_t switchCount() const { return switches_; }
 
  private:
@@ -139,16 +187,29 @@ class VirtualTimeScheduler {
     State state = State::Ready;
   };
 
-  // All of the below are guarded by mu_.
+  struct CoopRuntime;  // fiber contexts; defined in the .cpp (ucontext)
+
+  // The helpers below implement one scheduling contract for both modes.
+  // In thread mode the caller holds mu_ and passes the lock; in
+  // cooperative mode everything runs on one OS thread, so `lock` is null
+  // and mu_ is never taken.
   [[nodiscard]] int pickNextLocked() const;  // min-clock Ready; -1 if none
   void switchToLocked(int next);
-  void waitUntilRunningLocked(std::unique_lock<std::mutex>& lock, int rank);
-  void yieldIfEarlierLocked(std::unique_lock<std::mutex>& lock, int rank);
+  void waitUntilRunning(std::unique_lock<std::mutex>* lock, int rank);
+  void yieldIfEarlier(std::unique_lock<std::mutex>* lock, int rank);
   void checkWatchdogLocked(int rank);
   void abortAllLocked();
   [[nodiscard]] std::vector<RankStateSnapshot> snapshotLocked() const;
 
   void processBody(int rank, const ProcessFn& fn);
+
+  void runThreads(const std::vector<ProcessFn>& fns);
+  void runCooperative(const std::vector<ProcessFn>& fns);
+  /// Suspends the current fiber and resumes the scheduler loop
+  /// (cooperative mode only).
+  void coopYieldToMain(int rank);
+  /// Fiber entry point (cooperative mode only; ucontext calling shim).
+  static void coopTrampoline(unsigned int hi, unsigned int lo, int rank);
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -157,6 +218,9 @@ class VirtualTimeScheduler {
   std::exception_ptr firstError_;
   std::uint64_t switches_ = 0;
   Duration watchdog_ = Duration::infinity();
+  Mode mode_ = Mode::Threads;
+  bool coopActive_ = false;  ///< True while runCooperative is in flight.
+  std::unique_ptr<CoopRuntime> coop_;
 };
 
 }  // namespace nodebench::sim

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Cache/branch simulation profile of the simulation core via valgrind's
+# cachegrind — the instruction-level companion to tools/run_perf_stat.sh
+# (counter totals are deterministic, so two runs diff cleanly even on
+# noisy shared hosts):
+#
+#   tools/run_cachegrind.sh [build-dir] [benchmark-filter]
+#
+# Produces cachegrind.out.* files in the current directory and prints
+# the summary totals. With valgrind unavailable the script reports how
+# to obtain the same signal from perf and exits 0, so harness callers
+# need no platform branching.
+set -euo pipefail
+
+build_dir="${1:-build}"
+filter="${2:-SimulatedPingPong/100|LatencyTruth|EventQueueScheduleRun/1024}"
+
+gbench="${build_dir}/bench/bench_simcore_gbench"
+if [[ ! -x "${gbench}" ]]; then
+  echo "error: '${gbench}' not built" >&2
+  echo "hint: cmake --build ${build_dir} -j --target bench_simcore_gbench" >&2
+  exit 2
+fi
+
+if ! command -v valgrind >/dev/null 2>&1; then
+  echo "note: valgrind not installed; skipping cachegrind run" >&2
+  echo "      (tools/run_perf_stat.sh reports hardware cache counters" >&2
+  echo "       where perf is available)" >&2
+  exit 0
+fi
+
+# One repetition is enough: cachegrind's simulated counters have no
+# run-to-run noise, and the 20-100x slowdown makes repetitions costly.
+valgrind --tool=cachegrind --branch-sim=yes -- \
+  "${gbench}" --benchmark_filter="${filter}" --benchmark_repetitions=1
+
+echo
+echo "annotate hot functions with: cg_annotate cachegrind.out.<pid>"

@@ -16,6 +16,12 @@
 #  - stats: the statistics engine + results store + regression gate
 #    (unit suites, the CLI gate chain, and the two-store compare demo
 #    against the real binary, tools/run_compare_demo.sh).
+#  - simcore: scheduler-mode and closed-form fast-path determinism
+#    cross-checks (tests/simcore/), then the simulation-core
+#    microbenchmarks dumped to <build>/BENCH_simcore.json, then a gate
+#    self-check proving a results store recorded with every fast path
+#    disabled (NODEBENCH_VT_MODE=threads NODEBENCH_SIMCORE_FASTPATH=0)
+#    gates PASS against a default-mode recording.
 #
 # Exits non-zero if any suite fails. See CONTRIBUTING.md.
 set -euo pipefail
@@ -46,3 +52,35 @@ ctest --test-dir "${build_dir}" -L fuzz --output-on-failure
 echo
 echo "== stats suite (results store + regression gate) =="
 ctest --test-dir "${build_dir}" -L stats --output-on-failure
+
+echo
+echo "== simcore suite (scheduler modes + fast-path determinism) =="
+ctest --test-dir "${build_dir}" -L simcore --output-on-failure
+
+gbench="${build_dir}/bench/bench_simcore_gbench"
+if [[ -x "${gbench}" ]]; then
+  echo
+  echo "== simcore microbenchmarks -> ${build_dir}/BENCH_simcore.json =="
+  "${gbench}" \
+    --benchmark_filter='EventQueue|SwitchMode|SimulatedPingPong|LatencyTruth|InterNodeMeasure|OsuMeasureTruth' \
+    --benchmark_out="${build_dir}/BENCH_simcore.json" \
+    --benchmark_out_format=json
+else
+  echo "note: skipping simcore microbenchmarks (${gbench} not built)" >&2
+fi
+
+nodebench="${build_dir}/src/cli/nodebench"
+if [[ -x "${nodebench}" ]]; then
+  echo
+  echo "== fast-path gate self-check (slow-mode baseline vs default) =="
+  workdir="$(mktemp -d "${TMPDIR:-/tmp}/nodebench_simcore_gate.XXXXXX")"
+  trap 'rm -rf "${workdir}"' EXIT
+  NODEBENCH_VT_MODE=threads NODEBENCH_SIMCORE_FASTPATH=0 \
+    "${nodebench}" table 5 --runs 8 --jobs 1 \
+    --store "${workdir}/slow.store" > /dev/null
+  "${nodebench}" table 5 --runs 8 --jobs 1 \
+    --store "${workdir}/fast.store" > /dev/null
+  "${nodebench}" gate "${workdir}/slow.store" "${workdir}/fast.store"
+else
+  echo "note: skipping fast-path gate self-check (${nodebench} not built)" >&2
+fi
