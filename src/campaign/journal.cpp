@@ -12,6 +12,7 @@
 #include <sstream>
 #include <utility>
 
+#include "campaign/io.hpp"
 #include "core/checksum.hpp"
 #include "core/utf8.hpp"
 #include "trace/trace.hpp"
@@ -22,6 +23,7 @@ namespace {
 
 constexpr char kMagic[4] = {'N', 'B', 'C', 'J'};
 constexpr std::uint32_t kSchemaVersion = 1;
+constexpr const char* kWhat = "journal";  ///< io:: error-text label.
 
 /// Defensive decode limits: a record longer than any legitimate cell
 /// payload, a string longer than any machine/cell/error text, or a
@@ -32,39 +34,6 @@ constexpr std::uint32_t kMaxStringBytes = 1u << 16;
 constexpr std::uintmax_t kMaxJournalBytes = 256ull << 20;
 
 std::string errnoText() { return std::strerror(errno); }
-
-void writeAll(int fd, std::span<const std::uint8_t> bytes,
-              const std::string& path) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw Error("journal write failed: " + path + ": " + errnoText());
-    }
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-void fsyncOrThrow(int fd, const std::string& path) {
-  if (::fsync(fd) != 0) {
-    throw Error("journal fsync failed: " + path + ": " + errnoText());
-  }
-}
-
-/// Best-effort directory sync after a rename — required for the rename
-/// itself to be durable on POSIX filesystems.
-void syncParentDir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    (void)::fsync(fd);
-    ::close(fd);
-  }
-}
 
 std::string utf8Checked(std::string value, const char* what) {
   if (!validUtf8(value)) {
@@ -431,33 +400,6 @@ std::vector<std::uint8_t> readFileCapped(const std::string& path) {
   return bytes;
 }
 
-/// Atomically replaces `path` with `content` (temp + fsync + rename).
-void atomicWrite(const std::string& path,
-                 std::span<const std::uint8_t> content) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw Error("cannot create journal temp file: " + tmp + ": " +
-                errnoText());
-  }
-  try {
-    writeAll(fd, content, tmp);
-    fsyncOrThrow(fd, tmp);
-  } catch (...) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    throw;
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string why = errnoText();
-    ::unlink(tmp.c_str());
-    throw Error("cannot rename journal temp file into place: " + path + ": " +
-                why);
-  }
-  syncParentDir(path);
-}
-
 void traceJournalEvent(trace::Category category, std::uint64_t bytes) {
   if (trace::TraceBuffer* tb = trace::current()) {
     trace::Event e;
@@ -482,7 +424,7 @@ std::unique_ptr<Journal> Journal::create(const std::string& path,
                 " (pass --resume to continue the recorded campaign, or "
                 "remove the file to start fresh)");
   }
-  atomicWrite(path, encodeHeader(config));
+  io::atomicWrite(path, encodeHeader(config), kWhat);
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
     throw Error("cannot reopen journal for appending: " + path + ": " +
@@ -508,7 +450,7 @@ std::unique_ptr<Journal> Journal::resume(const std::string& path,
   if (decoded.validBytes < bytes.size()) {
     // Torn tail: atomically rewrite the valid prefix so the append
     // stream continues from a clean boundary.
-    atomicWrite(path, std::span(bytes).first(decoded.validBytes));
+    io::atomicWrite(path, std::span(bytes).first(decoded.validBytes), kWhat);
   }
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
@@ -554,8 +496,7 @@ void Journal::append(CellRecord record) {
     return;  // idempotent: `table all` recomputes Tables 5/6 for Table 7
   }
   const std::vector<std::uint8_t> framed = encodeRecord(record);
-  writeAll(fd_, framed, path_);
-  fsyncOrThrow(fd_, path_);
+  io::appendDurable(fd_, framed, path_, kWhat);
   traceJournalEvent(trace::Category::JournalAppend, framed.size());
   records_.emplace(std::move(key), std::move(record));
   ++appended_;

@@ -17,7 +17,9 @@
 /// `--metrics` (aggregated counters/histograms appendix on stdout).
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "babelstream/driver.hpp"
@@ -32,6 +35,7 @@
 #include "babelstream/sim_omp_backend.hpp"
 #include "campaign/journal.hpp"
 #include "commscope/commscope.hpp"
+#include "core/cancel.hpp"
 #include "core/error.hpp"
 #include "faults/fault_plan.hpp"
 #include "gpusim/gpu_runtime.hpp"
@@ -47,6 +51,7 @@
 #include "report/export.hpp"
 #include "report/figures.hpp"
 #include "report/tables.hpp"
+#include "serve/server.hpp"
 #include "stats/compare.hpp"
 #include "stats/store.hpp"
 #include "topo/dot.hpp"
@@ -90,7 +95,17 @@ int usage() {
       "          Mann-Whitney U, effect sizes)\n"
       "  gate <baseline.store> <candidate.store> [--jobs N] [--alpha A]\n"
       "          [--threshold PCT]  CI gate: exit 3 when any cell shows a\n"
-      "          statistically significant, material regression\n";
+      "          statistically significant, material regression\n"
+      "  serve --socket PATH|--port N [--state-dir D] [--resume]\n"
+      "          [--queue-depth N] [--tenant-queue N] [--tenant-inflight N]\n"
+      "          [--executors N] [--io-threads N]  crash-tolerant\n"
+      "          measurement daemon: POST campaign specs to /requests,\n"
+      "          GET /requests/<id> and /healthz; SIGTERM drains\n"
+      "          gracefully, restart --resume completes interrupted work\n"
+      "  journaled table/export runs stop cleanly on SIGINT/SIGTERM: the\n"
+      "  in-flight cell finishes and is journalled, the process exits " +
+          std::to_string(kInterruptedExitCode) +
+      ",\n  and --resume continues byte-identically\n";
   return 2;
 }
 
@@ -179,6 +194,27 @@ void rejectLeftoverFlags(const std::vector<std::string>& args) {
       throw Error("unknown or duplicate flag: " + arg);
     }
   }
+}
+
+/// Process-wide cancellation token for one-shot journaled runs; set from
+/// the signal handler (CancelToken::set is async-signal-safe).
+CancelToken& interruptToken() {
+  static CancelToken token;
+  return token;
+}
+
+void onInterruptSignal(int /*signo*/) {
+  interruptToken().set(CancelReason::Interrupt);
+}
+
+/// Installed only for `--journal` runs: without a journal there is
+/// nothing to hand to --resume, so the default die-on-signal behaviour
+/// is the right one. With one, the harness finishes the in-flight cell,
+/// journals it, and the run exits kInterruptedExitCode (43) — distinct
+/// from plain failure, so scripts know to rerun with --resume.
+void installInterruptHandlers() {
+  (void)std::signal(SIGINT, onInterruptSignal);
+  (void)std::signal(SIGTERM, onInterruptSignal);
 }
 
 /// Parses `--journal FILE` / `--resume` / `--crash-after-cell N` (the
@@ -333,6 +369,12 @@ int cmdTable(std::vector<std::string> args) {
   if (const auto jobs = positiveFlagValue(args, "--jobs")) {
     opt.jobs = *jobs;
   }
+  // Hidden test hook (like --crash-after-cell): slow every cell so the
+  // crash suite can land signals mid-campaign deterministically. Not
+  // part of the campaign fingerprint — it changes timing, not results.
+  if (const auto delay = positiveFlagValue(args, "--test-cell-delay-ms")) {
+    opt.testCellDelayMs = *delay;
+  }
   // Peek --resume before openJournal consumes it: the store reattach
   // decision follows the journal's.
   const bool resume =
@@ -340,6 +382,10 @@ int cmdTable(std::vector<std::string> args) {
   const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
   const std::unique_ptr<stats::ResultStore> store =
       openStore(args, opt, resume);
+  if (journal) {
+    installInterruptHandlers();
+    opt.cancel = &interruptToken();
+  }
   rejectLeftoverFlags(args);
   const std::string which = args[0];
   std::vector<report::CellIncident> incidents;
@@ -609,6 +655,10 @@ int cmdExport(std::vector<std::string> args) {
   const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
   const std::unique_ptr<stats::ResultStore> store =
       openStore(args, opt, resume);
+  if (journal) {
+    installInterruptHandlers();
+    opt.cancel = &interruptToken();
+  }
   rejectLeftoverFlags(args);
   const auto manifest = report::exportAllTables(dir, opt);
   for (const auto& path : manifest.written) {
@@ -790,6 +840,93 @@ int cmdCompare(std::vector<std::string> args, bool gate) {
   return 0;
 }
 
+/// Drain flag for `nodebench serve`: the signal handler only sets it;
+/// the main thread polls and runs the actual (not async-signal-safe)
+/// drain sequence.
+volatile std::sig_atomic_t g_serveDrainFlag = 0;
+
+void onServeSignal(int /*signo*/) { g_serveDrainFlag = 1; }
+
+/// `nodebench serve`: the crash-tolerant measurement daemon (see
+/// serve/server.hpp for the architecture and robustness contract).
+int cmdServe(std::vector<std::string> args) {
+  serve::ServerOptions sopt;
+  if (const auto socket = flagValue(args, "--socket")) {
+    sopt.socketPath = *socket;
+  } else if (std::find(args.begin(), args.end(), "--socket") != args.end()) {
+    throw Error("--socket expects a value");
+  }
+  if (const auto port = flagValue(args, "--port")) {
+    // 0 is meaningful (ephemeral port, reported after bind), so this
+    // cannot reuse positiveFlagValue.
+    std::size_t used = 0;
+    int value = -1;
+    try {
+      value = std::stoi(*port, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != port->size() || value < 0 || value > 65535) {
+      throw Error("--port expects a port number 0..65535, got '" + *port +
+                  "'");
+    }
+    sopt.port = value;
+  } else if (std::find(args.begin(), args.end(), "--port") != args.end()) {
+    throw Error("--port expects a value");
+  }
+  if (const auto dir = flagValue(args, "--state-dir")) {
+    sopt.stateDir = *dir;
+  } else if (std::find(args.begin(), args.end(), "--state-dir") !=
+             args.end()) {
+    throw Error("--state-dir expects a value");
+  }
+  if (const auto v = positiveFlagValue(args, "--queue-depth")) {
+    sopt.limits.maxQueueDepth = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--tenant-queue")) {
+    sopt.limits.maxQueuedPerTenant = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--tenant-inflight")) {
+    sopt.limits.maxInflightPerTenant = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--executors")) {
+    sopt.executorThreads = *v;
+  }
+  if (const auto v = positiveFlagValue(args, "--io-threads")) {
+    sopt.ioThreads = *v;
+  }
+  sopt.resume = flagPresent(args, "--resume");
+  sopt.allowDebugHooks = flagPresent(args, "--test-hooks");
+  rejectLeftoverFlags(args);
+  if (!args.empty()) {
+    return usage();
+  }
+
+  const std::string socketPath = sopt.socketPath;
+  serve::Server server(std::move(sopt));
+  server.start();
+  if (!socketPath.empty()) {
+    std::cout << "nodebench serve: listening on unix:" << socketPath
+              << std::endl;
+  } else {
+    std::cout << "nodebench serve: listening on 127.0.0.1:"
+              << server.boundPort() << std::endl;
+  }
+
+  g_serveDrainFlag = 0;
+  (void)std::signal(SIGINT, onServeSignal);
+  (void)std::signal(SIGTERM, onServeSignal);
+  while (g_serveDrainFlag == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "nodebench serve: drain requested; finishing in-flight "
+               "work\n";
+  server.requestDrain();
+  server.waitUntilStopped();
+  std::cerr << "nodebench serve: drained\n";
+  return 0;
+}
+
 int cmdNative(std::vector<std::string> args) {
   int threads = 0;
   if (const auto t = flagValue(args, "--threads")) {
@@ -865,7 +1002,14 @@ int main(int argc, char** argv) {
     if (cmd == "gate") {
       return cmdCompare(std::move(args), /*gate=*/true);
     }
+    if (cmd == "serve") {
+      return cmdServe(std::move(args));
+    }
     return usage();
+  } catch (const CancelledError& e) {
+    std::cerr << "nodebench: " << e.what()
+              << "; the journal is intact — rerun with --resume to finish\n";
+    return kInterruptedExitCode;
   } catch (const std::exception& e) {
     std::cerr << "nodebench: error: " << e.what() << '\n';
     return 1;

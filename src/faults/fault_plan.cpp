@@ -235,7 +235,10 @@ std::string FaultPlan::summary() const {
 }
 
 FaultPlan FaultPlan::fromJson(std::string_view text) {
-  const JsonValue doc = JsonValue::parse(text);
+  return fromJsonValue(JsonValue::parse(text));
+}
+
+FaultPlan FaultPlan::fromJsonValue(const JsonValue& doc) {
   if (!doc.isObject()) {
     throw Error("fault plan must be a JSON object");
   }

@@ -38,6 +38,8 @@
 
 namespace nodebench::faults {
 
+class JsonValue;
+
 enum class FaultType {
   LinkKill,      ///< Matching node links go down (routes re-resolve or fail).
   LinkDegrade,   ///< Matching links lose bandwidth / gain latency.
@@ -105,6 +107,11 @@ class FaultPlan {
   /// Parses a plan from JSON text; throws Error on malformed input or
   /// out-of-range parameters (e.g. rate >= 1, bandwidth_factor <= 0).
   [[nodiscard]] static FaultPlan fromJson(std::string_view text);
+
+  /// Builds a plan from an already-parsed JSON document — the `fromJson`
+  /// back half, exposed for callers that embed a plan inside a larger
+  /// document (the serve campaign request's inline "fault_plan" object).
+  [[nodiscard]] static FaultPlan fromJsonValue(const JsonValue& doc);
 
   /// Reads and parses a plan file.
   [[nodiscard]] static FaultPlan load(const std::string& path);

@@ -53,6 +53,14 @@ const std::vector<JsonValue>& JsonValue::asArray() const {
   return array_;
 }
 
+const std::map<std::string, JsonValue, std::less<>>& JsonValue::asObject()
+    const {
+  if (kind_ != Kind::Object) {
+    throw Error("JSON value is not an object");
+  }
+  return object_;
+}
+
 const JsonValue* JsonValue::find(std::string_view key) const {
   if (kind_ != Kind::Object) {
     return nullptr;

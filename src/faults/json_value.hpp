@@ -35,6 +35,8 @@ class JsonValue {
   [[nodiscard]] double asNumber() const;
   [[nodiscard]] const std::string& asString() const;
   [[nodiscard]] const std::vector<JsonValue>& asArray() const;
+  [[nodiscard]] const std::map<std::string, JsonValue, std::less<>>& asObject()
+      const;
 
   /// Object member lookup; nullptr when absent (or not an object).
   [[nodiscard]] const JsonValue* find(std::string_view key) const;

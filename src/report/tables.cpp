@@ -1,7 +1,9 @@
 #include "report/tables.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "babelstream/driver.hpp"
@@ -80,6 +82,15 @@ template <typename Body, typename Save, typename Load, typename StoreSave>
 void runCell(const TableOptions& opt, const Machine& m, std::string cell,
              CellIncident& slot, Body&& body, Save&& save, Load&& load,
              StoreSave&& storeSave) {
+  // Cooperative cancellation is cell-grained: a set token skips cells that
+  // have not started (this check), cells already past it finish and
+  // journal normally, and the compute function throws CancelledError
+  // after the fan-out. A skipped slot keeps attempts == 0, so it is
+  // neither an incident nor a journal record — a --resume run re-measures
+  // exactly the skipped cells and lands byte-identical.
+  if (opt.cancel != nullptr && opt.cancel->requested()) {
+    return;
+  }
   slot.machine = m.info.name;
   slot.cell = std::move(cell);
   // One trace scope per cell (covering retries): model objects the body
@@ -103,9 +114,22 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
       return;
     }
   }
+  if (opt.testCellDelayMs > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.testCellDelayMs));
+  }
   std::optional<SampleCapture> capture;
   const int maxAttempts = std::max(1, opt.cellRetries + 1);
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    if (attempt > 0 && opt.retryBackoffBaseMs > 0) {
+      // Capped exponential backoff before each retry. Wall-clock only:
+      // the retry's noise salt below is derived from the attempt index,
+      // not from time, so backed-off output matches immediate retries.
+      const int shift = std::min(attempt - 1, 20);
+      const long delay =
+          std::min(static_cast<long>(opt.retryBackoffMaxMs),
+                   static_cast<long>(opt.retryBackoffBaseMs) << shift);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
     ++slot.attempts;
     try {
       if (wantStore) {
@@ -190,6 +214,34 @@ void collectIncidents(std::vector<CellIncident> slots,
     if (slot.attempts > 1 || slot.failed) {
       out->push_back(std::move(slot));
     }
+  }
+}
+
+/// Applies the optional TableOptions machine subset to a registry list,
+/// preserving registry order. Unknown names simply select nothing here;
+/// callers that must reject them (the serve request decoder) validate
+/// against the registry up front.
+std::vector<const Machine*> filteredMachines(std::vector<const Machine*> ms,
+                                             const TableOptions& opt) {
+  if (opt.machines == nullptr) {
+    return ms;
+  }
+  std::vector<const Machine*> out;
+  for (const Machine* m : ms) {
+    if (std::find(opt.machines->begin(), opt.machines->end(), m->info.name) !=
+        opt.machines->end()) {
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+/// Post-fan-out cancellation check shared by the compute functions: all
+/// in-flight cells have finished and journalled by the time the fan-out
+/// returns, so this is the safe point to abandon the partial table.
+void throwIfCancelled(const TableOptions& opt) {
+  if (opt.cancel != nullptr) {
+    opt.cancel->throwIfRequested();
   }
 }
 
@@ -378,7 +430,7 @@ OmpSweepResult ompSweep(const Machine& m, const TableOptions& opt,
 
 std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
                                    std::vector<CellIncident>* incidents) {
-  const auto ms = machines::cpuMachines();
+  const auto ms = filteredMachines(machines::cpuMachines(), opt);
   const MeasuredMachines measured(ms, opt.faults);
   std::vector<Cpu4Row> rows(ms.size());
   for (std::size_t i = 0; i < ms.size(); ++i) {
@@ -477,6 +529,7 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
         }
       },
       opt.jobs);
+  throwIfCancelled(opt);
   collectIncidents(std::move(slots), incidents);
   return rows;
 }
@@ -527,7 +580,7 @@ struct GpuCellTask {
 
 std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
                                    std::vector<CellIncident>* incidents) {
-  const auto ms = machines::gpuMachines();
+  const auto ms = filteredMachines(machines::gpuMachines(), opt);
   const MeasuredMachines measured(ms, opt.faults);
   std::vector<Gpu5Row> rows(ms.size());
 
@@ -633,6 +686,7 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
         }
       },
       opt.jobs);
+  throwIfCancelled(opt);
   collectIncidents(std::move(slots), incidents);
   return rows;
 }
@@ -664,7 +718,7 @@ Table renderTable5(const std::vector<Gpu5Row>& rows,
 
 std::vector<Gpu6Row> computeTable6(const TableOptions& opt,
                                    std::vector<CellIncident>* incidents) {
-  const auto ms = machines::gpuMachines();
+  const auto ms = filteredMachines(machines::gpuMachines(), opt);
   const MeasuredMachines measured(ms, opt.faults);
   std::vector<Gpu6Row> rows(ms.size());
 
@@ -819,6 +873,7 @@ std::vector<Gpu6Row> computeTable6(const TableOptions& opt,
                 });
       },
       opt.jobs);
+  throwIfCancelled(opt);
   collectIncidents(std::move(slots), incidents);
   return rows;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "campaign/journal.hpp"
+#include "core/cancel.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
@@ -66,6 +67,31 @@ struct TableOptions {
   /// bit-identical by the determinism contract. The store must outlive
   /// the compute call.
   stats::ResultStore* store = nullptr;
+  /// Optional cooperative cancellation (see core/cancel.hpp): when the
+  /// token is set, cells that have not started yet are skipped, cells
+  /// already measuring finish and are journalled, and the compute call
+  /// then throws CancelledError instead of returning partial rows.
+  /// Serves the CLI's SIGINT/SIGTERM handling and the serve daemon's
+  /// watchdog/drain. The token must outlive the compute call.
+  const CancelToken* cancel = nullptr;
+  /// Optional machine-name subset (registry names, exact match): cells
+  /// of machines not in the list are neither measured nor rendered. A
+  /// serve campaign spec's "machines" field lands here; nullptr measures
+  /// the full registry (the CLI default). Must outlive the compute call.
+  const std::vector<std::string>* machines = nullptr;
+  /// Capped exponential backoff between cell retry attempts, for
+  /// transient failures that need time to clear (serve sets these; the
+  /// CLI default of 0 retries immediately, the historical behaviour).
+  /// Attempt k (k >= 1) sleeps min(retryBackoffMaxMs, retryBackoffBaseMs
+  /// << (k - 1)) milliseconds first. Wall-clock only: measured values
+  /// are unaffected, so output stays byte-identical.
+  int retryBackoffBaseMs = 0;
+  int retryBackoffMaxMs = 1000;
+  /// Test-only hook (the serve kill/watchdog suites): every cell
+  /// measurement sleeps this long before starting, making "the daemon is
+  /// mid-request" a deterministic state to hit from the outside. 0 in
+  /// production.
+  int testCellDelayMs = 0;
 };
 
 /// The campaign-configuration fingerprint of a set of table options: what

@@ -1,0 +1,253 @@
+#include "serve/http.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace nodebench::serve {
+
+namespace {
+
+/// One poll-guarded read. Returns 0 on EOF; throws on error/timeout.
+std::size_t readSome(int fd, char* buf, std::size_t cap, int timeoutMs) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, timeoutMs);
+    if (pr < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error(std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (pr == 0) {
+      throw Error("read timed out");
+    }
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error(std::string("read failed: ") + std::strerror(errno));
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Strict non-negative integer parse for Content-Length (no sign, no
+/// whitespace, no overflow past the body cap's magnitude).
+std::size_t parseContentLength(std::string_view s) {
+  if (s.empty() || s.size() > 9 ||
+      !std::all_of(s.begin(), s.end(),
+                   [](char c) { return c >= '0' && c <= '9'; })) {
+    throw Error("invalid Content-Length");
+  }
+  std::size_t v = 0;
+  for (const char c : s) {
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return v;
+}
+
+void setCloexec(int fd) {
+  // Best-effort: a leaked listener fd in a forked child is a nuisance,
+  // not a correctness issue.
+  (void)::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+}  // namespace
+
+std::optional<HttpRequest> readHttpRequest(int fd, int timeoutMs) {
+  std::string buf;
+  std::size_t headerEnd = std::string::npos;
+  char chunk[4096];
+  while (headerEnd == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) {
+      throw Error("request header block exceeds " +
+                  std::to_string(kMaxHeaderBytes) + " bytes");
+    }
+    const std::size_t n = readSome(fd, chunk, sizeof(chunk), timeoutMs);
+    if (n == 0) {
+      if (buf.empty()) {
+        return std::nullopt;  // clean EOF: client connected and left
+      }
+      throw Error("connection closed mid-header");
+    }
+    buf.append(chunk, n);
+    headerEnd = buf.find("\r\n\r\n");
+  }
+
+  HttpRequest req;
+  const std::string_view head(buf.data(), headerEnd);
+  std::size_t lineEnd = head.find("\r\n");
+  const std::string_view requestLine =
+      head.substr(0, lineEnd == std::string_view::npos ? head.size()
+                                                       : lineEnd);
+  const std::size_t sp1 = requestLine.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : requestLine.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    throw Error("malformed request line");
+  }
+  req.method = std::string(requestLine.substr(0, sp1));
+  req.target = std::string(requestLine.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/') {
+    throw Error("malformed request line");
+  }
+
+  std::size_t pos = lineEnd == std::string_view::npos ? head.size()
+                                                      : lineEnd + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) {
+      end = head.size();
+    }
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw Error("malformed header line");
+    }
+    std::string key = toLower(std::string(line.substr(0, colon)));
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\r')) {
+      value.remove_suffix(1);
+    }
+    req.headers[std::move(key)] = std::string(value);
+  }
+
+  std::size_t bodyLen = 0;
+  if (const auto it = req.headers.find("content-length");
+      it != req.headers.end()) {
+    bodyLen = parseContentLength(it->second);
+  }
+  if (bodyLen > kMaxBodyBytes) {
+    throw Error("request body exceeds " + std::to_string(kMaxBodyBytes) +
+                " bytes");
+  }
+  req.body = buf.substr(headerEnd + 4);
+  if (req.body.size() > bodyLen) {
+    throw Error("request carries more body bytes than Content-Length");
+  }
+  while (req.body.size() < bodyLen) {
+    const std::size_t n = readSome(
+        fd, chunk, std::min(sizeof(chunk), bodyLen - req.body.size()),
+        timeoutMs);
+    if (n == 0) {
+      throw Error("connection closed mid-body");
+    }
+    req.body.append(chunk, n);
+  }
+  return req;
+}
+
+void writeHttpResponse(int fd, int status, std::string_view reason,
+                       std::string_view contentType, std::string_view body,
+                       int retryAfterSeconds) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(contentType) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (retryAfterSeconds >= 0) {
+    out += "Retry-After: " + std::to_string(retryAfterSeconds) + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // client gone; nothing useful to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+int listenUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  // A daemon that was SIGKILLed leaves its socket file behind; a fresh
+  // bind must replace it (connect()s to the stale file would hang).
+  (void)::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(std::string("cannot create unix socket: ") +
+                std::strerror(errno));
+  }
+  setCloexec(fd);
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot listen on unix socket " + path + ": " + err);
+  }
+  return fd;
+}
+
+int listenTcp(std::uint16_t port, std::uint16_t* boundPort) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(std::string("cannot create TCP socket: ") +
+                std::strerror(errno));
+  }
+  setCloexec(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local-only by design
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot listen on 127.0.0.1:" + std::to_string(port) + ": " +
+                err);
+  }
+  if (boundPort != nullptr) {
+    struct sockaddr_in got;
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&got), &len) !=
+        0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      throw Error(std::string("getsockname failed: ") + err);
+    }
+    *boundPort = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace nodebench::serve

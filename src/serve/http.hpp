@@ -1,0 +1,59 @@
+#pragma once
+/// \file http.hpp
+/// \brief Minimal HTTP/1.1 request/response over local sockets.
+///
+/// The daemon speaks just enough HTTP for `curl --unix-socket` and
+/// netcat to be its clients: one request per connection (the response
+/// always carries `Connection: close`), a bounded header block, a
+/// bounded `Content-Length` body, and nothing else — no chunked
+/// encoding, no keep-alive, no TLS. Inputs are untrusted: every bound
+/// is enforced before allocation, reads are poll-timed so a stalled
+/// client cannot pin an I/O thread forever, and any protocol deviation
+/// is a clean 400, never a crash.
+///
+/// Listeners are local-only by construction: a unix-domain socket path
+/// or a TCP socket bound to 127.0.0.1. There is deliberately no way to
+/// bind a public interface.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nodebench::serve {
+
+/// Caps on untrusted input. Exposed for the tests that probe them.
+inline constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+inline constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string target;  ///< Request path, e.g. "/requests".
+  std::map<std::string, std::string> headers;  ///< Keys lower-cased.
+  std::string body;
+};
+
+/// Reads one request from `fd`. Returns std::nullopt on clean EOF
+/// before any bytes; throws Error (message suitable for a 400 body) on
+/// protocol violations, oversized input, or a read stalled past
+/// `timeoutMs`.
+[[nodiscard]] std::optional<HttpRequest> readHttpRequest(int fd,
+                                                         int timeoutMs);
+
+/// Writes a complete response (status line, Content-Length,
+/// Connection: close, optional Retry-After, body). Best-effort: write
+/// errors are swallowed — the client is gone, the daemon is not.
+void writeHttpResponse(int fd, int status, std::string_view reason,
+                       std::string_view contentType, std::string_view body,
+                       int retryAfterSeconds = -1);
+
+/// Creates a listening unix-domain socket at `path`, replacing a stale
+/// socket file left by a crashed daemon. Throws Error on failure.
+[[nodiscard]] int listenUnix(const std::string& path);
+
+/// Creates a listening TCP socket on 127.0.0.1:`port` (0 = ephemeral);
+/// `boundPort` receives the actual port. Throws Error on failure.
+[[nodiscard]] int listenTcp(std::uint16_t port, std::uint16_t* boundPort);
+
+}  // namespace nodebench::serve

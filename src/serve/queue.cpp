@@ -1,0 +1,134 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace nodebench::serve {
+
+const char* admitName(Admit a) {
+  switch (a) {
+    case Admit::Admitted: return "admitted";
+    case Admit::QueueFull: return "queue-full";
+    case Admit::TenantQueueFull: return "tenant-queue-full";
+    case Admit::TenantInflightFull: return "tenant-inflight-full";
+    case Admit::Draining: return "draining";
+  }
+  return "?";
+}
+
+Admit AdmissionQueue::tryPush(Ticket t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    ++rejected_;
+    return Admit::Draining;
+  }
+  if (queue_.size() >= limits_.maxQueueDepth) {
+    ++rejected_;
+    return Admit::QueueFull;
+  }
+  // A tenant's queueable budget is its queued cap plus its currently
+  // free executor slots: queueing into a free slot is immediately
+  // popped, so it never really sits in the queue. When the budget is
+  // exhausted the reason distinguishes "your queue is full" from "you
+  // are at your concurrency cap" (the latter only arises with a zero
+  // queued cap, the synchronous per-tenant configuration).
+  const std::size_t inflight = tenantInflight_[t.tenant];
+  const std::size_t freeSlots = limits_.maxInflightPerTenant > inflight
+                                    ? limits_.maxInflightPerTenant - inflight
+                                    : 0;
+  const std::size_t budget = limits_.maxQueuedPerTenant + freeSlots;
+  const std::size_t queued = tenantQueued_[t.tenant];
+  if (queued >= budget) {
+    ++rejected_;
+    return inflight >= limits_.maxInflightPerTenant
+               ? Admit::TenantInflightFull
+               : Admit::TenantQueueFull;
+  }
+  ++tenantQueued_[t.tenant];
+  ++admitted_;
+  queue_.push_back(std::move(t));
+  cv_.notify_one();
+  return Admit::Admitted;
+}
+
+void AdmissionQueue::pushRecovered(Ticket t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tenantQueued_[t.tenant];
+  ++admitted_;
+  queue_.push_back(std::move(t));
+  cv_.notify_one();
+}
+
+std::optional<Ticket> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // First queued ticket whose tenant has a free inflight slot; later
+    // tenants overtake a capped one instead of head-of-line blocking.
+    const auto eligible =
+        std::find_if(queue_.begin(), queue_.end(), [&](const Ticket& t) {
+          return tenantInflight_[t.tenant] < limits_.maxInflightPerTenant;
+        });
+    if (eligible != queue_.end()) {
+      Ticket t = std::move(*eligible);
+      queue_.erase(eligible);
+      --tenantQueued_[t.tenant];
+      ++tenantInflight_[t.tenant];
+      ++inflight_;
+      return t;
+    }
+    if (closed_ && queue_.empty()) {
+      return std::nullopt;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void AdmissionQueue::finish(const Ticket& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenantInflight_.find(t.tenant);
+  if (it != tenantInflight_.end() && it->second > 0) {
+    --it->second;
+  }
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+  ++completed_;
+  // A freed slot may make a capped tenant's queued work eligible, and
+  // drain waits for closed && empty && idle — wake everyone.
+  cv_.notify_all();
+}
+
+void AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+int AdmissionQueue::retryAfterSeconds(Admit a) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (a == Admit::QueueFull) {
+    // Proportional to the backlog: with N requests queued ahead, coming
+    // back in ~N seconds is the earliest a slot can plausibly be free.
+    return static_cast<int>(std::min<std::size_t>(30, 1 + queue_.size()));
+  }
+  // Per-tenant caps clear as soon as one of the tenant's own requests
+  // finishes; retry soon.
+  return 1;
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.queued = queue_.size();
+  s.inflight = inflight_;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  return s;
+}
+
+}  // namespace nodebench::serve

@@ -1,0 +1,118 @@
+#pragma once
+/// \file queue.hpp
+/// \brief Bounded admission queue with per-tenant quotas for the daemon.
+///
+/// Back-pressure lives here. The daemon never buffers unbounded work:
+/// the queue has a global depth cap, each tenant has a queued cap and a
+/// concurrent-execution cap, and an over-limit submission is *rejected
+/// at admission time* with a structured reason and a retry-after hint —
+/// the HTTP layer turns that into a 429. Rejecting early beats queueing
+/// and timing out: the client knows immediately, and a misbehaving
+/// tenant cannot starve the others (their quotas are independent, and
+/// `pop` lets a later tenant's work overtake an earlier tenant that is
+/// at its concurrency cap).
+///
+/// Thread-safety: all members are callable from any thread; `pop`
+/// blocks. `close` begins drain — no further admissions, poppers finish
+/// the remaining queue and then see std::nullopt. The tsan concurrency
+/// suite hammers admit/pop/finish from many threads
+/// (tests/serve/queue_test.cpp).
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace nodebench::serve {
+
+/// One queued unit of work: a request id plus the tenant it counts
+/// against. The payload itself lives in the server's request table.
+struct Ticket {
+  std::string id;
+  std::string tenant;
+};
+
+/// Admission limits. Defaults are deliberately small: this is a
+/// measurement daemon, not a job scheduler — a deep queue only hides
+/// how far behind the executors are.
+struct QueueLimits {
+  std::size_t maxQueueDepth = 8;        ///< Global queued cap.
+  std::size_t maxQueuedPerTenant = 4;   ///< Per-tenant queued cap.
+  std::size_t maxInflightPerTenant = 1; ///< Per-tenant executing cap.
+};
+
+/// Admission outcome. Everything except Admitted is a rejection the
+/// HTTP layer reports without side effects.
+enum class Admit {
+  Admitted = 0,
+  QueueFull,          ///< Global depth cap reached.
+  TenantQueueFull,    ///< This tenant's queued cap reached.
+  TenantInflightFull, ///< Tenant queued cap fine, but queueing more than
+                      ///< it could ever run is pointless — still counted
+                      ///< per-tenant at pop time, reported at admission
+                      ///< only when queued + inflight hits both caps.
+  Draining,           ///< close() was called; daemon is shutting down.
+};
+
+[[nodiscard]] const char* admitName(Admit a);
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(QueueLimits limits) : limits_(limits) {}
+
+  /// Admission control + enqueue; every rejection leaves the queue
+  /// untouched.
+  [[nodiscard]] Admit tryPush(Ticket t);
+
+  /// Enqueues bypassing the admission limits — the crash-recovery path:
+  /// work that was already admitted before a restart must not bounce
+  /// off its own quota on the way back in.
+  void pushRecovered(Ticket t);
+
+  /// Blocks for the next ticket whose tenant is below its inflight cap
+  /// (later tenants may overtake a capped one). Returns std::nullopt
+  /// once the queue is closed *and* empty. The popped tenant's inflight
+  /// count is incremented; the caller must pair with finish().
+  [[nodiscard]] std::optional<Ticket> pop();
+
+  /// Marks a popped ticket's execution finished (success or not).
+  void finish(const Ticket& t);
+
+  /// Begins drain: all further tryPush calls return Draining, poppers
+  /// drain the remaining queue and then unblock with std::nullopt.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+
+  /// Retry-after hint (seconds) for a rejection: proportional to the
+  /// backlog for a global-full rejection, minimal for per-tenant caps
+  /// (those clear as soon as one of the tenant's own requests finishes).
+  [[nodiscard]] int retryAfterSeconds(Admit a) const;
+
+  struct Stats {
+    std::size_t queued = 0;
+    std::size_t inflight = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket> queue_;
+  std::map<std::string, std::size_t, std::less<>> tenantQueued_;
+  std::map<std::string, std::size_t, std::less<>> tenantInflight_;
+  QueueLimits limits_;
+  bool closed_ = false;
+  std::size_t inflight_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace nodebench::serve

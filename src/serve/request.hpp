@@ -1,0 +1,70 @@
+#pragma once
+/// \file request.hpp
+/// \brief Campaign request decoding and validation for `nodebench serve`.
+///
+/// A campaign request is the daemon's unit of work: which tables to
+/// regenerate, over which machines, with how many repetitions, under
+/// which fault plan — plus the serve-layer envelope (tenant identity,
+/// watchdog budget, whether the HTTP response should wait for the
+/// result). Requests arrive as JSON over a local socket from untrusted
+/// clients, so the decoder is strict (unknown fields and out-of-range
+/// values are errors, never guesses) and is a fuzz target
+/// (tests/fuzz/fuzz_serve.cpp).
+///
+/// `canonicalJson()` renders the decoded request back to a normalized
+/// form — sorted deduplicated tables, registry-canonical machine names,
+/// every field explicit, doubles with full round-trip precision. That is
+/// what the daemon persists to its state directory: crash recovery
+/// re-parses the canonical spec, so a resumed request reconstructs the
+/// exact configuration (and therefore, by the determinism contract,
+/// byte-identical results).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "report/tables.hpp"
+
+namespace nodebench::serve {
+
+/// Decoded, validated campaign request.
+struct CampaignRequest {
+  std::string tenant = "default";  ///< Quota key: [A-Za-z0-9_-]{1,64}.
+  std::vector<int> tables;         ///< Sorted unique subset of 4..7.
+  int runs = 100;                  ///< Binary runs per cell (1..100000).
+  int jobs = 1;                    ///< Harness workers (1..256).
+  std::vector<std::string> machines;  ///< Canonical names; empty = all.
+  std::optional<faults::FaultPlan> faultPlan;  ///< Inline "fault_plan".
+  bool storeSamples = false;  ///< Record raw samples (NBRS store).
+  int watchdogMs = 0;         ///< Wall-clock budget; 0 = unlimited.
+  bool wait = true;           ///< POST response carries the result.
+  int cellRetries = 2;        ///< Extra attempts per failing cell.
+  int retryBackoffBaseMs = 0;    ///< Capped-exponential retry backoff.
+  int retryBackoffMaxMs = 1000;  ///< Backoff cap.
+  int debugCellDelayMs = 0;  ///< Test hook; daemon gates on --test-hooks.
+
+  /// Parses and validates a request document. Throws Error with a
+  /// message naming the offending field on any malformed, unknown or
+  /// out-of-range input. This is the fuzz-target entry point.
+  [[nodiscard]] static CampaignRequest fromJson(std::string_view text);
+
+  /// Normalized re-rendering of this request (see file comment). A
+  /// decode of the canonical form re-canonicalizes to the same bytes.
+  [[nodiscard]] std::string canonicalJson() const;
+
+  /// The measurement-relevant identity of this request: every field
+  /// that can change a measured value, excluding the serve envelope
+  /// (tenant, wait, watchdog) and storage options. Two requests with
+  /// equal keys produce byte-identical tables, which is what makes the
+  /// daemon's process-wide memoization sound.
+  [[nodiscard]] std::string measurementKey() const;
+
+  /// Harness options for executing this request. The returned options
+  /// hold pointers into this request (fault plan, machine filter), so
+  /// the request must outlive them.
+  [[nodiscard]] report::TableOptions tableOptions() const;
+};
+
+}  // namespace nodebench::serve

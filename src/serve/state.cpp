@@ -1,0 +1,161 @@
+#include "serve/state.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+
+#include "campaign/io.hpp"
+#include "core/error.hpp"
+
+namespace nodebench::serve {
+
+namespace fs = std::filesystem;
+namespace io = campaign::io;
+
+namespace {
+
+constexpr const char* kWhat = "serve state";
+constexpr const char* kSpecSuffix = ".spec.json";
+constexpr const char* kResultSuffix = ".result.json";
+
+/// "req-000042" -> 42; nullopt for anything that is not exactly a
+/// well-formed request id (the state dir may contain foreign files).
+std::optional<std::uint64_t> parseRequestId(std::string_view name) {
+  constexpr std::string_view prefix = "req-";
+  if (name.size() != prefix.size() + 6 ||
+      name.substr(0, prefix.size()) != prefix) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (const char c : name.substr(prefix.size())) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::string formatRequestId(std::uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "req-%06llu",
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::optional<std::string> readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw Error("failed reading " + path);
+  }
+  return text;
+}
+
+std::span<const std::uint8_t> asBytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+StateDir::StateDir(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec || !fs::is_directory(root_)) {
+    throw Error("cannot create state directory " + root_ +
+                (ec ? ": " + ec.message() : ""));
+  }
+  // Continue numbering past the highest request already on disk, so a
+  // restarted daemon never reuses an id (reuse would make a recovered
+  // request and a new one fight over the same journal).
+  std::uint64_t maxSeen = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t dot = name.find('.');
+    if (const auto id = parseRequestId(
+            dot == std::string::npos ? name : name.substr(0, dot))) {
+      maxSeen = std::max(maxSeen, *id);
+    }
+  }
+  nextId_ = maxSeen + 1;
+}
+
+std::string StateDir::nextRequestId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return formatRequestId(nextId_++);
+}
+
+std::string StateDir::specPath(const std::string& id) const {
+  return (fs::path(root_) / (id + kSpecSuffix)).string();
+}
+
+std::string StateDir::journalPath(const std::string& id) const {
+  return (fs::path(root_) / (id + ".journal")).string();
+}
+
+std::string StateDir::storePath(const std::string& id) const {
+  return (fs::path(root_) / (id + ".store")).string();
+}
+
+std::string StateDir::resultPath(const std::string& id) const {
+  return (fs::path(root_) / (id + kResultSuffix)).string();
+}
+
+void StateDir::writeSpec(const std::string& id, const std::string& json)
+    const {
+  io::atomicWrite(specPath(id), asBytes(json), kWhat);
+}
+
+void StateDir::writeResult(const std::string& id, const std::string& json)
+    const {
+  io::atomicWrite(resultPath(id), asBytes(json), kWhat);
+}
+
+void StateDir::removeSpec(const std::string& id) const {
+  std::error_code ec;
+  fs::remove(specPath(id), ec);  // best-effort; a leftover spec only
+                                 // means a spurious resume later
+}
+
+std::optional<std::string> StateDir::readSpec(const std::string& id) const {
+  return readWholeFile(specPath(id));
+}
+
+std::optional<std::string> StateDir::readResult(const std::string& id) const {
+  return readWholeFile(resultPath(id));
+}
+
+bool StateDir::knownRequest(const std::string& id) const {
+  std::error_code ec;
+  return fs::exists(specPath(id), ec);
+}
+
+std::vector<std::string> StateDir::interruptedRequests() const {
+  std::vector<std::string> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view suffix = kSpecSuffix;
+    if (name.size() <= suffix.size() ||
+        name.substr(name.size() - suffix.size()) != suffix) {
+      continue;
+    }
+    const std::string id = name.substr(0, name.size() - suffix.size());
+    if (!parseRequestId(id)) {
+      continue;
+    }
+    std::error_code ec;
+    if (!fs::exists(resultPath(id), ec)) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nodebench::serve

@@ -1,0 +1,75 @@
+#pragma once
+/// \file state.hpp
+/// \brief The daemon's on-disk state directory: one spec, journal,
+/// store and result file per request.
+///
+/// Layout under the state root:
+///
+///   req-000001.spec.json   canonical request spec (atomic write)
+///   req-000001.journal     campaign journal (crash-safe, append-only)
+///   req-000001.store       NBRS results store (when store_samples)
+///   req-000001.result.json final result document (atomic write)
+///
+/// The files double as the crash-recovery protocol: a spec *without* a
+/// result is a request the daemon accepted but did not finish — after a
+/// SIGKILL or a drain, `--resume` scans for exactly those, re-parses
+/// the canonical spec, and re-executes against the existing journal.
+/// Completed cells replay from the journal and skipped ones re-measure
+/// deterministically, so the recovered result is byte-identical to what
+/// an uninterrupted run would have produced. Because the result write
+/// is atomic (temp + rename via campaign::io), "spec without result" is
+/// an unambiguous state: there is no torn result file to misread.
+///
+/// Request ids are dense, zero-padded and monotonic; after a restart
+/// the counter continues past the highest id on disk, so recovered and
+/// new requests never collide.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nodebench::serve {
+
+class StateDir {
+ public:
+  /// Opens (creating if needed) the state directory and initializes the
+  /// id counter past any existing requests. Throws Error when the path
+  /// exists but is not a directory, or cannot be created.
+  explicit StateDir(std::string root);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  /// Allocates the next request id ("req-000042"), unique within and
+  /// across daemon lifetimes on this state dir.
+  [[nodiscard]] std::string nextRequestId();
+
+  [[nodiscard]] std::string specPath(const std::string& id) const;
+  [[nodiscard]] std::string journalPath(const std::string& id) const;
+  [[nodiscard]] std::string storePath(const std::string& id) const;
+  [[nodiscard]] std::string resultPath(const std::string& id) const;
+
+  /// Atomic spec/result writes (campaign::io::atomicWrite).
+  void writeSpec(const std::string& id, const std::string& json) const;
+  void writeResult(const std::string& id, const std::string& json) const;
+  void removeSpec(const std::string& id) const;
+
+  [[nodiscard]] std::optional<std::string> readSpec(
+      const std::string& id) const;
+  [[nodiscard]] std::optional<std::string> readResult(
+      const std::string& id) const;
+
+  /// True when `id` names a known request (a spec file exists).
+  [[nodiscard]] bool knownRequest(const std::string& id) const;
+
+  /// The crash-recovery scan: ids with a spec but no result, sorted.
+  [[nodiscard]] std::vector<std::string> interruptedRequests() const;
+
+ private:
+  std::string root_;
+  std::mutex mu_;
+  std::uint64_t nextId_ = 1;
+};
+
+}  // namespace nodebench::serve

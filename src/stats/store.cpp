@@ -10,6 +10,7 @@
 #include <fstream>
 #include <utility>
 
+#include "campaign/io.hpp"
 #include "core/checksum.hpp"
 #include "core/utf8.hpp"
 
@@ -17,8 +18,11 @@ namespace nodebench::stats {
 
 namespace {
 
+namespace io = campaign::io;
+
 constexpr char kMagic[4] = {'N', 'B', 'R', 'S'};
 constexpr std::uint32_t kSchemaVersion = 1;
+constexpr const char* kWhat = "store";  ///< io:: error-text label.
 
 /// Defensive decode limits. A record carries a full sample vector (8
 /// bytes per repetition), so the per-record cap is far above the
@@ -30,66 +34,6 @@ constexpr std::uint32_t kMaxSampleCount = 1u << 22;
 constexpr std::uintmax_t kMaxStoreBytes = 512ull << 20;
 
 std::string errnoText() { return std::strerror(errno); }
-
-void writeAll(int fd, std::span<const std::uint8_t> bytes,
-              const std::string& path) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw Error("store write failed: " + path + ": " + errnoText());
-    }
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-void fsyncOrThrow(int fd, const std::string& path) {
-  if (::fsync(fd) != 0) {
-    throw Error("store fsync failed: " + path + ": " + errnoText());
-  }
-}
-
-/// Best-effort directory sync after a rename — required for the rename
-/// itself to be durable on POSIX filesystems.
-void syncParentDir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir =
-      slash == std::string::npos ? "." : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    (void)::fsync(fd);
-    ::close(fd);
-  }
-}
-
-/// Atomically replaces `path` with `content` (temp + fsync + rename).
-void atomicWrite(const std::string& path,
-                 std::span<const std::uint8_t> content) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw Error("cannot create store temp file: " + tmp + ": " + errnoText());
-  }
-  try {
-    writeAll(fd, content, tmp);
-    fsyncOrThrow(fd, tmp);
-  } catch (...) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    throw;
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string why = errnoText();
-    ::unlink(tmp.c_str());
-    throw Error("cannot rename store temp file into place: " + path + ": " +
-                why);
-  }
-  syncParentDir(path);
-}
 
 std::vector<std::uint8_t> readFileCapped(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -380,7 +324,7 @@ std::unique_ptr<ResultStore> ResultStore::create(
                 " (pass --resume to continue the recorded campaign, or "
                 "remove the file to start fresh)");
   }
-  atomicWrite(path, encodeHeader(config));
+  io::atomicWrite(path, encodeHeader(config), kWhat);
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
     throw Error("cannot reopen store for appending: " + path + ": " +
@@ -445,8 +389,7 @@ void ResultStore::append(SampleRecord record) {
     return;  // idempotent: `table all` recomputes Tables 5/6 for Table 7
   }
   const std::vector<std::uint8_t> framed = encodeRecord(record);
-  writeAll(fd_, framed, path_);
-  fsyncOrThrow(fd_, path_);
+  io::appendDurable(fd_, framed, path_, kWhat);
   cellKeys_.insert(cellKey(record.machine, record.cell));
   recordKeys_.insert(std::move(key));
 }

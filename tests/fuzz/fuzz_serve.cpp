@@ -1,0 +1,55 @@
+/// \file fuzz_serve.cpp
+/// \brief Fuzz target for the serve campaign-request decoder.
+///
+/// The daemon parses request bodies from untrusted local clients, so the
+/// full fromJson stack (JSON reader, strict field whitelist, range
+/// checks, inline fault-plan validation, machine-name canonicalization)
+/// is an input boundary. For inputs that decode, the canonical form is
+/// additionally required to re-decode to the same canonical bytes — the
+/// crash-recovery path re-parses persisted canonical specs, so a
+/// round-trip break there would surface as a resume failure in
+/// production.
+///
+/// Build as a standalone fuzzer with
+///   cmake -B build-fuzz -S . -DNODEBENCH_FUZZ=ON \
+///         -DCMAKE_CXX_COMPILER=clang++
+///   ./build-fuzz/tests/fuzz/nodebench_fuzz_serve tests/fuzz/corpus/serve
+/// The same harness runs deterministically (corpus + seeded mutations,
+/// no fuzzer runtime) inside ctest via fuzz_smoke_test.cpp.
+
+#include "fuzz_targets.hpp"
+
+#include <string>
+
+#include "core/error.hpp"
+#include "serve/request.hpp"
+
+namespace nodebench::fuzz {
+
+int runServeOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const serve::CampaignRequest req =
+        serve::CampaignRequest::fromJson(text);
+    // Decoded inputs must canonicalize stably (abort() under the fuzzer,
+    // test failure in the smoke suite, via the Error below).
+    const std::string canonical = req.canonicalJson();
+    if (serve::CampaignRequest::fromJson(canonical).canonicalJson() !=
+        canonical) {
+      throw std::logic_error("canonical form is not a fixed point");
+    }
+    (void)req.measurementKey();
+  } catch (const Error&) {
+    // Structured rejection is the expected outcome for most inputs.
+  }
+  return 0;
+}
+
+}  // namespace nodebench::fuzz
+
+#ifdef NODEBENCH_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return nodebench::fuzz::runServeOneInput(data, size);
+}
+#endif

@@ -207,6 +207,10 @@ TEST(FuzzSmoke, StoreCorpusAndTenThousandMutations) {
   drive(&runStoreOneInput, seeds, 0x6e62727335f67a31ull, 10'000);
 }
 
+TEST(FuzzSmoke, ServeCorpusAndTenThousandMutations) {
+  drive(&runServeOneInput, readCorpus("serve"), 0x7372765f667a3176ull, 10'000);
+}
+
 /// Cross-pollination: each format's bytes into the other decoders.
 /// Cheap, and catches "assumed the other format's framing" bugs —
 /// journal and store share their CRC framing but not their magic or
@@ -218,9 +222,14 @@ TEST(FuzzSmoke, CrossFormatInputsAreRejectedGracefully) {
   EXPECT_EQ(runStoreOneInput(journal.data(), journal.size()), 0);
   EXPECT_EQ(runJournalOneInput(store.data(), store.size()), 0);
   EXPECT_EQ(runJsonOneInput(store.data(), store.size()), 0);
+  EXPECT_EQ(runServeOneInput(journal.data(), journal.size()), 0);
+  EXPECT_EQ(runServeOneInput(store.data(), store.size()), 0);
   for (const Bytes& doc : readCorpus("json")) {
     EXPECT_EQ(runJournalOneInput(doc.data(), doc.size()), 0);
     EXPECT_EQ(runStoreOneInput(doc.data(), doc.size()), 0);
+    // Fault-plan documents are also near-miss serve requests (a serve
+    // spec embeds a plan under "fault_plan"), a good confusion corpus.
+    EXPECT_EQ(runServeOneInput(doc.data(), doc.size()), 0);
   }
 }
 

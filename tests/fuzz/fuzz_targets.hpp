@@ -24,4 +24,10 @@ int runJournalOneInput(const std::uint8_t* data, std::size_t size);
 /// Feeds `data` to the results-store decoder (stats::ResultStore::decode).
 int runStoreOneInput(const std::uint8_t* data, std::size_t size);
 
+/// Feeds `data` to the serve campaign-request decoder
+/// (serve::CampaignRequest::fromJson) and, for accepted inputs, checks
+/// the canonical re-rendering is a fixed point (the crash-recovery
+/// contract).
+int runServeOneInput(const std::uint8_t* data, std::size_t size);
+
 }  // namespace nodebench::fuzz

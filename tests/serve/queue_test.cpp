@@ -1,0 +1,157 @@
+/// \file queue_test.cpp
+/// \brief Admission-queue tests: global and per-tenant limits, the
+/// cross-tenant overtake in pop(), drain semantics, and a multi-threaded
+/// hammer that doubles as the tsan surface for the serve queue (this file
+/// is also built into nodebench_concurrency_tests).
+
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nodebench::serve {
+namespace {
+
+QueueLimits limits(std::size_t depth, std::size_t queued,
+                   std::size_t inflight) {
+  QueueLimits l;
+  l.maxQueueDepth = depth;
+  l.maxQueuedPerTenant = queued;
+  l.maxInflightPerTenant = inflight;
+  return l;
+}
+
+Ticket ticket(const std::string& tenant, int n) {
+  return Ticket{tenant + "-" + std::to_string(n), tenant};
+}
+
+TEST(AdmissionQueue, GlobalDepthCapRejectsWithQueueFull) {
+  AdmissionQueue q(limits(2, 10, 10));
+  EXPECT_EQ(q.tryPush(ticket("a", 1)), Admit::Admitted);
+  EXPECT_EQ(q.tryPush(ticket("b", 1)), Admit::Admitted);
+  EXPECT_EQ(q.tryPush(ticket("c", 1)), Admit::QueueFull);
+  EXPECT_GE(q.retryAfterSeconds(Admit::QueueFull), 1);
+}
+
+TEST(AdmissionQueue, TenantBudgetIsQueuedCapPlusFreeSlots) {
+  // queued cap 1, inflight cap 1: a tenant may hold one queued ticket
+  // plus one for its free executor slot, so the third is rejected.
+  AdmissionQueue q(limits(100, 1, 1));
+  EXPECT_EQ(q.tryPush(ticket("a", 1)), Admit::Admitted);
+  EXPECT_EQ(q.tryPush(ticket("a", 2)), Admit::Admitted);
+  EXPECT_EQ(q.tryPush(ticket("a", 3)), Admit::TenantQueueFull);
+  // Other tenants are unaffected by a's limits.
+  EXPECT_EQ(q.tryPush(ticket("b", 1)), Admit::Admitted);
+}
+
+TEST(AdmissionQueue, ZeroQueuedCapReportsInflightFull) {
+  // The synchronous per-tenant configuration: one running, none queued.
+  AdmissionQueue q(limits(100, 0, 1));
+  EXPECT_EQ(q.tryPush(ticket("a", 1)), Admit::Admitted);
+  const auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(q.tryPush(ticket("a", 2)), Admit::TenantInflightFull);
+  q.finish(*first);
+  EXPECT_EQ(q.tryPush(ticket("a", 3)), Admit::Admitted);
+}
+
+TEST(AdmissionQueue, PopLetsLaterTenantsOvertakeACappedOne) {
+  AdmissionQueue q(limits(100, 4, 1));
+  EXPECT_EQ(q.tryPush(ticket("a", 1)), Admit::Admitted);
+  EXPECT_EQ(q.tryPush(ticket("a", 2)), Admit::Admitted);
+  EXPECT_EQ(q.tryPush(ticket("b", 1)), Admit::Admitted);
+
+  const auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, "a-1");
+  // a is now at its inflight cap; the head of the queue is a-2, but pop
+  // must hand out b-1 instead of head-of-line blocking on a.
+  const auto second = q.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, "b-1");
+  q.finish(*first);
+  const auto third = q.pop();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->id, "a-2");
+}
+
+TEST(AdmissionQueue, CloseDrainsRemainingTicketsThenReturnsNullopt) {
+  AdmissionQueue q(limits(100, 10, 10));
+  EXPECT_EQ(q.tryPush(ticket("a", 1)), Admit::Admitted);
+  q.close();
+  EXPECT_EQ(q.tryPush(ticket("a", 2)), Admit::Draining);
+  const auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, "a-1");
+  q.finish(*first);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // stays closed
+}
+
+TEST(AdmissionQueue, RecoveredTicketsBypassAdmissionLimits) {
+  AdmissionQueue q(limits(1, 0, 1));
+  EXPECT_EQ(q.tryPush(ticket("a", 1)), Admit::Admitted);
+  EXPECT_EQ(q.tryPush(ticket("a", 2)), Admit::QueueFull);
+  q.pushRecovered(ticket("a", 3));  // over every limit, still queued
+  EXPECT_EQ(q.stats().queued, 2u);
+}
+
+TEST(AdmissionQueue, ConcurrentProducersConsumersAndStats) {
+  // The tsan surface: producers admit against live quotas while
+  // consumers pop/finish and a spectator polls stats. Every admitted
+  // ticket must be consumed exactly once.
+  AdmissionQueue q(limits(64, 8, 2));
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::atomic<int> pushed{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kProducers + 3);
+  for (int p = 0; p < kProducers; ++p) {
+    workers.emplace_back([&, p] {
+      const std::string tenant = "t" + std::to_string(p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.tryPush(ticket(tenant, i)) == Admit::Admitted) {
+          pushed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&] {
+      while (const auto t = q.pop()) {
+        popped.fetch_add(1);
+        q.finish(*t);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int i = 0; i < 200; ++i) {
+      (void)q.stats();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int p = 0; p < kProducers; ++p) {
+    workers[static_cast<std::size_t>(p)].join();
+  }
+  q.close();
+  for (std::size_t i = kProducers; i < workers.size(); ++i) {
+    workers[i].join();
+  }
+  EXPECT_EQ(popped.load(), pushed.load());
+  const auto s = q.stats();
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.inflight, 0u);
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(popped.load()));
+}
+
+}  // namespace
+}  // namespace nodebench::serve

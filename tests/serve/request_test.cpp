@@ -1,0 +1,127 @@
+/// \file request_test.cpp
+/// \brief Serve request decoder tests: strict validation (every rejection
+/// names its field), canonical-form round-trips, and the measurement-key
+/// envelope/measurement split that makes daemon memoization sound.
+
+#include "serve/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace nodebench::serve {
+namespace {
+
+TEST(ServeRequest, DefaultsFromEmptyObject) {
+  const CampaignRequest req = CampaignRequest::fromJson("{}");
+  EXPECT_EQ(req.tenant, "default");
+  EXPECT_EQ(req.tables, (std::vector<int>{4}));
+  EXPECT_EQ(req.runs, 100);
+  EXPECT_EQ(req.jobs, 1);
+  EXPECT_TRUE(req.machines.empty());
+  EXPECT_FALSE(req.faultPlan.has_value());
+  EXPECT_FALSE(req.storeSamples);
+  EXPECT_EQ(req.watchdogMs, 0);
+  EXPECT_TRUE(req.wait);
+}
+
+TEST(ServeRequest, TablesAreSortedAndDeduplicated) {
+  const CampaignRequest req =
+      CampaignRequest::fromJson(R"({"tables":[7,5,5,4]})");
+  EXPECT_EQ(req.tables, (std::vector<int>{4, 5, 7}));
+}
+
+TEST(ServeRequest, MachineNamesAreCanonicalizedAndSorted) {
+  const CampaignRequest req = CampaignRequest::fromJson(
+      R"({"machines":["theta","EAGLE","theta"]})");
+  EXPECT_EQ(req.machines, (std::vector<std::string>{"Eagle", "Theta"}));
+}
+
+TEST(ServeRequest, RejectionsNameTheField) {
+  const auto expectErrorMentioning = [](const std::string& doc,
+                                        const std::string& needle) {
+    try {
+      (void)CampaignRequest::fromJson(doc);
+      FAIL() << "accepted: " << doc;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << doc << " -> " << e.what();
+    }
+  };
+  expectErrorMentioning(R"({"bogus":1})", "bogus");
+  expectErrorMentioning(R"({"tables":[3]})", "tables");
+  expectErrorMentioning(R"({"tables":[]})", "tables");
+  expectErrorMentioning(R"({"runs":0})", "runs");
+  expectErrorMentioning(R"({"runs":2.5})", "runs");
+  expectErrorMentioning(R"({"jobs":1000})", "jobs");
+  expectErrorMentioning(R"({"tenant":"has space"})", "tenant");
+  expectErrorMentioning(R"({"tenant":""})", "tenant");
+  expectErrorMentioning(R"({"machines":["Atlantis"]})", "Atlantis");
+  expectErrorMentioning(R"({"watchdog_ms":-1})", "watchdog_ms");
+  expectErrorMentioning(R"({"seed":7})", "fault_plan");
+  expectErrorMentioning(
+      R"({"retry_backoff_base_ms":100,"retry_backoff_max_ms":10})",
+      "retry_backoff_max_ms");
+  expectErrorMentioning("[]", "object");
+  expectErrorMentioning("", "JSON");
+}
+
+TEST(ServeRequest, CanonicalJsonRoundTripsToSameBytes) {
+  const CampaignRequest req = CampaignRequest::fromJson(R"({
+    "tenant": "alice", "tables": [6,5], "runs": 7, "jobs": 2,
+    "machines": ["summit", "Frontier"],
+    "fault_plan": {"seed": 9,
+      "faults": [{"type": "link-degrade", "machine": "Frontier",
+                  "link": "A", "bandwidth_factor": 0.5}]},
+    "watchdog_ms": 1000, "wait": false, "cell_retries": 1,
+    "retry_backoff_base_ms": 5, "retry_backoff_max_ms": 40
+  })");
+  const std::string canonical = req.canonicalJson();
+  const CampaignRequest reparsed = CampaignRequest::fromJson(canonical);
+  EXPECT_EQ(reparsed.canonicalJson(), canonical);
+  EXPECT_EQ(reparsed.tenant, "alice");
+  EXPECT_EQ(reparsed.tables, (std::vector<int>{5, 6}));
+  EXPECT_EQ(reparsed.machines,
+            (std::vector<std::string>{"Frontier", "Summit"}));
+  ASSERT_TRUE(reparsed.faultPlan.has_value());
+  EXPECT_FALSE(reparsed.wait);
+}
+
+TEST(ServeRequest, MeasurementKeyIgnoresTheServeEnvelope) {
+  const CampaignRequest a = CampaignRequest::fromJson(
+      R"({"tenant":"alice","tables":[4],"runs":5,"watchdog_ms":99,
+          "wait":false,"jobs":2})");
+  const CampaignRequest b = CampaignRequest::fromJson(
+      R"({"tenant":"bob","tables":[4],"runs":5,"jobs":7})");
+  // Different tenant / watchdog / wait / jobs: same measured bytes by the
+  // determinism contract, so the keys must collide (that is the cache).
+  EXPECT_EQ(a.measurementKey(), b.measurementKey());
+
+  const CampaignRequest c =
+      CampaignRequest::fromJson(R"({"tables":[4],"runs":6})");
+  EXPECT_NE(a.measurementKey(), c.measurementKey());
+  const CampaignRequest d =
+      CampaignRequest::fromJson(R"({"tables":[4],"runs":5,
+                                    "machines":["Theta"]})");
+  EXPECT_NE(a.measurementKey(), d.measurementKey());
+}
+
+TEST(ServeRequest, TableOptionsReflectTheRequest) {
+  const CampaignRequest req = CampaignRequest::fromJson(
+      R"({"runs":9,"jobs":3,"machines":["Theta"],"cell_retries":5,
+          "retry_backoff_base_ms":2,"retry_backoff_max_ms":20})");
+  const report::TableOptions opt = req.tableOptions();
+  EXPECT_EQ(opt.binaryRuns, 9);
+  EXPECT_EQ(opt.jobs, 3);
+  ASSERT_NE(opt.machines, nullptr);
+  EXPECT_EQ(*opt.machines, req.machines);
+  EXPECT_EQ(opt.cellRetries, 5);
+  EXPECT_EQ(opt.retryBackoffBaseMs, 2);
+  EXPECT_EQ(opt.retryBackoffMaxMs, 20);
+  EXPECT_EQ(opt.faults, nullptr);
+}
+
+}  // namespace
+}  // namespace nodebench::serve

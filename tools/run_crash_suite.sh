@@ -16,6 +16,12 @@
 #    which lands exactly on an append boundary;
 #  - one SIGKILL at a random point, which may tear a record mid-write and
 #    must be recovered by torn-tail truncation on resume.
+# Then the graceful-interrupt contract: SIGTERM to a journaled run must
+# finish the in-flight cell, fsync, and exit 43, with --resume completing
+# the campaign byte-identically.
+# Finally the daemon: `nodebench serve` is SIGKILLed mid-request and
+# restarted with --resume; the recovered request's persisted result must
+# be byte-identical to the same request measured in a fresh state dir.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -101,6 +107,129 @@ if ! cmp -s "${workdir}/killed.txt" "${workdir}/baseline.txt"; then
   exit 1
 fi
 echo "   post-SIGKILL resume is byte-identical to the baseline"
+
+echo
+echo "== SIGTERM mid-campaign: graceful interrupt (exit 43), then resume =="
+journal="${workdir}/campaign_term.bin"
+rm -f "${journal}"
+# --test-cell-delay-ms slows every cell so the signal reliably lands
+# mid-campaign (the simulated campaign otherwise finishes in
+# milliseconds). The delay changes timing only, never output or the
+# journal fingerprint, so the resume below may drop it.
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+  --journal "${journal}" --test-cell-delay-ms 30 > "${workdir}/term.txt" \
+  2> "${workdir}/stderr_term.log" &
+victim=$!
+sleep 0.3
+kill -TERM "${victim}" 2>/dev/null || true
+rc=0
+wait "${victim}" || rc=$?
+if (( rc != 43 )); then
+  echo "error: SIGTERM produced exit ${rc} (wanted the interrupt code 43)" >&2
+  tail -5 "${workdir}/stderr_term.log" >&2
+  exit 1
+fi
+if [[ ! -f "${journal}" ]]; then
+  echo "error: exit 43 without a journal on disk" >&2
+  exit 1
+fi
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+  --journal "${journal}" --resume > "${workdir}/term.txt" \
+  2>> "${workdir}/stderr_term.log"
+if ! cmp -s "${workdir}/term.txt" "${workdir}/baseline.txt"; then
+  echo "error: post-SIGTERM resume differs from the uninterrupted run" >&2
+  diff "${workdir}/baseline.txt" "${workdir}/term.txt" | head -20 >&2
+  exit 1
+fi
+echo "   interrupted run exited 43 and resumed byte-identically"
+
+echo
+echo "== serve: SIGKILL the daemon mid-request, restart --resume =="
+if ! curl --help all 2>/dev/null | grep -q unix-socket; then
+  echo "   skipped: curl with --unix-socket support not available"
+else
+  sock="${workdir}/nb.sock"
+  state="${workdir}/serve_state"
+  ref_state="${workdir}/serve_ref_state"
+  # debug_cell_delay_ms needs --test-hooks and slows every cell enough
+  # that the SIGKILL below reliably lands mid-campaign.
+  request='{"tenant":"crashsuite","tables":[4],"runs":2,"machines":["Theta","Eagle"],"debug_cell_delay_ms":200,"wait":false}'
+
+  wait_healthz() {
+    local s="$1" i
+    for i in $(seq 1 200); do
+      if curl -sf --unix-socket "${s}" http://localhost/healthz \
+          > /dev/null 2>&1; then
+        return 0
+      fi
+      sleep 0.05
+    done
+    echo "error: daemon on ${s} never became healthy" >&2
+    return 1
+  }
+
+  "${nodebench}" serve --socket "${sock}" --state-dir "${state}" \
+    --test-hooks > "${workdir}/serve1.log" 2>&1 &
+  daemon=$!
+  wait_healthz "${sock}"
+  curl -sf --unix-socket "${sock}" -X POST -d "${request}" \
+    http://localhost/requests > /dev/null
+  sleep 0.6
+  kill -9 "${daemon}" 2>/dev/null || true
+  wait "${daemon}" 2>/dev/null || true
+  if [[ -f "${state}/req-000001.result.json" ]]; then
+    echo "error: request finished before the SIGKILL; raise the delay" >&2
+    exit 1
+  fi
+  if [[ ! -f "${state}/req-000001.spec.json" ]]; then
+    echo "error: no persisted spec for the in-flight request" >&2
+    exit 1
+  fi
+
+  "${nodebench}" serve --socket "${sock}" --state-dir "${state}" \
+    --test-hooks --resume > "${workdir}/serve2.log" 2>&1 &
+  daemon=$!
+  wait_healthz "${sock}"
+  for _ in $(seq 1 600); do
+    if [[ -f "${state}/req-000001.result.json" ]]; then
+      break
+    fi
+    sleep 0.05
+  done
+  if [[ ! -f "${state}/req-000001.result.json" ]]; then
+    echo "error: resumed daemon never finished the recovered request" >&2
+    tail -5 "${workdir}/serve2.log" >&2
+    exit 1
+  fi
+  kill -TERM "${daemon}" 2>/dev/null || true
+  rc=0
+  wait "${daemon}" || rc=$?
+  if (( rc != 0 )); then
+    echo "error: graceful drain exited ${rc} (wanted 0)" >&2
+    exit 1
+  fi
+
+  # Reference: the identical request against a fresh daemon and state
+  # dir, never interrupted. Same first request => same id, so the two
+  # result documents must match byte-for-byte.
+  "${nodebench}" serve --socket "${sock}" --state-dir "${ref_state}" \
+    --test-hooks > "${workdir}/serve_ref.log" 2>&1 &
+  daemon=$!
+  wait_healthz "${sock}"
+  curl -sf --unix-socket "${sock}" -X POST \
+    -d "${request/\"wait\":false/\"wait\":true}" \
+    http://localhost/requests > /dev/null
+  kill -TERM "${daemon}" 2>/dev/null || true
+  wait "${daemon}" 2>/dev/null || true
+  if ! cmp -s "${state}/req-000001.result.json" \
+       "${ref_state}/req-000001.result.json"; then
+    echo "error: recovered result differs from the uninterrupted run" >&2
+    diff "${ref_state}/req-000001.result.json" \
+         "${state}/req-000001.result.json" | head -5 >&2
+    exit 1
+  fi
+  echo "   recovered daemon result is byte-identical to the fresh run"
+fi
 
 echo
 echo "crash suite passed"

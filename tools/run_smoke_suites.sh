@@ -16,6 +16,13 @@
 #  - stats: the statistics engine + results store + regression gate
 #    (unit suites, the CLI gate chain, and the two-store compare demo
 #    against the real binary, tools/run_compare_demo.sh).
+#  - serve: the measurement daemon (request decoding, admission queue
+#    back-pressure/quotas, watchdog cancellation, drain + --resume
+#    byte-identity over a real unix socket, and the daemon SIGKILL
+#    section of the crash suite), plus the tsan-labelled concurrency
+#    binary, which carries the admission-queue stress test — under a
+#    -DNODEBENCH_SANITIZE=thread configure those queue/quota paths run
+#    race-checked.
 #  - simcore: scheduler-mode and closed-form fast-path determinism
 #    cross-checks (tests/simcore/), then the simulation-core
 #    microbenchmarks dumped to <build>/BENCH_simcore.json, then a gate
@@ -52,6 +59,15 @@ ctest --test-dir "${build_dir}" -L fuzz --output-on-failure
 echo
 echo "== stats suite (results store + regression gate) =="
 ctest --test-dir "${build_dir}" -L stats --output-on-failure
+
+echo
+echo "== serve suite (daemon: back-pressure, watchdog, drain, resume) =="
+ctest --test-dir "${build_dir}" -L serve --output-on-failure
+
+echo
+echo "== serve concurrency surface (tsan label; race-checked under =="
+echo "==   -DNODEBENCH_SANITIZE=thread configures)                 =="
+ctest --test-dir "${build_dir}" -L tsan --output-on-failure
 
 echo
 echo "== simcore suite (scheduler modes + fast-path determinism) =="
