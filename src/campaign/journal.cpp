@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "campaign/io.hpp"
+#include "campaign/shard.hpp"
 #include "core/checksum.hpp"
 #include "core/utf8.hpp"
 #include "trace/trace.hpp"
@@ -227,6 +228,17 @@ std::string describeConfigMismatch(const CampaignConfig& recorded,
                 std::to_string(recorded.mpiMessageSize),
                 std::to_string(current.mpiMessageSize));
   }
+  const auto shardText = [](const CampaignConfig& c) {
+    if (c.shardCount == 0) {
+      return std::string("unsharded");
+    }
+    return std::to_string(c.shardIndex) + "/" + std::to_string(c.shardCount);
+  };
+  if (recorded.shardIndex != current.shardIndex ||
+      recorded.shardCount != current.shardCount) {
+    return diff("the shard spec (--shard)", shardText(recorded),
+                shardText(current));
+  }
   // Note: `jobs` is deliberately not compared — output is byte-identical
   // at any worker count, so resuming at a different --jobs is safe.
   return {};
@@ -245,6 +257,13 @@ std::vector<std::uint8_t> Journal::encodeHeader(const CampaignConfig& config) {
   w.putU64(config.cpuArrayBytes);
   w.putU64(config.gpuArrayBytes);
   w.putU64(config.mpiMessageSize);
+  if (config.shardCount != 0) {
+    // Optional shard extension: written only when sharded so unsharded
+    // journals stay byte-identical to the pre-shard format (and a merged
+    // journal stays comparable to a single-process run's bytes).
+    w.putU32(config.shardIndex);
+    w.putU32(config.shardCount);
+  }
 
   std::vector<std::uint8_t> out(kMagic, kMagic + 4);
   for (int i = 0; i < 4; ++i) {
@@ -308,6 +327,19 @@ Journal::Decoded Journal::decode(std::span<const std::uint8_t> bytes) {
     out.config.cpuArrayBytes = r.u64();
     out.config.gpuArrayBytes = r.u64();
     out.config.mpiMessageSize = r.u64();
+    if (!r.atEnd()) {
+      // Shard extension (present only on --shard journals).
+      out.config.shardIndex = r.u32();
+      out.config.shardCount = r.u32();
+      if (out.config.shardCount == 0 ||
+          out.config.shardCount > kMaxShardCount ||
+          out.config.shardIndex >= out.config.shardCount) {
+        throw JournalCorruptError(
+            "journal header carries an invalid shard spec " +
+            std::to_string(out.config.shardIndex) + "/" +
+            std::to_string(out.config.shardCount));
+      }
+    }
     if (!r.atEnd()) {
       throw JournalCorruptError("journal header carries unexpected bytes");
     }
@@ -498,7 +530,14 @@ void Journal::append(CellRecord record) {
   const std::vector<std::uint8_t> framed = encodeRecord(record);
   io::appendDurable(fd_, framed, path_, kWhat);
   traceJournalEvent(trace::Category::JournalAppend, framed.size());
+  const bool isCell = !record.machine.empty();
   records_.emplace(std::move(key), std::move(record));
+  if (!isCell) {
+    // Shard manifests (machine == "") are bookkeeping, not measurements:
+    // they neither count toward --crash-after-cell nor toward
+    // appendedThisProcess(), so "crash after N cells" still means cells.
+    return;
+  }
   ++appended_;
   if (crashAfter_ >= 0 &&
       appended_ >= static_cast<std::size_t>(crashAfter_)) {
@@ -512,6 +551,17 @@ void Journal::append(CellRecord record) {
 std::size_t Journal::recordCount() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return records_.size();
+}
+
+std::size_t Journal::cellRecordCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, record] : records_) {
+    if (!record.machine.empty()) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 std::size_t Journal::appendedThisProcess() const {

@@ -122,6 +122,13 @@ struct CampaignConfig {
   std::uint64_t cpuArrayBytes = 0;
   std::uint64_t gpuArrayBytes = 0;
   std::uint64_t mpiMessageSize = 0;
+  /// Shard identity (`--shard i/N`); count == 0 = unsharded. Encoded as
+  /// an optional header extension only when sharded, so unsharded
+  /// journals stay byte-identical to the pre-shard format. Resuming a
+  /// shard journal under a different spec is refused like any other
+  /// fingerprint mismatch.
+  std::uint32_t shardIndex = 0;
+  std::uint32_t shardCount = 0;
 };
 
 /// "" when compatible, else a diagnostic naming the first mismatched
@@ -190,6 +197,10 @@ class Journal {
 
   [[nodiscard]] const CampaignConfig& config() const { return config_; }
   [[nodiscard]] std::size_t recordCount() const;
+  /// Records with a non-empty machine name — i.e. measured cells,
+  /// excluding shard manifests (the honest "N cell(s) already measured"
+  /// count for resume messages).
+  [[nodiscard]] std::size_t cellRecordCount() const;
   [[nodiscard]] std::size_t appendedThisProcess() const;
   [[nodiscard]] const std::vector<std::string>& warnings() const {
     return warnings_;

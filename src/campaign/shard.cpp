@@ -1,0 +1,511 @@
+#include "campaign/shard.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+namespace nodebench::campaign {
+
+namespace {
+
+/// Defensive cap on manifest grids: the full registry's grid is well
+/// under a hundred cells, so anything near this limit is corruption, not
+/// an allocation request.
+constexpr std::uint32_t kMaxManifestCells = 1u << 16;
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::uintmax_t kMaxShardFileBytes = 256ull << 20;
+
+std::string gridKey(std::string_view machine, std::string_view cell) {
+  std::string key;
+  key.reserve(machine.size() + 1 + cell.size());
+  key.append(machine);
+  key.push_back('\x1f');  // unit separator: cannot appear in valid UTF-8 names
+  key.append(cell);
+  return key;
+}
+
+}  // namespace
+
+ShardSpec parseShardSpec(const std::string& text) {
+  const auto fail = [&] {
+    throw Error("--shard expects 'i/N' with 0 <= i < N <= " +
+                std::to_string(kMaxShardCount) + ", got '" + text + "'");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == text.size()) {
+    fail();
+  }
+  const auto parseU32 = [&](const std::string& part) {
+    if (part.empty() || part.size() > 9 ||
+        !std::all_of(part.begin(), part.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      fail();
+    }
+    return static_cast<std::uint32_t>(std::stoul(part));
+  };
+  ShardSpec spec;
+  spec.index = parseU32(text.substr(0, slash));
+  spec.count = parseU32(text.substr(slash + 1));
+  if (spec.count == 0 || spec.count > kMaxShardCount ||
+      spec.index >= spec.count) {
+    fail();
+  }
+  return spec;
+}
+
+std::string shardSpecText(const ShardSpec& spec) {
+  if (spec.count == 0) {
+    return "unsharded";
+  }
+  return std::to_string(spec.index) + "/" + std::to_string(spec.count);
+}
+
+ShardRange shardRangeFor(std::size_t total, const ShardSpec& spec) {
+  NB_EXPECTS(spec.count >= 1);
+  NB_EXPECTS(spec.index < spec.count);
+  const std::size_t base = total / spec.count;
+  const std::size_t rem = total % spec.count;
+  ShardRange range;
+  range.begin = spec.index * base + std::min<std::size_t>(spec.index, rem);
+  range.end = range.begin + base + (spec.index < rem ? 1 : 0);
+  return range;
+}
+
+bool isShardManifest(const CellRecord& record) {
+  return record.machine.empty();
+}
+
+std::vector<std::uint8_t> encodeManifestPayload(const TableManifest& manifest) {
+  NB_EXPECTS(manifest.cells.size() <= kMaxManifestCells);
+  NB_EXPECTS(manifest.assigned.begin <= manifest.assigned.end);
+  NB_EXPECTS(manifest.assigned.end <= manifest.cells.size());
+  PayloadWriter w;
+  w.putU32(kManifestVersion);
+  w.putU32(manifest.spec.index);
+  w.putU32(manifest.spec.count);
+  w.putString(manifest.label);
+  w.putU32(static_cast<std::uint32_t>(manifest.cells.size()));
+  for (const GridCell& cell : manifest.cells) {
+    w.putString(cell.machine);
+    w.putString(cell.cell);
+  }
+  w.putU32(static_cast<std::uint32_t>(manifest.assigned.begin));
+  w.putU32(static_cast<std::uint32_t>(manifest.assigned.end));
+  return w.bytes();
+}
+
+TableManifest decodeManifestPayload(std::span<const std::uint8_t> payload) {
+  PayloadReader r(payload);
+  const std::uint32_t version = r.u32();
+  if (version != kManifestVersion) {
+    throw JournalCorruptError("unsupported shard manifest version " +
+                              std::to_string(version));
+  }
+  TableManifest out;
+  out.spec.index = r.u32();
+  out.spec.count = r.u32();
+  if (out.spec.count == 0 || out.spec.count > kMaxShardCount ||
+      out.spec.index >= out.spec.count) {
+    throw JournalCorruptError("shard manifest carries an invalid shard spec " +
+                              std::to_string(out.spec.index) + "/" +
+                              std::to_string(out.spec.count));
+  }
+  out.label = r.string();
+  const std::uint32_t cellCount = r.u32();
+  if (cellCount > kMaxManifestCells) {
+    throw JournalCorruptError("shard manifest cell count " +
+                              std::to_string(cellCount) + " exceeds the " +
+                              std::to_string(kMaxManifestCells) + " limit");
+  }
+  out.cells.reserve(cellCount);
+  for (std::uint32_t i = 0; i < cellCount; ++i) {
+    GridCell cell;
+    cell.machine = r.string();
+    cell.cell = r.string();
+    if (cell.machine.empty()) {
+      throw JournalCorruptError(
+          "shard manifest grid cell carries an empty machine name");
+    }
+    out.cells.push_back(std::move(cell));
+  }
+  out.assigned.begin = r.u32();
+  out.assigned.end = r.u32();
+  if (out.assigned.begin > out.assigned.end ||
+      out.assigned.end > out.cells.size()) {
+    throw JournalCorruptError("shard manifest assigned range [" +
+                              std::to_string(out.assigned.begin) + ", " +
+                              std::to_string(out.assigned.end) +
+                              ") exceeds its " + std::to_string(cellCount) +
+                              "-cell grid");
+  }
+  if (!r.atEnd()) {
+    throw JournalCorruptError("shard manifest carries trailing bytes");
+  }
+  return out;
+}
+
+CellRecord manifestRecord(const TableManifest& manifest) {
+  CellRecord record;
+  record.machine = "";  // the manifest sentinel: no real cell has one
+  record.cell = manifest.label;
+  record.attempts = 0;
+  record.failed = false;
+  record.payload = encodeManifestPayload(manifest);
+  return record;
+}
+
+// --- ShardPlan ---------------------------------------------------------------
+
+ShardPlan::ShardPlan(const ShardSpec& spec) : spec_(spec) {
+  NB_EXPECTS(spec.count >= 1);
+  NB_EXPECTS(spec.index < spec.count);
+  NB_EXPECTS(spec.count <= kMaxShardCount);
+}
+
+void ShardPlan::registerTable(const std::string& label,
+                              std::vector<GridCell> cells, Journal* journal) {
+  NB_EXPECTS_MSG(cells.size() <= kMaxManifestCells,
+                 "table grid exceeds the shard manifest cell limit");
+  TableManifest manifest;
+  manifest.label = label;
+  manifest.spec = spec_;
+  manifest.cells = std::move(cells);
+  manifest.assigned = shardRangeFor(manifest.cells.size(), spec_);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = tables_.find(label);
+    if (it != tables_.end()) {
+      if (!(it->second == manifest)) {
+        throw Error("shard plan already registered table '" + label +
+                    "' with a different grid (nodebench bug: table "
+                    "enumeration must be deterministic)");
+      }
+      return;  // `table all` recomputes Tables 5/6 for Table 7
+    }
+  }
+
+  if (journal != nullptr) {
+    if (const CellRecord* existing = journal->find("", label)) {
+      // --resume: the manifest landed on the first run. The fingerprint
+      // header cannot see a machine-subset change, so the grid itself is
+      // re-verified here.
+      TableManifest recorded = decodeManifestPayload(existing->payload);
+      if (!(recorded == manifest)) {
+        throw Error(
+            "cannot resume shard journal: the recorded manifest for '" +
+            label + "' does not match this run's grid (was the machine "
+            "subset or the registry changed?); rerun with the original "
+            "parameters or start a fresh shard journal");
+      }
+    } else {
+      journal->append(manifestRecord(manifest));
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = manifest.assigned.begin; i < manifest.assigned.end;
+       ++i) {
+    assignedKeys_.insert(
+        gridKey(manifest.cells[i].machine, manifest.cells[i].cell));
+  }
+  tables_.emplace(label, std::move(manifest));
+}
+
+bool ShardPlan::assigned(std::string_view machine,
+                         std::string_view cell) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return assignedKeys_.find(gridKey(machine, cell)) != assignedKeys_.end();
+}
+
+// --- merge -------------------------------------------------------------------
+
+ShardInput readShardInput(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw Error("cannot open shard journal: " + path);
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    throw Error("cannot stat shard journal: " + path);
+  }
+  if (static_cast<std::uintmax_t>(size) > kMaxShardFileBytes) {
+    throw ShardMergeError("shard journal " + path + " is implausibly large (" +
+                          std::to_string(size) + " bytes)");
+  }
+  ShardInput input;
+  input.name = path;
+  input.bytes.resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(input.bytes.data()), size)) {
+    throw Error("failed reading shard journal: " + path);
+  }
+  return input;
+}
+
+std::string shardPath(const std::string& base, const ShardSpec& spec) {
+  return base + ".shard" + std::to_string(spec.index) + "of" +
+         std::to_string(spec.count);
+}
+
+namespace {
+
+struct DecodedShard {
+  std::string name;
+  Journal::Decoded decoded;
+  std::vector<TableManifest> manifests;  ///< file order
+  std::vector<const CellRecord*> cells;  ///< file order, manifests stripped
+};
+
+}  // namespace
+
+MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
+  if (shards.empty()) {
+    throw ShardMergeError("merge needs at least one shard journal");
+  }
+
+  // Decode every input. A shard that resumes cleanly is the bar: torn
+  // tails are refused (resume that shard first), as is anything that is
+  // not a shard journal at all.
+  std::vector<DecodedShard> decoded(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    DecodedShard& d = decoded[i];
+    d.name = shards[i].name;
+    try {
+      d.decoded = Journal::decode(shards[i].bytes);
+    } catch (const JournalCorruptError& e) {
+      throw ShardMergeError("cannot merge " + d.name + ": " + e.what());
+    }
+    if (d.decoded.validBytes < shards[i].bytes.size()) {
+      throw ShardMergeError(
+          "cannot merge " + d.name + ": the shard journal has a torn tail (" +
+          (d.decoded.warnings.empty() ? std::string("trailing bytes")
+                                      : d.decoded.warnings.front()) +
+          "); resume that shard with --resume to finish it first");
+    }
+    if (d.decoded.config.shardCount == 0) {
+      throw ShardMergeError("cannot merge " + d.name +
+                            ": not a shard journal (it was recorded without "
+                            "--shard)");
+    }
+  }
+
+  // One shard count, every index exactly once.
+  const std::uint32_t count = decoded.front().decoded.config.shardCount;
+  std::vector<const DecodedShard*> byIndex(count, nullptr);
+  for (const DecodedShard& d : decoded) {
+    const CampaignConfig& cfg = d.decoded.config;
+    if (cfg.shardCount != count) {
+      throw ShardMergeError(
+          "cannot merge: " + decoded.front().name + " was recorded as one of " +
+          std::to_string(count) + " shard(s) but " + d.name + " as one of " +
+          std::to_string(cfg.shardCount));
+    }
+    const DecodedShard*& slot = byIndex[cfg.shardIndex];
+    if (slot != nullptr) {
+      throw ShardMergeError("cannot merge: shard " +
+                            shardSpecText({cfg.shardIndex, count}) +
+                            " appears twice (" + slot->name + " and " + d.name +
+                            ")");
+    }
+    slot = &d;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] == nullptr) {
+      throw ShardMergeError("cannot merge: shard " + shardSpecText({i, count}) +
+                            " is missing from the merge set (" +
+                            std::to_string(shards.size()) + " of " +
+                            std::to_string(count) + " shard journal(s) given)");
+    }
+  }
+
+  // One configuration fingerprint. Shard index differs by construction;
+  // everything else (registry, fault plan, seed, --runs, sizes) must
+  // match, and the diagnostic names both the parameter and the shard.
+  CampaignConfig reference = byIndex[0]->decoded.config;
+  reference.shardIndex = 0;
+  for (std::uint32_t i = 1; i < count; ++i) {
+    CampaignConfig normalized = byIndex[i]->decoded.config;
+    normalized.shardIndex = 0;
+    const std::string mismatch = describeConfigMismatch(reference, normalized);
+    if (!mismatch.empty()) {
+      throw ShardMergeError("cannot merge: shard " +
+                            shardSpecText({i, count}) + " (" +
+                            byIndex[i]->name + ") was recorded under a "
+                            "different configuration than " +
+                            byIndex[0]->name + ": " + mismatch);
+    }
+  }
+
+  // Split manifests from cell records, per shard, preserving file order.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto& d = const_cast<DecodedShard&>(*byIndex[i]);
+    for (const CellRecord& record : d.decoded.records) {
+      if (!isShardManifest(record)) {
+        d.cells.push_back(&record);
+        continue;
+      }
+      try {
+        TableManifest manifest = decodeManifestPayload(record.payload);
+        if (manifest.label != record.cell) {
+          throw JournalCorruptError("shard manifest label '" + manifest.label +
+                                    "' disagrees with its record key '" +
+                                    record.cell + "'");
+        }
+        if (!(manifest.spec ==
+              ShardSpec{d.decoded.config.shardIndex, count})) {
+          throw JournalCorruptError(
+              "shard manifest spec " + shardSpecText(manifest.spec) +
+              " disagrees with the journal header's " +
+              shardSpecText({d.decoded.config.shardIndex, count}));
+        }
+        for (const TableManifest& prior : d.manifests) {
+          if (prior.label == manifest.label) {
+            throw JournalCorruptError("duplicate shard manifest for '" +
+                                      manifest.label + "'");
+          }
+        }
+        d.manifests.push_back(std::move(manifest));
+      } catch (const JournalCorruptError& e) {
+        throw ShardMergeError("cannot merge " + d.name + ": " + e.what());
+      }
+    }
+  }
+
+  // Every shard must have registered the same tables, in the same order,
+  // over the same grids, and declare exactly its canonical slice — a
+  // forged or drifted range is how overlaps and gaps would smuggle in.
+  const DecodedShard& first = *byIndex[0];
+  for (std::uint32_t i = 1; i < count; ++i) {
+    const DecodedShard& d = *byIndex[i];
+    if (d.manifests.size() != first.manifests.size()) {
+      throw ShardMergeError(
+          "cannot merge: " + first.name + " registered " +
+          std::to_string(first.manifests.size()) + " table manifest(s) but " +
+          d.name + " registered " + std::to_string(d.manifests.size()) +
+          " — the shards measured different campaigns");
+    }
+    for (std::size_t t = 0; t < first.manifests.size(); ++t) {
+      if (d.manifests[t].label != first.manifests[t].label) {
+        throw ShardMergeError("cannot merge: " + first.name +
+                              " registered table '" +
+                              first.manifests[t].label + "' where " + d.name +
+                              " registered '" + d.manifests[t].label + "'");
+      }
+      if (d.manifests[t].cells != first.manifests[t].cells) {
+        throw ShardMergeError(
+            "cannot merge: the '" + d.manifests[t].label + "' grid in " +
+            d.name + " does not match the one in " + first.name +
+            " (different machine subset or registry?)");
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const DecodedShard& d = *byIndex[i];
+    for (const TableManifest& manifest : d.manifests) {
+      const ShardRange canonical =
+          shardRangeFor(manifest.cells.size(), {i, count});
+      if (!(manifest.assigned == canonical)) {
+        throw ShardMergeError(
+            "cannot merge: shard " + shardSpecText({i, count}) + " (" +
+            d.name + ") declares cells [" +
+            std::to_string(manifest.assigned.begin) + ", " +
+            std::to_string(manifest.assigned.end) + ") of '" + manifest.label +
+            "' but the canonical partition assigns it [" +
+            std::to_string(canonical.begin) + ", " +
+            std::to_string(canonical.end) +
+            ") — overlapping or gapped shard ranges cannot be merged");
+      }
+    }
+  }
+
+  // The global grid: tables concatenated in registration order, which is
+  // exactly the record order of a single-process --jobs 1 run.
+  MergedCampaign out;
+  out.config = reference;
+  out.config.shardIndex = 0;
+  out.config.shardCount = 0;
+  out.config.jobs = 1;
+  out.shardCount = count;
+  std::map<std::string, std::size_t, std::less<>> gridIndex;
+  for (const TableManifest& manifest : first.manifests) {
+    for (std::size_t j = 0; j < manifest.cells.size(); ++j) {
+      const GridCell& cell = manifest.cells[j];
+      std::string key = gridKey(cell.machine, cell.cell);
+      if (!gridIndex.emplace(std::move(key), out.grid.size()).second) {
+        throw ShardMergeError("cannot merge: the campaign grid lists cell (" +
+                              cell.machine + ", " + cell.cell + ") twice");
+      }
+      // Owner: the shard whose canonical slice of this table contains j.
+      std::uint32_t owner = 0;
+      for (std::uint32_t s = 0; s < count; ++s) {
+        const ShardRange r = shardRangeFor(manifest.cells.size(), {s, count});
+        if (j >= r.begin && j < r.end) {
+          owner = s;
+          break;
+        }
+      }
+      out.grid.push_back(cell);
+      out.ownerShard.push_back(owner);
+    }
+  }
+
+  // Index every shard's cell records and prove coverage is exact:
+  // each record names a grid cell its shard owns, no duplicates, and
+  // every owned cell is present.
+  std::vector<std::map<std::string, const CellRecord*, std::less<>>> records(
+      count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const DecodedShard& d = *byIndex[i];
+    for (const CellRecord* record : d.cells) {
+      std::string key = gridKey(record->machine, record->cell);
+      const auto git = gridIndex.find(key);
+      if (git == gridIndex.end()) {
+        throw ShardMergeError("cannot merge: " + d.name +
+                              " contains a record for (" + record->machine +
+                              ", " + record->cell +
+                              ") which is not in the campaign grid");
+      }
+      const std::uint32_t owner = out.ownerShard[git->second];
+      if (owner != i) {
+        throw ShardMergeError(
+            "cannot merge: cell (" + record->machine + ", " + record->cell +
+            ") is assigned to shard " + shardSpecText({owner, count}) +
+            " but was recorded by shard " + shardSpecText({i, count}) + " (" +
+            d.name + ") — overlapping shard journals cannot be merged");
+      }
+      if (!records[i].emplace(std::move(key), record).second) {
+        throw ShardMergeError("cannot merge: " + d.name +
+                              " records cell (" + record->machine + ", " +
+                              record->cell + ") twice");
+      }
+    }
+  }
+  for (std::size_t g = 0; g < out.grid.size(); ++g) {
+    const std::uint32_t owner = out.ownerShard[g];
+    const std::string key = gridKey(out.grid[g].machine, out.grid[g].cell);
+    if (records[owner].find(key) == records[owner].end()) {
+      throw ShardMergeError(
+          "cannot merge: shard " + shardSpecText({owner, count}) + " (" +
+          byIndex[owner]->name + ") has not measured its assigned cell (" +
+          out.grid[g].machine + ", " + out.grid[g].cell +
+          "); resume that shard with --resume to finish it first");
+    }
+  }
+
+  // Emit the merged journal: normalized header, then every record in
+  // grid-enumeration order — the byte order a single-process --jobs 1
+  // run writes.
+  out.journalBytes = Journal::encodeHeader(out.config);
+  for (std::size_t g = 0; g < out.grid.size(); ++g) {
+    const std::string key = gridKey(out.grid[g].machine, out.grid[g].cell);
+    const CellRecord* record = records[out.ownerShard[g]].at(key);
+    const std::vector<std::uint8_t> framed = Journal::encodeRecord(*record);
+    out.journalBytes.insert(out.journalBytes.end(), framed.begin(),
+                            framed.end());
+  }
+  return out;
+}
+
+}  // namespace nodebench::campaign

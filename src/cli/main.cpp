@@ -16,11 +16,17 @@
 /// `--trace FILE` (Chrome trace_event JSON, loadable in Perfetto) and
 /// `--metrics` (aggregated counters/histograms appendix on stdout).
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,7 +39,9 @@
 #include "babelstream/driver.hpp"
 #include "babelstream/sim_device_backend.hpp"
 #include "babelstream/sim_omp_backend.hpp"
+#include "campaign/io.hpp"
 #include "campaign/journal.hpp"
+#include "campaign/shard.hpp"
 #include "commscope/commscope.hpp"
 #include "core/cancel.hpp"
 #include "core/error.hpp"
@@ -53,6 +61,7 @@
 #include "report/tables.hpp"
 #include "serve/server.hpp"
 #include "stats/compare.hpp"
+#include "stats/merge.hpp"
 #include "stats/store.hpp"
 #include "topo/dot.hpp"
 #include "trace/sink.hpp"
@@ -96,6 +105,19 @@ int usage() {
       "  gate <baseline.store> <candidate.store> [--jobs N] [--alpha A]\n"
       "          [--threshold PCT]  CI gate: exit 3 when any cell shows a\n"
       "          statistically significant, material regression\n"
+      "  table/export also accept --shard i/N (requires --journal):\n"
+      "  measure only shard i's deterministic slice of the cell grid\n"
+      "  shard <1..9|all> --shards N --journal BASE [--store BASE]\n"
+      "          [--runs N] [--jobs N] [--faults F] [--resume]\n"
+      "          [--merge-out F] [--merge-store-out F]  fork N worker\n"
+      "          processes, each measuring shard i/N into\n"
+      "          BASE.shard<i>of<N>; exits 43 when a worker was\n"
+      "          interrupted (rerun with --resume to finish)\n"
+      "  merge --out F [--stores S]... [--store-out F] <journals...>\n"
+      "          validate a complete shard set and write the merged\n"
+      "          journal (and store) byte-identical to a single-process\n"
+      "          --jobs 1 run; refuses mismatched/overlapping/incomplete\n"
+      "          shard sets, naming the offending shard\n"
       "  serve --socket PATH|--port N [--state-dir D] [--resume]\n"
       "          [--queue-depth N] [--tenant-queue N] [--tenant-inflight N]\n"
       "          [--executors N] [--io-threads N]  crash-tolerant\n"
@@ -248,7 +270,7 @@ std::unique_ptr<campaign::Journal> openJournal(std::vector<std::string>& args,
       std::cerr << "nodebench: warning: " << warning << "\n";
     }
     std::cerr << "nodebench: resuming campaign from " << *path << " ("
-              << journal->recordCount() << " cell(s) already measured)\n";
+              << journal->cellRecordCount() << " cell(s) already measured)\n";
   } else {
     journal = campaign::Journal::create(*path, cfg);
   }
@@ -284,6 +306,25 @@ std::unique_ptr<stats::ResultStore> openStore(std::vector<std::string>& args,
   }
   opt.store = store.get();
   return store;
+}
+
+/// Parses `--shard i/N` and builds the shard plan. Must run *before*
+/// openJournal (the journal header fingerprints the shard spec) and
+/// requires --journal — an unjournalled shard run would produce nothing
+/// `nodebench merge` could consume, which is never what the user meant.
+std::unique_ptr<campaign::ShardPlan> openShardPlan(
+    std::vector<std::string>& args, report::TableOptions& opt) {
+  const auto spec = flagValue(args, "--shard");
+  if (!spec) {
+    if (std::find(args.begin(), args.end(), "--shard") != args.end()) {
+      throw Error("--shard expects a value (i/N)");
+    }
+    return nullptr;
+  }
+  auto plan =
+      std::make_unique<campaign::ShardPlan>(campaign::parseShardSpec(*spec));
+  opt.shard = plan.get();
+  return plan;
 }
 
 /// Parsed `--trace FILE` / `--metrics` flags plus the live trace session
@@ -375,11 +416,17 @@ int cmdTable(std::vector<std::string> args) {
   if (const auto delay = positiveFlagValue(args, "--test-cell-delay-ms")) {
     opt.testCellDelayMs = *delay;
   }
+  const std::unique_ptr<campaign::ShardPlan> shardPlan =
+      openShardPlan(args, opt);
   // Peek --resume before openJournal consumes it: the store reattach
   // decision follows the journal's.
   const bool resume =
       std::find(args.begin(), args.end(), "--resume") != args.end();
   const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
+  if (shardPlan && !journal) {
+    throw Error("--shard requires --journal FILE (the shard journal is "
+                "what `nodebench merge` consumes)");
+  }
   const std::unique_ptr<stats::ResultStore> store =
       openStore(args, opt, resume);
   if (journal) {
@@ -650,9 +697,15 @@ int cmdExport(std::vector<std::string> args) {
   if (const auto d = flagValue(args, "--dir")) {
     dir = *d;
   }
+  const std::unique_ptr<campaign::ShardPlan> shardPlan =
+      openShardPlan(args, opt);
   const bool resume =
       std::find(args.begin(), args.end(), "--resume") != args.end();
   const std::unique_ptr<campaign::Journal> journal = openJournal(args, opt);
+  if (shardPlan && !journal) {
+    throw Error("--shard requires --journal FILE (the shard journal is "
+                "what `nodebench merge` consumes)");
+  }
   const std::unique_ptr<stats::ResultStore> store =
       openStore(args, opt, resume);
   if (journal) {
@@ -840,6 +893,251 @@ int cmdCompare(std::vector<std::string> args, bool gate) {
   return 0;
 }
 
+/// Reads + merges a complete shard journal set (and, optionally, the
+/// matching stores) and writes the merged artifacts. Shared by
+/// `nodebench merge` and the driver's --merge-out. Outputs are refused
+/// when they already exist — a merge is a derived artifact, and silently
+/// clobbering a previous one is how stale baselines are born.
+void runMerge(const std::vector<std::string>& journalPaths,
+              const std::string& outPath,
+              const std::vector<std::string>& storePaths,
+              const std::optional<std::string>& storeOutPath) {
+  struct stat st {};
+  if (::stat(outPath.c_str(), &st) == 0) {
+    throw Error("merge output already exists: " + outPath +
+                " (remove it first, or merge to a different path)");
+  }
+  if (storeOutPath && ::stat(storeOutPath->c_str(), &st) == 0) {
+    throw Error("merge output already exists: " + *storeOutPath +
+                " (remove it first, or merge to a different path)");
+  }
+  std::vector<campaign::ShardInput> inputs;
+  inputs.reserve(journalPaths.size());
+  for (const std::string& path : journalPaths) {
+    inputs.push_back(campaign::readShardInput(path));
+  }
+  const campaign::MergedCampaign merged =
+      campaign::mergeShardJournals(inputs);
+  campaign::io::atomicWrite(outPath, merged.journalBytes, "merge");
+  std::cout << "merged " << inputs.size() << " shard journal(s) -> "
+            << outPath << " (" << merged.grid.size() << " cell record(s))\n";
+  if (storeOutPath) {
+    std::vector<stats::ShardStoreInput> stores;
+    stores.reserve(storePaths.size());
+    for (const std::string& path : storePaths) {
+      stores.push_back(stats::loadShardStoreInput(path));
+    }
+    const std::vector<std::uint8_t> bytes =
+        stats::mergeShardStores(stores, merged);
+    campaign::io::atomicWrite(*storeOutPath, bytes, "merge");
+    std::cout << "merged " << stores.size() << " shard store(s) -> "
+              << *storeOutPath << "\n";
+  }
+}
+
+/// `nodebench merge`: validate a complete shard set and rebuild the
+/// single-process artifact (see campaign/shard.hpp for the refusal
+/// contract).
+int cmdMerge(std::vector<std::string> args) {
+  const auto out = flagValue(args, "--out");
+  if (!out) {
+    if (std::find(args.begin(), args.end(), "--out") != args.end()) {
+      throw Error("--out expects a value");
+    }
+    throw Error("merge requires --out FILE (the merged journal path)");
+  }
+  const auto storeOut = flagValue(args, "--store-out");
+  if (!storeOut &&
+      std::find(args.begin(), args.end(), "--store-out") != args.end()) {
+    throw Error("--store-out expects a value");
+  }
+  std::vector<std::string> storePaths;
+  while (const auto s = flagValue(args, "--stores")) {
+    storePaths.push_back(*s);
+  }
+  if (std::find(args.begin(), args.end(), "--stores") != args.end()) {
+    throw Error("--stores expects a value");
+  }
+  rejectLeftoverFlags(args);
+  if (args.empty()) {
+    return usage();
+  }
+  if (storeOut && storePaths.empty()) {
+    throw Error("--store-out requires the shard stores (--stores FILE, "
+                "once per shard)");
+  }
+  if (!storePaths.empty() && !storeOut) {
+    throw Error("--stores requires --store-out FILE (the merged store "
+                "path)");
+  }
+  runMerge(args, *out, storePaths, storeOut);
+  return 0;
+}
+
+/// `nodebench shard`: the multi-process campaign driver. Forks N worker
+/// processes — fork happens before any threads exist in this process —
+/// each exec'ing this same binary as `table <which> --shard i/N` with a
+/// shard-suffixed journal (and store). Worker stdout is discarded (the
+/// deliverable is the shard artifacts); stderr is inherited so journal
+/// chatter and errors stay visible.
+int cmdShard(std::vector<std::string> args) {
+  const auto shards = positiveFlagValue(args, "--shards");
+  if (!shards) {
+    throw Error("shard requires --shards N (the worker-process count)");
+  }
+  if (static_cast<std::uint32_t>(*shards) > campaign::kMaxShardCount) {
+    throw Error("--shards must be at most " +
+                std::to_string(campaign::kMaxShardCount));
+  }
+  const auto count = static_cast<std::uint32_t>(*shards);
+  const auto journalBase = flagValue(args, "--journal");
+  if (!journalBase) {
+    if (std::find(args.begin(), args.end(), "--journal") != args.end()) {
+      throw Error("--journal expects a value");
+    }
+    throw Error("shard requires --journal BASE (worker journals land at "
+                "BASE.shard<i>of<N>)");
+  }
+  const auto storeBase = flagValue(args, "--store");
+  if (!storeBase &&
+      std::find(args.begin(), args.end(), "--store") != args.end()) {
+    throw Error("--store expects a value");
+  }
+  const auto runs = positiveFlagValue(args, "--runs");
+  const auto jobs = positiveFlagValue(args, "--jobs");
+  const auto faults = flagValue(args, "--faults");
+  const auto delay = positiveFlagValue(args, "--test-cell-delay-ms");
+  const bool resume = flagPresent(args, "--resume");
+  const auto mergeOut = flagValue(args, "--merge-out");
+  const auto mergeStoreOut = flagValue(args, "--merge-store-out");
+  rejectLeftoverFlags(args);
+  if (args.size() != 1) {
+    return usage();
+  }
+  const std::string which = args[0];
+  if (mergeStoreOut && !storeBase) {
+    throw Error("--merge-store-out requires --store BASE (the workers "
+                "must write shard stores to merge)");
+  }
+  if (mergeStoreOut && !mergeOut) {
+    throw Error("--merge-store-out requires --merge-out FILE");
+  }
+
+  std::vector<std::string> journalPaths(count);
+  std::vector<std::string> storePaths;
+  std::vector<pid_t> pids(count, -1);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const campaign::ShardSpec spec{i, count};
+    journalPaths[i] = campaign::shardPath(*journalBase, spec);
+    if (storeBase) {
+      storePaths.push_back(campaign::shardPath(*storeBase, spec));
+    }
+    std::vector<std::string> workerArgs = {
+        "nodebench",          "table", which, "--shard",
+        campaign::shardSpecText(spec), "--journal", journalPaths[i]};
+    if (storeBase) {
+      workerArgs.push_back("--store");
+      workerArgs.push_back(storePaths[i]);
+    }
+    if (runs) {
+      workerArgs.push_back("--runs");
+      workerArgs.push_back(std::to_string(*runs));
+    }
+    if (jobs) {
+      workerArgs.push_back("--jobs");
+      workerArgs.push_back(std::to_string(*jobs));
+    }
+    if (faults) {
+      workerArgs.push_back("--faults");
+      workerArgs.push_back(*faults);
+    }
+    if (delay) {
+      workerArgs.push_back("--test-cell-delay-ms");
+      workerArgs.push_back(std::to_string(*delay));
+    }
+    // A worker resumes only when its own journal already exists: on the
+    // first --resume after a partial campaign, finished shards replay,
+    // never-started shards begin fresh.
+    struct stat st {};
+    if (resume && ::stat(journalPaths[i].c_str(), &st) == 0) {
+      workerArgs.push_back("--resume");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw Error(std::string("fork failed: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Worker: discard stdout (tables are rebuilt by the merge), keep
+      // stderr, become `nodebench table ... --shard i/N`.
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        ::dup2(devnull, STDOUT_FILENO);
+        ::close(devnull);
+      }
+      std::vector<char*> argvC;
+      argvC.reserve(workerArgs.size() + 1);
+      for (std::string& s : workerArgs) {
+        argvC.push_back(s.data());
+      }
+      argvC.push_back(nullptr);
+      ::execv("/proc/self/exe", argvC.data());
+      std::fprintf(stderr, "nodebench shard: exec failed: %s\n",
+                   std::strerror(errno));
+      std::_Exit(127);
+    }
+    pids[i] = pid;
+    std::cerr << "nodebench shard: worker " << campaign::shardSpecText(spec)
+              << " (pid " << pid << ") -> " << journalPaths[i] << "\n";
+  }
+
+  bool interrupted = false;
+  bool failed = false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    int status = 0;
+    if (::waitpid(pids[i], &status, 0) < 0) {
+      throw Error(std::string("waitpid failed: ") + std::strerror(errno));
+    }
+    const std::string name =
+        campaign::shardSpecText(campaign::ShardSpec{i, count});
+    if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code == 0) {
+        continue;
+      }
+      if (code == kInterruptedExitCode) {
+        std::cerr << "nodebench shard: worker " << name
+                  << " was interrupted (its journal is intact)\n";
+        interrupted = true;
+        continue;
+      }
+      std::cerr << "nodebench shard: worker " << name
+                << " failed with exit code " << code << "\n";
+      failed = true;
+    } else if (WIFSIGNALED(status)) {
+      std::cerr << "nodebench shard: worker " << name << " was killed by "
+                << "signal " << WTERMSIG(status)
+                << " (rerun with --resume to finish its slice)\n";
+      interrupted = true;
+    }
+  }
+  if (failed) {
+    throw Error("one or more shard workers failed; see messages above");
+  }
+  if (interrupted) {
+    std::cerr << "nodebench shard: campaign incomplete; rerun the same "
+                 "command with --resume to finish, then merge\n";
+    return kInterruptedExitCode;
+  }
+  if (mergeOut) {
+    runMerge(journalPaths, *mergeOut, storePaths, mergeStoreOut);
+  } else {
+    std::cout << "sharded campaign complete: " << count
+              << " journal(s) at " << *journalBase << ".shard*of" << count
+              << "; combine with `nodebench merge`\n";
+  }
+  return 0;
+}
+
 /// Drain flag for `nodebench serve`: the signal handler only sets it;
 /// the main thread polls and runs the actual (not async-signal-safe)
 /// drain sequence.
@@ -1004,6 +1302,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve") {
       return cmdServe(std::move(args));
+    }
+    if (cmd == "shard") {
+      return cmdShard(std::move(args));
+    }
+    if (cmd == "merge") {
+      return cmdMerge(std::move(args));
     }
     return usage();
   } catch (const CancelledError& e) {

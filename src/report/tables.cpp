@@ -10,6 +10,7 @@
 #include "babelstream/sim_device_backend.hpp"
 #include "babelstream/sim_omp_backend.hpp"
 #include "campaign/fingerprint.hpp"
+#include "campaign/shard.hpp"
 #include "commscope/commscope.hpp"
 #include "core/parallel.hpp"
 #include "core/samples.hpp"
@@ -89,6 +90,13 @@ void runCell(const TableOptions& opt, const Machine& m, std::string cell,
   // neither an incident nor a journal record — a --resume run re-measures
   // exactly the skipped cells and lands byte-identical.
   if (opt.cancel != nullptr && opt.cancel->requested()) {
+    return;
+  }
+  // Shard skip comes before everything else (including the store
+  // containsCell probe): a cell outside this shard's slice leaves no
+  // journal record, no store record, no incident, and a zeroed row —
+  // `nodebench merge` rebuilds the full artifact from the shard set.
+  if (opt.shard != nullptr && !opt.shard->assigned(m.info.name, cell)) {
     return;
   }
   slot.machine = m.info.name;
@@ -299,6 +307,10 @@ campaign::CampaignConfig campaignConfig(const TableOptions& opt) {
   cfg.cpuArrayBytes = opt.cpuArrayBytes.count();
   cfg.gpuArrayBytes = opt.gpuArrayBytes.count();
   cfg.mpiMessageSize = opt.mpiMessageSize.count();
+  if (opt.shard != nullptr) {
+    cfg.shardIndex = opt.shard->spec().index;
+    cfg.shardCount = opt.shard->spec().count;
+  }
   return cfg;
 }
 
@@ -435,6 +447,18 @@ std::vector<Cpu4Row> computeTable4(const TableOptions& opt,
   std::vector<Cpu4Row> rows(ms.size());
   for (std::size_t i = 0; i < ms.size(); ++i) {
     rows[i].machine = ms[i];
+  }
+  if (opt.shard != nullptr) {
+    // The grid in task-enumeration order — the record order a --jobs 1
+    // journal run writes, which is what the merge reconstructs.
+    std::vector<campaign::GridCell> grid;
+    grid.reserve(ms.size() * 3);
+    for (const Machine* m : ms) {
+      grid.push_back({m->info.name, kCellHostBandwidth});
+      grid.push_back({m->info.name, kCellOnSocket});
+      grid.push_back({m->info.name, kCellOnNode});
+    }
+    opt.shard->registerTable("table 4", std::move(grid), opt.journal);
   }
   // Three independent cells per machine; each task writes distinct fields
   // of its pre-allocated row (and its own incident slot). The sweep runs
@@ -600,6 +624,26 @@ std::vector<Gpu5Row> computeTable5(const TableOptions& opt,
     }
   }
 
+  if (opt.shard != nullptr) {
+    std::vector<campaign::GridCell> grid;
+    grid.reserve(tasks.size());
+    for (const GpuCellTask& task : tasks) {
+      const std::string& machine = ms[task.machineIdx]->info.name;
+      switch (task.kind) {
+        case kBabelstream:
+          grid.push_back({machine, kCellDeviceBandwidth});
+          break;
+        case kHostLatency:
+          grid.push_back({machine, kCellHostToHost});
+          break;
+        default:
+          grid.push_back({machine, d2dMpiCellName(task.linkClass)});
+          break;
+      }
+    }
+    opt.shard->registerTable("table 5", std::move(grid), opt.journal);
+  }
+
   std::vector<CellIncident> slots(tasks.size());
   par::parallelForEach(
       tasks.size(),
@@ -744,6 +788,32 @@ std::vector<Gpu6Row> computeTable6(const TableOptions& opt,
     for (const LinkClass c : ms[i]->topology.presentGpuLinkClasses()) {
       tasks.push_back({i, kD2dLatency, c});
     }
+  }
+
+  if (opt.shard != nullptr) {
+    std::vector<campaign::GridCell> grid;
+    grid.reserve(tasks.size());
+    for (const GpuCellTask& task : tasks) {
+      const std::string& machine = ms[task.machineIdx]->info.name;
+      switch (task.kind) {
+        case kLaunch:
+          grid.push_back({machine, kCellLaunch});
+          break;
+        case kWait:
+          grid.push_back({machine, kCellWait});
+          break;
+        case kHostDeviceLatency:
+          grid.push_back({machine, kCellHdLatency});
+          break;
+        case kHostDeviceBandwidth:
+          grid.push_back({machine, kCellHdBandwidth});
+          break;
+        default:
+          grid.push_back({machine, d2dCopyCellName(task.linkClass)});
+          break;
+      }
+    }
+    opt.shard->registerTable("table 6", std::move(grid), opt.journal);
   }
 
   std::vector<CellIncident> slots(tasks.size());

@@ -28,6 +28,10 @@ namespace nodebench::stats {
 class ResultStore;
 }  // namespace nodebench::stats
 
+namespace nodebench::campaign {
+class ShardPlan;
+}  // namespace nodebench::campaign
+
 namespace nodebench::report {
 
 /// Shared knobs of the table harnesses. The defaults reproduce the
@@ -92,6 +96,14 @@ struct TableOptions {
   /// mid-request" a deterministic state to hit from the outside. 0 in
   /// production.
   int testCellDelayMs = 0;
+  /// Optional shard plan (`--shard i/N`, see campaign/shard.hpp). When
+  /// set, each table registers its full cell grid with the plan before
+  /// fanning out (journalling the shard manifest) and only the cells of
+  /// this shard's slice are measured — the rest are skipped entirely
+  /// (no journal record, no incident, zeroed row fields). The merged
+  /// artifact is rebuilt by `nodebench merge`. Must outlive the compute
+  /// call.
+  campaign::ShardPlan* shard = nullptr;
 };
 
 /// The campaign-configuration fingerprint of a set of table options: what

@@ -1,0 +1,45 @@
+#pragma once
+/// \file merge.hpp
+/// \brief NBRS store merge for sharded campaigns.
+///
+/// The journal merge (campaign/shard.hpp) validates the shard set and
+/// rebuilds the global grid; this layer merges the per-shard results
+/// stores against that validated plan. Store records are re-ordered
+/// into grid-enumeration order (stable within a cell, so a cell's
+/// quantity records keep their append order), which is exactly the file
+/// order a single-process `--jobs 1 --store` run writes — the merged
+/// store is byte-identical to it.
+///
+/// Failed cells never write store records, so the store merge does not
+/// require one record per grid cell; it does refuse records for cells
+/// outside the grid or outside the writing shard's slice, duplicate
+/// (machine, cell, quantity) keys, and any fingerprint mismatch against
+/// the plan.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/shard.hpp"
+#include "stats/store.hpp"
+
+namespace nodebench::stats {
+
+/// One shard's decoded store plus a name for diagnostics.
+struct ShardStoreInput {
+  std::string name;
+  StoreContents contents;
+};
+
+/// Reads and strictly decodes one shard store file. Store corruption is
+/// rethrown as campaign::ShardMergeError naming the path.
+[[nodiscard]] ShardStoreInput loadShardStoreInput(const std::string& path);
+
+/// Validates `stores` against the journal-merge plan and returns the
+/// merged store file image (normalized header + records in grid order).
+/// Throws campaign::ShardMergeError naming the offending shard/record.
+[[nodiscard]] std::vector<std::uint8_t> mergeShardStores(
+    const std::vector<ShardStoreInput>& stores,
+    const campaign::MergedCampaign& plan);
+
+}  // namespace nodebench::stats

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "campaign/io.hpp"
+#include "campaign/shard.hpp"
 #include "core/checksum.hpp"
 #include "core/utf8.hpp"
 
@@ -167,6 +168,17 @@ std::string describeStoreMismatch(const campaign::CampaignConfig& recorded,
                 std::to_string(recorded.mpiMessageSize),
                 std::to_string(current.mpiMessageSize));
   }
+  const auto shardText = [](const campaign::CampaignConfig& c) {
+    if (c.shardCount == 0) {
+      return std::string("unsharded");
+    }
+    return std::to_string(c.shardIndex) + "/" + std::to_string(c.shardCount);
+  };
+  if (recorded.shardIndex != current.shardIndex ||
+      recorded.shardCount != current.shardCount) {
+    return diff("the shard spec (--shard)", shardText(recorded),
+                shardText(current));
+  }
   // `jobs` is deliberately not compared — harness output is byte-identical
   // at any worker count (DESIGN.md §7), so appending at a different --jobs
   // is safe.
@@ -187,6 +199,13 @@ std::vector<std::uint8_t> ResultStore::encodeHeader(
   w.putU64(config.cpuArrayBytes);
   w.putU64(config.gpuArrayBytes);
   w.putU64(config.mpiMessageSize);
+  if (config.shardCount != 0) {
+    // Optional shard extension, mirroring the journal header: written
+    // only when sharded, so unsharded (and merged) stores stay
+    // byte-identical to the pre-shard format.
+    w.putU32(config.shardIndex);
+    w.putU32(config.shardCount);
+  }
 
   std::vector<std::uint8_t> out(kMagic, kMagic + 4);
   for (int i = 0; i < 4; ++i) {
@@ -268,6 +287,19 @@ StoreContents ResultStore::decode(std::span<const std::uint8_t> bytes) {
       out.config.cpuArrayBytes = r.u64();
       out.config.gpuArrayBytes = r.u64();
       out.config.mpiMessageSize = r.u64();
+      if (!r.atEnd()) {
+        // Shard extension (present only on --shard stores).
+        out.config.shardIndex = r.u32();
+        out.config.shardCount = r.u32();
+        if (out.config.shardCount == 0 ||
+            out.config.shardCount > campaign::kMaxShardCount ||
+            out.config.shardIndex >= out.config.shardCount) {
+          throw StoreCorruptError(
+              "store header carries an invalid shard spec " +
+              std::to_string(out.config.shardIndex) + "/" +
+              std::to_string(out.config.shardCount));
+        }
+      }
       if (!r.atEnd()) {
         throw StoreCorruptError("store header carries unexpected bytes");
       }

@@ -1,0 +1,60 @@
+/// \file fuzz_merge.cpp
+/// \brief Fuzz target for the shard-merge validator.
+///
+/// `nodebench merge` feeds operator-supplied files straight into
+/// mergeShardJournals, so the whole validation pipeline — per-shard
+/// decode, fingerprint comparison, manifest decoding, canonical-range
+/// and coverage proofs — is an input boundary. The contract matches the
+/// other decoders: every input either merges or raises the repository's
+/// Error hierarchy, never a crash, hang, or over-allocation.
+///
+/// The input is a container, not one journal: repeated
+/// [u32 LE length][shard bytes] entries (at most eight, a cap far above
+/// any interesting shard-set shape but low enough to bound work). This
+/// lets a fuzzer mutate *sets* — mismatched headers, forged manifests,
+/// overlapping records — which a single-blob target could never reach.
+
+#include "fuzz_targets.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "campaign/shard.hpp"
+#include "core/error.hpp"
+
+namespace nodebench::fuzz {
+
+int runMergeOneInput(const std::uint8_t* data, std::size_t size) {
+  constexpr std::size_t kMaxShards = 8;
+  std::vector<campaign::ShardInput> shards;
+  std::size_t pos = 0;
+  while (pos + 4 <= size && shards.size() < kMaxShards) {
+    const std::size_t len = static_cast<std::size_t>(data[pos]) |
+                            (static_cast<std::size_t>(data[pos + 1]) << 8) |
+                            (static_cast<std::size_t>(data[pos + 2]) << 16) |
+                            (static_cast<std::size_t>(data[pos + 3]) << 24);
+    pos += 4;
+    const std::size_t take = std::min(len, size - pos);
+    campaign::ShardInput shard;
+    shard.name = "fuzz-shard-" + std::to_string(shards.size());
+    shard.bytes.assign(data + pos, data + pos + take);
+    shards.push_back(std::move(shard));
+    pos += take;
+  }
+  try {
+    (void)campaign::mergeShardJournals(shards);
+  } catch (const Error&) {
+    // ShardMergeError (or Error) is the structured refusal path.
+  }
+  return 0;
+}
+
+}  // namespace nodebench::fuzz
+
+#ifdef NODEBENCH_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return nodebench::fuzz::runMergeOneInput(data, size);
+}
+#endif

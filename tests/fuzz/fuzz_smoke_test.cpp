@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "campaign/journal.hpp"
+#include "campaign/shard.hpp"
 #include "core/rng.hpp"
 #include "fuzz_targets.hpp"
 #include "stats/store.hpp"
@@ -126,6 +127,60 @@ Bytes validStoreSeed() {
   return bytes;
 }
 
+/// A complete, *valid* two-shard merge container: both shards carry the
+/// shard header extension, identical manifests with their canonical
+/// ranges, and full cell coverage — so this seed actually merges, and
+/// mutations explore the refusal paths from a byte pattern that reaches
+/// the deepest validator stages (fingerprint diff, manifest equality,
+/// range and coverage proofs) instead of dying at the magic check.
+Bytes validMergeSeed() {
+  const std::vector<campaign::GridCell> grid = {
+      {"Trinity", "host bandwidth"},
+      {"Trinity", "on-socket latency"},
+      {"Manzano", "host bandwidth"},
+  };
+  Bytes container;
+  const auto appendEntry = [&container](const Bytes& shard) {
+    const auto len = static_cast<std::uint32_t>(shard.size());
+    for (int i = 0; i < 4; ++i) {
+      container.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xffu));
+    }
+    container.insert(container.end(), shard.begin(), shard.end());
+  };
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    campaign::CampaignConfig cfg;
+    cfg.registryHash = 0x1122334455667788ull;
+    cfg.seed = 7;
+    cfg.runs = 5;
+    cfg.jobs = 2;
+    cfg.shardIndex = i;
+    cfg.shardCount = 2;
+    Bytes shard = campaign::Journal::encodeHeader(cfg);
+    campaign::TableManifest manifest;
+    manifest.label = "table 4";
+    manifest.spec = {i, 2};
+    manifest.cells = grid;
+    manifest.assigned = campaign::shardRangeFor(grid.size(), manifest.spec);
+    const Bytes m =
+        campaign::Journal::encodeRecord(campaign::manifestRecord(manifest));
+    shard.insert(shard.end(), m.begin(), m.end());
+    for (std::size_t j = manifest.assigned.begin; j < manifest.assigned.end;
+         ++j) {
+      campaign::CellRecord cell;
+      cell.machine = grid[j].machine;
+      cell.cell = grid[j].cell;
+      cell.attempts = 1;
+      campaign::PayloadWriter w;
+      campaign::putSummary(w, Summary{});
+      cell.payload = w.bytes();
+      const Bytes r = campaign::Journal::encodeRecord(cell);
+      shard.insert(shard.end(), r.begin(), r.end());
+    }
+    appendEntry(shard);
+  }
+  return container;
+}
+
 /// One seeded mutation: flip bits, truncate, overwrite a run, or splice
 /// in random bytes. Mirrors libFuzzer's default mutators closely enough
 /// to shake out bounds bugs.
@@ -207,6 +262,12 @@ TEST(FuzzSmoke, StoreCorpusAndTenThousandMutations) {
   drive(&runStoreOneInput, seeds, 0x6e62727335f67a31ull, 10'000);
 }
 
+TEST(FuzzSmoke, MergeCorpusAndTenThousandMutations) {
+  std::vector<Bytes> seeds = readCorpus("merge");
+  seeds.push_back(validMergeSeed());
+  drive(&runMergeOneInput, seeds, 0x6d72675f667a3176ull, 10'000);
+}
+
 TEST(FuzzSmoke, ServeCorpusAndTenThousandMutations) {
   drive(&runServeOneInput, readCorpus("serve"), 0x7372765f667a3176ull, 10'000);
 }
@@ -224,6 +285,13 @@ TEST(FuzzSmoke, CrossFormatInputsAreRejectedGracefully) {
   EXPECT_EQ(runJsonOneInput(store.data(), store.size()), 0);
   EXPECT_EQ(runServeOneInput(journal.data(), journal.size()), 0);
   EXPECT_EQ(runServeOneInput(store.data(), store.size()), 0);
+  // Bare journals/stores into the merge container parser: the length
+  // prefix reads as garbage lengths, and a store is not a journal.
+  EXPECT_EQ(runMergeOneInput(journal.data(), journal.size()), 0);
+  EXPECT_EQ(runMergeOneInput(store.data(), store.size()), 0);
+  const Bytes mergeSeed = validMergeSeed();
+  EXPECT_EQ(runJournalOneInput(mergeSeed.data(), mergeSeed.size()), 0);
+  EXPECT_EQ(runStoreOneInput(mergeSeed.data(), mergeSeed.size()), 0);
   for (const Bytes& doc : readCorpus("json")) {
     EXPECT_EQ(runJournalOneInput(doc.data(), doc.size()), 0);
     EXPECT_EQ(runStoreOneInput(doc.data(), doc.size()), 0);

@@ -24,6 +24,13 @@ int runJournalOneInput(const std::uint8_t* data, std::size_t size);
 /// Feeds `data` to the results-store decoder (stats::ResultStore::decode).
 int runStoreOneInput(const std::uint8_t* data, std::size_t size);
 
+/// Feeds `data` to the shard-merge validator (mergeShardJournals): the
+/// input is a length-prefixed container of up to eight shard journal
+/// images, so the fuzzer explores cross-shard validation (fingerprint
+/// comparison, manifest forgery, coverage proofs) and not just
+/// single-journal decoding.
+int runMergeOneInput(const std::uint8_t* data, std::size_t size);
+
 /// Feeds `data` to the serve campaign-request decoder
 /// (serve::CampaignRequest::fromJson) and, for accepted inputs, checks
 /// the canonical re-rendering is a fixed point (the crash-recovery

@@ -1,0 +1,362 @@
+/// \file shard_plan_test.cpp
+/// \brief Unit tests for the shard layer's building blocks: spec
+/// parsing, the canonical partition, manifest round-trips, the
+/// ShardPlan skip-set, and the optional shard extension in the journal
+/// and store headers.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "campaign/shard.hpp"
+#include "core/error.hpp"
+#include "stats/store.hpp"
+
+namespace nodebench::campaign {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::string tempPath(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() /
+          (stem + "." + std::to_string(::getpid())))
+      .string();
+}
+
+// --- parseShardSpec ----------------------------------------------------------
+
+TEST(ShardSpecTest, ParsesValidSpecs) {
+  EXPECT_EQ(parseShardSpec("0/1"), (ShardSpec{0, 1}));
+  EXPECT_EQ(parseShardSpec("2/8"), (ShardSpec{2, 8}));
+  EXPECT_EQ(parseShardSpec("15/16"), (ShardSpec{15, 16}));
+  EXPECT_EQ(parseShardSpec("4095/4096"), (ShardSpec{4095, 4096}));
+}
+
+TEST(ShardSpecTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "1", "1/", "/2", "//", "a/b", "1/2/3", "-1/2", "1/-2", " 1/2",
+        "1/2 ", "1.0/2", "0x1/2", "1234567890/4096"}) {
+    EXPECT_THROW((void)parseShardSpec(bad), Error) << bad;
+  }
+}
+
+TEST(ShardSpecTest, RejectsOutOfRangeSpecs) {
+  EXPECT_THROW((void)parseShardSpec("0/0"), Error);
+  EXPECT_THROW((void)parseShardSpec("2/2"), Error);
+  EXPECT_THROW((void)parseShardSpec("3/2"), Error);
+  EXPECT_THROW((void)parseShardSpec("0/4097"), Error);
+  try {
+    (void)parseShardSpec("9/4");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("9/4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardSpecTest, SpecTextVocabulary) {
+  EXPECT_EQ(shardSpecText({0, 0}), "unsharded");
+  EXPECT_EQ(shardSpecText({2, 8}), "2/8");
+}
+
+// --- shardRangeFor -----------------------------------------------------------
+
+TEST(ShardRangeTest, PartitionTilesExactlyWithBalancedSizes) {
+  for (std::size_t total = 0; total <= 40; ++total) {
+    for (std::uint32_t count = 1; count <= 17; ++count) {
+      std::size_t cursor = 0;
+      std::size_t smallest = total + 1;
+      std::size_t largest = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const ShardRange r = shardRangeFor(total, {i, count});
+        // Contiguous tiling: each slice starts where the previous ended.
+        ASSERT_EQ(r.begin, cursor) << total << " cells, shard " << i << "/"
+                                   << count;
+        ASSERT_LE(r.begin, r.end);
+        cursor = r.end;
+        const std::size_t size = r.end - r.begin;
+        smallest = std::min(smallest, size);
+        largest = std::max(largest, size);
+      }
+      ASSERT_EQ(cursor, total) << total << " cells over " << count;
+      // Balanced: sizes differ by at most one (the uneven tail).
+      ASSERT_LE(largest - smallest, 1u) << total << " cells over " << count;
+    }
+  }
+}
+
+TEST(ShardRangeTest, MoreShardsThanCellsLeavesEmptySlices) {
+  const ShardRange r = shardRangeFor(3, {5, 8});
+  EXPECT_EQ(r.begin, r.end);
+  const ShardRange first = shardRangeFor(3, {0, 8});
+  EXPECT_EQ(first, (ShardRange{0, 1}));
+}
+
+// --- manifest round-trip -----------------------------------------------------
+
+TableManifest sampleManifest() {
+  TableManifest m;
+  m.label = "table 4";
+  m.spec = {1, 3};
+  m.cells = {{"Trinity", "host bandwidth"},
+             {"Trinity", "on-socket latency"},
+             {"Manzano", "host bandwidth"},
+             {"Manzano", "on-socket latency"}};
+  m.assigned = shardRangeFor(m.cells.size(), m.spec);
+  return m;
+}
+
+TEST(ShardManifestTest, PayloadRoundTrips) {
+  const TableManifest m = sampleManifest();
+  const Bytes payload = encodeManifestPayload(m);
+  const TableManifest back = decodeManifestPayload(payload);
+  EXPECT_TRUE(back == m);
+}
+
+TEST(ShardManifestTest, RecordUsesTheEmptyMachineSentinel) {
+  const TableManifest m = sampleManifest();
+  const CellRecord record = manifestRecord(m);
+  EXPECT_TRUE(isShardManifest(record));
+  EXPECT_EQ(record.machine, "");
+  EXPECT_EQ(record.cell, "table 4");
+  CellRecord real;
+  real.machine = "Trinity";
+  real.cell = "host bandwidth";
+  EXPECT_FALSE(isShardManifest(real));
+}
+
+TEST(ShardManifestTest, DecodeRejectsStructuralCorruption) {
+  const TableManifest m = sampleManifest();
+  const Bytes good = encodeManifestPayload(m);
+
+  // Truncation anywhere must raise, never crash or mis-read.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW((void)decodeManifestPayload({good.data(), len}),
+                 JournalCorruptError)
+        << "truncated to " << len;
+  }
+
+  // Trailing garbage.
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decodeManifestPayload(trailing), JournalCorruptError);
+
+  // Unsupported version (first u32).
+  Bytes badVersion = good;
+  badVersion[0] = 99;
+  EXPECT_THROW((void)decodeManifestPayload(badVersion), JournalCorruptError);
+
+  // Invalid spec: index >= count.
+  TableManifest badSpec = m;
+  badSpec.spec = {0, 1};
+  Bytes specBytes = encodeManifestPayload(badSpec);
+  specBytes[4] = 7;  // index u32 LE -> 7/1
+  EXPECT_THROW((void)decodeManifestPayload(specBytes), JournalCorruptError);
+
+  // Assigned range past the grid.
+  Bytes badRange = good;
+  badRange[badRange.size() - 4] = 200;  // end u32 LE
+  EXPECT_THROW((void)decodeManifestPayload(badRange), JournalCorruptError);
+}
+
+TEST(ShardManifestTest, DecodeRejectsEmptyMachineGridCell) {
+  TableManifest m = sampleManifest();
+  m.cells[1].machine = "";
+  // The encoder's contract forbids it too, so build the payload by hand.
+  PayloadWriter w;
+  w.putU32(1);  // version
+  w.putU32(m.spec.index);
+  w.putU32(m.spec.count);
+  w.putString(m.label);
+  w.putU32(static_cast<std::uint32_t>(m.cells.size()));
+  for (const GridCell& cell : m.cells) {
+    w.putString(cell.machine);
+    w.putString(cell.cell);
+  }
+  w.putU32(0);
+  w.putU32(1);
+  EXPECT_THROW((void)decodeManifestPayload(w.bytes()), JournalCorruptError);
+}
+
+// --- ShardPlan ---------------------------------------------------------------
+
+TEST(ShardPlanTest, AssignsExactlyTheCanonicalSlice) {
+  const TableManifest m = sampleManifest();  // shard 1/3 of 4 cells -> [2, 3)
+  ShardPlan plan(m.spec);
+  std::vector<GridCell> cells = m.cells;
+  plan.registerTable(m.label, std::move(cells), nullptr);
+  EXPECT_FALSE(plan.assigned("Trinity", "host bandwidth"));
+  EXPECT_FALSE(plan.assigned("Trinity", "on-socket latency"));
+  EXPECT_TRUE(plan.assigned("Manzano", "host bandwidth"));
+  EXPECT_FALSE(plan.assigned("Manzano", "on-socket latency"));
+  // Cells of tables never registered are not assigned.
+  EXPECT_FALSE(plan.assigned("Frontier", "device bandwidth"));
+}
+
+TEST(ShardPlanTest, ReRegisteringTheSameGridIsANoOp) {
+  const TableManifest m = sampleManifest();
+  ShardPlan plan(m.spec);
+  plan.registerTable(m.label, m.cells, nullptr);
+  EXPECT_NO_THROW(plan.registerTable(m.label, m.cells, nullptr));
+  std::vector<GridCell> drifted = m.cells;
+  drifted.pop_back();
+  EXPECT_THROW(plan.registerTable(m.label, std::move(drifted), nullptr),
+               Error);
+}
+
+TEST(ShardPlanTest, JournalsTheManifestAndVerifiesItOnResume) {
+  const std::string path = tempPath("nb_shard_plan_journal");
+  std::remove(path.c_str());
+  const TableManifest m = sampleManifest();
+  CampaignConfig cfg;
+  cfg.shardIndex = m.spec.index;
+  cfg.shardCount = m.spec.count;
+
+  {
+    auto journal = Journal::create(path, cfg);
+    ShardPlan plan(m.spec);
+    plan.registerTable(m.label, m.cells, journal.get());
+    EXPECT_EQ(journal->recordCount(), 1u);
+    EXPECT_EQ(journal->cellRecordCount(), 0u);  // manifests are not cells
+    // Registration is idempotent against the journal too.
+    plan.registerTable(m.label, m.cells, journal.get());
+    EXPECT_EQ(journal->recordCount(), 1u);
+  }
+  {
+    // Resume with the same grid: verified, not re-appended.
+    auto journal = Journal::resume(path, cfg);
+    ShardPlan plan(m.spec);
+    EXPECT_NO_THROW(plan.registerTable(m.label, m.cells, journal.get()));
+    EXPECT_EQ(journal->recordCount(), 1u);
+    EXPECT_EQ(journal->appendedThisProcess(), 0u);
+  }
+  {
+    // Resume with a drifted grid (e.g. a --machines change the config
+    // fingerprint cannot see): refused, naming the label.
+    auto journal = Journal::resume(path, cfg);
+    ShardPlan plan(m.spec);
+    std::vector<GridCell> drifted = m.cells;
+    drifted[0].machine = "Eagle";
+    try {
+      plan.registerTable(m.label, std::move(drifted), journal.get());
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("table 4"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("does not match this run's grid"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// --- header shard extension --------------------------------------------------
+
+CampaignConfig baseConfig() {
+  CampaignConfig cfg;
+  cfg.registryHash = 0x1122334455667788ull;
+  cfg.faultPlanHash = 0;
+  cfg.seed = 7;
+  cfg.runs = 5;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+TEST(ShardHeaderTest, UnshardedJournalHeaderIsByteIdenticalToPreShardFormat) {
+  CampaignConfig cfg = baseConfig();
+  const Bytes unsharded = Journal::encodeHeader(cfg);
+  cfg.shardIndex = 1;
+  cfg.shardCount = 3;
+  const Bytes sharded = Journal::encodeHeader(cfg);
+  // The shard spec is an optional trailing extension: exactly two u32s,
+  // present only when sharded. Old readers of unsharded files see the
+  // byte-exact pre-shard format.
+  EXPECT_EQ(sharded.size(), unsharded.size() + 8u);
+}
+
+TEST(ShardHeaderTest, JournalHeaderRoundTripsTheShardSpec) {
+  CampaignConfig cfg = baseConfig();
+  cfg.shardIndex = 2;
+  cfg.shardCount = 5;
+  CellRecord record;
+  record.machine = "Trinity";
+  record.cell = "host bandwidth";
+  record.attempts = 1;
+  Bytes bytes = Journal::encodeHeader(cfg);
+  const Bytes framed = Journal::encodeRecord(record);
+  bytes.insert(bytes.end(), framed.begin(), framed.end());
+  const Journal::Decoded decoded = Journal::decode(bytes);
+  EXPECT_EQ(decoded.config.shardIndex, 2u);
+  EXPECT_EQ(decoded.config.shardCount, 5u);
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.records[0].machine, "Trinity");
+}
+
+TEST(ShardHeaderTest, JournalDecodeRejectsInvalidShardSpecs) {
+  CampaignConfig cfg = baseConfig();
+  cfg.shardIndex = 5;
+  cfg.shardCount = 3;  // index >= count
+  EXPECT_THROW((void)Journal::decode(Journal::encodeHeader(cfg)),
+               JournalCorruptError);
+  cfg.shardIndex = 0;
+  cfg.shardCount = kMaxShardCount + 1;
+  EXPECT_THROW((void)Journal::decode(Journal::encodeHeader(cfg)),
+               JournalCorruptError);
+}
+
+TEST(ShardHeaderTest, ConfigMismatchNamesTheShardSpec) {
+  const CampaignConfig a = baseConfig();
+  CampaignConfig b = baseConfig();
+  b.shardIndex = 1;
+  b.shardCount = 2;
+  const std::string mismatch = describeConfigMismatch(a, b);
+  EXPECT_NE(mismatch.find("the shard spec (--shard)"), std::string::npos)
+      << mismatch;
+  EXPECT_NE(mismatch.find("unsharded"), std::string::npos) << mismatch;
+  EXPECT_NE(mismatch.find("1/2"), std::string::npos) << mismatch;
+  // Same spec on both sides: compatible.
+  CampaignConfig c = b;
+  EXPECT_EQ(describeConfigMismatch(b, c), "");
+}
+
+TEST(ShardHeaderTest, StoreHeaderRoundTripsTheShardSpec) {
+  CampaignConfig cfg = baseConfig();
+  const Bytes unsharded = stats::ResultStore::encodeHeader(cfg);
+  cfg.shardIndex = 3;
+  cfg.shardCount = 4;
+  const Bytes sharded = stats::ResultStore::encodeHeader(cfg);
+  EXPECT_EQ(sharded.size(), unsharded.size() + 8u);
+  const stats::StoreContents decoded = stats::ResultStore::decode(sharded);
+  EXPECT_EQ(decoded.config.shardIndex, 3u);
+  EXPECT_EQ(decoded.config.shardCount, 4u);
+
+  cfg.shardIndex = 9;
+  cfg.shardCount = 4;
+  EXPECT_THROW((void)stats::ResultStore::decode(
+                   stats::ResultStore::encodeHeader(cfg)),
+               stats::StoreCorruptError);
+}
+
+TEST(ShardHeaderTest, StoreMismatchNamesTheShardSpec) {
+  const CampaignConfig a = baseConfig();
+  CampaignConfig b = baseConfig();
+  b.shardIndex = 0;
+  b.shardCount = 2;
+  const std::string mismatch = stats::describeStoreMismatch(a, b);
+  EXPECT_NE(mismatch.find("the shard spec (--shard)"), std::string::npos)
+      << mismatch;
+}
+
+TEST(ShardPathTest, WorkerPathConvention) {
+  EXPECT_EQ(shardPath("/tmp/c.journal", {2, 8}), "/tmp/c.journal.shard2of8");
+}
+
+}  // namespace
+}  // namespace nodebench::campaign

@@ -232,4 +232,82 @@ else
 fi
 
 echo
+echo "== sharded campaign: SIGKILL one worker, resume it, merge =="
+# Three hand-launched shard workers (the cross-host shape — no driver
+# process), the middle one slowed and SIGKILLed mid-cell. Resuming just
+# that shard and merging must reproduce the single-process --jobs 1
+# journal and store byte-for-byte: the shard layer's durability story is
+# the journal's, per worker.
+shard_ref_journal="${workdir}/shard_ref.journal"
+shard_ref_store="${workdir}/shard_ref.store"
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 1 \
+  --journal "${shard_ref_journal}" --store "${shard_ref_store}" \
+  > /dev/null
+
+shard_base="${workdir}/shard.journal"
+shard_store_base="${workdir}/shard.store"
+for i in 0 2; do
+  "${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+    --shard "${i}/3" \
+    --journal "${shard_base}.shard${i}of3" \
+    --store "${shard_store_base}.shard${i}of3" > /dev/null &
+done
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+  --shard 1/3 \
+  --journal "${shard_base}.shard1of3" \
+  --store "${shard_store_base}.shard1of3" \
+  --test-cell-delay-ms 200 > /dev/null 2>&1 &
+victim=$!
+sleep 0.4
+kill -9 "${victim}" 2>/dev/null || true
+wait 2>/dev/null || true
+
+resume_flag=(--resume)
+if [[ ! -f "${shard_base}.shard1of3" ]]; then
+  # The kill landed before journal creation; start the shard fresh.
+  resume_flag=()
+fi
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 2 \
+  --shard 1/3 \
+  --journal "${shard_base}.shard1of3" \
+  --store "${shard_store_base}.shard1of3" "${resume_flag[@]}" > /dev/null \
+  2>> "${workdir}/stderr_shard.log"
+
+# A merge of the incomplete set must be refused, naming the shard.
+rc=0
+"${nodebench}" merge \
+  "${shard_base}.shard0of3" "${shard_base}.shard1of3" \
+  --out "${workdir}/shard_incomplete.journal" \
+  > /dev/null 2> "${workdir}/shard_refusal.log" || rc=$?
+if (( rc == 0 )); then
+  echo "error: merge accepted an incomplete shard set" >&2
+  exit 1
+fi
+if ! grep -q "shard 2/3" "${workdir}/shard_refusal.log"; then
+  echo "error: merge refusal does not name the missing shard" >&2
+  cat "${workdir}/shard_refusal.log" >&2
+  exit 1
+fi
+
+"${nodebench}" merge \
+  "${shard_base}.shard0of3" "${shard_base}.shard1of3" \
+  "${shard_base}.shard2of3" \
+  --out "${workdir}/shard_merged.journal" \
+  --stores "${shard_store_base}.shard0of3" \
+  --stores "${shard_store_base}.shard1of3" \
+  --stores "${shard_store_base}.shard2of3" \
+  --store-out "${workdir}/shard_merged.store" \
+  >> "${workdir}/stderr_shard.log" 2>&1
+
+if ! cmp -s "${workdir}/shard_merged.journal" "${shard_ref_journal}"; then
+  echo "error: merged shard journal differs from the --jobs 1 run" >&2
+  exit 1
+fi
+if ! cmp -s "${workdir}/shard_merged.store" "${shard_ref_store}"; then
+  echo "error: merged shard store differs from the --jobs 1 run" >&2
+  exit 1
+fi
+echo "   killed worker resumed; merged journal and store byte-identical"
+
+echo
 echo "crash suite passed"

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Sharded-campaign demo and integration check against the real binary:
+#
+#   tools/run_shard_demo.sh [build-dir] [table] [shards] [runs]
+#     build-dir  configured build tree (default: build)
+#     table      table selector for `nodebench shard` (default: 4)
+#     shards     worker-process count (default: 3)
+#     runs       --runs per cell (default: 2)
+#
+# Exercises the full distributed-campaign loop:
+#  1. `nodebench shard` forks N workers, each measuring its deterministic
+#     slice into shard-suffixed journal + store files, then merges
+#     in-process (--merge-out / --merge-store-out).
+#  2. The merged journal and store must be byte-identical to an
+#     uninterrupted single-process `--jobs 1` run of the same campaign.
+#  3. `nodebench merge` re-merges the same worker files standalone and
+#     must produce the same bytes again.
+#  4. Refusal paths: an incomplete shard set and an existing output file
+#     are both rejected loudly, naming the problem.
+set -euo pipefail
+
+build_dir="${1:-build}"
+table="${2:-4}"
+shards="${3:-3}"
+runs="${4:-2}"
+
+nodebench="${build_dir}/src/cli/nodebench"
+if [[ ! -x "${nodebench}" ]]; then
+  echo "error: '${nodebench}' not found; build the tree first" >&2
+  echo "hint: cmake -B ${build_dir} && cmake --build ${build_dir} -j" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/nodebench_shard_demo.XXXXXX")"
+trap 'rm -rf "${workdir}"' EXIT
+
+echo "== reference: single-process 'table ${table}' at --jobs 1 =="
+"${nodebench}" table "${table}" --runs "${runs}" --jobs 1 \
+  --journal "${workdir}/ref.journal" --store "${workdir}/ref.store" \
+  > /dev/null
+
+echo
+echo "== nodebench shard: ${shards} workers, merged in-process =="
+"${nodebench}" shard "${table}" --shards "${shards}" --runs "${runs}" \
+  --jobs 2 \
+  --journal "${workdir}/c.journal" --store "${workdir}/c.store" \
+  --merge-out "${workdir}/merged.journal" \
+  --merge-store-out "${workdir}/merged.store"
+
+if ! cmp -s "${workdir}/merged.journal" "${workdir}/ref.journal"; then
+  echo "error: merged journal differs from the single-process run" >&2
+  exit 1
+fi
+if ! cmp -s "${workdir}/merged.store" "${workdir}/ref.store"; then
+  echo "error: merged store differs from the single-process run" >&2
+  exit 1
+fi
+echo "   merged journal and store are byte-identical to the reference"
+
+echo
+echo "== nodebench merge: standalone re-merge of the worker files =="
+journals=()
+stores=()
+for (( i = 0; i < shards; i++ )); do
+  journals+=("${workdir}/c.journal.shard${i}of${shards}")
+  stores+=(--stores "${workdir}/c.store.shard${i}of${shards}")
+done
+"${nodebench}" merge "${journals[@]}" \
+  --out "${workdir}/remerged.journal" \
+  "${stores[@]}" --store-out "${workdir}/remerged.store"
+cmp "${workdir}/remerged.journal" "${workdir}/ref.journal"
+cmp "${workdir}/remerged.store" "${workdir}/ref.store"
+echo "   standalone merge reproduces the same bytes"
+
+echo
+echo "== refusal paths =="
+rc=0
+"${nodebench}" merge "${journals[0]}" \
+  --out "${workdir}/incomplete.journal" \
+  > /dev/null 2> "${workdir}/refusal.log" || rc=$?
+if (( rc == 0 )); then
+  echo "error: merge accepted an incomplete shard set" >&2
+  exit 1
+fi
+if ! grep -q "is missing from the merge set" "${workdir}/refusal.log"; then
+  echo "error: refusal does not explain the missing shard" >&2
+  cat "${workdir}/refusal.log" >&2
+  exit 1
+fi
+rc=0
+"${nodebench}" merge "${journals[@]}" \
+  --out "${workdir}/merged.journal" \
+  > /dev/null 2>> "${workdir}/refusal.log" || rc=$?
+if (( rc == 0 )); then
+  echo "error: merge overwrote an existing output" >&2
+  exit 1
+fi
+echo "   incomplete set and existing output both refused"
+
+echo
+echo "shard demo passed"

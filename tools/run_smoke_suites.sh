@@ -11,8 +11,15 @@
 #  - campaign: crash-safe journal format, torn-write recovery,
 #    kill-and-resume byte-identity (incl. the crash-injection run against
 #    the real binary, tools/run_crash_suite.sh).
+#  - shard: distributed sharded campaigns (tests/shard/): the
+#    deterministic partition + manifest layer, the merged-bytes identity
+#    matrix across shard counts x --jobs x fault plans, the merge
+#    refusal contract, the CLI driver/merge chain, and the worker
+#    kill-resume-merge run against the real binary
+#    (tools/run_shard_demo.sh).
 #  - fuzz: deterministic corpus + seeded-mutation replay of the
-#    fault-plan JSON, journal, and results-store decoders (tests/fuzz/).
+#    fault-plan JSON, journal, results-store, and shard-merge decoders
+#    (tests/fuzz/).
 #  - stats: the statistics engine + results store + regression gate
 #    (unit suites, the CLI gate chain, and the two-store compare demo
 #    against the real binary, tools/run_compare_demo.sh).
@@ -51,6 +58,10 @@ ctest --test-dir "${build_dir}" -L faults --output-on-failure
 echo
 echo "== campaign suite (crash-safe journal + resume) =="
 ctest --test-dir "${build_dir}" -L campaign --output-on-failure
+
+echo
+echo "== shard suite (distributed campaigns: partition, merge, identity) =="
+ctest --test-dir "${build_dir}" -L shard --output-on-failure
 
 echo
 echo "== fuzz smoke suite (input-boundary decoders) =="
