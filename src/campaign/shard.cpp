@@ -260,7 +260,8 @@ struct DecodedShard {
 
 }  // namespace
 
-MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
+MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards,
+                                  const MergeOptions& options) {
   if (shards.empty()) {
     throw ShardMergeError("merge needs at least one shard journal");
   }
@@ -311,21 +312,68 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
     }
     slot = &d;
   }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    if (byIndex[i] == nullptr) {
-      throw ShardMergeError("cannot merge: shard " + shardSpecText({i, count}) +
-                            " is missing from the merge set (" +
-                            std::to_string(shards.size()) + " of " +
-                            std::to_string(count) + " shard journal(s) given)");
+  // Quarantine records attach structured blame to a gap; one that names a
+  // shard the set does not have is a caller bug, refused in any mode.
+  const auto quarantineFor = [&](std::uint32_t shard) -> const ShardGap* {
+    for (const ShardGap& gap : options.quarantined) {
+      if (gap.shard == shard) {
+        return &gap;
+      }
     }
+    return nullptr;
+  };
+  for (const ShardGap& gap : options.quarantined) {
+    if (gap.shard >= count) {
+      throw ShardMergeError(
+          "cannot merge: the quarantine list names shard " +
+          std::to_string(gap.shard) + " but the shard set has only " +
+          std::to_string(count) + " shard(s)");
+    }
+  }
+
+  std::vector<ShardGap> missingShards;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] != nullptr) {
+      continue;
+    }
+    const ShardGap* quarantine = quarantineFor(i);
+    if (!options.allowPartial) {
+      std::string message =
+          "cannot merge: shard " + shardSpecText({i, count}) +
+          " is missing from the merge set (" + std::to_string(shards.size()) +
+          " of " + std::to_string(count) + " shard journal(s) given)";
+      if (quarantine != nullptr) {
+        message += "; it was quarantined after " +
+                   std::to_string(quarantine->attempts) +
+                   " failed attempt(s), last incident: " +
+                   quarantine->lastIncident;
+      }
+      throw ShardMergeError(message);
+    }
+    ShardGap gap;
+    gap.shard = i;
+    if (quarantine != nullptr) {
+      gap.attempts = quarantine->attempts;
+      gap.lastIncident = quarantine->lastIncident;
+    }
+    missingShards.push_back(std::move(gap));
   }
 
   // One configuration fingerprint. Shard index differs by construction;
   // everything else (registry, fault plan, seed, --runs, sizes) must
   // match, and the diagnostic names both the parameter and the shard.
-  CampaignConfig reference = byIndex[0]->decoded.config;
+  // The reference is the lowest-indexed *present* shard (shard 0 except
+  // under --allow-partial when it is a gap).
+  std::uint32_t firstPresent = 0;
+  while (byIndex[firstPresent] == nullptr) {
+    ++firstPresent;  // at least one shard is present: shards is non-empty
+  }
+  CampaignConfig reference = byIndex[firstPresent]->decoded.config;
   reference.shardIndex = 0;
-  for (std::uint32_t i = 1; i < count; ++i) {
+  for (std::uint32_t i = firstPresent + 1; i < count; ++i) {
+    if (byIndex[i] == nullptr) {
+      continue;
+    }
     CampaignConfig normalized = byIndex[i]->decoded.config;
     normalized.shardIndex = 0;
     const std::string mismatch = describeConfigMismatch(reference, normalized);
@@ -334,12 +382,15 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
                             shardSpecText({i, count}) + " (" +
                             byIndex[i]->name + ") was recorded under a "
                             "different configuration than " +
-                            byIndex[0]->name + ": " + mismatch);
+                            byIndex[firstPresent]->name + ": " + mismatch);
     }
   }
 
   // Split manifests from cell records, per shard, preserving file order.
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] == nullptr) {
+      continue;
+    }
     auto& d = const_cast<DecodedShard&>(*byIndex[i]);
     for (const CellRecord& record : d.decoded.records) {
       if (!isShardManifest(record)) {
@@ -376,17 +427,40 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
   // Every shard must have registered the same tables, in the same order,
   // over the same grids, and declare exactly its canonical slice — a
   // forged or drifted range is how overlaps and gaps would smuggle in.
-  const DecodedShard& first = *byIndex[0];
-  for (std::uint32_t i = 1; i < count; ++i) {
+  // Strict merges compare everyone against the first shard; partial
+  // merges take the present shard with the *most* manifests as the grid
+  // reference (a gap shard registered nothing) and require every other
+  // present shard's manifest list to be a prefix of it.
+  const DecodedShard* referenceShard = byIndex[firstPresent];
+  if (options.allowPartial) {
+    for (std::uint32_t i = firstPresent + 1; i < count; ++i) {
+      if (byIndex[i] != nullptr &&
+          byIndex[i]->manifests.size() > referenceShard->manifests.size()) {
+        referenceShard = byIndex[i];
+      }
+    }
+    if (referenceShard->manifests.empty()) {
+      throw ShardMergeError(
+          "cannot merge: no present shard registered a table manifest, so "
+          "the campaign grid is unknown — nothing to merge, even partially");
+    }
+  }
+  const DecodedShard& first = *referenceShard;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] == nullptr || byIndex[i] == referenceShard) {
+      continue;
+    }
     const DecodedShard& d = *byIndex[i];
-    if (d.manifests.size() != first.manifests.size()) {
+    if (d.manifests.size() != first.manifests.size() &&
+        !(options.allowPartial &&
+          d.manifests.size() < first.manifests.size())) {
       throw ShardMergeError(
           "cannot merge: " + first.name + " registered " +
           std::to_string(first.manifests.size()) + " table manifest(s) but " +
           d.name + " registered " + std::to_string(d.manifests.size()) +
           " — the shards measured different campaigns");
     }
-    for (std::size_t t = 0; t < first.manifests.size(); ++t) {
+    for (std::size_t t = 0; t < d.manifests.size(); ++t) {
       if (d.manifests[t].label != first.manifests[t].label) {
         throw ShardMergeError("cannot merge: " + first.name +
                               " registered table '" +
@@ -402,6 +476,9 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
     }
   }
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] == nullptr) {
+      continue;
+    }
     const DecodedShard& d = *byIndex[i];
     for (const TableManifest& manifest : d.manifests) {
       const ShardRange canonical =
@@ -428,6 +505,12 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
   out.config.shardCount = 0;
   out.config.jobs = 1;
   out.shardCount = count;
+  out.missingShards = std::move(missingShards);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] != nullptr) {
+      out.presentShards.push_back(i);
+    }
+  }
   std::map<std::string, std::size_t, std::less<>> gridIndex;
   for (const TableManifest& manifest : first.manifests) {
     for (std::size_t j = 0; j < manifest.cells.size(); ++j) {
@@ -457,6 +540,9 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
   std::vector<std::map<std::string, const CellRecord*, std::less<>>> records(
       count);
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] == nullptr) {
+      continue;
+    }
     const DecodedShard& d = *byIndex[i];
     for (const CellRecord* record : d.cells) {
       std::string key = gridKey(record->machine, record->cell);
@@ -485,7 +571,15 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
   for (std::size_t g = 0; g < out.grid.size(); ++g) {
     const std::uint32_t owner = out.ownerShard[g];
     const std::string key = gridKey(out.grid[g].machine, out.grid[g].cell);
-    if (records[owner].find(key) == records[owner].end()) {
+    if (byIndex[owner] == nullptr ||
+        records[owner].find(key) == records[owner].end()) {
+      if (options.allowPartial) {
+        // A gap, not a refusal: the cell is enumerated, never silently
+        // dropped. Covers both an absent shard and a present-but-
+        // incomplete journal (a salvaged attempt).
+        out.missingCells.push_back(g);
+        continue;
+      }
       throw ShardMergeError(
           "cannot merge: shard " + shardSpecText({owner, count}) + " (" +
           byIndex[owner]->name + ") has not measured its assigned cell (" +
@@ -493,12 +587,20 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
           "); resume that shard with --resume to finish it first");
     }
   }
+  out.partial = !out.missingShards.empty() || !out.missingCells.empty();
 
   // Emit the merged journal: normalized header, then every record in
   // grid-enumeration order — the byte order a single-process --jobs 1
-  // run writes.
+  // run writes. Missing cells (partial mode only) are skipped here and
+  // enumerated in the gap manifest instead.
+  std::size_t nextMissing = 0;
   out.journalBytes = Journal::encodeHeader(out.config);
   for (std::size_t g = 0; g < out.grid.size(); ++g) {
+    if (nextMissing < out.missingCells.size() &&
+        out.missingCells[nextMissing] == g) {
+      ++nextMissing;
+      continue;
+    }
     const std::string key = gridKey(out.grid[g].machine, out.grid[g].cell);
     const CellRecord* record = records[out.ownerShard[g]].at(key);
     const std::vector<std::uint8_t> framed = Journal::encodeRecord(*record);
@@ -506,6 +608,79 @@ MergedCampaign mergeShardJournals(const std::vector<ShardInput>& shards) {
                             framed.end());
   }
   return out;
+}
+
+std::string renderGapManifest(const MergedCampaign& merged) {
+  // Minimal stable JSON: sorted arrays, no timestamps, two-space indent —
+  // reruns of the same partial campaign produce byte-identical manifests.
+  const auto escape = [](std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            constexpr char kHex[] = "0123456789abcdef";
+            out += "\\u00";
+            out.push_back(kHex[(c >> 4) & 0xf]);
+            out.push_back(kHex[c & 0xf]);
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+    return out;
+  };
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"nodebench-gap-manifest-v1\",\n";
+  json += "  \"shards\": " + std::to_string(merged.shardCount) + ",\n";
+  json += "  \"present_shards\": [";
+  for (std::size_t i = 0; i < merged.presentShards.size(); ++i) {
+    json += (i ? ", " : "") + std::to_string(merged.presentShards[i]);
+  }
+  json += "],\n";
+  json += "  \"missing_shards\": [";
+  for (std::size_t i = 0; i < merged.missingShards.size(); ++i) {
+    const ShardGap& gap = merged.missingShards[i];
+    json += i ? ",\n    " : "\n    ";
+    json += "{\"shard\": " + std::to_string(gap.shard) +
+            ", \"attempts\": " + std::to_string(gap.attempts) +
+            ", \"last_incident\": " + escape(gap.lastIncident) + "}";
+  }
+  json += merged.missingShards.empty() ? "],\n" : "\n  ],\n";
+  json += "  \"total_cells\": " + std::to_string(merged.grid.size()) + ",\n";
+  json += "  \"present_cells\": " +
+          std::to_string(merged.grid.size() - merged.missingCells.size()) +
+          ",\n";
+  json += "  \"missing_cells\": [";
+  for (std::size_t i = 0; i < merged.missingCells.size(); ++i) {
+    const std::size_t g = merged.missingCells[i];
+    json += i ? ",\n    " : "\n    ";
+    json += "{\"machine\": " + escape(merged.grid[g].machine) +
+            ", \"cell\": " + escape(merged.grid[g].cell) +
+            ", \"shard\": " + std::to_string(merged.ownerShard[g]) + "}";
+  }
+  json += merged.missingCells.empty() ? "]\n" : "\n  ]\n";
+  json += "}\n";
+  return json;
 }
 
 }  // namespace nodebench::campaign

@@ -173,24 +173,70 @@ struct ShardInput {
 /// when the file is missing/unreadable, naming the path.
 [[nodiscard]] ShardInput readShardInput(const std::string& path);
 
+/// Structured diagnostics for one absent shard — the CellIncident of the
+/// merge layer. The supervisor fills `attempts`/`lastIncident` from its
+/// quarantine record; a hand-run partial merge that simply lacks a file
+/// gets the default incident text.
+struct ShardGap {
+  std::uint32_t shard = 0;    ///< the missing shard's index
+  std::uint32_t attempts = 0; ///< failed attempts (0 when unknown)
+  std::string lastIncident = "shard journal missing from the merge set";
+
+  [[nodiscard]] bool operator==(const ShardGap& o) const {
+    return shard == o.shard && attempts == o.attempts &&
+           lastIncident == o.lastIncident;
+  }
+};
+
+/// Merge policy knobs. `allowPartial` permits absent shard indices (a
+/// gap, never a refusal); `quarantined` attaches the supervisor's
+/// attempt counts and last incidents to those gaps so every diagnostic
+/// and the gap manifest can name *why* a shard is missing. Naming a
+/// shard index outside [0, N) is refused even in partial mode.
+struct MergeOptions {
+  bool allowPartial = false;
+  std::vector<ShardGap> quarantined;
+};
+
 /// The validated, merged campaign. `journalBytes` is the merged journal
 /// file image: the normalized header (shard spec cleared, jobs
 /// canonicalized to 1 — the reference single-process run) followed by
 /// every cell record in global grid-enumeration order, manifests
 /// stripped. Byte-identical to an uninterrupted single-process
-/// `--jobs 1 --journal` run of the same campaign.
+/// `--jobs 1 --journal` run of the same campaign — except under
+/// `allowPartial` with gaps, where missing cells are skipped (never
+/// silently: they are enumerated in `missingCells` and the gap
+/// manifest).
 struct MergedCampaign {
   CampaignConfig config;  ///< normalized: unsharded, jobs == 1
   std::uint32_t shardCount = 0;  ///< worker count of the merged set
   std::vector<GridCell> grid;  ///< global enumeration order (tables concatenated)
   std::vector<std::uint32_t> ownerShard;  ///< grid[i] measured by shard ownerShard[i]
   std::vector<std::uint8_t> journalBytes;
+
+  bool partial = false;  ///< true iff any shard or cell is missing
+  std::vector<std::uint32_t> presentShards;   ///< sorted indices with journals
+  std::vector<ShardGap> missingShards;        ///< sorted by shard index
+  std::vector<std::size_t> missingCells;      ///< grid indices without records
 };
 
-/// Validates and merges a complete shard set. See ShardMergeError for
-/// the refusal contract; every diagnostic names the offending shard.
+/// Validates and merges a shard set. See ShardMergeError for the refusal
+/// contract; every diagnostic names the offending shard. With
+/// `options.allowPartial`, absent shards and their cells become gaps
+/// instead of refusals; every *present* shard is still validated as
+/// strictly as ever (fingerprints, canonical ranges, ownership,
+/// duplicates), and an all-shards-present partial merge emits bytes
+/// identical to the strict merge.
 [[nodiscard]] MergedCampaign mergeShardJournals(
-    const std::vector<ShardInput>& shards);
+    const std::vector<ShardInput>& shards, const MergeOptions& options = {});
+
+/// Renders the gap manifest: a stable JSON document
+/// (`nodebench-gap-manifest-v1`) enumerating the present shards, every
+/// missing shard with its attempt count and last incident, and every
+/// missing (machine, cell) with its owning shard. Written next to a
+/// partial merge so a smaller table is always accompanied by an explicit
+/// statement of what is absent and why.
+[[nodiscard]] std::string renderGapManifest(const MergedCampaign& merged);
 
 /// The conventional worker journal/store path of shard i of N:
 /// "<base>.shard<i>of<N>" — what the `nodebench shard` driver passes its

@@ -30,8 +30,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +65,9 @@
 #include "stats/compare.hpp"
 #include "stats/merge.hpp"
 #include "stats/store.hpp"
+#include "supervise/heartbeat.hpp"
+#include "supervise/journal.hpp"
+#include "supervise/supervisor.hpp"
 #include "topo/dot.hpp"
 #include "trace/sink.hpp"
 #include "trace/trace.hpp"
@@ -118,9 +123,28 @@ int usage() {
       "          journal (and store) byte-identical to a single-process\n"
       "          --jobs 1 run; refuses mismatched/overlapping/incomplete\n"
       "          shard sets, naming the offending shard\n"
+      "  merge also accepts --allow-partial [--gap-out F]\n"
+      "          [--supervisor-journal F]: merge an incomplete shard set,\n"
+      "          writing a gap manifest naming every missing shard/cell\n"
+      "          (annotated from the supervisor's quarantine record) and\n"
+      "          exiting 44 — a smaller table is never silent\n"
+      "  supervise <1..9|all> --shards N --journal BASE [--store BASE]\n"
+      "          [--workers N] [--runs N] [--jobs N] [--faults F]\n"
+      "          [--max-attempts K] [--backoff-base-ms B] [--backoff-cap-ms C]\n"
+      "          [--heartbeat-interval-ms H] [--heartbeat-timeout-ms T]\n"
+      "          [--attempt-timeout-ms W] [--resume] [--merge-out F]\n"
+      "          [--merge-store-out F] [--gap-out F]  fault-tolerant\n"
+      "          lease-based campaign coordinator: workers pull shard\n"
+      "          leases, heartbeat, and journal; dead/wedged workers are\n"
+      "          reassigned with deterministic backoff and resume from\n"
+      "          their crash-safe journals; after K failures a shard is\n"
+      "          quarantined and the merge degrades to --allow-partial\n"
+      "          (exit 44, gap manifest); the supervisor itself survives\n"
+      "          SIGKILL via its own journal + --resume\n"
       "  serve --socket PATH|--port N [--state-dir D] [--resume]\n"
       "          [--queue-depth N] [--tenant-queue N] [--tenant-inflight N]\n"
-      "          [--executors N] [--io-threads N]  crash-tolerant\n"
+      "          [--executors N] [--io-threads N] [--memo-max-entries N]\n"
+      "          crash-tolerant\n"
       "          measurement daemon: POST campaign specs to /requests,\n"
       "          GET /requests/<id> and /healthz; SIGTERM drains\n"
       "          gracefully, restart --resume completes interrupted work\n"
@@ -168,6 +192,33 @@ std::optional<int> positiveFlagValue(std::vector<std::string>& args,
   }
   if (used != raw->size() || value < 1) {
     throw Error(flag + " expects a positive integer, got '" + *raw + "'");
+  }
+  return value;
+}
+
+/// Validated "--flag N" with N a non-negative integer — for flags where
+/// 0 is meaningful (a shard index); same error discipline as
+/// positiveFlagValue.
+std::optional<int> nonNegativeFlagValue(std::vector<std::string>& args,
+                                        const std::string& flag) {
+  const auto raw = flagValue(args, flag);
+  if (!raw) {
+    if (std::find(args.begin(), args.end(), flag) != args.end()) {
+      throw Error(flag + " expects a value");
+    }
+    return std::nullopt;
+  }
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(*raw, &used);
+  } catch (const std::exception&) {
+    throw Error(flag + " expects a non-negative integer, got '" + *raw +
+                "'");
+  }
+  if (used != raw->size() || value < 0) {
+    throw Error(flag + " expects a non-negative integer, got '" + *raw +
+                "'");
   }
   return value;
 }
@@ -416,6 +467,27 @@ int cmdTable(std::vector<std::string> args) {
   if (const auto delay = positiveFlagValue(args, "--test-cell-delay-ms")) {
     opt.testCellDelayMs = *delay;
   }
+  // Supervised-worker liveness: beat a heartbeat file for the campaign's
+  // duration (see supervise/heartbeat.hpp). Timing-only — never part of
+  // the fingerprint, never visible on stdout.
+  const auto heartbeatFile = flagValue(args, "--heartbeat");
+  if (!heartbeatFile &&
+      std::find(args.begin(), args.end(), "--heartbeat") != args.end()) {
+    throw Error("--heartbeat expects a value");
+  }
+  std::uint32_t heartbeatIntervalMs = 100;
+  if (const auto v = positiveFlagValue(args, "--heartbeat-interval-ms")) {
+    heartbeatIntervalMs = static_cast<std::uint32_t>(*v);
+  }
+  // Hidden chaos hooks for the supervise suite: stop heartbeating after
+  // N beats (a wedged worker), or fail outright after the journal opens
+  // (a poisoned shard).
+  const auto stallAfter =
+      positiveFlagValue(args, "--test-heartbeat-stall-after");
+  if (stallAfter && !heartbeatFile) {
+    throw Error("--test-heartbeat-stall-after requires --heartbeat FILE");
+  }
+  const bool testFailRun = flagPresent(args, "--test-fail-run");
   const std::unique_ptr<campaign::ShardPlan> shardPlan =
       openShardPlan(args, opt);
   // Peek --resume before openJournal consumes it: the store reattach
@@ -433,8 +505,20 @@ int cmdTable(std::vector<std::string> args) {
     installInterruptHandlers();
     opt.cancel = &interruptToken();
   }
+  std::unique_ptr<supervise::HeartbeatWriter> heartbeat;
+  if (heartbeatFile) {
+    heartbeat = std::make_unique<supervise::HeartbeatWriter>(
+        *heartbeatFile, heartbeatIntervalMs,
+        stallAfter ? static_cast<std::uint64_t>(*stallAfter) : 0);
+  }
   rejectLeftoverFlags(args);
   const std::string which = args[0];
+  if (testFailRun) {
+    // Fires after the journal/store exist, so the supervisor's retry has
+    // real artifacts to resume — exactly what a mid-campaign crash
+    // leaves behind.
+    throw Error("test failure injected by --test-fail-run");
+  }
   std::vector<report::CellIncident> incidents;
   const auto emit = [&](int n) {
     switch (n) {
@@ -898,10 +982,12 @@ int cmdCompare(std::vector<std::string> args, bool gate) {
 /// `nodebench merge` and the driver's --merge-out. Outputs are refused
 /// when they already exist — a merge is a derived artifact, and silently
 /// clobbering a previous one is how stale baselines are born.
-void runMerge(const std::vector<std::string>& journalPaths,
-              const std::string& outPath,
-              const std::vector<std::string>& storePaths,
-              const std::optional<std::string>& storeOutPath) {
+int runMerge(const std::vector<std::string>& journalPaths,
+             const std::string& outPath,
+             const std::vector<std::string>& storePaths,
+             const std::optional<std::string>& storeOutPath,
+             const campaign::MergeOptions& mopt = {},
+             const std::optional<std::string>& gapOutPath = std::nullopt) {
   struct stat st {};
   if (::stat(outPath.c_str(), &st) == 0) {
     throw Error("merge output already exists: " + outPath +
@@ -917,10 +1003,12 @@ void runMerge(const std::vector<std::string>& journalPaths,
     inputs.push_back(campaign::readShardInput(path));
   }
   const campaign::MergedCampaign merged =
-      campaign::mergeShardJournals(inputs);
+      campaign::mergeShardJournals(inputs, mopt);
   campaign::io::atomicWrite(outPath, merged.journalBytes, "merge");
   std::cout << "merged " << inputs.size() << " shard journal(s) -> "
-            << outPath << " (" << merged.grid.size() << " cell record(s))\n";
+            << outPath << " ("
+            << merged.grid.size() - merged.missingCells.size()
+            << " cell record(s))\n";
   if (storeOutPath) {
     std::vector<stats::ShardStoreInput> stores;
     stores.reserve(storePaths.size());
@@ -933,6 +1021,56 @@ void runMerge(const std::vector<std::string>& journalPaths,
     std::cout << "merged " << stores.size() << " shard store(s) -> "
               << *storeOutPath << "\n";
   }
+  if (!merged.partial) {
+    return 0;
+  }
+  // Partial: a smaller table is never silent. The gap manifest names
+  // every missing shard and cell, and the exit code is distinct.
+  const std::string gapPath =
+      gapOutPath ? *gapOutPath : outPath + ".gaps.json";
+  const std::string manifest = campaign::renderGapManifest(merged);
+  campaign::io::atomicWrite(
+      gapPath,
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(manifest.data()),
+          manifest.size()),
+      "gap manifest");
+  std::cerr << "nodebench merge: PARTIAL merge: "
+            << merged.missingCells.size() << " cell(s) from "
+            << merged.missingShards.size()
+            << " missing shard(s); gap manifest at " << gapPath << "\n";
+  return supervise::kPartialCampaignExitCode;
+}
+
+/// Reads a supervisor journal and returns its quarantine record (shard,
+/// attempts, last incident per poisoned shard) so a hand-driven
+/// `merge --allow-partial` names *why* each shard is missing, exactly as
+/// the supervisor's own degrade path does.
+std::vector<campaign::ShardGap> quarantineFromSupervisorJournal(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot read supervisor journal: " + path);
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto decoded = supervise::SupervisorJournal::decode(bytes);
+  std::map<std::uint32_t, campaign::ShardGap> gaps;
+  for (const supervise::SupervisorEvent& event : decoded.events) {
+    if (event.kind == supervise::EventKind::ShardPoisoned) {
+      campaign::ShardGap gap;
+      gap.shard = event.shard;
+      gap.attempts = event.attempt;
+      gap.lastIncident = event.detail;
+      gaps[event.shard] = std::move(gap);
+    }
+  }
+  std::vector<campaign::ShardGap> out;
+  out.reserve(gaps.size());
+  for (auto& [shard, gap] : gaps) {
+    out.push_back(std::move(gap));
+  }
+  return out;
 }
 
 /// `nodebench merge`: validate a complete shard set and rebuild the
@@ -958,6 +1096,18 @@ int cmdMerge(std::vector<std::string> args) {
   if (std::find(args.begin(), args.end(), "--stores") != args.end()) {
     throw Error("--stores expects a value");
   }
+  campaign::MergeOptions mopt;
+  mopt.allowPartial = flagPresent(args, "--allow-partial");
+  const auto gapOut = flagValue(args, "--gap-out");
+  if (!gapOut &&
+      std::find(args.begin(), args.end(), "--gap-out") != args.end()) {
+    throw Error("--gap-out expects a value");
+  }
+  const auto supJournal = flagValue(args, "--supervisor-journal");
+  if (!supJournal && std::find(args.begin(), args.end(),
+                               "--supervisor-journal") != args.end()) {
+    throw Error("--supervisor-journal expects a value");
+  }
   rejectLeftoverFlags(args);
   if (args.empty()) {
     return usage();
@@ -970,8 +1120,18 @@ int cmdMerge(std::vector<std::string> args) {
     throw Error("--stores requires --store-out FILE (the merged store "
                 "path)");
   }
-  runMerge(args, *out, storePaths, storeOut);
-  return 0;
+  if (gapOut && !mopt.allowPartial) {
+    throw Error("--gap-out requires --allow-partial (a strict merge can "
+                "have no gaps)");
+  }
+  if (supJournal && !mopt.allowPartial) {
+    throw Error("--supervisor-journal requires --allow-partial (the "
+                "quarantine record only annotates gaps)");
+  }
+  if (supJournal) {
+    mopt.quarantined = quarantineFromSupervisorJournal(*supJournal);
+  }
+  return runMerge(args, *out, storePaths, storeOut, mopt, gapOut);
 }
 
 /// `nodebench shard`: the multi-process campaign driver. Forks N worker
@@ -1129,13 +1289,130 @@ int cmdShard(std::vector<std::string> args) {
     return kInterruptedExitCode;
   }
   if (mergeOut) {
-    runMerge(journalPaths, *mergeOut, storePaths, mergeStoreOut);
-  } else {
+    return runMerge(journalPaths, *mergeOut, storePaths, mergeStoreOut);
+  }
+  {
     std::cout << "sharded campaign complete: " << count
               << " journal(s) at " << *journalBase << ".shard*of" << count
               << "; combine with `nodebench merge`\n";
   }
   return 0;
+}
+
+/// Stop flag for `nodebench supervise`: the signal handler only sets
+/// it; the supervisor's event loop polls it and drains (SIGTERM to
+/// workers, exit 43, journal intact for --resume).
+volatile std::sig_atomic_t g_superviseStopFlag = 0;
+
+void onSuperviseSignal(int /*signo*/) { g_superviseStopFlag = 1; }
+
+/// `nodebench supervise`: the fault-tolerant lease-based campaign
+/// coordinator (see supervise/supervisor.hpp for the protocol).
+int cmdSupervise(std::vector<std::string> args) {
+  supervise::SuperviseOptions sopt;
+  if (const auto shards = positiveFlagValue(args, "--shards")) {
+    sopt.shards = static_cast<std::uint32_t>(*shards);
+  } else {
+    throw Error("supervise requires --shards N (the shard count)");
+  }
+  if (const auto workers = positiveFlagValue(args, "--workers")) {
+    sopt.workers = static_cast<std::uint32_t>(*workers);
+  }
+  if (const auto journal = flagValue(args, "--journal")) {
+    sopt.journalBase = *journal;
+  } else {
+    if (std::find(args.begin(), args.end(), "--journal") != args.end()) {
+      throw Error("--journal expects a value");
+    }
+    throw Error("supervise requires --journal BASE (worker journals land "
+                "at BASE.shard<i>of<N>)");
+  }
+  if (const auto store = flagValue(args, "--store")) {
+    sopt.storeBase = *store;
+  } else if (std::find(args.begin(), args.end(), "--store") != args.end()) {
+    throw Error("--store expects a value");
+  }
+  if (const auto path = flagValue(args, "--supervisor-journal")) {
+    sopt.supervisorJournalPath = *path;
+  } else if (std::find(args.begin(), args.end(), "--supervisor-journal") !=
+             args.end()) {
+    throw Error("--supervisor-journal expects a value");
+  }
+  if (const auto runs = positiveFlagValue(args, "--runs")) {
+    sopt.runs = static_cast<std::uint32_t>(*runs);
+  }
+  if (const auto jobs = positiveFlagValue(args, "--jobs")) {
+    sopt.jobs = static_cast<std::uint32_t>(*jobs);
+  }
+  if (const auto faults = flagValue(args, "--faults")) {
+    sopt.faultsPath = *faults;
+  } else if (std::find(args.begin(), args.end(), "--faults") != args.end()) {
+    throw Error("--faults expects a value");
+  }
+  if (const auto v = positiveFlagValue(args, "--max-attempts")) {
+    sopt.maxAttempts = static_cast<std::uint32_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--backoff-base-ms")) {
+    sopt.backoff.baseMs = static_cast<std::uint32_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--backoff-cap-ms")) {
+    sopt.backoff.capMs = static_cast<std::uint32_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--heartbeat-interval-ms")) {
+    sopt.heartbeatIntervalMs = static_cast<std::uint32_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--heartbeat-timeout-ms")) {
+    sopt.heartbeatTimeoutMs = static_cast<std::uint32_t>(*v);
+  }
+  if (const auto v = positiveFlagValue(args, "--attempt-timeout-ms")) {
+    sopt.attemptTimeoutMs = static_cast<std::uint32_t>(*v);
+  }
+  sopt.resume = flagPresent(args, "--resume");
+  if (const auto out = flagValue(args, "--merge-out")) {
+    sopt.mergeOut = *out;
+  } else if (std::find(args.begin(), args.end(), "--merge-out") !=
+             args.end()) {
+    throw Error("--merge-out expects a value");
+  }
+  if (const auto out = flagValue(args, "--merge-store-out")) {
+    sopt.mergeStoreOut = *out;
+  } else if (std::find(args.begin(), args.end(), "--merge-store-out") !=
+             args.end()) {
+    throw Error("--merge-store-out expects a value");
+  }
+  if (const auto out = flagValue(args, "--gap-out")) {
+    sopt.gapOut = *out;
+  } else if (std::find(args.begin(), args.end(), "--gap-out") !=
+             args.end()) {
+    throw Error("--gap-out expects a value");
+  }
+  if (const auto v = positiveFlagValue(args, "--test-cell-delay-ms")) {
+    sopt.testCellDelayMs = static_cast<std::uint32_t>(*v);
+  }
+  // Hidden chaos hooks (see SuperviseOptions): deterministically poison
+  // or stall one shard so the suite can prove quarantine + reassignment.
+  if (const auto v = nonNegativeFlagValue(args, "--test-poison-shard")) {
+    sopt.testPoisonShard = *v;
+  }
+  if (const auto v = nonNegativeFlagValue(args, "--test-stall-shard")) {
+    sopt.testStallShard = *v;
+  }
+  rejectLeftoverFlags(args);
+  if (args.size() != 1) {
+    return usage();
+  }
+  sopt.table = args[0];
+
+  g_superviseStopFlag = 0;
+  sopt.stopFlag = &g_superviseStopFlag;
+  (void)std::signal(SIGINT, onSuperviseSignal);
+  (void)std::signal(SIGTERM, onSuperviseSignal);
+  const supervise::SuperviseResult result = supervise::runSupervise(sopt);
+  if (result.exitCode == kInterruptedExitCode) {
+    std::cerr << "nodebench supervise: campaign interrupted; rerun the "
+                 "same command with --resume to finish\n";
+  }
+  return result.exitCode;
 }
 
 /// Drain flag for `nodebench serve`: the signal handler only sets it;
@@ -1192,6 +1469,9 @@ int cmdServe(std::vector<std::string> args) {
   }
   if (const auto v = positiveFlagValue(args, "--io-threads")) {
     sopt.ioThreads = *v;
+  }
+  if (const auto v = positiveFlagValue(args, "--memo-max-entries")) {
+    sopt.memoMaxEntries = static_cast<std::size_t>(*v);
   }
   sopt.resume = flagPresent(args, "--resume");
   sopt.allowDebugHooks = flagPresent(args, "--test-hooks");
@@ -1308,6 +1588,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "merge") {
       return cmdMerge(std::move(args));
+    }
+    if (cmd == "supervise") {
+      return cmdSupervise(std::move(args));
     }
     return usage();
   } catch (const CancelledError& e) {

@@ -1,0 +1,46 @@
+#include "core/deadline.hpp"
+
+namespace nodebench {
+
+void DeadlineMonitor::arm(const std::string& id, Clock::time_point deadline) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  deadlines_[id] = deadline;
+}
+
+void DeadlineMonitor::disarm(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  deadlines_.erase(id);
+}
+
+std::vector<std::string> DeadlineMonitor::expired(Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = deadlines_.begin(); it != deadlines_.end();) {
+    if (it->second <= now) {
+      out.push_back(it->first);
+      it = deadlines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::optional<DeadlineMonitor::Clock::time_point>
+DeadlineMonitor::nextDeadline() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Clock::time_point> earliest;
+  for (const auto& [id, deadline] : deadlines_) {
+    if (!earliest || deadline < *earliest) {
+      earliest = deadline;
+    }
+  }
+  return earliest;
+}
+
+std::size_t DeadlineMonitor::armedCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return deadlines_.size();
+}
+
+}  // namespace nodebench

@@ -396,6 +396,13 @@ void Server::handleHealth(int fd) {
   w.key("watchdog_cancelled").value(watchdogCancelled_.load());
   w.key("drain_interrupted").value(drainInterrupted_.load());
   w.key("memo_hits").value(memoHits_.load());
+  {
+    std::lock_guard<std::mutex> lock(memoMu_);
+    w.key("memo_entries").value(static_cast<std::uint64_t>(memo_.size()));
+  }
+  w.key("memo_evictions").value(memoEvictions_.load());
+  w.key("memo_max_entries")
+      .value(static_cast<std::uint64_t>(opt_.memoMaxEntries));
   w.key("recovered").value(recovered_.load());
   w.endObject();
   writeHttpResponse(fd, 200, "OK", "application/json", w.str());
@@ -409,12 +416,13 @@ void Server::executorLoop() {
 
 void Server::watchdogLoop() {
   while (!stopIo_) {
-    {
-      const auto now = std::chrono::steady_clock::now();
-      std::lock_guard<std::mutex> lock(entriesMu_);
-      for (auto& [id, entry] : entries_) {
-        if (entry->state == ReqState::Running && entry->hasDeadline &&
-            now >= entry->deadline && !entry->cancel.requested()) {
+    for (const std::string& id :
+         watchdogMonitor_.expired(std::chrono::steady_clock::now())) {
+      const auto entry = findEntry(id);
+      if (entry) {
+        std::lock_guard<std::mutex> lock(entriesMu_);
+        if (entry->state == ReqState::Running &&
+            !entry->cancel.requested()) {
           entry->cancel.set(CancelReason::Watchdog);
           std::cerr << "nodebench serve: watchdog expired for " << id
                     << ", cancelling\n";
@@ -441,9 +449,9 @@ void Server::finishEntry(const std::string& id, ReqState state,
     if (it != entries_.end()) {
       it->second->state = state;
       it->second->resultJson = std::move(resultJson);
-      it->second->hasDeadline = false;
     }
   }
+  watchdogMonitor_.disarm(id);
   entriesCv_.notify_all();
 }
 
@@ -485,11 +493,10 @@ void Server::runRequest(const Ticket& ticket) {
     {
       std::lock_guard<std::mutex> lock(entriesMu_);
       entry->state = ReqState::Running;
-      if (req.watchdogMs > 0) {
-        entry->hasDeadline = true;
-        entry->deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(req.watchdogMs);
-      }
+    }
+    if (req.watchdogMs > 0) {
+      watchdogMonitor_.arm(id, std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(req.watchdogMs));
     }
 
     report::TableOptions opt = req.tableOptions();
@@ -566,7 +573,8 @@ std::string Server::renderTables(const std::string& id,
       const auto it = memo_.find(key);
       if (it != memo_.end()) {
         ++memoHits_;
-        outs.push_back({table, it->second});
+        memoLru_.splice(memoLru_.begin(), memoLru_, it->second.lru);
+        outs.push_back({table, it->second.entry});
         continue;
       }
     }
@@ -605,9 +613,19 @@ std::string Server::renderTables(const std::string& id,
     if (!req.storeSamples) {
       // Sound because results are deterministic functions of the
       // measurement key; store-sample runs skip the cache so every such
-      // request materializes its own NBRS file.
+      // request materializes its own NBRS file. Eviction past the LRU
+      // cap only costs recomputation, never correctness.
       std::lock_guard<std::mutex> lock(memoMu_);
-      memo_.emplace(key, fresh);
+      if (memo_.find(key) == memo_.end()) {
+        memoLru_.push_front(key);
+        memo_.emplace(key, MemoSlot{fresh, memoLru_.begin()});
+        while (opt_.memoMaxEntries != 0 &&
+               memo_.size() > opt_.memoMaxEntries) {
+          memo_.erase(memoLru_.back());
+          memoLru_.pop_back();
+          ++memoEvictions_;
+        }
+      }
     }
     outs.push_back({table, std::move(fresh)});
   }

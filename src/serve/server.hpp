@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "core/deadline.hpp"
 #include "report/tables.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -63,6 +65,11 @@ struct ServerOptions {
   int executorThreads = 1;
   int watchdogPollMs = 20;   ///< Deadline scan period.
   int readTimeoutMs = 10000; ///< Per-connection HTTP read budget.
+  /// Bounded memoization: the memo table keeps at most this many
+  /// rendered tables, evicting least-recently-used entries past the
+  /// cap (0 = unbounded). Eviction only costs recomputation — results
+  /// are deterministic, so byte-identity is unaffected.
+  std::size_t memoMaxEntries = 1024;
   bool allowDebugHooks = false;  ///< Permit debug_cell_delay_ms requests.
   bool resume = false;  ///< Re-queue interrupted requests from stateDir.
 };
@@ -108,13 +115,18 @@ class Server {
     ReqState state = ReqState::Queued;
     std::string resultJson;  ///< Final response body (Done/Cancelled/Failed).
     CancelToken cancel;
-    bool hasDeadline = false;
-    std::chrono::steady_clock::time_point deadline{};
   };
 
   struct MemoEntry {
     std::string ascii;
     std::vector<report::CellIncident> incidents;
+  };
+
+  /// One memo-table slot: the shared rendered result plus its position
+  /// in the recency list (front = most recently used).
+  struct MemoSlot {
+    std::shared_ptr<const MemoEntry> entry;
+    std::list<std::string>::iterator lru;
   };
 
   // Thread bodies.
@@ -163,15 +175,23 @@ class Server {
   std::condition_variable entriesCv_;
   std::map<std::string, std::shared_ptr<RequestEntry>> entries_;
 
-  // Process-wide measurement memoization.
+  // Process-wide measurement memoization, LRU-bounded by
+  // opt_.memoMaxEntries.
   std::mutex memoMu_;
-  std::map<std::string, std::shared_ptr<const MemoEntry>> memo_;
+  std::map<std::string, MemoSlot> memo_;
+  std::list<std::string> memoLru_;  ///< Keys, most recently used first.
+
+  // Request wall-clock deadlines, shared plumbing with the supervise
+  // heartbeat monitor (core/deadline.hpp). Armed by runRequest, cleared
+  // by finishEntry, swept by watchdogLoop.
+  DeadlineMonitor watchdogMonitor_;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopIo_{false};
   std::atomic<std::uint64_t> watchdogCancelled_{0};
   std::atomic<std::uint64_t> drainInterrupted_{0};
   std::atomic<std::uint64_t> memoHits_{0};
+  std::atomic<std::uint64_t> memoEvictions_{0};
   std::atomic<std::uint64_t> recovered_{0};
 };
 

@@ -40,7 +40,14 @@ std::vector<std::uint8_t> mergeShardStores(
   const std::uint32_t count = plan.shardCount;
   NB_EXPECTS_MSG(count >= 1, "merge plan carries no shard count");
 
-  // Exactly one store per shard index, every index present.
+  // Exactly one store per shard index; every index the journal merge saw
+  // must be present, and — under a partial plan — a store for a shard
+  // whose *journal* was missing is refused too: the journal is the
+  // source of truth, and samples without journalled cells cannot merge.
+  std::set<std::uint32_t> journalMissing;
+  for (const campaign::ShardGap& gap : plan.missingShards) {
+    journalMissing.insert(gap.shard);
+  }
   std::vector<const ShardStoreInput*> byIndex(count, nullptr);
   for (const ShardStoreInput& s : stores) {
     const campaign::CampaignConfig& cfg = s.contents.config;
@@ -56,6 +63,13 @@ std::vector<std::uint8_t> mergeShardStores(
                             " shard(s) but the journal set has " +
                             std::to_string(count));
     }
+    if (journalMissing.count(cfg.shardIndex) != 0) {
+      throw ShardMergeError(
+          "cannot merge: store shard " +
+          shardSpecText({cfg.shardIndex, count}) + " (" + s.name +
+          ") has samples but its journal is a quarantined gap in the "
+          "partial merge — a store without its journal cannot merge");
+    }
     const ShardStoreInput*& slot = byIndex[cfg.shardIndex];
     if (slot != nullptr) {
       throw ShardMergeError("cannot merge: store shard " +
@@ -66,7 +80,7 @@ std::vector<std::uint8_t> mergeShardStores(
     slot = &s;
   }
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (byIndex[i] == nullptr) {
+    if (byIndex[i] == nullptr && journalMissing.count(i) == 0) {
       throw ShardMergeError("cannot merge: store shard " +
                             shardSpecText({i, count}) +
                             " is missing from the merge set (" +
@@ -77,6 +91,9 @@ std::vector<std::uint8_t> mergeShardStores(
 
   // One fingerprint, the journal plan's.
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] == nullptr) {
+      continue;
+    }
     campaign::CampaignConfig normalized = byIndex[i]->contents.config;
     normalized.shardIndex = 0;
     normalized.shardCount = 0;
@@ -91,11 +108,15 @@ std::vector<std::uint8_t> mergeShardStores(
     }
   }
 
-  // Index the plan's grid.
+  // Index the plan's grid, and the cells the partial journal merge
+  // declared missing — a store record for one of those would be a sample
+  // set with no journalled cell record backing it.
   std::map<std::string, std::size_t, std::less<>> gridIndex;
   for (std::size_t g = 0; g < plan.grid.size(); ++g) {
     gridIndex.emplace(gridKey(plan.grid[g].machine, plan.grid[g].cell), g);
   }
+  std::set<std::size_t> missingCells(plan.missingCells.begin(),
+                                     plan.missingCells.end());
 
   // Gather records, proving each one sits inside its shard's slice.
   struct Keyed {
@@ -107,6 +128,9 @@ std::vector<std::uint8_t> mergeShardStores(
   std::set<std::string, std::less<>> seenKeys;
   std::size_t fileOrder = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
+    if (byIndex[i] == nullptr) {
+      continue;
+    }
     const ShardStoreInput& s = *byIndex[i];
     for (const SampleRecord& record : s.contents.records) {
       const auto git = gridIndex.find(gridKey(record.machine, record.cell));
@@ -115,6 +139,13 @@ std::vector<std::uint8_t> mergeShardStores(
                               " contains a record for (" + record.machine +
                               ", " + record.cell +
                               ") which is not in the campaign grid");
+      }
+      if (missingCells.count(git->second) != 0) {
+        throw ShardMergeError(
+            "cannot merge: store " + s.name + " has samples for cell (" +
+            record.machine + ", " + record.cell +
+            ") which the partial journal merge lists as missing — a store "
+            "record without its journal record cannot merge");
       }
       const std::uint32_t owner = plan.ownerShard[git->second];
       if (owner != i) {

@@ -1,0 +1,44 @@
+#include "supervise/backoff.hpp"
+
+#include <algorithm>
+
+#include "core/checksum.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace nodebench::supervise {
+
+std::uint64_t retrySeed(const campaign::CampaignConfig& config,
+                        std::uint32_t shard, std::uint32_t attempt) {
+  std::uint64_t h = Fnv1a::init();
+  h = Fnv1a::mix(h, std::string_view("nodebench-supervise-backoff-v1"));
+  h = Fnv1a::mix(h, config.registryHash);
+  h = Fnv1a::mix(h, config.faultPlanHash);
+  h = Fnv1a::mix(h, config.seed);
+  h = Fnv1a::mix(h, static_cast<std::uint64_t>(config.runs));
+  h = Fnv1a::mix(h, static_cast<std::uint64_t>(config.cellRetries));
+  h = Fnv1a::mix(h, config.cpuArrayBytes);
+  h = Fnv1a::mix(h, config.gpuArrayBytes);
+  h = Fnv1a::mix(h, config.mpiMessageSize);
+  h = Fnv1a::mix(h, static_cast<std::uint64_t>(shard));
+  h = Fnv1a::mix(h, static_cast<std::uint64_t>(attempt));
+  return h;
+}
+
+std::uint32_t backoffDelayMs(const BackoffPolicy& policy, std::uint64_t seed,
+                             std::uint32_t attempt) {
+  NB_EXPECTS(attempt >= 1);
+  NB_EXPECTS(policy.jitterFrac >= 0.0 && policy.jitterFrac <= 1.0);
+  // min(cap, base << (attempt - 1)), with the shift saturated long
+  // before it could overflow.
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 31);
+  const std::uint64_t raw = static_cast<std::uint64_t>(policy.baseMs) << shift;
+  const auto delay = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(raw, policy.capMs));
+  Xoshiro256 rng(seed);
+  const auto jitter = static_cast<std::uint32_t>(
+      static_cast<double>(delay) * policy.jitterFrac * rng.uniform01());
+  return delay + jitter;
+}
+
+}  // namespace nodebench::supervise

@@ -1,0 +1,44 @@
+#pragma once
+/// \file backoff.hpp
+/// \brief Deterministic capped-exponential retry backoff for shard
+/// reassignment.
+///
+/// When the supervisor expires a worker's lease it does not relaunch
+/// immediately — a machine-level cause (OOM pressure, a flapping
+/// filesystem) would just kill the replacement too. Attempt k waits
+/// `min(cap, base * 2^(k-1))` plus jitter. The jitter is *seeded from
+/// the campaign fingerprint* (the same discipline as the bootstrap CIs
+/// in src/stats): two runs of the same campaign produce byte-identical
+/// retry schedules, so a chaos-suite failure reproduces instead of
+/// flaking.
+
+#include <cstdint>
+
+#include "campaign/journal.hpp"
+
+namespace nodebench::supervise {
+
+/// Backoff shape. `jitterFrac` bounds the added jitter as a fraction of
+/// the deterministic delay: delay + uniform[0, jitterFrac * delay).
+struct BackoffPolicy {
+  std::uint32_t baseMs = 250;
+  std::uint32_t capMs = 5000;
+  double jitterFrac = 0.5;
+};
+
+/// The jitter seed for (campaign, shard, attempt): an FNV-1a mix of
+/// every fingerprint field the journal header carries (except `jobs`,
+/// which is provenance, not identity) plus the shard index and attempt
+/// number. Stable across processes, platforms, and reruns.
+[[nodiscard]] std::uint64_t retrySeed(const campaign::CampaignConfig& config,
+                                      std::uint32_t shard,
+                                      std::uint32_t attempt);
+
+/// The delay before launching attempt `attempt + 1` after `attempt`
+/// failed attempts (attempt >= 1). Pure function of (policy, seed,
+/// attempt) — see retrySeed for the determinism contract.
+[[nodiscard]] std::uint32_t backoffDelayMs(const BackoffPolicy& policy,
+                                           std::uint64_t seed,
+                                           std::uint32_t attempt);
+
+}  // namespace nodebench::supervise

@@ -1,0 +1,86 @@
+/// \file deadline_test.cpp
+/// \brief The arm/disarm/expire lifecycle both watchdog loops (serve
+/// request budgets, supervise heartbeat leases) depend on: fire-once
+/// semantics, re-arm-as-upsert, race-tolerant disarm, and deterministic
+/// expiry order.
+
+#include "core/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace nodebench {
+namespace {
+
+using namespace std::chrono_literals;
+
+DeadlineMonitor::Clock::time_point base() {
+  // A fixed epoch: every assertion works in offsets from here, so the
+  // tests never sleep.
+  return DeadlineMonitor::Clock::time_point(std::chrono::seconds(1000));
+}
+
+TEST(DeadlineMonitor, ExpiredRemovesAndReturnsAtMostOnce) {
+  DeadlineMonitor monitor;
+  monitor.arm("a", base() + 100ms);
+  EXPECT_EQ(monitor.armedCount(), 1u);
+  EXPECT_TRUE(monitor.expired(base() + 99ms).empty());
+  EXPECT_EQ(monitor.expired(base() + 100ms),
+            (std::vector<std::string>{"a"}))
+      << "a deadline fires at its exact time point";
+  EXPECT_EQ(monitor.armedCount(), 0u);
+  EXPECT_TRUE(monitor.expired(base() + 10s).empty())
+      << "a fired deadline never fires again";
+}
+
+TEST(DeadlineMonitor, ExpiryOrderIsDeterministicById) {
+  DeadlineMonitor monitor;
+  monitor.arm("zebra", base() + 10ms);
+  monitor.arm("alpha", base() + 20ms);
+  monitor.arm("mid", base() + 15ms);
+  monitor.arm("late", base() + 10min);
+  EXPECT_EQ(monitor.expired(base() + 1s),
+            (std::vector<std::string>{"alpha", "mid", "zebra"}));
+  EXPECT_EQ(monitor.armedCount(), 1u) << "the unexpired entry survives";
+}
+
+TEST(DeadlineMonitor, ReArmIsAnUpsert) {
+  DeadlineMonitor monitor;
+  monitor.arm("hb:0", base() + 50ms);
+  // The heartbeat monitor's pattern: every observed beat pushes the
+  // expiry out.
+  monitor.arm("hb:0", base() + 500ms);
+  EXPECT_EQ(monitor.armedCount(), 1u);
+  EXPECT_TRUE(monitor.expired(base() + 100ms).empty());
+  EXPECT_EQ(monitor.expired(base() + 500ms),
+            (std::vector<std::string>{"hb:0"}));
+}
+
+TEST(DeadlineMonitor, DisarmIsANoOpWhenNotArmed) {
+  DeadlineMonitor monitor;
+  monitor.disarm("never-armed");
+  monitor.arm("a", base() + 10ms);
+  ASSERT_EQ(monitor.expired(base() + 10ms).size(), 1u);
+  // The completion race: work finishing after its deadline fired just
+  // disarms nothing.
+  monitor.disarm("a");
+  EXPECT_EQ(monitor.armedCount(), 0u);
+}
+
+TEST(DeadlineMonitor, NextDeadlineTracksTheEarliestEntry) {
+  DeadlineMonitor monitor;
+  EXPECT_EQ(monitor.nextDeadline(), std::nullopt);
+  monitor.arm("slow", base() + 1s);
+  monitor.arm("fast", base() + 10ms);
+  ASSERT_TRUE(monitor.nextDeadline().has_value());
+  EXPECT_EQ(*monitor.nextDeadline(), base() + 10ms);
+  monitor.disarm("fast");
+  ASSERT_TRUE(monitor.nextDeadline().has_value());
+  EXPECT_EQ(*monitor.nextDeadline(), base() + 1s);
+  monitor.disarm("slow");
+  EXPECT_EQ(monitor.nextDeadline(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace nodebench

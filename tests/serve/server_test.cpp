@@ -196,6 +196,59 @@ TEST_F(ServeServerTest, SubmitWaitReturnsTableAndPersistsResult) {
   server.waitUntilStopped();
 }
 
+TEST_F(ServeServerTest, MemoEvictionIsBoundedLruAndByteIdentical) {
+  // A one-slot memo table: the second distinct spec evicts the first,
+  // and a recomputed result after eviction is byte-identical to the
+  // originally memoized one (determinism is what makes eviction safe).
+  ServerOptions opt = baseOptions("m");
+  opt.memoMaxEntries = 1;
+  Server server(opt);
+  server.start();
+  const std::string sock = scratch("m.sock");
+
+  constexpr const char* kOtherSpec =
+      R"({"tables":[4],"runs":2,"machines":["Trinity"]})";
+  const auto tablesOf = [](const Response& r) {
+    const std::size_t pos = r.body.find("\"tables\"");
+    EXPECT_NE(pos, std::string::npos) << r.body;
+    return pos == std::string::npos ? std::string() : r.body.substr(pos);
+  };
+
+  const Response first = post(sock, kTinySpec);
+  EXPECT_EQ(first.status, 200);
+  // Same spec again: a hit, no eviction.
+  EXPECT_EQ(post(sock, kTinySpec).status, 200);
+  Response health = get(sock, "/healthz");
+  EXPECT_NE(health.body.find("\"memo_hits\":1"), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"memo_evictions\":0"), std::string::npos)
+      << health.body;
+
+  // A different spec fills the only slot, evicting the first.
+  EXPECT_EQ(post(sock, kOtherSpec).status, 200);
+  health = get(sock, "/healthz");
+  EXPECT_NE(health.body.find("\"memo_evictions\":1"), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"memo_entries\":1"), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"memo_max_entries\":1"), std::string::npos)
+      << health.body;
+
+  // The evicted spec recomputes (no new hit) — byte-identical tables.
+  const Response again = post(sock, kTinySpec);
+  EXPECT_EQ(again.status, 200);
+  EXPECT_EQ(tablesOf(again), tablesOf(first));
+  health = get(sock, "/healthz");
+  EXPECT_NE(health.body.find("\"memo_hits\":1"), std::string::npos)
+      << "recomputation after eviction must not count as a hit: "
+      << health.body;
+  EXPECT_NE(health.body.find("\"memo_evictions\":2"), std::string::npos)
+      << health.body;
+
+  server.requestDrain();
+  server.waitUntilStopped();
+}
+
 TEST_F(ServeServerTest, BackPressureIsStructuredWithRetryAfter) {
   ServerOptions opt = baseOptions("c");
   opt.limits.maxQueueDepth = 2;

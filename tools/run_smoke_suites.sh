@@ -23,6 +23,13 @@
 #  - stats: the statistics engine + results store + regression gate
 #    (unit suites, the CLI gate chain, and the two-store compare demo
 #    against the real binary, tools/run_compare_demo.sh).
+#  - supervise: the fault-tolerant campaign supervisor (tests/supervise/
+#    + the CLI supervise chain in src/cli): deterministic backoff
+#    seeding, the lease state machine, the supervisor journal's
+#    torn-tail recovery, the heartbeat contract, degrade-to-partial
+#    merges with gap manifests, and the end-to-end chaos proof that
+#    SIGKILLs workers and the supervisor itself
+#    (tools/run_chaos_suite.sh).
 #  - serve: the measurement daemon (request decoding, admission queue
 #    back-pressure/quotas, watchdog cancellation, drain + --resume
 #    byte-identity over a real unix socket, and the daemon SIGKILL
@@ -70,6 +77,10 @@ ctest --test-dir "${build_dir}" -L fuzz --output-on-failure
 echo
 echo "== stats suite (results store + regression gate) =="
 ctest --test-dir "${build_dir}" -L stats --output-on-failure
+
+echo
+echo "== supervise suite (lease supervisor: heartbeats, retry, partial merge) =="
+ctest --test-dir "${build_dir}" -L supervise --output-on-failure
 
 echo
 echo "== serve suite (daemon: back-pressure, watchdog, drain, resume) =="
