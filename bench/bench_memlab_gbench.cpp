@@ -1,0 +1,80 @@
+/// \file bench_memlab_gbench.cpp
+/// \brief google-benchmark microbenchmarks of the memory-hierarchy lab:
+/// the pointer-chase analytic truth, one measured chase/sweep grid
+/// point, and the full sweep grid on one machine. These guard the
+/// harness cost of the memlab families — `nodebench sweep` runs
+/// machines x 15 grid points x --runs driver executions, so a
+/// regression in the per-point path multiplies out fast.
+
+#include <benchmark/benchmark.h>
+
+#include "core/units.hpp"
+#include "machines/registry.hpp"
+#include "memlab/chase.hpp"
+#include "memlab/sweep.hpp"
+
+namespace {
+
+using namespace nodebench;
+
+void BM_ChaseTruthLadder(benchmark::State& state) {
+  const machines::Machine& m = machines::byName("Frontier");
+  const memlab::ChaseConfig cfg;
+  const std::vector<ByteCount> grid = memlab::chaseGrid(cfg);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const ByteCount ws : grid) {
+      acc += memlab::chaseNsPerAccessTruth(m, ws);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_ChaseTruthLadder);
+
+void BM_MeasureChasePoint(benchmark::State& state) {
+  const machines::Machine& m = machines::byName("Frontier");
+  memlab::ChaseConfig cfg;
+  cfg.binaryRuns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memlab::measureChasePoint(m, ByteCount::mib(8), cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cfg.binaryRuns);
+}
+BENCHMARK(BM_MeasureChasePoint)->Arg(10)->Arg(100);
+
+void BM_MeasureSweepPoint(benchmark::State& state) {
+  // One full-team triad point: the dominant cost of `nodebench sweep`
+  // (simulated OpenMP team + noise draws per binary run).
+  const machines::Machine& m = machines::byName("Frontier");
+  memlab::SweepConfig cfg;
+  cfg.binaryRuns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memlab::measureSweepPoint(m, ByteCount::mib(1), cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cfg.binaryRuns);
+}
+BENCHMARK(BM_MeasureSweepPoint)->Arg(10)->Arg(100);
+
+void BM_SweepGridOneMachine(benchmark::State& state) {
+  const machines::Machine& m = machines::byName("Eagle");
+  memlab::SweepConfig cfg;
+  cfg.binaryRuns = 10;
+  const std::vector<ByteCount> grid = memlab::sweepGrid(cfg);
+  for (auto _ : state) {
+    for (const ByteCount arrayBytes : grid) {
+      benchmark::DoNotOptimize(
+          memlab::measureSweepPoint(m, arrayBytes, cfg));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_SweepGridOneMachine);
+
+}  // namespace

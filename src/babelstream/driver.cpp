@@ -49,6 +49,13 @@ Summary measureOp(Backend& backend, StreamOp op, const DriverConfig& cfg) {
 
 }  // namespace
 
+OpResult measureOne(Backend& backend, StreamOp op,
+                    const DriverConfig& config) {
+  NB_EXPECTS(config.binaryRuns > 0);
+  NB_EXPECTS(config.arrayBytes.count() > 0);
+  return OpResult{op, config.arrayBytes, measureOp(backend, op, config)};
+}
+
 RunResult run(Backend& backend, const DriverConfig& config) {
   NB_EXPECTS(config.binaryRuns > 0);
   NB_EXPECTS(config.arrayBytes.count() > 0);

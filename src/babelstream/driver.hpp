@@ -49,4 +49,12 @@ struct RunResult {
 [[nodiscard]] std::vector<OpResult> sizeSweep(Backend& backend, StreamOp op,
                                               const DriverConfig& config);
 
+/// One op at exactly config.arrayBytes — the building block `run` and
+/// `sizeSweep` iterate, exposed for families that pick their own size
+/// grid (the memlab working-set sweep). Noise streams are seeded from
+/// (config.seed, run, op) only, so callers vary config.seed per size to
+/// decorrelate grid points.
+[[nodiscard]] OpResult measureOne(Backend& backend, StreamOp op,
+                                  const DriverConfig& config);
+
 }  // namespace nodebench::babelstream

@@ -60,6 +60,7 @@
 #include "report/balance.hpp"
 #include "report/export.hpp"
 #include "report/figures.hpp"
+#include "report/memlab_report.hpp"
 #include "report/tables.hpp"
 #include "serve/server.hpp"
 #include "stats/compare.hpp"
@@ -83,6 +84,14 @@ int usage() {
       "  topo <machine> [--dot]    node diagram (Figures 1-3) / DOT export\n"
       "  table <1..9|all> [--runs N] [--jobs N] [--faults F]  regenerate a"
       " paper table\n"
+      "  sweep [--runs N] [--jobs N] [--faults F]  working-set BabelStream\n"
+      "          triad bandwidth across the cache ladder (L1 -> DRAM),\n"
+      "          machine-comparison table + ascii knee chart\n"
+      "  chase [--runs N] [--jobs N] [--faults F]  pointer-chase\n"
+      "          dependent-load latency ladder (ns/access and clk/op per\n"
+      "          working set); both are `table sweep`/`table chase`\n"
+      "          aliases, so every table campaign flag (--journal,\n"
+      "          --resume, --store, --shard, ...) composes\n"
       "  stream <machine> [--device N]  BabelStream (simulated)\n"
       "  latency <machine> [--pair on-socket|on-node|A|B|C|D] [--size B]\n"
       "  commscope <machine>       Comm|Scope suite (simulated)\n"
@@ -552,10 +561,36 @@ int cmdTable(std::vector<std::string> args) {
     }
     std::cout << '\n';
   };
+  // The memlab families ride the same harness as the numbered tables, so
+  // `table sweep` / `table chase` are what shard and supervise workers
+  // exec; the top-level `nodebench sweep` / `nodebench chase` commands
+  // are aliases onto this path.
+  const auto emitFamily = [&](const std::string& family) {
+    if (family == "sweep") {
+      const auto rows = report::computeSweep(opt, &incidents);
+      std::cout << report::renderSweep(rows, &incidents).renderAscii();
+      if (const std::string chart = report::renderSweepChart(rows);
+          !chart.empty()) {
+        std::cout << '\n' << chart;
+      }
+    } else {
+      const auto rows = report::computeChase(opt, &incidents);
+      std::cout << report::renderChaseNs(rows, &incidents).renderAscii()
+                << '\n'
+                << report::renderChaseClk(rows, &incidents).renderAscii();
+      if (const std::string chart = report::renderChaseChart(rows);
+          !chart.empty()) {
+        std::cout << '\n' << chart;
+      }
+    }
+    std::cout << '\n';
+  };
   if (which == "all") {
     for (int n = 1; n <= 9; ++n) {
       emit(n);
     }
+  } else if (which == "sweep" || which == "chase") {
+    emitFamily(which);
   } else {
     emit(std::stoi(which));
   }
@@ -1542,6 +1577,12 @@ int main(int argc, char** argv) {
       return cmdTopo(std::move(args));
     }
     if (cmd == "table") {
+      return cmdTable(std::move(args));
+    }
+    if (cmd == "sweep" || cmd == "chase") {
+      // Aliases for `table sweep` / `table chase`: the memlab families
+      // share the table harness (and thus every campaign flag).
+      args.insert(args.begin(), cmd);
       return cmdTable(std::move(args));
     }
     if (cmd == "stream") {

@@ -1,11 +1,11 @@
-#include "faults/json_value.hpp"
+#include "core/json_value.hpp"
 
 #include <cctype>
 #include <cstdlib>
 
 #include "core/utf8.hpp"
 
-namespace nodebench::faults {
+namespace nodebench {
 
 namespace {
 
@@ -300,4 +300,4 @@ JsonValue JsonValue::parse(std::string_view text) {
   return JsonParser(text).parseDocument();
 }
 
-}  // namespace nodebench::faults
+}  // namespace nodebench

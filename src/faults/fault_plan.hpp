@@ -36,9 +36,13 @@
 #include "machines/machine.hpp"
 #include "mpisim/transport.hpp"
 
+namespace nodebench {
+class JsonValue;
+}
+
 namespace nodebench::faults {
 
-class JsonValue;
+using nodebench::JsonValue;
 
 enum class FaultType {
   LinkKill,      ///< Matching node links go down (routes re-resolve or fail).

@@ -24,6 +24,8 @@
 /// stack; the paper reports the ALCF alternative benchmark still saw ~5 us.
 
 #include "machines/builders.hpp"
+
+#include "machines/cache_hierarchy.hpp"
 #include "machines/calibration.hpp"
 #include "machines/node_shapes.hpp"
 
@@ -44,6 +46,7 @@ Machine makeTrinity() {
                            /*cacheModeOverhead=*/1.15,
                            /*cvSingle=*/0.013, /*cvAll=*/0.017});
   m.hostMemory.smtFactor = 1.0;  // KNL tolerates 4-way SMT without loss
+  m.cacheHierarchy = knlCacheHierarchy(/*cores=*/68, /*clockGHz=*/1.4);
   m.hostMpi.softwareOverhead = 0.62_us;
   m.hostMpi.meshBase = 0.05_us;
   m.hostMpi.meshPerHop = Duration::nanoseconds(320.0 / 9.0);
@@ -66,6 +69,7 @@ Machine makeTheta() {
                            /*cacheModeOverhead=*/1.15,
                            /*cvSingle=*/0.031, /*cvAll=*/0.0045});
   m.hostMemory.smtFactor = 1.0;
+  m.cacheHierarchy = knlCacheHierarchy(/*cores=*/64, /*clockGHz=*/1.3);
   m.hostMpi.softwareOverhead = 5.90_us;
   m.hostMpi.meshBase = 0.05_us;
   m.hostMpi.meshPerHop = Duration::nanoseconds(30.0);

@@ -16,6 +16,8 @@
 /// therefore yield an equal-cost cross-socket hop.
 
 #include "machines/builders.hpp"
+
+#include "machines/cache_hierarchy.hpp"
 #include "machines/calibration.hpp"
 #include "machines/node_shapes.hpp"
 
@@ -49,6 +51,8 @@ Machine makeSawtooth() {
   applyHostMemoryCalibration(
       m, HostMemoryTargets{13.06, 238.70, 281.50, "281.50 [13]", 1.0,
                            /*cvSingle=*/0.027, /*cvAll=*/0.035});
+  // Xeon Platinum 8268: 24c Cascade Lake, 35.75 MiB L3/socket, 2.9 GHz.
+  m.cacheHierarchy = skylakeServerCacheHierarchy(24, 35.75, 2.9);
   m.hostMpi.softwareOverhead = 0.43_us;   // 0.48 - sameNumaHop
   m.hostMpi.sameNumaHop = 0.05_us;
   m.hostMpi.crossNumaHop = 0.05_us;
@@ -67,6 +71,8 @@ Machine makeEagle() {
   applyHostMemoryCalibration(
       m, HostMemoryTargets{13.45, 208.24, 255.97, "255.97 [12]", 1.0,
                            /*cvSingle=*/0.0022, /*cvAll=*/0.0044});
+  // Xeon Gold 6154: 18c Skylake-SP, 24.75 MiB L3/socket, 3.0 GHz.
+  m.cacheHierarchy = skylakeServerCacheHierarchy(18, 24.75, 3.0);
   m.hostMpi.softwareOverhead = 0.15_us;   // 0.17 - sameNumaHop
   m.hostMpi.sameNumaHop = 0.02_us;
   m.hostMpi.crossNumaHop = 0.02_us;
@@ -85,6 +91,7 @@ Machine makeManzano() {
   applyHostMemoryCalibration(
       m, HostMemoryTargets{15.27, 234.86, 281.50, "281.50 [13]", 1.0,
                            /*cvSingle=*/0.0033, /*cvAll=*/0.0006});
+  m.cacheHierarchy = skylakeServerCacheHierarchy(24, 35.75, 2.9);
   m.hostMpi.softwareOverhead = 0.29_us;   // 0.32 - sameNumaHop
   m.hostMpi.sameNumaHop = 0.03_us;
   m.hostMpi.crossNumaHop = 0.03_us;

@@ -11,6 +11,8 @@
 
 #include "machines/extra_machines.hpp"
 
+#include "machines/cache_hierarchy.hpp"
+
 #include "machines/calibration.hpp"
 #include "machines/node_shapes.hpp"
 
@@ -36,6 +38,7 @@ Machine makeA64fxNode() {
   applyHostMemoryCalibration(
       m, HostMemoryTargets{55.0, 830.0, 1024.0, "1024 (HBM2)", 1.0,
                            /*cvSingle=*/0.01, /*cvAll=*/0.015});
+  m.cacheHierarchy = a64fxCacheHierarchy();
   m.hostMpi.softwareOverhead = 0.70_us;
   m.hostMpi.sameNumaHop = 0.08_us;
   m.hostMpi.crossNumaHop = 0.20_us;  // cross-CMG ring bus
@@ -65,6 +68,7 @@ Machine makeEpycMilanNode() {
       m, HostMemoryTargets{24.0, 350.0, 409.6, "409.6", 1.0,
                            /*cvSingle=*/0.005, /*cvAll=*/0.01});
   m.hostMemory.smtFactor = 0.98;
+  m.cacheHierarchy = epycCacheHierarchy(8, 32.0, 2.45);
   m.hostMpi.softwareOverhead = 0.30_us;
   m.hostMpi.sameNumaHop = 0.05_us;
   m.hostMpi.crossNumaHop = 0.12_us;
@@ -90,6 +94,7 @@ Machine makeAmpereAltraNode() {
   applyHostMemoryCalibration(
       m, HostMemoryTargets{18.0, 300.0, 409.6, "409.6", 1.0,
                            /*cvSingle=*/0.006, /*cvAll=*/0.012});
+  m.cacheHierarchy = altraCacheHierarchy(/*coresPerSocket=*/80);
   m.hostMpi.softwareOverhead = 0.42_us;
   m.hostMpi.sameNumaHop = 0.08_us;
   m.hostMpi.crossNumaHop = 0.08_us;

@@ -26,6 +26,8 @@
 /// A100 nodes are modelled.
 
 #include "machines/builders.hpp"
+
+#include "machines/cache_hierarchy.hpp"
 #include "machines/calibration.hpp"
 #include "machines/node_shapes.hpp"
 
@@ -46,6 +48,8 @@ Machine makePerlmutter() {
   m.hostPeakFp64Gflops = 2509.0;
   applyHostMemoryCalibration(
       m, HostMemoryTargets{14.0, 165.0, 204.8, "204.8 (repr.)", 1.0});
+  // EPYC 7763 (Milan/Zen 3): 32 MiB L3 per 8-core CCX.
+  m.cacheHierarchy = epycCacheHierarchy(8, 32.0, 2.45);
   // Host MPI: 0.46 us on-socket => 0.38 + 0.08.
   m.hostMpi.softwareOverhead = 0.38_us;
   m.hostMpi.sameNumaHop = 0.08_us;
@@ -76,6 +80,8 @@ Machine makePolaris() {
   m.hostPeakFp64Gflops = 1229.0;
   applyHostMemoryCalibration(
       m, HostMemoryTargets{14.0, 150.0, 204.8, "204.8 (repr.)", 1.0});
+  // EPYC 7532 (Rome/Zen 2): 16 MiB L3 per 4-core CCX.
+  m.cacheHierarchy = epycCacheHierarchy(4, 16.0, 2.4);
   // Host MPI: 0.21 us on-socket => 0.16 + 0.05.
   m.hostMpi.softwareOverhead = 0.16_us;
   m.hostMpi.sameNumaHop = 0.05_us;

@@ -24,6 +24,8 @@
 /// host — hence a near-zero baseOneWay and a flat class profile.
 
 #include "machines/builders.hpp"
+
+#include "machines/cache_hierarchy.hpp"
 #include "machines/calibration.hpp"
 #include "machines/node_shapes.hpp"
 
@@ -49,6 +51,8 @@ Machine mi250xBase(SystemInfo info, SoftwareEnv env, std::uint64_t seed) {
   // Trento-class EPYC so that host-side examples remain meaningful.
   applyHostMemoryCalibration(
       m, HostMemoryTargets{14.0, 160.0, 204.8, "204.8 (repr.)", 1.0});
+  // Trento (Zen 3, "optimized 3rd-gen EPYC"): 32 MiB L3 per 8-core CCX.
+  m.cacheHierarchy = epycCacheHierarchy(8, 32.0, 2.0);
   return m;
 }
 

@@ -28,6 +28,8 @@
 /// two GPUs three bricks (~63 GB/s measured).
 
 #include "machines/builders.hpp"
+
+#include "machines/cache_hierarchy.hpp"
 #include "machines/calibration.hpp"
 #include "machines/node_shapes.hpp"
 
@@ -52,6 +54,8 @@ Machine power9Base(SystemInfo info, SoftwareEnv env, int gpusPerSocket,
   // representative Power9 values keep host-side examples meaningful.
   applyHostMemoryCalibration(
       m, HostMemoryTargets{12.0, 245.0, 340.0, "340 (repr.)", 1.0});
+  // Power9 as deployed: 22 cores/socket at a 3.07 GHz nominal clock.
+  m.cacheHierarchy = power9CacheHierarchy(/*coresPerSocket=*/22, 3.07);
   return m;
 }
 

@@ -15,6 +15,7 @@
 #include <array>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/units.hpp"
 #include "topo/topology.hpp"
@@ -73,6 +74,50 @@ struct HostMemoryParams {
   /// Measurement noise (sigma/mean) of single-thread / all-thread runs.
   double cvSingle = 0.01;
   double cvAll = 0.02;
+};
+
+/// One level of a machine's on-chip cache ladder, nearest-first. The
+/// numbers are public-spec quantities, not calibrated fits: capacity and
+/// line size from vendor datasheets, load-to-use latency and sustained
+/// bandwidth from published microbenchmark studies of the same silicon
+/// (see docs/MODELING.md, "Cache ladder").
+struct CacheLevel {
+  /// Display name: "L1d", "L2", "L3", "MCDRAM", ...
+  std::string name;
+  /// Capacity of ONE instance of this level (one core's L1, one socket's
+  /// shared L3). Effective capacity for a thread team is derived from
+  /// `sharedByCores` and the cores actually used.
+  ByteCount capacity;
+  /// Cache-line (transfer) granularity of this level.
+  ByteCount lineSize = ByteCount::bytes(64);
+  /// Dependent-load (pointer-chase) load-to-use latency when the working
+  /// set is resident in this level.
+  Duration loadToUseLatency;
+  /// Sustained streaming bandwidth of one core reading from this level.
+  Bandwidth perCoreBandwidth;
+  /// How many physical cores share one instance (1 = private, cores per
+  /// socket for a socket-wide LLC, whole node for MCDRAM-as-cache).
+  int sharedByCores = 1;
+};
+
+/// Explicit cache hierarchy of the host CPU complex. Drives the memlab
+/// benchmark families (working-set bandwidth sweeps, pointer-chase
+/// latency) and the cache-ladder refinement inside
+/// memsim::HostMemoryModel. An empty hierarchy is valid: the memory
+/// model then falls back to the legacy single-LLC knee, and the memlab
+/// families refuse the machine with a diagnostic.
+struct CacheHierarchy {
+  /// Ordered nearest-first: capacities strictly increase, latencies
+  /// strictly increase, per-core bandwidths weakly decrease.
+  std::vector<CacheLevel> levels;
+  /// Dependent-load latency of a DRAM access that misses every level
+  /// (local NUMA domain, open-page mix).
+  Duration memoryLatency;
+  /// Nominal core clock in GHz, used to convert ns-per-access into
+  /// clk-per-op in the pointer-chase family.
+  double coreClockGHz = 0.0;
+
+  [[nodiscard]] bool empty() const { return levels.empty(); }
 };
 
 /// Host MPI point-to-point parameters (OSU latency model).
@@ -160,6 +205,7 @@ struct Machine {
   SoftwareEnv env;
   topo::NodeTopology topology;
   HostMemoryParams hostMemory;
+  CacheHierarchy cacheHierarchy;  ///< Host cache ladder (may be empty).
   HostMpiParams hostMpi;
   std::optional<DeviceMpiParams> deviceMpi;  ///< Set iff accelerated.
   std::optional<DeviceParams> device;        ///< Set iff accelerated.

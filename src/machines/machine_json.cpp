@@ -1,6 +1,11 @@
 #include "machines/machine_json.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <initializer_list>
+
+#include "core/json_value.hpp"
 
 namespace nodebench::machines {
 
@@ -28,6 +33,8 @@ std::string num(double v) {
 
 std::string machineJson(const Machine& m) {
   std::string j = "{\n";
+  j += "  \"schemaVersion\": " + std::to_string(kMachineJsonSchemaVersion) +
+       ",\n";
   j += "  \"name\": " + esc(m.info.name) + ",\n";
   j += "  \"top500Rank\": " + std::to_string(m.info.top500Rank) + ",\n";
   j += "  \"location\": " + esc(m.info.location) + ",\n";
@@ -49,6 +56,10 @@ std::string machineJson(const Machine& m) {
        ", \"cacheModeOverhead\": " + num(m.hostMemory.cacheModeOverhead) +
        ", \"smtFactor\": " + num(m.hostMemory.smtFactor) +
        ", \"peakNote\": " + esc(m.hostMemory.peakNote) + "},\n";
+  if (!m.cacheHierarchy.empty()) {
+    j += "  \"cacheHierarchy\": " + cacheHierarchyJson(m.cacheHierarchy) +
+         ",\n";
+  }
   j += "  \"hostMpi\": {\"softwareOverheadUs\": " +
        num(m.hostMpi.softwareOverhead.us()) +
        ", \"sameNumaHopUs\": " + num(m.hostMpi.sameNumaHop.us()) +
@@ -78,6 +89,156 @@ std::string machineJson(const Machine& m) {
   }
   j += "\n}\n";
   return j;
+}
+
+std::string cacheHierarchyJson(const CacheHierarchy& h) {
+  std::string j = "{\"memoryLatencyNs\": " + num(h.memoryLatency.ns()) +
+                  ", \"coreClockGHz\": " + num(h.coreClockGHz) +
+                  ", \"levels\": [";
+  for (std::size_t i = 0; i < h.levels.size(); ++i) {
+    const CacheLevel& l = h.levels[i];
+    j += (i == 0 ? "\n" : ",\n");
+    j += "    {\"name\": " + esc(l.name) +
+         ", \"capacityBytes\": " + std::to_string(l.capacity.count()) +
+         ", \"lineSizeBytes\": " + std::to_string(l.lineSize.count()) +
+         ", \"loadToUseNs\": " + num(l.loadToUseLatency.ns()) +
+         ", \"perCoreGBps\": " + num(l.perCoreBandwidth.inGBps()) +
+         ", \"sharedByCores\": " + std::to_string(l.sharedByCores) + "}";
+  }
+  j += "]}";
+  return j;
+}
+
+namespace {
+
+/// Strict-decoding helpers. Every rejection names the offending field so
+/// a hand-edited card fails with an actionable diagnostic (and so the
+/// fuzzer exercises distinct messages, not one catch-all).
+
+[[noreturn]] void reject(const std::string& what) {
+  throw Error("cacheHierarchy: " + what);
+}
+
+void requireKnownFields(const JsonValue& obj,
+                        std::initializer_list<std::string_view> known,
+                        const std::string& where) {
+  for (const auto& [key, value] : obj.asObject()) {
+    (void)value;
+    bool ok = false;
+    for (std::string_view k : known) {
+      ok = ok || key == k;
+    }
+    if (!ok) {
+      reject("unknown field '" + key + "' in " + where);
+    }
+  }
+}
+
+const JsonValue& requireField(const JsonValue& obj, std::string_view key,
+                              const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    reject("missing field '" + std::string(key) + "' in " + where);
+  }
+  return *v;
+}
+
+double requireFiniteNumber(const JsonValue& v, const std::string& where) {
+  const double d = v.asNumber();
+  if (!std::isfinite(d)) {
+    reject(where + " must be finite");
+  }
+  return d;
+}
+
+/// Byte counts and core counts must arrive as exact non-negative
+/// integers; doubles above 2^53 silently lose integer precision, so the
+/// bound doubles as an overflow guard.
+std::uint64_t requireCount(const JsonValue& v, const std::string& where) {
+  const double d = requireFiniteNumber(v, where);
+  if (d < 0.0 || d > 9007199254740992.0 || d != std::floor(d)) {
+    reject(where + " must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+/// A pathological document must fail with a diagnostic, not allocate an
+/// absurd ladder; real hierarchies have 2-4 levels.
+constexpr std::size_t kMaxCacheLevels = 16;
+
+CacheHierarchy hierarchyFromValue(const JsonValue& v) {
+  if (!v.isObject()) {
+    reject("the cacheHierarchy section must be an object");
+  }
+  requireKnownFields(v, {"memoryLatencyNs", "coreClockGHz", "levels"},
+                     "cacheHierarchy");
+  CacheHierarchy h;
+  h.memoryLatency = Duration::nanoseconds(requireFiniteNumber(
+      requireField(v, "memoryLatencyNs", "cacheHierarchy"), "memoryLatencyNs"));
+  h.coreClockGHz = requireFiniteNumber(
+      requireField(v, "coreClockGHz", "cacheHierarchy"), "coreClockGHz");
+  const JsonValue& levels = requireField(v, "levels", "cacheHierarchy");
+  if (!levels.isArray()) {
+    reject("'levels' must be an array");
+  }
+  if (levels.asArray().size() > kMaxCacheLevels) {
+    reject("more than " + std::to_string(kMaxCacheLevels) + " cache levels");
+  }
+  for (std::size_t i = 0; i < levels.asArray().size(); ++i) {
+    const JsonValue& lv = levels.asArray()[i];
+    const std::string where = "levels[" + std::to_string(i) + "]";
+    if (!lv.isObject()) {
+      reject(where + " must be an object");
+    }
+    requireKnownFields(lv,
+                       {"name", "capacityBytes", "lineSizeBytes",
+                        "loadToUseNs", "perCoreGBps", "sharedByCores"},
+                       where);
+    CacheLevel l;
+    l.name = requireField(lv, "name", where).asString();
+    l.capacity = ByteCount::bytes(
+        requireCount(requireField(lv, "capacityBytes", where),
+                     where + ".capacityBytes"));
+    l.lineSize = ByteCount::bytes(
+        requireCount(requireField(lv, "lineSizeBytes", where),
+                     where + ".lineSizeBytes"));
+    l.loadToUseLatency = Duration::nanoseconds(requireFiniteNumber(
+        requireField(lv, "loadToUseNs", where), where + ".loadToUseNs"));
+    l.perCoreBandwidth = Bandwidth::gbps(requireFiniteNumber(
+        requireField(lv, "perCoreGBps", where), where + ".perCoreGBps"));
+    const std::uint64_t shared = requireCount(
+        requireField(lv, "sharedByCores", where), where + ".sharedByCores");
+    if (shared > 1000000) {
+      reject(where + ".sharedByCores is implausibly large");
+    }
+    l.sharedByCores = static_cast<int>(shared);
+    h.levels.push_back(std::move(l));
+  }
+  return h;
+}
+
+}  // namespace
+
+CacheHierarchy cacheHierarchyFromJson(std::string_view json) {
+  return hierarchyFromValue(JsonValue::parse(json));
+}
+
+CacheHierarchy machineCacheHierarchyFromJson(std::string_view machineJsonText) {
+  const JsonValue doc = JsonValue::parse(machineJsonText);
+  if (!doc.isObject()) {
+    reject("a machine-JSON document must be an object");
+  }
+  const JsonValue* version = doc.find("schemaVersion");
+  if (version == nullptr) {
+    // Version-1 documents predate both the marker and the hierarchy.
+    return {};
+  }
+  const std::uint64_t v = requireCount(*version, "schemaVersion");
+  if (v < 1 || v > static_cast<std::uint64_t>(kMachineJsonSchemaVersion)) {
+    reject("unsupported schemaVersion " + std::to_string(v));
+  }
+  const JsonValue* section = doc.find("cacheHierarchy");
+  return section == nullptr ? CacheHierarchy{} : hierarchyFromValue(*section);
 }
 
 }  // namespace nodebench::machines

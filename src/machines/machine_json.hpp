@@ -2,16 +2,43 @@
 /// \file machine_json.hpp
 /// \brief JSON export of a machine description — the machine-readable
 /// companion to the human-oriented machine card, for downstream tooling
-/// (dashboards, parameter diffing, external model fitting).
+/// (dashboards, parameter diffing, external model fitting) — plus the
+/// strict parse path for the cache-hierarchy section, which is the first
+/// part of the card external tooling is expected to edit and feed back.
 
 #include <string>
+#include <string_view>
 
 #include "machines/machine.hpp"
 
 namespace nodebench::machines {
 
+/// Version of the machine-JSON document layout. History:
+///  1 — emit-only card (identity, topology counts, calibrated primitives).
+///  2 — adds the "cacheHierarchy" section and this version marker.
+inline constexpr int kMachineJsonSchemaVersion = 2;
+
 /// Serializes identity, topology counts, software environment and every
 /// calibrated primitive of the machine as a JSON object.
 [[nodiscard]] std::string machineJson(const Machine& m);
+
+/// Canonical JSON rendering of one cache hierarchy (the exact bytes
+/// `machineJson` embeds under "cacheHierarchy"). An empty hierarchy
+/// renders as an empty-levels object.
+[[nodiscard]] std::string cacheHierarchyJson(const CacheHierarchy& h);
+
+/// Strictly parses a "cacheHierarchy" sub-document: every field of every
+/// level is required, unknown fields are rejected, and byte counts must
+/// be non-negative integers. Throws Error with a diagnostic on any
+/// violation. The inverse of cacheHierarchyJson.
+[[nodiscard]] CacheHierarchy cacheHierarchyFromJson(std::string_view json);
+
+/// Extracts the cache hierarchy from a full machine-JSON document:
+/// checks "schemaVersion" (absent means version 1: no hierarchy), then
+/// strictly parses the "cacheHierarchy" section if present. Returns an
+/// empty hierarchy for version-1 documents or version-2 documents
+/// without the section.
+[[nodiscard]] CacheHierarchy machineCacheHierarchyFromJson(
+    std::string_view machineJsonText);
 
 }  // namespace nodebench::machines

@@ -93,6 +93,70 @@ std::vector<ValidationIssue> validate(const Machine& m) {
             "host peak FLOPS unset (machine-balance analysis unavailable)");
   }
 
+  // Cache hierarchy. An empty hierarchy is valid (legacy machines); a
+  // populated one must be a strictly ordered ladder or the memlab
+  // families and the memsim refinement would resolve working sets
+  // against nonsense. Every diagnostic names the offending level.
+  if (!m.cacheHierarchy.empty()) {
+    const CacheHierarchy& ch = m.cacheHierarchy;
+    const int cores = m.coreCount();
+    for (std::size_t i = 0; i < ch.levels.size(); ++i) {
+      const CacheLevel& l = ch.levels[i];
+      const std::string at =
+          "cacheHierarchy.levels[" + std::to_string(i) + "]";
+      const std::string name = l.name.empty() ? at : l.name;
+      if (l.name.empty()) {
+        error(at + ".name", "cache level has no name");
+      }
+      if (l.capacity.count() == 0) {
+        error(at + ".capacity", name + " capacity must be positive");
+      }
+      if (l.lineSize.count() == 0) {
+        error(at + ".lineSize", name + " line size must be positive");
+      }
+      if (l.loadToUseLatency <= Duration::zero()) {
+        error(at + ".loadToUseLatency",
+              name + " load-to-use latency must be positive");
+      }
+      if (l.perCoreBandwidth.inGBps() <= 0.0) {
+        error(at + ".perCoreBandwidth",
+              name + " per-core bandwidth must be positive");
+      }
+      if (l.sharedByCores < 1) {
+        error(at + ".sharedByCores",
+              name + " sharedByCores must be at least 1");
+      } else if (cores > 0 && l.sharedByCores > cores) {
+        error(at + ".sharedByCores",
+              name + " is shared by " + std::to_string(l.sharedByCores) +
+                  " cores but the node only has " + std::to_string(cores));
+      }
+      if (i > 0) {
+        const CacheLevel& inner = ch.levels[i - 1];
+        if (l.capacity <= inner.capacity) {
+          error(at + ".capacity",
+                name + " capacity must exceed " + inner.name + "'s");
+        }
+        if (l.loadToUseLatency <= inner.loadToUseLatency) {
+          error(at + ".loadToUseLatency",
+                name + " latency must exceed " + inner.name + "'s");
+        }
+        if (l.perCoreBandwidth > inner.perCoreBandwidth) {
+          error(at + ".perCoreBandwidth",
+                name + " per-core bandwidth must not exceed " + inner.name +
+                    "'s");
+        }
+      }
+    }
+    if (ch.memoryLatency <= ch.levels.back().loadToUseLatency) {
+      error("cacheHierarchy.memoryLatency",
+            "memory latency must exceed the outermost cache level's");
+    }
+    if (ch.coreClockGHz <= 0.0) {
+      error("cacheHierarchy.coreClockGHz",
+            "coreClockGHz must be positive when a hierarchy is present");
+    }
+  }
+
   // Device parameters.
   if (m.device) {
     const DeviceParams& d = *m.device;

@@ -1,0 +1,73 @@
+#include "memlab/chase.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/samples.hpp"
+#include "trace/trace.hpp"
+
+namespace nodebench::memlab {
+
+std::vector<ByteCount> chaseGrid(const ChaseConfig& cfg) {
+  NB_EXPECTS(cfg.minWorkingSet.count() > 0);
+  NB_EXPECTS(cfg.minWorkingSet <= cfg.maxWorkingSet);
+  std::vector<ByteCount> grid;
+  for (ByteCount size = cfg.minWorkingSet; size <= cfg.maxWorkingSet;
+       size = size * 2ull) {
+    grid.push_back(size);
+  }
+  return grid;
+}
+
+double chaseNsPerAccessTruth(const machines::Machine& m,
+                             ByteCount workingSet) {
+  NB_EXPECTS(workingSet.count() > 0);
+  const machines::CacheHierarchy& h = m.cacheHierarchy;
+  if (h.empty()) {
+    throw Error("machine '" + m.info.name +
+                "' has no cache hierarchy; the pointer-chase family needs "
+                "the ladder");
+  }
+  const double ws = workingSet.asDouble();
+  double ns = h.levels.front().loadToUseLatency.ns();
+  for (std::size_t l = 0; l < h.levels.size(); ++l) {
+    const double capacity = h.levels[l].capacity.asDouble();
+    const double next = l + 1 < h.levels.size()
+                            ? h.levels[l + 1].loadToUseLatency.ns()
+                            : h.memoryLatency.ns();
+    const double miss = std::max(0.0, 1.0 - capacity / ws);
+    ns += miss * (next - h.levels[l].loadToUseLatency.ns());
+  }
+  return ns;
+}
+
+ChasePoint measureChasePoint(const machines::Machine& m, ByteCount workingSet,
+                             const ChaseConfig& cfg) {
+  NB_EXPECTS(cfg.binaryRuns > 0);
+  const double truth = chaseNsPerAccessTruth(m, workingSet);
+  const double ghz = m.cacheHierarchy.coreClockGHz;
+  // One pinned core: single-thread run-to-run noise, one multiplicative
+  // factor per binary run — within-run repeats of the simulated walk are
+  // identical, so the run factor carries the entire observed variance.
+  const NoiseModel noise(m.hostMemory.cvSingle);
+  const std::uint64_t seed =
+      par::taskSeed(m.seed ^ 0x636861736532ull, workingSet.count()) ^
+      cfg.seedSalt;
+  Welford nsAcc;
+  Welford clkAcc;
+  for (int run = 0; run < cfg.binaryRuns; ++run) {
+    Xoshiro256 rng(seed + 0x9e3779b9u * static_cast<std::uint64_t>(run));
+    const double ns = truth * noise.sampleFactor(rng);
+    nsAcc.add(ns);
+    clkAcc.add(ns * ghz);
+    recordSample(kChaseSampleChannel, ns);
+  }
+  if (trace::TraceBuffer* t = trace::current()) {
+    t->count("memlab.chase_points");
+  }
+  return ChasePoint{workingSet, nsAcc.summary(), clkAcc.summary()};
+}
+
+}  // namespace nodebench::memlab

@@ -1,0 +1,76 @@
+#pragma once
+/// \file chase.hpp
+/// \brief Pointer-chase latency family: dependent-load ns-per-access and
+/// clk-per-op across a geometric working-set grid.
+///
+/// The classic lat_mem_rd / lmbench experiment: one pinned core walks a
+/// random-permutation linked list whose footprint sweeps the cache
+/// ladder, and because every load depends on the previous one the
+/// measured time per access is pure load-to-use latency — the latency
+/// complement to the bandwidth story the paper's Table 4 tells. The
+/// analytic model resolves each size against the machine's explicit
+/// CacheHierarchy: the fraction of lines that spill past level ℓ pays
+/// level ℓ+1's latency, giving the staircase curve the literature plots.
+/// One grid point is one harness cell, so journals, stores, shards,
+/// faults and tracing compose exactly as for the tables.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+
+namespace nodebench::memlab {
+
+struct ChaseConfig {
+  /// Geometric (power-of-two) working-set grid. 4 KiB sits inside every
+  /// modeled L1d; 512 MiB is deep in DRAM on every machine.
+  ByteCount minWorkingSet = ByteCount::kib(4);
+  ByteCount maxWorkingSet = ByteCount::mib(512);
+  /// Benchmark binary executions aggregated into mean ± sigma per point.
+  int binaryRuns = 100;
+  /// Retry-attempt salt from the cell harness (0 = attempt 0).
+  std::uint64_t seedSalt = 0;
+};
+
+/// One measured grid point.
+struct ChasePoint {
+  ByteCount workingSet;
+  Summary nsPerAccess;  ///< Dependent-load latency per access.
+  Summary clkPerOp;     ///< Same, in core clocks (ns x coreClockGHz).
+};
+
+/// The grid the chase walks: working sets from minWorkingSet to
+/// maxWorkingSet inclusive, doubling each step.
+[[nodiscard]] std::vector<ByteCount> chaseGrid(const ChaseConfig& cfg);
+
+/// The deterministic model truth: expected ns per dependent load for a
+/// single pinned core chasing a uniform random permutation of
+/// `workingSet` bytes. A single core owns each level's full instance
+/// capacity (private levels trivially, shared levels because no other
+/// core competes), so with capacities C_1 < ... < C_N and load-to-use
+/// latencies t_1 < ... < t_N < t_mem:
+///
+///   ns(ws) = t_1 + sum_l max(0, 1 - C_l/ws) * (t_{l+1} - t_l)
+///
+/// — the max(0, 1 - C/ws) term is the fraction of a uniformly-accessed
+/// working set that cannot be resident in a C-byte level, which pays the
+/// next level's latency instead. Throws Error when the machine carries no
+/// cache hierarchy (the family needs the ladder).
+[[nodiscard]] double chaseNsPerAccessTruth(const machines::Machine& m,
+                                           ByteCount workingSet);
+
+/// Measures one grid point: the model truth above under the machine's
+/// single-thread run-to-run noise, one multiplicative factor per binary
+/// run (the same noise discipline as the BabelStream driver). Noise
+/// streams are decorrelated per (machine, size) and perturbed by
+/// cfg.seedSalt.
+[[nodiscard]] ChasePoint measureChasePoint(const machines::Machine& m,
+                                           ByteCount workingSet,
+                                           const ChaseConfig& cfg);
+
+/// Sample-capture channel the per-run ns-per-access draws land on.
+inline constexpr const char* kChaseSampleChannel = "ns per access";
+
+}  // namespace nodebench::memlab

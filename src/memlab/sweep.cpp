@@ -1,0 +1,49 @@
+#include "memlab/sweep.hpp"
+
+#include "babelstream/driver.hpp"
+#include "babelstream/sim_omp_backend.hpp"
+#include "core/parallel.hpp"
+#include "trace/trace.hpp"
+
+namespace nodebench::memlab {
+
+std::vector<ByteCount> sweepGrid(const SweepConfig& cfg) {
+  NB_EXPECTS(cfg.minArrayBytes.count() > 0);
+  NB_EXPECTS(cfg.minArrayBytes <= cfg.maxArrayBytes);
+  std::vector<ByteCount> grid;
+  for (ByteCount size = cfg.minArrayBytes; size <= cfg.maxArrayBytes;
+       size = size * 2ull) {
+    grid.push_back(size);
+  }
+  return grid;
+}
+
+SweepPoint measureSweepPoint(const machines::Machine& m, ByteCount arrayBytes,
+                             const SweepConfig& cfg) {
+  NB_EXPECTS(arrayBytes.count() > 0);
+  NB_EXPECTS(cfg.binaryRuns > 0);
+  // The team every machine saturates with: all cores, bound, spread over
+  // core places — the Table 1 combination that wins the "All" column on
+  // every modeled system, so the sweep's DRAM plateau equals Table 4.
+  ompenv::OmpConfig team;
+  team.numThreads = m.coreCount();
+  team.procBind = ompenv::ProcBind::Spread;
+  team.places = ompenv::Places::Cores;
+  babelstream::SimOmpBackend backend(m, team);
+  babelstream::DriverConfig dcfg;
+  dcfg.arrayBytes = arrayBytes;
+  dcfg.binaryRuns = cfg.binaryRuns;
+  // Decorrelate grid points: the driver folds only (seed, run, op) into
+  // each draw, so without this mix every size would share one noise
+  // stream and the rendered curve would wobble in lockstep.
+  dcfg.seed ^= par::taskSeed(m.seed ^ 0x6d656d6c6162ull, arrayBytes.count()) ^
+               cfg.seedSalt;
+  const babelstream::OpResult r =
+      babelstream::measureOne(backend, babelstream::StreamOp::Triad, dcfg);
+  if (trace::TraceBuffer* t = trace::current()) {
+    t->count("memlab.sweep_points");
+  }
+  return SweepPoint{arrayBytes, arrayBytes * 3ull, r.bandwidthGBps};
+}
+
+}  // namespace nodebench::memlab

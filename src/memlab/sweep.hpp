@@ -1,0 +1,61 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Working-set bandwidth sweep: BabelStream triad bandwidth across
+/// a geometric working-set grid from L1-resident to DRAM-resident sizes.
+///
+/// Where Table 4 reports two points per machine (single core and full
+/// team, both deep in DRAM), this family walks the footprint axis and
+/// exposes the knees of the cache ladder the memory model resolves sizes
+/// against (memsim::HostMemoryModel + machines::CacheHierarchy): the
+/// rendered curve steps down once per cache level, the way memory-
+/// hierarchy studies plot STREAM-versus-size. One grid point is one
+/// harness cell, so the family composes with journals, stores, shards,
+/// fault plans and tracing like any table cell does.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "machines/machine.hpp"
+
+namespace nodebench::memlab {
+
+struct SweepConfig {
+  /// Geometric (power-of-two) grid over the per-array vector size; the
+  /// working set of the measured triad kernel is three arrays. 16 KiB
+  /// puts the smallest point inside every modeled L1d aggregate; 256 MiB
+  /// matches the Table 4 vector size, so the sweep's DRAM plateau is the
+  /// same regime the paper's headline numbers live in.
+  ByteCount minArrayBytes = ByteCount::kib(16);
+  ByteCount maxArrayBytes = ByteCount::mib(256);
+  /// Benchmark binary executions aggregated into mean ± sigma per point.
+  int binaryRuns = 100;
+  /// Retry-attempt salt from the cell harness (0 = attempt 0).
+  std::uint64_t seedSalt = 0;
+};
+
+/// One measured grid point.
+struct SweepPoint {
+  ByteCount arrayBytes;   ///< Per-array vector size.
+  ByteCount workingSet;   ///< Bytes touched by the triad kernel (3 arrays).
+  Summary bandwidthGBps;  ///< Across binary runs.
+};
+
+/// The grid the sweep walks: per-array sizes from minArrayBytes to
+/// maxArrayBytes inclusive, doubling each step.
+[[nodiscard]] std::vector<ByteCount> sweepGrid(const SweepConfig& cfg);
+
+/// Measures one grid point on one machine: full-team bound-spread
+/// BabelStream triad at the given per-array size. Noise streams are
+/// decorrelated per (machine, size) and perturbed by cfg.seedSalt, so
+/// retried cells re-draw while attempt 0 is reproducible.
+[[nodiscard]] SweepPoint measureSweepPoint(const machines::Machine& m,
+                                           ByteCount arrayBytes,
+                                           const SweepConfig& cfg);
+
+/// Store quantity name for the sweep's raw per-run draws (the capture
+/// channel itself is the op name, "Triad").
+inline constexpr const char* kSweepQuantity = "triad bandwidth";
+
+}  // namespace nodebench::memlab

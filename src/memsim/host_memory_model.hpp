@@ -16,6 +16,13 @@
 ///
 /// Additionally a last-level-cache boost applies when the working set fits
 /// in cache, giving the BabelStream size sweep its characteristic knee.
+/// When the machine carries an explicit `CacheHierarchy`, the single knee
+/// is refined into a full ladder: each inner level (L1/L2/... below the
+/// legacy LLC size) contributes a telescoping bandwidth gain with a hard
+/// cutoff at four times its effective capacity, so the working-set sweep
+/// family shows one knee per level while every table-sized working set
+/// resolves to bit-identical bandwidth with or without the hierarchy
+/// (docs/MODELING.md, "Cache ladder"; the conformance suite is the proof).
 
 #include "core/units.hpp"
 #include "machines/machine.hpp"

@@ -69,11 +69,40 @@ PathTiming MpiWorld::pathBetween(int src, int dst,
 
 void MpiWorld::run(const RankFn& fn) {
   NB_EXPECTS(fn != nullptr);
-  runEach(std::vector<RankFn>(placements_.size(), fn));
+  // The SPMD path used by every measurement loop builds its process
+  // closures over the one `fn` directly. It used to materialize
+  // std::vector<RankFn>(N, fn) first — N copies of a std::function whose
+  // captured state usually exceeds the small-buffer optimization, i.e. N
+  // heap allocations per run(), multiplied by every binary repetition of
+  // every benchmark. The closures borrow `fn`, which outlives
+  // scheduler_.run() below.
+  resetRunState();
+  std::vector<sim::VirtualTimeScheduler::ProcessFn> procs;
+  procs.reserve(placements_.size());
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    procs.push_back([this, i, &fn](sim::VirtualProcess& proc) {
+      Communicator comm(*this, proc, static_cast<int>(i));
+      fn(comm);
+    });
+  }
+  scheduler_.run(procs);
 }
 
 void MpiWorld::runEach(const std::vector<RankFn>& fns) {
   NB_EXPECTS(fns.size() == placements_.size());
+  resetRunState();
+  std::vector<sim::VirtualTimeScheduler::ProcessFn> procs;
+  procs.reserve(fns.size());
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    procs.push_back([this, i, &fns](sim::VirtualProcess& proc) {
+      Communicator comm(*this, proc, static_cast<int>(i));
+      fns[i](comm);
+    });
+  }
+  scheduler_.run(procs);
+}
+
+void MpiWorld::resetRunState() {
   mailboxes_.assign(placements_.size(), Mailbox{});
   channels_.assign(placements_.size() * placements_.size(),
                    Duration::zero());
@@ -86,15 +115,6 @@ void MpiWorld::runEach(const std::vector<RankFn>& fns) {
   pairSeq_.assign(placements_.size() * placements_.size(), 0);
   retransmits_ = 0;
   nextRtsId_ = 1;
-  std::vector<sim::VirtualTimeScheduler::ProcessFn> procs;
-  procs.reserve(fns.size());
-  for (std::size_t i = 0; i < fns.size(); ++i) {
-    procs.push_back([this, i, &fns](sim::VirtualProcess& proc) {
-      Communicator comm(*this, proc, static_cast<int>(i));
-      fns[i](comm);
-    });
-  }
-  scheduler_.run(procs);
 }
 
 bool MpiWorld::tryMatch(int myRank, int source, int tag, MsgKind kind,

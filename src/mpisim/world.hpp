@@ -219,6 +219,11 @@ class MpiWorld {
   /// behaviour via bool return. Only called by the owning (running) rank.
   bool tryMatch(int myRank, int source, int tag, MsgKind kind, Message& out);
 
+  /// Resets the per-run mailbox/channel/sequence state shared by run()
+  /// and runEach(). The assigns reuse each vector's existing capacity,
+  /// so repeated runs on one world do not reallocate.
+  void resetRunState();
+
   /// Per directed rank pair: the time the transfer channel next becomes
   /// free. Back-to-back (non-blocking) sends between a pair serialize on
   /// this channel, which is what makes windowed bandwidth tests converge

@@ -1,0 +1,66 @@
+#pragma once
+/// \file memlab_report.hpp
+/// \brief Machine-comparison reports for the memlab benchmark families:
+/// the working-set bandwidth sweep (`nodebench sweep`) and the
+/// pointer-chase latency ladder (`nodebench chase`).
+///
+/// Both families run under the shared cell harness (cell_runner.hpp) with
+/// one cell per (machine, working-set) grid point, so every TableOptions
+/// knob — --jobs, --faults, --journal/--resume, --store, --shard, serve
+/// campaigns — composes exactly as it does for the paper tables. The
+/// renderers produce a comparison table (rows = working sets, columns =
+/// machines) plus an ascii line chart whose steps are the cache-ladder
+/// knees.
+
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "memlab/chase.hpp"
+#include "memlab/sweep.hpp"
+#include "report/tables.hpp"
+
+namespace nodebench::report {
+
+/// Harness cell names for one grid point, keyed by the family axis (the
+/// working set in bytes) — stable identifiers shared by fault plans,
+/// journals, stores and shard manifests.
+[[nodiscard]] std::string sweepCellName(ByteCount workingSet);
+[[nodiscard]] std::string chaseCellName(ByteCount workingSet);
+
+// --- Working-set bandwidth sweep --------------------------------------------
+struct SweepRow {
+  const machines::Machine* machine = nullptr;
+  std::vector<memlab::SweepPoint> points;  ///< One per grid size, in order.
+};
+/// Runs the sweep over every registry machine (or the opt.machines
+/// subset); opt.binaryRuns feeds the per-point driver. The grid itself is
+/// the family's fixed geometric ladder (memlab::sweepGrid defaults).
+[[nodiscard]] std::vector<SweepRow> computeSweep(
+    const TableOptions& opt, std::vector<CellIncident>* incidents = nullptr);
+/// Comparison table: mean triad GB/s per (working set, machine).
+[[nodiscard]] Table renderSweep(
+    const std::vector<SweepRow>& rows,
+    const std::vector<CellIncident>* incidents = nullptr);
+/// Log-log ascii chart of the same data, one series per machine; returns
+/// "" when no machine has a complete all-positive curve to plot.
+[[nodiscard]] std::string renderSweepChart(const std::vector<SweepRow>& rows);
+
+// --- Pointer-chase latency ladder -------------------------------------------
+struct ChaseRow {
+  const machines::Machine* machine = nullptr;
+  std::vector<memlab::ChasePoint> points;  ///< One per grid size, in order.
+};
+[[nodiscard]] std::vector<ChaseRow> computeChase(
+    const TableOptions& opt, std::vector<CellIncident>* incidents = nullptr);
+/// Comparison tables: mean ns-per-access, and mean clk-per-op.
+[[nodiscard]] Table renderChaseNs(
+    const std::vector<ChaseRow>& rows,
+    const std::vector<CellIncident>* incidents = nullptr);
+[[nodiscard]] Table renderChaseClk(
+    const std::vector<ChaseRow>& rows,
+    const std::vector<CellIncident>* incidents = nullptr);
+/// Log-log ascii chart of ns-per-access, one series per machine.
+[[nodiscard]] std::string renderChaseChart(const std::vector<ChaseRow>& rows);
+
+}  // namespace nodebench::report

@@ -19,6 +19,7 @@ namespace {
 /// falling back to 100 runs would waste hours of measurement.
 constexpr const char* kKnownFields[] = {
     "tenant",          "tables",
+    "families",
     "runs",            "jobs",
     "machines",        "fault_plan",
     "seed",            "store_samples",
@@ -85,8 +86,28 @@ CampaignRequest CampaignRequest::fromJson(std::string_view text) {
     std::sort(req.tables.begin(), req.tables.end());
     req.tables.erase(std::unique(req.tables.begin(), req.tables.end()),
                      req.tables.end());
-  } else {
+  } else if (doc.find("families") == nullptr) {
+    // Only when the request names neither tables nor families: a
+    // families-only request runs just the families.
     req.tables = {4};
+  }
+
+  if (const JsonValue* v = doc.find("families")) {
+    for (const JsonValue& entry : v->asArray()) {
+      const std::string f = entry.asString();
+      if (f != "sweep" && f != "chase") {
+        throw Error("\"families\" entries must be \"sweep\" or \"chase\", "
+                    "got \"" + f + "\"");
+      }
+      req.families.push_back(f);
+    }
+    if (req.families.empty()) {
+      throw Error("\"families\" must not be empty");
+    }
+    std::sort(req.families.begin(), req.families.end());
+    req.families.erase(
+        std::unique(req.families.begin(), req.families.end()),
+        req.families.end());
   }
 
   if (const JsonValue* v = doc.find("runs")) {
@@ -164,11 +185,24 @@ std::string CampaignRequest::canonicalJson() const {
   JsonWriter w;
   w.beginObject();
   w.key("tenant").value(tenant);
-  w.key("tables").beginArray();
-  for (const int t : tables) {
-    w.value(t);
+  // A families-only request has no tables; omitting the key (rather than
+  // emitting an empty array the strict decoder would reject) keeps the
+  // canonical form re-parseable, and pre-families canonical documents
+  // keep their exact bytes.
+  if (!tables.empty()) {
+    w.key("tables").beginArray();
+    for (const int t : tables) {
+      w.value(t);
+    }
+    w.endArray();
   }
-  w.endArray();
+  if (!families.empty()) {
+    w.key("families").beginArray();
+    for (const std::string& f : families) {
+      w.value(f);
+    }
+    w.endArray();
+  }
   w.key("runs").value(runs);
   w.key("jobs").value(jobs);
   w.key("machines").beginArray();
@@ -211,11 +245,20 @@ std::string CampaignRequest::canonicalJson() const {
 std::string CampaignRequest::measurementKey() const {
   JsonWriter w;
   w.beginObject();
-  w.key("tables").beginArray();
-  for (const int t : tables) {
-    w.value(t);
+  if (!tables.empty()) {
+    w.key("tables").beginArray();
+    for (const int t : tables) {
+      w.value(t);
+    }
+    w.endArray();
   }
-  w.endArray();
+  if (!families.empty()) {
+    w.key("families").beginArray();
+    for (const std::string& f : families) {
+      w.value(f);
+    }
+    w.endArray();
+  }
   w.key("runs").value(runs);
   w.key("machines").beginArray();
   for (const std::string& m : machines) {

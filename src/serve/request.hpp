@@ -33,6 +33,11 @@ namespace nodebench::serve {
 struct CampaignRequest {
   std::string tenant = "default";  ///< Quota key: [A-Za-z0-9_-]{1,64}.
   std::vector<int> tables;         ///< Sorted unique subset of 4..7.
+  /// Sorted unique subset of {"chase", "sweep"}: the memlab benchmark
+  /// families to run alongside (or instead of) the tables. When the
+  /// request names families but no tables, only the families run; when
+  /// it names neither, the default is tables = [4].
+  std::vector<std::string> families;
   int runs = 100;                  ///< Binary runs per cell (1..100000).
   int jobs = 1;                    ///< Harness workers (1..256).
   std::vector<std::string> machines;  ///< Canonical names; empty = all.

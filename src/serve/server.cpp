@@ -10,6 +10,7 @@
 
 #include "campaign/journal.hpp"
 #include "core/error.hpp"
+#include "report/memlab_report.hpp"
 #include "serve/http.hpp"
 #include "serve/json_writer.hpp"
 #include "stats/store.hpp"
@@ -562,53 +563,80 @@ std::string Server::renderTables(const std::string& id,
                                  report::TableOptions& opt) {
   const std::string measKey = req.measurementKey();
   struct Out {
-    int table;
+    std::string label;  ///< "4".."7" or a memlab family name.
     std::shared_ptr<const MemoEntry> entry;
   };
-  std::vector<Out> outs;
+  // Tables first, then the memlab families, each rendered (and memoized)
+  // under its own label.
+  std::vector<std::string> labels;
   for (const int table : req.tables) {
-    const std::string key = measKey + "#" + std::to_string(table);
+    labels.push_back(std::to_string(table));
+  }
+  for (const std::string& family : req.families) {
+    labels.push_back(family);
+  }
+  std::vector<Out> outs;
+  for (const std::string& label : labels) {
+    const std::string key = measKey + "#" + label;
     if (!req.storeSamples) {
       std::lock_guard<std::mutex> lock(memoMu_);
       const auto it = memo_.find(key);
       if (it != memo_.end()) {
         ++memoHits_;
         memoLru_.splice(memoLru_.begin(), memoLru_, it->second.lru);
-        outs.push_back({table, it->second.entry});
+        outs.push_back({label, it->second.entry});
         continue;
       }
     }
     auto fresh = std::make_shared<MemoEntry>();
-    switch (table) {
-      case 4:
-        fresh->ascii = report::renderTable4(
-                           report::computeTable4(opt, &fresh->incidents),
-                           &fresh->incidents)
-                           .renderAscii();
-        break;
-      case 5:
-        fresh->ascii = report::renderTable5(
-                           report::computeTable5(opt, &fresh->incidents),
-                           &fresh->incidents)
-                           .renderAscii();
-        break;
-      case 6:
-        fresh->ascii = report::renderTable6(
-                           report::computeTable6(opt, &fresh->incidents),
-                           &fresh->incidents)
-                           .renderAscii();
-        break;
-      case 7: {
-        // Table 7 is a digest of 5 and 6; within one request the shared
-        // journal replays any cells tables 5/6 already measured.
-        const auto t5 = report::computeTable5(opt, &fresh->incidents);
-        const auto t6 = report::computeTable6(opt, &fresh->incidents);
-        fresh->ascii =
-            report::buildTable7(t5, t6, &fresh->incidents).renderAscii();
-        break;
+    if (label == "sweep") {
+      const auto rows = report::computeSweep(opt, &fresh->incidents);
+      fresh->ascii = report::renderSweep(rows, &fresh->incidents).renderAscii();
+      if (const std::string chart = report::renderSweepChart(rows);
+          !chart.empty()) {
+        fresh->ascii += "\n" + chart;
       }
-      default:
-        throw Error("unsupported table " + std::to_string(table));
+    } else if (label == "chase") {
+      const auto rows = report::computeChase(opt, &fresh->incidents);
+      fresh->ascii =
+          report::renderChaseNs(rows, &fresh->incidents).renderAscii() + "\n" +
+          report::renderChaseClk(rows, &fresh->incidents).renderAscii();
+      if (const std::string chart = report::renderChaseChart(rows);
+          !chart.empty()) {
+        fresh->ascii += "\n" + chart;
+      }
+    } else {
+      switch (std::stoi(label)) {
+        case 4:
+          fresh->ascii = report::renderTable4(
+                             report::computeTable4(opt, &fresh->incidents),
+                             &fresh->incidents)
+                             .renderAscii();
+          break;
+        case 5:
+          fresh->ascii = report::renderTable5(
+                             report::computeTable5(opt, &fresh->incidents),
+                             &fresh->incidents)
+                             .renderAscii();
+          break;
+        case 6:
+          fresh->ascii = report::renderTable6(
+                             report::computeTable6(opt, &fresh->incidents),
+                             &fresh->incidents)
+                             .renderAscii();
+          break;
+        case 7: {
+          // Table 7 is a digest of 5 and 6; within one request the shared
+          // journal replays any cells tables 5/6 already measured.
+          const auto t5 = report::computeTable5(opt, &fresh->incidents);
+          const auto t6 = report::computeTable6(opt, &fresh->incidents);
+          fresh->ascii =
+              report::buildTable7(t5, t6, &fresh->incidents).renderAscii();
+          break;
+        }
+        default:
+          throw Error("unsupported table " + label);
+      }
     }
     if (!req.storeSamples) {
       // Sound because results are deterministic functions of the
@@ -627,7 +655,7 @@ std::string Server::renderTables(const std::string& id,
         }
       }
     }
-    outs.push_back({table, std::move(fresh)});
+    outs.push_back({label, std::move(fresh)});
   }
 
   JsonWriter w;
@@ -637,7 +665,7 @@ std::string Server::renderTables(const std::string& id,
   w.key("state").value("done");
   w.key("tables").beginObject();
   for (const Out& o : outs) {
-    w.key(std::to_string(o.table)).value(o.entry->ascii);
+    w.key(o.label).value(o.entry->ascii);
   }
   w.endObject();
   // One deduplicated incident list: a cell replayed for Table 7 after

@@ -1,0 +1,60 @@
+/// \file fuzz_machine_json.cpp
+/// \brief Fuzz target for the machine-JSON cache-hierarchy boundary.
+///
+/// `nodebench card --json` documents are meant to be hand-edited and fed
+/// back into tooling, so the schema-versioned strict parser
+/// (machineCacheHierarchyFromJson and the bare section parser
+/// cacheHierarchyFromJson) is an input boundary. For inputs that decode,
+/// re-emitting through cacheHierarchyJson and re-parsing must reach a
+/// fixed point — the same emit-parse-emit identity the machine-card
+/// round-trip tests pin for registry machines, extended here to every
+/// accepted document.
+///
+/// Build as a standalone fuzzer with
+///   cmake -B build-fuzz -S . -DNODEBENCH_FUZZ=ON \
+///         -DCMAKE_CXX_COMPILER=clang++
+///   ./build-fuzz/tests/fuzz/nodebench_fuzz_machine_json \
+///       tests/fuzz/corpus/machine_json
+/// The same harness runs deterministically (corpus + seeded mutations,
+/// no fuzzer runtime) inside ctest via fuzz_smoke_test.cpp.
+
+#include "fuzz_targets.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/error.hpp"
+#include "machines/machine_json.hpp"
+
+namespace nodebench::fuzz {
+
+int runMachineJsonOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  // Layer 1: a whole machine document (schemaVersion gate + section).
+  try {
+    const machines::CacheHierarchy h =
+        machines::machineCacheHierarchyFromJson(text);
+    const std::string emitted = machines::cacheHierarchyJson(h);
+    if (machines::cacheHierarchyJson(
+            machines::cacheHierarchyFromJson(emitted)) != emitted) {
+      throw std::logic_error("cacheHierarchyJson is not a fixed point");
+    }
+  } catch (const Error&) {
+    // Structured rejection is the expected outcome for most inputs.
+  }
+  // Layer 2: the bare cacheHierarchy section parser on the same bytes.
+  try {
+    (void)machines::cacheHierarchyFromJson(text);
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+}  // namespace nodebench::fuzz
+
+#ifdef NODEBENCH_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return nodebench::fuzz::runMachineJsonOneInput(data, size);
+}
+#endif

@@ -24,6 +24,8 @@
 #include "campaign/shard.hpp"
 #include "core/rng.hpp"
 #include "fuzz_targets.hpp"
+#include "machines/machine_json.hpp"
+#include "machines/registry.hpp"
 #include "stats/store.hpp"
 
 #ifndef NODEBENCH_FUZZ_CORPUS_DIR
@@ -270,6 +272,17 @@ TEST(FuzzSmoke, MergeCorpusAndTenThousandMutations) {
 
 TEST(FuzzSmoke, ServeCorpusAndTenThousandMutations) {
   drive(&runServeOneInput, readCorpus("serve"), 0x7372765f667a3176ull, 10'000);
+}
+
+TEST(FuzzSmoke, MachineJsonCorpusAndTenThousandMutations) {
+  std::vector<Bytes> seeds = readCorpus("machine_json");
+  // Every registry card is a live seed: the fixed-point check then runs
+  // against the exact documents `nodebench card --json` ships.
+  for (const machines::Machine& m : machines::allMachines()) {
+    const std::string j = machines::machineJson(m);
+    seeds.emplace_back(j.begin(), j.end());
+  }
+  drive(&runMachineJsonOneInput, seeds, 0x6d6a736e5f667a31ull, 10'000);
 }
 
 /// Cross-pollination: each format's bytes into the other decoders.

@@ -31,6 +31,12 @@ int runStoreOneInput(const std::uint8_t* data, std::size_t size);
 /// single-journal decoding.
 int runMergeOneInput(const std::uint8_t* data, std::size_t size);
 
+/// Feeds `data` to the machine-JSON cache-hierarchy parsers
+/// (machines::machineCacheHierarchyFromJson and the bare section parser)
+/// and, for accepted inputs, checks emit -> parse -> emit reaches a
+/// fixed point (the hand-edited-card round-trip contract).
+int runMachineJsonOneInput(const std::uint8_t* data, std::size_t size);
+
 /// Feeds `data` to the serve campaign-request decoder
 /// (serve::CampaignRequest::fromJson) and, for accepted inputs, checks
 /// the canonical re-rendering is a fixed point (the crash-recovery

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
+#include "core/error.hpp"
 #include "machines/registry.hpp"
 
 namespace nodebench::machines {
@@ -50,6 +52,119 @@ TEST(MachineJson, RoundTripsCalibratedNumbers) {
   const std::string j = machineJson(byName("Polaris"));
   EXPECT_NE(j.find("\"kernelLaunchUs\": 1.83"), std::string::npos);
   EXPECT_NE(j.find("\"syncWaitUs\": 1.32"), std::string::npos);
+}
+
+// --- Cache-hierarchy round-trip (machine-JSON schema version 2) -------------
+
+TEST(MachineJson, EveryMachineCarriesAVersionedHierarchy) {
+  for (const Machine& m : allMachines()) {
+    EXPECT_FALSE(m.cacheHierarchy.empty()) << m.info.name;
+    const std::string j = machineJson(m);
+    EXPECT_NE(j.find("\"schemaVersion\": 2"), std::string::npos)
+        << m.info.name;
+    EXPECT_NE(j.find("\"cacheHierarchy\""), std::string::npos)
+        << m.info.name;
+  }
+}
+
+TEST(MachineJson, HierarchyRoundTripsThroughTheStrictParser) {
+  for (const Machine& m : allMachines()) {
+    // emit -> parse -> emit is a fixed point: the parser recovers the
+    // exact hierarchy the card embeds (same bytes, not just same shape).
+    const CacheHierarchy parsed =
+        machineCacheHierarchyFromJson(machineJson(m));
+    EXPECT_EQ(cacheHierarchyJson(parsed),
+              cacheHierarchyJson(m.cacheHierarchy))
+        << m.info.name;
+    ASSERT_EQ(parsed.levels.size(), m.cacheHierarchy.levels.size());
+    EXPECT_EQ(parsed.levels.front().name, m.cacheHierarchy.levels.front().name);
+  }
+}
+
+TEST(MachineJson, SectionParserIsTheInverseOfTheEmitter) {
+  const CacheHierarchy& h = byName("Frontier").cacheHierarchy;
+  const CacheHierarchy parsed = cacheHierarchyFromJson(cacheHierarchyJson(h));
+  EXPECT_EQ(cacheHierarchyJson(parsed), cacheHierarchyJson(h));
+}
+
+TEST(MachineJson, VersionOneDocumentsYieldAnEmptyHierarchy) {
+  // Pre-ladder cards carry no schemaVersion; they decode to "no
+  // hierarchy", never to an error (forward compatibility contract).
+  EXPECT_TRUE(machineCacheHierarchyFromJson(R"({"name": "old"})").empty());
+  EXPECT_TRUE(
+      machineCacheHierarchyFromJson(R"({"schemaVersion": 2, "name": "x"})")
+          .empty());
+}
+
+TEST(MachineJson, StrictParserRejectsWithFieldNamedDiagnostics) {
+  const auto expectRejects = [](const std::string& doc,
+                                const std::string& needle) {
+    try {
+      (void)machineCacheHierarchyFromJson(doc);
+      FAIL() << "accepted: " << doc;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << doc << " -> " << e.what();
+    }
+  };
+  expectRejects(R"({"schemaVersion": 3})", "schemaVersion");
+  expectRejects(R"({"schemaVersion": 0})", "schemaVersion");
+  expectRejects(R"({"schemaVersion": 2.5})", "schemaVersion");
+  expectRejects(R"([1])", "object");
+  expectRejects(R"({"schemaVersion": 2, "cacheHierarchy": []})", "object");
+  expectRejects(
+      R"({"schemaVersion": 2, "cacheHierarchy":
+          {"memoryLatencyNs": 90, "coreClockGHz": 2.0, "levels": [],
+           "bogus": 1}})",
+      "bogus");
+  expectRejects(
+      R"({"schemaVersion": 2, "cacheHierarchy":
+          {"coreClockGHz": 2.0, "levels": []}})",
+      "memoryLatencyNs");
+  expectRejects(
+      R"({"schemaVersion": 2, "cacheHierarchy":
+          {"memoryLatencyNs": 90, "coreClockGHz": 2.0, "levels": 7}})",
+      "levels");
+  expectRejects(
+      R"({"schemaVersion": 2, "cacheHierarchy":
+          {"memoryLatencyNs": 90, "coreClockGHz": 2.0,
+           "levels": [{"name": "L1"}]}})",
+      "capacityBytes");
+  expectRejects(
+      R"({"schemaVersion": 2, "cacheHierarchy":
+          {"memoryLatencyNs": 90, "coreClockGHz": 2.0,
+           "levels": [{"name": "L1", "capacityBytes": -1,
+                       "lineSizeBytes": 64, "loadToUseNs": 1.0,
+                       "perCoreGBps": 100, "sharedByCores": 1}]}})",
+      "capacityBytes");
+  expectRejects(
+      R"({"schemaVersion": 2, "cacheHierarchy":
+          {"memoryLatencyNs": 90, "coreClockGHz": 2.0,
+           "levels": [{"name": "L1", "capacityBytes": 32768,
+                       "lineSizeBytes": 64, "loadToUseNs": 1.0,
+                       "perCoreGBps": 100, "sharedByCores": 2000000}]}})",
+      "sharedByCores");
+}
+
+TEST(MachineJson, StrictParserBoundsTheLevelCount) {
+  std::string doc =
+      R"({"schemaVersion": 2, "cacheHierarchy":
+          {"memoryLatencyNs": 90, "coreClockGHz": 2.0, "levels": [)";
+  for (int i = 0; i < 17; ++i) {
+    if (i > 0) {
+      doc += ", ";
+    }
+    doc += R"({"name": "L", "capacityBytes": 1024, "lineSizeBytes": 64,
+               "loadToUseNs": 1.0, "perCoreGBps": 100, "sharedByCores": 1})";
+  }
+  doc += "]}}";
+  try {
+    (void)machineCacheHierarchyFromJson(doc);
+    FAIL() << "accepted a 17-level ladder";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("16"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -216,6 +216,79 @@ TEST(ValidateBranches, DeviceParameterBranches) {
   EXPECT_TRUE(hasIssue(m, "deviceMpi.baseOneWay"));
 }
 
+// Every cache-hierarchy validation branch, one test clause per branch
+// (ISSUE: the ladder feeds both the memsim refinement and the memlab
+// families, so a malformed hierarchy must fail loudly with its field).
+
+TEST(ValidateBranches, CacheLevelFieldBranches) {
+  Machine m = byName("Eagle");
+  ASSERT_GE(m.cacheHierarchy.levels.size(), 2u);
+
+  m.cacheHierarchy.levels[0].name.clear();
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[0].name"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[0].capacity = ByteCount::bytes(0);
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[0].capacity"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[0].lineSize = ByteCount::bytes(0);
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[0].lineSize"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[0].loadToUseLatency = Duration::zero();
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[0].loadToUseLatency"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[0].perCoreBandwidth = Bandwidth::zero();
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[0].perCoreBandwidth"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[0].sharedByCores = 0;
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[0].sharedByCores"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[0].sharedByCores = m.coreCount() + 1;
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[0].sharedByCores"));
+}
+
+TEST(ValidateBranches, CacheLadderOrderingBranches) {
+  // Outer levels must strictly grow in capacity and latency and weakly
+  // shrink in per-core bandwidth; each violation names the outer level.
+  Machine m = byName("Eagle");
+  m.cacheHierarchy.levels[1].capacity = m.cacheHierarchy.levels[0].capacity;
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[1].capacity"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[1].loadToUseLatency =
+      m.cacheHierarchy.levels[0].loadToUseLatency;
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[1].loadToUseLatency"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.levels[1].perCoreBandwidth = Bandwidth::gbps(
+      m.cacheHierarchy.levels[0].perCoreBandwidth.inGBps() * 2.0);
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.levels[1].perCoreBandwidth"));
+}
+
+TEST(ValidateBranches, CacheHierarchyEnvelopeBranches) {
+  Machine m = byName("Eagle");
+  m.cacheHierarchy.memoryLatency =
+      m.cacheHierarchy.levels.back().loadToUseLatency;
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.memoryLatency"));
+
+  m = byName("Eagle");
+  m.cacheHierarchy.coreClockGHz = 0.0;
+  EXPECT_TRUE(hasIssue(m, "cacheHierarchy.coreClockGHz"));
+}
+
+TEST(ValidateBranches, EmptyHierarchyIsStillValid) {
+  // Legacy machine cards carry no ladder; that must stay a valid state
+  // (the memlab families throw their own targeted error instead).
+  Machine m = byName("Eagle");
+  m.cacheHierarchy = CacheHierarchy{};
+  EXPECT_TRUE(isValid(m));
+}
+
 TEST(ValidateBranches, EnsureValidNamesMachineAndField) {
   Machine m = byName("Eagle");
   m.hostMpi.cv = 0.9;

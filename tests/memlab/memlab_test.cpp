@@ -1,0 +1,162 @@
+/// \file memlab_test.cpp
+/// \brief Unit tests for the memlab benchmark families: grid shapes, the
+/// pointer-chase analytic truth (ladder staircase, L1 and DRAM limits),
+/// per-point measurement determinism, and the knee property of the
+/// working-set sweep (cache-resident bandwidth beats DRAM-resident).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hpp"
+#include "machines/registry.hpp"
+#include "memlab/chase.hpp"
+#include "memlab/sweep.hpp"
+
+namespace nodebench::memlab {
+namespace {
+
+using machines::byName;
+using machines::Machine;
+
+TEST(SweepGrid, DoublesFromL1ToTable4Size) {
+  const SweepConfig cfg;
+  const std::vector<ByteCount> grid = sweepGrid(cfg);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_EQ(grid.front(), ByteCount::kib(16));
+  EXPECT_EQ(grid.back(), ByteCount::mib(256));
+  // 16 KiB .. 256 MiB doubling inclusive: 15 points.
+  EXPECT_EQ(grid.size(), 15u);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].count(), grid[i - 1].count() * 2) << i;
+  }
+}
+
+TEST(ChaseGrid, DoublesAcrossTheLadder) {
+  const ChaseConfig cfg;
+  const std::vector<ByteCount> grid = chaseGrid(cfg);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_EQ(grid.front(), ByteCount::kib(4));
+  EXPECT_EQ(grid.back(), ByteCount::mib(512));
+  EXPECT_EQ(grid.size(), 18u);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].count(), grid[i - 1].count() * 2) << i;
+  }
+}
+
+TEST(ChaseTruth, L1ResidentSetCostsL1Latency) {
+  for (const Machine& m : machines::allMachines()) {
+    ASSERT_FALSE(m.cacheHierarchy.empty()) << m.info.name;
+    const double l1 = m.cacheHierarchy.levels.front().loadToUseLatency.ns();
+    // Any working set no larger than L1 is fully resident: every miss
+    // fraction is zero and the sum collapses to t_1 exactly.
+    const ByteCount ws = m.cacheHierarchy.levels.front().capacity;
+    EXPECT_DOUBLE_EQ(chaseNsPerAccessTruth(m, ws), l1) << m.info.name;
+    EXPECT_DOUBLE_EQ(chaseNsPerAccessTruth(m, ByteCount::bytes(64)), l1)
+        << m.info.name;
+  }
+}
+
+TEST(ChaseTruth, MonotoneNondecreasingAcrossTheGrid) {
+  const ChaseConfig cfg;
+  for (const Machine& m : machines::allMachines()) {
+    double prev = 0.0;
+    for (const ByteCount ws : chaseGrid(cfg)) {
+      const double ns = chaseNsPerAccessTruth(m, ws);
+      EXPECT_GE(ns, prev) << m.info.name << " at " << ws.count();
+      prev = ns;
+    }
+  }
+}
+
+TEST(ChaseTruth, DeepDramSetsApproachMemoryLatency) {
+  for (const Machine& m : machines::allMachines()) {
+    const double memNs = m.cacheHierarchy.memoryLatency.ns();
+    // 512 MiB spills far past every modeled LLC instance; the telescoped
+    // sum converges on the memory latency from below. The loosest case
+    // is KNL, whose 16 GiB MCDRAM cache still holds the whole set, so
+    // the curve plateaus at the ~170 ns MCDRAM latency instead.
+    const double ns = chaseNsPerAccessTruth(m, ByteCount::mib(512));
+    EXPECT_LT(ns, memNs) << m.info.name;
+    EXPECT_GT(ns, 0.7 * memNs) << m.info.name;
+  }
+}
+
+TEST(ChaseTruth, ThrowsWithoutAHierarchy) {
+  Machine m = byName("Eagle");
+  m.cacheHierarchy = machines::CacheHierarchy{};
+  EXPECT_THROW((void)chaseNsPerAccessTruth(m, ByteCount::mib(1)), Error);
+  ChaseConfig cfg;
+  cfg.binaryRuns = 2;
+  EXPECT_THROW((void)measureChasePoint(m, ByteCount::mib(1), cfg), Error);
+}
+
+TEST(ChaseMeasure, DeterministicAndSaltSensitive) {
+  const Machine& m = byName("Frontier");
+  ChaseConfig cfg;
+  cfg.binaryRuns = 8;
+  const ChasePoint a = measureChasePoint(m, ByteCount::mib(8), cfg);
+  const ChasePoint b = measureChasePoint(m, ByteCount::mib(8), cfg);
+  EXPECT_EQ(a.nsPerAccess.mean, b.nsPerAccess.mean);
+  EXPECT_EQ(a.nsPerAccess.stddev, b.nsPerAccess.stddev);
+  EXPECT_EQ(a.clkPerOp.mean, b.clkPerOp.mean);
+  EXPECT_EQ(a.nsPerAccess.count, 8u);
+
+  // The clk ladder is the ns ladder scaled by the core clock.
+  EXPECT_NEAR(a.clkPerOp.mean,
+              a.nsPerAccess.mean * m.cacheHierarchy.coreClockGHz, 1e-9);
+
+  ChaseConfig salted = cfg;
+  salted.seedSalt = 1;
+  const ChasePoint c = measureChasePoint(m, ByteCount::mib(8), salted);
+  EXPECT_NE(a.nsPerAccess.mean, c.nsPerAccess.mean);
+}
+
+TEST(ChaseMeasure, NoiseCentersOnTheTruth) {
+  const Machine& m = byName("Trinity");
+  ChaseConfig cfg;
+  cfg.binaryRuns = 64;
+  const ByteCount ws = ByteCount::mib(64);
+  const ChasePoint p = measureChasePoint(m, ws, cfg);
+  const double truth = chaseNsPerAccessTruth(m, ws);
+  EXPECT_NEAR(p.nsPerAccess.mean, truth,
+              truth * 4.0 * m.hostMemory.cvSingle);
+  EXPECT_GT(p.nsPerAccess.stddev, 0.0);
+}
+
+TEST(SweepMeasure, CacheResidentBeatsDramResident) {
+  // The knee property behind the whole family: a triad whose three
+  // arrays sit in cache streams faster than the Table 4-sized DRAM run.
+  for (const char* name : {"Frontier", "Eagle", "Theta"}) {
+    const Machine& m = byName(name);
+    SweepConfig cfg;
+    cfg.binaryRuns = 4;
+    const SweepPoint small = measureSweepPoint(m, ByteCount::kib(16), cfg);
+    const SweepPoint large = measureSweepPoint(m, ByteCount::mib(256), cfg);
+    EXPECT_GT(small.bandwidthGBps.mean, 1.2 * large.bandwidthGBps.mean)
+        << name;
+    EXPECT_EQ(small.workingSet.count(), 3u * small.arrayBytes.count());
+  }
+}
+
+TEST(SweepMeasure, DeterministicAndSaltSensitive) {
+  const Machine& m = byName("Perlmutter");
+  SweepConfig cfg;
+  cfg.binaryRuns = 4;
+  const SweepPoint a = measureSweepPoint(m, ByteCount::mib(1), cfg);
+  const SweepPoint b = measureSweepPoint(m, ByteCount::mib(1), cfg);
+  EXPECT_EQ(a.bandwidthGBps.mean, b.bandwidthGBps.mean);
+  EXPECT_EQ(a.bandwidthGBps.stddev, b.bandwidthGBps.stddev);
+
+  SweepConfig salted = cfg;
+  salted.seedSalt = 1;
+  const SweepPoint c = measureSweepPoint(m, ByteCount::mib(1), salted);
+  EXPECT_NE(a.bandwidthGBps.mean, c.bandwidthGBps.mean);
+
+  // Adjacent grid sizes draw decorrelated noise streams.
+  const SweepPoint d = measureSweepPoint(m, ByteCount::mib(2), cfg);
+  EXPECT_NE(a.bandwidthGBps.mean, d.bandwidthGBps.mean);
+}
+
+}  // namespace
+}  // namespace nodebench::memlab

@@ -68,6 +68,61 @@ TEST(ServeRequest, RejectionsNameTheField) {
   expectErrorMentioning("", "JSON");
 }
 
+TEST(ServeRequest, FamiliesAreSortedDeduplicatedAndValidated) {
+  const CampaignRequest req = CampaignRequest::fromJson(
+      R"({"families":["sweep","chase","sweep"]})");
+  EXPECT_EQ(req.families, (std::vector<std::string>{"chase", "sweep"}));
+  // A families-only request runs just the families — no implicit table.
+  EXPECT_TRUE(req.tables.empty());
+
+  const CampaignRequest both = CampaignRequest::fromJson(
+      R"({"tables":[5],"families":["chase"]})");
+  EXPECT_EQ(both.tables, (std::vector<int>{5}));
+  EXPECT_EQ(both.families, (std::vector<std::string>{"chase"}));
+
+  const auto expectErrorMentioning = [](const std::string& doc,
+                                        const std::string& needle) {
+    try {
+      (void)CampaignRequest::fromJson(doc);
+      FAIL() << "accepted: " << doc;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << doc << " -> " << e.what();
+    }
+  };
+  expectErrorMentioning(R"({"families":[]})", "families");
+  expectErrorMentioning(R"({"families":["stream"]})", "stream");
+  expectErrorMentioning(R"({"families":[4]})", "string");
+}
+
+TEST(ServeRequest, FamiliesOnlyCanonicalFormRoundTrips) {
+  // The canonical form must omit the empty "tables" key (the strict
+  // decoder rejects empty arrays) and still re-parse to the same bytes —
+  // the crash-recovery contract for persisted family campaigns.
+  const CampaignRequest req =
+      CampaignRequest::fromJson(R"({"families":["sweep"],"runs":3})");
+  const std::string canonical = req.canonicalJson();
+  EXPECT_EQ(canonical.find("\"tables\""), std::string::npos);
+  const CampaignRequest reparsed = CampaignRequest::fromJson(canonical);
+  EXPECT_EQ(reparsed.canonicalJson(), canonical);
+  EXPECT_TRUE(reparsed.tables.empty());
+  EXPECT_EQ(reparsed.families, (std::vector<std::string>{"sweep"}));
+}
+
+TEST(ServeRequest, FamiliesChangeTheMeasurementKey) {
+  const CampaignRequest tablesOnly =
+      CampaignRequest::fromJson(R"({"tables":[4],"runs":5})");
+  const CampaignRequest withFamily = CampaignRequest::fromJson(
+      R"({"tables":[4],"families":["chase"],"runs":5})");
+  const CampaignRequest otherFamily = CampaignRequest::fromJson(
+      R"({"tables":[4],"families":["sweep"],"runs":5})");
+  EXPECT_NE(tablesOnly.measurementKey(), withFamily.measurementKey());
+  EXPECT_NE(withFamily.measurementKey(), otherFamily.measurementKey());
+
+  // Legacy requests keep their pre-families key (daemon memo stability).
+  EXPECT_EQ(tablesOnly.measurementKey().find("families"), std::string::npos);
+}
+
 TEST(ServeRequest, CanonicalJsonRoundTripsToSameBytes) {
   const CampaignRequest req = CampaignRequest::fromJson(R"({
     "tenant": "alice", "tables": [6,5], "runs": 7, "jobs": 2,

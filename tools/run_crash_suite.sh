@@ -10,6 +10,7 @@
 #                  sigterm  graceful interrupt (exit 43), then resume
 #                  serve    daemon SIGKILL + --resume recovery
 #                  shard    sharded worker SIGKILL, resume, merge
+#                  memlab   sweep/chase SIGKILL mid-grid, then resume
 #                Default (no flag): every section. The baseline run is
 #                shared by crash/sigkill/sigterm and executes whenever
 #                any of those is selected.
@@ -58,10 +59,10 @@ while (( $# > 0 )); do
 done
 for s in "${sections[@]:+${sections[@]}}"; do
   case "${s}" in
-    crash|sigkill|sigterm|serve|shard) ;;
+    crash|sigkill|sigterm|serve|shard|memlab) ;;
     *)
       echo "error: unknown section '${s}'" \
-           "(crash, sigkill, sigterm, serve, shard)" >&2
+           "(crash, sigkill, sigterm, serve, shard, memlab)" >&2
       exit 2
       ;;
   esac
@@ -372,6 +373,46 @@ if want shard; then
     exit 1
   fi
   echo "   killed worker resumed; merged journal and store byte-identical"
+fi
+
+if want memlab; then
+  # The memlab families ride the same journal machinery as the tables;
+  # this section proves it end-to-end: SIGKILL each family mid-grid (the
+  # kill may tear a record mid-write), resume, and require the rendered
+  # output byte-identical to an uninterrupted run of the same family.
+  for family in sweep chase; do
+    echo
+    echo "== memlab ${family}: SIGKILL mid-grid, then resume =="
+    "${nodebench}" "${family}" --runs "${runs}" --jobs 2 \
+      > "${workdir}/${family}_baseline.txt"
+
+    journal="${workdir}/${family}_kill.bin"
+    rm -f "${journal}"
+    "${nodebench}" "${family}" --runs "${runs}" --jobs 2 \
+      --journal "${journal}" --test-cell-delay-ms 5 > /dev/null 2>&1 &
+    victim=$!
+    sleep 0.3
+    kill -9 "${victim}" 2>/dev/null || true
+    wait "${victim}" 2>/dev/null || true
+
+    resume_flag=(--resume)
+    if [[ ! -f "${journal}" ]]; then
+      # The kill landed before journal creation; nothing to resume.
+      resume_flag=()
+    fi
+    "${nodebench}" "${family}" --runs "${runs}" --jobs 2 \
+      --journal "${journal}" "${resume_flag[@]}" \
+      > "${workdir}/${family}_killed.txt" \
+      2>> "${workdir}/stderr_${family}.log"
+    if ! cmp -s "${workdir}/${family}_killed.txt" \
+         "${workdir}/${family}_baseline.txt"; then
+      echo "error: resumed ${family} differs from the uninterrupted run" >&2
+      diff "${workdir}/${family}_baseline.txt" \
+           "${workdir}/${family}_killed.txt" | head -20 >&2
+      exit 1
+    fi
+    echo "   post-SIGKILL ${family} resume is byte-identical to the baseline"
+  done
 fi
 
 echo

@@ -37,6 +37,11 @@
 #    binary, which carries the admission-queue stress test — under a
 #    -DNODEBENCH_SANITIZE=thread configure those queue/quota paths run
 #    race-checked.
+#  - memlab: the memory-hierarchy lab (tests/memlab/): grid shapes, the
+#    pointer-chase analytic truth against the cache ladder, the sweep's
+#    knee property, --jobs byte-identity, and the journal + store +
+#    shard -> merge composition for the sweep/chase grids; then the
+#    memlab microbenchmarks dumped to <build>/BENCH_memlab.json.
 #  - simcore: scheduler-mode and closed-form fast-path determinism
 #    cross-checks (tests/simcore/), then the simulation-core
 #    microbenchmarks dumped to <build>/BENCH_simcore.json, then a gate
@@ -90,6 +95,22 @@ echo
 echo "== serve concurrency surface (tsan label; race-checked under =="
 echo "==   -DNODEBENCH_SANITIZE=thread configures)                 =="
 ctest --test-dir "${build_dir}" -L tsan --output-on-failure
+
+echo
+echo "== memlab suite (cache ladder: sweep knees, chase truth, merge identity) =="
+ctest --test-dir "${build_dir}" -L memlab --output-on-failure
+
+memlab_gbench="${build_dir}/bench/bench_memlab_gbench"
+if [[ -x "${memlab_gbench}" ]]; then
+  echo
+  echo "== memlab microbenchmarks -> ${build_dir}/BENCH_memlab.json =="
+  "${memlab_gbench}" \
+    --benchmark_filter='ChaseTruth|MeasureChasePoint|MeasureSweepPoint|SweepGrid' \
+    --benchmark_out="${build_dir}/BENCH_memlab.json" \
+    --benchmark_out_format=json
+else
+  echo "note: skipping memlab microbenchmarks (${memlab_gbench} not built)" >&2
+fi
 
 echo
 echo "== simcore suite (scheduler modes + fast-path determinism) =="
